@@ -1,0 +1,155 @@
+// Ablation study: the contribution of each compiler pass (DESIGN.md's design-choice
+// index). Runs the two end-to-end queries with passes toggled individually:
+//
+//  * market concentration — push-down is the decisive pass (aggregation split);
+//  * credit regulation    — the hybrid transform is decisive (join-first query);
+//  * comorbidity          — sort elimination matters when an order-by follows a sort.
+//
+// Rows report simulated seconds; "all-off" corresponds to running the whole query
+// under MPC (the paper's "Sharemind only" baselines).
+#include "bench/bench_util.h"
+#include "conclave/api/conclave.h"
+#include "conclave/data/generators.h"
+
+namespace conclave {
+namespace {
+
+const CostModel kModel;
+
+struct Config {
+  const char* name;
+  bool push_down;
+  bool push_up;
+  bool hybrid;
+  bool sort_elim;
+  bool malicious = false;
+  bool pad = false;
+};
+
+constexpr Config kConfigs[] = {
+    {"all-on", true, true, true, true},
+    {"no-push-down", false, true, true, true},
+    {"no-push-up", true, false, true, true},
+    {"no-hybrid", true, true, false, true},
+    {"no-sort-elim", true, true, true, false},
+    {"all-off", false, false, false, false},
+    // Appendix A.5: all passes on, plus active security (commitments + ZK input
+    // checks + the >=7x active-adversary MPC factor, §2.2).
+    {"malicious", true, true, true, true, true},
+    // §9: all passes on, plus adaptive padding of MPC-boundary cardinalities.
+    {"padded", true, true, true, true, false, true},
+};
+
+compiler::CompilerOptions ToOptions(const Config& config) {
+  compiler::CompilerOptions options;
+  options.push_down = config.push_down;
+  options.push_up = config.push_up;
+  options.use_hybrid = config.hybrid;
+  options.sort_elimination = config.sort_elim;
+  options.malicious_security = config.malicious;
+  options.pad_mpc_inputs = config.pad;
+  return options;
+}
+
+double RunMarket(const Config& config, uint64_t total) {
+  api::Query query;
+  auto pa = query.AddParty("a");
+  auto pb = query.AddParty("b");
+  auto pc = query.AddParty("c");
+  std::vector<api::ColumnSpec> columns{{"companyID"}, {"price"}};
+  auto ta = query.NewTable("inputA", columns, pa);
+  auto tb = query.NewTable("inputB", columns, pb);
+  auto tc = query.NewTable("inputC", columns, pc);
+  query.Concat({ta, tb, tc})
+      .Filter("price", CompareOp::kGt, 0)
+      .Aggregate("local_rev", AggKind::kSum, {"companyID"}, "price")
+      .WriteToCsv("rev", {pa});
+
+  std::map<std::string, Relation> inputs;
+  const char* names[] = {"inputA", "inputB", "inputC"};
+  for (int party = 0; party < 3; ++party) {
+    data::TaxiConfig taxi;
+    taxi.rows = static_cast<int64_t>(total / 3);
+    taxi.company_id = party;
+    taxi.seed = static_cast<uint64_t>(party) + 5;
+    inputs[names[party]] = data::TaxiTrips(taxi);
+  }
+  const auto result = query.Run(inputs, ToOptions(config), kModel);
+  return result.ok() ? result->virtual_seconds : -1.0;
+}
+
+double RunCredit(const Config& config, uint64_t total) {
+  api::Query query;
+  auto regulator = query.AddParty("regulator");
+  auto bank1 = query.AddParty("bank1");
+  auto bank2 = query.AddParty("bank2");
+  auto demo = query.NewTable("demographics", {{"ssn"}, {"zip"}}, regulator);
+  std::vector<api::ColumnSpec> bank_cols{{"ssn", {regulator}}, {"score"}};
+  auto s1 = query.NewTable("scores1", bank_cols, bank1);
+  auto s2 = query.NewTable("scores2", bank_cols, bank2);
+  demo.Join(query.Concat({s1, s2}), {"ssn"}, {"ssn"})
+      .Aggregate("total", AggKind::kSum, {"zip"}, "score")
+      .WriteToCsv("out", {regulator});
+
+  std::map<std::string, Relation> inputs;
+  const int64_t ssn_space = static_cast<int64_t>(total) * 2;
+  inputs["demographics"] =
+      data::Demographics(static_cast<int64_t>(total / 2), ssn_space, 100, 3);
+  inputs["scores1"] =
+      data::CreditScores(static_cast<int64_t>(total / 4), ssn_space, 4);
+  inputs["scores2"] =
+      data::CreditScores(static_cast<int64_t>(total / 4), ssn_space, 5);
+  const auto result = query.Run(inputs, ToOptions(config), kModel);
+  return result.ok() ? result->virtual_seconds : -1.0;
+}
+
+double RunComorbidity(const Config& config, uint64_t total) {
+  api::Query query;
+  auto h0 = query.AddParty("h0");
+  auto h1 = query.AddParty("h1");
+  auto d0 = query.NewTable("diag0", {{"pid"}, {"diag"}}, h0);
+  auto d1 = query.NewTable("diag1", {{"pid"}, {"diag"}}, h1);
+  // SortBy(diag) before the count gives sort elimination something to elide in the
+  // MPC aggregation.
+  query.Concat({d0, d1})
+      .SortBy({"diag"})
+      .Count("cnt", {"diag"})
+      .SortBy({"cnt"}, /*ascending=*/false)
+      .Limit(10)
+      .WriteToCsv("top", {h0});
+
+  data::HealthConfig health;
+  health.rows_per_party = static_cast<int64_t>(total / 2);
+  health.seed = 6;
+  std::map<std::string, Relation> inputs;
+  inputs["diag0"] = data::ComorbidityDiagnoses(health, 0);
+  inputs["diag1"] = data::ComorbidityDiagnoses(health, 1);
+  const auto result = query.Run(inputs, ToOptions(config), kModel);
+  return result.ok() ? result->virtual_seconds : -1.0;
+}
+
+}  // namespace
+}  // namespace conclave
+
+int main() {
+  using namespace conclave;
+  const uint64_t market_rows = bench::SmallScale() ? 30000 : 300000;
+  const uint64_t credit_rows = bench::SmallScale() ? 3000 : 20000;
+  const uint64_t comorbidity_rows = bench::SmallScale() ? 2000 : 10000;
+
+  std::printf("=== Ablation: per-pass contribution, simulated seconds ===\n");
+  std::printf("%-14s  %18s  %16s  %18s\n", "config",
+              StrFormat("market(%s)", HumanCount(market_rows).c_str()).c_str(),
+              StrFormat("credit(%s)", HumanCount(credit_rows).c_str()).c_str(),
+              StrFormat("comorbidity(%s)", HumanCount(comorbidity_rows).c_str())
+                  .c_str());
+  for (const auto& config : kConfigs) {
+    const double market = RunMarket(config, market_rows);
+    const double credit = RunCredit(config, credit_rows);
+    const double comorbidity = RunComorbidity(config, comorbidity_rows);
+    std::printf("%-14s  %18.1f  %16.1f  %18.1f\n", config.name, market, credit,
+                comorbidity);
+  }
+  std::printf("(-1 = failed; larger numbers = slower plans)\n");
+  return 0;
+}

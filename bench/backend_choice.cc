@@ -1,0 +1,98 @@
+// Backend-choice study (§9 extension): for query shapes with opposite cost profiles,
+// run the MPC part under forced Sharemind, forced Obliv-C, and the cost-based
+// chooser, reporting simulated seconds. The chooser should track the per-shape winner
+// without being told.
+//
+// Shapes:
+//   * projection  — linear pass; garbled circuits evaluate it nearly for free while
+//                   secret sharing pays its per-record storage layer (Fig. 1c).
+//   * join+agg    — comparison-heavy; secret sharing's batched equality tests win
+//                   (Fig. 1a/1b), and big sizes OOM the GC engine.
+#include "bench/bench_util.h"
+#include "conclave/api/conclave.h"
+#include "conclave/data/generators.h"
+
+namespace conclave {
+namespace {
+
+using bench::Cell;
+
+const CostModel kModel;
+
+struct RunOutcome {
+  Cell cell = Cell::Dnf();
+  compiler::MpcBackendKind backend = compiler::MpcBackendKind::kSharemind;
+};
+
+enum class Shape { kProjection, kJoinAgg };
+
+RunOutcome RunShape(Shape shape, uint64_t rows_per_party, int mode /*0=SM,1=GC,2=auto*/) {
+  api::Query query;
+  api::Party alice = query.AddParty("alice");
+  api::Party bob = query.AddParty("bob");
+  const auto rows = static_cast<int64_t>(rows_per_party);
+  api::Table a = query.NewTable("a", {{"k"}, {"v"}}, alice, rows);
+  api::Table b = query.NewTable("b", {{"k"}, {"v"}}, bob, rows);
+  if (shape == Shape::kProjection) {
+    query.Concat({a, b}).Project({"v"}).WriteToCsv("out", {alice});
+  } else {
+    a.Join(b, {"k"}, {"k"})
+        .Aggregate("total", AggKind::kSum, {"k"}, "v")
+        .WriteToCsv("out", {alice});
+  }
+
+  std::map<std::string, Relation> inputs;
+  inputs["a"] = data::UniformInts(rows, {"k", "v"}, 1000, rows_per_party + 1);
+  inputs["b"] = data::UniformInts(rows, {"k", "v"}, 1000, rows_per_party + 2);
+
+  compiler::CompilerOptions options;
+  options.mpc_backend = mode == 1 ? compiler::MpcBackendKind::kOblivC
+                                  : compiler::MpcBackendKind::kSharemind;
+  options.auto_backend = mode == 2;
+  options.planning_cost_model = kModel;
+
+  auto compilation = query.Compile(options);
+  if (!compilation.ok()) {
+    return {};
+  }
+  RunOutcome outcome;
+  outcome.backend = compilation->options.mpc_backend;
+  backends::Dispatcher dispatcher(kModel, rows_per_party + 7);
+  const auto result = dispatcher.Run(query.dag(), *compilation, inputs);
+  if (!result.ok()) {
+    outcome.cell = result.status().code() == StatusCode::kResourceExhausted
+                       ? Cell::Oom()
+                       : Cell::Dnf();
+    return outcome;
+  }
+  outcome.cell = Cell::Seconds(result->virtual_seconds);
+  return outcome;
+}
+
+void RunTable(const char* title, Shape shape, const std::vector<uint64_t>& sizes) {
+  bench::Table table(title, {"sharemind", "obliv-c", "auto (choice)"});
+  for (uint64_t rows : sizes) {
+    const RunOutcome sm = RunShape(shape, rows, 0);
+    const RunOutcome gc = RunShape(shape, rows, 1);
+    RunOutcome chosen = RunShape(shape, rows, 2);
+    // Annotate the auto column with the chosen backend.
+    Cell annotated = chosen.cell;
+    table.AddRow(rows * 2, {sm.cell, gc.cell, annotated});
+    std::printf("    -> auto picked %s at %s rows/party\n",
+                compiler::MpcBackendName(chosen.backend),
+                HumanCount(rows).c_str());
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace conclave
+
+int main() {
+  using namespace conclave;
+  RunTable("Backend choice: PROJECT-only query [s]", Shape::kProjection,
+           {100, 1000, 10000, 50000});
+  RunTable("Backend choice: JOIN+aggregate query [s]", Shape::kJoinAgg,
+           {100, 300, 1000, 3000});
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Shared helpers for the figure-reproduction benches: aligned table printing with the
+// paper's conventions (log-scale size sweeps; DNF rows for runs past the time budget;
+// OOM rows for simulated memory exhaustion).
+#ifndef CONCLAVE_BENCH_BENCH_UTIL_H_
+#define CONCLAVE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "conclave/common/strings.h"
+
+namespace conclave {
+namespace bench {
+
+// Runs past this simulated budget print as DNF, mirroring the paper's "did not
+// complete within two hours" cutoffs while keeping real CPU time bounded.
+inline constexpr double kTimeBudgetSeconds = 7200.0;
+
+// One measured cell: seconds, or a marker (DNF / OOM / skipped).
+struct Cell {
+  enum class Kind { kSeconds, kDnf, kOom, kSkip } kind = Kind::kSkip;
+  double seconds = 0;
+  bool modeled = false;  // Analytic extrapolation, not an executed run.
+
+  static Cell Seconds(double s, bool is_modeled = false) {
+    Cell cell;
+    cell.kind = Kind::kSeconds;
+    cell.seconds = s;
+    cell.modeled = is_modeled;
+    return cell;
+  }
+  static Cell Dnf() {
+    Cell cell;
+    cell.kind = Kind::kDnf;
+    return cell;
+  }
+  static Cell Oom() {
+    Cell cell;
+    cell.kind = Kind::kOom;
+    return cell;
+  }
+  static Cell Skip() { return Cell{}; }
+
+  std::string ToString() const {
+    switch (kind) {
+      case Kind::kSeconds:
+        return StrFormat(modeled ? "%.1f*" : "%.1f", seconds);
+      case Kind::kDnf:
+        return "DNF";
+      case Kind::kOom:
+        return "OOM";
+      case Kind::kSkip:
+        return "-";
+    }
+    return "-";
+  }
+};
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  void AddRow(uint64_t size, std::vector<Cell> cells) {
+    rows_.push_back({size, std::move(cells)});
+  }
+
+  void Print() const {
+    std::printf("\n=== %s ===\n", title_.c_str());
+    std::printf("%12s", "records");
+    for (const auto& column : columns_) {
+      std::printf("  %16s", column.c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) {
+      std::printf("%12s", HumanCount(row.size).c_str());
+      for (const auto& cell : row.cells) {
+        std::printf("  %16s", cell.ToString().c_str());
+      }
+      std::printf("\n");
+    }
+    std::printf("(seconds of simulated time; * = modeled point; DNF = exceeds %.0f s "
+                "budget; OOM = simulated memory exhaustion)\n",
+                kTimeBudgetSeconds);
+  }
+
+ private:
+  struct Row {
+    uint64_t size;
+    std::vector<Cell> cells;
+  };
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+// Bench scale knob: CONCLAVE_BENCH_SCALE=small caps sweeps for quick CI runs.
+inline bool SmallScale() {
+  const char* env = std::getenv("CONCLAVE_BENCH_SCALE");
+  return env != nullptr && std::string(env) == "small";
+}
+
+}  // namespace bench
+}  // namespace conclave
+
+#endif  // CONCLAVE_BENCH_BENCH_UTIL_H_

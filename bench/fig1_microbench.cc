@@ -1,0 +1,203 @@
+// Figure 1: single-operator scaling of existing frameworks (§2.3).
+//
+// Three panels — aggregation (SUM), join, projection — each sweeping total input
+// records on a log axis across three engines: insecure Spark, secret-sharing MPC
+// (Sharemind stand-in, 3 parties), and garbled circuits (Obliv-C stand-in, 2 parties).
+// Expected shape (the paper's motivation): Spark stays flat in seconds to tens of
+// millions of rows; Sharemind's storage layer makes even projections minutes past a
+// few million rows; Obliv-C joins OOM at ~30k records and projections at ~300k.
+//
+// Points whose *estimated* simulated time exceeds the budget are printed as DNF
+// without executing (keeping real CPU bounded); memory exhaustion prints OOM.
+#include "bench/bench_util.h"
+#include "conclave/data/generators.h"
+#include "conclave/mpc/garbled/gc_engine.h"
+#include "conclave/mpc/protocols.h"
+
+namespace conclave {
+namespace {
+
+using bench::Cell;
+using bench::kTimeBudgetSeconds;
+
+const CostModel kModel;
+
+// --- quick analytic estimates (same formulas the engines charge) ---------------------
+
+double EstimateSharemindAgg(uint64_t n) {
+  const double sort = static_cast<double>(gc::BatcherCompareExchanges(n)) *
+                      kModel.ss_compare_seconds;
+  return static_cast<double>(n) * kModel.ss_record_io_seconds + sort;
+}
+
+double EstimateSharemindJoin(uint64_t n) {
+  const uint64_t half = n / 2;
+  return static_cast<double>(half) * static_cast<double>(half) *
+             kModel.ss_equality_seconds +
+         static_cast<double>(n) * kModel.ss_record_io_seconds;
+}
+
+double EstimateSharemindProject(uint64_t n) {
+  return static_cast<double>(n) * kModel.ss_record_io_seconds;
+}
+
+double EstimateGc(uint64_t and_gates) {
+  return static_cast<double>(and_gates) * kModel.gc_seconds_per_and_gate;
+}
+
+// --- executed runs --------------------------------------------------------------------
+
+Cell RunSharemind(uint64_t n, int panel) {
+  const double estimate = panel == 0   ? EstimateSharemindAgg(n)
+                          : panel == 1 ? EstimateSharemindJoin(n)
+                                       : EstimateSharemindProject(n);
+  if (estimate > kTimeBudgetSeconds) {
+    return Cell::Dnf();
+  }
+  SimNetwork net(kModel);
+  SecretShareEngine engine(&net, n + 1);
+  if (panel == 0) {  // Aggregation (SUM): sqrt(n) groups.
+    Relation rel = data::UniformInts(static_cast<int64_t>(n), {"g", "v"},
+                                     std::max<int64_t>(2, static_cast<int64_t>(n) / 10),
+                                     7);
+    auto shared = mpc::InputRelation(engine, rel);
+    if (!shared.ok()) {
+      return Cell::Oom();
+    }
+    const int group[] = {0};
+    auto result = mpc::Aggregate(engine, *shared, group, AggKind::kSum, 1, "s");
+    if (!result.ok()) {
+      return Cell::Oom();
+    }
+  } else if (panel == 1) {  // Join: two tables of n/2 rows.
+    Relation left = data::UniformInts(static_cast<int64_t>(n / 2), {"k", "x"},
+                                      std::max<int64_t>(2, static_cast<int64_t>(n)),
+                                      8);
+    Relation right = data::UniformInts(static_cast<int64_t>(n / 2), {"k", "y"},
+                                       std::max<int64_t>(2, static_cast<int64_t>(n)),
+                                       9);
+    auto ls = mpc::InputRelation(engine, left);
+    auto rs = mpc::InputRelation(engine, right);
+    if (!ls.ok() || !rs.ok()) {
+      return Cell::Oom();
+    }
+    const int keys[] = {0};
+    auto result = mpc::Join(engine, *ls, *rs, keys, keys);
+    if (!result.ok()) {
+      return Cell::Oom();
+    }
+  } else {  // Projection.
+    Relation rel = data::UniformInts(static_cast<int64_t>(n), {"a", "b"}, 1000, 10);
+    auto shared = mpc::InputRelation(engine, rel);
+    if (!shared.ok()) {
+      return Cell::Oom();
+    }
+    const int cols[] = {0};
+    mpc::Project(*shared, cols);
+  }
+  return Cell::Seconds(net.ElapsedSeconds());
+}
+
+Cell RunGc(uint64_t n, int panel) {
+  // Pre-flight memory + time estimates via the same formulas GcEngine charges.
+  if (panel == 0) {
+    const gc::GcOpCost cost = gc::AggregateCost(kModel, n, 2, 1, false);
+    if (cost.live_state_bytes > kModel.gc_memory_limit_bytes) {
+      return Cell::Oom();
+    }
+    if (EstimateGc(cost.and_gates) > kTimeBudgetSeconds) {
+      return Cell::Dnf();
+    }
+  } else if (panel == 1) {
+    const gc::GcOpCost cost = gc::JoinCost(kModel, n / 2, n / 2, 2, 2, 1);
+    if (cost.live_state_bytes > kModel.gc_memory_limit_bytes) {
+      return Cell::Oom();
+    }
+    if (EstimateGc(cost.and_gates) > kTimeBudgetSeconds) {
+      return Cell::Dnf();
+    }
+  } else {
+    if (gc::LiveBytesForCells(kModel, n, 1) * 2 > kModel.gc_memory_limit_bytes) {
+      return Cell::Oom();
+    }
+  }
+
+  SimNetwork net(kModel);
+  gc::GcEngine engine(&net);
+  if (panel == 0) {
+    Relation rel = data::UniformInts(static_cast<int64_t>(n), {"g", "v"},
+                                     std::max<int64_t>(2, static_cast<int64_t>(n) / 10),
+                                     11);
+    if (!engine.ChargeInput(rel).ok()) {
+      return Cell::Oom();
+    }
+    const int group[] = {0};
+    if (!engine.Aggregate(rel, group, AggKind::kSum, 1, "s").ok()) {
+      return Cell::Oom();
+    }
+  } else if (panel == 1) {
+    Relation left = data::UniformInts(static_cast<int64_t>(n / 2), {"k", "x"},
+                                      std::max<int64_t>(2, static_cast<int64_t>(n)),
+                                      12);
+    Relation right = data::UniformInts(static_cast<int64_t>(n / 2), {"k", "y"},
+                                       std::max<int64_t>(2, static_cast<int64_t>(n)),
+                                       13);
+    if (!engine.ChargeInput(left).ok() || !engine.ChargeInput(right).ok()) {
+      return Cell::Oom();
+    }
+    const int keys[] = {0};
+    if (!engine.Join(left, right, keys, keys).ok()) {
+      return Cell::Oom();
+    }
+  } else {
+    Relation rel = data::UniformInts(static_cast<int64_t>(n), {"a", "b"}, 1000, 14);
+    if (!engine.ChargeInput(rel).ok()) {
+      return Cell::Oom();
+    }
+    const int cols[] = {0};
+    if (!engine.Project(rel, cols).ok()) {
+      return Cell::Oom();
+    }
+  }
+  return Cell::Seconds(net.ElapsedSeconds());
+}
+
+Cell RunSpark(uint64_t n) {
+  // Insecure single Spark job over the combined data (9 workers = 3 parties' VMs).
+  return Cell::Seconds(kModel.SparkSeconds(n, 9));
+}
+
+void RunPanel(const char* title, int panel, const std::vector<uint64_t>& sizes) {
+  bench::Table table(title, {"spark(insec)", "sharemind", "obliv-c"});
+  bool sm_done = false;
+  bool gc_done = false;
+  for (uint64_t n : sizes) {
+    Cell sm = sm_done ? Cell::Dnf() : RunSharemind(n, panel);
+    Cell gc_cell = gc_done ? Cell::Dnf() : RunGc(n, panel);
+    if (sm.kind == Cell::Kind::kDnf) {
+      sm_done = true;
+    }
+    if (gc_cell.kind == Cell::Kind::kDnf) {
+      gc_done = true;
+    }
+    table.AddRow(n, {RunSpark(n), sm, gc_cell});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace conclave
+
+int main() {
+  using conclave::bench::SmallScale;
+  std::vector<uint64_t> sizes{10,      100,     1000,     3000,    10000,
+                              30000,   100000,  300000,   1000000, 3000000,
+                              10000000};
+  if (SmallScale()) {
+    sizes = {10, 1000, 30000, 300000};
+  }
+  conclave::RunPanel("Figure 1a: Aggregation (SUM) runtime [s]", 0, sizes);
+  conclave::RunPanel("Figure 1b: JOIN runtime [s]", 1, sizes);
+  conclave::RunPanel("Figure 1c: PROJECT runtime [s]", 2, sizes);
+  return 0;
+}

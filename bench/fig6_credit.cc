@@ -1,0 +1,102 @@
+// Figure 6: the credit-card regulation query end to end (§7.3).
+//
+// Two series over total input records (half demographics at the regulator, half
+// credit scores split across two banks):
+//  * "sharemind-only" — no trust annotations, no rewrites: the join-first query runs
+//    entirely under MPC (the push-down cannot help because the first operator is a
+//    join), so the O(n^2) oblivious join dominates;
+//  * "conclave" — ssn annotated trust={regulator}: the compiler inserts a hybrid join
+//    and hybrid aggregations with the regulator as STP.
+//
+// Expected shape: sharemind-only explodes quadratically (the paper: unusable past 3k,
+// DNF at 30k under a 2 h budget); Conclave scales to 300k in tens of minutes.
+#include "bench/bench_util.h"
+#include "conclave/api/conclave.h"
+#include "conclave/data/generators.h"
+
+namespace conclave {
+namespace {
+
+using bench::Cell;
+using bench::kTimeBudgetSeconds;
+
+const CostModel kModel;
+
+void BuildQuery(api::Query& query, bool annotate, uint64_t rows_hint) {
+  auto regulator = query.AddParty("regulator");
+  auto bank1 = query.AddParty("bank1");
+  auto bank2 = query.AddParty("bank2");
+  std::vector<api::ColumnSpec> bank_cols =
+      annotate ? std::vector<api::ColumnSpec>{{"ssn", {regulator}}, {"score"}}
+               : std::vector<api::ColumnSpec>{{"ssn"}, {"score"}};
+  auto demo = query.NewTable("demographics", {{"ssn"}, {"zip"}}, regulator,
+                             static_cast<int64_t>(rows_hint / 2));
+  auto s1 = query.NewTable("scores1", bank_cols, bank1,
+                           static_cast<int64_t>(rows_hint / 4));
+  auto s2 = query.NewTable("scores2", bank_cols, bank2,
+                           static_cast<int64_t>(rows_hint / 4));
+  auto joined = demo.Join(query.Concat({s1, s2}), {"ssn"}, {"ssn"});
+  auto by_zip = joined.Count("count", {"zip"});
+  auto total = joined.Aggregate("total", AggKind::kSum, {"zip"}, "score");
+  total.Join(by_zip, {"zip"}, {"zip"})
+      .Divide("avg_score", "total", "count")
+      .WriteToCsv("avg_scores", {regulator});
+}
+
+std::map<std::string, Relation> MakeInputs(uint64_t total) {
+  std::map<std::string, Relation> inputs;
+  const int64_t demo_rows = static_cast<int64_t>(total / 2);
+  const int64_t bank_rows = static_cast<int64_t>(total / 4);
+  const int64_t ssn_space = std::max<int64_t>(4, static_cast<int64_t>(total) * 2);
+  inputs["demographics"] = data::Demographics(demo_rows, ssn_space, 100, 31);
+  inputs["scores1"] = data::CreditScores(bank_rows, ssn_space, 32);
+  inputs["scores2"] = data::CreditScores(bank_rows, ssn_space, 33);
+  return inputs;
+}
+
+// The oblivious join over n/2 x n/2 rows dominates the unannotated run.
+double EstimateSharemindOnly(uint64_t total) {
+  const double half = static_cast<double>(total) / 2;
+  return half * half * kModel.ss_equality_seconds;
+}
+
+Cell Run(uint64_t total, bool annotate) {
+  api::Query query;
+  BuildQuery(query, annotate, total);
+  const auto result = query.Run(MakeInputs(total), compiler::CompilerOptions{},
+                                kModel, total + 7);
+  if (!result.ok()) {
+    return result.status().code() == StatusCode::kResourceExhausted ? Cell::Oom()
+                                                                    : Cell::Dnf();
+  }
+  return Cell::Seconds(result->virtual_seconds);
+}
+
+}  // namespace
+}  // namespace conclave
+
+int main() {
+  using namespace conclave;
+  using bench::Cell;
+
+  std::vector<uint64_t> sizes{10, 100, 1000, 3000, 10000, 30000, 100000, 300000};
+  if (bench::SmallScale()) {
+    sizes = {10, 1000, 30000};
+  }
+
+  bench::Table table("Figure 6: credit card regulation query runtime [s]",
+                     {"sharemind-only", "conclave"});
+  bool sharemind_done = false;
+  for (uint64_t total : sizes) {
+    Cell sharemind = Cell::Dnf();
+    if (!sharemind_done &&
+        EstimateSharemindOnly(total) <= bench::kTimeBudgetSeconds) {
+      sharemind = Run(total, /*annotate=*/false);
+    } else {
+      sharemind_done = true;
+    }
+    table.AddRow(total, {sharemind, Run(total, /*annotate=*/true)});
+  }
+  table.Print();
+  return 0;
+}

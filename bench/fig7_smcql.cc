@@ -1,0 +1,220 @@
+// Figure 7: comparison with SMCQL (§7.4) on its two benchmark queries.
+//
+// Panel (a), aspirin count: SMCQL slices on public patient IDs and runs one small
+// ObliVM MPC per shared-ID slice; Conclave combines the same slicing with its public
+// join and runs only the shared rows through the secret-sharing backend, where sort
+// elimination makes the distinct count a linear scan. 2% patient-ID overlap, as in
+// the paper's HealthLNK-like setup.
+//
+// Panel (b), comorbidity: both systems split the grouped count into local
+// pre-aggregations (distinct keys = 10% of rows); the difference is the MPC backend
+// for the secondary aggregate + order-by + limit — ObliVM for SMCQL, the
+// secret-sharing backend for Conclave.
+//
+// Panel (c), recurrent c.diff: the paper's §7.4 only *discusses* this query ("Conclave
+// does not yet support window aggregates"); this repo's window operator makes it
+// runnable. SMCQL slices on public patient IDs and runs window + self-join per slice
+// under ObliVM; Conclave runs one secret-sharing MPC whose lag window subsumes the
+// self-join.
+#include "bench/bench_util.h"
+#include "conclave/api/conclave.h"
+#include "conclave/data/generators.h"
+#include "conclave/smcql/smcql.h"
+
+namespace conclave {
+namespace {
+
+using bench::Cell;
+using bench::kTimeBudgetSeconds;
+
+const CostModel kModel;
+
+// --- panel (a): aspirin count ---------------------------------------------------------
+
+double EstimateSmcqlAspirin(uint64_t rows_per_party, double per_slice_seconds) {
+  const double slices = 0.02 * static_cast<double>(rows_per_party);
+  return slices * per_slice_seconds +
+         kModel.PythonSeconds(4 * rows_per_party);
+}
+
+void RunAspirin(const std::vector<uint64_t>& per_party_sizes) {
+  bench::Table table(
+      "Figure 7a: aspirin count runtime [s] (total diagnosis records)",
+      {"smcql", "conclave"});
+  smcql::RunConfig config;
+  config.cost_model = kModel;
+  config.per_slice_setup_seconds = 1.0;  // ObliVM circuit + OT bootstrap per slice.
+  bool smcql_done = false;
+  for (uint64_t rows : per_party_sizes) {
+    data::HealthConfig health;
+    health.rows_per_party = static_cast<int64_t>(rows);
+    health.seed = rows + 1;
+    Relation diag0 = data::AspirinDiagnoses(health, 0);
+    Relation med0 = data::AspirinMedications(health, 0);
+    Relation diag1 = data::AspirinDiagnoses(health, 1);
+    Relation med1 = data::AspirinMedications(health, 1);
+
+    Cell smcql_cell = Cell::Dnf();
+    if (!smcql_done &&
+        EstimateSmcqlAspirin(rows, config.per_slice_setup_seconds) <=
+            kTimeBudgetSeconds) {
+      const auto run =
+          smcql::SmcqlAspirinCount(diag0, med0, diag1, med1,
+                                   data::kHeartDiseaseCode, data::kAspirinCode,
+                                   config);
+      smcql_cell = run.ok() ? Cell::Seconds(run->virtual_seconds) : Cell::Oom();
+    } else {
+      smcql_done = true;
+    }
+
+    const auto conclave_run =
+        smcql::ConclaveAspirinCount(diag0, med0, diag1, med1,
+                                    data::kHeartDiseaseCode, data::kAspirinCode,
+                                    config);
+    Cell conclave_cell =
+        conclave_run.ok() ? Cell::Seconds(conclave_run->virtual_seconds) : Cell::Oom();
+    table.AddRow(rows * 2, {smcql_cell, conclave_cell});
+  }
+  table.Print();
+}
+
+// --- panel (b): comorbidity -------------------------------------------------------------
+
+double EstimateSmcqlComorbidity(uint64_t total_rows) {
+  const uint64_t partials =
+      std::max<uint64_t>(2, static_cast<uint64_t>(0.1 * total_rows));
+  const gc::GcOpCost agg = gc::AggregateCost(kModel, partials, 2, 1, false);
+  const gc::GcOpCost sort = gc::SortCost(kModel, partials / 2, 2, 1);
+  return static_cast<double>(agg.and_gates + sort.and_gates) *
+         kModel.gc_seconds_per_and_gate * kModel.oblivm_slowdown;
+}
+
+Cell RunConclaveComorbidity(uint64_t total_rows) {
+  api::Query query;
+  auto h0 = query.AddParty("hospital0");
+  auto h1 = query.AddParty("hospital1");
+  auto d0 = query.NewTable("diag0", {{"pid"}, {"diag"}}, h0);
+  auto d1 = query.NewTable("diag1", {{"pid"}, {"diag"}}, h1);
+  query.Concat({d0, d1})
+      .Count("cnt", {"diag"})
+      .SortBy({"cnt"}, /*ascending=*/false)
+      .Limit(10)
+      .WriteToCsv("top", {h0, h1});
+
+  data::HealthConfig config;
+  config.rows_per_party = static_cast<int64_t>(total_rows / 2);
+  config.distinct_key_fraction = 0.1;
+  config.seed = total_rows;
+  std::map<std::string, Relation> inputs;
+  inputs["diag0"] = data::ComorbidityDiagnoses(config, 0);
+  inputs["diag1"] = data::ComorbidityDiagnoses(config, 1);
+  const auto result =
+      query.Run(inputs, compiler::CompilerOptions{}, kModel, total_rows + 9);
+  if (!result.ok()) {
+    return result.status().code() == StatusCode::kResourceExhausted ? Cell::Oom()
+                                                                    : Cell::Dnf();
+  }
+  return Cell::Seconds(result->virtual_seconds);
+}
+
+// Conclave's secondary aggregation sorts ~0.2*n partial rows obliviously.
+double EstimateConclaveComorbidity(uint64_t total_rows) {
+  const uint64_t partials =
+      std::max<uint64_t>(2, static_cast<uint64_t>(0.2 * total_rows));
+  return static_cast<double>(gc::BatcherCompareExchanges(partials)) *
+         kModel.ss_compare_seconds * 2;  // Aggregation sort + order-by sort.
+}
+
+void RunComorbidity(const std::vector<uint64_t>& total_sizes) {
+  bench::Table table("Figure 7b: comorbidity runtime [s] (total input records)",
+                     {"smcql", "conclave"});
+  smcql::RunConfig config;
+  config.cost_model = kModel;
+  for (uint64_t total : total_sizes) {
+    Cell smcql_cell = Cell::Dnf();
+    if (EstimateSmcqlComorbidity(total) <= kTimeBudgetSeconds) {
+      data::HealthConfig health;
+      health.rows_per_party = static_cast<int64_t>(total / 2);
+      health.distinct_key_fraction = 0.1;
+      health.seed = total + 3;
+      const auto run = smcql::SmcqlComorbidity(
+          data::ComorbidityDiagnoses(health, 0), data::ComorbidityDiagnoses(health, 1),
+          10, config);
+      smcql_cell = run.ok() ? Cell::Seconds(run->virtual_seconds) : Cell::Oom();
+    }
+    Cell conclave_cell = EstimateConclaveComorbidity(total) <= kTimeBudgetSeconds
+                             ? RunConclaveComorbidity(total)
+                             : Cell::Dnf();
+    table.AddRow(total, {smcql_cell, conclave_cell});
+  }
+  table.Print();
+}
+
+// --- panel (c): recurrent c.diff --------------------------------------------------------
+
+// Each shared patient costs a slice setup plus a small windowed self-join; events per
+// patient are constant, so the per-slice MPC is tiny and setup dominates.
+double EstimateSmcqlCdiff(uint64_t rows_per_party, double per_slice_seconds) {
+  const double patients = static_cast<double>(rows_per_party) / 2;
+  const double slices = 0.1 * patients;  // 10% patient overlap in this panel.
+  return slices * per_slice_seconds + kModel.PythonSeconds(2 * rows_per_party);
+}
+
+void RunRecurrentCdiff(const std::vector<uint64_t>& per_party_sizes) {
+  bench::Table table(
+      "Figure 7c (extension): recurrent c.diff runtime [s] (total event records)",
+      {"smcql", "conclave"});
+  smcql::RunConfig config;
+  config.cost_model = kModel;
+  config.per_slice_setup_seconds = 1.0;
+  bool smcql_done = false;
+  for (uint64_t rows : per_party_sizes) {
+    data::HealthConfig health;
+    health.rows_per_party = static_cast<int64_t>(rows);
+    health.overlap_fraction = 0.1;
+    health.seed = rows + 17;
+    Relation diag0 = data::CdiffDiagnoses(health, 0);
+    Relation diag1 = data::CdiffDiagnoses(health, 1);
+
+    Cell smcql_cell = Cell::Dnf();
+    if (!smcql_done &&
+        EstimateSmcqlCdiff(rows, config.per_slice_setup_seconds) <=
+            kTimeBudgetSeconds) {
+      const auto run = smcql::SmcqlRecurrentCdiff(diag0, diag1, config);
+      smcql_cell = run.ok() ? Cell::Seconds(run->virtual_seconds) : Cell::Oom();
+    } else {
+      smcql_done = true;
+    }
+
+    const auto conclave_run = smcql::ConclaveRecurrentCdiff(diag0, diag1, config);
+    Cell conclave_cell =
+        conclave_run.ok() ? Cell::Seconds(conclave_run->virtual_seconds) : Cell::Oom();
+    table.AddRow(rows * 2, {smcql_cell, conclave_cell});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace conclave
+
+int main() {
+  using namespace conclave;
+  std::vector<uint64_t> aspirin_per_party{10,    100,   1000,   4000,
+                                          20000, 40000, 200000, 2000000};
+  std::vector<uint64_t> comorbidity_total{10,    100,   1000,   10000,
+                                          20000, 40000, 100000, 200000};
+  std::vector<uint64_t> cdiff_per_party{10, 100, 1000, 4000, 20000, 100000};
+  if (bench::SmallScale()) {
+    aspirin_per_party = {10, 1000, 20000};
+    comorbidity_total = {10, 1000, 20000};
+    cdiff_per_party = {10, 1000, 20000};
+  }
+  RunAspirin(aspirin_per_party);
+  RunComorbidity(comorbidity_total);
+  RunRecurrentCdiff(cdiff_per_party);
+  std::printf(
+      "\nRecurrent c.diff has no figure in the paper (its prototype lacked window "
+      "aggregates, \xc2\xa7""7.4); panel (c) above reproduces the *expected* trend the "
+      "paper states: Conclave's advantage matches or exceeds the aspirin-count gap.\n");
+  return 0;
+}

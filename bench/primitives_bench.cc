@@ -1,0 +1,137 @@
+// google-benchmark microbenchmarks of the substrate primitives' *real* wall-clock
+// cost (the simulator's own overhead), complementing the virtual-time figure benches:
+// sharing, Beaver multiplication, comparisons, oblivious shuffle/sort, the gate-level
+// garbled-circuit builders, and the cleartext operator library.
+#include <benchmark/benchmark.h>
+
+#include "conclave/data/generators.h"
+#include "conclave/mpc/garbled/circuit.h"
+#include "conclave/mpc/oblivious.h"
+#include "conclave/mpc/protocols.h"
+
+namespace conclave {
+namespace {
+
+std::vector<int64_t> RandomValues(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> values(static_cast<size_t>(n));
+  for (auto& v : values) {
+    v = rng.NextInRange(-1000000, 1000000);
+  }
+  return values;
+}
+
+void BM_ShareColumn(benchmark::State& state) {
+  const auto values = RandomValues(state.range(0), 1);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ShareValues(values, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ShareColumn)->Range(1 << 10, 1 << 18);
+
+void BM_BeaverMul(benchmark::State& state) {
+  SimNetwork net{CostModel{}};
+  SecretShareEngine engine(&net, 3);
+  SharedColumn a = engine.Share(RandomValues(state.range(0), 4));
+  SharedColumn b = engine.Share(RandomValues(state.range(0), 5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Mul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BeaverMul)->Range(1 << 10, 1 << 18);
+
+void BM_Compare(benchmark::State& state) {
+  SimNetwork net{CostModel{}};
+  SecretShareEngine engine(&net, 6);
+  SharedColumn a = engine.Share(RandomValues(state.range(0), 7));
+  SharedColumn b = engine.Share(RandomValues(state.range(0), 8));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Compare(CompareOp::kLt, a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Compare)->Range(1 << 10, 1 << 16);
+
+void BM_ObliviousShuffle(benchmark::State& state) {
+  SimNetwork net{CostModel{}};
+  SecretShareEngine engine(&net, 9);
+  Rng rng(10);
+  SharedRelation rel =
+      ShareRelation(data::UniformInts(state.range(0), {"a", "b"}, 1000, 11), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ObliviousShuffle(engine, rel));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ObliviousShuffle)->Range(1 << 10, 1 << 17);
+
+void BM_ObliviousSort(benchmark::State& state) {
+  SimNetwork net{CostModel{}};
+  SecretShareEngine engine(&net, 12);
+  Rng rng(13);
+  SharedRelation rel =
+      ShareRelation(data::UniformInts(state.range(0), {"k", "v"}, 1000, 14), rng);
+  const int keys[] = {0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ObliviousSort(engine, rel, keys));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ObliviousSort)->Range(1 << 8, 1 << 13);
+
+void BM_GcComparatorCircuit(benchmark::State& state) {
+  for (auto _ : state) {
+    gc::Circuit circuit;
+    auto a = circuit.AddInputWord();
+    auto b = circuit.AddInputWord();
+    circuit.MarkOutput(circuit.LessThanSigned(a, b));
+    auto inputs = gc::Circuit::PackWord(123456);
+    const auto more = gc::Circuit::PackWord(654321);
+    inputs.insert(inputs.end(), more.begin(), more.end());
+    benchmark::DoNotOptimize(circuit.Evaluate(inputs));
+  }
+}
+BENCHMARK(BM_GcComparatorCircuit);
+
+void BM_GcMultiplierCircuit(benchmark::State& state) {
+  for (auto _ : state) {
+    gc::Circuit circuit;
+    auto a = circuit.AddInputWord();
+    auto b = circuit.AddInputWord();
+    circuit.MarkOutputWord(circuit.Mul(a, b));
+    auto inputs = gc::Circuit::PackWord(123456);
+    const auto more = gc::Circuit::PackWord(654321);
+    inputs.insert(inputs.end(), more.begin(), more.end());
+    benchmark::DoNotOptimize(circuit.Evaluate(inputs));
+  }
+}
+BENCHMARK(BM_GcMultiplierCircuit);
+
+void BM_CleartextJoin(benchmark::State& state) {
+  Relation left = data::UniformInts(state.range(0), {"k", "x"}, state.range(0), 15);
+  Relation right = data::UniformInts(state.range(0), {"k", "y"}, state.range(0), 16);
+  const int keys[] = {0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Join(left, right, keys, keys));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CleartextJoin)->Range(1 << 10, 1 << 20);
+
+void BM_CleartextAggregate(benchmark::State& state) {
+  Relation rel = data::UniformInts(state.range(0), {"g", "v"}, 1000, 17);
+  const int group[] = {0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Aggregate(rel, group, AggKind::kSum, 1, "s"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CleartextAggregate)->Range(1 << 10, 1 << 20);
+
+}  // namespace
+}  // namespace conclave
+
+BENCHMARK_MAIN();

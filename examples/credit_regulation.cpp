@@ -1,0 +1,72 @@
+// Credit card regulation (§2.1, Listing 1): a regulator holding SSN->ZIP demographics
+// and two credit agencies holding SSN->score portfolios jointly compute the average
+// credit score per ZIP code.
+//
+//   $ ./examples/credit_regulation [rows]
+//
+// Demonstrates trust annotations (§4.3) and the hybrid protocols they unlock (§5.3):
+// the banks annotate their ssn columns trust={regulator}, so Conclave turns the MPC
+// join into a hybrid join and the aggregations into hybrid aggregations, all with the
+// regulator as the selectively-trusted party.
+#include <cstdio>
+#include <cstdlib>
+
+#include "conclave/api/conclave.h"
+#include "conclave/data/generators.h"
+
+using conclave::AggKind;
+
+int main(int argc, char** argv) {
+  const int64_t rows = argc > 1 ? std::atoll(argv[1]) : 20000;
+
+  conclave::api::Query query;
+  auto regulator = query.AddParty("mpc.ftc.gov");
+  auto bank_a = query.AddParty("mpc.a.com");
+  auto bank_b = query.AddParty("mpc.b.cash");
+
+  // Listing 1, lines 4-11: banks trust the regulator with SSNs, nothing else.
+  auto demographics = query.NewTable("demographics", {{"ssn"}, {"zip"}}, regulator);
+  std::vector<conclave::api::ColumnSpec> bank_schema{{"ssn", {regulator}}, {"score"}};
+  auto scores1 = query.NewTable("scores1", bank_schema, bank_a);
+  auto scores2 = query.NewTable("scores2", bank_schema, bank_b);
+  auto scores = query.Concat({scores1, scores2});
+
+  // Listing 1, lines 13-24.
+  auto joined = demographics.Join(scores, {"ssn"}, {"ssn"});
+  auto by_zip = joined.Count("count", {"zip"});
+  auto total_sc = joined.Aggregate("total", AggKind::kSum, {"zip"}, "score");
+  total_sc.Join(by_zip, {"zip"}, {"zip"})
+      .Divide("avg_score", "total", "count")
+      .WriteToCsv("avg_scores", {regulator});
+
+  auto compilation = query.Compile({});
+  if (!compilation.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 compilation.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== transformations ===\n");
+  for (const auto& line : compilation->transformations) {
+    std::printf("  %s\n", line.c_str());
+  }
+  std::printf("\n=== generated code ===\n%s\n", compilation->generated_code.c_str());
+
+  std::map<std::string, conclave::Relation> inputs;
+  const int64_t ssn_space = rows * 4;
+  inputs["demographics"] = conclave::data::Demographics(rows, ssn_space, 100, 1);
+  inputs["scores1"] = conclave::data::CreditScores(rows / 2, ssn_space, 2);
+  inputs["scores2"] = conclave::data::CreditScores(rows / 2, ssn_space, 3);
+
+  conclave::backends::Dispatcher dispatcher(conclave::CostModel{}, 42);
+  auto result = dispatcher.Run(query.dag(), *compilation, inputs);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("average score by ZIP (first rows):\n%s\n",
+              result->outputs.at("avg_scores").ToString(10).c_str());
+  std::printf("simulated runtime %.2f s  (local %.2f s | mpc %.2f s | hybrid %.2f s)\n",
+              result->virtual_seconds, result->local_seconds, result->mpc_seconds,
+              result->hybrid_seconds);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Recurrent c.diff (SMCQL's third benchmark query, §7.4): two hospitals find the
+// patients whose c.diff infection recurred — a second diagnosis 15 to 56 days after
+// an earlier one — without revealing anyone's medical history.
+//
+//   $ ./examples/recurrent_cdiff [rows_per_party] [--annotate]
+//
+// The paper's prototype could not run this query ("Conclave does not yet support
+// window aggregates"); this implementation adds the window operator, so the query
+// runs end-to-end: filter to c.diff events, lag over each patient's timeline under
+// MPC, qualify recurrence gaps, and reveal only the distinct recurrent patients.
+// With --annotate, both hospitals designate hospital 0 as a selectively-trusted
+// party for the event metadata, and the compiler swaps the oblivious window for the
+// STP-assisted hybrid window (§5.3's technique applied to windows).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "conclave/api/conclave.h"
+#include "conclave/data/generators.h"
+
+using conclave::CompareOp;
+using conclave::WindowFn;
+namespace data = conclave::data;
+
+int main(int argc, char** argv) {
+  int64_t rows = 10000;
+  bool annotate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--annotate") == 0) {
+      annotate = true;
+    } else {
+      rows = std::atoll(argv[i]);
+    }
+  }
+
+  conclave::api::Query query;
+  auto hospital0 = query.AddParty("mpc.chi.org");
+  auto hospital1 = query.AddParty("mpc.nwm.org");
+  std::vector<conclave::api::ColumnSpec> columns;
+  if (annotate) {
+    columns = {{"pid", {hospital0}}, {"time", {hospital0}}, {"diag", {hospital0}}};
+  } else {
+    columns = {{"pid"}, {"time"}, {"diag"}};
+  }
+  auto d0 = query.NewTable("d0", columns, hospital0, 2 * rows);
+  auto d1 = query.NewTable("d1", columns, hospital1, 2 * rows);
+
+  query.Concat({d0, d1})
+      .Filter("diag", CompareOp::kEq, data::kCdiffCode)
+      .Window("prev_t", WindowFn::kLag, {"pid"}, "time", "time")
+      .Subtract("gap", "time", "prev_t")
+      .Filter("prev_t", CompareOp::kGt, 0)
+      .Filter("gap", CompareOp::kGe, data::kRecurrenceGapMinDays)
+      .Filter("gap", CompareOp::kLe, data::kRecurrenceGapMaxDays)
+      .Distinct({"pid"})
+      .WriteToCsv("recurrent_patients", {hospital0, hospital1});
+
+  auto compilation = query.Compile({});
+  if (!compilation.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 compilation.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== transformations (%s) ===\n",
+              annotate ? "hospital 0 as STP" : "no trust annotations");
+  for (const auto& line : compilation->transformations) {
+    std::printf("  %s\n", line.c_str());
+  }
+
+  data::HealthConfig config;
+  config.rows_per_party = rows;
+  config.overlap_fraction = 0.1;  // 10% of patients visit both hospitals.
+  config.seed = 13;
+  std::map<std::string, conclave::Relation> inputs;
+  inputs["d0"] = data::CdiffDiagnoses(config, 0);
+  inputs["d1"] = data::CdiffDiagnoses(config, 1);
+
+  conclave::backends::Dispatcher dispatcher(conclave::CostModel{}, 42);
+  auto result = dispatcher.Run(query.dag(), *compilation, inputs);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const conclave::Relation& out = result->outputs.at("recurrent_patients");
+  std::printf("\n%lld recurrent c.diff patients (first rows):\n%s\n",
+              static_cast<long long>(out.NumRows()), out.ToString(10).c_str());
+  std::printf("simulated runtime %.2f s  (local %.2f s | mpc %.2f s | hybrid %.2f s)\n",
+              result->virtual_seconds, result->local_seconds, result->mpc_seconds,
+              result->hybrid_seconds);
+  return 0;
+}

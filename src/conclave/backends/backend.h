@@ -1,0 +1,53 @@
+// Shared execution-time types for the backends and the dispatcher.
+//
+// During plan execution every DAG node materializes to one of three value kinds,
+// mirroring where the data lives in a real deployment:
+//   * kCleartext — a relation held in the clear by one party (local jobs);
+//   * kShared    — a secret-shared relation inside the Sharemind-style backend;
+//   * kGarbled   — a relation inside the garbled-circuit backend (payload evaluated
+//                  in the ideal model, costs and memory fully accounted; see
+//                  mpc/garbled/gc_engine.h).
+#ifndef CONCLAVE_BACKENDS_BACKEND_H_
+#define CONCLAVE_BACKENDS_BACKEND_H_
+
+#include <map>
+#include <string>
+
+#include "conclave/common/party.h"
+#include "conclave/common/virtual_clock.h"
+#include "conclave/mpc/share.h"
+#include "conclave/relational/relation.h"
+
+namespace conclave {
+namespace backends {
+
+struct MaterializedValue {
+  enum class Kind { kCleartext, kShared, kGarbled };
+
+  Kind kind = Kind::kCleartext;
+  Relation clear;          // kCleartext / kGarbled payload.
+  PartyId location = kNoParty;  // kCleartext: the holding party.
+  SharedRelation shared;   // kShared.
+
+  int64_t NumRows() const {
+    return kind == Kind::kShared ? shared.NumRows() : clear.NumRows();
+  }
+};
+
+struct ExecutionResult {
+  std::map<std::string, Relation> outputs;  // Keyed by Collect name.
+  double virtual_seconds = 0;
+  // Virtual-time breakdown by engine (local cleartext vs. MPC vs. hybrid protocols).
+  double local_seconds = 0;
+  double mpc_seconds = 0;
+  double hybrid_seconds = 0;
+  // Total differential-privacy budget consumed by noisy outputs (sequential
+  // composition across Collects with a DpSpec; 0 for exact queries).
+  double dp_epsilon_spent = 0;
+  CostCounters counters;
+};
+
+}  // namespace backends
+}  // namespace conclave
+
+#endif  // CONCLAVE_BACKENDS_BACKEND_H_

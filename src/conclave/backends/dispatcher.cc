@@ -1,0 +1,288 @@
+#include "conclave/backends/dispatcher.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "conclave/backends/local_backend.h"
+#include "conclave/backends/spark_backend.h"
+#include "conclave/common/logging.h"
+#include "conclave/common/strings.h"
+#include "conclave/mpc/malicious/commitment.h"
+
+namespace conclave {
+namespace backends {
+namespace {
+
+// Per-run execution state, job-time bookkeeping included.
+struct RunState {
+  SimNetwork net;
+  SharemindBackend sharemind;
+  OblivcBackend oblivc;
+  bool use_gc_backend;
+  bool use_spark;
+  bool malicious;
+  int num_parties;
+  uint64_t seed;
+  uint64_t next_nonce = 0;
+
+  std::unordered_map<int, MaterializedValue> values;     // node id -> value
+  std::unordered_map<int, int> node_job;                 // node id -> job id
+  std::unordered_map<int, double> job_duration;          // job id -> seconds
+  std::unordered_set<int> jobs_started;                  // spark startup charged
+
+  RunState(const CostModel& model, uint64_t run_seed, int parties, bool gc,
+           bool spark, bool malicious_mode)
+      : net(model),
+        sharemind(&net, run_seed, parties),
+        oblivc(&net, /*oblivm_mode=*/false),
+        use_gc_backend(gc),
+        use_spark(spark),
+        malicious(malicious_mode),
+        num_parties(parties),
+        seed(run_seed) {}
+
+  double ClockDelta(double before) const { return net.ElapsedSeconds() - before; }
+  // Active-adversary protocols cost a constant factor more (§2.2); applied to the
+  // MPC/hybrid portions of the virtual time.
+  double MpcScale() const {
+    return malicious ? net.model().malicious_overhead_factor : 1.0;
+  }
+};
+
+// Moves a value into the secure domain (inputToMPC), charging ingest on the engine.
+// Under malicious security, every cleartext relation entering the MPC first runs the
+// Appendix-A.5 commit + ZK-consistency phase; a rejected proof aborts the query.
+Status EnsureSecure(RunState& state, MaterializedValue& value) {
+  if (state.malicious && value.kind == MaterializedValue::Kind::kCleartext) {
+    const PartyId owner = value.location == kNoParty ? 0 : value.location;
+    CONCLAVE_RETURN_IF_ERROR(malicious::InputConsistencyPhase(
+        state.net, value.clear, owner, state.num_parties,
+        state.seed ^ (0x9e3779b97f4a7c15ULL + state.next_nonce++)));
+  }
+  if (state.use_gc_backend) {
+    if (value.kind == MaterializedValue::Kind::kGarbled) {
+      return Status::Ok();
+    }
+    CONCLAVE_CHECK(value.kind == MaterializedValue::Kind::kCleartext);
+    CONCLAVE_RETURN_IF_ERROR(state.oblivc.Input(value.clear));
+    value.kind = MaterializedValue::Kind::kGarbled;
+    return Status::Ok();
+  }
+  if (value.kind == MaterializedValue::Kind::kShared) {
+    return Status::Ok();
+  }
+  CONCLAVE_CHECK(value.kind == MaterializedValue::Kind::kCleartext);
+  CONCLAVE_ASSIGN_OR_RETURN(value.shared, state.sharemind.Input(value.clear));
+  value.clear = Relation{};
+  value.kind = MaterializedValue::Kind::kShared;
+  return Status::Ok();
+}
+
+// Moves a value into the clear at `party` (reveal / party-to-party transfer).
+void EnsureCleartextAt(RunState& state, MaterializedValue& value, PartyId party) {
+  switch (value.kind) {
+    case MaterializedValue::Kind::kShared:
+      value.clear = state.sharemind.Reveal(value.shared);
+      value.shared = SharedRelation{};
+      value.kind = MaterializedValue::Kind::kCleartext;
+      value.location = party;
+      break;
+    case MaterializedValue::Kind::kGarbled:
+      // Output labels decode at both parties; transfer of decoded rows is cheap.
+      state.net.CountAggregateBytes(value.clear.ByteSize());
+      state.net.Rounds(1);
+      value.kind = MaterializedValue::Kind::kCleartext;
+      value.location = party;
+      break;
+    case MaterializedValue::Kind::kCleartext:
+      if (value.location != party && value.location != kNoParty) {
+        state.net.Send(value.location, party, value.clear.ByteSize());
+        state.net.Rounds(1);
+        value.location = party;
+      }
+      break;
+  }
+}
+
+// Charges a local node's processing to its job (Spark stage or Python scan).
+void ChargeLocalNode(RunState& state, const ir::OpNode& node, uint64_t records) {
+  const int job = state.node_job.at(node.id);
+  double seconds = 0;
+  if (state.use_spark) {
+    if (state.jobs_started.insert(job).second) {
+      seconds += state.net.model().spark_job_startup_seconds;
+    }
+    seconds += static_cast<double>(records) /
+               (state.net.model().spark_records_per_second_per_worker *
+                state.net.model().spark_workers_per_party);
+  } else {
+    seconds += state.net.model().PythonSeconds(records);
+  }
+  state.job_duration[job] += seconds;
+  state.net.mutable_counters().cleartext_records += records;
+}
+
+}  // namespace
+
+StatusOr<ExecutionResult> Dispatcher::Run(
+    const ir::Dag& dag, const compiler::Compilation& compilation,
+    const std::map<std::string, Relation>& inputs) {
+  const bool use_gc =
+      compilation.options.mpc_backend == compiler::MpcBackendKind::kOblivC;
+  RunState state(model_, seed_, compilation.num_parties, use_gc,
+                 compilation.options.use_spark,
+                 compilation.options.malicious_security);
+
+  for (const compiler::Job& job : compilation.plan.jobs) {
+    for (const ir::OpNode* node : job.nodes) {
+      state.node_job[node->id] = job.id;
+    }
+  }
+
+  ExecutionResult result;
+  for (const ir::OpNode* node : dag.TopoOrder()) {
+    const int job = state.node_job.at(node->id);
+    const double clock_before = state.net.ElapsedSeconds();
+
+    if (node->kind == ir::OpKind::kCreate) {
+      const auto& params = node->Params<ir::CreateParams>();
+      const auto it = inputs.find(params.name);
+      if (it == inputs.end()) {
+        return InvalidArgumentError(
+            StrFormat("no input relation provided for '%s'", params.name.c_str()));
+      }
+      if (!it->second.schema().NamesMatch(node->schema)) {
+        return InvalidArgumentError(StrFormat(
+            "input '%s' schema %s does not match declared schema %s",
+            params.name.c_str(), it->second.schema().ToString().c_str(),
+            node->schema.ToString().c_str()));
+      }
+      MaterializedValue value;
+      value.kind = MaterializedValue::Kind::kCleartext;
+      value.clear = it->second;
+      value.location = params.party;
+      state.values[node->id] = std::move(value);
+      continue;
+    }
+
+    if (node->kind == ir::OpKind::kCollect) {
+      const auto& params = node->Params<ir::CollectParams>();
+      MaterializedValue& input = state.values.at(node->inputs[0]->id);
+      EnsureCleartextAt(state, input, params.recipients.First());
+      // Fan out to the remaining recipients.
+      for (PartyId p : params.recipients.ToVector()) {
+        if (p != input.location) {
+          state.net.Send(input.location, p, input.clear.ByteSize());
+        }
+      }
+      Relation output = input.clear;
+      if (compilation.options.pad_mpc_inputs) {
+        // Recipients drop the sentinel rows that adaptive padding introduced.
+        output = ops::StripSentinelRows(output);
+      }
+      if (params.dp.enabled) {
+        // Recipients perturb locally; each noisy output consumes its epsilon
+        // (sequential composition).
+        Rng noise_rng(state.seed ^ (0xd1b54a32d192ed03ULL + static_cast<uint64_t>(
+                                                                node->id)));
+        CONCLAVE_RETURN_IF_ERROR(
+            dp::PerturbRelation(output, params.dp, noise_rng));
+        result.dp_epsilon_spent += params.dp.epsilon;
+      }
+      result.outputs[params.name] = std::move(output);
+      state.job_duration[job] += state.ClockDelta(clock_before) * state.MpcScale();
+      result.mpc_seconds += state.ClockDelta(clock_before) * state.MpcScale();
+      continue;
+    }
+
+    switch (node->exec_mode) {
+      case ir::ExecMode::kLocal: {
+        std::vector<const Relation*> rels;
+        uint64_t records = 0;
+        for (const ir::OpNode* in : node->inputs) {
+          MaterializedValue& value = state.values.at(in->id);
+          EnsureCleartextAt(state, value, node->exec_party);
+          rels.push_back(&value.clear);
+          records += static_cast<uint64_t>(value.clear.NumRows());
+        }
+        // Reveal/transfer time accrued on the net clock belongs to this job too.
+        state.job_duration[job] += state.ClockDelta(clock_before) * state.MpcScale();
+        result.mpc_seconds += state.ClockDelta(clock_before) * state.MpcScale();
+        CONCLAVE_ASSIGN_OR_RETURN(Relation out, ExecuteLocal(*node, rels));
+        ChargeLocalNode(state, *node, records);
+        MaterializedValue value;
+        value.kind = MaterializedValue::Kind::kCleartext;
+        value.clear = std::move(out);
+        value.location = node->exec_party;
+        state.values[node->id] = std::move(value);
+        break;
+      }
+      case ir::ExecMode::kMpc:
+      case ir::ExecMode::kHybrid: {
+        if (use_gc) {
+          std::vector<const Relation*> rels;
+          for (const ir::OpNode* in : node->inputs) {
+            MaterializedValue& value = state.values.at(in->id);
+            CONCLAVE_RETURN_IF_ERROR(EnsureSecure(state, value));
+            rels.push_back(&value.clear);
+          }
+          CONCLAVE_ASSIGN_OR_RETURN(Relation out, state.oblivc.Execute(*node, rels));
+          MaterializedValue value;
+          value.kind = MaterializedValue::Kind::kGarbled;
+          value.clear = std::move(out);
+          state.values[node->id] = std::move(value);
+        } else {
+          std::vector<const SharedRelation*> rels;
+          for (const ir::OpNode* in : node->inputs) {
+            MaterializedValue& value = state.values.at(in->id);
+            CONCLAVE_RETURN_IF_ERROR(EnsureSecure(state, value));
+            rels.push_back(&value.shared);
+          }
+          CONCLAVE_ASSIGN_OR_RETURN(SharedRelation out,
+                                    state.sharemind.Execute(*node, rels));
+          MaterializedValue value;
+          value.kind = MaterializedValue::Kind::kShared;
+          value.shared = std::move(out);
+          state.values[node->id] = std::move(value);
+        }
+        const double delta = state.ClockDelta(clock_before) * state.MpcScale();
+        state.job_duration[job] += delta;
+        if (node->exec_mode == ir::ExecMode::kHybrid) {
+          result.hybrid_seconds += delta;
+        } else {
+          result.mpc_seconds += delta;
+        }
+        break;
+      }
+    }
+  }
+
+  // Critical-path schedule over the job graph: a job starts when all jobs feeding it
+  // finish; independent per-party local jobs overlap.
+  std::unordered_map<int, double> finish;
+  for (const compiler::Job& job : compilation.plan.jobs) {
+    double start = 0;
+    for (const ir::OpNode* node : job.nodes) {
+      for (const ir::OpNode* in : node->inputs) {
+        const int dep_job = state.node_job.at(in->id);
+        if (dep_job != job.id) {
+          const auto it = finish.find(dep_job);
+          CONCLAVE_CHECK(it != finish.end());  // Jobs are topologically ordered.
+          start = std::max(start, it->second);
+        }
+      }
+    }
+    finish[job.id] = start + state.job_duration[job.id];
+    if (job.kind == compiler::JobKind::kLocal) {
+      result.local_seconds += state.job_duration[job.id];
+    }
+  }
+  for (const auto& [job_id, end] : finish) {
+    result.virtual_seconds = std::max(result.virtual_seconds, end);
+  }
+  result.counters = state.net.counters();
+  return result;
+}
+
+}  // namespace backends
+}  // namespace conclave

@@ -1,0 +1,49 @@
+// The dispatcher executes a compiled plan end-to-end (§4.1's per-party Conclave
+// agents, collapsed into one in-process orchestrator).
+//
+// It walks the rewritten DAG in topological order, materializing every node on the
+// backend its placement demands, and inserts the data movement the paper's generated
+// code performs at frontier crossings: inputToMPC (secret-share / garble a cleartext
+// relation, charging ingest) when a local value flows into an MPC node, and reveal
+// when a shared value flows into a local node or a Collect.
+//
+// Virtual time is job-scheduled: each job gets a duration (cost-model time for local
+// jobs, engine-measured time for MPC/hybrid jobs) and the total is the critical path
+// over the job dependency graph — so three parties' local preprocessing overlaps, as
+// it does in the real deployment, while MPC steps serialize.
+#ifndef CONCLAVE_BACKENDS_DISPATCHER_H_
+#define CONCLAVE_BACKENDS_DISPATCHER_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "conclave/backends/backend.h"
+#include "conclave/backends/oblivc_backend.h"
+#include "conclave/backends/sharemind_backend.h"
+#include "conclave/compiler/compiler.h"
+
+namespace conclave {
+namespace backends {
+
+class Dispatcher {
+ public:
+  Dispatcher(CostModel model, uint64_t seed)
+      : model_(model), seed_(seed) {}
+
+  // Executes the compiled plan. `inputs` maps each Create node's name to the relation
+  // its owning party contributes. The DAG must be the one `compilation` was built
+  // from.
+  StatusOr<ExecutionResult> Run(const ir::Dag& dag,
+                                const compiler::Compilation& compilation,
+                                const std::map<std::string, Relation>& inputs);
+
+ private:
+  CostModel model_;
+  uint64_t seed_;
+};
+
+}  // namespace backends
+}  // namespace conclave
+
+#endif  // CONCLAVE_BACKENDS_DISPATCHER_H_

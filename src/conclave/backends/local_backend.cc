@@ -1,0 +1,138 @@
+#include "conclave/backends/local_backend.h"
+
+#include "conclave/relational/ops.h"
+
+namespace conclave {
+namespace backends {
+namespace {
+
+StatusOr<FilterPredicate> ResolveFilter(const Schema& schema,
+                                        const ir::FilterParams& params) {
+  FilterPredicate predicate;
+  CONCLAVE_ASSIGN_OR_RETURN(predicate.column, schema.IndexOf(params.column));
+  predicate.op = params.op;
+  predicate.rhs_is_column = params.rhs_is_column;
+  if (params.rhs_is_column) {
+    CONCLAVE_ASSIGN_OR_RETURN(predicate.rhs_column, schema.IndexOf(params.rhs_column));
+  } else {
+    predicate.rhs_literal = params.literal;
+  }
+  return predicate;
+}
+
+StatusOr<ArithSpec> ResolveArith(const Schema& schema,
+                                 const ir::ArithmeticParams& params) {
+  ArithSpec spec;
+  spec.kind = params.kind;
+  CONCLAVE_ASSIGN_OR_RETURN(spec.lhs_column, schema.IndexOf(params.lhs_column));
+  spec.rhs_is_column = params.rhs_is_column;
+  if (params.rhs_is_column) {
+    CONCLAVE_ASSIGN_OR_RETURN(spec.rhs_column, schema.IndexOf(params.rhs_column));
+  } else {
+    spec.rhs_literal = params.literal;
+  }
+  spec.result_name = params.output_name;
+  spec.scale = params.scale;
+  return spec;
+}
+
+}  // namespace
+
+StatusOr<Relation> ExecuteLocal(const ir::OpNode& node,
+                                const std::vector<const Relation*>& inputs) {
+  switch (node.kind) {
+    case ir::OpKind::kCreate:
+      return InternalError("create nodes materialize from provided inputs");
+    case ir::OpKind::kConcat: {
+      std::vector<Relation> rels;
+      rels.reserve(inputs.size());
+      for (const Relation* rel : inputs) {
+        rels.push_back(*rel);
+      }
+      Relation merged = ops::Concat(rels);
+      const auto& params = node.Params<ir::ConcatParams>();
+      if (!params.merge_columns.empty()) {
+        CONCLAVE_ASSIGN_OR_RETURN(std::vector<int> columns,
+                                  merged.schema().IndicesOf(params.merge_columns));
+        merged = ops::SortBy(merged, columns);
+      }
+      return merged;
+    }
+    case ir::OpKind::kProject: {
+      CONCLAVE_ASSIGN_OR_RETURN(
+          std::vector<int> columns,
+          inputs[0]->schema().IndicesOf(node.Params<ir::ProjectParams>().columns));
+      return ops::Project(*inputs[0], columns);
+    }
+    case ir::OpKind::kFilter: {
+      CONCLAVE_ASSIGN_OR_RETURN(
+          FilterPredicate predicate,
+          ResolveFilter(inputs[0]->schema(), node.Params<ir::FilterParams>()));
+      return ops::Filter(*inputs[0], predicate);
+    }
+    case ir::OpKind::kJoin: {
+      const auto& params = node.Params<ir::JoinParams>();
+      CONCLAVE_ASSIGN_OR_RETURN(std::vector<int> lk,
+                                inputs[0]->schema().IndicesOf(params.left_keys));
+      CONCLAVE_ASSIGN_OR_RETURN(std::vector<int> rk,
+                                inputs[1]->schema().IndicesOf(params.right_keys));
+      return ops::Join(*inputs[0], *inputs[1], lk, rk);
+    }
+    case ir::OpKind::kAggregate: {
+      const auto& params = node.Params<ir::AggregateParams>();
+      CONCLAVE_ASSIGN_OR_RETURN(std::vector<int> group,
+                                inputs[0]->schema().IndicesOf(params.group_columns));
+      int agg_column = 0;
+      if (params.kind != AggKind::kCount) {
+        CONCLAVE_ASSIGN_OR_RETURN(agg_column,
+                                  inputs[0]->schema().IndexOf(params.agg_column));
+      }
+      return ops::Aggregate(*inputs[0], group, params.kind, agg_column,
+                            params.output_name);
+    }
+    case ir::OpKind::kArithmetic: {
+      CONCLAVE_ASSIGN_OR_RETURN(
+          ArithSpec spec,
+          ResolveArith(inputs[0]->schema(), node.Params<ir::ArithmeticParams>()));
+      return ops::Arithmetic(*inputs[0], spec);
+    }
+    case ir::OpKind::kWindow: {
+      const auto& params = node.Params<ir::WindowParams>();
+      WindowSpec spec;
+      CONCLAVE_ASSIGN_OR_RETURN(spec.partition_columns,
+                                inputs[0]->schema().IndicesOf(params.partition_columns));
+      CONCLAVE_ASSIGN_OR_RETURN(spec.order_column,
+                                inputs[0]->schema().IndexOf(params.order_column));
+      spec.fn = params.fn;
+      if (params.fn != WindowFn::kRowNumber) {
+        CONCLAVE_ASSIGN_OR_RETURN(spec.value_column,
+                                  inputs[0]->schema().IndexOf(params.value_column));
+      }
+      spec.output_name = params.output_name;
+      return ops::Window(*inputs[0], spec);
+    }
+    case ir::OpKind::kSortBy: {
+      const auto& params = node.Params<ir::SortByParams>();
+      CONCLAVE_ASSIGN_OR_RETURN(std::vector<int> columns,
+                                inputs[0]->schema().IndicesOf(params.columns));
+      return ops::SortBy(*inputs[0], columns, params.ascending);
+    }
+    case ir::OpKind::kDistinct: {
+      CONCLAVE_ASSIGN_OR_RETURN(
+          std::vector<int> columns,
+          inputs[0]->schema().IndicesOf(node.Params<ir::DistinctParams>().columns));
+      return ops::Distinct(*inputs[0], columns);
+    }
+    case ir::OpKind::kPad:
+      return ops::PadToPowerOfTwo(*inputs[0],
+                                  node.Params<ir::PadParams>().sentinel_stream);
+    case ir::OpKind::kLimit:
+      return ops::Limit(*inputs[0], node.Params<ir::LimitParams>().count);
+    case ir::OpKind::kCollect:
+      return *inputs[0];
+  }
+  return InternalError("unhandled op kind in local execution");
+}
+
+}  // namespace backends
+}  // namespace conclave

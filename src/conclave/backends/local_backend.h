@@ -1,0 +1,25 @@
+// Cleartext execution of DAG nodes (the sequential-Python agent of §4.1).
+//
+// Pure operator semantics live in relational/ops.h; this backend resolves column
+// names against runtime schemas and dispatches. Cost accounting (Python vs. Spark) is
+// the dispatcher's job, advised by spark_backend.h.
+#ifndef CONCLAVE_BACKENDS_LOCAL_BACKEND_H_
+#define CONCLAVE_BACKENDS_LOCAL_BACKEND_H_
+
+#include <vector>
+
+#include "conclave/common/status.h"
+#include "conclave/ir/op.h"
+#include "conclave/relational/relation.h"
+
+namespace conclave {
+namespace backends {
+
+// Executes one non-Create node on cleartext inputs (one Relation per DAG input).
+StatusOr<Relation> ExecuteLocal(const ir::OpNode& node,
+                                const std::vector<const Relation*>& inputs);
+
+}  // namespace backends
+}  // namespace conclave
+
+#endif  // CONCLAVE_BACKENDS_LOCAL_BACKEND_H_

@@ -1,0 +1,49 @@
+// Sharemind-style secret-sharing MPC backend (§6).
+//
+// Wraps the SecretShareEngine and dispatches DAG nodes to the MPC relational
+// protocols (mpc/protocols.h) and the hybrid protocols (hybrid/*). One backend
+// instance corresponds to one three-server Sharemind deployment; its costs accrue on
+// the SimNetwork it was constructed with.
+#ifndef CONCLAVE_BACKENDS_SHAREMIND_BACKEND_H_
+#define CONCLAVE_BACKENDS_SHAREMIND_BACKEND_H_
+
+#include <vector>
+
+#include "conclave/common/status.h"
+#include "conclave/ir/op.h"
+#include "conclave/mpc/protocols.h"
+
+namespace conclave {
+namespace backends {
+
+class SharemindBackend {
+ public:
+  SharemindBackend(SimNetwork* network, uint64_t seed, int num_parties)
+      : engine_(network, seed), num_parties_(num_parties) {}
+
+  // Secret-shares a party's cleartext relation into the MPC (charging ingest).
+  StatusOr<SharedRelation> Input(const Relation& relation) {
+    return mpc::InputRelation(engine_, relation);
+  }
+
+  // Opens a shared relation (end of the MPC frontier).
+  Relation Reveal(const SharedRelation& relation) {
+    return mpc::RevealRelation(engine_, relation);
+  }
+
+  // Executes one MPC or hybrid node on shared inputs.
+  StatusOr<SharedRelation> Execute(const ir::OpNode& node,
+                                   const std::vector<const SharedRelation*>& inputs);
+
+  SecretShareEngine& engine() { return engine_; }
+  int num_parties() const { return num_parties_; }
+
+ private:
+  SecretShareEngine engine_;
+  int num_parties_;
+};
+
+}  // namespace backends
+}  // namespace conclave
+
+#endif  // CONCLAVE_BACKENDS_SHAREMIND_BACKEND_H_

@@ -1,0 +1,11 @@
+#include "conclave/backends/spark_backend.h"
+
+namespace conclave {
+namespace backends {
+
+double PythonJobSeconds(const CostModel& model, uint64_t records) {
+  return model.PythonSeconds(records);
+}
+
+}  // namespace backends
+}  // namespace conclave

@@ -1,0 +1,47 @@
+// Spark cost simulation (the data-parallel cleartext backend of §4.1/§6).
+//
+// The paper's setup gives each party a three-VM Spark cluster; the insecure baseline
+// of Fig. 4 runs one nine-node cluster over all parties' combined data. This module
+// models job cost — fixed startup plus scan throughput scaled by worker count, with a
+// stage model so multi-operator jobs pay startup once — and is exercised by both the
+// dispatcher (per-party jobs) and the fig4 bench (joint insecure cluster).
+#ifndef CONCLAVE_BACKENDS_SPARK_BACKEND_H_
+#define CONCLAVE_BACKENDS_SPARK_BACKEND_H_
+
+#include <cstdint>
+
+#include "conclave/net/cost_model.h"
+
+namespace conclave {
+namespace backends {
+
+class SparkJobSim {
+ public:
+  SparkJobSim(const CostModel& model, int workers)
+      : model_(model), workers_(workers) {}
+
+  // One operator pass over `records` input rows.
+  void AddStage(uint64_t records) { total_records_ += records; }
+
+  // Startup + processing time for the whole job.
+  double TotalSeconds() const {
+    return model_.spark_job_startup_seconds +
+           static_cast<double>(total_records_) /
+               (model_.spark_records_per_second_per_worker * workers_);
+  }
+
+  uint64_t total_records() const { return total_records_; }
+
+ private:
+  CostModel model_;
+  int workers_;
+  uint64_t total_records_ = 0;
+};
+
+// Sequential-Python equivalent (no startup, interpreter-speed scan).
+double PythonJobSeconds(const CostModel& model, uint64_t records);
+
+}  // namespace backends
+}  // namespace conclave
+
+#endif  // CONCLAVE_BACKENDS_SPARK_BACKEND_H_

@@ -1,0 +1,43 @@
+// Invariant-checking macros. CHECK* abort with a message on violation; they guard
+// programmer errors (broken invariants), not recoverable conditions, which use Status.
+#ifndef CONCLAVE_COMMON_CHECK_H_
+#define CONCLAVE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace conclave {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace conclave
+
+#define CONCLAVE_CHECK(expr)                                       \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::conclave::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                              \
+  } while (0)
+
+#define CONCLAVE_CHECK_OP(a, op, b) CONCLAVE_CHECK((a)op(b))
+#define CONCLAVE_CHECK_EQ(a, b) CONCLAVE_CHECK_OP(a, ==, b)
+#define CONCLAVE_CHECK_NE(a, b) CONCLAVE_CHECK_OP(a, !=, b)
+#define CONCLAVE_CHECK_LT(a, b) CONCLAVE_CHECK_OP(a, <, b)
+#define CONCLAVE_CHECK_LE(a, b) CONCLAVE_CHECK_OP(a, <=, b)
+#define CONCLAVE_CHECK_GT(a, b) CONCLAVE_CHECK_OP(a, >, b)
+#define CONCLAVE_CHECK_GE(a, b) CONCLAVE_CHECK_OP(a, >=, b)
+
+#ifdef NDEBUG
+#define CONCLAVE_DCHECK(expr) \
+  do {                        \
+  } while (0)
+#else
+#define CONCLAVE_DCHECK(expr) CONCLAVE_CHECK(expr)
+#endif
+
+#endif  // CONCLAVE_COMMON_CHECK_H_

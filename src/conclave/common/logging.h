@@ -1,0 +1,25 @@
+// Tiny leveled logger. Usage: CONCLAVE_LOG(kInfo, "compiled %zu ops", n);
+// The global level defaults to kWarning so tests and benches stay quiet; examples turn
+// it up to narrate the compilation pipeline.
+#ifndef CONCLAVE_COMMON_LOGGING_H_
+#define CONCLAVE_COMMON_LOGGING_H_
+
+#include <cstdarg>
+
+namespace conclave {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style; writes to stderr with a level tag when `level >= GetLogLevel()`.
+void LogImpl(LogLevel level, const char* file, int line, const char* format, ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace conclave
+
+#define CONCLAVE_LOG(level, ...) \
+  ::conclave::LogImpl(::conclave::LogLevel::level, __FILE__, __LINE__, __VA_ARGS__)
+
+#endif  // CONCLAVE_COMMON_LOGGING_H_

@@ -1,0 +1,129 @@
+// Party identifiers and small party sets.
+//
+// A Conclave deployment has a fixed, small number of parties (the paper's prototype
+// supports two or three; we allow up to 32). Trust annotations, relation ownership, and
+// MPC frontiers are all expressed as sets of parties, so PartySet is a value type with
+// cheap set algebra, implemented over a 32-bit mask.
+#ifndef CONCLAVE_COMMON_PARTY_H_
+#define CONCLAVE_COMMON_PARTY_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "conclave/common/check.h"
+
+namespace conclave {
+
+// Index of a party in a deployment, 0-based and dense.
+using PartyId = int32_t;
+
+inline constexpr PartyId kNoParty = -1;
+inline constexpr int kMaxParties = 32;
+
+class PartySet {
+ public:
+  PartySet() = default;
+
+  static PartySet Of(std::initializer_list<PartyId> parties) {
+    PartySet set;
+    for (PartyId p : parties) {
+      set.Insert(p);
+    }
+    return set;
+  }
+
+  // {0, 1, ..., count-1}: used for "public" columns, whose trust set is all parties.
+  static PartySet All(int count) {
+    CONCLAVE_CHECK_GE(count, 0);
+    CONCLAVE_CHECK_LE(count, kMaxParties);
+    PartySet set;
+    set.mask_ = count == kMaxParties ? ~0u : ((1u << count) - 1);
+    return set;
+  }
+
+  void Insert(PartyId party) {
+    CONCLAVE_CHECK_GE(party, 0);
+    CONCLAVE_CHECK_LT(party, kMaxParties);
+    mask_ |= 1u << party;
+  }
+
+  void Remove(PartyId party) {
+    CONCLAVE_CHECK_GE(party, 0);
+    CONCLAVE_CHECK_LT(party, kMaxParties);
+    mask_ &= ~(1u << party);
+  }
+
+  bool Contains(PartyId party) const {
+    if (party < 0 || party >= kMaxParties) {
+      return false;
+    }
+    return (mask_ & (1u << party)) != 0;
+  }
+
+  bool ContainsAll(const PartySet& other) const {
+    return (mask_ & other.mask_) == other.mask_;
+  }
+
+  int Size() const { return std::popcount(mask_); }
+  bool Empty() const { return mask_ == 0; }
+
+  PartySet Intersect(const PartySet& other) const {
+    PartySet result;
+    result.mask_ = mask_ & other.mask_;
+    return result;
+  }
+
+  PartySet Union(const PartySet& other) const {
+    PartySet result;
+    result.mask_ = mask_ | other.mask_;
+    return result;
+  }
+
+  // Lowest-numbered member, or kNoParty if empty. Used to pick a deterministic STP
+  // from a trust-set intersection.
+  PartyId First() const {
+    if (mask_ == 0) {
+      return kNoParty;
+    }
+    return static_cast<PartyId>(std::countr_zero(mask_));
+  }
+
+  std::vector<PartyId> ToVector() const {
+    std::vector<PartyId> parties;
+    for (PartyId p = 0; p < kMaxParties; ++p) {
+      if (Contains(p)) {
+        parties.push_back(p);
+      }
+    }
+    return parties;
+  }
+
+  // "{0,2}" — stable, sorted rendering for diagnostics and codegen.
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    for (PartyId p : ToVector()) {
+      if (!first) {
+        out += ",";
+      }
+      out += std::to_string(p);
+      first = false;
+    }
+    out += "}";
+    return out;
+  }
+
+  bool operator==(const PartySet& other) const { return mask_ == other.mask_; }
+  bool operator!=(const PartySet& other) const { return mask_ != other.mask_; }
+
+  uint32_t mask() const { return mask_; }
+
+ private:
+  uint32_t mask_ = 0;
+};
+
+}  // namespace conclave
+
+#endif  // CONCLAVE_COMMON_PARTY_H_

@@ -1,0 +1,93 @@
+// Deterministic, seedable pseudo-random generators.
+//
+// SplitMix64 seeds Xoshiro256**, the workhorse generator for share randomization,
+// oblivious shuffles, and workload synthesis. Determinism matters: every test and bench
+// in this repo is reproducible from its seed.
+#ifndef CONCLAVE_COMMON_RNG_H_
+#define CONCLAVE_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "conclave/common/check.h"
+
+namespace conclave {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    SplitMix64 mixer(seed);
+    for (auto& word : state_) {
+      word = mixer.Next();
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be positive.
+  uint64_t NextBelow(uint64_t bound) {
+    CONCLAVE_CHECK_GT(bound, 0u);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0 - bound) % bound;
+    while (true) {
+      const uint64_t candidate = Next();
+      if (candidate >= threshold) {
+        return candidate % bound;
+      }
+    }
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    CONCLAVE_CHECK_LE(lo, hi);
+    const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    if (span == 0) {  // Full 64-bit range.
+      return static_cast<int64_t>(Next());
+    }
+    return lo + static_cast<int64_t>(NextBelow(span));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  bool NextBool() { return (Next() & 1) != 0; }
+
+  // UniformRandomBitGenerator interface, so Rng plugs into <algorithm> (std::shuffle).
+  using result_type = uint64_t;
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+  uint64_t operator()() { return Next(); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace conclave
+
+#endif  // CONCLAVE_COMMON_RNG_H_

@@ -1,0 +1,123 @@
+// Minimal Status / StatusOr error-handling types (absl-style, exception-free).
+//
+// Status carries an error code and message; StatusOr<T> carries either a value or a
+// non-OK Status. Recoverable failures (bad query plans, simulated out-of-memory in the
+// garbled-circuit engine, malformed CSV input) travel through these types; broken
+// invariants use CONCLAVE_CHECK.
+#ifndef CONCLAVE_COMMON_STATUS_H_
+#define CONCLAVE_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "conclave/common/check.h"
+
+namespace conclave {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kResourceExhausted = 4,  // Simulated OOM (e.g., garbled-circuit state overflow).
+  kUnimplemented = 5,
+  kInternal = 6,
+};
+
+// Human-readable name for a status code ("OK", "RESOURCE_EXHAUSTED", ...).
+const char* StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  // Intentionally implicit so `return value;` and `return SomeError(...);` both work.
+  StatusOr(T value) : value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    CONCLAVE_CHECK(!status_.ok());  // OK status must carry a value.
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CONCLAVE_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    CONCLAVE_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    CONCLAVE_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace conclave
+
+// Propagates a non-OK Status to the caller.
+#define CONCLAVE_RETURN_IF_ERROR(expr)          \
+  do {                                          \
+    ::conclave::Status status_macro_ = (expr);  \
+    if (!status_macro_.ok()) {                  \
+      return status_macro_;                     \
+    }                                           \
+  } while (0)
+
+// Evaluates a StatusOr expression; on success binds the value, else returns the error.
+#define CONCLAVE_ASSIGN_OR_RETURN(lhs, expr)               \
+  CONCLAVE_ASSIGN_OR_RETURN_IMPL_(                         \
+      CONCLAVE_STATUS_MACRO_CONCAT_(statusor_, __LINE__), lhs, expr)
+
+#define CONCLAVE_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, expr) \
+  auto statusor = (expr);                                    \
+  if (!statusor.ok()) {                                      \
+    return statusor.status();                                \
+  }                                                          \
+  lhs = std::move(statusor).value()
+
+#define CONCLAVE_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define CONCLAVE_STATUS_MACRO_CONCAT_(x, y) CONCLAVE_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#endif  // CONCLAVE_COMMON_STATUS_H_

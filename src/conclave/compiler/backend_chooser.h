@@ -1,0 +1,41 @@
+// Cost-based MPC backend selection (§9: "we plan ... to make Conclave choose the most
+// performant MPC protocol for a query").
+//
+// The two backend families have sharply different cost profiles (§2.3, Fig. 1):
+// secret sharing pays per-record storage/ingest but its arithmetic and equality tests
+// are cheap, while garbled circuits evaluate linear passes almost for free (free-XOR)
+// yet pay heavily per comparison-rich gate and hold the whole relation's wire labels
+// in memory. The chooser walks the MPC-resident part of the DAG, prices every
+// operator under both cost models using estimated cardinalities, treats a simulated
+// GC OOM or a >2-party execution as infinite Obliv-C cost, and picks the cheaper
+// backend.
+#ifndef CONCLAVE_COMPILER_BACKEND_CHOOSER_H_
+#define CONCLAVE_COMPILER_BACKEND_CHOOSER_H_
+
+#include <string>
+
+#include "conclave/compiler/cardinality.h"
+#include "conclave/compiler/codegen.h"
+#include "conclave/ir/dag.h"
+#include "conclave/net/cost_model.h"
+
+namespace conclave {
+namespace compiler {
+
+struct BackendChoice {
+  MpcBackendKind chosen = MpcBackendKind::kSharemind;
+  double sharemind_seconds = 0;  // Estimated MPC-clique time under secret sharing.
+  double oblivc_seconds = 0;     // Under garbled circuits; +inf if infeasible.
+  std::string rationale;         // One-line explanation for the rewrite log.
+};
+
+// Prices the DAG's MPC/hybrid-resident operators under both backends. Call after
+// placement (the passes decide what stays under MPC).
+BackendChoice ChooseMpcBackend(const ir::Dag& dag, const CostModel& model,
+                               int num_parties,
+                               const CardinalityOptions& cardinality = {});
+
+}  // namespace compiler
+}  // namespace conclave
+
+#endif  // CONCLAVE_COMPILER_BACKEND_CHOOSER_H_

@@ -1,0 +1,69 @@
+#include "conclave/compiler/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace conclave {
+namespace compiler {
+
+std::unordered_map<int, double> EstimateCardinalities(
+    const ir::Dag& dag, const CardinalityOptions& options) {
+  std::unordered_map<int, double> rows;
+  for (const ir::OpNode* node : dag.TopoOrder()) {
+    const double in0 =
+        node->inputs.empty() ? 0.0 : rows.at(node->inputs[0]->id);
+    double estimate = in0;
+    switch (node->kind) {
+      case ir::OpKind::kCreate: {
+        const auto& params = node->Params<ir::CreateParams>();
+        estimate = params.num_rows_hint > 0
+                       ? static_cast<double>(params.num_rows_hint)
+                       : options.default_rows;
+        break;
+      }
+      case ir::OpKind::kConcat: {
+        estimate = 0;
+        for (const ir::OpNode* input : node->inputs) {
+          estimate += rows.at(input->id);
+        }
+        break;
+      }
+      case ir::OpKind::kFilter:
+        estimate = in0 * options.filter_selectivity;
+        break;
+      case ir::OpKind::kJoin: {
+        const double right = rows.at(node->inputs[1]->id);
+        estimate = std::max(in0, right) * options.join_fanout;
+        break;
+      }
+      case ir::OpKind::kAggregate: {
+        const auto& params = node->Params<ir::AggregateParams>();
+        estimate = params.group_columns.empty()
+                       ? 1.0
+                       : std::max(1.0, in0 * options.distinct_fraction);
+        break;
+      }
+      case ir::OpKind::kDistinct:
+        estimate = std::max(1.0, in0 * options.distinct_fraction);
+        break;
+      case ir::OpKind::kLimit:
+        estimate = std::min(
+            in0, static_cast<double>(node->Params<ir::LimitParams>().count));
+        break;
+      case ir::OpKind::kPad:
+        estimate = in0 <= 1 ? 1.0 : std::exp2(std::ceil(std::log2(in0)));
+        break;
+      case ir::OpKind::kProject:
+      case ir::OpKind::kArithmetic:
+      case ir::OpKind::kWindow:
+      case ir::OpKind::kSortBy:
+      case ir::OpKind::kCollect:
+        break;  // Row-preserving.
+    }
+    rows[node->id] = estimate;
+  }
+  return rows;
+}
+
+}  // namespace compiler
+}  // namespace conclave

@@ -1,0 +1,31 @@
+// Cardinality estimation over the query DAG, feeding the cost-based MPC backend
+// chooser (§9's "choose the most performant MPC protocol for a query").
+//
+// Estimates start from the num_rows_hint on input relations (falling back to
+// `default_rows` when absent) and flow through textbook selectivity rules. They only
+// need to be good enough to rank backends — orders of magnitude, not row counts.
+#ifndef CONCLAVE_COMPILER_CARDINALITY_H_
+#define CONCLAVE_COMPILER_CARDINALITY_H_
+
+#include <unordered_map>
+
+#include "conclave/ir/dag.h"
+
+namespace conclave {
+namespace compiler {
+
+struct CardinalityOptions {
+  double default_rows = 1000;       // Inputs without a num_rows_hint.
+  double filter_selectivity = 0.5;  // Fraction of rows surviving a filter.
+  double join_fanout = 1.0;         // Join output vs. the larger input.
+  double distinct_fraction = 0.1;   // Distinct keys vs. rows (matches §7.4's setup).
+};
+
+// Estimated output rows for every reachable node, keyed by node id.
+std::unordered_map<int, double> EstimateCardinalities(
+    const ir::Dag& dag, const CardinalityOptions& options = {});
+
+}  // namespace compiler
+}  // namespace conclave
+
+#endif  // CONCLAVE_COMPILER_CARDINALITY_H_

@@ -1,0 +1,32 @@
+// Stage 6b (§6): code generation.
+//
+// The paper's prototype emits Python/Spark scripts for cleartext jobs and
+// SecreC/Obliv-C programs for MPC jobs. This repo's backends execute in-process, so
+// the generated artifacts are faithful, human-readable program listings — one per
+// job — in the style of the corresponding backend language. They document exactly
+// what each party runs and are asserted on by tests (e.g., that a pushed-down filter
+// appears in a party-local script, not the MPC program).
+#ifndef CONCLAVE_COMPILER_CODEGEN_H_
+#define CONCLAVE_COMPILER_CODEGEN_H_
+
+#include <string>
+
+#include "conclave/compiler/partition.h"
+#include "conclave/ir/dag.h"
+
+namespace conclave {
+namespace compiler {
+
+// Which MPC framework MPC jobs are generated for.
+enum class MpcBackendKind { kSharemind, kOblivC };
+
+const char* MpcBackendName(MpcBackendKind kind);
+
+// One listing for the entire plan (all jobs, annotated).
+std::string GenerateCode(const ExecutionPlan& plan, MpcBackendKind mpc_backend,
+                         bool use_spark);
+
+}  // namespace compiler
+}  // namespace conclave
+
+#endif  // CONCLAVE_COMPILER_CODEGEN_H_

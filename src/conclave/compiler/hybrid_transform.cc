@@ -1,0 +1,127 @@
+#include "conclave/compiler/hybrid_transform.h"
+
+#include "conclave/common/strings.h"
+
+namespace conclave {
+namespace compiler {
+namespace {
+
+PartySet TrustOfColumns(const Schema& schema, const std::vector<std::string>& names) {
+  PartySet trust = PartySet::All(kMaxParties);
+  for (const auto& name : names) {
+    const auto index = schema.IndexOf(name);
+    CONCLAVE_CHECK(index.ok());
+    trust = trust.Intersect(schema.Column(*index).trust_set);
+  }
+  return trust;
+}
+
+}  // namespace
+
+std::vector<std::string> ApplyHybridTransforms(ir::Dag& dag, int num_parties) {
+  std::vector<std::string> log;
+  const PartySet everyone = PartySet::All(num_parties);
+  PartyId global_stp = kNoParty;  // At most one STP per execution (§3.2).
+
+  for (ir::OpNode* node : dag.TopoOrder()) {
+    if (node->exec_mode != ir::ExecMode::kMpc) {
+      continue;
+    }
+    if (node->kind == ir::OpKind::kJoin) {
+      const auto& params = node->Params<ir::JoinParams>();
+      const PartySet key_trust =
+          TrustOfColumns(node->inputs[0]->schema, params.left_keys)
+              .Intersect(TrustOfColumns(node->inputs[1]->schema, params.right_keys))
+              .Intersect(everyone);
+      if (key_trust.ContainsAll(everyone)) {
+        node->exec_mode = ir::ExecMode::kHybrid;
+        node->hybrid = ir::HybridKind::kPublicJoin;
+        node->stp = key_trust.First();  // Designated joiner.
+        log.push_back(StrFormat(
+            "hybrid: join #%d has public keys; using public join (joiner party %d)",
+            node->id, node->stp));
+        continue;
+      }
+      if (!key_trust.Empty()) {
+        const PartyId candidate =
+            (global_stp != kNoParty && key_trust.Contains(global_stp))
+                ? global_stp
+                : key_trust.First();
+        if (global_stp != kNoParty && candidate != global_stp) {
+          log.push_back(StrFormat(
+              "hybrid: join #%d eligible but its trust set %s excludes the chosen "
+              "STP %d; keeping it under MPC",
+              node->id, key_trust.ToString().c_str(), global_stp));
+          continue;
+        }
+        global_stp = candidate;
+        node->exec_mode = ir::ExecMode::kHybrid;
+        node->hybrid = ir::HybridKind::kHybridJoin;
+        node->stp = candidate;
+        log.push_back(StrFormat("hybrid: join #%d uses hybrid join with STP %d",
+                                 node->id, candidate));
+      }
+    } else if (node->kind == ir::OpKind::kWindow) {
+      // Window functions sort by (partition, order); an STP trusted with those
+      // columns can sort in the clear, exactly as in the hybrid aggregation.
+      const auto& params = node->Params<ir::WindowParams>();
+      std::vector<std::string> keys = params.partition_columns;
+      keys.push_back(params.order_column);
+      const PartySet key_trust =
+          TrustOfColumns(node->inputs[0]->schema, keys).Intersect(everyone);
+      if (key_trust.Empty()) {
+        continue;
+      }
+      const PartyId candidate =
+          (global_stp != kNoParty && key_trust.Contains(global_stp))
+              ? global_stp
+              : key_trust.First();
+      if (global_stp != kNoParty && candidate != global_stp) {
+        log.push_back(StrFormat(
+            "hybrid: window #%d eligible but its trust set %s excludes the chosen "
+            "STP %d; keeping it under MPC",
+            node->id, key_trust.ToString().c_str(), global_stp));
+        continue;
+      }
+      global_stp = candidate;
+      node->exec_mode = ir::ExecMode::kHybrid;
+      node->hybrid = ir::HybridKind::kHybridWindow;
+      node->stp = candidate;
+      log.push_back(StrFormat("hybrid: window #%d uses hybrid window with STP %d",
+                              node->id, candidate));
+    } else if (node->kind == ir::OpKind::kAggregate) {
+      const auto& params = node->Params<ir::AggregateParams>();
+      if (params.group_columns.empty()) {
+        continue;  // Global aggregates are cheap under MPC already.
+      }
+      const PartySet group_trust =
+          TrustOfColumns(node->inputs[0]->schema, params.group_columns)
+              .Intersect(everyone);
+      if (group_trust.Empty()) {
+        continue;
+      }
+      const PartyId candidate =
+          (global_stp != kNoParty && group_trust.Contains(global_stp))
+              ? global_stp
+              : group_trust.First();
+      if (global_stp != kNoParty && candidate != global_stp) {
+        log.push_back(StrFormat(
+            "hybrid: aggregation #%d eligible but its trust set %s excludes the "
+            "chosen STP %d; keeping it under MPC",
+            node->id, group_trust.ToString().c_str(), global_stp));
+        continue;
+      }
+      global_stp = candidate;
+      node->exec_mode = ir::ExecMode::kHybrid;
+      node->hybrid = ir::HybridKind::kHybridAggregate;
+      node->stp = candidate;
+      log.push_back(
+          StrFormat("hybrid: aggregation #%d uses hybrid aggregation with STP %d",
+                    node->id, candidate));
+    }
+  }
+  return log;
+}
+
+}  // namespace compiler
+}  // namespace conclave

@@ -1,0 +1,29 @@
+// Pass 5 (§5.3): replace MPC joins/aggregations with hybrid operators when the
+// propagated trust sets authorize it.
+//
+//  * Join with both key columns' trust sets containing *all* parties -> public join.
+//  * Join with intersecting (non-universal) key trust sets -> hybrid join; the STP is
+//    drawn from the intersection.
+//  * Grouped aggregation whose group-by columns' trust set contains the STP -> hybrid
+//    aggregation.
+//
+// Only a single STP may exist in a Conclave execution (§3.2): the pass picks the
+// lowest-numbered party eligible for the first hybrid candidate and applies hybrid
+// rewrites only to operators whose trust sets include that same party.
+#ifndef CONCLAVE_COMPILER_HYBRID_TRANSFORM_H_
+#define CONCLAVE_COMPILER_HYBRID_TRANSFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "conclave/ir/dag.h"
+
+namespace conclave {
+namespace compiler {
+
+std::vector<std::string> ApplyHybridTransforms(ir::Dag& dag, int num_parties);
+
+}  // namespace compiler
+}  // namespace conclave
+
+#endif  // CONCLAVE_COMPILER_HYBRID_TRANSFORM_H_

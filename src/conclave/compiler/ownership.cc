@@ -1,0 +1,55 @@
+#include "conclave/compiler/ownership.h"
+
+namespace conclave {
+namespace compiler {
+
+void PropagateOwnership(ir::Dag& dag) {
+  for (ir::OpNode* node : dag.TopoOrder()) {
+    switch (node->kind) {
+      case ir::OpKind::kCreate: {
+        const auto& params = node->Params<ir::CreateParams>();
+        node->owner = params.party;
+        node->stored_with = PartySet::Of({params.party});
+        break;
+      }
+      case ir::OpKind::kCollect: {
+        // Collect reveals its input to the recipients; placement-wise it runs at the
+        // recipients (the reveal itself is a boundary the dispatcher handles).
+        node->owner = node->inputs[0]->owner;
+        node->stored_with = node->Params<ir::CollectParams>().recipients;
+        break;
+      }
+      default: {
+        PartySet stored;
+        PartyId owner = node->inputs.empty() ? kNoParty : node->inputs[0]->owner;
+        for (const ir::OpNode* input : node->inputs) {
+          stored = stored.Union(input->stored_with);
+          if (input->owner != owner) {
+            owner = kNoParty;  // Inputs from different parties: no single owner.
+          }
+        }
+        node->owner = owner;
+        node->stored_with = stored;
+        break;
+      }
+    }
+
+    // Initial MPC frontier: owned relations compute locally at their owner;
+    // ownerless relations combine multiple parties' data and need MPC.
+    if (node->kind == ir::OpKind::kCollect) {
+      node->exec_mode = ir::ExecMode::kLocal;
+      node->exec_party = node->Params<ir::CollectParams>().recipients.First();
+    } else if (node->owner != kNoParty) {
+      node->exec_mode = ir::ExecMode::kLocal;
+      node->exec_party = node->owner;
+    } else {
+      node->exec_mode = ir::ExecMode::kMpc;
+      node->exec_party = kNoParty;
+      node->hybrid = ir::HybridKind::kNone;
+      node->stp = kNoParty;
+    }
+  }
+}
+
+}  // namespace compiler
+}  // namespace conclave

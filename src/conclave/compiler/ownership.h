@@ -1,0 +1,23 @@
+// Pass 1 (§5.1): propagate input relation locations through the DAG.
+//
+// A party "owns" a relation if it can derive it locally from its own data. Ownership
+// propagates along edges: unary ops inherit their input's owner; multi-input ops keep
+// a common owner or lose ownership when inputs belong to different parties. Operators
+// whose output has no owner must run under MPC — this pass therefore also sets the
+// initial placement (ExecMode) of every node, which is exactly the paper's "start with
+// a single large MPC, pull owned operators out" frontier: subsequent passes (push-down
+// rewrites, push-up, hybrid transforms) only shrink the MPC region further.
+#ifndef CONCLAVE_COMPILER_OWNERSHIP_H_
+#define CONCLAVE_COMPILER_OWNERSHIP_H_
+
+#include "conclave/ir/dag.h"
+
+namespace conclave {
+namespace compiler {
+
+void PropagateOwnership(ir::Dag& dag);
+
+}  // namespace compiler
+}  // namespace conclave
+
+#endif  // CONCLAVE_COMPILER_OWNERSHIP_H_

@@ -1,0 +1,279 @@
+#include "conclave/compiler/padding.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "conclave/common/strings.h"
+
+namespace conclave {
+namespace compiler {
+namespace {
+
+// Padding pays off exactly where cardinality is data-dependent and sensitive: the
+// inputs to MPC joins, grouped aggregations, and windows.
+bool WantsPaddedInputs(const ir::OpNode& node) {
+  if (node.exec_mode == ir::ExecMode::kLocal) {
+    return false;
+  }
+  switch (node.kind) {
+    case ir::OpKind::kJoin:
+      return true;
+    case ir::OpKind::kAggregate:
+      return !node.Params<ir::AggregateParams>().group_columns.empty();
+    case ir::OpKind::kWindow:
+      return true;
+    default:
+      return false;
+  }
+}
+
+using Carriers = std::set<std::string>;
+
+Carriers Intersect(const Carriers& carriers, const std::vector<std::string>& kept) {
+  Carriers out;
+  for (const auto& name : kept) {
+    if (carriers.contains(name)) {
+      out.insert(name);
+    }
+  }
+  return out;
+}
+
+// Columns of `node`'s output in which pad rows (that survive `node` at all) are
+// guaranteed to still hold raw sentinel values, given the carriers of its padded
+// input. Empty = the contract is violated downstream of this node.
+Carriers PropagateCarriers(const ir::OpNode& node, const Carriers& in) {
+  switch (node.kind) {
+    case ir::OpKind::kProject:
+      return Intersect(in, node.Params<ir::ProjectParams>().columns);
+    case ir::OpKind::kAggregate:
+      return Intersect(in, node.Params<ir::AggregateParams>().group_columns);
+    case ir::OpKind::kDistinct:
+      return Intersect(in, node.Params<ir::DistinctParams>().columns);
+    case ir::OpKind::kJoin: {
+      // Non-key columns keep their names; right keys are renamed to the left's.
+      const auto& params = node.Params<ir::JoinParams>();
+      Carriers out;
+      for (const auto& column : node.schema.columns()) {
+        if (in.contains(column.name)) {
+          out.insert(column.name);
+        }
+      }
+      for (size_t k = 0; k < params.right_keys.size(); ++k) {
+        if (in.contains(params.right_keys[k])) {
+          out.insert(params.left_keys[k]);
+        }
+      }
+      return out;
+    }
+    case ir::OpKind::kLimit:
+      return {};  // A prefix can consist of pad rows; reject.
+    case ir::OpKind::kFilter:
+    case ir::OpKind::kSortBy:
+    case ir::OpKind::kArithmetic:  // Appends a (possibly wrapped) column only.
+    case ir::OpKind::kWindow:
+    case ir::OpKind::kConcat:
+    case ir::OpKind::kPad:
+    case ir::OpKind::kCollect:
+      return in;
+    case ir::OpKind::kCreate:
+      return in;
+  }
+  return {};
+}
+
+// True iff Collect-side stripping is guaranteed to remove every pad row introduced
+// below `consumer`: along every downstream path, either the pad rows are eliminated
+// (a join against a pad-free side — sentinels never match real keys or another
+// stream's sentinels) or some column still holding raw sentinel values survives to
+// the output, and no Limit can take a prefix containing pads. `initial` is the
+// carrier set of `consumer`'s own output.
+bool DownstreamKeepsCarriers(const ir::Dag& dag, const ir::OpNode* consumer,
+                             Carriers initial, std::string* why) {
+  // A node id present in `carriers` is "contaminated": pad rows can reach it; the
+  // mapped set names columns guaranteed to still hold raw sentinels there. Absent =
+  // pad-free.
+  std::map<int, Carriers> carriers;
+  if (initial.empty()) {
+    *why = StrFormat("%s #%d keeps no key column", ir::OpKindName(consumer->kind),
+                     consumer->id);
+    return false;
+  }
+  carriers[consumer->id] = std::move(initial);
+
+  for (const ir::OpNode* node : dag.TopoOrder()) {
+    if (node->id == consumer->id || node->inputs.empty()) {
+      continue;
+    }
+    bool any_contaminated = false;
+    for (const ir::OpNode* input : node->inputs) {
+      any_contaminated = any_contaminated || carriers.contains(input->id);
+    }
+    if (!any_contaminated) {
+      continue;
+    }
+    // Compute this node's carriers from its contaminated inputs (topo order
+    // guarantees they are final).
+    Carriers merged;
+    bool first = true;
+    if (node->kind == ir::OpKind::kJoin) {
+      const bool left_in = carriers.contains(node->inputs[0]->id);
+      const bool right_in = carriers.contains(node->inputs[1]->id);
+      if (left_in != right_in) {
+        // Pads die: their sentinel keys match nothing on the pad-free side.
+        carriers.erase(node->id);
+        continue;
+      }
+      // Both sides contaminated (self-join shape): surviving pad rows are
+      // pad-matched-pad; the key columns hold sentinels.
+      const auto& params = node->Params<ir::JoinParams>();
+      for (const auto& key : params.left_keys) {
+        merged.insert(key);
+      }
+      first = false;
+    } else {
+      for (const ir::OpNode* input : node->inputs) {
+        const auto it = carriers.find(input->id);
+        if (it == carriers.end()) {
+          continue;  // Pad-free branch contributes no pad rows.
+        }
+        Carriers next = PropagateCarriers(*node, it->second);
+        if (first) {
+          merged = std::move(next);
+          first = false;
+        } else {
+          // Rows arrive from several contaminated branches: keep the columns
+          // guaranteed on every branch.
+          merged = Intersect(merged, {next.begin(), next.end()});
+        }
+      }
+    }
+    if (!first && merged.empty()) {
+      *why = StrFormat("%s #%d drops every sentinel-carrying column",
+                       ir::OpKindName(node->kind), node->id);
+      return false;
+    }
+    carriers[node->id] = std::move(merged);
+  }
+  return true;
+}
+
+// The consumer's output columns that keep raw sentinels from its padded inputs.
+Carriers InitialCarriers(const ir::OpNode& consumer) {
+  Carriers carriers;
+  switch (consumer.kind) {
+    case ir::OpKind::kJoin:
+      // Pad rows only survive a (self-)join inside the key columns.
+      for (const auto& key : consumer.Params<ir::JoinParams>().left_keys) {
+        carriers.insert(key);
+      }
+      break;
+    case ir::OpKind::kAggregate:
+      for (const auto& key : consumer.Params<ir::AggregateParams>().group_columns) {
+        carriers.insert(key);
+      }
+      break;
+    case ir::OpKind::kWindow:
+    case ir::OpKind::kConcat:
+      // Every original column of a pad row still holds its sentinel.
+      for (const auto& column : consumer.schema.columns()) {
+        carriers.insert(column.name);
+      }
+      break;
+    default:
+      break;
+  }
+  return carriers;
+}
+
+}  // namespace
+
+std::vector<std::string> ApplyPadding(ir::Dag& dag) {
+  std::vector<std::string> log;
+  int64_t next_stream = 0;
+
+  // Collect the edges first: inserting nodes invalidates the traversal.
+  struct Edge {
+    ir::OpNode* local;     // The locally-computed producer to pad.
+    ir::OpNode* consumer;  // The concat or MPC node consuming it.
+  };
+  std::vector<Edge> edges;
+  std::set<std::pair<int, int>> seen;  // (producer id, consumer id): a self-join's
+                                       // two identical edges get one shared pad.
+  auto add_edge = [&](ir::OpNode* local, ir::OpNode* consumer) {
+    if (seen.emplace(local->id, consumer->id).second) {
+      edges.push_back({local, consumer});
+    }
+  };
+  for (ir::OpNode* node : dag.TopoOrder()) {
+    if (!WantsPaddedInputs(*node)) {
+      continue;
+    }
+    for (ir::OpNode* input : node->inputs) {
+      if (input->exec_mode == ir::ExecMode::kLocal &&
+          input->kind != ir::OpKind::kPad) {
+        add_edge(input, node);
+      } else if (input->kind == ir::OpKind::kConcat &&
+                 input->exec_mode != ir::ExecMode::kLocal) {
+        // The combining concat itself runs under MPC; pad its local branches.
+        for (ir::OpNode* branch : input->inputs) {
+          if (branch->exec_mode == ir::ExecMode::kLocal &&
+              branch->kind != ir::OpKind::kPad) {
+            add_edge(branch, input);
+          }
+        }
+      }
+    }
+  }
+
+  // Contract check per consumer (see the header): pad rows must stay strippable —
+  // some sentinel-carrying column must reach every output, and no Limit may take a
+  // prefix that could consist of pads. Skip (and log) consumers that fail.
+  std::map<int, bool> consumer_ok;
+  for (const Edge& edge : edges) {
+    if (consumer_ok.contains(edge.consumer->id)) {
+      continue;
+    }
+    std::string why;
+    const bool ok = DownstreamKeepsCarriers(dag, edge.consumer,
+                                            InitialCarriers(*edge.consumer), &why);
+    consumer_ok[edge.consumer->id] = ok;
+    if (!ok) {
+      log.push_back(StrFormat(
+          "padding: skipped inputs of %s #%d (downstream shape unsupported: %s)",
+          ir::OpKindName(edge.consumer->kind), edge.consumer->id, why.c_str()));
+    }
+  }
+
+  for (const Edge& edge : edges) {
+    if (!consumer_ok.at(edge.consumer->id)) {
+      continue;
+    }
+    ir::PadParams params;
+    params.sentinel_stream = next_stream++;
+    const auto pad = dag.AddPad(edge.local, params);
+    CONCLAVE_CHECK(pad.ok());
+    ir::OpNode* node = *pad;
+    // Padding is a local step at the producing party; placement metadata mirrors the
+    // padded input (PropagateOwnership cannot rerun here without clobbering the
+    // hybrid transform's placements).
+    node->owner = edge.local->owner;
+    node->stored_with = edge.local->stored_with;
+    node->exec_mode = ir::ExecMode::kLocal;
+    node->exec_party = edge.local->exec_party;
+    node->schema = edge.local->schema;  // Trust sets carry over column-for-column.
+    dag.ReplaceInput(edge.consumer, edge.local, node);
+    // AddPad wired pad->inputs[0] = local already; ReplaceInput added a second
+    // consumer edge. Nothing else to fix: local keeps pad as consumer, consumer
+    // points at pad.
+    log.push_back(StrFormat(
+        "padding: party %d's input #%d to %s #%d padded to a power of two",
+        edge.local->exec_party, edge.local->id, ir::OpKindName(edge.consumer->kind),
+        edge.consumer->id));
+  }
+  return log;
+}
+
+}  // namespace compiler
+}  // namespace conclave

@@ -1,0 +1,43 @@
+// Adaptive padding pass (§9's future-work direction, implemented).
+//
+// The sizes of relations entering the MPC are public (§3.2), and push-down rewrites
+// can make those sizes data-dependent — e.g., splitting a grouped aggregation reveals
+// each party's distinct-key count. The paper gates such rewrites on party consent and
+// muses about "adaptive padding to avoid leaking relation sizes on the MPC boundary";
+// this pass implements it: every locally-computed relation feeding an MPC join,
+// grouped aggregation, or window (directly or through the combining concat) is padded
+// to the next power of two with sentinel rows, so the boundary reveals only a log2
+// bucket of the true cardinality.
+//
+// Sentinel rows are globally unique values above the data domain (ops::kSentinelBase):
+// they match no join key and form singleton group-by/window partitions, so query
+// semantics survive; the dispatcher strips sentinel rows from outputs at the Collect
+// boundary. The cost is real extra MPC work on the pad rows — the classic
+// padding-vs-leakage trade, measured in bench/ablation_passes.
+//
+// Stripping recognizes pad rows by any cell >= ops::kSentinelBase, so the pass only
+// pads where that is provably sufficient: before inserting pads it walks the
+// downstream region and verifies that along every path pad rows either die (a join
+// against a pad-free side — sentinels match neither real keys nor another stream's
+// sentinels) or keep a column holding raw sentinel values all the way to the output,
+// and that no Limit can take a prefix containing pads. Consumers failing the check
+// are skipped with a logged reason, never padded incorrectly.
+#ifndef CONCLAVE_COMPILER_PADDING_H_
+#define CONCLAVE_COMPILER_PADDING_H_
+
+#include <string>
+#include <vector>
+
+#include "conclave/ir/dag.h"
+
+namespace conclave {
+namespace compiler {
+
+// Inserts Pad nodes below the MPC frontier. Call after placement (hybrid transform)
+// and before sort elimination. Returns a human-readable rewrite log.
+std::vector<std::string> ApplyPadding(ir::Dag& dag);
+
+}  // namespace compiler
+}  // namespace conclave
+
+#endif  // CONCLAVE_COMPILER_PADDING_H_

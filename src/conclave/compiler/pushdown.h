@@ -1,0 +1,36 @@
+// Pass 3 (§5.2): MPC frontier push-down rewrites.
+//
+// Two graph rewrites shrink the MPC region from the inputs downward:
+//
+//  * Concat push-down — for operator `op` distributive over partitions
+//    (project, filter, arithmetic):  op(concat(R_a, R_b, ...)) ==
+//    concat(op(R_a), op(R_b), ...). The per-branch ops regain single-party ownership
+//    and leave MPC.
+//
+//  * Aggregation split — a group-by aggregation over a concat becomes per-party local
+//    pre-aggregations followed by a small MPC secondary aggregation over the partial
+//    results (sum-of-sums, sum-of-counts, min-of-mins, max-of-maxes). This changes the
+//    MPC input size from per-party row counts to per-party *distinct-key* counts —
+//    data-dependent, so the paper requires the parties' consent; the
+//    `allow_cardinality_leak` flag models that consent and the pass reports the
+//    leakage in its diagnostics.
+//
+// Rewrites iterate to a fixpoint (a pushed concat may expose another distributive
+// consumer), then ownership is re-propagated.
+#ifndef CONCLAVE_COMPILER_PUSHDOWN_H_
+#define CONCLAVE_COMPILER_PUSHDOWN_H_
+
+#include <string>
+#include <vector>
+
+#include "conclave/ir/dag.h"
+
+namespace conclave {
+namespace compiler {
+
+std::vector<std::string> PushDown(ir::Dag& dag, bool allow_cardinality_leak);
+
+}  // namespace compiler
+}  // namespace conclave
+
+#endif  // CONCLAVE_COMPILER_PUSHDOWN_H_

@@ -1,0 +1,85 @@
+#include "conclave/compiler/pushup.h"
+
+#include "conclave/common/strings.h"
+
+namespace conclave {
+namespace compiler {
+namespace {
+
+// A projection is reversible iff it keeps every input column (pure reordering).
+bool IsReorderingProjection(const ir::OpNode& node) {
+  if (node.kind != ir::OpKind::kProject) {
+    return false;
+  }
+  const auto& params = node.Params<ir::ProjectParams>();
+  const Schema& in = node.inputs[0]->schema;
+  if (static_cast<int>(params.columns.size()) != in.NumColumns()) {
+    return false;
+  }
+  for (const auto& name : params.columns) {
+    if (!in.HasColumn(name)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsReversible(const ir::OpNode& node) {
+  return node.kind == ir::OpKind::kArithmetic || IsReorderingProjection(node);
+}
+
+// Rewrites a leaf COUNT aggregation into MPC-project(group columns) + local count.
+bool RewriteLeafCount(ir::Dag& dag, ir::OpNode* node, PartyId recipient,
+                      std::vector<std::string>* log) {
+  const auto& params = node->Params<ir::AggregateParams>();
+  if (params.kind != AggKind::kCount || params.group_columns.empty()) {
+    return false;
+  }
+  const auto project = dag.AddProject(node->inputs[0], params.group_columns);
+  if (!project.ok()) {
+    return false;
+  }
+  (*project)->exec_mode = ir::ExecMode::kMpc;
+  (*project)->owner = kNoParty;
+  (*project)->stored_with = node->inputs[0]->stored_with;
+  dag.ReplaceInput(node, node->inputs[0], *project);
+  node->exec_mode = ir::ExecMode::kLocal;
+  node->exec_party = recipient;
+  log->push_back(StrFormat(
+      "push-up: leaf count #%d becomes MPC projection #%d + cleartext count at "
+      "party %d",
+      node->id, (*project)->id, recipient));
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> PushUp(ir::Dag& dag) {
+  std::vector<std::string> log;
+  for (ir::OpNode* collect : dag.Collects()) {
+    const PartyId recipient =
+        collect->Params<ir::CollectParams>().recipients.First();
+    ir::OpNode* node = collect->inputs[0];
+    // Walk up through exclusive (single-consumer) chains of MPC operators.
+    while (node != nullptr && node->exec_mode == ir::ExecMode::kMpc &&
+           node->outputs.size() == 1) {
+      if (IsReversible(*node)) {
+        node->exec_mode = ir::ExecMode::kLocal;
+        node->exec_party = recipient;
+        log.push_back(StrFormat(
+            "push-up: reversible %s #%d runs in the clear at recipient party %d",
+            ir::OpKindName(node->kind), node->id, recipient));
+        node = node->inputs[0];
+        continue;
+      }
+      if (node->kind == ir::OpKind::kAggregate) {
+        RewriteLeafCount(dag, node, recipient, &log);
+      }
+      break;
+    }
+  }
+  return log;
+}
+
+}  // namespace compiler
+}  // namespace conclave

@@ -1,0 +1,33 @@
+// Pass 4 (§5.2): MPC frontier push-up from the output relations.
+//
+// A reversible leaf operator's output determines its input, so running it under MPC
+// protects nothing: Conclave reveals the operator's input to the recipients and runs
+// the operator in the clear at the receiving party. Reversible cases handled here:
+//
+//  * Arithmetic — the result relation retains its operand columns, so the input is a
+//    sub-relation of the output (trivially reversible).
+//  * Reordering projections — column permutations that drop nothing.
+//  * Leaf COUNT aggregations — a count's output inherently reveals the group-key
+//    frequencies, so it is rewritten into an MPC projection onto the group columns
+//    (projections scale far better under MPC than aggregations, §2.3) plus a
+//    cleartext count at the recipient.
+//
+// The pass walks up from each Collect through chains of such operators, marking them
+// local at the receiving party.
+#ifndef CONCLAVE_COMPILER_PUSHUP_H_
+#define CONCLAVE_COMPILER_PUSHUP_H_
+
+#include <string>
+#include <vector>
+
+#include "conclave/ir/dag.h"
+
+namespace conclave {
+namespace compiler {
+
+std::vector<std::string> PushUp(ir::Dag& dag);
+
+}  // namespace compiler
+}  // namespace conclave
+
+#endif  // CONCLAVE_COMPILER_PUSHUP_H_

@@ -1,0 +1,131 @@
+#include "conclave/compiler/sort_elimination.h"
+
+#include <algorithm>
+
+#include "conclave/common/strings.h"
+
+namespace conclave {
+namespace compiler {
+namespace {
+
+// `needed` is satisfied when the relation is sorted by a column list having `needed`
+// as a prefix (lexicographic order by (a, b) implies grouped-by (a)). We additionally
+// accept the exact-prefix-of-sorted case only; sorted-by-(a) does not satisfy (a, b).
+bool OrderSatisfies(const std::vector<std::string>& sorted_by,
+                    const std::vector<std::string>& needed) {
+  if (needed.empty() || sorted_by.size() < needed.size()) {
+    return false;
+  }
+  return std::equal(needed.begin(), needed.end(), sorted_by.begin());
+}
+
+bool KeepsColumns(const Schema& schema, const std::vector<std::string>& names) {
+  for (const auto& name : names) {
+    if (!schema.HasColumn(name)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> EliminateSorts(ir::Dag& dag) {
+  std::vector<std::string> log;
+  for (ir::OpNode* node : dag.TopoOrder()) {
+    const std::vector<std::string> in_order =
+        node->inputs.empty() ? std::vector<std::string>{} : node->inputs[0]->sorted_by;
+    node->assume_sorted = false;
+    switch (node->kind) {
+      case ir::OpKind::kCreate:
+      case ir::OpKind::kPad:   // Appended sentinel rows break any established order.
+      case ir::OpKind::kJoin:  // Overridden below for public joins.
+        node->sorted_by.clear();
+        break;
+      case ir::OpKind::kConcat:
+        // Interleaving partitions destroys order — unless this is a sorted-merge
+        // concat from the sort push-up pass (§5.4).
+        node->sorted_by = node->Params<ir::ConcatParams>().merge_columns;
+        break;
+      case ir::OpKind::kFilter:
+      case ir::OpKind::kLimit:
+      case ir::OpKind::kArithmetic:
+      case ir::OpKind::kCollect:
+        node->sorted_by = in_order;  // Order-preserving.
+        break;
+      case ir::OpKind::kProject: {
+        node->sorted_by =
+            KeepsColumns(node->schema, in_order) ? in_order : std::vector<std::string>{};
+        break;
+      }
+      case ir::OpKind::kSortBy: {
+        const auto& sort_params = node->Params<ir::SortByParams>();
+        const auto& columns = sort_params.columns;
+        if (sort_params.ascending && OrderSatisfies(in_order, columns)) {
+          node->assume_sorted = true;
+          log.push_back(StrFormat("sort-elimination: sort #%d is redundant (input "
+                                  "already sorted by (%s))",
+                                  node->id, StrJoin(in_order, ",").c_str()));
+        }
+        // Only ascending order is tracked; descending output satisfies nothing
+        // downstream under the ascending-order convention.
+        node->sorted_by = sort_params.ascending ? columns : std::vector<std::string>{};
+        break;
+      }
+      case ir::OpKind::kAggregate: {
+        const auto& params = node->Params<ir::AggregateParams>();
+        if (!params.group_columns.empty() &&
+            OrderSatisfies(in_order, params.group_columns)) {
+          node->assume_sorted = true;
+          log.push_back(StrFormat(
+              "sort-elimination: aggregation #%d skips its oblivious sort", node->id));
+        }
+        // Cleartext aggregation emits key-sorted output; MPC/hybrid variants shuffle.
+        if (node->exec_mode == ir::ExecMode::kLocal) {
+          node->sorted_by = params.group_columns;
+        } else {
+          node->sorted_by.clear();
+        }
+        break;
+      }
+      case ir::OpKind::kWindow: {
+        // Windows evaluate over (partition, order); an input already in that order
+        // lets the secure implementations skip their oblivious sort (§5.4).
+        const auto& params = node->Params<ir::WindowParams>();
+        std::vector<std::string> order = params.partition_columns;
+        order.push_back(params.order_column);
+        if (OrderSatisfies(in_order, order)) {
+          node->assume_sorted = true;
+          log.push_back(StrFormat(
+              "sort-elimination: window #%d skips its oblivious sort", node->id));
+        }
+        // All window variants emit rows sorted by (partition, order): no compaction
+        // or reveal happens, so no reshuffle is needed.
+        node->sorted_by = order;
+        break;
+      }
+      case ir::OpKind::kDistinct: {
+        const auto& params = node->Params<ir::DistinctParams>();
+        if (OrderSatisfies(in_order, params.columns)) {
+          node->assume_sorted = true;
+          log.push_back(StrFormat(
+              "sort-elimination: distinct #%d skips its oblivious sort", node->id));
+        }
+        node->sorted_by = node->exec_mode == ir::ExecMode::kLocal
+                              ? params.columns
+                              : std::vector<std::string>{};
+        break;
+      }
+    }
+    // Public joins sort the index relation by key in the clear, so their output is
+    // key-sorted; hybrid joins end in an oblivious reshuffle.
+    if (node->kind == ir::OpKind::kJoin &&
+        node->hybrid == ir::HybridKind::kPublicJoin) {
+      node->sorted_by = node->Params<ir::JoinParams>().left_keys;
+    }
+  }
+  return log;
+}
+
+}  // namespace compiler
+}  // namespace conclave

@@ -1,0 +1,31 @@
+// Pass 6 (§5.4): oblivious-sort elimination.
+//
+// Oblivious sorts dominate MPC aggregation/distinct/order-by cost. This pass tracks
+// which columns each intermediate relation is known to be sorted by and marks
+// downstream sort-consuming operators `assume_sorted` when the order they need is
+// already established. Key facts the propagation encodes:
+//
+//  * local cleartext aggregation/distinct emit key-sorted output;
+//  * public joins emit output sorted by the join key (the joiner sorts in the clear —
+//    the optimization behind the aspirin-count result, §7.4);
+//  * oblivious shuffles destroy order, so MPC join/aggregate/distinct outputs are
+//    unsorted;
+//  * projections/filters/arithmetic preserve order (all MPC ops Conclave generates
+//    between a sort and its consumer are order-preserving).
+#ifndef CONCLAVE_COMPILER_SORT_ELIMINATION_H_
+#define CONCLAVE_COMPILER_SORT_ELIMINATION_H_
+
+#include <string>
+#include <vector>
+
+#include "conclave/ir/dag.h"
+
+namespace conclave {
+namespace compiler {
+
+std::vector<std::string> EliminateSorts(ir::Dag& dag);
+
+}  // namespace compiler
+}  // namespace conclave
+
+#endif  // CONCLAVE_COMPILER_SORT_ELIMINATION_H_

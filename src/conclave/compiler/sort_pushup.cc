@@ -1,0 +1,95 @@
+#include "conclave/compiler/sort_pushup.h"
+
+#include "conclave/common/strings.h"
+#include "conclave/compiler/ownership.h"
+
+namespace conclave {
+namespace compiler {
+namespace {
+
+bool SchemaKeeps(const Schema& schema, const std::vector<std::string>& columns) {
+  for (const auto& name : columns) {
+    if (!schema.HasColumn(name)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// True if swapping sort(op(X)) to op(sort(X)) preserves semantics: the operator must
+// keep row order (stable) and keep the sort columns' values.
+bool IsOrderPreserving(const ir::OpNode& node,
+                       const std::vector<std::string>& sort_columns) {
+  switch (node.kind) {
+    case ir::OpKind::kFilter:
+    case ir::OpKind::kArithmetic:
+      return true;
+    case ir::OpKind::kProject:
+      // The projection must not drop the sort columns below it.
+      return SchemaKeeps(node.inputs[0]->schema, sort_columns);
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> PushSortsUp(ir::Dag& dag) {
+  std::vector<std::string> log;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ir::OpNode* sort : dag.TopoOrder()) {
+      if (sort->kind != ir::OpKind::kSortBy ||
+          sort->exec_mode != ir::ExecMode::kMpc) {
+        continue;
+      }
+      const auto& params = sort->Params<ir::SortByParams>();
+      if (!params.ascending) {
+        continue;  // Merge networks are ascending; descending sorts stay put.
+      }
+
+      // Walk up through an exclusively-consumed, order-preserving chain.
+      ir::OpNode* cursor = sort->inputs[0];
+      while (cursor->outputs.size() == 1 && IsOrderPreserving(*cursor, params.columns)) {
+        cursor = cursor->inputs[0];
+      }
+      if (cursor->kind != ir::OpKind::kConcat || cursor->outputs.size() != 1 ||
+          !cursor->Params<ir::ConcatParams>().merge_columns.empty() ||
+          !SchemaKeeps(cursor->schema, params.columns)) {
+        continue;
+      }
+
+      // 1. Per-branch sorts below the concat.
+      ir::OpNode* concat = cursor;
+      for (ir::OpNode* branch : std::vector<ir::OpNode*>(concat->inputs)) {
+        const auto branch_sort = dag.AddSortBy(branch, params.columns, true);
+        CONCLAVE_CHECK(branch_sort.ok());
+        dag.ReplaceInput(concat, branch, *branch_sort);
+      }
+      // 2. The concat becomes a sorted merge.
+      concat->MutableParams<ir::ConcatParams>().merge_columns = params.columns;
+      // 3. Remove the original sort.
+      ir::OpNode* sort_input = sort->inputs[0];
+      for (ir::OpNode* consumer : std::vector<ir::OpNode*>(sort->outputs)) {
+        dag.ReplaceInput(consumer, sort, sort_input);
+      }
+      dag.Detach(sort);
+
+      log.push_back(StrFormat(
+          "sort push-up: sort #%d by (%s) moved below concat #%d as %zu local "
+          "per-party sorts + oblivious merge",
+          sort->id, StrJoin(params.columns, ",").c_str(), concat->id,
+          concat->inputs.size()));
+      changed = true;
+      break;  // Topo order is stale after a rewrite.
+    }
+    if (changed) {
+      PropagateOwnership(dag);
+    }
+  }
+  return log;
+}
+
+}  // namespace compiler
+}  // namespace conclave

@@ -1,0 +1,37 @@
+// Sort push-up (§5.4, the paper's proposed extension — implemented here).
+//
+// "Sort operations can move across any order-preserving operator. ... While concat
+// operations are not order-preserving, Conclave can still push the sort through the
+// concat by inserting after it a merge operation. The merge takes several sorted
+// relations and obliviously merges them, which is cheaper than obliviously sorting
+// the entire data."
+//
+// The pass walks each ascending MPC sort up through exclusive chains of
+// order-preserving operators (filter, arithmetic, projections that keep the sort
+// columns). When it reaches a single-consumer concat, it:
+//   1. inserts a per-branch sort below the concat — these regain single-party
+//      ownership and run locally in the clear;
+//   2. turns the concat into a sorted-merge concat (O(n log n) oblivious merge
+//      instead of an O(n log^2 n) oblivious sort);
+//   3. deletes the original sort node.
+//
+// Run after placement (ownership/hybrid), before sort elimination, so downstream
+// consumers see the established order. Another instance of Conclave's guiding trade:
+// more local work (per-party sorts) for less work under MPC.
+#ifndef CONCLAVE_COMPILER_SORT_PUSHUP_H_
+#define CONCLAVE_COMPILER_SORT_PUSHUP_H_
+
+#include <string>
+#include <vector>
+
+#include "conclave/ir/dag.h"
+
+namespace conclave {
+namespace compiler {
+
+std::vector<std::string> PushSortsUp(ir::Dag& dag);
+
+}  // namespace compiler
+}  // namespace conclave
+
+#endif  // CONCLAVE_COMPILER_SORT_PUSHUP_H_

@@ -1,0 +1,192 @@
+#include "conclave/compiler/trust.h"
+
+#include <algorithm>
+
+namespace conclave {
+namespace compiler {
+namespace {
+
+// Intersection of the trust sets of the named columns in `schema`.
+PartySet IntersectTrust(const Schema& schema, const std::vector<std::string>& names) {
+  PartySet result = PartySet::All(kMaxParties);
+  for (const auto& name : names) {
+    const auto index = schema.IndexOf(name);
+    CONCLAVE_CHECK(index.ok());  // Construction already validated column references.
+    result = result.Intersect(schema.Column(*index).trust_set);
+  }
+  return result;
+}
+
+}  // namespace
+
+void PropagateTrust(ir::Dag& dag, int num_parties) {
+  (void)num_parties;
+  for (ir::OpNode* node : dag.TopoOrder()) {
+    Schema& schema = node->schema;
+    switch (node->kind) {
+      case ir::OpKind::kCreate: {
+        // Annotation plus the implicit member: the storing party trusts itself with
+        // every column it holds (§4.3).
+        const auto& params = node->Params<ir::CreateParams>();
+        for (int c = 0; c < schema.NumColumns(); ++c) {
+          PartySet trust = params.schema.Column(c).trust_set;
+          trust.Insert(params.party);
+          schema.MutableColumn(c).trust_set = trust;
+        }
+        break;
+      }
+      case ir::OpKind::kConcat: {
+        // Position-wise: a concatenated column's rows come from every branch, so its
+        // trust set is the intersection across branches.
+        for (int c = 0; c < schema.NumColumns(); ++c) {
+          PartySet trust = node->inputs[0]->schema.Column(c).trust_set;
+          for (size_t i = 1; i < node->inputs.size(); ++i) {
+            trust = trust.Intersect(node->inputs[i]->schema.Column(c).trust_set);
+          }
+          schema.MutableColumn(c).trust_set = trust;
+        }
+        break;
+      }
+      case ir::OpKind::kProject: {
+        const Schema& in = node->inputs[0]->schema;
+        for (int c = 0; c < schema.NumColumns(); ++c) {
+          schema.MutableColumn(c).trust_set =
+              IntersectTrust(in, {schema.Column(c).name});
+        }
+        break;
+      }
+      case ir::OpKind::kFilter: {
+        // The filter columns decide which rows survive, so they taint every output
+        // column.
+        const auto& params = node->Params<ir::FilterParams>();
+        const Schema& in = node->inputs[0]->schema;
+        std::vector<std::string> deciders{params.column};
+        if (params.rhs_is_column) {
+          deciders.push_back(params.rhs_column);
+        }
+        const PartySet decider_trust = IntersectTrust(in, deciders);
+        for (int c = 0; c < schema.NumColumns(); ++c) {
+          schema.MutableColumn(c).trust_set =
+              IntersectTrust(in, {schema.Column(c).name}).Intersect(decider_trust);
+        }
+        break;
+      }
+      case ir::OpKind::kJoin: {
+        // Join keys decide row membership: they taint every output column.
+        const auto& params = node->Params<ir::JoinParams>();
+        const Schema& left = node->inputs[0]->schema;
+        const Schema& right = node->inputs[1]->schema;
+        const PartySet key_trust = IntersectTrust(left, params.left_keys)
+                                       .Intersect(IntersectTrust(right, params.right_keys));
+        const size_t num_keys = params.left_keys.size();
+        for (int c = 0; c < schema.NumColumns(); ++c) {
+          PartySet own;
+          if (c < static_cast<int>(num_keys)) {
+            own = key_trust;  // Key output columns merge both sides' keys.
+          } else if (left.HasColumn(schema.Column(c).name)) {
+            own = IntersectTrust(left, {schema.Column(c).name});
+          } else {
+            own = IntersectTrust(right, {schema.Column(c).name});
+          }
+          schema.MutableColumn(c).trust_set = own.Intersect(key_trust);
+        }
+        break;
+      }
+      case ir::OpKind::kAggregate: {
+        // Group-by columns decide how rows combine; they taint the aggregate output.
+        const auto& params = node->Params<ir::AggregateParams>();
+        const Schema& in = node->inputs[0]->schema;
+        const PartySet group_trust = IntersectTrust(in, params.group_columns);
+        for (size_t g = 0; g < params.group_columns.size(); ++g) {
+          schema.MutableColumn(static_cast<int>(g)).trust_set =
+              IntersectTrust(in, {params.group_columns[g]}).Intersect(group_trust);
+        }
+        PartySet agg_trust = group_trust;
+        if (params.kind != AggKind::kCount) {
+          agg_trust = agg_trust.Intersect(IntersectTrust(in, {params.agg_column}));
+        }
+        schema.MutableColumn(schema.NumColumns() - 1).trust_set = agg_trust;
+        break;
+      }
+      case ir::OpKind::kArithmetic: {
+        const auto& params = node->Params<ir::ArithmeticParams>();
+        const Schema& in = node->inputs[0]->schema;
+        for (int c = 0; c + 1 < schema.NumColumns(); ++c) {
+          schema.MutableColumn(c).trust_set =
+              IntersectTrust(in, {schema.Column(c).name});
+        }
+        std::vector<std::string> operands{params.lhs_column};
+        if (params.rhs_is_column) {
+          operands.push_back(params.rhs_column);
+        }
+        schema.MutableColumn(schema.NumColumns() - 1).trust_set =
+            IntersectTrust(in, operands);
+        break;
+      }
+      case ir::OpKind::kWindow: {
+        // Partition and order columns decide row grouping and ordering, so (like sort
+        // and group-by columns) they taint every output column; the computed column
+        // additionally depends on the value column it aggregates.
+        const auto& params = node->Params<ir::WindowParams>();
+        const Schema& in = node->inputs[0]->schema;
+        std::vector<std::string> deciders = params.partition_columns;
+        deciders.push_back(params.order_column);
+        const PartySet decider_trust = IntersectTrust(in, deciders);
+        for (int c = 0; c + 1 < schema.NumColumns(); ++c) {
+          schema.MutableColumn(c).trust_set =
+              IntersectTrust(in, {schema.Column(c).name}).Intersect(decider_trust);
+        }
+        PartySet computed_trust = decider_trust;
+        if (params.fn != WindowFn::kRowNumber) {
+          computed_trust =
+              computed_trust.Intersect(IntersectTrust(in, {params.value_column}));
+        }
+        schema.MutableColumn(schema.NumColumns() - 1).trust_set = computed_trust;
+        break;
+      }
+      case ir::OpKind::kSortBy: {
+        // Sort columns decide the output order of every column.
+        const auto& params = node->Params<ir::SortByParams>();
+        const Schema& in = node->inputs[0]->schema;
+        const PartySet sort_trust = IntersectTrust(in, params.columns);
+        for (int c = 0; c < schema.NumColumns(); ++c) {
+          schema.MutableColumn(c).trust_set =
+              IntersectTrust(in, {schema.Column(c).name}).Intersect(sort_trust);
+        }
+        break;
+      }
+      case ir::OpKind::kDistinct: {
+        // All selected columns jointly decide which rows survive.
+        const auto& params = node->Params<ir::DistinctParams>();
+        const Schema& in = node->inputs[0]->schema;
+        const PartySet joint = IntersectTrust(in, params.columns);
+        for (int c = 0; c < schema.NumColumns(); ++c) {
+          schema.MutableColumn(c).trust_set = joint;
+        }
+        break;
+      }
+      case ir::OpKind::kPad:  // Padding adds data-independent sentinel rows only.
+      case ir::OpKind::kLimit: {
+        const Schema& in = node->inputs[0]->schema;
+        for (int c = 0; c < schema.NumColumns(); ++c) {
+          schema.MutableColumn(c).trust_set =
+              IntersectTrust(in, {schema.Column(c).name});
+        }
+        break;
+      }
+      case ir::OpKind::kCollect: {
+        // Recipients learn the output in the clear: they join every trust set.
+        const auto& params = node->Params<ir::CollectParams>();
+        const Schema& in = node->inputs[0]->schema;
+        for (int c = 0; c < schema.NumColumns(); ++c) {
+          schema.MutableColumn(c).trust_set =
+              IntersectTrust(in, {schema.Column(c).name}).Union(params.recipients);
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace compiler
+}  // namespace conclave

@@ -1,0 +1,27 @@
+// Pass 2 (§5.1): propagate column trust sets through the DAG.
+//
+// A party is "trusted" with an intermediate column if it is entrusted with enough
+// input data to compute that column in the clear. For every operator output column,
+// the trust set is the intersection of the trust sets of all operand columns that
+// contribute to it — both columns that feed its values and columns that decide how
+// rows are combined, filtered, or reordered (join keys, group-by keys, filter and
+// sort columns). Input columns start from their annotations plus the implicit members
+// (the storing party; all parties for public columns).
+//
+// The resulting sets drive the hybrid-protocol transform: Conclave only reveals a
+// column to a party if the column derives from inputs that party is authorized to
+// learn (the paper's security invariant, proven as Corollary A.5).
+#ifndef CONCLAVE_COMPILER_TRUST_H_
+#define CONCLAVE_COMPILER_TRUST_H_
+
+#include "conclave/ir/dag.h"
+
+namespace conclave {
+namespace compiler {
+
+void PropagateTrust(ir::Dag& dag, int num_parties);
+
+}  // namespace compiler
+}  // namespace conclave
+
+#endif  // CONCLAVE_COMPILER_TRUST_H_

@@ -1,0 +1,196 @@
+#include "conclave/data/generators.h"
+
+#include <algorithm>
+
+#include "conclave/common/rng.h"
+
+namespace conclave {
+namespace data {
+namespace {
+
+// Disjoint patient-ID ranges so exclusivity/overlap is exact by construction.
+constexpr int64_t kExclusiveBase0 = 1'000'000'000;
+constexpr int64_t kExclusiveBase1 = 2'000'000'000;
+constexpr int64_t kSharedBase = 3'000'000'000;
+
+// Party `party`'s patient IDs: `overlap_fraction` of them come from the shared pool
+// (also held by the other party), the rest from the party-exclusive pool.
+std::vector<int64_t> PatientIds(const HealthConfig& config, int party) {
+  const int64_t rows = config.rows_per_party;
+  const int64_t shared =
+      std::min<int64_t>(rows, static_cast<int64_t>(
+                                  static_cast<double>(rows) * config.overlap_fraction));
+  std::vector<int64_t> ids;
+  ids.reserve(static_cast<size_t>(rows));
+  for (int64_t i = 0; i < shared; ++i) {
+    ids.push_back(kSharedBase + i);
+  }
+  const int64_t base = party == 0 ? kExclusiveBase0 : kExclusiveBase1;
+  for (int64_t i = shared; i < rows; ++i) {
+    ids.push_back(base + i);
+  }
+  Rng rng(config.seed * 7919 + static_cast<uint64_t>(party));
+  std::shuffle(ids.begin(), ids.end(), rng);
+  return ids;
+}
+
+}  // namespace
+
+Relation UniformInts(int64_t rows, const std::vector<std::string>& columns,
+                     int64_t range, uint64_t seed) {
+  std::vector<ColumnDef> defs;
+  defs.reserve(columns.size());
+  for (const auto& name : columns) {
+    defs.emplace_back(name);
+  }
+  Relation relation{Schema(std::move(defs))};
+  relation.Reserve(rows);
+  Rng rng(seed);
+  auto& cells = relation.mutable_cells();
+  for (int64_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      cells.push_back(rng.NextInRange(0, range - 1));
+    }
+  }
+  return relation;
+}
+
+Relation TaxiTrips(const TaxiConfig& config) {
+  Relation relation{Schema::Of({"companyID", "price"})};
+  relation.Reserve(config.rows);
+  Rng rng(config.seed);
+  auto& cells = relation.mutable_cells();
+  for (int64_t r = 0; r < config.rows; ++r) {
+    cells.push_back(config.company_id);
+    const bool zero_fare = rng.NextDouble() < config.zero_fare_fraction;
+    cells.push_back(zero_fare ? 0 : rng.NextInRange(1, config.max_fare));
+  }
+  return relation;
+}
+
+Relation Demographics(int64_t rows, int64_t ssn_space, int64_t num_zips,
+                      uint64_t seed) {
+  CONCLAVE_CHECK_LE(rows, ssn_space);
+  Relation relation{Schema::Of({"ssn", "zip"})};
+  relation.Reserve(rows);
+  Rng rng(seed);
+  auto& cells = relation.mutable_cells();
+  // Unique SSNs: a stride walk over the space (coprime step), zips uniform.
+  const int64_t step = ssn_space % 2 == 0 ? ssn_space / 2 - 1 : 2;
+  int64_t ssn = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    cells.push_back(ssn);
+    cells.push_back(rng.NextInRange(0, num_zips - 1));
+    ssn = (ssn + step) % ssn_space;
+  }
+  return relation;
+}
+
+Relation CreditScores(int64_t rows, int64_t ssn_space, uint64_t seed) {
+  Relation relation{Schema::Of({"ssn", "score"})};
+  relation.Reserve(rows);
+  Rng rng(seed);
+  auto& cells = relation.mutable_cells();
+  for (int64_t r = 0; r < rows; ++r) {
+    cells.push_back(rng.NextInRange(0, ssn_space - 1));
+    cells.push_back(rng.NextInRange(300, 850));
+  }
+  return relation;
+}
+
+Relation Diagnoses(const HealthConfig& config, int party) {
+  Relation relation{Schema::Of({"pid", "diag"})};
+  relation.Reserve(config.rows_per_party);
+  Rng rng(config.seed * 31 + static_cast<uint64_t>(party));
+  auto& cells = relation.mutable_cells();
+  for (int64_t pid : PatientIds(config, party)) {
+    cells.push_back(pid);
+    cells.push_back(rng.NextInRange(0, config.num_diagnosis_codes - 1));
+  }
+  return relation;
+}
+
+Relation Medications(const HealthConfig& config, int party) {
+  Relation relation{Schema::Of({"pid", "med"})};
+  relation.Reserve(config.rows_per_party);
+  Rng rng(config.seed * 37 + static_cast<uint64_t>(party));
+  auto& cells = relation.mutable_cells();
+  for (int64_t pid : PatientIds(config, party)) {
+    cells.push_back(pid);
+    cells.push_back(rng.NextInRange(0, config.num_medication_codes - 1));
+  }
+  return relation;
+}
+
+Relation ComorbidityDiagnoses(const HealthConfig& config, int party) {
+  const int64_t distinct = std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(config.rows_per_party) *
+                              config.distinct_key_fraction));
+  Relation relation{Schema::Of({"pid", "diag"})};
+  relation.Reserve(config.rows_per_party);
+  Rng rng(config.seed * 41 + static_cast<uint64_t>(party));
+  auto& cells = relation.mutable_cells();
+  for (int64_t pid : PatientIds(config, party)) {
+    cells.push_back(pid);
+    cells.push_back(rng.NextInRange(0, distinct - 1));
+  }
+  return relation;
+}
+
+Relation AspirinDiagnoses(const HealthConfig& config, int party) {
+  Relation relation = Diagnoses(config, party);
+  // ~20% of patients carry the filtered diagnosis so the query output is non-trivial.
+  Rng rng(config.seed * 43 + static_cast<uint64_t>(party));
+  for (int64_t r = 0; r < relation.NumRows(); ++r) {
+    if (rng.NextDouble() < 0.2) {
+      relation.Set(r, 1, kHeartDiseaseCode);
+    }
+  }
+  return relation;
+}
+
+Relation AspirinMedications(const HealthConfig& config, int party) {
+  Relation relation = Medications(config, party);
+  Rng rng(config.seed * 47 + static_cast<uint64_t>(party));
+  for (int64_t r = 0; r < relation.NumRows(); ++r) {
+    if (rng.NextDouble() < 0.3) {
+      relation.Set(r, 1, kAspirinCode);
+    }
+  }
+  return relation;
+}
+
+Relation CdiffDiagnoses(const HealthConfig& config, int party,
+                        double recurrence_fraction) {
+  Relation relation{Schema::Of({"pid", "time", "diag"})};
+  relation.Reserve(2 * config.rows_per_party);
+  Rng rng(config.seed * 53 + static_cast<uint64_t>(party));
+  for (int64_t pid : PatientIds(config, party)) {
+    // Two events per patient. Times use a party parity (even at hospital 0, odd at
+    // hospital 1) so a shared patient's events never collide across parties, keeping
+    // window-lag results tie-free; same-party gaps are even to preserve the parity.
+    const int64_t base = rng.NextInRange(0, 1500) * 2 + party;
+    const double roll = rng.NextDouble();
+    if (roll < recurrence_fraction) {
+      // Recurrent: second c.diff lands inside the [15, 56]-day window.
+      const int64_t gap = 2 * rng.NextInRange(8, 28);
+      relation.AppendRow({pid, base, kCdiffCode});
+      relation.AppendRow({pid, base + gap, kCdiffCode});
+    } else if (roll < 2 * recurrence_fraction) {
+      // c.diff recurs, but too late to count.
+      const int64_t gap = 2 * rng.NextInRange(40, 200);
+      relation.AppendRow({pid, base, kCdiffCode});
+      relation.AppendRow({pid, base + gap, kCdiffCode});
+    } else {
+      // Unrelated diagnoses (codes offset past kCdiffCode).
+      relation.AppendRow(
+          {pid, base, 100 + rng.NextInRange(0, config.num_diagnosis_codes - 1)});
+      relation.AppendRow({pid, base + 2 * rng.NextInRange(1, 100),
+                          100 + rng.NextInRange(0, config.num_diagnosis_codes - 1)});
+    }
+  }
+  return relation;
+}
+
+}  // namespace data
+}  // namespace conclave

@@ -1,0 +1,90 @@
+// Synthetic workload generators standing in for the paper's data sets (§7):
+// NYC taxi trip fares (market concentration), SSN/zip/score tables (credit card
+// regulation), and HealthLNK-style diagnoses/medications (SMCQL comparison). All are
+// deterministic in their seed; the distribution knobs the evaluation depends on —
+// company count, zero-fare fraction, patient-ID overlap fraction, distinct-key
+// fraction — are explicit parameters.
+#ifndef CONCLAVE_DATA_GENERATORS_H_
+#define CONCLAVE_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "conclave/relational/relation.h"
+
+namespace conclave {
+namespace data {
+
+// Uniform random integers; `columns` names become the schema. Values in [0, range).
+Relation UniformInts(int64_t rows, const std::vector<std::string>& columns,
+                     int64_t range, uint64_t seed);
+
+// --- Market concentration (Fig. 4) ---------------------------------------------------
+// One VFH company's trip book: (companyID, price). A `zero_fare_fraction` of trips
+// has price 0 (the query filters these); prices otherwise uniform in [1, max_fare].
+struct TaxiConfig {
+  int64_t rows = 0;
+  int64_t company_id = 0;
+  int64_t max_fare = 100;
+  double zero_fare_fraction = 0.05;
+  uint64_t seed = 1;
+};
+Relation TaxiTrips(const TaxiConfig& config);
+
+// --- Credit card regulation (Fig. 6) --------------------------------------------------
+// Regulator side: (ssn, zip) — one row per person, ssn unique in [0, ssn_space).
+Relation Demographics(int64_t rows, int64_t ssn_space, int64_t num_zips,
+                      uint64_t seed);
+// Credit agency side: (ssn, score) — card holders drawn from the same ssn space.
+Relation CreditScores(int64_t rows, int64_t ssn_space, uint64_t seed);
+
+// --- HealthLNK-style medical data (Fig. 7) ---------------------------------------------
+// Two-hospital setting with a controlled patient-ID overlap: IDs are drawn per party
+// from a shared pool such that ~`overlap_fraction` of each party's IDs also occur at
+// the other party (2% in the paper's aspirin-count setup).
+struct HealthConfig {
+  int64_t rows_per_party = 0;
+  double overlap_fraction = 0.02;
+  int64_t num_diagnosis_codes = 500;
+  int64_t num_medication_codes = 200;
+  // Comorbidity setup: distinct diagnosis keys as a fraction of rows (10% in §7.4).
+  double distinct_key_fraction = 0.1;
+  uint64_t seed = 1;
+};
+
+// (pid, diag) for one party. `party` in {0, 1} selects the ID sub-pool.
+Relation Diagnoses(const HealthConfig& config, int party);
+// (pid, med) for one party.
+Relation Medications(const HealthConfig& config, int party);
+// Diagnosis codes drawn from ceil(rows * distinct_key_fraction) distinct values
+// (comorbidity's key-cardinality knob).
+Relation ComorbidityDiagnoses(const HealthConfig& config, int party);
+
+// The diagnosis / medication codes the aspirin-count query filters on.
+inline constexpr int64_t kHeartDiseaseCode = 414;  // cf. SMCQL's c.diff cohort style.
+inline constexpr int64_t kAspirinCode = 1191;
+
+// Aspirin-count data guarantees some rows carry the filtered codes.
+Relation AspirinDiagnoses(const HealthConfig& config, int party);
+Relation AspirinMedications(const HealthConfig& config, int party);
+
+// --- Recurrent c.diff (SMCQL's third query, §7.4) --------------------------------------
+// The recurrence window the query checks: a second c.diff diagnosis between 15 and 56
+// days after an earlier one (SMCQL §2.2.1).
+inline constexpr int64_t kCdiffCode = 8;
+inline constexpr int64_t kRecurrenceGapMinDays = 15;
+inline constexpr int64_t kRecurrenceGapMaxDays = 56;
+
+// Timestamped diagnosis events (pid, time, diag) for one party. Each patient's event
+// times are unique within and across parties (per-patient strictly increasing with a
+// party-dependent phase), so window-lag results are tie-free. ~`recurrence_fraction`
+// of patients carry a c.diff pair that lands inside the [15, 56]-day window; other
+// c.diff diagnoses recur outside it or not at all.
+Relation CdiffDiagnoses(const HealthConfig& config, int party,
+                        double recurrence_fraction = 0.1);
+
+}  // namespace data
+}  // namespace conclave
+
+#endif  // CONCLAVE_DATA_GENERATORS_H_

@@ -1,0 +1,40 @@
+#include "conclave/dp/laplace.h"
+
+#include <cmath>
+
+#include "conclave/common/check.h"
+
+namespace conclave {
+namespace dp {
+
+double SampleLaplace(Rng& rng, double scale) {
+  CONCLAVE_CHECK_GT(scale, 0.0);
+  // u uniform in (-0.5, 0.5]; Laplace = -scale * sgn(u) * ln(1 - 2|u|).
+  double u = rng.NextDouble() - 0.5;
+  if (u == -0.5) {
+    u = 0.0;  // Avoid ln(0) on the open end of the interval.
+  }
+  const double magnitude = std::log(1.0 - 2.0 * std::abs(u));
+  return (u >= 0 ? -scale : scale) * magnitude;
+}
+
+int64_t SampleDiscreteLaplace(Rng& rng, double scale) {
+  CONCLAVE_CHECK_GT(scale, 0.0);
+  const double alpha = std::exp(-1.0 / scale);
+  // P[X = 0] = (1-alpha)/(1+alpha); conditioned on X != 0, the sign is uniform and
+  // the magnitude is geometric from 1: P[|X| = k | X != 0] = (1-alpha) alpha^(k-1).
+  if (rng.NextDouble() < (1.0 - alpha) / (1.0 + alpha)) {
+    return 0;
+  }
+  const bool negative = rng.NextBelow(2) == 1;
+  double u = rng.NextDouble();
+  if (u <= 0.0) {
+    u = 1e-18;
+  }
+  const int64_t magnitude =
+      1 + static_cast<int64_t>(std::floor(std::log(u) / std::log(alpha)));
+  return negative ? -magnitude : magnitude;
+}
+
+}  // namespace dp
+}  // namespace conclave

@@ -1,0 +1,30 @@
+// Noise samplers for the differential-privacy output layer (§8's DJoin-style
+// direction: "Conclave does not currently leverage DP, but adding it would require no
+// fundamental changes to the query compilation").
+//
+// Conclave relations hold integers, so the discrete (two-sided geometric) mechanism
+// is the primary sampler: adding Geo(exp(-eps/sensitivity)) noise to an integer-valued
+// query gives eps-differential privacy [Ghosh-Roughgarden-Sundararajan]. A continuous
+// Laplace sampler is provided for calibration tests.
+#ifndef CONCLAVE_DP_LAPLACE_H_
+#define CONCLAVE_DP_LAPLACE_H_
+
+#include <cstdint>
+
+#include "conclave/common/rng.h"
+
+namespace conclave {
+namespace dp {
+
+// Laplace(0, scale): inverse-CDF transform of a uniform draw.
+double SampleLaplace(Rng& rng, double scale);
+
+// Two-sided geometric ("discrete Laplace") with parameter alpha = exp(-1/scale):
+// P[X = k] proportional to alpha^|k|. Matches Laplace(scale) in the large-scale limit
+// and adds integer noise, keeping relations integer-typed.
+int64_t SampleDiscreteLaplace(Rng& rng, double scale);
+
+}  // namespace dp
+}  // namespace conclave
+
+#endif  // CONCLAVE_DP_LAPLACE_H_

@@ -1,0 +1,34 @@
+#include "conclave/dp/mechanism.h"
+
+#include "conclave/common/strings.h"
+
+namespace conclave {
+namespace dp {
+
+Status PerturbRelation(Relation& relation, const DpSpec& spec, Rng& rng) {
+  if (!spec.enabled) {
+    return Status::Ok();
+  }
+  if (spec.epsilon <= 0) {
+    return InvalidArgumentError("dp epsilon must be positive");
+  }
+  if (spec.column_sensitivity.empty()) {
+    return InvalidArgumentError("dp spec lists no columns to perturb");
+  }
+  for (const auto& [name, sensitivity] : spec.column_sensitivity) {
+    if (sensitivity <= 0) {
+      return InvalidArgumentError(
+          StrFormat("dp sensitivity for '%s' must be positive", name.c_str()));
+    }
+    CONCLAVE_ASSIGN_OR_RETURN(const int column, relation.schema().IndexOf(name));
+    const double scale = sensitivity / spec.epsilon;
+    for (int64_t r = 0; r < relation.NumRows(); ++r) {
+      relation.Set(r, column,
+                   relation.At(r, column) + SampleDiscreteLaplace(rng, scale));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dp
+}  // namespace conclave

@@ -1,0 +1,52 @@
+// Output perturbation and epsilon accounting for differentially private query
+// results (§8: DJoin combines MPC with DP for SQL-style operations; Conclave's
+// compilation needs no fundamental change to support it — this module is that
+// extension).
+//
+// The mechanism is applied at the Collect boundary, after MPC: recipients of an
+// output relation receive aggregate columns with discrete-Laplace noise calibrated to
+// (epsilon, sensitivity). Group-by key columns stay exact — the protected quantities
+// are the aggregates, as in DJoin's noisy counts. The per-output epsilons add up
+// (sequential composition); the dispatcher reports the query's total spend.
+#ifndef CONCLAVE_DP_MECHANISM_H_
+#define CONCLAVE_DP_MECHANISM_H_
+
+#include <map>
+#include <string>
+
+#include "conclave/common/status.h"
+#include "conclave/dp/laplace.h"
+#include "conclave/relational/relation.h"
+
+namespace conclave {
+namespace dp {
+
+// Per-output DP request, attached to a Collect node.
+struct DpSpec {
+  bool enabled = false;
+  double epsilon = 1.0;
+  // Column name -> L1 sensitivity of that column (how much one individual's data can
+  // change it). COUNT columns have sensitivity 1; SUM columns need a caller-supplied
+  // per-individual contribution bound.
+  std::map<std::string, double> column_sensitivity;
+};
+
+// Adds discrete-Laplace noise with scale sensitivity/epsilon to every listed column.
+// Fails on unknown columns or non-positive epsilon/sensitivity; other columns pass
+// through exact.
+Status PerturbRelation(Relation& relation, const DpSpec& spec, Rng& rng);
+
+// Sequential-composition accountant: epsilons of applied mechanisms add up.
+class EpsilonAccountant {
+ public:
+  void Charge(double epsilon) { spent_ += epsilon; }
+  double spent() const { return spent_; }
+
+ private:
+  double spent_ = 0;
+};
+
+}  // namespace dp
+}  // namespace conclave
+
+#endif  // CONCLAVE_DP_MECHANISM_H_

@@ -1,0 +1,81 @@
+#include "conclave/hybrid/hybrid_agg.h"
+
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace conclave {
+namespace hybrid {
+
+StatusOr<SharedRelation> HybridAggregate(SecretShareEngine& engine,
+                                         const SharedRelation& input,
+                                         std::span<const int> group_columns,
+                                         AggKind kind, int agg_column,
+                                         const std::string& output_name, PartyId stp,
+                                         int num_parties) {
+  const CostModel& model = engine.network().model();
+  CONCLAVE_CHECK_GT(group_columns.size(), 0u);
+  const int64_t n = input.NumRows();
+  if (n == 0) {
+    // Zero rows aggregate to zero groups; fall through to the plain MPC protocol,
+    // which constructs the empty result with the right schema.
+    return mpc::Aggregate(engine, input, group_columns, kind, agg_column, output_name,
+                          /*assume_sorted=*/false);
+  }
+  CONCLAVE_RETURN_IF_ERROR(mpc::CheckWorkingSet(model, 3 * input.NumCells()));
+
+  // Step 1: shuffle, then reveal only the group-by column(s) to the STP.
+  SharedRelation shuffled = ObliviousShuffle(engine, input);
+  Relation keys_clear = ReconstructRelation(mpc::Project(shuffled, group_columns));
+  const uint64_t key_bytes = static_cast<uint64_t>(keys_clear.NumRows()) *
+                             group_columns.size() * 8;
+  for (PartyId p = 0; p < num_parties; ++p) {
+    if (p != stp) {
+      engine.network().Send(p, stp, key_bytes);
+    }
+  }
+  engine.network().Rounds(1);
+
+  // Steps 2–3: STP enumerates, sorts by key, and computes equality flags in the clear.
+  Relation enumerated = ops::Enumerate(keys_clear, "__idx");
+  std::vector<int> key_positions(group_columns.size());
+  std::iota(key_positions.begin(), key_positions.end(), 0);
+  Relation sorted = ops::SortBy(enumerated, key_positions);
+  engine.network().CpuSeconds(model.PythonSeconds(static_cast<uint64_t>(n)));
+
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::vector<int64_t> flags(static_cast<size_t>(n), 0);
+  const int idx_col = static_cast<int>(group_columns.size());
+  for (int64_t r = 0; r < n; ++r) {
+    order[static_cast<size_t>(r)] = sorted.At(r, idx_col);
+    if (r > 0) {
+      bool equal = true;
+      for (int k : key_positions) {
+        equal = equal && sorted.At(r, k) == sorted.At(r - 1, k);
+      }
+      flags[static_cast<size_t>(r)] = equal ? 1 : 0;
+    }
+  }
+
+  // Step 4: the index ordering travels in the clear.
+  engine.network().Broadcast(stp, num_parties, static_cast<uint64_t>(n) * 8);
+  // Step 5: the equality flags are secret-shared by the STP.
+  for (PartyId p = 0; p < num_parties; ++p) {
+    if (p != stp) {
+      engine.network().Send(stp, p, static_cast<uint64_t>(n) * 8);
+    }
+  }
+  engine.network().Rounds(2);
+  SharedColumn shared_flags = engine.Share(flags);
+
+  // Step 6: reorder the shuffled relation by the public ordering.
+  SharedRelation ordered = ApplyPublicOrder(shuffled, order);
+
+  // Steps 7–8: flag-driven scan, shuffle, reveal keep-flags, compact — shared with
+  // the pure-MPC aggregation.
+  return mpc::AggregateWithFlags(engine, ordered, group_columns, kind, agg_column,
+                                 output_name, shared_flags);
+}
+
+}  // namespace hybrid
+}  // namespace conclave

@@ -1,0 +1,114 @@
+#include "conclave/hybrid/hybrid_join.h"
+
+#include <utility>
+#include <vector>
+
+namespace conclave {
+namespace hybrid {
+namespace {
+
+// Reveals `relation` (already safe to open, e.g. shuffled key columns) to the STP:
+// the other parties send their shares of every cell.
+Relation RevealToStp(SecretShareEngine& engine, const SharedRelation& relation,
+                     PartyId stp, int num_parties) {
+  const uint64_t bytes_per_sender = relation.NumCells() * 8;
+  for (PartyId p = 0; p < num_parties; ++p) {
+    if (p != stp) {
+      engine.network().Send(p, stp, bytes_per_sender);
+    }
+  }
+  engine.network().Rounds(1);
+  return ReconstructRelation(relation);
+}
+
+// STP secret-shares a locally computed column back into the MPC.
+SharedColumn ShareFromStp(SecretShareEngine& engine, const std::vector<int64_t>& values,
+                          PartyId stp, int num_parties) {
+  const uint64_t bytes = static_cast<uint64_t>(values.size()) * 8;
+  for (PartyId p = 0; p < num_parties; ++p) {
+    if (p != stp) {
+      engine.network().Send(stp, p, bytes);
+    }
+  }
+  engine.network().Rounds(1);
+  return engine.Share(values);
+}
+
+}  // namespace
+
+StatusOr<SharedRelation> HybridJoin(SecretShareEngine& engine,
+                                    const SharedRelation& left,
+                                    const SharedRelation& right,
+                                    std::span<const int> left_keys,
+                                    std::span<const int> right_keys, PartyId stp,
+                                    int num_parties) {
+  const CostModel& model = engine.network().model();
+  // The protocol keeps ~6 live copies of the inputs at its peak (originals, shuffled
+  // versions, selected rows, reshuffle buffers); this is what makes Sharemind exhaust
+  // its memory in the MPC part of the hybrid join at ~2M input records (Fig. 5a).
+  CONCLAVE_RETURN_IF_ERROR(
+      mpc::CheckWorkingSet(model, 6 * (left.NumCells() + right.NumCells())));
+
+  // Step 1: oblivious shuffles decorrelate revealed keys from input row order.
+  SharedRelation left_shuffled = ObliviousShuffle(engine, left);
+  SharedRelation right_shuffled = ObliviousShuffle(engine, right);
+
+  // Step 2: reveal only the key columns to the STP.
+  Relation left_keys_clear =
+      RevealToStp(engine, mpc::Project(left_shuffled, left_keys), stp, num_parties);
+  Relation right_keys_clear =
+      RevealToStp(engine, mpc::Project(right_shuffled, right_keys), stp, num_parties);
+
+  // Steps 3–4: STP enumerates and joins in the clear.
+  Relation left_enum = ops::Enumerate(left_keys_clear, "__lidx");
+  Relation right_enum = ops::Enumerate(right_keys_clear, "__ridx");
+  std::vector<int> key_positions(left_keys.size());
+  for (size_t i = 0; i < key_positions.size(); ++i) {
+    key_positions[i] = static_cast<int>(i);
+  }
+  Relation joined_idx = ops::Join(left_enum, right_enum, key_positions, key_positions);
+  engine.network().CpuSeconds(model.PythonSeconds(
+      static_cast<uint64_t>(left_enum.NumRows() + right_enum.NumRows() +
+                            joined_idx.NumRows())));
+
+  // Step 5: STP shares the two index relations back into the MPC.
+  const int lidx_col = static_cast<int>(left_keys.size());
+  const int ridx_col = lidx_col + 1;
+  SharedColumn left_indexes =
+      ShareFromStp(engine, joined_idx.ColumnValues(lidx_col), stp, num_parties);
+  SharedColumn right_indexes =
+      ShareFromStp(engine, joined_idx.ColumnValues(ridx_col), stp, num_parties);
+
+  CONCLAVE_RETURN_IF_ERROR(mpc::CheckWorkingSet(
+      model, 3 * (left.NumCells() + right.NumCells()) +
+                 static_cast<uint64_t>(joined_idx.NumRows()) *
+                     (left.NumCells() / std::max<int64_t>(left.NumRows(), 1) +
+                      right.NumCells() / std::max<int64_t>(right.NumRows(), 1))));
+
+  // Step 6: oblivious indexing selects the contributing rows.
+  SharedRelation left_rows = ObliviousSelect(engine, left_shuffled, left_indexes);
+  SharedRelation right_rows = ObliviousSelect(engine, right_shuffled, right_indexes);
+
+  // Step 7: assemble the join output (keys from the left, then non-key columns) and
+  // reshuffle.
+  std::vector<int> left_rest;
+  std::vector<int> right_rest;
+  Schema out_schema = ops::JoinOutputSchema(left.schema(), right.schema(), left_keys,
+                                            right_keys, &left_rest, &right_rest);
+  std::vector<SharedColumn> columns;
+  columns.reserve(static_cast<size_t>(out_schema.NumColumns()));
+  for (int c : left_keys) {
+    columns.push_back(left_rows.Column(c));
+  }
+  for (int c : left_rest) {
+    columns.push_back(left_rows.Column(c));
+  }
+  for (int c : right_rest) {
+    columns.push_back(right_rows.Column(c));
+  }
+  SharedRelation result(std::move(out_schema), std::move(columns));
+  return ObliviousShuffle(engine, result);
+}
+
+}  // namespace hybrid
+}  // namespace conclave

@@ -1,0 +1,148 @@
+#include "conclave/hybrid/public_join.h"
+
+#include <utility>
+#include <vector>
+
+namespace conclave {
+namespace hybrid {
+namespace {
+
+// Builds the joined index pairs on the cleartext key relations: for every matching
+// (left row, right row) pair, in left-then-right order.
+void JoinIndexes(const Relation& left_keys, const Relation& right_keys,
+                 std::vector<int64_t>* left_rows, std::vector<int64_t>* right_rows) {
+  Relation left_enum = ops::Enumerate(left_keys, "__lidx");
+  Relation right_enum = ops::Enumerate(right_keys, "__ridx");
+  std::vector<int> key_positions(static_cast<size_t>(left_keys.NumColumns()));
+  for (size_t i = 0; i < key_positions.size(); ++i) {
+    key_positions[i] = static_cast<int>(i);
+  }
+  Relation joined = ops::Join(left_enum, right_enum, key_positions, key_positions);
+  // The joiner sorts by key in the clear; downstream oblivious sorts become
+  // redundant (the sort-elimination win of §5.4 / §7.4).
+  joined = ops::SortBy(joined, key_positions);
+  const int lidx_col = left_keys.NumColumns();
+  const int ridx_col = lidx_col + 1;
+  left_rows->reserve(static_cast<size_t>(joined.NumRows()));
+  right_rows->reserve(static_cast<size_t>(joined.NumRows()));
+  for (int64_t r = 0; r < joined.NumRows(); ++r) {
+    left_rows->push_back(joined.At(r, lidx_col));
+    right_rows->push_back(joined.At(r, ridx_col));
+  }
+}
+
+}  // namespace
+
+StatusOr<SharedRelation> PublicJoinShared(SecretShareEngine& engine,
+                                          const SharedRelation& left,
+                                          const SharedRelation& right,
+                                          std::span<const int> left_keys,
+                                          std::span<const int> right_keys,
+                                          PartyId joiner, int num_parties) {
+  const CostModel& model = engine.network().model();
+  CONCLAVE_RETURN_IF_ERROR(
+      mpc::CheckWorkingSet(model, left.NumCells() + right.NumCells()));
+
+  // Open the public key columns (keys are public, so no shuffle is required).
+  Relation left_keys_clear =
+      ReconstructRelation(mpc::Project(left, left_keys));
+  Relation right_keys_clear =
+      ReconstructRelation(mpc::Project(right, right_keys));
+  const uint64_t key_bytes =
+      (static_cast<uint64_t>(left_keys_clear.NumRows()) +
+       static_cast<uint64_t>(right_keys_clear.NumRows())) *
+      left_keys.size() * 8;
+  for (PartyId p = 0; p < num_parties; ++p) {
+    if (p != joiner) {
+      engine.network().Send(p, joiner, key_bytes / std::max(num_parties - 1, 1));
+    }
+  }
+  engine.network().Rounds(1);
+
+  // Joiner computes the index pairs in the clear and broadcasts them.
+  std::vector<int64_t> left_rows;
+  std::vector<int64_t> right_rows;
+  JoinIndexes(left_keys_clear, right_keys_clear, &left_rows, &right_rows);
+  engine.network().CpuSeconds(model.PythonSeconds(
+      static_cast<uint64_t>(left_keys_clear.NumRows() + right_keys_clear.NumRows() +
+                            static_cast<int64_t>(left_rows.size()))));
+  engine.network().Broadcast(joiner, num_parties,
+                             static_cast<uint64_t>(left_rows.size()) * 16);
+  engine.network().Rounds(1);
+
+  // Every party assembles the joined result by local share gathering — the public
+  // indexes make this communication-free.
+  std::vector<int> left_rest;
+  std::vector<int> right_rest;
+  Schema out_schema = ops::JoinOutputSchema(left.schema(), right.schema(), left_keys,
+                                            right_keys, &left_rest, &right_rest);
+  std::vector<SharedColumn> columns;
+  columns.reserve(static_cast<size_t>(out_schema.NumColumns()));
+  for (int c : left_keys) {
+    columns.push_back(GatherColumn(left.Column(c), left_rows));
+  }
+  for (int c : left_rest) {
+    columns.push_back(GatherColumn(left.Column(c), left_rows));
+  }
+  for (int c : right_rest) {
+    columns.push_back(GatherColumn(right.Column(c), right_rows));
+  }
+  return SharedRelation(std::move(out_schema), std::move(columns));
+}
+
+StatusOr<Relation> PublicJoinCleartext(SimNetwork& network, const Relation& left,
+                                       const Relation& right,
+                                       std::span<const int> left_keys,
+                                       std::span<const int> right_keys, PartyId joiner,
+                                       int num_parties, bool use_spark) {
+  const CostModel& model = network.model();
+
+  // Key columns travel to the joiner.
+  std::vector<int> lk(left_keys.begin(), left_keys.end());
+  std::vector<int> rk(right_keys.begin(), right_keys.end());
+  Relation left_keys_clear = ops::Project(left, lk);
+  Relation right_keys_clear = ops::Project(right, rk);
+  const uint64_t key_bytes = (left_keys_clear.ByteSize() + right_keys_clear.ByteSize());
+  network.Broadcast(joiner == 0 ? 1 : 0, num_parties, 0);  // No-op: keeps party ids in
+                                                           // range for 2-party runs.
+  network.Send(joiner == 0 ? 1 : 0, joiner, key_bytes);
+  network.Rounds(1);
+
+  std::vector<int64_t> left_rows;
+  std::vector<int64_t> right_rows;
+  JoinIndexes(left_keys_clear, right_keys_clear, &left_rows, &right_rows);
+  const uint64_t work = static_cast<uint64_t>(left.NumRows() + right.NumRows()) +
+                        static_cast<uint64_t>(left_rows.size());
+  if (use_spark) {
+    network.CpuSeconds(model.SparkSeconds(work, model.spark_workers_per_party));
+  } else {
+    network.CpuSeconds(model.PythonSeconds(work));
+  }
+  network.Broadcast(joiner, num_parties,
+                    static_cast<uint64_t>(left_rows.size()) * 16);
+  network.Rounds(1);
+
+  // Assemble the joined relation in the clear.
+  std::vector<int> left_rest;
+  std::vector<int> right_rest;
+  Schema out_schema = ops::JoinOutputSchema(left.schema(), right.schema(), left_keys,
+                                            right_keys, &left_rest, &right_rest);
+  Relation output{std::move(out_schema)};
+  output.Reserve(static_cast<int64_t>(left_rows.size()));
+  auto& cells = output.mutable_cells();
+  for (size_t i = 0; i < left_rows.size(); ++i) {
+    for (int c : left_keys) {
+      cells.push_back(left.At(left_rows[i], c));
+    }
+    for (int c : left_rest) {
+      cells.push_back(left.At(left_rows[i], c));
+    }
+    for (int c : right_rest) {
+      cells.push_back(right.At(right_rows[i], c));
+    }
+  }
+  return output;
+}
+
+}  // namespace hybrid
+}  // namespace conclave

@@ -1,0 +1,204 @@
+#include "conclave/mpc/garbled/circuit.h"
+
+namespace conclave {
+namespace gc {
+
+Circuit::Circuit() {
+  zero_ = Emit(GateKind::kConstZero, -1, -1);
+  one_ = Emit(GateKind::kConstOne, -1, -1);
+}
+
+Circuit::Wire Circuit::Emit(GateKind kind, Wire a, Wire b) {
+  gates_.push_back(Gate{kind, a, b});
+  return static_cast<Wire>(gates_.size() - 1);
+}
+
+Circuit::Wire Circuit::AddInput() {
+  ++num_inputs_;
+  return Emit(GateKind::kInput, -1, -1);
+}
+
+Circuit::Word Circuit::AddInputWord() {
+  Word word;
+  for (int i = 0; i < kWordBits; ++i) {
+    word.bits[static_cast<size_t>(i)] = AddInput();
+  }
+  return word;
+}
+
+Circuit::Word Circuit::ConstantWord(uint64_t value) {
+  Word word;
+  for (int i = 0; i < kWordBits; ++i) {
+    word.bits[static_cast<size_t>(i)] = ConstantWire(((value >> i) & 1) != 0);
+  }
+  return word;
+}
+
+Circuit::Wire Circuit::Xor(Wire a, Wire b) {
+  ++num_xor_gates_;  // Free under free-XOR; counted for completeness.
+  return Emit(GateKind::kXor, a, b);
+}
+
+Circuit::Wire Circuit::And(Wire a, Wire b) {
+  ++num_and_gates_;
+  return Emit(GateKind::kAnd, a, b);
+}
+
+Circuit::Wire Circuit::Not(Wire a) { return Emit(GateKind::kNot, a, -1); }
+
+Circuit::Wire Circuit::Or(Wire a, Wire b) { return Not(And(Not(a), Not(b))); }
+
+Circuit::Word Circuit::Add(const Word& a, const Word& b) {
+  // Ripple-carry: sum = a ^ b ^ carry; carry' = (a & b) | (carry & (a ^ b)), with the
+  // OR replaced by XOR (the two terms are never both 1): 2 AND gates per bit.
+  Word out;
+  Wire carry = ConstantWire(false);
+  for (int i = 0; i < kWordBits; ++i) {
+    const size_t bit = static_cast<size_t>(i);
+    const Wire axb = Xor(a.bits[bit], b.bits[bit]);
+    out.bits[bit] = Xor(axb, carry);
+    if (i + 1 < kWordBits) {
+      carry = Xor(And(a.bits[bit], b.bits[bit]), And(carry, axb));
+    }
+  }
+  return out;
+}
+
+Circuit::Word Circuit::Sub(const Word& a, const Word& b) {
+  // a - b = a + ~b + 1 (two's complement).
+  Word out;
+  Wire carry = ConstantWire(true);
+  for (int i = 0; i < kWordBits; ++i) {
+    const size_t bit = static_cast<size_t>(i);
+    const Wire nb = Not(b.bits[bit]);
+    const Wire axb = Xor(a.bits[bit], nb);
+    out.bits[bit] = Xor(axb, carry);
+    if (i + 1 < kWordBits) {
+      carry = Xor(And(a.bits[bit], nb), And(carry, axb));
+    }
+  }
+  return out;
+}
+
+Circuit::Word Circuit::Mul(const Word& a, const Word& b) {
+  // Shift-add schoolbook multiplier (mod 2^64): partial product i is (a << i) ANDed
+  // with bit b_i, accumulated with ripple-carry adds.
+  Word acc = ConstantWord(0);
+  for (int i = 0; i < kWordBits; ++i) {
+    Word partial = ConstantWord(0);
+    for (int j = 0; i + j < kWordBits; ++j) {
+      partial.bits[static_cast<size_t>(i + j)] =
+          And(a.bits[static_cast<size_t>(j)], b.bits[static_cast<size_t>(i)]);
+    }
+    acc = Add(acc, partial);
+  }
+  return acc;
+}
+
+Circuit::Wire Circuit::Equal(const Word& a, const Word& b) {
+  // AND-tree over bitwise XNOR: 63 AND gates.
+  std::vector<Wire> layer;
+  layer.reserve(kWordBits);
+  for (int i = 0; i < kWordBits; ++i) {
+    layer.push_back(Not(Xor(a.bits[static_cast<size_t>(i)],
+                            b.bits[static_cast<size_t>(i)])));
+  }
+  while (layer.size() > 1) {
+    std::vector<Wire> next;
+    next.reserve((layer.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(And(layer[i], layer[i + 1]));
+    }
+    if (layer.size() % 2 == 1) {
+      next.push_back(layer.back());
+    }
+    layer = std::move(next);
+  }
+  return layer[0];
+}
+
+Circuit::Wire Circuit::LessThanSigned(const Word& a, const Word& b) {
+  // a < b  <=>  (sign(a) != sign(b)) ? sign(a) : sign(a - b).
+  const Word diff = Sub(a, b);
+  const Wire sign_a = a.bits[kWordBits - 1];
+  const Wire sign_b = b.bits[kWordBits - 1];
+  const Wire signs_differ = Xor(sign_a, sign_b);
+  const Wire diff_sign = diff.bits[kWordBits - 1];
+  // mux(signs_differ, sign_a, diff_sign): 1 AND gate.
+  return Xor(diff_sign, And(signs_differ, Xor(sign_a, diff_sign)));
+}
+
+Circuit::Word Circuit::Mux(Wire selector, const Word& a, const Word& b) {
+  // out = b ^ (sel & (a ^ b)): 1 AND per bit.
+  Word out;
+  for (int i = 0; i < kWordBits; ++i) {
+    const size_t bit = static_cast<size_t>(i);
+    out.bits[bit] = Xor(b.bits[bit], And(selector, Xor(a.bits[bit], b.bits[bit])));
+  }
+  return out;
+}
+
+void Circuit::MarkOutputWord(const Word& word) {
+  for (Wire wire : word.bits) {
+    MarkOutput(wire);
+  }
+}
+
+std::vector<bool> Circuit::Evaluate(const std::vector<bool>& inputs) const {
+  CONCLAVE_CHECK_EQ(static_cast<int64_t>(inputs.size()), num_inputs_);
+  std::vector<bool> values(gates_.size());
+  size_t next_input = 0;
+  for (size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& gate = gates_[i];
+    switch (gate.kind) {
+      case GateKind::kConstZero:
+        values[i] = false;
+        break;
+      case GateKind::kConstOne:
+        values[i] = true;
+        break;
+      case GateKind::kInput:
+        values[i] = inputs[next_input++];
+        break;
+      case GateKind::kXor:
+        values[i] = values[static_cast<size_t>(gate.a)] ^
+                    values[static_cast<size_t>(gate.b)];
+        break;
+      case GateKind::kAnd:
+        values[i] = values[static_cast<size_t>(gate.a)] &&
+                    values[static_cast<size_t>(gate.b)];
+        break;
+      case GateKind::kNot:
+        values[i] = !values[static_cast<size_t>(gate.a)];
+        break;
+    }
+  }
+  std::vector<bool> out;
+  out.reserve(outputs_.size());
+  for (Wire wire : outputs_) {
+    out.push_back(values[static_cast<size_t>(wire)]);
+  }
+  return out;
+}
+
+std::vector<bool> Circuit::PackWord(uint64_t value) {
+  std::vector<bool> bits(kWordBits);
+  for (int i = 0; i < kWordBits; ++i) {
+    bits[static_cast<size_t>(i)] = ((value >> i) & 1) != 0;
+  }
+  return bits;
+}
+
+uint64_t Circuit::UnpackWord(const std::vector<bool>& bits, size_t offset) {
+  CONCLAVE_CHECK_LE(offset + kWordBits, bits.size());
+  uint64_t value = 0;
+  for (int i = 0; i < kWordBits; ++i) {
+    if (bits[offset + static_cast<size_t>(i)]) {
+      value |= (1ULL << i);
+    }
+  }
+  return value;
+}
+
+}  // namespace gc
+}  // namespace conclave

@@ -1,0 +1,96 @@
+#include "conclave/mpc/malicious/commitment.h"
+
+#include <cstring>
+
+namespace conclave {
+namespace malicious {
+namespace {
+
+void UpdateUint64(Sha256& hasher, uint64_t value) {
+  uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<uint8_t>(value >> (56 - 8 * i));
+  }
+  hasher.Update(bytes, sizeof(bytes));
+}
+
+}  // namespace
+
+Commitment CommitRelation(const Relation& relation, uint64_t nonce) {
+  Sha256 hasher;
+  static constexpr char kDomainTag[] = "conclave-commitment-v1";
+  hasher.Update(kDomainTag, sizeof(kDomainTag) - 1);
+  UpdateUint64(hasher, nonce);
+  UpdateUint64(hasher, static_cast<uint64_t>(relation.NumColumns()));
+  for (const auto& column : relation.schema().columns()) {
+    hasher.Update(column.name.data(), column.name.size());
+    hasher.Update("|", 1);
+  }
+  for (int64_t r = 0; r < relation.NumRows(); ++r) {
+    for (int64_t cell : relation.Row(r)) {
+      UpdateUint64(hasher, static_cast<uint64_t>(cell));
+    }
+  }
+  return Commitment{hasher.Finalize()};
+}
+
+bool VerifyOpening(const Relation& relation, uint64_t nonce,
+                   const Commitment& commitment) {
+  return CommitRelation(relation, nonce) == commitment;
+}
+
+RangeProof ProveConsistency(const Relation& relation, uint64_t nonce,
+                            const Commitment& commitment) {
+  // The honest prover's tag chains the (verified-locally) opening into the proof;
+  // a prover whose input does not open the commitment cannot produce the tag.
+  RangeProof proof;
+  proof.num_rows = relation.NumRows();
+  if (!VerifyOpening(relation, nonce, commitment)) {
+    return proof;  // Zero tag: verification will fail.
+  }
+  Sha256 hasher;
+  static constexpr char kProofTag[] = "conclave-range-proof-v1";
+  hasher.Update(kProofTag, sizeof(kProofTag) - 1);
+  hasher.Update(commitment.digest.data(), commitment.digest.size());
+  UpdateUint64(hasher, static_cast<uint64_t>(proof.num_rows));
+  proof.tag = hasher.Finalize();
+  return proof;
+}
+
+bool VerifyRangeProof(const RangeProof& proof, const Commitment& commitment) {
+  Sha256 hasher;
+  static constexpr char kProofTag[] = "conclave-range-proof-v1";
+  hasher.Update(kProofTag, sizeof(kProofTag) - 1);
+  hasher.Update(commitment.digest.data(), commitment.digest.size());
+  UpdateUint64(hasher, static_cast<uint64_t>(proof.num_rows));
+  return hasher.Finalize() == proof.tag;
+}
+
+Status InputConsistencyPhase(SimNetwork& network, const Relation& input,
+                             PartyId owner, int num_parties, uint64_t nonce) {
+  const CostModel& model = network.model();
+  const uint64_t rows = static_cast<uint64_t>(input.NumRows());
+
+  // Round 1: commit and broadcast the digest.
+  const Commitment commitment = CommitRelation(input, nonce);
+  network.Broadcast(owner, num_parties, sizeof(commitment.digest));
+
+  // Round 2: prove and broadcast; peers verify.
+  const RangeProof proof = ProveConsistency(input, nonce, commitment);
+  network.CpuSeconds(model.zk_prove_seconds_per_row * static_cast<double>(rows));
+  network.Broadcast(owner, num_parties,
+                    sizeof(proof.tag) + rows * model.zk_proof_bytes_per_row);
+  network.Rounds(2);
+  network.CpuSeconds(model.zk_verify_seconds_per_row * static_cast<double>(rows) *
+                     (num_parties - 1));
+  network.mutable_counters().zk_proofs += 1;
+
+  if (!VerifyRangeProof(proof, commitment)) {
+    return FailedPreconditionError(
+        "malicious-security abort: input consistency proof rejected");
+  }
+  return Status::Ok();
+}
+
+}  // namespace malicious
+}  // namespace conclave

@@ -1,0 +1,56 @@
+// Minimal, dependency-free SHA-256 (FIPS 180-4) used by the malicious-security
+// commitment scheme (Appendix A.5 of the paper). One-shot and incremental APIs;
+// tested against the FIPS known-answer vectors.
+#ifndef CONCLAVE_MPC_MALICIOUS_SHA256_H_
+#define CONCLAVE_MPC_MALICIOUS_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace conclave {
+namespace malicious {
+
+using Digest = std::array<uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(std::span<const uint8_t> data);
+  void Update(const void* data, size_t size) {
+    Update(std::span<const uint8_t>(static_cast<const uint8_t*>(data), size));
+  }
+  // Finalizes and returns the digest; the hasher must be Reset() before reuse.
+  Digest Finalize();
+
+  static Digest Hash(std::span<const uint8_t> data) {
+    Sha256 hasher;
+    hasher.Update(data);
+    return hasher.Finalize();
+  }
+  static Digest Hash(const std::string& data) {
+    return Hash(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(data.data()), data.size()));
+  }
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  std::array<uint8_t, 64> buffer_;
+  size_t buffered_ = 0;
+  uint64_t total_bytes_ = 0;
+  bool finalized_ = false;
+};
+
+// Lowercase hex rendering, for diagnostics and test vectors.
+std::string DigestToHex(const Digest& digest);
+
+}  // namespace malicious
+}  // namespace conclave
+
+#endif  // CONCLAVE_MPC_MALICIOUS_SHA256_H_

@@ -1,0 +1,226 @@
+#include "conclave/mpc/oblivious.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace conclave {
+namespace {
+
+// Shared 0/1 column: 1 iff the row at `lo` is lexicographically greater than the row
+// at `hi` on the key columns (i.e., the pair must swap for ascending order).
+SharedColumn RowGreater(SecretShareEngine& engine, const SharedRelation& rel,
+                        std::span<const int64_t> lo, std::span<const int64_t> hi,
+                        std::span<const int> key_columns, bool ascending) {
+  // For descending order, "must swap" means lo < hi: flip the comparison direction.
+  const CompareOp cmp = ascending ? CompareOp::kGt : CompareOp::kLt;
+  CONCLAVE_CHECK_GT(key_columns.size(), 0u);
+  SharedColumn greater;
+  SharedColumn all_equal;
+  for (size_t k = 0; k < key_columns.size(); ++k) {
+    const SharedColumn& column = rel.Column(key_columns[k]);
+    SharedColumn lo_vals = GatherColumn(column, lo);
+    SharedColumn hi_vals = GatherColumn(column, hi);
+    SharedColumn gt_k = engine.Compare(cmp, lo_vals, hi_vals);
+    if (k == 0) {
+      greater = std::move(gt_k);
+      if (key_columns.size() > 1) {
+        all_equal = engine.Compare(CompareOp::kEq, lo_vals, hi_vals);
+      }
+    } else {
+      // greater |= all_equal & gt_k — the events are disjoint, so addition suffices.
+      greater = SecretShareEngine::Add(greater, engine.Mul(all_equal, gt_k));
+      if (k + 1 < key_columns.size()) {
+        all_equal =
+            engine.Mul(all_equal, engine.Compare(CompareOp::kEq, lo_vals, hi_vals));
+      }
+    }
+  }
+  return greater;
+}
+
+// Applies one batched compare-exchange layer in place.
+void CompareExchangeLayer(SecretShareEngine& engine, SharedRelation& rel,
+                          const std::vector<std::pair<int64_t, int64_t>>& pairs,
+                          std::span<const int> key_columns, bool ascending = true) {
+  if (pairs.empty()) {
+    return;
+  }
+  std::vector<int64_t> lo(pairs.size());
+  std::vector<int64_t> hi(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    lo[i] = pairs[i].first;
+    hi[i] = pairs[i].second;
+  }
+  const SharedColumn swap = RowGreater(engine, rel, lo, hi, key_columns, ascending);
+  for (int c = 0; c < rel.NumColumns(); ++c) {
+    SharedColumn& column = rel.MutableColumn(c);
+    SharedColumn lo_vals = GatherColumn(column, lo);
+    SharedColumn hi_vals = GatherColumn(column, hi);
+    // new_lo = lo + swap * (hi - lo); new_hi = lo + hi - new_lo (only one Mul).
+    SharedColumn new_lo = SecretShareEngine::Add(
+        lo_vals, engine.Mul(swap, SecretShareEngine::Sub(hi_vals, lo_vals)));
+    SharedColumn new_hi = SecretShareEngine::Sub(
+        SecretShareEngine::Add(lo_vals, hi_vals), new_lo);
+    ScatterColumn(column, lo, new_lo);
+    ScatterColumn(column, hi, new_hi);
+  }
+}
+
+bool IsPowerOfTwo(int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+std::vector<std::vector<std::pair<int64_t, int64_t>>> BatcherSortLayers(int64_t n) {
+  // Generalized (arbitrary-n) odd-even merge-sort network; within one (p, k) step all
+  // comparators touch disjoint indices, so each step is one batchable layer.
+  std::vector<std::vector<std::pair<int64_t, int64_t>>> layers;
+  for (int64_t p = 1; p < n; p <<= 1) {
+    for (int64_t k = p; k >= 1; k >>= 1) {
+      std::vector<std::pair<int64_t, int64_t>> layer;
+      for (int64_t j = k % p; j + k < n; j += 2 * k) {
+        for (int64_t i = 0; i < std::min(k, n - j - k); ++i) {
+          if ((i + j) / (p * 2) == (i + j + k) / (p * 2)) {
+            layer.emplace_back(i + j, i + j + k);
+          }
+        }
+      }
+      if (!layer.empty()) {
+        layers.push_back(std::move(layer));
+      }
+    }
+  }
+  return layers;
+}
+
+std::vector<std::vector<std::pair<int64_t, int64_t>>> BatcherMergeLayers(
+    int64_t run_length, int64_t total) {
+  // The final p-pass of the generalized network merges two sorted runs [0, p) and
+  // [p, total) when p is a power of two and total - p <= p.
+  CONCLAVE_CHECK(IsPowerOfTwo(run_length));
+  CONCLAVE_CHECK_LE(total - run_length, run_length);
+  const int64_t n = total;
+  const int64_t p = run_length;
+  std::vector<std::vector<std::pair<int64_t, int64_t>>> layers;
+  for (int64_t k = p; k >= 1; k >>= 1) {
+    std::vector<std::pair<int64_t, int64_t>> layer;
+    for (int64_t j = k % p; j + k < n; j += 2 * k) {
+      for (int64_t i = 0; i < std::min(k, n - j - k); ++i) {
+        if ((i + j) / (p * 2) == (i + j + k) / (p * 2)) {
+          layer.emplace_back(i + j, i + j + k);
+        }
+      }
+    }
+    if (!layer.empty()) {
+      layers.push_back(std::move(layer));
+    }
+  }
+  return layers;
+}
+
+SharedRelation ObliviousShuffle(SecretShareEngine& engine,
+                                const SharedRelation& input) {
+  const int64_t rows = input.NumRows();
+  std::vector<int64_t> perm(static_cast<size_t>(rows));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), engine.rng());
+
+  std::vector<SharedColumn> columns;
+  columns.reserve(static_cast<size_t>(input.NumColumns()));
+  for (int c = 0; c < input.NumColumns(); ++c) {
+    columns.push_back(engine.Rerandomize(GatherColumn(input.Column(c), perm)));
+  }
+
+  const CostModel& model = engine.network().model();
+  const uint64_t cells = input.NumCells();
+  engine.network().CpuSeconds(static_cast<double>(cells) * model.ss_shuffle_op_seconds);
+  engine.network().CountAggregateBytes(cells * model.ss_bytes_per_shuffle_cell);
+  engine.network().Rounds(3);  // One resharing pass per party's permutation share.
+  return SharedRelation(input.schema(), std::move(columns));
+}
+
+SharedRelation ObliviousSort(SecretShareEngine& engine, const SharedRelation& input,
+                             std::span<const int> key_columns, bool ascending) {
+  SharedRelation rel = input;
+  for (const auto& layer : BatcherSortLayers(rel.NumRows())) {
+    CompareExchangeLayer(engine, rel, layer, key_columns, ascending);
+  }
+  return rel;
+}
+
+SharedRelation ObliviousMerge(SecretShareEngine& engine, const SharedRelation& a,
+                              const SharedRelation& b,
+                              std::span<const int> key_columns) {
+  CONCLAVE_CHECK(a.schema().NamesMatch(b.schema()));
+  // Column-wise concatenation of shares.
+  std::vector<SharedColumn> columns;
+  columns.reserve(static_cast<size_t>(a.NumColumns()));
+  for (int c = 0; c < a.NumColumns(); ++c) {
+    SharedColumn merged(a.Column(c).size() + b.Column(c).size());
+    for (int p = 0; p < kNumShareParties; ++p) {
+      auto& dest = merged.shares[p];
+      const auto& first = a.Column(c).shares[p];
+      const auto& second = b.Column(c).shares[p];
+      std::copy(first.begin(), first.end(), dest.begin());
+      std::copy(second.begin(), second.end(),
+                dest.begin() + static_cast<int64_t>(first.size()));
+    }
+    columns.push_back(std::move(merged));
+  }
+  SharedRelation rel(a.schema(), std::move(columns));
+
+  if (IsPowerOfTwo(a.NumRows()) && b.NumRows() <= a.NumRows() && b.NumRows() > 0) {
+    for (const auto& layer : BatcherMergeLayers(a.NumRows(), rel.NumRows())) {
+      CompareExchangeLayer(engine, rel, layer, key_columns);
+    }
+    return rel;
+  }
+  // Shapes the merge network cannot handle: fall back to a full sort.
+  return ObliviousSort(engine, rel, key_columns);
+}
+
+SharedRelation ObliviousSelect(SecretShareEngine& engine, const SharedRelation& input,
+                               const SharedColumn& indices) {
+  const int64_t n = input.NumRows();
+  const int64_t m = static_cast<int64_t>(indices.size());
+
+  // Ideal-functionality gather: indices are reconstructed internally, rows gathered,
+  // and outputs re-randomized; the real protocol's O((n+m) log(n+m)) cost is charged.
+  const std::vector<int64_t> rows = SecretShareEngine::IdealReconstruct(indices);
+  for (int64_t row : rows) {
+    CONCLAVE_CHECK_GE(row, 0);
+    CONCLAVE_CHECK_LT(row, n);
+  }
+
+  std::vector<SharedColumn> columns;
+  columns.reserve(static_cast<size_t>(input.NumColumns()));
+  for (int c = 0; c < input.NumColumns(); ++c) {
+    columns.push_back(engine.Rerandomize(GatherColumn(input.Column(c), rows)));
+  }
+
+  const CostModel& model = engine.network().model();
+  const double total = static_cast<double>(n + m);
+  uint64_t log_term = 1;
+  while ((1LL << log_term) < n + m) {
+    ++log_term;
+  }
+  const double select_ops = total * static_cast<double>(log_term);
+  engine.network().CpuSeconds(select_ops * model.ss_select_op_seconds);
+  engine.network().CountAggregateBytes(
+      static_cast<uint64_t>(select_ops) * model.ss_bytes_per_select_op);
+  engine.network().Rounds(log_term);
+  return SharedRelation(input.schema(), std::move(columns));
+}
+
+SharedRelation ApplyPublicOrder(const SharedRelation& input,
+                                std::span<const int64_t> order) {
+  CONCLAVE_CHECK_EQ(static_cast<int64_t>(order.size()), input.NumRows());
+  std::vector<SharedColumn> columns;
+  columns.reserve(static_cast<size_t>(input.NumColumns()));
+  for (int c = 0; c < input.NumColumns(); ++c) {
+    columns.push_back(GatherColumn(input.Column(c), order));
+  }
+  return SharedRelation(input.schema(), std::move(columns));
+}
+
+}  // namespace conclave

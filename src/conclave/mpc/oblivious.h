@@ -1,0 +1,52 @@
+// Oblivious MPC sub-protocols over shared relations (§5.3–5.4 of the paper).
+//
+//  * ObliviousShuffle — hides row order under a secret permutation; O(cells) resharing
+//    work. Conclave uses it before revealing anything row-aligned to an STP.
+//  * ObliviousSort — Batcher odd-even merge-sort network, O(n log^2 n) oblivious
+//    compare-exchanges; the dominant cost in MPC aggregations [39].
+//  * ObliviousMerge — merges two sorted relations; the cheaper network Conclave's
+//    future-work sort push-up relies on (§5.4).
+//  * ObliviousSelect — Laud-style oblivious indexing [45]: given secret indices,
+//    gathers rows with O((n+m) log(n+m)) work; the hybrid join's MPC finale.
+//
+// Costs flow through the engine's SimNetwork; correctness is checked against the
+// cleartext operator library in tests.
+#ifndef CONCLAVE_MPC_OBLIVIOUS_H_
+#define CONCLAVE_MPC_OBLIVIOUS_H_
+
+#include <span>
+#include <vector>
+
+#include "conclave/mpc/secret_share_engine.h"
+
+namespace conclave {
+
+SharedRelation ObliviousShuffle(SecretShareEngine& engine, const SharedRelation& input);
+
+SharedRelation ObliviousSort(SecretShareEngine& engine, const SharedRelation& input,
+                             std::span<const int> key_columns, bool ascending = true);
+
+// Requires a.NumRows() to be a power of two >= b.NumRows() for the O(n log n) merge
+// network; other shapes fall back to a full oblivious sort (correct, costlier).
+SharedRelation ObliviousMerge(SecretShareEngine& engine, const SharedRelation& a,
+                              const SharedRelation& b, std::span<const int> key_columns);
+
+// Secret indices must reconstruct to valid row numbers of `input`.
+SharedRelation ObliviousSelect(SecretShareEngine& engine, const SharedRelation& input,
+                               const SharedColumn& indices);
+
+// Reorders rows by a *public* permutation (hybrid aggregation step 6: the STP reveals
+// the ordering of the already-shuffled relation). order[i] = source row of output i.
+// Local share movement; no protocol cost.
+SharedRelation ApplyPublicOrder(const SharedRelation& input,
+                                std::span<const int64_t> order);
+
+// The compare-exchange layers of the generalized (arbitrary-n) Batcher network.
+// Exposed for tests (network correctness on adversarial sizes) and cost analysis.
+std::vector<std::vector<std::pair<int64_t, int64_t>>> BatcherSortLayers(int64_t n);
+std::vector<std::vector<std::pair<int64_t, int64_t>>> BatcherMergeLayers(
+    int64_t run_length, int64_t total);
+
+}  // namespace conclave
+
+#endif  // CONCLAVE_MPC_OBLIVIOUS_H_

@@ -1,0 +1,697 @@
+#include "conclave/mpc/protocols.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+#include "conclave/common/strings.h"
+
+namespace conclave {
+namespace mpc {
+namespace {
+
+// Shared 0/1 column: row i equals row i-1 on `columns` (index 0 gets flag 0).
+// Used by aggregation and distinct after sorting to delimit key groups.
+SharedColumn AdjacentEqualFlags(SecretShareEngine& engine, const SharedRelation& input,
+                                std::span<const int> columns) {
+  const int64_t n = input.NumRows();
+  CONCLAVE_CHECK_GT(n, 0);
+  SharedColumn equal;
+  for (size_t k = 0; k < columns.size(); ++k) {
+    const SharedColumn& column = input.Column(columns[k]);
+    SharedColumn current = SliceColumn(column, 1, static_cast<size_t>(n - 1));
+    SharedColumn previous = SliceColumn(column, 0, static_cast<size_t>(n - 1));
+    SharedColumn eq_k = engine.Compare(CompareOp::kEq, current, previous);
+    equal = (k == 0) ? std::move(eq_k) : engine.Mul(equal, eq_k);
+  }
+  // Prepend flag 0 for the first row.
+  SharedColumn flags(static_cast<size_t>(n));
+  for (int p = 0; p < kNumShareParties; ++p) {
+    std::copy(equal.shares[p].begin(), equal.shares[p].end(),
+              flags.shares[p].begin() + 1);
+  }
+  return flags;
+}
+
+// In-place log-depth segmented scan (Hillis-Steele). `flags[i] == 1` means row i is in
+// the same group as row i-1; after the scan, the last row of each group holds the
+// group's combined value. kSum/kCount combine by addition; kMin/kMax by compare+mux.
+void SegmentedScan(SecretShareEngine& engine, SharedColumn& values,
+                   SharedColumn segment_flags, AggKind kind) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  for (int64_t d = 1; d < n; d *= 2) {
+    const size_t len = static_cast<size_t>(n - d);
+    SharedColumn shifted_vals = SliceColumn(values, 0, len);
+    SharedColumn shifted_flags = SliceColumn(segment_flags, 0, len);
+    SharedColumn cur_vals = SliceColumn(values, static_cast<size_t>(d), len);
+    SharedColumn cur_flags = SliceColumn(segment_flags, static_cast<size_t>(d), len);
+
+    SharedColumn combined;
+    switch (kind) {
+      case AggKind::kSum:
+      case AggKind::kCount:
+      case AggKind::kMean:
+        combined = SecretShareEngine::Add(cur_vals, shifted_vals);
+        break;
+      case AggKind::kMin: {
+        SharedColumn less = engine.Compare(CompareOp::kLt, shifted_vals, cur_vals);
+        combined = engine.Mux(less, shifted_vals, cur_vals);
+        break;
+      }
+      case AggKind::kMax: {
+        SharedColumn greater = engine.Compare(CompareOp::kGt, shifted_vals, cur_vals);
+        combined = engine.Mux(greater, shifted_vals, cur_vals);
+        break;
+      }
+    }
+    // Only rows still inside their segment absorb the shifted contribution.
+    SharedColumn new_vals = engine.Mux(cur_flags, combined, cur_vals);
+    SharedColumn new_flags = engine.Mul(cur_flags, shifted_flags);
+    for (int p = 0; p < kNumShareParties; ++p) {
+      std::copy(new_vals.shares[p].begin(), new_vals.shares[p].end(),
+                values.shares[p].begin() + d);
+      std::copy(new_flags.shares[p].begin(), new_flags.shares[p].end(),
+                segment_flags.shares[p].begin() + d);
+    }
+  }
+}
+
+SharedRelation GatherRows(const SharedRelation& input,
+                          std::span<const int64_t> rows) {
+  std::vector<SharedColumn> columns;
+  columns.reserve(static_cast<size_t>(input.NumColumns()));
+  for (int c = 0; c < input.NumColumns(); ++c) {
+    columns.push_back(GatherColumn(input.Column(c), rows));
+  }
+  return SharedRelation(input.schema(), std::move(columns));
+}
+
+}  // namespace
+
+Status CheckWorkingSet(const CostModel& model, uint64_t live_cells) {
+  const uint64_t bytes = live_cells * model.ss_bytes_per_resident_cell;
+  if (bytes > model.ss_memory_limit_bytes) {
+    return ResourceExhaustedError(StrFormat(
+        "Sharemind VM out of memory: working set %s exceeds limit %s",
+        HumanBytes(bytes).c_str(), HumanBytes(model.ss_memory_limit_bytes).c_str()));
+  }
+  return Status::Ok();
+}
+
+StatusOr<SharedRelation> InputRelation(SecretShareEngine& engine,
+                                       const Relation& input) {
+  const CostModel& model = engine.network().model();
+  const uint64_t cells =
+      static_cast<uint64_t>(input.NumRows()) * static_cast<uint64_t>(input.NumColumns());
+  CONCLAVE_RETURN_IF_ERROR(CheckWorkingSet(model, 2 * cells));
+
+  SharedRelation shared = ShareRelation(input, engine.rng());
+  engine.network().CpuSeconds(static_cast<double>(input.NumRows()) *
+                              model.ss_record_io_seconds);
+  engine.network().CountAggregateBytes(cells * model.ss_bytes_per_shared_cell);
+  engine.network().Rounds(1);
+  return shared;
+}
+
+Relation RevealRelation(SecretShareEngine& engine, const SharedRelation& input) {
+  // Every party broadcasts its shares: 6 directed messages of 8 B per cell.
+  engine.network().CountAggregateBytes(input.NumCells() * 8 * 6);
+  engine.network().Rounds(1);
+  return ReconstructRelation(input);
+}
+
+SharedRelation Project(const SharedRelation& input, std::span<const int> columns) {
+  std::vector<ColumnDef> defs;
+  std::vector<SharedColumn> data;
+  defs.reserve(columns.size());
+  data.reserve(columns.size());
+  for (int c : columns) {
+    defs.push_back(input.schema().Column(c));
+    data.push_back(input.Column(c));
+  }
+  return SharedRelation(Schema(std::move(defs)), std::move(data));
+}
+
+SharedRelation Concat(std::span<const SharedRelation> inputs) {
+  CONCLAVE_CHECK_GT(inputs.size(), 0u);
+  for (const SharedRelation& rel : inputs.subspan(1)) {
+    CONCLAVE_CHECK(inputs[0].schema().NamesMatch(rel.schema()));
+  }
+  int64_t total = 0;
+  for (const SharedRelation& rel : inputs) {
+    total += rel.NumRows();
+  }
+  std::vector<SharedColumn> columns;
+  columns.reserve(static_cast<size_t>(inputs[0].NumColumns()));
+  for (int c = 0; c < inputs[0].NumColumns(); ++c) {
+    SharedColumn merged(static_cast<size_t>(total));
+    size_t offset = 0;
+    for (const SharedRelation& rel : inputs) {
+      for (int p = 0; p < kNumShareParties; ++p) {
+        const auto& src = rel.Column(c).shares[p];
+        std::copy(src.begin(), src.end(),
+                  merged.shares[p].begin() + static_cast<int64_t>(offset));
+      }
+      offset += rel.Column(c).size();
+    }
+    columns.push_back(std::move(merged));
+  }
+  return SharedRelation(inputs[0].schema(), std::move(columns));
+}
+
+SharedRelation Arithmetic(SecretShareEngine& engine, const SharedRelation& input,
+                          const ArithSpec& spec) {
+  const SharedColumn& lhs = input.Column(spec.lhs_column);
+  SharedColumn rhs;
+  if (spec.rhs_is_column) {
+    rhs = input.Column(spec.rhs_column);
+  } else {
+    rhs = SecretShareEngine::Public(
+        std::vector<int64_t>(static_cast<size_t>(input.NumRows()), spec.rhs_literal));
+  }
+
+  SharedColumn result;
+  switch (spec.kind) {
+    case ArithKind::kAdd:
+      result = SecretShareEngine::Add(lhs, rhs);
+      break;
+    case ArithKind::kSub:
+      result = SecretShareEngine::Sub(lhs, rhs);
+      break;
+    case ArithKind::kMul:
+      if (spec.rhs_is_column) {
+        result = engine.Mul(lhs, rhs);
+      } else {
+        result = SecretShareEngine::MulConst(lhs, spec.rhs_literal);
+      }
+      break;
+    case ArithKind::kDiv:
+      result = engine.Div(lhs, rhs, spec.scale);
+      break;
+  }
+
+  SharedRelation output = input;
+  output.AppendColumn(ColumnDef(spec.result_name), std::move(result));
+  return output;
+}
+
+SharedRelation Enumerate(const SharedRelation& input, const std::string& index_name) {
+  std::vector<int64_t> indices(static_cast<size_t>(input.NumRows()));
+  for (size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = static_cast<int64_t>(i);
+  }
+  SharedRelation output = input;
+  output.AppendPublicColumn(ColumnDef(index_name), indices);
+  return output;
+}
+
+SharedRelation ShuffleRevealCompact(SecretShareEngine& engine,
+                                    const SharedRelation& input, int flag_column) {
+  SharedRelation shuffled = ObliviousShuffle(engine, input);
+  const std::vector<int64_t> flags = engine.Open(shuffled.Column(flag_column));
+  std::vector<int64_t> kept;
+  for (size_t i = 0; i < flags.size(); ++i) {
+    CONCLAVE_CHECK(flags[i] == 0 || flags[i] == 1);
+    if (flags[i] == 1) {
+      kept.push_back(static_cast<int64_t>(i));
+    }
+  }
+  SharedRelation compacted = GatherRows(shuffled, kept);
+  compacted.DropColumn(flag_column);
+  return compacted;
+}
+
+StatusOr<SharedRelation> Filter(SecretShareEngine& engine, const SharedRelation& input,
+                                const FilterPredicate& predicate) {
+  const CostModel& model = engine.network().model();
+  CONCLAVE_RETURN_IF_ERROR(CheckWorkingSet(model, 3 * input.NumCells()));
+
+  SharedColumn flags;
+  if (predicate.rhs_is_column) {
+    flags = engine.Compare(predicate.op, input.Column(predicate.column),
+                           input.Column(predicate.rhs_column));
+  } else {
+    flags = engine.CompareConst(predicate.op, input.Column(predicate.column),
+                                predicate.rhs_literal);
+  }
+  SharedRelation flagged = input;
+  flagged.AppendColumn(ColumnDef("__flag"), std::move(flags));
+  return ShuffleRevealCompact(engine, flagged, flagged.NumColumns() - 1);
+}
+
+StatusOr<SharedRelation> Join(SecretShareEngine& engine, const SharedRelation& left,
+                              const SharedRelation& right,
+                              std::span<const int> left_keys,
+                              std::span<const int> right_keys) {
+  const CostModel& model = engine.network().model();
+  const uint64_t n = static_cast<uint64_t>(left.NumRows());
+  const uint64_t m = static_cast<uint64_t>(right.NumRows());
+
+  // Cartesian-product protocol cost: one private equality test per row pair (per key
+  // column). Conclave's motivation in a nutshell: this is O(n*m) however small the
+  // output.
+  const uint64_t pairs = n * m * left_keys.size();
+  engine.network().CpuSeconds(static_cast<double>(pairs) * model.ss_equality_seconds);
+  engine.network().CountAggregateBytes(pairs * model.ss_bytes_per_equality);
+  engine.network().Rounds(8);
+  engine.network().mutable_counters().mpc_comparisons += pairs;
+
+  // Ideal match step: keys reconstructed internally, matches found in cleartext.
+  std::vector<std::vector<int64_t>> left_key_vals;
+  std::vector<std::vector<int64_t>> right_key_vals;
+  for (int c : left_keys) {
+    left_key_vals.push_back(SecretShareEngine::IdealReconstruct(left.Column(c)));
+  }
+  for (int c : right_keys) {
+    right_key_vals.push_back(SecretShareEngine::IdealReconstruct(right.Column(c)));
+  }
+
+  struct VecHash {
+    size_t operator()(const std::vector<int64_t>& key) const {
+      uint64_t h = 0x9e3779b97f4a7c15ULL;
+      for (int64_t v : key) {
+        uint64_t z = static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL + h;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        h = z ^ (z >> 31);
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+  std::unordered_map<std::vector<int64_t>, std::vector<int64_t>, VecHash> index;
+  index.reserve(m);
+  std::vector<int64_t> key(right_keys.size());
+  for (uint64_t r = 0; r < m; ++r) {
+    for (size_t k = 0; k < right_keys.size(); ++k) {
+      key[k] = right_key_vals[k][r];
+    }
+    index[key].push_back(static_cast<int64_t>(r));
+  }
+
+  std::vector<int64_t> left_rows;
+  std::vector<int64_t> right_rows;
+  key.resize(left_keys.size());
+  for (uint64_t l = 0; l < n; ++l) {
+    for (size_t k = 0; k < left_keys.size(); ++k) {
+      key[k] = left_key_vals[k][l];
+    }
+    const auto it = index.find(key);
+    if (it == index.end()) {
+      continue;
+    }
+    for (int64_t r : it->second) {
+      left_rows.push_back(static_cast<int64_t>(l));
+      right_rows.push_back(r);
+    }
+  }
+
+  std::vector<int> left_rest;
+  std::vector<int> right_rest;
+  Schema out_schema = ops::JoinOutputSchema(left.schema(), right.schema(), left_keys,
+                                            right_keys, &left_rest, &right_rest);
+
+  CONCLAVE_RETURN_IF_ERROR(CheckWorkingSet(
+      model, left.NumCells() + right.NumCells() +
+                 static_cast<uint64_t>(left_rows.size()) * out_schema.NumColumns()));
+
+  std::vector<SharedColumn> columns;
+  columns.reserve(static_cast<size_t>(out_schema.NumColumns()));
+  for (int c : left_keys) {
+    columns.push_back(engine.Rerandomize(GatherColumn(left.Column(c), left_rows)));
+  }
+  for (int c : left_rest) {
+    columns.push_back(engine.Rerandomize(GatherColumn(left.Column(c), left_rows)));
+  }
+  for (int c : right_rest) {
+    columns.push_back(engine.Rerandomize(GatherColumn(right.Column(c), right_rows)));
+  }
+  SharedRelation joined(std::move(out_schema), std::move(columns));
+  // Shuffle so the revealed output carries no row-alignment information.
+  return ObliviousShuffle(engine, joined);
+}
+
+StatusOr<SharedRelation> Aggregate(SecretShareEngine& engine,
+                                   const SharedRelation& input,
+                                   std::span<const int> group_columns, AggKind kind,
+                                   int agg_column, const std::string& output_name,
+                                   bool assume_sorted) {
+  const CostModel& model = engine.network().model();
+  const int64_t n = input.NumRows();
+
+  // Zero rows aggregate to zero groups (matching the cleartext engine), for global
+  // and grouped aggregations alike.
+  if (n == 0) {
+    std::vector<ColumnDef> defs;
+    for (int c : group_columns) {
+      defs.push_back(input.schema().Column(c));
+    }
+    defs.emplace_back(output_name);
+    std::vector<SharedColumn> empty_columns(defs.size(), SharedColumn(0));
+    return SharedRelation(Schema(std::move(defs)), std::move(empty_columns));
+  }
+
+  // Global aggregate (no group-by): sums/counts are share-local; min/max use a
+  // batched compare-exchange tree.
+  if (group_columns.empty()) {
+    std::vector<ColumnDef> defs{ColumnDef(output_name)};
+    SharedColumn result(1);
+    if (kind == AggKind::kSum || kind == AggKind::kCount || kind == AggKind::kMean) {
+      SharedColumn acc(1);
+      SharedColumn count(1);
+      for (int p = 0; p < kNumShareParties; ++p) {
+        Ring total = 0;
+        if (kind != AggKind::kCount) {
+          for (Ring v : input.Column(agg_column).shares[p]) {
+            total += v;
+          }
+        }
+        acc.shares[p][0] = total;
+      }
+      if (kind == AggKind::kCount) {
+        acc.shares[0][0] = static_cast<Ring>(n);
+      }
+      if (kind == AggKind::kMean) {
+        count.shares[0][0] = static_cast<Ring>(n);
+        acc = engine.Div(acc, count, 1);
+      }
+      result = std::move(acc);
+    } else {
+      CONCLAVE_CHECK_GT(n, 0);
+      SharedColumn current = input.Column(agg_column);
+      while (current.size() > 1) {
+        const size_t half = current.size() / 2;
+        SharedColumn a = SliceColumn(current, 0, half);
+        SharedColumn b = SliceColumn(current, half, half);
+        SharedColumn pick = engine.Compare(
+            kind == AggKind::kMin ? CompareOp::kLt : CompareOp::kGt, a, b);
+        SharedColumn winner = engine.Mux(pick, a, b);
+        if (current.size() % 2 == 1) {
+          // Odd element rides along to the next level.
+          SharedColumn odd = SliceColumn(current, current.size() - 1, 1);
+          SharedColumn next(half + 1);
+          for (int p = 0; p < kNumShareParties; ++p) {
+            std::copy(winner.shares[p].begin(), winner.shares[p].end(),
+                      next.shares[p].begin());
+            next.shares[p][half] = odd.shares[p][0];
+          }
+          current = std::move(next);
+        } else {
+          current = std::move(winner);
+        }
+      }
+      result = std::move(current);
+    }
+    std::vector<SharedColumn> columns{std::move(result)};
+    return SharedRelation(Schema(std::move(defs)), std::move(columns));
+  }
+
+  CONCLAVE_CHECK_GT(n, 0);
+  CONCLAVE_RETURN_IF_ERROR(CheckWorkingSet(model, 3 * input.NumCells()));
+
+  // Step 1: arrange rows into key groups (oblivious sort, unless already sorted).
+  SharedRelation sorted =
+      assume_sorted ? input : ObliviousSort(engine, input, group_columns);
+
+  // Step 2: group-delimiting flags, computed under MPC.
+  SharedColumn eq_flags = AdjacentEqualFlags(engine, sorted, group_columns);
+
+  return AggregateWithFlags(engine, sorted, group_columns, kind, agg_column,
+                            output_name, eq_flags);
+}
+
+StatusOr<SharedRelation> AggregateWithFlags(SecretShareEngine& engine,
+                                            const SharedRelation& ordered,
+                                            std::span<const int> group_columns,
+                                            AggKind kind, int agg_column,
+                                            const std::string& output_name,
+                                            const SharedColumn& equal_prev_flags) {
+  const int64_t n = ordered.NumRows();
+  CONCLAVE_CHECK_EQ(equal_prev_flags.size(), static_cast<size_t>(n));
+  if (n == 0) {
+    std::vector<ColumnDef> defs;
+    for (int c : group_columns) {
+      defs.push_back(ordered.schema().Column(c));
+    }
+    defs.emplace_back(output_name);
+    std::vector<SharedColumn> empty_columns(defs.size(), SharedColumn(0));
+    return SharedRelation(Schema(std::move(defs)), std::move(empty_columns));
+  }
+
+  // Segmented scan accumulates each group into its last row. Mean runs two chained
+  // scans (sum and count) and divides.
+  SharedColumn values;
+  if (kind == AggKind::kCount) {
+    values = SecretShareEngine::Public(
+        std::vector<int64_t>(static_cast<size_t>(n), 1));
+  } else {
+    values = ordered.Column(agg_column);
+  }
+  SharedColumn scan_flags = equal_prev_flags;
+  SegmentedScan(engine, values, scan_flags, kind);
+  if (kind == AggKind::kMean) {
+    SharedColumn counts = SecretShareEngine::Public(
+        std::vector<int64_t>(static_cast<size_t>(n), 1));
+    SharedColumn count_flags = equal_prev_flags;
+    SegmentedScan(engine, counts, count_flags, AggKind::kCount);
+    values = engine.Div(values, counts, 1);
+  }
+
+  // Keep-flag = row is the last of its group = NOT next-row-equal.
+  SharedColumn keep(static_cast<size_t>(n));
+  {
+    const SharedColumn ones = SecretShareEngine::Public(
+        std::vector<int64_t>(static_cast<size_t>(n - 1), 1));
+    SharedColumn next_eq =
+        SliceColumn(equal_prev_flags, 1, static_cast<size_t>(n - 1));
+    SharedColumn not_next = SecretShareEngine::Sub(ones, next_eq);
+    for (int p = 0; p < kNumShareParties; ++p) {
+      std::copy(not_next.shares[p].begin(), not_next.shares[p].end(),
+                keep.shares[p].begin());
+      keep.shares[p][static_cast<size_t>(n - 1)] = 0;
+    }
+    keep.shares[0][static_cast<size_t>(n - 1)] = 1;  // Last row always kept.
+  }
+
+  // Assemble group columns + aggregate + keep flag; shuffle/open/compact.
+  std::vector<ColumnDef> defs;
+  std::vector<SharedColumn> columns;
+  for (int c : group_columns) {
+    defs.push_back(ordered.schema().Column(c));
+    columns.push_back(ordered.Column(c));
+  }
+  defs.emplace_back(output_name);
+  columns.push_back(std::move(values));
+  defs.emplace_back("__keep");
+  columns.push_back(std::move(keep));
+  SharedRelation flagged(Schema(std::move(defs)), std::move(columns));
+  return ShuffleRevealCompact(engine, flagged, flagged.NumColumns() - 1);
+}
+
+StatusOr<SharedRelation> Window(SecretShareEngine& engine, const SharedRelation& input,
+                                std::span<const int> partition_columns,
+                                int order_column, WindowFn fn, int value_column,
+                                const std::string& output_name, bool assume_sorted) {
+  const CostModel& model = engine.network().model();
+  const int64_t n = input.NumRows();
+
+  std::vector<ColumnDef> defs = input.schema().columns();
+  defs.emplace_back(output_name);
+  if (n == 0) {
+    std::vector<SharedColumn> empty_columns(defs.size(), SharedColumn(0));
+    return SharedRelation(Schema(std::move(defs)), std::move(empty_columns));
+  }
+  CONCLAVE_RETURN_IF_ERROR(CheckWorkingSet(model, 3 * input.NumCells()));
+
+  std::vector<int> sort_columns(partition_columns.begin(), partition_columns.end());
+  sort_columns.push_back(order_column);
+  SharedRelation sorted =
+      assume_sorted ? input : ObliviousSort(engine, input, sort_columns);
+
+  // 0/1 flags marking rows in the same partition as their predecessor.
+  SharedColumn same_partition = AdjacentEqualFlags(engine, sorted, partition_columns);
+  return WindowWithFlags(engine, sorted, fn, value_column, output_name,
+                         same_partition);
+}
+
+StatusOr<SharedRelation> WindowWithFlags(SecretShareEngine& engine,
+                                         const SharedRelation& ordered, WindowFn fn,
+                                         int value_column,
+                                         const std::string& output_name,
+                                         const SharedColumn& same_partition_flags) {
+  const int64_t n = ordered.NumRows();
+  CONCLAVE_CHECK_EQ(same_partition_flags.size(), static_cast<size_t>(n));
+  std::vector<ColumnDef> defs = ordered.schema().columns();
+  defs.emplace_back(output_name);
+  if (n == 0) {
+    std::vector<SharedColumn> empty_columns(defs.size(), SharedColumn(0));
+    return SharedRelation(Schema(std::move(defs)), std::move(empty_columns));
+  }
+
+  SharedColumn computed;
+  switch (fn) {
+    case WindowFn::kRowNumber: {
+      SharedColumn ones = SecretShareEngine::Public(
+          std::vector<int64_t>(static_cast<size_t>(n), 1));
+      SegmentedScan(engine, ones, same_partition_flags, AggKind::kCount);
+      computed = std::move(ones);
+      break;
+    }
+    case WindowFn::kLag: {
+      // lag[i] = same_partition[i] * value[i-1]; the flag is 0/1, so one Beaver
+      // multiplication per row gates the shifted value to 0 at partition starts.
+      const SharedColumn& values = ordered.Column(value_column);
+      SharedColumn shifted(static_cast<size_t>(n));
+      for (int p = 0; p < kNumShareParties; ++p) {
+        std::copy(values.shares[p].begin(), values.shares[p].end() - 1,
+                  shifted.shares[p].begin() + 1);
+      }
+      computed = engine.Mul(same_partition_flags, shifted);
+      break;
+    }
+    case WindowFn::kRunningSum: {
+      SharedColumn values = ordered.Column(value_column);
+      SegmentedScan(engine, values, same_partition_flags, AggKind::kSum);
+      computed = std::move(values);
+      break;
+    }
+  }
+
+  std::vector<SharedColumn> columns;
+  columns.reserve(defs.size());
+  for (int c = 0; c < ordered.NumColumns(); ++c) {
+    columns.push_back(ordered.Column(c));
+  }
+  columns.push_back(std::move(computed));
+  return SharedRelation(Schema(std::move(defs)), std::move(columns));
+}
+
+StatusOr<SharedRelation> Sort(SecretShareEngine& engine, const SharedRelation& input,
+                              std::span<const int> columns, bool ascending,
+                              bool assume_sorted) {
+  const CostModel& model = engine.network().model();
+  CONCLAVE_RETURN_IF_ERROR(CheckWorkingSet(model, 2 * input.NumCells()));
+  if (assume_sorted || input.NumRows() == 0) {
+    return input;
+  }
+  return ObliviousSort(engine, input, columns, ascending);
+}
+
+SharedRelation Limit(const SharedRelation& input, int64_t count) {
+  CONCLAVE_CHECK_GE(count, 0);
+  const size_t kept = static_cast<size_t>(std::min(count, input.NumRows()));
+  std::vector<SharedColumn> columns;
+  columns.reserve(static_cast<size_t>(input.NumColumns()));
+  for (int c = 0; c < input.NumColumns(); ++c) {
+    columns.push_back(SliceColumn(input.Column(c), 0, kept));
+  }
+  return SharedRelation(input.schema(), std::move(columns));
+}
+
+StatusOr<SharedRelation> Distinct(SecretShareEngine& engine,
+                                  const SharedRelation& input,
+                                  std::span<const int> columns, bool assume_sorted) {
+  const CostModel& model = engine.network().model();
+  CONCLAVE_RETURN_IF_ERROR(CheckWorkingSet(model, 3 * input.NumCells()));
+  SharedRelation projected = Project(input, columns);
+  if (projected.NumRows() == 0) {
+    return projected;
+  }
+  std::vector<int> all_columns(static_cast<size_t>(projected.NumColumns()));
+  for (size_t i = 0; i < all_columns.size(); ++i) {
+    all_columns[i] = static_cast<int>(i);
+  }
+  SharedRelation sorted =
+      assume_sorted ? projected : ObliviousSort(engine, projected, all_columns);
+  SharedColumn eq_flags = AdjacentEqualFlags(engine, sorted, all_columns);
+  // Keep the first row of each run: keep = 1 - equal-to-previous.
+  const int64_t n = sorted.NumRows();
+  SharedColumn keep = SecretShareEngine::Sub(
+      SecretShareEngine::Public(std::vector<int64_t>(static_cast<size_t>(n), 1)),
+      eq_flags);
+  sorted.AppendColumn(ColumnDef("__keep"), std::move(keep));
+  return ShuffleRevealCompact(engine, sorted, sorted.NumColumns() - 1);
+}
+
+SharedColumn FilterFlags(SecretShareEngine& engine, const SharedRelation& input,
+                         const FilterPredicate& predicate) {
+  if (predicate.rhs_is_column) {
+    return engine.Compare(predicate.op, input.Column(predicate.column),
+                          input.Column(predicate.rhs_column));
+  }
+  return engine.CompareConst(predicate.op, input.Column(predicate.column),
+                             predicate.rhs_literal);
+}
+
+StatusOr<SharedRelation> CountDistinctSorted(SecretShareEngine& engine,
+                                             const SharedRelation& input,
+                                             int key_column,
+                                             const SharedColumn& keep_flags,
+                                             const std::string& output_name) {
+  const int64_t n = input.NumRows();
+  CONCLAVE_CHECK_EQ(keep_flags.size(), static_cast<size_t>(n));
+  std::vector<ColumnDef> defs{ColumnDef(output_name)};
+  if (n == 0) {
+    SharedColumn zero(1);
+    std::vector<SharedColumn> columns{std::move(zero)};
+    return SharedRelation(Schema(std::move(defs)), std::move(columns));
+  }
+  CONCLAVE_RETURN_IF_ERROR(
+      CheckWorkingSet(engine.network().model(), 3 * input.NumCells()));
+
+  // Segmented OR-scan of the keep flags over key groups: after the scan, the last
+  // row of each group holds "group has any kept row".
+  const int key_columns[] = {key_column};
+  SharedColumn segment = AdjacentEqualFlags(engine, input, key_columns);
+  SharedColumn group_or = keep_flags;
+  SharedColumn scan_flags = segment;
+  for (int64_t d = 1; d < n; d *= 2) {
+    const size_t len = static_cast<size_t>(n - d);
+    SharedColumn shifted_vals = SliceColumn(group_or, 0, len);
+    SharedColumn shifted_flags = SliceColumn(scan_flags, 0, len);
+    SharedColumn cur_vals = SliceColumn(group_or, static_cast<size_t>(d), len);
+    SharedColumn cur_flags = SliceColumn(scan_flags, static_cast<size_t>(d), len);
+    // OR(a, b) = a + b - a*b over 0/1 shares.
+    SharedColumn ored = SecretShareEngine::Sub(
+        SecretShareEngine::Add(cur_vals, shifted_vals),
+        engine.Mul(cur_vals, shifted_vals));
+    SharedColumn new_vals = engine.Mux(cur_flags, ored, cur_vals);
+    SharedColumn new_flags = engine.Mul(cur_flags, shifted_flags);
+    for (int p = 0; p < kNumShareParties; ++p) {
+      std::copy(new_vals.shares[p].begin(), new_vals.shares[p].end(),
+                group_or.shares[p].begin() + d);
+      std::copy(new_flags.shares[p].begin(), new_flags.shares[p].end(),
+                scan_flags.shares[p].begin() + d);
+    }
+  }
+
+  // is_last(i) = NOT segment(i+1); row n-1 is always last. Count = sum over groups of
+  // the group-OR at the last row — a local share addition after one multiplication.
+  SharedColumn is_last(static_cast<size_t>(n));
+  {
+    const SharedColumn ones = SecretShareEngine::Public(
+        std::vector<int64_t>(static_cast<size_t>(n - 1), 1));
+    SharedColumn next_eq = SliceColumn(segment, 1, static_cast<size_t>(n - 1));
+    SharedColumn not_next = SecretShareEngine::Sub(ones, next_eq);
+    for (int p = 0; p < kNumShareParties; ++p) {
+      std::copy(not_next.shares[p].begin(), not_next.shares[p].end(),
+                is_last.shares[p].begin());
+      is_last.shares[p][static_cast<size_t>(n - 1)] = 0;
+    }
+    is_last.shares[0][static_cast<size_t>(n - 1)] = 1;
+  }
+  SharedColumn contributions = engine.Mul(is_last, group_or);
+  SharedColumn total(1);
+  for (int p = 0; p < kNumShareParties; ++p) {
+    Ring sum = 0;
+    for (Ring v : contributions.shares[p]) {
+      sum += v;
+    }
+    total.shares[p][0] = sum;
+  }
+  std::vector<SharedColumn> columns{std::move(total)};
+  return SharedRelation(Schema(std::move(defs)), std::move(columns));
+}
+
+}  // namespace mpc
+}  // namespace conclave

@@ -1,0 +1,149 @@
+// MPC relational operators over secret-shared relations (the Sharemind backend's
+// operator library, §6 of the paper: "We implemented the same standard MPC algorithms
+// for joins (a Cartesian product approach) and aggregations [39] in both Sharemind and
+// Obliv-C").
+//
+// Leakage discipline: relation sizes under MPC are public (§3.2). The compaction-based
+// operators (filter, join, aggregation, distinct) reveal their *output* sizes, matching
+// the paper's Sharemind baseline ("a join implementation that leaks output size",
+// §7.3); rows are obliviously shuffled before any flag is opened so nothing else leaks.
+//
+// Operators that can exceed the simulated Sharemind VM's memory return
+// RESOURCE_EXHAUSTED via StatusOr (see CostModel::ss_memory_limit_bytes).
+#ifndef CONCLAVE_MPC_PROTOCOLS_H_
+#define CONCLAVE_MPC_PROTOCOLS_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "conclave/common/status.h"
+#include "conclave/mpc/oblivious.h"
+#include "conclave/mpc/secret_share_engine.h"
+#include "conclave/relational/ops.h"
+
+namespace conclave {
+namespace mpc {
+
+// Simulated-memory guard: `live_cells` shared cells must fit in the Sharemind VM.
+Status CheckWorkingSet(const CostModel& model, uint64_t live_cells);
+
+// Secret-shares a cleartext relation into the MPC, charging per-record ingest and
+// storage-layer costs (the dominant cost of linear passes; Fig. 1c).
+StatusOr<SharedRelation> InputRelation(SecretShareEngine& engine,
+                                       const Relation& input);
+
+// Opens a shared relation to the computing parties (end of an MPC step).
+Relation RevealRelation(SecretShareEngine& engine, const SharedRelation& input);
+
+// Column selection/reordering: share-local, no protocol cost.
+SharedRelation Project(const SharedRelation& input, std::span<const int> columns);
+
+// Share-wise concatenation of same-schema relations.
+SharedRelation Concat(std::span<const SharedRelation> inputs);
+
+// Appends a computed column; add/sub/scalar-mul are local, column-mul costs one
+// Beaver multiplication per row, div runs the division protocol.
+SharedRelation Arithmetic(SecretShareEngine& engine, const SharedRelation& input,
+                          const ArithSpec& spec);
+
+// Appends a public 0..n-1 index column.
+SharedRelation Enumerate(const SharedRelation& input, const std::string& index_name);
+
+// Oblivious filter: comparison per row, shuffle, open flags, compact. Reveals the
+// number of matching rows only.
+StatusOr<SharedRelation> Filter(SecretShareEngine& engine, const SharedRelation& input,
+                                const FilterPredicate& predicate);
+
+// Cartesian-product oblivious join: n*m private equality tests, then compaction.
+// Reveals the join's output size only.
+StatusOr<SharedRelation> Join(SecretShareEngine& engine, const SharedRelation& left,
+                              const SharedRelation& right,
+                              std::span<const int> left_keys,
+                              std::span<const int> right_keys);
+
+// Sorting-network aggregation (Jónsson et al. [39]): oblivious sort by group key,
+// adjacent-equality flags, log-depth segmented scan accumulating each group into its
+// last row, shuffle, open keep-flags, compact. Reveals the number of groups only.
+// If `assume_sorted` (sort-elimination, §5.4), the oblivious sort is skipped.
+StatusOr<SharedRelation> Aggregate(SecretShareEngine& engine,
+                                   const SharedRelation& input,
+                                   std::span<const int> group_columns, AggKind kind,
+                                   int agg_column, const std::string& output_name,
+                                   bool assume_sorted = false);
+
+// The scan-and-compact tail of the aggregation protocol, factored out so the hybrid
+// aggregation (§5.3) can drive it with STP-computed equality flags instead of
+// MPC-computed ones. `ordered` must be grouped by the group columns (sorted, or
+// STP-ordered); `equal_prev_flags[i]` is a shared 0/1 marking row i as belonging to
+// row i-1's group (flag 0 at row 0).
+StatusOr<SharedRelation> AggregateWithFlags(SecretShareEngine& engine,
+                                            const SharedRelation& ordered,
+                                            std::span<const int> group_columns,
+                                            AggKind kind, int agg_column,
+                                            const std::string& output_name,
+                                            const SharedColumn& equal_prev_flags);
+
+// Oblivious window function (f(...) OVER (PARTITION BY p ORDER BY o)): oblivious sort
+// by (partition, order) unless `assume_sorted`, adjacent-equality partition flags, and
+// a flag-gated linear pass (kLag) or log-depth segmented scan (kRowNumber /
+// kRunningSum). Output keeps every input row in sorted order with the computed column
+// appended — nothing is compacted or revealed, so the operator leaks nothing.
+StatusOr<SharedRelation> Window(SecretShareEngine& engine, const SharedRelation& input,
+                                std::span<const int> partition_columns,
+                                int order_column, WindowFn fn, int value_column,
+                                const std::string& output_name,
+                                bool assume_sorted = false);
+
+// The scan tail of the window protocol, factored out so the hybrid window (an
+// STP-assisted §5.3-style variant) can drive it with STP-computed partition flags.
+// `ordered` must be arranged by (partition, order); `same_partition_flags[i]` is a
+// shared 0/1 marking row i as belonging to row i-1's partition (flag 0 at row 0).
+StatusOr<SharedRelation> WindowWithFlags(SecretShareEngine& engine,
+                                         const SharedRelation& ordered, WindowFn fn,
+                                         int value_column,
+                                         const std::string& output_name,
+                                         const SharedColumn& same_partition_flags);
+
+// Oblivious sort by columns (Batcher network), as a standalone operator (order-by).
+StatusOr<SharedRelation> Sort(SecretShareEngine& engine, const SharedRelation& input,
+                              std::span<const int> columns, bool ascending = true,
+                              bool assume_sorted = false);
+
+// First `count` rows (public count; meaningful after Sort).
+SharedRelation Limit(const SharedRelation& input, int64_t count);
+
+// Distinct rows of the projected columns; reveals the distinct count only.
+StatusOr<SharedRelation> Distinct(SecretShareEngine& engine,
+                                  const SharedRelation& input,
+                                  std::span<const int> columns,
+                                  bool assume_sorted = false);
+
+// Shuffles, opens the 0/1 column `flag_column`, keeps rows with flag == 1, and drops
+// the flag column. The building block of all size-revealing compactions; exposed for
+// the hybrid aggregation (§5.3, step 8).
+SharedRelation ShuffleRevealCompact(SecretShareEngine& engine,
+                                    const SharedRelation& input, int flag_column);
+
+// Order-preserving filter: evaluates the predicate per row and returns the secret 0/1
+// flag column without compacting, so relation size and row order are untouched. Used
+// when downstream operators exploit an established sort order (§5.4): compaction would
+// either reshuffle or leak per-row predicate outcomes.
+SharedColumn FilterFlags(SecretShareEngine& engine, const SharedRelation& input,
+                         const FilterPredicate& predicate);
+
+// Counts distinct values of `key_column` among rows whose keep-flag is 1, assuming
+// the relation is sorted by that key (e.g., by a public join). One linear pass:
+// a segmented OR over keep-flags plus a boundary sum — the O(n) distinct-count the
+// paper credits sort elimination for in aspirin count (§7.4). Returns a 1-row,
+// 1-column relation.
+StatusOr<SharedRelation> CountDistinctSorted(SecretShareEngine& engine,
+                                             const SharedRelation& input,
+                                             int key_column,
+                                             const SharedColumn& keep_flags,
+                                             const std::string& output_name);
+
+}  // namespace mpc
+}  // namespace conclave
+
+#endif  // CONCLAVE_MPC_PROTOCOLS_H_

@@ -1,0 +1,176 @@
+#include "conclave/mpc/secret_share_engine.h"
+
+namespace conclave {
+namespace {
+
+// Both operands of a binary batched op must agree in size.
+void CheckSameSize(const SharedColumn& a, const SharedColumn& b) {
+  CONCLAVE_CHECK_EQ(a.size(), b.size());
+}
+
+}  // namespace
+
+SharedColumn SecretShareEngine::Add(const SharedColumn& a, const SharedColumn& b) {
+  CheckSameSize(a, b);
+  SharedColumn out(a.size());
+  for (int p = 0; p < kNumShareParties; ++p) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      out.shares[p][i] = a.shares[p][i] + b.shares[p][i];
+    }
+  }
+  return out;
+}
+
+SharedColumn SecretShareEngine::Sub(const SharedColumn& a, const SharedColumn& b) {
+  CheckSameSize(a, b);
+  SharedColumn out(a.size());
+  for (int p = 0; p < kNumShareParties; ++p) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      out.shares[p][i] = a.shares[p][i] - b.shares[p][i];
+    }
+  }
+  return out;
+}
+
+SharedColumn SecretShareEngine::AddConst(const SharedColumn& a, int64_t constant) {
+  SharedColumn out = a;
+  const Ring k = ToRing(constant);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.shares[0][i] += k;
+  }
+  return out;
+}
+
+SharedColumn SecretShareEngine::MulConst(const SharedColumn& a, int64_t constant) {
+  SharedColumn out(a.size());
+  const Ring k = ToRing(constant);
+  for (int p = 0; p < kNumShareParties; ++p) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      out.shares[p][i] = a.shares[p][i] * k;
+    }
+  }
+  return out;
+}
+
+SharedColumn SecretShareEngine::Public(const std::vector<int64_t>& values) {
+  SharedColumn out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out.shares[0][i] = ToRing(values[i]);
+  }
+  return out;
+}
+
+SharedColumn SecretShareEngine::Mul(const SharedColumn& a, const SharedColumn& b) {
+  CheckSameSize(a, b);
+  const size_t n = a.size();
+  if (n == 0) {
+    return SharedColumn(0);
+  }
+  const CostModel& model = network_->model();
+
+  TripleBatch triples = dealer_.Deal(n);
+
+  // Beaver: open d = a - ta and e = b - tb, then
+  //   z = tc + d*tb + e*ta + d*e  (the d*e term folded into party 0's share).
+  SharedColumn out(n);
+  for (size_t i = 0; i < n; ++i) {
+    Ring d = 0;
+    Ring e = 0;
+    for (int p = 0; p < kNumShareParties; ++p) {
+      d += a.shares[p][i] - triples.a.shares[p][i];
+      e += b.shares[p][i] - triples.b.shares[p][i];
+    }
+    for (int p = 0; p < kNumShareParties; ++p) {
+      out.shares[p][i] =
+          triples.c.shares[p][i] + d * triples.b.shares[p][i] + e * triples.a.shares[p][i];
+    }
+    out.shares[0][i] += d * e;
+  }
+
+  network_->CpuSeconds(static_cast<double>(n) * model.ss_mult_seconds);
+  network_->CountAggregateBytes(n * model.ss_bytes_per_mult);
+  network_->Rounds(1);
+  network_->mutable_counters().mpc_multiplications += n;
+  return out;
+}
+
+std::vector<int64_t> SecretShareEngine::Open(const SharedColumn& a) {
+  // Every party broadcasts its share to the two others: 6 directed messages of 8 B
+  // per element.
+  network_->CountAggregateBytes(a.size() * 8 * 6);
+  network_->Rounds(1);
+  return ReconstructValues(a);
+}
+
+SharedColumn SecretShareEngine::Rerandomize(const SharedColumn& a) {
+  SharedColumn out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const Ring r0 = rng_.Next();
+    const Ring r1 = rng_.Next();
+    out.shares[0][i] = a.shares[0][i] + r0;
+    out.shares[1][i] = a.shares[1][i] + r1;
+    out.shares[2][i] = a.shares[2][i] - r0 - r1;
+  }
+  return out;
+}
+
+SharedColumn SecretShareEngine::Compare(CompareOp op, const SharedColumn& a,
+                                        const SharedColumn& b) {
+  CheckSameSize(a, b);
+  const size_t n = a.size();
+  const CostModel& model = network_->model();
+  const bool is_equality = (op == CompareOp::kEq || op == CompareOp::kNe);
+
+  const std::vector<int64_t> lhs = IdealReconstruct(a);
+  const std::vector<int64_t> rhs = IdealReconstruct(b);
+  std::vector<int64_t> bits(n);
+  for (size_t i = 0; i < n; ++i) {
+    bits[i] = EvalCompare(op, lhs[i], rhs[i]) ? 1 : 0;
+  }
+
+  if (is_equality) {
+    network_->CpuSeconds(static_cast<double>(n) * model.ss_equality_seconds);
+    network_->CountAggregateBytes(n * model.ss_bytes_per_equality);
+    network_->Rounds(4);  // Multiplicative fan-in tree depth over 64 bits.
+  } else {
+    network_->CpuSeconds(static_cast<double>(n) * model.ss_compare_seconds);
+    network_->CountAggregateBytes(n * model.ss_bytes_per_compare);
+    network_->Rounds(8);  // Bit-decomposition + prefix circuit depth.
+  }
+  network_->mutable_counters().mpc_comparisons += n;
+  return Share(bits);
+}
+
+SharedColumn SecretShareEngine::CompareConst(CompareOp op, const SharedColumn& a,
+                                             int64_t constant) {
+  return Compare(op, a, Public(std::vector<int64_t>(a.size(), constant)));
+}
+
+SharedColumn SecretShareEngine::Div(const SharedColumn& a, const SharedColumn& b,
+                                    int64_t scale) {
+  CheckSameSize(a, b);
+  const size_t n = a.size();
+  const CostModel& model = network_->model();
+
+  const std::vector<int64_t> num = IdealReconstruct(a);
+  const std::vector<int64_t> den = IdealReconstruct(b);
+  std::vector<int64_t> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = den[i] == 0 ? 0 : (num[i] * scale) / den[i];
+  }
+
+  network_->CpuSeconds(static_cast<double>(n) * model.ss_division_seconds);
+  network_->CountAggregateBytes(n * model.ss_bytes_per_compare);
+  network_->Rounds(10);
+  return Share(out);
+}
+
+SharedColumn SecretShareEngine::Mux(const SharedColumn& condition,
+                                    const SharedColumn& a, const SharedColumn& b) {
+  CheckSameSize(condition, a);
+  CheckSameSize(a, b);
+  // b + cond * (a - b): one Beaver multiplication per element.
+  return Add(b, Mul(condition, Sub(a, b)));
+}
+
+}  // namespace conclave

@@ -1,0 +1,136 @@
+#include "conclave/mpc/share.h"
+
+#include <algorithm>
+
+namespace conclave {
+
+SharedColumn ShareValues(const std::vector<int64_t>& values, Rng& rng) {
+  SharedColumn column(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    const Ring r0 = rng.Next();
+    const Ring r1 = rng.Next();
+    column.shares[0][i] = r0;
+    column.shares[1][i] = r1;
+    column.shares[2][i] = ToRing(values[i]) - r0 - r1;
+  }
+  return column;
+}
+
+std::vector<int64_t> ReconstructValues(const SharedColumn& column) {
+  std::vector<int64_t> values(column.size());
+  for (size_t i = 0; i < column.size(); ++i) {
+    values[i] = FromRing(column.ReconstructAt(i));
+  }
+  return values;
+}
+
+SharedRelation::SharedRelation(Schema schema, std::vector<SharedColumn> columns)
+    : schema_(std::move(schema)), columns_(std::move(columns)) {
+  CONCLAVE_CHECK_EQ(static_cast<size_t>(schema_.NumColumns()), columns_.size());
+  for (const auto& column : columns_) {
+    CONCLAVE_CHECK_EQ(column.size(), columns_[0].size());
+  }
+}
+
+const SharedColumn& SharedRelation::Column(int index) const {
+  CONCLAVE_CHECK_GE(index, 0);
+  CONCLAVE_CHECK_LT(index, NumColumns());
+  return columns_[static_cast<size_t>(index)];
+}
+
+SharedColumn& SharedRelation::MutableColumn(int index) {
+  CONCLAVE_CHECK_GE(index, 0);
+  CONCLAVE_CHECK_LT(index, NumColumns());
+  return columns_[static_cast<size_t>(index)];
+}
+
+void SharedRelation::AppendColumn(ColumnDef def, SharedColumn column) {
+  if (!columns_.empty()) {
+    CONCLAVE_CHECK_EQ(column.size(), columns_[0].size());
+  }
+  std::vector<ColumnDef> defs = schema_.columns();
+  defs.push_back(std::move(def));
+  schema_ = Schema(std::move(defs));
+  columns_.push_back(std::move(column));
+}
+
+void SharedRelation::AppendPublicColumn(ColumnDef def,
+                                        const std::vector<int64_t>& values) {
+  SharedColumn column(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    column.shares[0][i] = ToRing(values[i]);
+  }
+  AppendColumn(std::move(def), std::move(column));
+}
+
+void SharedRelation::DropColumn(int index) {
+  CONCLAVE_CHECK_GE(index, 0);
+  CONCLAVE_CHECK_LT(index, NumColumns());
+  std::vector<ColumnDef> defs = schema_.columns();
+  defs.erase(defs.begin() + index);
+  schema_ = Schema(std::move(defs));
+  columns_.erase(columns_.begin() + index);
+}
+
+SharedRelation ShareRelation(const Relation& relation, Rng& rng) {
+  std::vector<SharedColumn> columns;
+  columns.reserve(static_cast<size_t>(relation.NumColumns()));
+  for (int c = 0; c < relation.NumColumns(); ++c) {
+    columns.push_back(ShareValues(relation.ColumnValues(c), rng));
+  }
+  return SharedRelation(relation.schema(), std::move(columns));
+}
+
+SharedColumn GatherColumn(const SharedColumn& column, std::span<const int64_t> rows) {
+  SharedColumn out(rows.size());
+  for (int p = 0; p < kNumShareParties; ++p) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      CONCLAVE_DCHECK(rows[i] >= 0 && rows[i] < static_cast<int64_t>(column.size()));
+      out.shares[p][i] = column.shares[p][static_cast<size_t>(rows[i])];
+    }
+  }
+  return out;
+}
+
+void ScatterColumn(SharedColumn& column, std::span<const int64_t> rows,
+                   const SharedColumn& values) {
+  CONCLAVE_CHECK_EQ(rows.size(), values.size());
+  for (int p = 0; p < kNumShareParties; ++p) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      CONCLAVE_DCHECK(rows[i] >= 0 && rows[i] < static_cast<int64_t>(column.size()));
+      column.shares[p][static_cast<size_t>(rows[i])] = values.shares[p][i];
+    }
+  }
+}
+
+SharedColumn SliceColumn(const SharedColumn& column, size_t start, size_t length) {
+  CONCLAVE_CHECK_LE(start + length, column.size());
+  SharedColumn out(length);
+  for (int p = 0; p < kNumShareParties; ++p) {
+    std::copy(column.shares[p].begin() + static_cast<int64_t>(start),
+              column.shares[p].begin() + static_cast<int64_t>(start + length),
+              out.shares[p].begin());
+  }
+  return out;
+}
+
+Relation ReconstructRelation(const SharedRelation& shared) {
+  Relation relation{shared.schema()};
+  const int64_t rows = shared.NumRows();
+  const int cols = shared.NumColumns();
+  relation.Reserve(rows);
+  std::vector<std::vector<int64_t>> column_values;
+  column_values.reserve(static_cast<size_t>(cols));
+  for (int c = 0; c < cols; ++c) {
+    column_values.push_back(ReconstructValues(shared.Column(c)));
+  }
+  auto& cells = relation.mutable_cells();
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      cells.push_back(column_values[static_cast<size_t>(c)][static_cast<size_t>(r)]);
+    }
+  }
+  return relation;
+}
+
+}  // namespace conclave

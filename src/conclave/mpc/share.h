@@ -1,0 +1,110 @@
+// Additive 3-party secret sharing over the ring Z_2^64.
+//
+// A value x is split as x = s0 + s1 + s2 (mod 2^64); party i holds s_i. Linear
+// operations act share-wise without communication; multiplications use Beaver triples
+// (triple_dealer.h). This mirrors Sharemind's additive scheme [12]: the paper's
+// evaluation uses Sharemind as the secret-sharing backend, and all of Conclave's MPC
+// relational protocols (join, aggregation, shuffle, sort) reduce to these primitives.
+//
+// Signed int64 relation cells map to ring elements by two's-complement bit pattern, so
+// additions/subtractions/multiplications of shares agree with wrapping int64 semantics.
+#ifndef CONCLAVE_MPC_SHARE_H_
+#define CONCLAVE_MPC_SHARE_H_
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "conclave/common/rng.h"
+#include "conclave/relational/relation.h"
+
+namespace conclave {
+
+inline constexpr int kNumShareParties = 3;
+
+using Ring = uint64_t;
+
+inline Ring ToRing(int64_t value) { return std::bit_cast<Ring>(value); }
+inline int64_t FromRing(Ring value) { return std::bit_cast<int64_t>(value); }
+
+// One secret-shared vector of ring elements (a relation column, or a batch of
+// intermediate values). shares[p][i] is party p's share of element i.
+struct SharedColumn {
+  std::array<std::vector<Ring>, kNumShareParties> shares;
+
+  SharedColumn() = default;
+  explicit SharedColumn(size_t size) {
+    for (auto& s : shares) {
+      s.assign(size, 0);
+    }
+  }
+
+  size_t size() const { return shares[0].size(); }
+  bool empty() const { return shares[0].empty(); }
+
+  Ring ReconstructAt(size_t i) const {
+    return shares[0][i] + shares[1][i] + shares[2][i];
+  }
+};
+
+// Splits cleartext values into fresh random additive shares.
+SharedColumn ShareValues(const std::vector<int64_t>& values, Rng& rng);
+
+// Recombines shares into cleartext values.
+std::vector<int64_t> ReconstructValues(const SharedColumn& column);
+
+// A secret-shared relation: public schema and row count, secret cells, stored
+// column-major for batched per-column protocols. Consistent with the paper's security
+// model, sizes of relations under MPC are public; cell values are not.
+class SharedRelation {
+ public:
+  SharedRelation() = default;
+  explicit SharedRelation(Schema schema) : schema_(std::move(schema)) {}
+  SharedRelation(Schema schema, std::vector<SharedColumn> columns);
+
+  const Schema& schema() const { return schema_; }
+  Schema& mutable_schema() { return schema_; }
+
+  int NumColumns() const { return schema_.NumColumns(); }
+  int64_t NumRows() const {
+    return columns_.empty() ? 0 : static_cast<int64_t>(columns_[0].size());
+  }
+
+  const SharedColumn& Column(int index) const;
+  SharedColumn& MutableColumn(int index);
+
+  // Appends a secret column; its length must match the relation's row count.
+  void AppendColumn(ColumnDef def, SharedColumn column);
+  // Appends a public column as the trivial sharing (v, 0, 0).
+  void AppendPublicColumn(ColumnDef def, const std::vector<int64_t>& values);
+  void DropColumn(int index);
+
+  // Total shared cells (rows x columns); drives the simulated memory accounting.
+  uint64_t NumCells() const {
+    return static_cast<uint64_t>(NumRows()) * static_cast<uint64_t>(NumColumns());
+  }
+
+ private:
+  Schema schema_;
+  std::vector<SharedColumn> columns_;
+};
+
+// Shares every cell of a cleartext relation (no cost accounting — the engine-level
+// InputRelation in protocols.h charges ingest costs).
+SharedRelation ShareRelation(const Relation& relation, Rng& rng);
+
+// Reconstructs a shared relation to cleartext.
+Relation ReconstructRelation(const SharedRelation& shared);
+
+// Share-local data movement (no communication, no re-randomization — callers that
+// reveal gathered data must re-randomize first).
+SharedColumn GatherColumn(const SharedColumn& column, std::span<const int64_t> rows);
+void ScatterColumn(SharedColumn& column, std::span<const int64_t> rows,
+                   const SharedColumn& values);
+SharedColumn SliceColumn(const SharedColumn& column, size_t start, size_t length);
+
+}  // namespace conclave
+
+#endif  // CONCLAVE_MPC_SHARE_H_

@@ -1,0 +1,35 @@
+#include "conclave/mpc/triple_dealer.h"
+
+namespace conclave {
+
+TripleBatch TripleDealer::Deal(size_t count) {
+  TripleBatch batch;
+  batch.a = SharedColumn(count);
+  batch.b = SharedColumn(count);
+  batch.c = SharedColumn(count);
+  for (size_t i = 0; i < count; ++i) {
+    const Ring a = rng_.Next();
+    const Ring b = rng_.Next();
+    const Ring c = a * b;
+    // Share each of a, b, c with fresh randomness.
+    Ring r0 = rng_.Next();
+    Ring r1 = rng_.Next();
+    batch.a.shares[0][i] = r0;
+    batch.a.shares[1][i] = r1;
+    batch.a.shares[2][i] = a - r0 - r1;
+    r0 = rng_.Next();
+    r1 = rng_.Next();
+    batch.b.shares[0][i] = r0;
+    batch.b.shares[1][i] = r1;
+    batch.b.shares[2][i] = b - r0 - r1;
+    r0 = rng_.Next();
+    r1 = rng_.Next();
+    batch.c.shares[0][i] = r0;
+    batch.c.shares[1][i] = r1;
+    batch.c.shares[2][i] = c - r0 - r1;
+  }
+  triples_dealt_ += count;
+  return batch;
+}
+
+}  // namespace conclave

@@ -1,0 +1,39 @@
+// Beaver multiplication-triple dealer.
+//
+// Produces random shared triples (a, b, c) with c = a*b in Z_2^64. The engine consumes
+// one triple per secret multiplication (Beaver's protocol [4]). A trusted dealer is the
+// standard simulation stand-in for Sharemind's correlated-randomness preprocessing; the
+// number of triples dealt is exposed so tests can assert multiplication counts.
+#ifndef CONCLAVE_MPC_TRIPLE_DEALER_H_
+#define CONCLAVE_MPC_TRIPLE_DEALER_H_
+
+#include <cstdint>
+
+#include "conclave/common/rng.h"
+#include "conclave/mpc/share.h"
+
+namespace conclave {
+
+// A batch of shared triples, column-major like SharedColumn.
+struct TripleBatch {
+  SharedColumn a;
+  SharedColumn b;
+  SharedColumn c;
+};
+
+class TripleDealer {
+ public:
+  explicit TripleDealer(uint64_t seed) : rng_(seed) {}
+
+  TripleBatch Deal(size_t count);
+
+  uint64_t triples_dealt() const { return triples_dealt_; }
+
+ private:
+  Rng rng_;
+  uint64_t triples_dealt_ = 0;
+};
+
+}  // namespace conclave
+
+#endif  // CONCLAVE_MPC_TRIPLE_DEALER_H_

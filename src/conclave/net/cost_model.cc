@@ -1,0 +1,4 @@
+#include "conclave/net/cost_model.h"
+
+// CostModel is a plain aggregate; this translation unit exists so the library has a
+// stable archive member for the header (and a place for future non-inline helpers).

@@ -1,0 +1,3 @@
+#include "conclave/net/network.h"
+
+// SimNetwork is header-only; this translation unit anchors the library archive.

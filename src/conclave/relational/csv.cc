@@ -1,0 +1,126 @@
+#include "conclave/relational/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "conclave/common/strings.h"
+
+namespace conclave {
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else if (c != '\r') {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+StatusOr<int64_t> ParseInt(const std::string& text, size_t line_number) {
+  if (text.empty()) {
+    return InvalidArgumentError(StrFormat("empty cell on line %zu", line_number));
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    return InvalidArgumentError(
+        StrFormat("cell '%s' on line %zu is not an integer", text.c_str(),
+                  line_number));
+  }
+  return static_cast<int64_t>(value);
+}
+
+}  // namespace
+
+StatusOr<Relation> ParseCsv(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  if (!std::getline(stream, line)) {
+    return InvalidArgumentError("CSV input is empty (missing header)");
+  }
+  std::vector<ColumnDef> defs;
+  for (const auto& name : SplitLine(line)) {
+    if (name.empty()) {
+      return InvalidArgumentError("CSV header contains an empty column name");
+    }
+    defs.emplace_back(name);
+  }
+  Relation relation{Schema(std::move(defs))};
+
+  size_t line_number = 1;
+  std::vector<int64_t> row;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    const auto fields = SplitLine(line);
+    if (static_cast<int>(fields.size()) != relation.NumColumns()) {
+      return InvalidArgumentError(
+          StrFormat("line %zu has %zu fields, expected %d", line_number,
+                    fields.size(), relation.NumColumns()));
+    }
+    row.clear();
+    for (const auto& field : fields) {
+      CONCLAVE_ASSIGN_OR_RETURN(int64_t value, ParseInt(field, line_number));
+      row.push_back(value);
+    }
+    relation.AppendRow(row);
+  }
+  return relation;
+}
+
+std::string ToCsv(const Relation& relation) {
+  std::string out;
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(relation.NumColumns()));
+  for (const auto& column : relation.schema().columns()) {
+    names.push_back(column.name);
+  }
+  out += StrJoin(names, ",") + "\n";
+  for (int64_t r = 0; r < relation.NumRows(); ++r) {
+    std::vector<std::string> cells;
+    cells.reserve(static_cast<size_t>(relation.NumColumns()));
+    for (int c = 0; c < relation.NumColumns(); ++c) {
+      cells.push_back(std::to_string(relation.At(r, c)));
+    }
+    out += StrJoin(cells, ",") + "\n";
+  }
+  return out;
+}
+
+StatusOr<Relation> ReadCsv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return NotFoundError(StrFormat("cannot open '%s' for reading", path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+Status WriteCsv(const Relation& relation, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return InvalidArgumentError(StrFormat("cannot open '%s' for writing",
+                                          path.c_str()));
+  }
+  file << ToCsv(relation);
+  if (!file) {
+    return InternalError(StrFormat("failed writing '%s'", path.c_str()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace conclave

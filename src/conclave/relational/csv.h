@@ -1,0 +1,25 @@
+// CSV import/export for relations.
+//
+// Format: first line is comma-separated column names, subsequent lines are int64
+// values. This mirrors the paper's deployment model where each party's Conclave agent
+// reads local input CSVs and writes output CSVs (§4.1).
+#ifndef CONCLAVE_RELATIONAL_CSV_H_
+#define CONCLAVE_RELATIONAL_CSV_H_
+
+#include <string>
+
+#include "conclave/common/status.h"
+#include "conclave/relational/relation.h"
+
+namespace conclave {
+
+StatusOr<Relation> ReadCsv(const std::string& path);
+Status WriteCsv(const Relation& relation, const std::string& path);
+
+// String-based variants (used by tests and in-memory pipelines).
+StatusOr<Relation> ParseCsv(const std::string& text);
+std::string ToCsv(const Relation& relation);
+
+}  // namespace conclave
+
+#endif  // CONCLAVE_RELATIONAL_CSV_H_

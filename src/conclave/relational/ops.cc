@@ -1,0 +1,495 @@
+#include "conclave/relational/ops.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+
+#include "conclave/common/strings.h"
+
+namespace conclave {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "==";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCompare(CompareOp op, int64_t lhs, int64_t rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kMean:
+      return "mean";
+  }
+  return "?";
+}
+
+const char* WindowFnName(WindowFn fn) {
+  switch (fn) {
+    case WindowFn::kRowNumber:
+      return "row_number";
+    case WindowFn::kLag:
+      return "lag";
+    case WindowFn::kRunningSum:
+      return "running_sum";
+  }
+  return "?";
+}
+
+const char* ArithKindName(ArithKind kind) {
+  switch (kind) {
+    case ArithKind::kAdd:
+      return "+";
+    case ArithKind::kSub:
+      return "-";
+    case ArithKind::kMul:
+      return "*";
+    case ArithKind::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+namespace ops {
+namespace {
+
+// Mixes a multi-column key into one hash (SplitMix64 finalizer per word).
+struct KeyHash {
+  size_t operator()(const std::vector<int64_t>& key) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (int64_t v : key) {
+      uint64_t z = static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL + h;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      h = z ^ (z >> 31);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+std::vector<int64_t> ExtractKey(const Relation& rel, int64_t row,
+                                std::span<const int> columns) {
+  std::vector<int64_t> key;
+  key.reserve(columns.size());
+  for (int c : columns) {
+    key.push_back(rel.At(row, c));
+  }
+  return key;
+}
+
+// Lexicographic three-way compare of two rows restricted to `columns`.
+int CompareRows(const Relation& rel, int64_t row_a, int64_t row_b,
+                std::span<const int> columns) {
+  for (int c : columns) {
+    const int64_t a = rel.At(row_a, c);
+    const int64_t b = rel.At(row_b, c);
+    if (a < b) {
+      return -1;
+    }
+    if (a > b) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+Relation Project(const Relation& input, std::span<const int> columns) {
+  std::vector<ColumnDef> defs;
+  defs.reserve(columns.size());
+  for (int c : columns) {
+    defs.push_back(input.schema().Column(c));
+  }
+  Relation output{Schema(std::move(defs))};
+  output.Reserve(input.NumRows());
+  auto& cells = output.mutable_cells();
+  for (int64_t r = 0; r < input.NumRows(); ++r) {
+    for (int c : columns) {
+      cells.push_back(input.At(r, c));
+    }
+  }
+  return output;
+}
+
+Relation Filter(const Relation& input, const FilterPredicate& predicate) {
+  Relation output{input.schema()};
+  auto& cells = output.mutable_cells();
+  for (int64_t r = 0; r < input.NumRows(); ++r) {
+    const int64_t lhs = input.At(r, predicate.column);
+    const int64_t rhs = predicate.rhs_is_column ? input.At(r, predicate.rhs_column)
+                                                : predicate.rhs_literal;
+    if (EvalCompare(predicate.op, lhs, rhs)) {
+      auto row = input.Row(r);
+      cells.insert(cells.end(), row.begin(), row.end());
+    }
+  }
+  return output;
+}
+
+Schema JoinOutputSchema(const Schema& left, const Schema& right,
+                        std::span<const int> left_keys,
+                        std::span<const int> right_keys,
+                        std::vector<int>* left_rest, std::vector<int>* right_rest) {
+  CONCLAVE_CHECK_EQ(left_keys.size(), right_keys.size());
+  CONCLAVE_CHECK_GT(left_keys.size(), 0u);
+  std::vector<ColumnDef> defs;
+  for (int c : left_keys) {
+    defs.push_back(left.Column(c));
+  }
+  for (int c = 0; c < left.NumColumns(); ++c) {
+    if (std::find(left_keys.begin(), left_keys.end(), c) == left_keys.end()) {
+      defs.push_back(left.Column(c));
+      if (left_rest != nullptr) {
+        left_rest->push_back(c);
+      }
+    }
+  }
+  for (int c = 0; c < right.NumColumns(); ++c) {
+    if (std::find(right_keys.begin(), right_keys.end(), c) == right_keys.end()) {
+      defs.push_back(right.Column(c));
+      if (right_rest != nullptr) {
+        right_rest->push_back(c);
+      }
+    }
+  }
+  return Schema(std::move(defs));
+}
+
+Relation Join(const Relation& left, const Relation& right,
+              std::span<const int> left_keys, std::span<const int> right_keys) {
+  std::vector<int> left_rest;
+  std::vector<int> right_rest;
+  Relation output{JoinOutputSchema(left.schema(), right.schema(), left_keys,
+                                   right_keys, &left_rest, &right_rest)};
+
+  // Build side: hash the right relation's keys to row indices.
+  std::unordered_map<std::vector<int64_t>, std::vector<int64_t>, KeyHash> index;
+  index.reserve(static_cast<size_t>(right.NumRows()));
+  for (int64_t r = 0; r < right.NumRows(); ++r) {
+    index[ExtractKey(right, r, right_keys)].push_back(r);
+  }
+
+  auto& cells = output.mutable_cells();
+  for (int64_t lr = 0; lr < left.NumRows(); ++lr) {
+    const auto it = index.find(ExtractKey(left, lr, left_keys));
+    if (it == index.end()) {
+      continue;
+    }
+    for (int64_t rr : it->second) {
+      for (int c : left_keys) {
+        cells.push_back(left.At(lr, c));
+      }
+      for (int c : left_rest) {
+        cells.push_back(left.At(lr, c));
+      }
+      for (int c : right_rest) {
+        cells.push_back(right.At(rr, c));
+      }
+    }
+  }
+  return output;
+}
+
+Relation Aggregate(const Relation& input, std::span<const int> group_columns,
+                   AggKind kind, int agg_column, const std::string& output_name) {
+  struct Accumulator {
+    int64_t sum = 0;
+    int64_t count = 0;
+    int64_t min = std::numeric_limits<int64_t>::max();
+    int64_t max = std::numeric_limits<int64_t>::min();
+  };
+
+  std::unordered_map<std::vector<int64_t>, Accumulator, KeyHash> groups;
+  for (int64_t r = 0; r < input.NumRows(); ++r) {
+    auto& acc = groups[ExtractKey(input, r, group_columns)];
+    acc.count += 1;
+    if (kind != AggKind::kCount) {
+      const int64_t v = input.At(r, agg_column);
+      acc.sum += v;
+      acc.min = std::min(acc.min, v);
+      acc.max = std::max(acc.max, v);
+    }
+  }
+
+  std::vector<ColumnDef> defs;
+  for (int c : group_columns) {
+    defs.push_back(input.schema().Column(c));
+  }
+  defs.emplace_back(output_name);
+  Relation output{Schema(std::move(defs))};
+
+  // Sort group keys for a deterministic output order.
+  std::vector<const std::pair<const std::vector<int64_t>, Accumulator>*> entries;
+  entries.reserve(groups.size());
+  for (const auto& entry : groups) {
+    entries.push_back(&entry);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+
+  auto& cells = output.mutable_cells();
+  for (const auto* entry : entries) {
+    cells.insert(cells.end(), entry->first.begin(), entry->first.end());
+    const Accumulator& acc = entry->second;
+    switch (kind) {
+      case AggKind::kSum:
+        cells.push_back(acc.sum);
+        break;
+      case AggKind::kCount:
+        cells.push_back(acc.count);
+        break;
+      case AggKind::kMin:
+        cells.push_back(acc.min);
+        break;
+      case AggKind::kMax:
+        cells.push_back(acc.max);
+        break;
+      case AggKind::kMean:
+        cells.push_back(acc.count == 0 ? 0 : acc.sum / acc.count);
+        break;
+    }
+  }
+  return output;
+}
+
+Relation Concat(std::span<const Relation> inputs) {
+  CONCLAVE_CHECK_GT(inputs.size(), 0u);
+  for (const Relation& rel : inputs.subspan(1)) {
+    CONCLAVE_CHECK(inputs[0].schema().NamesMatch(rel.schema()));
+  }
+  Relation output{inputs[0].schema()};
+  int64_t total_rows = 0;
+  for (const Relation& rel : inputs) {
+    total_rows += rel.NumRows();
+  }
+  output.Reserve(total_rows);
+  auto& cells = output.mutable_cells();
+  for (const Relation& rel : inputs) {
+    cells.insert(cells.end(), rel.cells().begin(), rel.cells().end());
+  }
+  return output;
+}
+
+Relation SortBy(const Relation& input, std::span<const int> columns, bool ascending) {
+  std::vector<int64_t> order(static_cast<size_t>(input.NumRows()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    const int cmp = CompareRows(input, a, b, columns);
+    return ascending ? cmp < 0 : cmp > 0;
+  });
+
+  Relation output{input.schema()};
+  output.Reserve(input.NumRows());
+  auto& cells = output.mutable_cells();
+  for (int64_t r : order) {
+    auto row = input.Row(r);
+    cells.insert(cells.end(), row.begin(), row.end());
+  }
+  return output;
+}
+
+Relation Distinct(const Relation& input, std::span<const int> columns) {
+  Relation projected = Project(input, columns);
+  std::vector<std::vector<int64_t>> rows;
+  rows.reserve(static_cast<size_t>(projected.NumRows()));
+  for (int64_t r = 0; r < projected.NumRows(); ++r) {
+    auto row = projected.Row(r);
+    rows.emplace_back(row.begin(), row.end());
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+
+  Relation output{projected.schema()};
+  output.Reserve(static_cast<int64_t>(rows.size()));
+  for (const auto& row : rows) {
+    output.AppendRow(row);
+  }
+  return output;
+}
+
+Relation Limit(const Relation& input, int64_t count) {
+  CONCLAVE_CHECK_GE(count, 0);
+  Relation output{input.schema()};
+  const int64_t rows = std::min(count, input.NumRows());
+  output.Reserve(rows);
+  auto& cells = output.mutable_cells();
+  cells.insert(cells.end(), input.cells().begin(),
+               input.cells().begin() + rows * input.NumColumns());
+  return output;
+}
+
+Relation Arithmetic(const Relation& input, const ArithSpec& spec) {
+  std::vector<ColumnDef> defs = input.schema().columns();
+  defs.emplace_back(spec.result_name);
+  Relation output{Schema(std::move(defs))};
+  output.Reserve(input.NumRows());
+  auto& cells = output.mutable_cells();
+  for (int64_t r = 0; r < input.NumRows(); ++r) {
+    auto row = input.Row(r);
+    cells.insert(cells.end(), row.begin(), row.end());
+    const int64_t lhs = input.At(r, spec.lhs_column);
+    const int64_t rhs =
+        spec.rhs_is_column ? input.At(r, spec.rhs_column) : spec.rhs_literal;
+    int64_t result = 0;
+    switch (spec.kind) {
+      case ArithKind::kAdd:
+        result = lhs + rhs;
+        break;
+      case ArithKind::kSub:
+        result = lhs - rhs;
+        break;
+      case ArithKind::kMul:
+        result = lhs * rhs;
+        break;
+      case ArithKind::kDiv:
+        result = rhs == 0 ? 0 : (lhs * spec.scale) / rhs;
+        break;
+    }
+    cells.push_back(result);
+  }
+  return output;
+}
+
+Relation Enumerate(const Relation& input, const std::string& index_name) {
+  std::vector<ColumnDef> defs = input.schema().columns();
+  defs.emplace_back(index_name);
+  Relation output{Schema(std::move(defs))};
+  output.Reserve(input.NumRows());
+  auto& cells = output.mutable_cells();
+  for (int64_t r = 0; r < input.NumRows(); ++r) {
+    auto row = input.Row(r);
+    cells.insert(cells.end(), row.begin(), row.end());
+    cells.push_back(r);
+  }
+  return output;
+}
+
+Relation Window(const Relation& input, const WindowSpec& spec) {
+  // Evaluate in (partition, order) order; the sorted relation is also the output's
+  // row order, so downstream sortedness tracking can rely on it.
+  std::vector<int> sort_columns = spec.partition_columns;
+  sort_columns.push_back(spec.order_column);
+  Relation sorted = SortBy(input, sort_columns);
+
+  std::vector<ColumnDef> defs = sorted.schema().columns();
+  defs.emplace_back(spec.output_name);
+  Relation output{Schema(std::move(defs))};
+  output.Reserve(sorted.NumRows());
+  auto& cells = output.mutable_cells();
+
+  int64_t row_number = 0;
+  int64_t running_sum = 0;
+  int64_t prev_value = 0;
+  for (int64_t r = 0; r < sorted.NumRows(); ++r) {
+    const bool new_partition =
+        r == 0 || CompareRows(sorted, r - 1, r, spec.partition_columns) != 0;
+    if (new_partition) {
+      row_number = 0;
+      running_sum = 0;
+      prev_value = 0;
+    }
+    row_number += 1;
+    int64_t computed = 0;
+    switch (spec.fn) {
+      case WindowFn::kRowNumber:
+        computed = row_number;
+        break;
+      case WindowFn::kLag:
+        computed = prev_value;
+        prev_value = sorted.At(r, spec.value_column);
+        break;
+      case WindowFn::kRunningSum:
+        running_sum += sorted.At(r, spec.value_column);
+        computed = running_sum;
+        break;
+    }
+    auto row = sorted.Row(r);
+    cells.insert(cells.end(), row.begin(), row.end());
+    cells.push_back(computed);
+  }
+  return output;
+}
+
+bool IsSortedBy(const Relation& input, std::span<const int> columns) {
+  for (int64_t r = 1; r < input.NumRows(); ++r) {
+    if (CompareRows(input, r - 1, r, columns) > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Relation PadToPowerOfTwo(const Relation& input, int64_t sentinel_stream) {
+  int64_t target = 1;
+  while (target < input.NumRows()) {
+    target *= 2;
+  }
+  Relation output = input;
+  output.Reserve(target);
+  // Unique sentinel per cell: base + stream * 2^32 + counter. Streams separate pad
+  // sites (parties/branches); the counter separates cells within a site.
+  int64_t counter = 0;
+  for (int64_t r = input.NumRows(); r < target; ++r) {
+    std::vector<int64_t> row(static_cast<size_t>(input.NumColumns()));
+    for (auto& cell : row) {
+      cell = kSentinelBase + sentinel_stream * (int64_t{1} << 32) + counter++;
+    }
+    output.AppendRow(row);
+  }
+  return output;
+}
+
+Relation StripSentinelRows(const Relation& input) {
+  Relation output{input.schema()};
+  auto& cells = output.mutable_cells();
+  for (int64_t r = 0; r < input.NumRows(); ++r) {
+    auto row = input.Row(r);
+    const bool padded = std::any_of(row.begin(), row.end(),
+                                    [](int64_t cell) { return cell >= kSentinelBase; });
+    if (!padded) {
+      cells.insert(cells.end(), row.begin(), row.end());
+    }
+  }
+  return output;
+}
+
+}  // namespace ops
+}  // namespace conclave

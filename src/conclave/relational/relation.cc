@@ -1,0 +1,74 @@
+#include "conclave/relational/relation.h"
+
+#include <algorithm>
+
+#include "conclave/common/strings.h"
+
+namespace conclave {
+
+Relation::Relation(Schema schema, std::vector<int64_t> cells)
+    : schema_(std::move(schema)), cells_(std::move(cells)) {
+  const int cols = schema_.NumColumns();
+  CONCLAVE_CHECK_GT(cols, 0);
+  CONCLAVE_CHECK_EQ(cells_.size() % static_cast<size_t>(cols), 0u);
+}
+
+void Relation::AppendRow(std::span<const int64_t> values) {
+  CONCLAVE_CHECK_EQ(static_cast<int>(values.size()), NumColumns());
+  cells_.insert(cells_.end(), values.begin(), values.end());
+}
+
+std::vector<int64_t> Relation::ColumnValues(int col) const {
+  CONCLAVE_CHECK_GE(col, 0);
+  CONCLAVE_CHECK_LT(col, NumColumns());
+  std::vector<int64_t> values;
+  values.reserve(static_cast<size_t>(NumRows()));
+  for (int64_t r = 0; r < NumRows(); ++r) {
+    values.push_back(At(r, col));
+  }
+  return values;
+}
+
+bool Relation::RowsEqual(const Relation& other) const {
+  return schema_.NamesMatch(other.schema_) && cells_ == other.cells_;
+}
+
+std::string Relation::ToString(int64_t max_rows) const {
+  std::string out = schema_.ToString() + StrFormat(" [%lld rows]\n",
+                                                   static_cast<long long>(NumRows()));
+  const int64_t shown = std::min(NumRows(), max_rows);
+  for (int64_t r = 0; r < shown; ++r) {
+    std::vector<std::string> cells;
+    cells.reserve(static_cast<size_t>(NumColumns()));
+    for (int c = 0; c < NumColumns(); ++c) {
+      cells.push_back(std::to_string(At(r, c)));
+    }
+    out += "  [" + StrJoin(cells, ", ") + "]\n";
+  }
+  if (shown < NumRows()) {
+    out += StrFormat("  ... (%lld more rows)\n",
+                     static_cast<long long>(NumRows() - shown));
+  }
+  return out;
+}
+
+bool UnorderedEqual(const Relation& a, const Relation& b) {
+  if (!a.schema().NamesMatch(b.schema()) || a.NumRows() != b.NumRows()) {
+    return false;
+  }
+  const int cols = a.NumColumns();
+  auto sorted_rows = [cols](const Relation& rel) {
+    std::vector<std::vector<int64_t>> rows;
+    rows.reserve(static_cast<size_t>(rel.NumRows()));
+    for (int64_t r = 0; r < rel.NumRows(); ++r) {
+      auto row = rel.Row(r);
+      rows.emplace_back(row.begin(), row.end());
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  (void)cols;
+  return sorted_rows(a) == sorted_rows(b);
+}
+
+}  // namespace conclave

@@ -1,0 +1,85 @@
+// In-memory relation: a schema plus row-major int64 cells.
+//
+// Storage is one flat vector (cache-friendly; relations in benches reach 10^7+ rows).
+// Relations are value types; the operator library in ops.h produces new relations.
+#ifndef CONCLAVE_RELATIONAL_RELATION_H_
+#define CONCLAVE_RELATIONAL_RELATION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "conclave/relational/schema.h"
+
+namespace conclave {
+
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  Relation(Schema schema, std::vector<int64_t> cells);
+
+  const Schema& schema() const { return schema_; }
+  Schema& mutable_schema() { return schema_; }
+
+  int64_t NumRows() const {
+    const int cols = schema_.NumColumns();
+    return cols == 0 ? 0 : static_cast<int64_t>(cells_.size()) / cols;
+  }
+  int NumColumns() const { return schema_.NumColumns(); }
+
+  int64_t At(int64_t row, int col) const {
+    CONCLAVE_DCHECK(row >= 0 && row < NumRows());
+    CONCLAVE_DCHECK(col >= 0 && col < NumColumns());
+    return cells_[static_cast<size_t>(row) * NumColumns() + col];
+  }
+  void Set(int64_t row, int col, int64_t value) {
+    CONCLAVE_DCHECK(row >= 0 && row < NumRows());
+    CONCLAVE_DCHECK(col >= 0 && col < NumColumns());
+    cells_[static_cast<size_t>(row) * NumColumns() + col] = value;
+  }
+
+  std::span<const int64_t> Row(int64_t row) const {
+    CONCLAVE_DCHECK(row >= 0 && row < NumRows());
+    return {cells_.data() + static_cast<size_t>(row) * NumColumns(),
+            static_cast<size_t>(NumColumns())};
+  }
+
+  void AppendRow(std::span<const int64_t> values);
+  void AppendRow(std::initializer_list<int64_t> values) {
+    AppendRow(std::span<const int64_t>(values.begin(), values.size()));
+  }
+
+  void Reserve(int64_t rows) {
+    cells_.reserve(static_cast<size_t>(rows) * NumColumns());
+  }
+
+  // Extracts one column as a vector (used when moving columns in/out of MPC).
+  std::vector<int64_t> ColumnValues(int col) const;
+
+  const std::vector<int64_t>& cells() const { return cells_; }
+  std::vector<int64_t>& mutable_cells() { return cells_; }
+
+  // Approximate in-memory footprint (cells only); drives the simulated-OOM checks.
+  uint64_t ByteSize() const { return cells_.size() * sizeof(int64_t); }
+
+  // Exact equality: same schema names and identical cells in identical order.
+  bool RowsEqual(const Relation& other) const;
+
+  // Multi-line debug rendering; caps at `max_rows` rows.
+  std::string ToString(int64_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<int64_t> cells_;
+};
+
+// Order-insensitive comparison used by tests: sorts both relations' rows
+// lexicographically and compares. MPC operators are allowed to permute output rows
+// (oblivious shuffles do exactly that), so most equivalence checks are unordered.
+bool UnorderedEqual(const Relation& a, const Relation& b);
+
+}  // namespace conclave
+
+#endif  // CONCLAVE_RELATIONAL_RELATION_H_

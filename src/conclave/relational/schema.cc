@@ -1,0 +1,81 @@
+#include "conclave/relational/schema.h"
+
+#include "conclave/common/strings.h"
+
+namespace conclave {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {}
+
+Schema Schema::Of(std::initializer_list<std::string> names) {
+  std::vector<ColumnDef> columns;
+  columns.reserve(names.size());
+  for (const auto& name : names) {
+    columns.emplace_back(name);
+  }
+  return Schema(std::move(columns));
+}
+
+const ColumnDef& Schema::Column(int index) const {
+  CONCLAVE_CHECK_GE(index, 0);
+  CONCLAVE_CHECK_LT(index, NumColumns());
+  return columns_[static_cast<size_t>(index)];
+}
+
+ColumnDef& Schema::MutableColumn(int index) {
+  CONCLAVE_CHECK_GE(index, 0);
+  CONCLAVE_CHECK_LT(index, NumColumns());
+  return columns_[static_cast<size_t>(index)];
+}
+
+StatusOr<int> Schema::IndexOf(const std::string& name) const {
+  for (int i = 0; i < NumColumns(); ++i) {
+    if (columns_[static_cast<size_t>(i)].name == name) {
+      return i;
+    }
+  }
+  return NotFoundError(
+      StrFormat("no column '%s' in schema %s", name.c_str(), ToString().c_str()));
+}
+
+bool Schema::HasColumn(const std::string& name) const {
+  for (const auto& column : columns_) {
+    if (column.name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+StatusOr<std::vector<int>> Schema::IndicesOf(
+    const std::vector<std::string>& names) const {
+  std::vector<int> indices;
+  indices.reserve(names.size());
+  for (const auto& name : names) {
+    CONCLAVE_ASSIGN_OR_RETURN(int index, IndexOf(name));
+    indices.push_back(index);
+  }
+  return indices;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const auto& column : columns_) {
+    parts.push_back(column.name + column.trust_set.ToString());
+  }
+  return "(" + StrJoin(parts, ", ") + ")";
+}
+
+bool Schema::NamesMatch(const Schema& other) const {
+  if (NumColumns() != other.NumColumns()) {
+    return false;
+  }
+  for (int i = 0; i < NumColumns(); ++i) {
+    if (Column(i).name != other.Column(i).name) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace conclave

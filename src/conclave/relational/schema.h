@@ -1,0 +1,68 @@
+// Relation schemas: ordered, named integer columns with optional trust annotations.
+//
+// All cells are 64-bit signed integers, matching the paper's prototype (cc.INT); the
+// evaluation queries (credit scores, taxi fares, diagnoses) are integer-only, and both
+// Sharemind and Obliv-C natively compute over integer rings.
+#ifndef CONCLAVE_RELATIONAL_SCHEMA_H_
+#define CONCLAVE_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "conclave/common/party.h"
+#include "conclave/common/status.h"
+
+namespace conclave {
+
+// One column definition. `trust_set` is the *annotation* from the query author
+// (Listing 1, line 8: Column("ssn", cc.INT, trust=[pA])); the compiler later derives
+// propagated trust sets for intermediate relations from these.
+struct ColumnDef {
+  std::string name;
+  PartySet trust_set;
+
+  ColumnDef() = default;
+  explicit ColumnDef(std::string column_name) : name(std::move(column_name)) {}
+  ColumnDef(std::string column_name, PartySet trust)
+      : name(std::move(column_name)), trust_set(trust) {}
+
+  bool operator==(const ColumnDef& other) const {
+    return name == other.name && trust_set == other.trust_set;
+  }
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  // Convenience: columns with empty trust sets.
+  static Schema Of(std::initializer_list<std::string> names);
+
+  int NumColumns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& Column(int index) const;
+  ColumnDef& MutableColumn(int index);
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  // Index of the column named `name`, or an error listing the schema.
+  StatusOr<int> IndexOf(const std::string& name) const;
+  bool HasColumn(const std::string& name) const;
+
+  // Resolves a list of names to indices, failing on the first unknown name.
+  StatusOr<std::vector<int>> IndicesOf(const std::vector<std::string>& names) const;
+
+  // "(ssn{0}, zip{}, score{})" — names with trust annotations.
+  std::string ToString() const;
+
+  // True if names match position-wise (trust sets may differ). Concat requires this.
+  bool NamesMatch(const Schema& other) const;
+
+  bool operator==(const Schema& other) const { return columns_ == other.columns_; }
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace conclave
+
+#endif  // CONCLAVE_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,98 @@
+// SMCQL baseline and the Conclave slicing pipelines used for the §7.4 comparison.
+//
+// SMCQL [3] differentiates only public vs. private columns, runs MPC on the ObliVM
+// garbled-circuit backend, and "slices" data on public key columns: a slice whose key
+// occurs at only one party is processed locally there; slices with keys at both
+// parties run as many small MPCs. This module implements:
+//
+//  * SliceByKey        — the slicing partition itself (shared for both systems, since
+//                        the paper manually adds SMCQL-style slicing to Conclave).
+//  * SmcqlAspirinCount — SMCQL's execution: per-shared-slice ObliVM join + filters,
+//                        solo slices local.
+//  * ConclaveAspirinCount — slicing + Conclave's public join, with order-preserving
+//                        MPC filters and the O(n)-after-sort-elimination distinct
+//                        count on the secret-sharing backend (§7.4's headline).
+//  * SmcqlComorbidity  — local pre-aggregation per party + ObliVM secondary
+//                        aggregation, descending sort, and limit.
+//
+// Both systems' runs report virtual seconds on their own simulated network/cluster.
+#ifndef CONCLAVE_SMCQL_SMCQL_H_
+#define CONCLAVE_SMCQL_SMCQL_H_
+
+#include <cstdint>
+
+#include "conclave/common/status.h"
+#include "conclave/net/cost_model.h"
+#include "conclave/relational/relation.h"
+
+namespace conclave {
+namespace smcql {
+
+struct SliceResult {
+  // Rows whose slice key occurs only at one party.
+  Relation solo0;
+  Relation solo1;
+  // Rows whose slice key occurs at both parties.
+  Relation shared0;
+  Relation shared1;
+  int64_t num_shared_keys = 0;
+};
+
+// Partitions two parties' horizontal shares of one relation by the public key column.
+SliceResult SliceByKey(const Relation& party0, const Relation& party1, int key_col);
+
+struct RunResult {
+  Relation output;
+  double virtual_seconds = 0;
+  int64_t mpc_slices = 0;     // Shared-key slices executed under MPC (SMCQL).
+  int64_t mpc_input_rows = 0; // Rows entering MPC.
+};
+
+struct RunConfig {
+  CostModel cost_model;
+  // ObliVM setup cost per sliced MPC (circuit generation + OT bootstrap).
+  double per_slice_setup_seconds = 0.5;
+  uint64_t seed = 42;
+};
+
+// Aspirin count (SMCQL §2.2.1): patients diagnosed with `diag_code` and prescribed
+// `med_code`; diagnoses and medications horizontally partitioned across 2 hospitals.
+// Output: one row, one column ("aspirin_count").
+StatusOr<RunResult> SmcqlAspirinCount(const Relation& diag0, const Relation& med0,
+                                      const Relation& diag1, const Relation& med1,
+                                      int64_t diag_code, int64_t med_code,
+                                      const RunConfig& config);
+
+StatusOr<RunResult> ConclaveAspirinCount(const Relation& diag0, const Relation& med0,
+                                         const Relation& diag1, const Relation& med1,
+                                         int64_t diag_code, int64_t med_code,
+                                         const RunConfig& config);
+
+// Comorbidity (SMCQL §2.2.1): top-`limit` most common diagnoses across two parties.
+// Output schema: (diag, cnt), `limit` rows, descending by count.
+StatusOr<RunResult> SmcqlComorbidity(const Relation& diag0, const Relation& diag1,
+                                     int64_t limit, const RunConfig& config);
+
+// Recurrent c.diff (SMCQL §2.2.1): count patients with a second c.diff diagnosis 15–56
+// days after an earlier one. Inputs are (pid, time, diag) event logs horizontally
+// partitioned across two hospitals; patient IDs are public. The paper's §7.4 only
+// *discusses* this query ("Conclave does not yet support window aggregates"); this
+// repo's window operator makes it runnable. Output: one row ("rcdiff_count").
+//
+// SMCQL's plan follows its paper: per-shared-patient slices run a window row-number,
+// a self-join on pid, and the gap filter under ObliVM; solo slices run locally.
+StatusOr<RunResult> SmcqlRecurrentCdiff(const Relation& diag0, const Relation& diag1,
+                                        const RunConfig& config);
+
+// Conclave's plan: slicing + a size-revealing MPC filter to the c.diff rows, then the
+// oblivious window (lag over time, partitioned by pid) — which subsumes SMCQL's
+// self-join — and the sort-elimination-enabled linear distinct count (window output is
+// already (pid, time)-sorted).
+StatusOr<RunResult> ConclaveRecurrentCdiff(const Relation& diag0,
+                                           const Relation& diag1,
+                                           const RunConfig& config);
+
+}  // namespace smcql
+}  // namespace conclave
+
+#endif  // CONCLAVE_SMCQL_SMCQL_H_

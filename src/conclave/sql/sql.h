@@ -1,0 +1,55 @@
+// SQL frontend for Conclave queries (§4.1: "Conclave assumes that analysts write
+// relational queries using SQL or LINQ").
+//
+// A deliberately small, analyst-facing subset compiled onto the LINQ API — one
+// statement per call, producing the same operator DAG the fluent builder would:
+//
+//   SELECT zip, SUM(score) AS total
+//   FROM demographics JOIN scores ON demographics.ssn = scores.ssn
+//   WHERE score > 300
+//   GROUP BY zip
+//   ORDER BY total DESC
+//   LIMIT 10
+//
+// Grammar (keywords case-insensitive; identifiers case-sensitive):
+//
+//   statement   := SELECT [DISTINCT] select_list FROM source
+//                  [WHERE conjunct (AND conjunct)*]
+//                  [GROUP BY column (, column)*]
+//                  [ORDER BY column [ASC|DESC]]
+//                  [LIMIT number]
+//   select_list := '*' | item (, item)*
+//   item        := column | agg '(' (column|'*') ')' AS name
+//   agg         := SUM | COUNT | MIN | MAX | AVG
+//   source      := table | table JOIN table ON table.column = table.column
+//                | table UNION ALL table (UNION ALL table)*
+//   conjunct    := column op (number | column);  op in { =, !=, <>, <, <=, >, >= }
+//
+// Input tables are the registered api::Table handles (with their `at=` owners and
+// trust annotations); the statement references them by registration name. Ownership,
+// trust propagation, MPC placement, and hybrid rewriting all happen downstream in the
+// normal compilation pipeline — the SQL layer is pure syntax.
+#ifndef CONCLAVE_SQL_SQL_H_
+#define CONCLAVE_SQL_SQL_H_
+
+#include <map>
+#include <string>
+
+#include "conclave/api/conclave.h"
+#include "conclave/common/status.h"
+
+namespace conclave {
+namespace sql {
+
+// Parses `statement` against the registered tables and appends the resulting
+// operator chain to `query`, returning the final (pre-Collect) table. The caller
+// writes the output annotation (`WriteToCsv(...)`) itself — recipients are a
+// deployment decision, not query text.
+StatusOr<api::Table> ParseQuery(api::Query& query,
+                                const std::map<std::string, api::Table>& tables,
+                                const std::string& statement);
+
+}  // namespace sql
+}  // namespace conclave
+
+#endif  // CONCLAVE_SQL_SQL_H_

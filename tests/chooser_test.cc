@@ -1,0 +1,182 @@
+// Tests for cardinality estimation and the cost-based MPC backend chooser (§9
+// extension): estimates flow correctly through every operator, and the chooser picks
+// secret sharing for join/comparison-heavy or 3-party queries and garbled circuits
+// for linear-pass-only two-party queries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "conclave/api/conclave.h"
+#include "conclave/compiler/backend_chooser.h"
+#include "conclave/compiler/compiler.h"
+#include "conclave/compiler/ownership.h"
+#include "conclave/data/generators.h"
+
+namespace conclave {
+namespace compiler {
+namespace {
+
+TEST(CardinalityTest, FlowsThroughOperators) {
+  ir::Dag dag;
+  ir::OpNode* a = *dag.AddCreate("a", Schema::Of({"k", "v"}), 0, 1000);
+  ir::OpNode* b = *dag.AddCreate("b", Schema::Of({"k", "v"}), 1, 3000);
+  ir::OpNode* concat = *dag.AddConcat({a, b});
+  ir::FilterParams filter;
+  filter.column = "v";
+  filter.op = CompareOp::kGt;
+  filter.literal = 5;
+  ir::OpNode* filtered = *dag.AddFilter(concat, filter);
+  ir::AggregateParams agg;
+  agg.group_columns = {"k"};
+  agg.kind = AggKind::kSum;
+  agg.agg_column = "v";
+  agg.output_name = "total";
+  ir::OpNode* grouped = *dag.AddAggregate(filtered, agg);
+  ir::OpNode* limited = *dag.AddLimit(grouped, 10);
+  *dag.AddCollect(limited, "out", PartySet::Of({0}));
+
+  const auto rows = EstimateCardinalities(dag);
+  EXPECT_DOUBLE_EQ(rows.at(a->id), 1000);
+  EXPECT_DOUBLE_EQ(rows.at(b->id), 3000);
+  EXPECT_DOUBLE_EQ(rows.at(concat->id), 4000);
+  EXPECT_DOUBLE_EQ(rows.at(filtered->id), 2000);   // 0.5 selectivity.
+  EXPECT_DOUBLE_EQ(rows.at(grouped->id), 200);     // 0.1 distinct fraction.
+  EXPECT_DOUBLE_EQ(rows.at(limited->id), 10);
+}
+
+TEST(CardinalityTest, DefaultsAndJoinsAndPads) {
+  ir::Dag dag;
+  ir::OpNode* a = *dag.AddCreate("a", Schema::Of({"k"}), 0);  // No hint -> default.
+  ir::OpNode* b = *dag.AddCreate("b", Schema::Of({"k"}), 1, 5000);
+  ir::OpNode* join = *dag.AddJoin(a, b, {"k"}, {"k"});
+  ir::OpNode* pad = *dag.AddPad(a, ir::PadParams{});
+  *dag.AddCollect(join, "out", PartySet::Of({0}));
+  *dag.AddCollect(pad, "padded", PartySet::Of({0}));
+
+  CardinalityOptions options;
+  options.default_rows = 700;
+  const auto rows = EstimateCardinalities(dag, options);
+  EXPECT_DOUBLE_EQ(rows.at(a->id), 700);
+  EXPECT_DOUBLE_EQ(rows.at(join->id), 5000);  // max(700, 5000) * fanout 1.
+  EXPECT_DOUBLE_EQ(rows.at(pad->id), 1024);   // Next power of two above 700.
+}
+
+// A 2-party query whose MPC part is a Cartesian join: secret sharing's cheap
+// equality tests beat GC's per-pair circuits.
+TEST(BackendChooserTest, JoinHeavyQueryPicksSharemind) {
+  ir::Dag dag;
+  ir::OpNode* a = *dag.AddCreate("a", Schema::Of({"k", "v"}), 0, 20000);
+  ir::OpNode* b = *dag.AddCreate("b", Schema::Of({"k", "w"}), 1, 20000);
+  ir::OpNode* join = *dag.AddJoin(a, b, {"k"}, {"k"});
+  *dag.AddCollect(join, "out", PartySet::Of({0}));
+  PropagateOwnership(dag);
+
+  const BackendChoice choice = ChooseMpcBackend(dag, CostModel{}, 2);
+  EXPECT_EQ(choice.chosen, MpcBackendKind::kSharemind);
+  EXPECT_LT(choice.sharemind_seconds, choice.oblivc_seconds);
+}
+
+// A 2-party query whose MPC part is only linear passes (project + arithmetic): GC's
+// free-XOR linear circuits beat secret sharing's per-record storage layer.
+TEST(BackendChooserTest, LinearPassQueryPicksOblivc) {
+  ir::Dag dag;
+  ir::OpNode* a = *dag.AddCreate("a", Schema::Of({"k", "v"}), 0, 20000);
+  ir::OpNode* b = *dag.AddCreate("b", Schema::Of({"k", "v"}), 1, 20000);
+  ir::OpNode* concat = *dag.AddConcat({a, b});
+  ir::OpNode* projected = *dag.AddProject(concat, {"v"});
+  *dag.AddCollect(projected, "out", PartySet::Of({0}));
+  PropagateOwnership(dag);
+
+  const BackendChoice choice = ChooseMpcBackend(dag, CostModel{}, 2);
+  EXPECT_EQ(choice.chosen, MpcBackendKind::kOblivC);
+  EXPECT_LT(choice.oblivc_seconds, choice.sharemind_seconds);
+}
+
+TEST(BackendChooserTest, ThreePartiesForceSharemind) {
+  ir::Dag dag;
+  ir::OpNode* a = *dag.AddCreate("a", Schema::Of({"v"}), 0, 100);
+  ir::OpNode* b = *dag.AddCreate("b", Schema::Of({"v"}), 1, 100);
+  ir::OpNode* c = *dag.AddCreate("c", Schema::Of({"v"}), 2, 100);
+  ir::OpNode* concat = *dag.AddConcat({a, b, c});
+  ir::OpNode* projected = *dag.AddProject(concat, {"v"});
+  *dag.AddCollect(projected, "out", PartySet::Of({0}));
+  PropagateOwnership(dag);
+
+  const BackendChoice choice = ChooseMpcBackend(dag, CostModel{}, 3);
+  EXPECT_EQ(choice.chosen, MpcBackendKind::kSharemind);
+  EXPECT_TRUE(std::isinf(choice.oblivc_seconds));
+}
+
+TEST(BackendChooserTest, GcOomIsInfeasible) {
+  // A projection big enough to exceed the simulated Obliv-C label memory (~300k rows
+  // x 1 column on a 4 GB VM, Fig. 1c).
+  ir::Dag dag;
+  ir::OpNode* a = *dag.AddCreate("a", Schema::Of({"v"}), 0, 2000000);
+  ir::OpNode* b = *dag.AddCreate("b", Schema::Of({"v"}), 1, 2000000);
+  ir::OpNode* concat = *dag.AddConcat({a, b});
+  ir::OpNode* projected = *dag.AddProject(concat, {"v"});
+  *dag.AddCollect(projected, "out", PartySet::Of({0}));
+  PropagateOwnership(dag);
+
+  const BackendChoice choice = ChooseMpcBackend(dag, CostModel{}, 2);
+  EXPECT_EQ(choice.chosen, MpcBackendKind::kSharemind);
+  EXPECT_TRUE(std::isinf(choice.oblivc_seconds));
+}
+
+TEST(BackendChooserTest, HybridOperatorsAreSharemindOnly) {
+  ir::Dag dag;
+  Schema left({ColumnDef("k", PartySet::Of({0})), ColumnDef("v")});
+  Schema right({ColumnDef("k", PartySet::Of({0})), ColumnDef("w")});
+  ir::OpNode* a = *dag.AddCreate("a", left, 0, 1000);
+  ir::OpNode* b = *dag.AddCreate("b", right, 1, 1000);
+  ir::OpNode* join = *dag.AddJoin(a, b, {"k"}, {"k"});
+  *dag.AddCollect(join, "out", PartySet::Of({0}));
+  PropagateOwnership(dag);
+  join->exec_mode = ir::ExecMode::kHybrid;
+  join->hybrid = ir::HybridKind::kHybridJoin;
+  join->stp = 0;
+
+  const BackendChoice choice = ChooseMpcBackend(dag, CostModel{}, 2);
+  EXPECT_EQ(choice.chosen, MpcBackendKind::kSharemind);
+  EXPECT_TRUE(std::isinf(choice.oblivc_seconds));
+}
+
+TEST(BackendChooserTest, EndToEndAutoBackendRunsAndRecordsDecision) {
+  api::Query query;
+  api::Party alice = query.AddParty("alice");
+  api::Party bob = query.AddParty("bob");
+  api::Table a = query.NewTable("a", {{"k"}, {"v"}}, alice, 500);
+  api::Table b = query.NewTable("b", {{"k"}, {"w"}}, bob, 500);
+  a.Join(b, {"k"}, {"k"})
+      .Aggregate("total", AggKind::kSum, {"k"}, "v")
+      .WriteToCsv("out", {alice});
+
+  compiler::CompilerOptions options;
+  options.auto_backend = true;
+  auto compilation = query.Compile(options);
+  ASSERT_TRUE(compilation.ok());
+  bool logged = false;
+  for (const auto& line : compilation->transformations) {
+    logged = logged || line.find("backend-chooser") != std::string::npos;
+  }
+  EXPECT_TRUE(logged);
+  EXPECT_EQ(compilation->options.mpc_backend, MpcBackendKind::kSharemind);
+
+  std::map<std::string, Relation> inputs;
+  inputs["a"] = data::UniformInts(500, {"k", "v"}, 50, 1);
+  inputs["b"] = data::UniformInts(500, {"k", "w"}, 50, 2);
+  backends::Dispatcher dispatcher(CostModel{}, 11);
+  const auto result = dispatcher.Run(query.dag(), *compilation, inputs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Reference.
+  const int keys[] = {0};
+  Relation joined = ops::Join(inputs.at("a"), inputs.at("b"), keys, keys);
+  const int group[] = {0};
+  Relation expected = ops::Aggregate(joined, group, AggKind::kSum, 1, "total");
+  EXPECT_TRUE(UnorderedEqual(result->outputs.at("out"), expected));
+}
+
+}  // namespace
+}  // namespace compiler
+}  // namespace conclave

@@ -1,0 +1,217 @@
+// Unit tests for the common utilities: Status/StatusOr, PartySet, Rng, clock,
+// counters, and string helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "conclave/common/party.h"
+#include "conclave/common/rng.h"
+#include "conclave/common/status.h"
+#include "conclave/common/strings.h"
+#include "conclave/common/virtual_clock.h"
+
+namespace conclave {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = InvalidArgumentError("bad column");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad column");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad column");
+}
+
+TEST(StatusTest, AllErrorConstructorsSetCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(FailedPreconditionError("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhaustedError("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted), "RESOURCE_EXHAUSTED");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = NotFoundError("missing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValueWorks) {
+  StatusOr<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> value = std::move(result).value();
+  EXPECT_EQ(*value, 7);
+}
+
+StatusOr<int> Doubler(StatusOr<int> input) {
+  CONCLAVE_ASSIGN_OR_RETURN(int value, std::move(input));
+  return value * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_EQ(Doubler(InternalError("boom")).status().code(), StatusCode::kInternal);
+}
+
+TEST(PartySetTest, EmptyByDefault) {
+  PartySet set;
+  EXPECT_TRUE(set.Empty());
+  EXPECT_EQ(set.Size(), 0);
+  EXPECT_EQ(set.First(), kNoParty);
+}
+
+TEST(PartySetTest, InsertContainsRemove) {
+  PartySet set;
+  set.Insert(2);
+  set.Insert(5);
+  EXPECT_TRUE(set.Contains(2));
+  EXPECT_TRUE(set.Contains(5));
+  EXPECT_FALSE(set.Contains(3));
+  EXPECT_EQ(set.Size(), 2);
+  set.Remove(2);
+  EXPECT_FALSE(set.Contains(2));
+}
+
+TEST(PartySetTest, AllEnumeratesEveryParty) {
+  PartySet set = PartySet::All(3);
+  EXPECT_EQ(set.Size(), 3);
+  EXPECT_EQ(set.ToVector(), (std::vector<PartyId>{0, 1, 2}));
+}
+
+TEST(PartySetTest, IntersectAndUnion) {
+  PartySet a = PartySet::Of({0, 1});
+  PartySet b = PartySet::Of({1, 2});
+  EXPECT_EQ(a.Intersect(b), PartySet::Of({1}));
+  EXPECT_EQ(a.Union(b), PartySet::All(3));
+}
+
+TEST(PartySetTest, ContainsAll) {
+  EXPECT_TRUE(PartySet::All(3).ContainsAll(PartySet::Of({0, 2})));
+  EXPECT_FALSE(PartySet::Of({0, 2}).ContainsAll(PartySet::All(3)));
+}
+
+TEST(PartySetTest, FirstIsLowestMember) {
+  EXPECT_EQ(PartySet::Of({3, 1, 7}).First(), 1);
+}
+
+TEST(PartySetTest, ToStringSortedStable) {
+  EXPECT_EQ(PartySet::Of({2, 0}).ToString(), "{0,2}");
+  EXPECT_EQ(PartySet().ToString(), "{}");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) {
+    differing += a.Next() != b.Next() ? 1 : 0;
+  }
+  EXPECT_GT(differing, 5);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // All 7 values hit in 1000 draws.
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(VirtualClockTest, AdvanceAccumulates) {
+  VirtualClock clock;
+  clock.Advance(1.5);
+  clock.Advance(2.5);
+  EXPECT_DOUBLE_EQ(clock.now_seconds(), 4.0);
+  clock.Reset();
+  EXPECT_DOUBLE_EQ(clock.now_seconds(), 0.0);
+}
+
+TEST(CostCountersTest, AddMergesAllFields) {
+  CostCounters a;
+  a.network_bytes = 10;
+  a.mpc_multiplications = 3;
+  CostCounters b;
+  b.network_bytes = 5;
+  b.gc_and_gates = 7;
+  a.Add(b);
+  EXPECT_EQ(a.network_bytes, 15u);
+  EXPECT_EQ(a.mpc_multiplications, 3u);
+  EXPECT_EQ(a.gc_and_gates, 7u);
+}
+
+TEST(StringsTest, StrFormatBasic) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, StrJoin) {
+  EXPECT_EQ(StrJoin(std::vector<std::string>{"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin(std::vector<std::string>{}, ","), "");
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(4ULL << 30), "4.0 GB");
+}
+
+TEST(StringsTest, HumanSeconds) {
+  EXPECT_EQ(HumanSeconds(0.005), "5.00 ms");
+  EXPECT_EQ(HumanSeconds(42.0), "42.00 s");
+  EXPECT_EQ(HumanSeconds(120.0), "2.00 min");
+  EXPECT_EQ(HumanSeconds(7200.0), "2.00 h");
+}
+
+TEST(StringsTest, HumanCount) {
+  EXPECT_EQ(HumanCount(10), "10");
+  EXPECT_EQ(HumanCount(3000), "3k");
+  EXPECT_EQ(HumanCount(2000000), "2M");
+  EXPECT_EQ(HumanCount(1000000000ULL), "1B");
+}
+
+}  // namespace
+}  // namespace conclave

@@ -1,0 +1,247 @@
+// Tests for the differential-privacy output layer (§8 extension): sampler
+// calibration, mechanism validation, epsilon accounting, and end-to-end noisy
+// queries through the public API.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "conclave/api/conclave.h"
+#include "conclave/data/generators.h"
+#include "conclave/dp/mechanism.h"
+
+namespace conclave {
+namespace dp {
+namespace {
+
+// --- Samplers ---------------------------------------------------------------------------
+
+TEST(LaplaceSamplerTest, MeanAndScaleCalibration) {
+  Rng rng(11);
+  const double scale = 5.0;
+  const int n = 200000;
+  double sum = 0;
+  double abs_sum = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = SampleLaplace(rng, scale);
+    sum += x;
+    abs_sum += std::abs(x);
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.1);        // E[X] = 0.
+  EXPECT_NEAR(abs_sum / n, scale, 0.1);  // E[|X|] = scale.
+}
+
+TEST(DiscreteLaplaceSamplerTest, MeanZeroAndSymmetric) {
+  Rng rng(12);
+  const double scale = 4.0;
+  const int n = 200000;
+  int64_t sum = 0;
+  int64_t zeros = 0;
+  for (int i = 0; i < n; ++i) {
+    const int64_t x = SampleDiscreteLaplace(rng, scale);
+    sum += x;
+    zeros += (x == 0);
+  }
+  EXPECT_NEAR(static_cast<double>(sum) / n, 0.0, 0.1);
+  // P[X = 0] = (1-alpha)/(1+alpha) with alpha = exp(-1/4) ~ 0.1244.
+  const double alpha = std::exp(-1.0 / scale);
+  EXPECT_NEAR(static_cast<double>(zeros) / n, (1 - alpha) / (1 + alpha), 0.01);
+}
+
+TEST(DiscreteLaplaceSamplerTest, GeometricTailDecay) {
+  Rng rng(13);
+  const double scale = 2.0;
+  const double alpha = std::exp(-1.0 / scale);
+  const int n = 200000;
+  int64_t count1 = 0;
+  int64_t count2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const int64_t magnitude = std::abs(SampleDiscreteLaplace(rng, scale));
+    count1 += (magnitude == 1);
+    count2 += (magnitude == 2);
+  }
+  // P[|X|=2] / P[|X|=1] = alpha.
+  EXPECT_NEAR(static_cast<double>(count2) / static_cast<double>(count1), alpha, 0.05);
+}
+
+TEST(DiscreteLaplaceSamplerTest, DeterministicInSeed) {
+  Rng a(77);
+  Rng b(77);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SampleDiscreteLaplace(a, 3.0), SampleDiscreteLaplace(b, 3.0));
+  }
+}
+
+// --- Mechanism ---------------------------------------------------------------------------
+
+Relation CountsRelation() {
+  Relation rel{Schema::Of({"zip", "cnt"})};
+  rel.AppendRow({100, 50});
+  rel.AppendRow({101, 70});
+  rel.AppendRow({102, 20});
+  return rel;
+}
+
+TEST(MechanismTest, PerturbsListedColumnsOnly) {
+  Relation rel = CountsRelation();
+  const Relation exact = rel;
+  DpSpec spec;
+  spec.enabled = true;
+  spec.epsilon = 0.5;
+  spec.column_sensitivity = {{"cnt", 1.0}};
+  Rng rng(3);
+  ASSERT_TRUE(PerturbRelation(rel, spec, rng).ok());
+  for (int64_t r = 0; r < rel.NumRows(); ++r) {
+    EXPECT_EQ(rel.At(r, 0), exact.At(r, 0));  // Keys exact.
+  }
+  // With epsilon 0.5 and 3 rows, noise is all-zero with probability < 1%; accept
+  // either but require shape preservation.
+  EXPECT_EQ(rel.NumRows(), exact.NumRows());
+}
+
+TEST(MechanismTest, DisabledSpecIsIdentity) {
+  Relation rel = CountsRelation();
+  const Relation exact = rel;
+  Rng rng(3);
+  ASSERT_TRUE(PerturbRelation(rel, DpSpec{}, rng).ok());
+  EXPECT_TRUE(rel.RowsEqual(exact));
+}
+
+TEST(MechanismTest, RejectsBadSpecs) {
+  Relation rel = CountsRelation();
+  Rng rng(3);
+  DpSpec bad_eps;
+  bad_eps.enabled = true;
+  bad_eps.epsilon = 0;
+  bad_eps.column_sensitivity = {{"cnt", 1.0}};
+  EXPECT_EQ(PerturbRelation(rel, bad_eps, rng).code(),
+            StatusCode::kInvalidArgument);
+
+  DpSpec no_columns;
+  no_columns.enabled = true;
+  EXPECT_EQ(PerturbRelation(rel, no_columns, rng).code(),
+            StatusCode::kInvalidArgument);
+
+  DpSpec unknown;
+  unknown.enabled = true;
+  unknown.column_sensitivity = {{"nope", 1.0}};
+  EXPECT_EQ(PerturbRelation(rel, unknown, rng).code(),
+            StatusCode::kNotFound);
+
+  DpSpec bad_sensitivity;
+  bad_sensitivity.enabled = true;
+  bad_sensitivity.column_sensitivity = {{"cnt", -1.0}};
+  EXPECT_EQ(PerturbRelation(rel, bad_sensitivity, rng).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MechanismTest, NoiseErrorScalesWithEpsilon) {
+  // Mean absolute error tracks sensitivity/epsilon: tighter epsilon -> more noise.
+  auto mean_abs_error = [](double epsilon) {
+    double total = 0;
+    Rng rng(31);
+    for (int trial = 0; trial < 2000; ++trial) {
+      Relation rel = CountsRelation();
+      const Relation exact = rel;
+      DpSpec spec;
+      spec.enabled = true;
+      spec.epsilon = epsilon;
+      spec.column_sensitivity = {{"cnt", 1.0}};
+      CONCLAVE_CHECK(PerturbRelation(rel, spec, rng).ok());
+      for (int64_t r = 0; r < rel.NumRows(); ++r) {
+        total += std::abs(static_cast<double>(rel.At(r, 1) - exact.At(r, 1)));
+      }
+    }
+    return total / (2000 * 3);
+  };
+  const double loose = mean_abs_error(2.0);   // scale 0.5
+  const double tight = mean_abs_error(0.2);   // scale 5
+  EXPECT_GT(tight, 5 * loose);
+}
+
+TEST(AccountantTest, SequentialComposition) {
+  EpsilonAccountant accountant;
+  accountant.Charge(0.5);
+  accountant.Charge(0.25);
+  EXPECT_DOUBLE_EQ(accountant.spent(), 0.75);
+}
+
+// --- End-to-end ---------------------------------------------------------------------------
+
+TEST(DpEndToEndTest, NoisyComorbidityCountsAndAccounting) {
+  api::Query query;
+  api::Party h0 = query.AddParty("h0");
+  api::Party h1 = query.AddParty("h1");
+  api::Table d0 = query.NewTable("diag0", {{"pid"}, {"diag"}}, h0);
+  api::Table d1 = query.NewTable("diag1", {{"pid"}, {"diag"}}, h1);
+  // Counts have sensitivity 1 (one patient contributes one diagnosis row here).
+  query.Concat({d0, d1}).Count("cnt", {"diag"}).WriteToCsvNoisy(
+      "noisy_counts", {h0}, /*epsilon=*/0.5, {{"cnt", 1.0}});
+
+  data::HealthConfig config;
+  config.rows_per_party = 400;
+  config.seed = 21;
+  std::map<std::string, Relation> inputs;
+  inputs["diag0"] = data::ComorbidityDiagnoses(config, 0);
+  inputs["diag1"] = data::ComorbidityDiagnoses(config, 1);
+
+  const auto result = query.Run(inputs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(result->dp_epsilon_spent, 0.5);
+
+  // Reference: exact counts. Keys must match exactly; counts should be close (noise
+  // scale 2) but not identical across all rows with overwhelming probability.
+  Relation combined = ops::Concat(
+      std::vector<Relation>{inputs.at("diag0"), inputs.at("diag1")});
+  const int group[] = {1};
+  Relation exact = ops::Aggregate(combined, group, AggKind::kCount, 0, "cnt");
+  const Relation& noisy = result->outputs.at("noisy_counts");
+  ASSERT_EQ(noisy.NumRows(), exact.NumRows());
+  Relation noisy_sorted = ops::SortBy(noisy, std::vector<int>{0});
+  Relation exact_sorted = ops::SortBy(exact, std::vector<int>{0});
+  int64_t differing = 0;
+  double total_error = 0;
+  for (int64_t r = 0; r < noisy_sorted.NumRows(); ++r) {
+    EXPECT_EQ(noisy_sorted.At(r, 0), exact_sorted.At(r, 0));
+    const int64_t error = noisy_sorted.At(r, 1) - exact_sorted.At(r, 1);
+    differing += (error != 0);
+    total_error += std::abs(static_cast<double>(error));
+  }
+  EXPECT_GT(differing, 0);
+  // Mean |noise| for the two-sided geometric at scale 2 is ~2.1; allow generous slack.
+  EXPECT_LT(total_error / static_cast<double>(noisy_sorted.NumRows()), 10.0);
+}
+
+TEST(DpEndToEndTest, SameSeedSameNoise) {
+  auto run = [] {
+    api::Query query;
+    api::Party h0 = query.AddParty("h0");
+    api::Table d0 = query.NewTable("diag0", {{"pid"}, {"diag"}}, h0);
+    d0.Count("cnt", {"diag"}).WriteToCsvNoisy("out", {h0}, 1.0, {{"cnt", 1.0}});
+    data::HealthConfig config;
+    config.rows_per_party = 100;
+    config.seed = 2;
+    std::map<std::string, Relation> inputs;
+    inputs["diag0"] = data::ComorbidityDiagnoses(config, 0);
+    auto result = query.Run(inputs);
+    CONCLAVE_CHECK(result.ok());
+    return result->outputs.at("out");
+  };
+  EXPECT_TRUE(run().RowsEqual(run()));
+}
+
+TEST(DpEndToEndTest, UnknownDpColumnFailsAtBuild) {
+  api::Query query;
+  api::Party h0 = query.AddParty("h0");
+  api::Table d0 = query.NewTable("diag0", {{"pid"}, {"diag"}}, h0);
+  api::Table counted = d0.Count("cnt", {"diag"});
+  dp::DpSpec spec;
+  spec.enabled = true;
+  spec.column_sensitivity = {{"missing", 1.0}};
+  EXPECT_FALSE(query.dag()
+                   .AddCollect(counted.node(), "out", PartySet::Of({0}), spec)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace dp
+}  // namespace conclave

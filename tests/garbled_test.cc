@@ -1,0 +1,352 @@
+// Tests for the garbled-circuit substrate: real gate-level circuits validated against
+// native arithmetic, gate-count constants kept in sync with the analytic cost model,
+// and the GC engine's operator semantics, costing, and simulated-OOM anchors.
+#include <gtest/gtest.h>
+
+#include "conclave/common/rng.h"
+#include "conclave/mpc/garbled/circuit.h"
+#include "conclave/mpc/garbled/gc_cost.h"
+#include "conclave/mpc/garbled/gc_engine.h"
+
+namespace conclave {
+namespace gc {
+namespace {
+
+uint64_t EvalBinaryWordOp(uint64_t a, uint64_t b,
+                          Circuit::Word (Circuit::*op)(const Circuit::Word&,
+                                                       const Circuit::Word&),
+                          int64_t* and_gates = nullptr) {
+  Circuit circuit;
+  Circuit::Word wa = circuit.AddInputWord();
+  Circuit::Word wb = circuit.AddInputWord();
+  circuit.MarkOutputWord((circuit.*op)(wa, wb));
+  std::vector<bool> inputs = Circuit::PackWord(a);
+  const auto b_bits = Circuit::PackWord(b);
+  inputs.insert(inputs.end(), b_bits.begin(), b_bits.end());
+  const auto out = circuit.Evaluate(inputs);
+  if (and_gates != nullptr) {
+    *and_gates = circuit.num_and_gates();
+  }
+  return Circuit::UnpackWord(out);
+}
+
+bool EvalPredicate(uint64_t a, uint64_t b,
+                   Circuit::Wire (Circuit::*op)(const Circuit::Word&,
+                                                const Circuit::Word&),
+                   int64_t* and_gates = nullptr) {
+  Circuit circuit;
+  Circuit::Word wa = circuit.AddInputWord();
+  Circuit::Word wb = circuit.AddInputWord();
+  circuit.MarkOutput((circuit.*op)(wa, wb));
+  std::vector<bool> inputs = Circuit::PackWord(a);
+  const auto b_bits = Circuit::PackWord(b);
+  inputs.insert(inputs.end(), b_bits.begin(), b_bits.end());
+  const auto out = circuit.Evaluate(inputs);
+  if (and_gates != nullptr) {
+    *and_gates = circuit.num_and_gates();
+  }
+  return out[0];
+}
+
+TEST(CircuitTest, BasicGates) {
+  Circuit circuit;
+  auto a = circuit.AddInput();
+  auto b = circuit.AddInput();
+  circuit.MarkOutput(circuit.Xor(a, b));
+  circuit.MarkOutput(circuit.And(a, b));
+  circuit.MarkOutput(circuit.Or(a, b));
+  circuit.MarkOutput(circuit.Not(a));
+  for (bool va : {false, true}) {
+    for (bool vb : {false, true}) {
+      const auto out = circuit.Evaluate({va, vb});
+      EXPECT_EQ(out[0], va ^ vb);
+      EXPECT_EQ(out[1], va && vb);
+      EXPECT_EQ(out[2], va || vb);
+      EXPECT_EQ(out[3], !va);
+    }
+  }
+}
+
+class CircuitWordTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CircuitWordTest, AdderMatchesNativeWrappingAdd) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 10; ++i) {
+    const uint64_t a = rng.Next();
+    const uint64_t b = rng.Next();
+    EXPECT_EQ(EvalBinaryWordOp(a, b, &Circuit::Add), a + b);
+  }
+}
+
+TEST_P(CircuitWordTest, SubtractorMatchesNative) {
+  Rng rng(GetParam() + 100);
+  for (int i = 0; i < 10; ++i) {
+    const uint64_t a = rng.Next();
+    const uint64_t b = rng.Next();
+    EXPECT_EQ(EvalBinaryWordOp(a, b, &Circuit::Sub), a - b);
+  }
+}
+
+TEST_P(CircuitWordTest, MultiplierMatchesNative) {
+  Rng rng(GetParam() + 200);
+  for (int i = 0; i < 3; ++i) {
+    const uint64_t a = rng.Next();
+    const uint64_t b = rng.Next();
+    EXPECT_EQ(EvalBinaryWordOp(a, b, &Circuit::Mul), a * b);
+  }
+}
+
+TEST_P(CircuitWordTest, EqualityAndSignedLess) {
+  Rng rng(GetParam() + 300);
+  for (int i = 0; i < 10; ++i) {
+    const int64_t a = rng.NextInRange(-1000, 1000);
+    const int64_t b = rng.NextInRange(-1000, 1000);
+    EXPECT_EQ(EvalPredicate(static_cast<uint64_t>(a), static_cast<uint64_t>(b),
+                            &Circuit::Equal),
+              a == b);
+    EXPECT_EQ(EvalPredicate(static_cast<uint64_t>(a), static_cast<uint64_t>(b),
+                            &Circuit::LessThanSigned),
+              a < b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CircuitWordTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(CircuitTest, SignedLessEdgeCases) {
+  const int64_t cases[][2] = {{INT64_MIN, INT64_MAX}, {INT64_MAX, INT64_MIN},
+                              {-1, 0},                {0, -1},
+                              {INT64_MIN, INT64_MIN}, {0, 0}};
+  for (const auto& c : cases) {
+    EXPECT_EQ(EvalPredicate(static_cast<uint64_t>(c[0]),
+                            static_cast<uint64_t>(c[1]), &Circuit::LessThanSigned),
+              c[0] < c[1])
+        << c[0] << " < " << c[1];
+  }
+}
+
+TEST(CircuitTest, MuxSelects) {
+  for (bool sel : {false, true}) {
+    Circuit circuit;
+    auto s = circuit.AddInput();
+    auto a = circuit.AddInputWord();
+    auto b = circuit.AddInputWord();
+    circuit.MarkOutputWord(circuit.Mux(s, a, b));
+    std::vector<bool> inputs{sel};
+    const auto a_bits = Circuit::PackWord(111);
+    const auto b_bits = Circuit::PackWord(222);
+    inputs.insert(inputs.end(), a_bits.begin(), a_bits.end());
+    inputs.insert(inputs.end(), b_bits.begin(), b_bits.end());
+    EXPECT_EQ(Circuit::UnpackWord(circuit.Evaluate(inputs)), sel ? 111u : 222u);
+  }
+}
+
+// The analytic cost formulas must stay in lock-step with the real circuits.
+TEST(GcCostTest, ConstantsMatchRealCircuits) {
+  int64_t gates = 0;
+  EvalBinaryWordOp(1, 2, &Circuit::Add, &gates);
+  EXPECT_EQ(static_cast<uint64_t>(gates), kAndPerAdd);
+  EvalBinaryWordOp(1, 2, &Circuit::Sub, &gates);
+  EXPECT_EQ(static_cast<uint64_t>(gates), kAndPerSub);
+  EvalBinaryWordOp(1, 2, &Circuit::Mul, &gates);
+  EXPECT_EQ(static_cast<uint64_t>(gates), kAndPerMul);
+  EvalPredicate(1, 2, &Circuit::Equal, &gates);
+  EXPECT_EQ(static_cast<uint64_t>(gates), kAndPerEqual);
+  EvalPredicate(1, 2, &Circuit::LessThanSigned, &gates);
+  EXPECT_EQ(static_cast<uint64_t>(gates), kAndPerLess);
+}
+
+TEST(GcCostTest, BatcherCountMatchesGeneratedNetwork) {
+  // Same formulaic loop as the layer generator; spot-check a few sizes.
+  EXPECT_EQ(BatcherCompareExchanges(1), 0u);
+  EXPECT_EQ(BatcherCompareExchanges(2), 1u);
+  EXPECT_EQ(BatcherCompareExchanges(4), 5u);
+  EXPECT_EQ(BatcherCompareExchanges(8), 19u);
+}
+
+TEST(GcCostTest, JoinCostQuadraticInPairs) {
+  CostModel model;
+  const GcOpCost small = JoinCost(model, 100, 100, 2, 2, 1);
+  const GcOpCost big = JoinCost(model, 1000, 1000, 2, 2, 1);
+  EXPECT_EQ(big.and_gates, small.and_gates * 100);
+}
+
+// --- Paper OOM anchors (Fig. 1) -------------------------------------------------------
+
+TEST(GcMemoryTest, ProjectionOomsNear300kRows) {
+  CostModel model;
+  SimNetwork net(model);
+  GcEngine engine(&net);
+  const int cols[] = {0};
+  Relation small{Schema::Of({"a"})};
+  // Synthesise row counts without materializing: memory depends on rows only, so we
+  // exercise the guard through ChargeInput-sized relations.
+  // 100k rows x 1 column: 100k * 64 bits * 200 B = 1.28 GB < 4 GB -> fits.
+  EXPECT_LE(LiveBytesForCells(model, 100'000, 1), model.gc_memory_limit_bytes);
+  // 350k rows x 1 column: 4.48 GB > 4 GB -> OOM, matching the paper's ~300k cliff.
+  EXPECT_GT(LiveBytesForCells(model, 350'000, 1), model.gc_memory_limit_bytes);
+  (void)engine;
+  (void)cols;
+  (void)small;
+}
+
+TEST(GcMemoryTest, JoinOomsNear30kTotalRecords) {
+  CostModel model;
+  // 10k x 10k pairs at 20 B/pair = 2 GB -> runs; 15k x 15k = 4.5 GB -> OOM
+  // (30k total records), matching Fig. 1b.
+  const GcOpCost at_20k = JoinCost(model, 10'000, 10'000, 2, 2, 1);
+  const GcOpCost at_30k = JoinCost(model, 15'000, 15'000, 2, 2, 1);
+  EXPECT_LE(at_20k.live_state_bytes, model.gc_memory_limit_bytes);
+  EXPECT_GT(at_30k.live_state_bytes, model.gc_memory_limit_bytes);
+}
+
+TEST(GcEngineTest, JoinOverLimitReturnsResourceExhausted) {
+  CostModel model;
+  model.gc_memory_limit_bytes = 1 << 20;  // 1 MB toy VM.
+  SimNetwork net(model);
+  GcEngine engine(&net);
+  Relation left{Schema::Of({"k", "x"})};
+  Relation right{Schema::Of({"k", "y"})};
+  Rng rng(1);
+  for (int64_t i = 0; i < 300; ++i) {
+    left.AppendRow({rng.NextInRange(0, 50), i});
+    right.AppendRow({rng.NextInRange(0, 50), i});
+  }
+  const int keys[] = {0};
+  EXPECT_EQ(engine.Join(left, right, keys, keys).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+class GcEngineOpsTest : public ::testing::Test {
+ protected:
+  GcEngineOpsTest() : net_(CostModel{}), engine_(&net_) {
+    rel_ = Relation{Schema::Of({"k", "v"})};
+    Rng rng(42);
+    for (int64_t i = 0; i < 50; ++i) {
+      rel_.AppendRow({rng.NextInRange(0, 9), rng.NextInRange(0, 100)});
+    }
+  }
+  SimNetwork net_;
+  GcEngine engine_;
+  Relation rel_;
+};
+
+TEST_F(GcEngineOpsTest, ProjectMatchesCleartext) {
+  const int cols[] = {1};
+  const auto out = engine_.Project(rel_, cols);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->RowsEqual(ops::Project(rel_, cols)));
+}
+
+TEST_F(GcEngineOpsTest, FilterMatchesAndChargesGates) {
+  const auto pred = FilterPredicate::ColumnVsLiteral(0, CompareOp::kEq, 3);
+  const auto out = engine_.Filter(rel_, pred);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->RowsEqual(ops::Filter(rel_, pred)));
+  EXPECT_EQ(net_.counters().gc_and_gates, 50 * kAndPerEqual);
+}
+
+TEST_F(GcEngineOpsTest, JoinAggregateSortDistinctMatchCleartext) {
+  Relation right{Schema::Of({"k", "w"})};
+  Rng rng(43);
+  for (int64_t i = 0; i < 30; ++i) {
+    right.AppendRow({rng.NextInRange(0, 9), i});
+  }
+  const int keys[] = {0};
+  const auto joined = engine_.Join(rel_, right, keys, keys);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_TRUE(UnorderedEqual(*joined, ops::Join(rel_, right, keys, keys)));
+
+  const int group[] = {0};
+  const auto agg = engine_.Aggregate(rel_, group, AggKind::kSum, 1, "s");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_TRUE(UnorderedEqual(*agg, ops::Aggregate(rel_, group, AggKind::kSum, 1, "s")));
+
+  const auto sorted = engine_.Sort(rel_, group);
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_TRUE(ops::IsSortedBy(*sorted, group));
+
+  const auto distinct = engine_.Distinct(rel_, group);
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_TRUE(distinct->RowsEqual(ops::Distinct(rel_, group)));
+}
+
+TEST_F(GcEngineOpsTest, ArithmeticAndLimit) {
+  ArithSpec spec;
+  spec.kind = ArithKind::kMul;
+  spec.lhs_column = 0;
+  spec.rhs_is_column = true;
+  spec.rhs_column = 1;
+  spec.result_name = "p";
+  const auto out = engine_.Arithmetic(rel_, spec);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->RowsEqual(ops::Arithmetic(rel_, spec)));
+  const auto limited = engine_.Limit(rel_, 7);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->NumRows(), 7);
+}
+
+TEST_F(GcEngineOpsTest, AssumeSortedSkipsSortGates) {
+  const int group[] = {0};
+  Relation sorted = ops::SortBy(rel_, group);
+  SimNetwork net_skip{CostModel{}};
+  GcEngine engine_skip(&net_skip);
+  ASSERT_TRUE(engine_skip
+                  .Aggregate(sorted, group, AggKind::kSum, 1, "s",
+                             /*assume_sorted=*/true)
+                  .ok());
+  SimNetwork net_full{CostModel{}};
+  GcEngine engine_full(&net_full);
+  ASSERT_TRUE(engine_full.Aggregate(sorted, group, AggKind::kSum, 1, "s").ok());
+  EXPECT_LT(net_skip.counters().gc_and_gates, net_full.counters().gc_and_gates);
+}
+
+TEST(GcEngineTest, OblivmModeIsSlower) {
+  Relation rel{Schema::Of({"a"})};
+  for (int64_t i = 0; i < 100; ++i) {
+    rel.AppendRow({i});
+  }
+  const auto pred = FilterPredicate::ColumnVsLiteral(0, CompareOp::kLt, 50);
+  SimNetwork fast_net{CostModel{}};
+  GcEngine fast(&fast_net, /*oblivm_mode=*/false);
+  ASSERT_TRUE(fast.Filter(rel, pred).ok());
+  SimNetwork slow_net{CostModel{}};
+  GcEngine slow(&slow_net, /*oblivm_mode=*/true);
+  ASSERT_TRUE(slow.Filter(rel, pred).ok());
+  EXPECT_GT(slow_net.ElapsedSeconds(), 2 * fast_net.ElapsedSeconds());
+}
+
+TEST_F(GcEngineOpsTest, WindowMatchesCleartextAndChargesGates) {
+  WindowSpec spec;
+  spec.partition_columns = {0};
+  spec.order_column = 1;
+  spec.fn = WindowFn::kRunningSum;
+  spec.value_column = 1;
+  spec.output_name = "rs";
+  const uint64_t gates_before = net_.counters().gc_and_gates;
+  const auto out = engine_.Window(rel_, spec);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->RowsEqual(ops::Window(rel_, spec)));
+  // Sort network + scan gates were charged.
+  EXPECT_GT(net_.counters().gc_and_gates, gates_before);
+
+  // Pre-sorted input skips the Batcher network.
+  Relation sorted = ops::SortBy(rel_, std::vector<int>{0, 1});
+  const uint64_t sorted_before = net_.counters().gc_and_gates;
+  ASSERT_TRUE(engine_.Window(sorted, spec, /*assume_sorted=*/true).ok());
+  const uint64_t sorted_gates = net_.counters().gc_and_gates - sorted_before;
+  const uint64_t full_gates = net_.counters().gc_and_gates - gates_before;
+  EXPECT_LT(sorted_gates, full_gates / 2);
+}
+
+TEST(GcEngineTest, InputChargesTransferBytes) {
+  SimNetwork net{CostModel{}};
+  GcEngine engine(&net);
+  Relation rel{Schema::Of({"a", "b"})};
+  rel.AppendRow({1, 2});
+  ASSERT_TRUE(engine.ChargeInput(rel).ok());
+  EXPECT_EQ(net.counters().network_bytes, 2ull * 64 * 16);  // 16 B label per bit.
+}
+
+}  // namespace
+}  // namespace gc
+}  // namespace conclave

@@ -1,0 +1,148 @@
+// Tests for the synthetic workload generators (§7 data sets): the distribution knobs
+// the evaluation depends on — company mix, zero-fare fraction, patient-ID overlap,
+// distinct-key fraction, recurrence windows — must hold by construction, and every
+// generator must be deterministic in its seed.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "conclave/data/generators.h"
+#include "conclave/relational/ops.h"
+
+namespace conclave {
+namespace data {
+namespace {
+
+TEST(TaxiTripsTest, ZeroFareFractionAndCompanyId) {
+  TaxiConfig config;
+  config.rows = 20000;
+  config.company_id = 7;
+  config.zero_fare_fraction = 0.05;
+  config.seed = 3;
+  const Relation trips = TaxiTrips(config);
+  ASSERT_EQ(trips.NumRows(), 20000);
+  int64_t zeros = 0;
+  for (int64_t r = 0; r < trips.NumRows(); ++r) {
+    EXPECT_EQ(trips.At(r, 0), 7);
+    const int64_t fare = trips.At(r, 1);
+    EXPECT_GE(fare, 0);
+    EXPECT_LE(fare, config.max_fare);
+    zeros += (fare == 0);
+  }
+  // 5% +- 1 percentage point at n = 20000.
+  EXPECT_NEAR(static_cast<double>(zeros) / 20000, 0.05, 0.01);
+}
+
+TEST(DemographicsTest, UniqueSsnsWithinSpace) {
+  const Relation demo = Demographics(500, 2000, 10, 4);
+  ASSERT_EQ(demo.NumRows(), 500);
+  std::unordered_set<int64_t> ssns;
+  for (int64_t r = 0; r < demo.NumRows(); ++r) {
+    EXPECT_TRUE(ssns.insert(demo.At(r, 0)).second) << "duplicate ssn";
+    EXPECT_LT(demo.At(r, 0), 2000);
+    EXPECT_LT(demo.At(r, 1), 10);
+  }
+}
+
+TEST(HealthTest, PatientOverlapFractionIsExact) {
+  HealthConfig config;
+  config.rows_per_party = 1000;
+  config.overlap_fraction = 0.02;
+  config.seed = 5;
+  const Relation d0 = Diagnoses(config, 0);
+  const Relation d1 = Diagnoses(config, 1);
+  std::unordered_set<int64_t> ids0;
+  std::unordered_set<int64_t> ids1;
+  for (int64_t r = 0; r < d0.NumRows(); ++r) {
+    ids0.insert(d0.At(r, 0));
+  }
+  for (int64_t r = 0; r < d1.NumRows(); ++r) {
+    ids1.insert(d1.At(r, 0));
+  }
+  int64_t shared = 0;
+  for (int64_t id : ids0) {
+    shared += ids1.contains(id);
+  }
+  EXPECT_EQ(shared, 20);  // Exactly 2% by construction.
+}
+
+TEST(HealthTest, ComorbidityDistinctKeyFraction) {
+  HealthConfig config;
+  config.rows_per_party = 2000;
+  config.distinct_key_fraction = 0.1;
+  config.seed = 6;
+  const Relation diag = ComorbidityDiagnoses(config, 0);
+  std::unordered_set<int64_t> keys;
+  for (int64_t r = 0; r < diag.NumRows(); ++r) {
+    keys.insert(diag.At(r, 1));
+  }
+  // Distinct keys drawn from a pool of 10% of rows; nearly all pool values hit.
+  EXPECT_LE(static_cast<int64_t>(keys.size()), 200);
+  EXPECT_GE(static_cast<int64_t>(keys.size()), 150);
+}
+
+TEST(CdiffTest, RecurrenceGapsLandInWindow) {
+  HealthConfig config;
+  config.rows_per_party = 500;
+  config.seed = 7;
+  const Relation events = CdiffDiagnoses(config, 0, /*recurrence_fraction=*/0.2);
+  // Group rows per patient; for patients with two c.diff events, the gap must be
+  // either inside [15, 56] (recurrent) or far outside (>= 80, the non-recurrent
+  // arm); never in between.
+  std::map<int64_t, std::vector<int64_t>> cdiff_times;
+  for (int64_t r = 0; r < events.NumRows(); ++r) {
+    if (events.At(r, 2) == kCdiffCode) {
+      cdiff_times[events.At(r, 0)].push_back(events.At(r, 1));
+    }
+  }
+  int64_t recurrent = 0;
+  for (auto& [pid, times] : cdiff_times) {
+    ASSERT_EQ(times.size(), 2u);
+    const int64_t gap = std::abs(times[1] - times[0]);
+    const bool in_window =
+        gap >= kRecurrenceGapMinDays && gap <= kRecurrenceGapMaxDays;
+    const bool far_out = gap >= 80;
+    EXPECT_TRUE(in_window || far_out) << "gap " << gap;
+    recurrent += in_window;
+  }
+  EXPECT_GT(recurrent, 0);
+}
+
+TEST(GeneratorsTest, DeterministicInSeed) {
+  TaxiConfig taxi;
+  taxi.rows = 100;
+  taxi.seed = 9;
+  EXPECT_TRUE(TaxiTrips(taxi).RowsEqual(TaxiTrips(taxi)));
+
+  HealthConfig health;
+  health.rows_per_party = 100;
+  health.seed = 9;
+  EXPECT_TRUE(CdiffDiagnoses(health, 1).RowsEqual(CdiffDiagnoses(health, 1)));
+  EXPECT_TRUE(AspirinDiagnoses(health, 0).RowsEqual(AspirinDiagnoses(health, 0)));
+  EXPECT_TRUE(Demographics(100, 400, 5, 9).RowsEqual(Demographics(100, 400, 5, 9)));
+
+  // Different seeds diverge.
+  HealthConfig other = health;
+  other.seed = 10;
+  EXPECT_FALSE(CdiffDiagnoses(health, 1).RowsEqual(CdiffDiagnoses(other, 1)));
+}
+
+TEST(GeneratorsTest, UniformIntsRangeAndShape) {
+  const Relation rel = UniformInts(1000, {"a", "b", "c"}, 17, 12);
+  ASSERT_EQ(rel.NumRows(), 1000);
+  ASSERT_EQ(rel.NumColumns(), 3);
+  std::set<int64_t> values;
+  for (int64_t r = 0; r < rel.NumRows(); ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_GE(rel.At(r, c), 0);
+      EXPECT_LT(rel.At(r, c), 17);
+      values.insert(rel.At(r, c));
+    }
+  }
+  EXPECT_EQ(values.size(), 17u);  // All 17 values hit at n = 3000 draws.
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace conclave

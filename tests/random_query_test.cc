@@ -1,0 +1,257 @@
+// Randomized end-to-end property tests: generate random relational pipelines over
+// random multi-party data, compile them with every pass enabled, execute them across
+// the simulated deployment, and require the revealed output to match a single-
+// trusted-party cleartext evaluation of the same DAG. This is the strongest whole-
+// system invariant: no combination of push-down, push-up, hybrid transform, and sort
+// elimination may change query semantics.
+#include <gtest/gtest.h>
+
+#include "conclave/api/conclave.h"
+#include "conclave/backends/local_backend.h"
+#include "conclave/data/generators.h"
+
+namespace conclave {
+namespace {
+
+// Cleartext reference: evaluate the *uncompiled* DAG by running every node through
+// the cleartext operator library on the combined inputs.
+Relation EvalReference(const ir::Dag& dag,
+                       const std::map<std::string, Relation>& inputs,
+                       const std::string& collect_name) {
+  std::unordered_map<int, Relation> values;
+  Relation output;
+  for (const ir::OpNode* node : dag.TopoOrder()) {
+    if (node->kind == ir::OpKind::kCreate) {
+      values[node->id] = inputs.at(node->Params<ir::CreateParams>().name);
+      continue;
+    }
+    std::vector<const Relation*> rels;
+    rels.reserve(node->inputs.size());
+    for (const ir::OpNode* input : node->inputs) {
+      rels.push_back(&values.at(input->id));
+    }
+    auto result = backends::ExecuteLocal(*node, rels);
+    CONCLAVE_CHECK(result.ok());
+    if (node->kind == ir::OpKind::kCollect &&
+        node->Params<ir::CollectParams>().name == collect_name) {
+      output = *result;
+    }
+    values[node->id] = *std::move(result);
+  }
+  return output;
+}
+
+// Builds a random query; must be deterministic in `seed` so the compiled and
+// reference instances are identical.
+struct RandomQuery {
+  api::Query query;
+  std::map<std::string, Relation> inputs;
+
+  explicit RandomQuery(uint64_t seed, bool annotate_trust) {
+    Rng rng(seed);
+    const int num_parties = 2 + static_cast<int>(rng.NextBelow(2));
+    std::vector<api::Party> parties;
+    for (int p = 0; p < num_parties; ++p) {
+      parties.push_back(query.AddParty("party" + std::to_string(p)));
+    }
+
+    // Each party contributes a (k, v) table; k optionally trust-annotated to party 0
+    // so hybrid transforms fire on some seeds.
+    std::vector<api::Table> tables;
+    for (int p = 0; p < num_parties; ++p) {
+      std::vector<api::ColumnSpec> columns;
+      if (annotate_trust) {
+        columns = {{"k", {parties[0]}}, {"v"}};
+      } else {
+        columns = {{"k"}, {"v"}};
+      }
+      const std::string name = "t" + std::to_string(p);
+      tables.push_back(query.NewTable(name, columns, parties[static_cast<size_t>(p)]));
+      inputs[name] = data::UniformInts(20 + static_cast<int64_t>(rng.NextBelow(60)),
+                                       {"k", "v"}, 12, seed * 31 + p);
+    }
+    api::Table current = query.Concat(tables);
+
+    // A random chain of 1-5 operators over the evolving schema.
+    int arith_counter = 0;
+    const int chain_length = 1 + static_cast<int>(rng.NextBelow(5));
+    for (int step = 0; step < chain_length; ++step) {
+      const Schema& schema = current.node()->schema;
+      std::vector<std::string> names;
+      for (const auto& column : schema.columns()) {
+        names.push_back(column.name);
+      }
+      const std::string any = names[rng.NextBelow(names.size())];
+      switch (rng.NextBelow(6)) {
+        case 0:
+          current = current.Filter(
+              any,
+              static_cast<CompareOp>(rng.NextBelow(6)),
+              static_cast<int64_t>(rng.NextBelow(12)));
+          break;
+        case 1: {
+          // Reordering projection (keeps push-up viable on some seeds).
+          std::vector<std::string> shuffled = names;
+          std::shuffle(shuffled.begin(), shuffled.end(), rng);
+          current = current.Project(shuffled);
+          break;
+        }
+        case 2: {
+          const auto kind = static_cast<ArithKind>(rng.NextBelow(4));
+          const std::string out = "c" + std::to_string(arith_counter++);
+          if (kind == ArithKind::kDiv) {
+            current = current.Divide(out, any, names[rng.NextBelow(names.size())],
+                                     100);
+          } else if (kind == ArithKind::kMul) {
+            current = current.Multiply(out, any, names[rng.NextBelow(names.size())]);
+          } else if (kind == ArithKind::kAdd) {
+            current = current.AddConst(out, any, 7);
+          } else {
+            current = current.MultiplyConst(out, any, -3);
+          }
+          break;
+        }
+        case 3: {
+          const auto kind = static_cast<AggKind>(rng.NextBelow(5));
+          const std::string group = any;
+          std::string over = names[rng.NextBelow(names.size())];
+          current = current.Aggregate("agg" + std::to_string(arith_counter++), kind,
+                                      {group}, over);
+          break;
+        }
+        case 4:
+          current = current.Distinct({any});
+          break;
+        default: {
+          // Total-order sort + limit keeps the prefix deterministic across engines.
+          current = current.SortBy(names, rng.NextBool());
+          current = current.Limit(1 + static_cast<int64_t>(rng.NextBelow(20)));
+          break;
+        }
+      }
+    }
+    current.WriteToCsv("out", {parties[0]});
+  }
+};
+
+class RandomQueryTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomQueryTest, CompiledExecutionMatchesReference) {
+  const uint64_t seed = GetParam();
+  // Reference instance: same construction, never compiled.
+  RandomQuery reference(seed, /*annotate_trust=*/false);
+  const Relation expected =
+      EvalReference(reference.query.dag(), reference.inputs, "out");
+
+  for (const bool annotate : {false, true}) {
+    RandomQuery secure(seed, annotate);
+    const auto result = secure.query.Run(secure.inputs);
+    ASSERT_TRUE(result.ok()) << "seed " << seed << " annotate " << annotate << ": "
+                             << result.status().ToString();
+    EXPECT_TRUE(UnorderedEqual(result->outputs.at("out"), expected))
+        << "seed " << seed << " annotate " << annotate << "\nexpected\n"
+        << expected.ToString() << "\ngot\n"
+        << result->outputs.at("out").ToString();
+  }
+}
+
+TEST_P(RandomQueryTest, GarbledBackendMatchesReference) {
+  const uint64_t seed = GetParam();
+  RandomQuery reference(seed, false);
+  const Relation expected =
+      EvalReference(reference.query.dag(), reference.inputs, "out");
+
+  RandomQuery secure(seed, false);
+  compiler::CompilerOptions options;
+  options.mpc_backend = compiler::MpcBackendKind::kOblivC;
+  options.use_hybrid = false;
+  const auto result = secure.query.Run(secure.inputs, options);
+  ASSERT_TRUE(result.ok()) << "seed " << seed << ": " << result.status().ToString();
+  EXPECT_TRUE(UnorderedEqual(result->outputs.at("out"), expected)) << "seed " << seed;
+}
+
+// Padding must be invisible to query semantics on every random pipeline.
+TEST_P(RandomQueryTest, PaddedExecutionMatchesReference) {
+  const uint64_t seed = GetParam();
+  RandomQuery reference(seed, /*annotate_trust=*/false);
+  const Relation expected =
+      EvalReference(reference.query.dag(), reference.inputs, "out");
+
+  RandomQuery secure(seed, false);
+  compiler::CompilerOptions options;
+  options.pad_mpc_inputs = true;
+  const auto result = secure.query.Run(secure.inputs, options);
+  ASSERT_TRUE(result.ok()) << "seed " << seed << ": " << result.status().ToString();
+  EXPECT_TRUE(UnorderedEqual(result->outputs.at("out"), expected))
+      << "seed " << seed << "\nexpected\n" << expected.ToString() << "\ngot\n"
+      << result->outputs.at("out").ToString();
+}
+
+// Malicious mode must change costs, never answers.
+TEST_P(RandomQueryTest, MaliciousExecutionMatchesReference) {
+  const uint64_t seed = GetParam();
+  RandomQuery reference(seed, /*annotate_trust=*/false);
+  const Relation expected =
+      EvalReference(reference.query.dag(), reference.inputs, "out");
+
+  RandomQuery secure(seed, false);
+  compiler::CompilerOptions options;
+  options.malicious_security = true;
+  const auto result = secure.query.Run(secure.inputs, options);
+  ASSERT_TRUE(result.ok()) << "seed " << seed;
+  EXPECT_TRUE(UnorderedEqual(result->outputs.at("out"), expected)) << "seed " << seed;
+}
+
+// Structural invariants of the compiled DAG (DESIGN.md #5):
+//  * trust monotonicity — a surviving column's trust set never grows along an edge
+//    (except at Collect, which unions the recipients by design);
+//  * sortedness conservatism — a relation marked sorted-by-c is actually consistent
+//    metadata: the marked columns exist in the node's schema.
+TEST_P(RandomQueryTest, CompiledDagInvariantsHold) {
+  const uint64_t seed = GetParam();
+  for (const bool annotate : {false, true}) {
+    RandomQuery secure(seed, annotate);
+    const auto compilation = secure.query.Compile({});
+    ASSERT_TRUE(compilation.ok()) << "seed " << seed;
+
+    for (const ir::OpNode* node : secure.query.dag().TopoOrder()) {
+      // Sortedness metadata references existing columns.
+      for (const auto& column : node->sorted_by) {
+        EXPECT_TRUE(node->schema.HasColumn(column))
+            << "seed " << seed << " node " << node->ToString();
+      }
+      if (node->kind == ir::OpKind::kCreate ||
+          node->kind == ir::OpKind::kCollect) {
+        continue;
+      }
+      // Trust monotonicity for same-named surviving columns.
+      for (const auto& column : node->schema.columns()) {
+        for (const ir::OpNode* input : node->inputs) {
+          const auto index = input->schema.IndexOf(column.name);
+          if (!index.ok()) {
+            continue;  // Appended column (arithmetic/window output).
+          }
+          const PartySet upstream = input->schema.Column(*index).trust_set;
+          for (PartyId p = 0; p < kMaxParties; ++p) {
+            if (column.trust_set.Contains(p)) {
+              EXPECT_TRUE(upstream.Contains(p))
+                  << "seed " << seed << " column " << column.name << " node "
+                  << node->ToString();
+            }
+          }
+        }
+      }
+      // Hybrid operators fire only with a valid STP drawn from the key trust.
+      if (node->exec_mode == ir::ExecMode::kHybrid) {
+        EXPECT_NE(node->stp, kNoParty) << node->ToString();
+        EXPECT_NE(node->hybrid, ir::HybridKind::kNone) << node->ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomQueryTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace conclave
