@@ -232,9 +232,10 @@ StatusOr<compiler::Compilation> Query::Compile(
 
 StatusOr<backends::ExecutionResult> Query::Run(
     const std::map<std::string, Relation>& inputs,
-    const compiler::CompilerOptions& options, CostModel cost_model, uint64_t seed) {
+    const compiler::CompilerOptions& options, CostModel cost_model, uint64_t seed,
+    int pool_parallelism) {
   CONCLAVE_ASSIGN_OR_RETURN(compiler::Compilation compilation, Compile(options));
-  backends::Dispatcher dispatcher(cost_model, seed);
+  backends::Dispatcher dispatcher(cost_model, seed, pool_parallelism);
   return dispatcher.Run(dag_, compilation, inputs);
 }
 

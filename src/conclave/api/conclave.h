@@ -128,10 +128,13 @@ class Query {
   StatusOr<compiler::Compilation> Compile(const compiler::CompilerOptions& options);
 
   // Compile + dispatch in one step. `inputs` maps table names to relations.
+  // `pool_parallelism` is the executor's thread budget (0 = hardware default,
+  // 1 = serial); results and virtual time are identical for every value — see
+  // DESIGN.md §5.
   StatusOr<backends::ExecutionResult> Run(
       const std::map<std::string, Relation>& inputs,
       const compiler::CompilerOptions& options = {}, CostModel cost_model = {},
-      uint64_t seed = 42);
+      uint64_t seed = 42, int pool_parallelism = 0);
 
   ir::Dag& dag() { return dag_; }
   int num_parties() const { return static_cast<int>(parties_.size()); }

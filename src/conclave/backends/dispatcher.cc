@@ -1,7 +1,11 @@
 #include "conclave/backends/dispatcher.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "conclave/backends/local_backend.h"
 #include "conclave/backends/spark_backend.h"
@@ -13,7 +17,7 @@ namespace conclave {
 namespace backends {
 namespace {
 
-// Per-run execution state, job-time bookkeeping included.
+// Per-run execution state shared by the coordinator and (read-only) the pool tasks.
 struct RunState {
   SimNetwork net;
   SharemindBackend sharemind;
@@ -25,10 +29,8 @@ struct RunState {
   uint64_t seed;
   uint64_t next_nonce = 0;
 
-  std::unordered_map<int, MaterializedValue> values;     // node id -> value
-  std::unordered_map<int, int> node_job;                 // node id -> job id
-  std::unordered_map<int, double> job_duration;          // job id -> seconds
-  std::unordered_set<int> jobs_started;                  // spark startup charged
+  std::vector<MaterializedValue> values;  // Indexed by node id; slots never move.
+  std::unordered_map<int, int> node_job;  // node id -> job id
 
   RunState(const CostModel& model, uint64_t run_seed, int parties, bool gc,
            bool spark, bool malicious_mode)
@@ -41,7 +43,6 @@ struct RunState {
         num_parties(parties),
         seed(run_seed) {}
 
-  double ClockDelta(double before) const { return net.ElapsedSeconds() - before; }
   // Active-adversary protocols cost a constant factor more (§2.2); applied to the
   // MPC/hybrid portions of the virtual time.
   double MpcScale() const {
@@ -104,22 +105,515 @@ void EnsureCleartextAt(RunState& state, MaterializedValue& value, PartyId party)
   }
 }
 
-// Charges a local node's processing to its job (Spark stage or Python scan).
-void ChargeLocalNode(RunState& state, const ir::OpNode& node, uint64_t records) {
-  const int job = state.node_job.at(node.id);
-  double seconds = 0;
+// Cost-model seconds a cleartext backend spends processing `records` input records
+// (Spark stage throughput or sequential Python scan). The per-job Spark startup
+// charge is added once per job in the final accounting pass.
+double LocalComputeSeconds(const RunState& state, uint64_t records) {
   if (state.use_spark) {
-    if (state.jobs_started.insert(job).second) {
-      seconds += state.net.model().spark_job_startup_seconds;
-    }
-    seconds += static_cast<double>(records) /
-               (state.net.model().spark_records_per_second_per_worker *
-                state.net.model().spark_workers_per_party);
-  } else {
-    seconds += state.net.model().PythonSeconds(records);
+    return static_cast<double>(records) /
+           (state.net.model().spark_records_per_second_per_worker *
+            state.net.model().spark_workers_per_party);
   }
-  state.job_duration[job] += seconds;
-  state.net.mutable_counters().cleartext_records += records;
+  return state.net.model().PythonSeconds(records);
+}
+
+// How the executor treats a node: pool-executed cleartext work vs. coordinator-run
+// steps (Collects mutate shared run state; MPC/hybrid nodes additionally serialize
+// on the lane).
+enum class NodeClass { kCreate, kLocalCompute, kCollect, kLane };
+
+NodeClass ClassOf(const ir::OpNode& node) {
+  if (node.kind == ir::OpKind::kCreate) {
+    return NodeClass::kCreate;
+  }
+  if (node.kind == ir::OpKind::kCollect) {
+    return NodeClass::kCollect;
+  }
+  return node.exec_mode == ir::ExecMode::kLocal ? NodeClass::kLocalCompute
+                                                : NodeClass::kLane;
+}
+
+// Runs one compiled plan as a parallel job graph. The coordinator (the thread that
+// calls Run) owns every piece of shared mutable simulation state — the SimNetwork,
+// the MPC engines, and all value-form transitions — while pure cleartext compute
+// (Create ingest, local operator chains) runs as pool tasks. See DESIGN.md §5 for
+// the determinism contract this layout enforces.
+class JobGraphExecutor {
+ public:
+  JobGraphExecutor(RunState& state, const compiler::Compilation& compilation,
+                   const std::map<std::string, Relation>& inputs, ThreadPool& pool,
+                   std::vector<const ir::OpNode*> topo)
+      : state_(state),
+        compilation_(compilation),
+        inputs_(inputs),
+        pool_(pool),
+        topo_(std::move(topo)) {}
+
+  StatusOr<ExecutionResult> Run();
+
+ private:
+  struct NodeExec {
+    const ir::OpNode* node = nullptr;
+    NodeClass klass = NodeClass::kLocalCompute;
+    int remaining_inputs = 0;
+    bool dispatched = false;
+    bool materialized = false;
+    // Pool tasks currently reading this node's materialized value. A transition
+    // that overwrites the value's payload (inputToMPC moves the cleartext into the
+    // engine) must wait until this drops to zero.
+    int active_readers = 0;
+    // Consumers (as topo indices, ascending, one entry per use) and how many of
+    // those uses have performed their input acquisition. Acquisitions happen in
+    // this fixed order so value-form transitions (reveal, transfer, inputToMPC)
+    // replay identically regardless of pool size.
+    std::vector<int> consumer_uses;
+    int acquired_uses = 0;
+    // Deterministic per-node virtual-time attribution, merged in topo order by the
+    // final accounting pass.
+    double boundary_scaled_seconds = 0;  // Reveal/transfer/ingest/MPC, x MpcScale.
+    double local_compute_seconds = 0;    // Cost-model cleartext compute.
+    double dp_epsilon = 0;
+    bool charged_local = false;          // Participates in the Spark startup charge.
+  };
+
+  struct Completion {
+    int topo_index = 0;
+    Status status;
+    Relation output;
+  };
+
+  int TopoIndexOf(int node_id) const { return topo_index_.at(node_id); }
+  NodeExec& ExecOf(const ir::OpNode& node) { return execs_[TopoIndexOf(node.id)]; }
+
+  // True when every input value may be acquired by `exec` right now: inputs are
+  // materialized, this node is the next acquirer of each, and payload-overwriting
+  // transitions have no concurrent readers.
+  bool CanAcquireInputs(const NodeExec& exec) const;
+  // Advances the per-value acquisition cursors for `exec`'s input edges. Called
+  // alongside the frontier transitions (EnsureCleartextAt / EnsureSecure), which
+  // stay at the call sites because the target form differs per node class.
+  void AdvanceAcquisition(NodeExec& exec);
+
+  void DispatchCreate(NodeExec& exec);
+  void DispatchLocalCompute(NodeExec& exec);
+  Status RunCollect(NodeExec& exec, ExecutionResult& result);
+  Status RunLaneNode(NodeExec& exec);
+
+  void MarkMaterialized(NodeExec& exec);
+  void RecordFailure(int topo_index, Status status);
+  void DrainCompletions(bool wait);
+
+  StatusOr<ExecutionResult> FinalizeAccounting(ExecutionResult result);
+
+  RunState& state_;
+  const compiler::Compilation& compilation_;
+  const std::map<std::string, Relation>& inputs_;
+  ThreadPool& pool_;
+
+  std::vector<const ir::OpNode*> topo_;
+  std::unordered_map<int, int> topo_index_;  // node id -> topo position
+  std::vector<NodeExec> execs_;
+  std::vector<int> lane_;  // Topo indices of MPC/hybrid nodes, in topo order.
+  size_t lane_next_ = 0;
+  size_t materialized_count_ = 0;
+  int in_flight_ = 0;
+
+  int first_failed_topo_ = -1;
+  Status failure_;
+
+  std::mutex completions_mu_;
+  std::condition_variable completions_cv_;
+  std::vector<Completion> completions_;
+};
+
+bool JobGraphExecutor::CanAcquireInputs(const NodeExec& exec) const {
+  const int my_topo = TopoIndexOf(exec.node->id);
+  const bool overwrites_payload =
+      exec.klass == NodeClass::kLane;  // inputToMPC moves the cleartext payload.
+  for (const ir::OpNode* in : exec.node->inputs) {
+    const NodeExec& producer = execs_[TopoIndexOf(in->id)];
+    if (!producer.materialized) {
+      return false;
+    }
+    if (producer.consumer_uses[static_cast<size_t>(producer.acquired_uses)] !=
+        my_topo) {
+      return false;  // An earlier consumer has not taken its turn yet.
+    }
+    if (overwrites_payload && producer.active_readers > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void JobGraphExecutor::AdvanceAcquisition(NodeExec& exec) {
+  const int my_topo = TopoIndexOf(exec.node->id);
+  for (const ir::OpNode* in : exec.node->inputs) {
+    NodeExec& producer = execs_[static_cast<size_t>(TopoIndexOf(in->id))];
+    // A node consuming the same value through several edges holds adjacent entries
+    // in the (sorted) use list; each edge advances the cursor once.
+    CONCLAVE_CHECK_EQ(
+        producer.consumer_uses[static_cast<size_t>(producer.acquired_uses)],
+        my_topo);
+    ++producer.acquired_uses;
+  }
+}
+
+void JobGraphExecutor::MarkMaterialized(NodeExec& exec) {
+  exec.materialized = true;
+  ++materialized_count_;
+  for (const ir::OpNode* out : exec.node->outputs) {
+    // Detached nodes are unreachable and never in topo order.
+    auto it = topo_index_.find(out->id);
+    if (it != topo_index_.end()) {
+      --execs_[static_cast<size_t>(it->second)].remaining_inputs;
+    }
+  }
+}
+
+void JobGraphExecutor::RecordFailure(int topo_index, Status status) {
+  if (first_failed_topo_ < 0 || topo_index < first_failed_topo_) {
+    first_failed_topo_ = topo_index;
+    failure_ = std::move(status);
+  }
+}
+
+void JobGraphExecutor::DispatchCreate(NodeExec& exec) {
+  const ir::OpNode* node = exec.node;
+  exec.dispatched = true;
+  ++in_flight_;
+  const int my_topo = TopoIndexOf(node->id);
+  pool_.Submit([this, node, my_topo] {
+    Completion completion;
+    completion.topo_index = my_topo;
+    try {
+      const auto& params = node->Params<ir::CreateParams>();
+      const auto it = inputs_.find(params.name);
+      if (it == inputs_.end()) {
+        completion.status = InvalidArgumentError(
+            StrFormat("no input relation provided for '%s'", params.name.c_str()));
+      } else if (!it->second.schema().NamesMatch(node->schema)) {
+        completion.status = InvalidArgumentError(StrFormat(
+            "input '%s' schema %s does not match declared schema %s",
+            params.name.c_str(), it->second.schema().ToString().c_str(),
+            node->schema.ToString().c_str()));
+      } else {
+        completion.output = it->second;
+      }
+    } catch (const std::exception& e) {
+      // An escaping exception would terminate the process from a worker thread;
+      // surface it as a Status like every other node failure.
+      completion.status =
+          InternalError(StrFormat("create task threw: %s", e.what()));
+    }
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    completions_.push_back(std::move(completion));
+    completions_cv_.notify_all();
+  });
+}
+
+void JobGraphExecutor::DispatchLocalCompute(NodeExec& exec) {
+  const ir::OpNode* node = exec.node;
+  std::vector<const Relation*> rels;
+  rels.reserve(node->inputs.size());
+  uint64_t records = 0;
+  for (const ir::OpNode* in : node->inputs) {
+    MaterializedValue& value = state_.values[static_cast<size_t>(in->id)];
+    EnsureCleartextAt(state_, value, node->exec_party);
+    rels.push_back(&value.clear);
+    records += static_cast<uint64_t>(value.clear.NumRows());
+    ++ExecOf(*in).active_readers;
+  }
+  AdvanceAcquisition(exec);
+  // Reveal/transfer time for this node's frontier inputs.
+  exec.boundary_scaled_seconds = state_.net.TakeMeterSeconds() * state_.MpcScale();
+  exec.local_compute_seconds = LocalComputeSeconds(state_, records);
+  exec.charged_local = true;
+  state_.net.mutable_counters().cleartext_records += records;
+
+  exec.dispatched = true;
+  ++in_flight_;
+  const int my_topo = TopoIndexOf(node->id);
+  pool_.Submit([this, node, my_topo, rels = std::move(rels)] {
+    Completion completion;
+    completion.topo_index = my_topo;
+    try {
+      StatusOr<Relation> out = ExecuteLocal(*node, rels);
+      if (out.ok()) {
+        completion.output = std::move(*out);
+      } else {
+        completion.status = out.status();
+      }
+    } catch (const std::exception& e) {
+      // See DispatchCreate: escaping exceptions must not reach WorkerLoop.
+      completion.status = InternalError(
+          StrFormat("local job for node #%d threw: %s", node->id, e.what()));
+    }
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    completions_.push_back(std::move(completion));
+    completions_cv_.notify_all();
+  });
+}
+
+Status JobGraphExecutor::RunCollect(NodeExec& exec, ExecutionResult& result) {
+  const ir::OpNode* node = exec.node;
+  const auto& params = node->Params<ir::CollectParams>();
+  exec.dispatched = true;
+
+  MaterializedValue& input = state_.values[static_cast<size_t>(node->inputs[0]->id)];
+  EnsureCleartextAt(state_, input, params.recipients.First());
+  AdvanceAcquisition(exec);
+  // Fan out to the remaining recipients.
+  for (PartyId p : params.recipients.ToVector()) {
+    if (p != input.location) {
+      state_.net.Send(input.location, p, input.clear.ByteSize());
+    }
+  }
+  Relation output = input.clear;
+  if (compilation_.options.pad_mpc_inputs) {
+    // Recipients drop the sentinel rows that adaptive padding introduced.
+    output = ops::StripSentinelRows(output);
+  }
+  if (params.dp.enabled) {
+    // Recipients perturb locally; each noisy output consumes its epsilon
+    // (sequential composition).
+    Rng noise_rng(state_.seed ^
+                  (0xd1b54a32d192ed03ULL + static_cast<uint64_t>(node->id)));
+    CONCLAVE_RETURN_IF_ERROR(dp::PerturbRelation(output, params.dp, noise_rng));
+    exec.dp_epsilon = params.dp.epsilon;
+  }
+  result.outputs[params.name] = std::move(output);
+  exec.boundary_scaled_seconds = state_.net.TakeMeterSeconds() * state_.MpcScale();
+  MarkMaterialized(exec);
+  return Status::Ok();
+}
+
+Status JobGraphExecutor::RunLaneNode(NodeExec& exec) {
+  const ir::OpNode* node = exec.node;
+  exec.dispatched = true;
+  ++lane_next_;
+
+  if (state_.use_gc_backend) {
+    std::vector<const Relation*> rels;
+    rels.reserve(node->inputs.size());
+    for (const ir::OpNode* in : node->inputs) {
+      MaterializedValue& value = state_.values[static_cast<size_t>(in->id)];
+      CONCLAVE_RETURN_IF_ERROR(EnsureSecure(state_, value));
+      rels.push_back(&value.clear);
+    }
+    AdvanceAcquisition(exec);
+    CONCLAVE_ASSIGN_OR_RETURN(Relation out, state_.oblivc.Execute(*node, rels));
+    MaterializedValue value;
+    value.kind = MaterializedValue::Kind::kGarbled;
+    value.clear = std::move(out);
+    state_.values[static_cast<size_t>(node->id)] = std::move(value);
+  } else {
+    std::vector<const SharedRelation*> rels;
+    rels.reserve(node->inputs.size());
+    for (const ir::OpNode* in : node->inputs) {
+      MaterializedValue& value = state_.values[static_cast<size_t>(in->id)];
+      CONCLAVE_RETURN_IF_ERROR(EnsureSecure(state_, value));
+      rels.push_back(&value.shared);
+    }
+    AdvanceAcquisition(exec);
+    CONCLAVE_ASSIGN_OR_RETURN(SharedRelation out,
+                              state_.sharemind.Execute(*node, rels));
+    MaterializedValue value;
+    value.kind = MaterializedValue::Kind::kShared;
+    value.shared = std::move(out);
+    state_.values[static_cast<size_t>(node->id)] = std::move(value);
+  }
+  exec.boundary_scaled_seconds = state_.net.TakeMeterSeconds() * state_.MpcScale();
+  MarkMaterialized(exec);
+  return Status::Ok();
+}
+
+void JobGraphExecutor::DrainCompletions(bool wait) {
+  std::vector<Completion> drained;
+  {
+    std::unique_lock<std::mutex> lock(completions_mu_);
+    if (wait) {
+      completions_cv_.wait(lock, [this] { return !completions_.empty(); });
+    }
+    drained.swap(completions_);
+  }
+  for (Completion& completion : drained) {
+    --in_flight_;
+    NodeExec& exec = execs_[static_cast<size_t>(completion.topo_index)];
+    for (const ir::OpNode* in : exec.node->inputs) {
+      --ExecOf(*in).active_readers;
+    }
+    if (!completion.status.ok()) {
+      RecordFailure(completion.topo_index, std::move(completion.status));
+      continue;
+    }
+    MaterializedValue value;
+    value.kind = MaterializedValue::Kind::kCleartext;
+    value.clear = std::move(completion.output);
+    value.location = exec.klass == NodeClass::kCreate
+                         ? exec.node->Params<ir::CreateParams>().party
+                         : exec.node->exec_party;
+    state_.values[static_cast<size_t>(exec.node->id)] = std::move(value);
+    MarkMaterialized(exec);
+  }
+}
+
+StatusOr<ExecutionResult> JobGraphExecutor::Run() {
+  // --- Plan-time indexing: topo positions, in-degrees, consumer orders, lane. ------
+  int max_id = -1;
+  for (size_t i = 0; i < topo_.size(); ++i) {
+    topo_index_[topo_[i]->id] = static_cast<int>(i);
+    max_id = std::max(max_id, topo_[i]->id);
+  }
+  state_.values.resize(static_cast<size_t>(max_id) + 1);
+  execs_.resize(topo_.size());
+  for (size_t i = 0; i < topo_.size(); ++i) {
+    NodeExec& exec = execs_[i];
+    exec.node = topo_[i];
+    exec.klass = ClassOf(*topo_[i]);
+    exec.remaining_inputs = static_cast<int>(topo_[i]->inputs.size());
+    if (exec.klass == NodeClass::kLane) {
+      lane_.push_back(static_cast<int>(i));
+    }
+  }
+  for (size_t i = 0; i < topo_.size(); ++i) {
+    for (const ir::OpNode* in : topo_[i]->inputs) {
+      execs_[static_cast<size_t>(TopoIndexOf(in->id))].consumer_uses.push_back(
+          static_cast<int>(i));
+    }
+  }
+  for (NodeExec& exec : execs_) {
+    std::sort(exec.consumer_uses.begin(), exec.consumer_uses.end());
+  }
+
+  ExecutionResult result;
+
+  // --- Event loop: dispatch everything ready, then wait for pool completions. ------
+  //
+  // On failure, dispatch continues — but only for nodes topo-earlier than the
+  // earliest failure seen so far (their dependency chains lie entirely below it, so
+  // they can always run to completion). A sequential walk would have executed
+  // exactly those nodes before hitting the failure; finishing them lets any
+  // earlier failure they hold surface, so the reported error is exactly the one
+  // the sequential walk reports, at every pool size.
+  for (;;) {
+    bool dispatched_any = false;
+    for (size_t i = 0; i < execs_.size(); ++i) {
+      if (first_failed_topo_ >= 0 && static_cast<int>(i) >= first_failed_topo_) {
+        break;  // execs_ is topo-ordered; nothing past the failure may dispatch.
+      }
+      NodeExec& exec = execs_[i];
+      if (exec.dispatched || exec.remaining_inputs > 0) {
+        continue;
+      }
+      switch (exec.klass) {
+        case NodeClass::kCreate:
+          DispatchCreate(exec);
+          dispatched_any = true;
+          break;
+        case NodeClass::kLocalCompute:
+          if (CanAcquireInputs(exec)) {
+            DispatchLocalCompute(exec);
+            dispatched_any = true;
+          }
+          break;
+        case NodeClass::kCollect:
+          if (CanAcquireInputs(exec)) {
+            const Status status = RunCollect(exec, result);
+            if (!status.ok()) {
+              RecordFailure(static_cast<int>(i), status);
+            }
+            dispatched_any = true;
+          }
+          break;
+        case NodeClass::kLane:
+          if (lane_[lane_next_] == static_cast<int>(i) && CanAcquireInputs(exec)) {
+            const Status status = RunLaneNode(exec);
+            if (!status.ok()) {
+              RecordFailure(static_cast<int>(i), status);
+            }
+            dispatched_any = true;
+          }
+          break;
+      }
+    }
+    if (dispatched_any) {
+      DrainCompletions(/*wait=*/false);
+      continue;
+    }
+    if (in_flight_ > 0) {
+      DrainCompletions(/*wait=*/true);
+      continue;
+    }
+    break;  // Quiescent: everything runnable (below any failure) has finished.
+  }
+
+  if (first_failed_topo_ >= 0) {
+    return failure_;
+  }
+  // No failure: quiescence with unmaterialized nodes would be a plan bug.
+  CONCLAVE_CHECK_EQ(materialized_count_, topo_.size());
+  return FinalizeAccounting(std::move(result));
+}
+
+StatusOr<ExecutionResult> JobGraphExecutor::FinalizeAccounting(
+    ExecutionResult result) {
+  // All floating-point totals are folded here, in topo/job order, from the per-node
+  // attributions recorded during execution — never in completion order, which is
+  // scheduling-dependent. This is what keeps every reported number bit-identical
+  // across pool sizes.
+  std::unordered_map<int, double> job_duration;
+  std::unordered_set<int> jobs_started;  // Spark startup charged once per job.
+  for (const NodeExec& exec : execs_) {
+    const int job = state_.node_job.at(exec.node->id);
+    double seconds = exec.boundary_scaled_seconds + exec.local_compute_seconds;
+    if (exec.charged_local && state_.use_spark &&
+        jobs_started.insert(job).second) {
+      seconds += state_.net.model().spark_job_startup_seconds;
+    }
+    job_duration[job] += seconds;
+    switch (exec.klass) {
+      case NodeClass::kLane:
+        if (exec.node->exec_mode == ir::ExecMode::kHybrid) {
+          result.hybrid_seconds += exec.boundary_scaled_seconds;
+        } else {
+          result.mpc_seconds += exec.boundary_scaled_seconds;
+        }
+        break;
+      default:
+        // Reveal/transfer time on the frontier accrues to mpc_seconds, as the
+        // engines performed that work.
+        result.mpc_seconds += exec.boundary_scaled_seconds;
+        break;
+    }
+    result.dp_epsilon_spent += exec.dp_epsilon;
+  }
+
+  // Critical-path schedule over the job graph: a job starts when all jobs feeding it
+  // finish; independent per-party local jobs overlap.
+  std::unordered_map<int, double> finish;
+  for (const compiler::Job& job : compilation_.plan.jobs) {
+    double start = 0;
+    for (const ir::OpNode* node : job.nodes) {
+      for (const ir::OpNode* in : node->inputs) {
+        const int dep_job = state_.node_job.at(in->id);
+        if (dep_job != job.id) {
+          const auto it = finish.find(dep_job);
+          CONCLAVE_CHECK(it != finish.end());  // Jobs are topologically ordered.
+          start = std::max(start, it->second);
+        }
+      }
+    }
+    finish[job.id] = start + job_duration[job.id];
+    if (job.kind == compiler::JobKind::kLocal) {
+      result.local_seconds += job_duration[job.id];
+    }
+  }
+  for (const compiler::Job& job : compilation_.plan.jobs) {
+    result.virtual_seconds = std::max(result.virtual_seconds, finish[job.id]);
+  }
+  result.counters = state_.net.counters();
+  return result;
 }
 
 }  // namespace
@@ -139,149 +633,15 @@ StatusOr<ExecutionResult> Dispatcher::Run(
     }
   }
 
-  ExecutionResult result;
-  for (const ir::OpNode* node : dag.TopoOrder()) {
-    const int job = state.node_job.at(node->id);
-    const double clock_before = state.net.ElapsedSeconds();
-
-    if (node->kind == ir::OpKind::kCreate) {
-      const auto& params = node->Params<ir::CreateParams>();
-      const auto it = inputs.find(params.name);
-      if (it == inputs.end()) {
-        return InvalidArgumentError(
-            StrFormat("no input relation provided for '%s'", params.name.c_str()));
-      }
-      if (!it->second.schema().NamesMatch(node->schema)) {
-        return InvalidArgumentError(StrFormat(
-            "input '%s' schema %s does not match declared schema %s",
-            params.name.c_str(), it->second.schema().ToString().c_str(),
-            node->schema.ToString().c_str()));
-      }
-      MaterializedValue value;
-      value.kind = MaterializedValue::Kind::kCleartext;
-      value.clear = it->second;
-      value.location = params.party;
-      state.values[node->id] = std::move(value);
-      continue;
-    }
-
-    if (node->kind == ir::OpKind::kCollect) {
-      const auto& params = node->Params<ir::CollectParams>();
-      MaterializedValue& input = state.values.at(node->inputs[0]->id);
-      EnsureCleartextAt(state, input, params.recipients.First());
-      // Fan out to the remaining recipients.
-      for (PartyId p : params.recipients.ToVector()) {
-        if (p != input.location) {
-          state.net.Send(input.location, p, input.clear.ByteSize());
-        }
-      }
-      Relation output = input.clear;
-      if (compilation.options.pad_mpc_inputs) {
-        // Recipients drop the sentinel rows that adaptive padding introduced.
-        output = ops::StripSentinelRows(output);
-      }
-      if (params.dp.enabled) {
-        // Recipients perturb locally; each noisy output consumes its epsilon
-        // (sequential composition).
-        Rng noise_rng(state.seed ^ (0xd1b54a32d192ed03ULL + static_cast<uint64_t>(
-                                                                node->id)));
-        CONCLAVE_RETURN_IF_ERROR(
-            dp::PerturbRelation(output, params.dp, noise_rng));
-        result.dp_epsilon_spent += params.dp.epsilon;
-      }
-      result.outputs[params.name] = std::move(output);
-      state.job_duration[job] += state.ClockDelta(clock_before) * state.MpcScale();
-      result.mpc_seconds += state.ClockDelta(clock_before) * state.MpcScale();
-      continue;
-    }
-
-    switch (node->exec_mode) {
-      case ir::ExecMode::kLocal: {
-        std::vector<const Relation*> rels;
-        uint64_t records = 0;
-        for (const ir::OpNode* in : node->inputs) {
-          MaterializedValue& value = state.values.at(in->id);
-          EnsureCleartextAt(state, value, node->exec_party);
-          rels.push_back(&value.clear);
-          records += static_cast<uint64_t>(value.clear.NumRows());
-        }
-        // Reveal/transfer time accrued on the net clock belongs to this job too.
-        state.job_duration[job] += state.ClockDelta(clock_before) * state.MpcScale();
-        result.mpc_seconds += state.ClockDelta(clock_before) * state.MpcScale();
-        CONCLAVE_ASSIGN_OR_RETURN(Relation out, ExecuteLocal(*node, rels));
-        ChargeLocalNode(state, *node, records);
-        MaterializedValue value;
-        value.kind = MaterializedValue::Kind::kCleartext;
-        value.clear = std::move(out);
-        value.location = node->exec_party;
-        state.values[node->id] = std::move(value);
-        break;
-      }
-      case ir::ExecMode::kMpc:
-      case ir::ExecMode::kHybrid: {
-        if (use_gc) {
-          std::vector<const Relation*> rels;
-          for (const ir::OpNode* in : node->inputs) {
-            MaterializedValue& value = state.values.at(in->id);
-            CONCLAVE_RETURN_IF_ERROR(EnsureSecure(state, value));
-            rels.push_back(&value.clear);
-          }
-          CONCLAVE_ASSIGN_OR_RETURN(Relation out, state.oblivc.Execute(*node, rels));
-          MaterializedValue value;
-          value.kind = MaterializedValue::Kind::kGarbled;
-          value.clear = std::move(out);
-          state.values[node->id] = std::move(value);
-        } else {
-          std::vector<const SharedRelation*> rels;
-          for (const ir::OpNode* in : node->inputs) {
-            MaterializedValue& value = state.values.at(in->id);
-            CONCLAVE_RETURN_IF_ERROR(EnsureSecure(state, value));
-            rels.push_back(&value.shared);
-          }
-          CONCLAVE_ASSIGN_OR_RETURN(SharedRelation out,
-                                    state.sharemind.Execute(*node, rels));
-          MaterializedValue value;
-          value.kind = MaterializedValue::Kind::kShared;
-          value.shared = std::move(out);
-          state.values[node->id] = std::move(value);
-        }
-        const double delta = state.ClockDelta(clock_before) * state.MpcScale();
-        state.job_duration[job] += delta;
-        if (node->exec_mode == ir::ExecMode::kHybrid) {
-          result.hybrid_seconds += delta;
-        } else {
-          result.mpc_seconds += delta;
-        }
-        break;
-      }
-    }
-  }
-
-  // Critical-path schedule over the job graph: a job starts when all jobs feeding it
-  // finish; independent per-party local jobs overlap.
-  std::unordered_map<int, double> finish;
-  for (const compiler::Job& job : compilation.plan.jobs) {
-    double start = 0;
-    for (const ir::OpNode* node : job.nodes) {
-      for (const ir::OpNode* in : node->inputs) {
-        const int dep_job = state.node_job.at(in->id);
-        if (dep_job != job.id) {
-          const auto it = finish.find(dep_job);
-          CONCLAVE_CHECK(it != finish.end());  // Jobs are topologically ordered.
-          start = std::max(start, it->second);
-        }
-      }
-    }
-    finish[job.id] = start + state.job_duration[job.id];
-    if (job.kind == compiler::JobKind::kLocal) {
-      result.local_seconds += state.job_duration[job.id];
-    }
-  }
-  for (const auto& [job_id, end] : finish) {
-    result.virtual_seconds = std::max(result.virtual_seconds, end);
-  }
-  result.counters = state.net.counters();
-  return result;
+  std::vector<ir::OpNode*> order = dag.TopoOrder();
+  // Bind the run's pool to this thread so morsel-level ParallelFor inside any
+  // coordinator-side operator work shares the same thread budget as the job tasks
+  // (workers bind themselves in WorkerLoop).
+  ThreadPool::Scope scope(&pool());
+  JobGraphExecutor executor(
+      state, compilation, inputs, pool(),
+      std::vector<const ir::OpNode*>(order.begin(), order.end()));
+  return executor.Run();
 }
 
 }  // namespace backends

@@ -1,26 +1,34 @@
 // The dispatcher executes a compiled plan end-to-end (§4.1's per-party Conclave
 // agents, collapsed into one in-process orchestrator).
 //
-// It walks the rewritten DAG in topological order, materializing every node on the
-// backend its placement demands, and inserts the data movement the paper's generated
-// code performs at frontier crossings: inputToMPC (secret-share / garble a cleartext
-// relation, charging ingest) when a local value flows into an MPC node, and reveal
-// when a shared value flows into a local node or a Collect.
+// Execution is a parallel job-graph walk: every DAG node's in-degree is tracked and
+// each node is dispatched the moment its inputs are materialized. Cleartext work
+// (Create ingest and local operator chains) runs on a thread pool, so independent
+// per-party preprocessing overlaps in *real* time the way the virtual-clock schedule
+// always said it did; MPC and hybrid nodes stay serialized on a dedicated lane in a
+// fixed topological order, because the secret-sharing and garbling engines consume a
+// stateful RNG and charge a shared SimNetwork. Frontier crossings insert the data
+// movement the paper's generated code performs: inputToMPC (secret-share / garble a
+// cleartext relation, charging ingest) when a local value flows into an MPC node,
+// and reveal when a shared value flows into a local node or a Collect.
 //
-// Virtual time is job-scheduled: each job gets a duration (cost-model time for local
-// jobs, engine-measured time for MPC/hybrid jobs) and the total is the critical path
-// over the job dependency graph — so three parties' local preprocessing overlaps, as
-// it does in the real deployment, while MPC steps serialize.
+// Virtual time is job-scheduled and independent of the pool size: each job gets a
+// duration (cost-model time for local jobs, engine-measured time for MPC/hybrid
+// jobs) and the total is the critical path over the job dependency graph. The
+// determinism contract (same results and virtual-clock totals for every pool size,
+// bit for bit) is spelled out in DESIGN.md §5.
 #ifndef CONCLAVE_BACKENDS_DISPATCHER_H_
 #define CONCLAVE_BACKENDS_DISPATCHER_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 
 #include "conclave/backends/backend.h"
 #include "conclave/backends/oblivc_backend.h"
 #include "conclave/backends/sharemind_backend.h"
+#include "conclave/common/thread_pool.h"
 #include "conclave/compiler/compiler.h"
 
 namespace conclave {
@@ -28,8 +36,15 @@ namespace backends {
 
 class Dispatcher {
  public:
-  Dispatcher(CostModel model, uint64_t seed)
-      : model_(model), seed_(seed) {}
+  // `pool_parallelism` sets the executor's thread budget: 0 shares the process-wide
+  // pool (sized to the hardware), 1 runs fully serial, N > 1 creates a dedicated
+  // pool with N lanes. Results and virtual time are identical for every value.
+  Dispatcher(CostModel model, uint64_t seed, int pool_parallelism = 0)
+      : model_(model), seed_(seed) {
+    if (pool_parallelism > 0) {
+      owned_pool_ = std::make_unique<ThreadPool>(pool_parallelism);
+    }
+  }
 
   // Executes the compiled plan. `inputs` maps each Create node's name to the relation
   // its owning party contributes. The DAG must be the one `compilation` was built
@@ -39,8 +54,13 @@ class Dispatcher {
                                 const std::map<std::string, Relation>& inputs);
 
  private:
+  ThreadPool& pool() {
+    return owned_pool_ != nullptr ? *owned_pool_ : ThreadPool::Shared();
+  }
+
   CostModel model_;
   uint64_t seed_;
+  std::unique_ptr<ThreadPool> owned_pool_;
 };
 
 }  // namespace backends

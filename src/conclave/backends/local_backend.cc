@@ -44,12 +44,7 @@ StatusOr<Relation> ExecuteLocal(const ir::OpNode& node,
     case ir::OpKind::kCreate:
       return InternalError("create nodes materialize from provided inputs");
     case ir::OpKind::kConcat: {
-      std::vector<Relation> rels;
-      rels.reserve(inputs.size());
-      for (const Relation* rel : inputs) {
-        rels.push_back(*rel);
-      }
-      Relation merged = ops::Concat(rels);
+      Relation merged = ops::Concat(inputs);
       const auto& params = node.Params<ir::ConcatParams>();
       if (!params.merge_columns.empty()) {
         CONCLAVE_ASSIGN_OR_RETURN(std::vector<int> columns,

@@ -1,0 +1,189 @@
+#include "conclave/common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "conclave/common/check.h"
+
+namespace conclave {
+namespace {
+
+// Book-keeping for one ParallelFor call, shared between the caller and any helper
+// tasks still sitting in the pool queue after the call returns.
+struct ForState {
+  int64_t begin = 0;
+  int64_t grain = 1;
+  int64_t num_chunks = 0;
+  int64_t end = 0;
+  const std::function<void(int64_t, int64_t)>* body = nullptr;
+
+  std::atomic<int64_t> next_chunk{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int64_t finished_chunks = 0;
+  int64_t first_failed_chunk = -1;
+  std::exception_ptr exception;
+
+  // Claims and runs chunks until none are left. Returns once every chunk this
+  // thread claimed has finished.
+  void Help() {
+    for (int64_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+         chunk < num_chunks;
+         chunk = next_chunk.fetch_add(1, std::memory_order_relaxed)) {
+      const int64_t lo = begin + chunk * grain;
+      const int64_t hi = std::min(end, lo + grain);
+      std::exception_ptr caught;
+      try {
+        (*body)(lo, hi);
+      } catch (...) {
+        caught = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (caught != nullptr &&
+          (first_failed_chunk < 0 || chunk < first_failed_chunk)) {
+        first_failed_chunk = chunk;
+        exception = caught;
+      }
+      if (++finished_chunks == num_chunks) {
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int parallelism)
+    : parallelism_(parallelism > 0 ? parallelism : DefaultParallelism()) {
+  CONCLAVE_CHECK_GE(parallelism_, 1);
+  workers_.reserve(static_cast<size_t>(parallelism_ - 1));
+  for (int i = 0; i < parallelism_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+namespace {
+thread_local ThreadPool* tls_current_pool = nullptr;
+}  // namespace
+
+ThreadPool* ThreadPool::Current() { return tls_current_pool; }
+
+ThreadPool::Scope::Scope(ThreadPool* pool) : previous_(tls_current_pool) {
+  tls_current_pool = pool;
+}
+
+ThreadPool::Scope::~Scope() { tls_current_pool = previous_; }
+
+void ThreadPool::WorkerLoop() {
+  Scope scope(this);
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // Shutting down and drained.
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  if (workers_.empty()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CONCLAVE_CHECK(!shutting_down_);
+    queue_.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& body) {
+  if (begin >= end) {
+    return;
+  }
+  CONCLAVE_CHECK_GE(grain, 1);
+  const int64_t n = end - begin;
+  if (n <= grain) {
+    body(begin, end);
+    return;
+  }
+  if (parallelism_ == 1) {
+    // Serial pools walk the identical chunk partition inline, in order, so callers
+    // that merge per-chunk partials see the same chunks at every pool size.
+    for (int64_t lo = begin; lo < end; lo += grain) {
+      body(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->num_chunks = (n + grain - 1) / grain;
+  state->body = &body;
+
+  // Helpers beyond the chunk count would only find an empty cursor.
+  const int64_t helpers =
+      std::min<int64_t>(static_cast<int64_t>(workers_.size()), state->num_chunks - 1);
+  for (int64_t i = 0; i < helpers; ++i) {
+    Submit([state] { state->Help(); });
+  }
+  state->Help();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(
+      lock, [&] { return state->finished_chunks == state->num_chunks; });
+  // `body` (a caller-owned reference) dies with this frame; helpers are done with it
+  // here because every chunk has finished — stragglers only hold the ForState.
+  state->body = nullptr;
+  if (state->exception != nullptr) {
+    std::rethrow_exception(state->exception);
+  }
+}
+
+int ThreadPool::DefaultParallelism() {
+  if (const char* env = std::getenv("CONCLAVE_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) {
+      return parsed;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& body, int64_t grain) {
+  ThreadPool* pool = ThreadPool::Current();
+  (pool != nullptr ? *pool : ThreadPool::Shared()).ParallelFor(begin, end, grain,
+                                                               body);
+}
+
+}  // namespace conclave

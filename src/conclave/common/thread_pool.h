@@ -1,0 +1,104 @@
+// Shared fixed-size thread pool with a morsel-style ParallelFor.
+//
+// One pool serves both parallelism layers in this repo:
+//  * the dispatcher's job-graph executor submits whole local jobs (Submit), and
+//  * the cleartext operator library splits hot loops over row ranges (ParallelFor).
+//
+// `parallelism` counts the *caller* as one lane: a pool constructed with
+// parallelism 1 spawns no worker threads and runs every ParallelFor body inline on
+// the calling thread, so serial execution is a degenerate configuration rather than
+// a separate code path (and the dispatcher's pool-size-1 mode is bit-for-bit the
+// sequential executor).
+//
+// ParallelFor uses a helping scheme instead of blocking on workers: chunks are
+// claimed from a shared atomic cursor and the caller keeps claiming until none are
+// left, so a ParallelFor issued from *inside* a pool task (nested morsel work under
+// a dispatcher job) always makes progress even when every worker is busy — no lane
+// is ever parked waiting for a queue that only it would drain. Exceptions thrown by
+// chunk bodies are captured and the first one (by claim order) is rethrown on the
+// calling thread after all chunks finish.
+#ifndef CONCLAVE_COMMON_THREAD_POOL_H_
+#define CONCLAVE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace conclave {
+
+class ThreadPool {
+ public:
+  // `parallelism` <= 0 picks DefaultParallelism(). Spawns parallelism - 1 workers.
+  explicit ThreadPool(int parallelism = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int parallelism() const { return parallelism_; }
+
+  // Enqueues `fn` for a worker thread (runs inline immediately when the pool has no
+  // workers). Tasks must not throw: there is no completion channel to surface the
+  // exception, so a throwing task terminates the process.
+  void Submit(std::function<void()> fn);
+
+  // Runs body(chunk_begin, chunk_end) over a partition of [begin, end) into ranges
+  // of at most `grain` elements. The caller participates; workers help when free.
+  // The partition (chunk boundaries) depends only on (begin, end, grain), never on
+  // the number of threads, so chunk-indexed merges are deterministic.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& body);
+
+  // CONCLAVE_THREADS env override, else std::thread::hardware_concurrency().
+  static int DefaultParallelism();
+
+  // Process-wide pool used by the operator library and as the dispatcher default.
+  static ThreadPool& Shared();
+
+  // The pool bound to the calling thread (nullptr if none). Pool workers are bound
+  // to their own pool; the dispatcher binds its pool to the coordinator thread for
+  // the duration of a run. The free ParallelFor routes through this binding so
+  // morsel work inside a dispatcher job respects the dispatcher's thread budget —
+  // a pool_parallelism=1 run really is single-threaded, not "single-threaded
+  // except the operators".
+  static ThreadPool* Current();
+
+  // Binds `pool` to this thread for the Scope's lifetime (restores the previous
+  // binding on destruction).
+  class Scope {
+   public:
+    explicit Scope(ThreadPool* pool);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ThreadPool* previous_;
+  };
+
+ private:
+  void WorkerLoop();
+
+  const int parallelism_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// ParallelFor on the shared pool; the grain default keeps per-chunk overhead far
+// below the work of scanning the rows it covers.
+inline constexpr int64_t kDefaultGrainRows = 16 * 1024;
+
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& body,
+                 int64_t grain = kDefaultGrainRows);
+
+}  // namespace conclave
+
+#endif  // CONCLAVE_COMMON_THREAD_POOL_H_

@@ -28,7 +28,7 @@ class SimNetwork {
     CONCLAVE_CHECK_NE(from, to);
     counters_.network_bytes += bytes;
     bytes_matrix_[Index(from)][Index(to)] += bytes;
-    clock_.Advance(model_.SecondsForBytes(bytes));
+    Charge(model_.SecondsForBytes(bytes));
   }
 
   // Broadcast from one party to all others.
@@ -43,11 +43,23 @@ class SimNetwork {
   // A synchronous round barrier: charges one LAN latency per round.
   void Rounds(uint64_t count) {
     counters_.network_rounds += count;
-    clock_.Advance(model_.SecondsForRounds(count));
+    Charge(model_.SecondsForRounds(count));
   }
 
   // Computation charged directly in seconds (per-primitive amortized costs).
-  void CpuSeconds(double seconds) { clock_.Advance(seconds); }
+  void CpuSeconds(double seconds) { Charge(seconds); }
+
+  // Zero-based charge meter for per-step cost attribution. The job-graph executor
+  // reads each step's virtual cost as TakeMeterSeconds() (the sum of charges since
+  // the previous take, accumulated from zero) instead of subtracting clock stamps:
+  // a difference of clock readings picks up floating-point rounding that depends on
+  // how much virtual time happened to precede the step, which would make per-step
+  // costs — and therefore the reported totals — vary with execution interleaving.
+  double TakeMeterSeconds() {
+    const double taken = meter_seconds_;
+    meter_seconds_ = 0;
+    return taken;
+  }
 
   // Bytes counted without advancing the clock — used by primitives whose amortized
   // per-op seconds already include their traffic (see CostModel commentary).
@@ -81,6 +93,7 @@ class SimNetwork {
     clock_.Reset();
     counters_.Reset();
     bytes_matrix_ = {};
+    meter_seconds_ = 0;
   }
 
  private:
@@ -90,8 +103,14 @@ class SimNetwork {
     return static_cast<size_t>(party);
   }
 
+  void Charge(double seconds) {
+    clock_.Advance(seconds);
+    meter_seconds_ += seconds;
+  }
+
   CostModel model_;
   VirtualClock clock_;
+  double meter_seconds_ = 0;
   CostCounters counters_;
   std::array<std::array<uint64_t, kMaxParties>, kMaxParties> bytes_matrix_{};
 };

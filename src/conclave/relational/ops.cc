@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "conclave/common/strings.h"
+#include "conclave/common/thread_pool.h"
 
 namespace conclave {
 
@@ -139,27 +140,46 @@ Relation Project(const Relation& input, std::span<const int> columns) {
     defs.push_back(input.schema().Column(c));
   }
   Relation output{Schema(std::move(defs))};
-  output.Reserve(input.NumRows());
+  const int64_t rows = input.NumRows();
   auto& cells = output.mutable_cells();
-  for (int64_t r = 0; r < input.NumRows(); ++r) {
-    for (int c : columns) {
-      cells.push_back(input.At(r, c));
+  cells.resize(static_cast<size_t>(rows) * columns.size());
+  // Output offsets are a pure function of the row index, so morsels write disjoint
+  // pre-sized ranges and the result is byte-identical to the serial loop.
+  ParallelFor(0, rows, [&](int64_t lo, int64_t hi) {
+    size_t w = static_cast<size_t>(lo) * columns.size();
+    for (int64_t r = lo; r < hi; ++r) {
+      for (int c : columns) {
+        cells[w++] = input.At(r, c);
+      }
     }
-  }
+  });
   return output;
 }
 
 Relation Filter(const Relation& input, const FilterPredicate& predicate) {
   Relation output{input.schema()};
   auto& cells = output.mutable_cells();
-  for (int64_t r = 0; r < input.NumRows(); ++r) {
-    const int64_t lhs = input.At(r, predicate.column);
-    const int64_t rhs = predicate.rhs_is_column ? input.At(r, predicate.rhs_column)
-                                                : predicate.rhs_literal;
-    if (EvalCompare(predicate.op, lhs, rhs)) {
-      auto row = input.Row(r);
-      cells.insert(cells.end(), row.begin(), row.end());
+  const int64_t rows = input.NumRows();
+  // Morsel parallelism: each fixed row range filters into a private buffer; the
+  // buffers are stitched back in range order, so the output row order matches the
+  // serial scan exactly regardless of thread count.
+  const int64_t grain = kDefaultGrainRows;
+  const int64_t num_chunks = rows == 0 ? 0 : (rows + grain - 1) / grain;
+  std::vector<std::vector<int64_t>> partials(static_cast<size_t>(num_chunks));
+  ParallelFor(0, rows, [&](int64_t lo, int64_t hi) {
+    std::vector<int64_t>& local = partials[static_cast<size_t>(lo / grain)];
+    for (int64_t r = lo; r < hi; ++r) {
+      const int64_t lhs = input.At(r, predicate.column);
+      const int64_t rhs = predicate.rhs_is_column ? input.At(r, predicate.rhs_column)
+                                                  : predicate.rhs_literal;
+      if (EvalCompare(predicate.op, lhs, rhs)) {
+        auto row = input.Row(r);
+        local.insert(local.end(), row.begin(), row.end());
+      }
     }
+  }, grain);
+  for (const std::vector<int64_t>& local : partials) {
+    cells.insert(cells.end(), local.begin(), local.end());
   }
   return output;
 }
@@ -237,15 +257,39 @@ Relation Aggregate(const Relation& input, std::span<const int> group_columns,
     int64_t max = std::numeric_limits<int64_t>::min();
   };
 
-  std::unordered_map<std::vector<int64_t>, Accumulator, KeyHash> groups;
-  for (int64_t r = 0; r < input.NumRows(); ++r) {
-    auto& acc = groups[ExtractKey(input, r, group_columns)];
-    acc.count += 1;
-    if (kind != AggKind::kCount) {
-      const int64_t v = input.At(r, agg_column);
-      acc.sum += v;
-      acc.min = std::min(acc.min, v);
-      acc.max = std::max(acc.max, v);
+  // Pre-combine morsels: each row range aggregates into a private hash map, and the
+  // partial maps merge in range order. Accumulator merge is associative and the
+  // output is sorted by group key below, so the result is identical to a serial
+  // scan for any thread count.
+  using GroupMap = std::unordered_map<std::vector<int64_t>, Accumulator, KeyHash>;
+  const int64_t rows = input.NumRows();
+  const int64_t grain = kDefaultGrainRows;
+  const int64_t num_chunks = rows == 0 ? 0 : (rows + grain - 1) / grain;
+  std::vector<GroupMap> partials(static_cast<size_t>(num_chunks));
+  ParallelFor(0, rows, [&](int64_t lo, int64_t hi) {
+    GroupMap& local = partials[static_cast<size_t>(lo / grain)];
+    for (int64_t r = lo; r < hi; ++r) {
+      auto& acc = local[ExtractKey(input, r, group_columns)];
+      acc.count += 1;
+      if (kind != AggKind::kCount) {
+        const int64_t v = input.At(r, agg_column);
+        acc.sum += v;
+        acc.min = std::min(acc.min, v);
+        acc.max = std::max(acc.max, v);
+      }
+    }
+  }, grain);
+  GroupMap groups;
+  if (!partials.empty()) {
+    groups = std::move(partials.front());
+    for (size_t i = 1; i < partials.size(); ++i) {
+      for (auto& [key, partial] : partials[i]) {
+        Accumulator& acc = groups[key];
+        acc.sum += partial.sum;
+        acc.count += partial.count;
+        acc.min = std::min(acc.min, partial.min);
+        acc.max = std::max(acc.max, partial.max);
+      }
     }
   }
 
@@ -291,20 +335,36 @@ Relation Aggregate(const Relation& input, std::span<const int> group_columns,
 }
 
 Relation Concat(std::span<const Relation> inputs) {
+  std::vector<const Relation*> ptrs;
+  ptrs.reserve(inputs.size());
+  for (const Relation& rel : inputs) {
+    ptrs.push_back(&rel);
+  }
+  return Concat(std::span<const Relation* const>(ptrs));
+}
+
+Relation Concat(std::span<const Relation* const> inputs) {
   CONCLAVE_CHECK_GT(inputs.size(), 0u);
-  for (const Relation& rel : inputs.subspan(1)) {
-    CONCLAVE_CHECK(inputs[0].schema().NamesMatch(rel.schema()));
+  for (const Relation* rel : inputs.subspan(1)) {
+    CONCLAVE_CHECK(inputs[0]->schema().NamesMatch(rel->schema()));
   }
-  Relation output{inputs[0].schema()};
-  int64_t total_rows = 0;
-  for (const Relation& rel : inputs) {
-    total_rows += rel.NumRows();
+  Relation output{inputs[0]->schema()};
+  std::vector<size_t> offsets(inputs.size());
+  size_t total_cells = 0;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    offsets[i] = total_cells;
+    total_cells += inputs[i]->cells().size();
   }
-  output.Reserve(total_rows);
   auto& cells = output.mutable_cells();
-  for (const Relation& rel : inputs) {
-    cells.insert(cells.end(), rel.cells().begin(), rel.cells().end());
-  }
+  cells.resize(total_cells);
+  // One copy per input, in parallel; each writes a disjoint pre-sized range.
+  ParallelFor(0, static_cast<int64_t>(inputs.size()), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const auto& src = inputs[static_cast<size_t>(i)]->cells();
+      std::copy(src.begin(), src.end(),
+                cells.begin() + static_cast<int64_t>(offsets[static_cast<size_t>(i)]));
+    }
+  }, /*grain=*/1);
   return output;
 }
 
@@ -360,31 +420,37 @@ Relation Arithmetic(const Relation& input, const ArithSpec& spec) {
   std::vector<ColumnDef> defs = input.schema().columns();
   defs.emplace_back(spec.result_name);
   Relation output{Schema(std::move(defs))};
-  output.Reserve(input.NumRows());
+  const int64_t rows = input.NumRows();
+  const int out_cols = input.NumColumns() + 1;
   auto& cells = output.mutable_cells();
-  for (int64_t r = 0; r < input.NumRows(); ++r) {
-    auto row = input.Row(r);
-    cells.insert(cells.end(), row.begin(), row.end());
-    const int64_t lhs = input.At(r, spec.lhs_column);
-    const int64_t rhs =
-        spec.rhs_is_column ? input.At(r, spec.rhs_column) : spec.rhs_literal;
-    int64_t result = 0;
-    switch (spec.kind) {
-      case ArithKind::kAdd:
-        result = lhs + rhs;
-        break;
-      case ArithKind::kSub:
-        result = lhs - rhs;
-        break;
-      case ArithKind::kMul:
-        result = lhs * rhs;
-        break;
-      case ArithKind::kDiv:
-        result = rhs == 0 ? 0 : (lhs * spec.scale) / rhs;
-        break;
+  cells.resize(static_cast<size_t>(rows) * out_cols);
+  ParallelFor(0, rows, [&](int64_t lo, int64_t hi) {
+    size_t w = static_cast<size_t>(lo) * out_cols;
+    for (int64_t r = lo; r < hi; ++r) {
+      auto row = input.Row(r);
+      std::copy(row.begin(), row.end(), cells.begin() + static_cast<int64_t>(w));
+      w += row.size();
+      const int64_t lhs = input.At(r, spec.lhs_column);
+      const int64_t rhs =
+          spec.rhs_is_column ? input.At(r, spec.rhs_column) : spec.rhs_literal;
+      int64_t result = 0;
+      switch (spec.kind) {
+        case ArithKind::kAdd:
+          result = lhs + rhs;
+          break;
+        case ArithKind::kSub:
+          result = lhs - rhs;
+          break;
+        case ArithKind::kMul:
+          result = lhs * rhs;
+          break;
+        case ArithKind::kDiv:
+          result = rhs == 0 ? 0 : (lhs * spec.scale) / rhs;
+          break;
+      }
+      cells[w++] = result;
     }
-    cells.push_back(result);
-  }
+  });
   return output;
 }
 

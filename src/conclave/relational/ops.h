@@ -119,6 +119,10 @@ Relation Aggregate(const Relation& input, std::span<const int> group_columns,
 
 // Duplicate-preserving set union; all inputs must have matching column names.
 Relation Concat(std::span<const Relation> inputs);
+// Copy-free variant for the execution backends: concatenates the relations behind
+// the pointers directly, instead of forcing callers to materialize a contiguous
+// vector of relation copies first.
+Relation Concat(std::span<const Relation* const> inputs);
 
 // Stable sort by the given columns (lexicographic), ascending or descending.
 Relation SortBy(const Relation& input, std::span<const int> columns,

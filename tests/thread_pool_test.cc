@@ -1,0 +1,198 @@
+// Unit tests for the shared thread pool: coverage of every index exactly once,
+// serial degeneration at parallelism 1, exception propagation, nested ParallelFor
+// (morsel work issued from inside a pool task), and deterministic chunk boundaries.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "conclave/common/thread_pool.h"
+
+namespace conclave {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(0, kN, /*grain=*/1024, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelismOneRunsInlineAndInOrder) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<int64_t> starts;
+  pool.ParallelFor(0, 10000, /*grain=*/128, [&](int64_t lo, int64_t hi) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_GT(hi, lo);
+    starts.push_back(lo);  // No synchronization needed: everything is inline.
+  });
+  // A single-lane pool must behave exactly like the serial loop: the full chunk
+  // partition, visited in order on the calling thread.
+  ASSERT_EQ(starts.size(), static_cast<size_t>((10000 + 127) / 128));
+  EXPECT_TRUE(std::is_sorted(starts.begin(), starts.end()));
+}
+
+TEST(ThreadPoolTest, EmptyAndSingleChunkRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 16, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // A range within one grain runs inline on the caller (single chunk).
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(0, 10, 16, [&](int64_t lo, int64_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 10);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> executed{0};
+  EXPECT_THROW(
+      pool.ParallelFor(0, 10000, /*grain=*/64,
+                       [&](int64_t lo, int64_t) {
+                         executed.fetch_add(1);
+                         if (lo >= 1920) {
+                           throw std::runtime_error("boom");
+                         }
+                       }),
+      std::runtime_error);
+  EXPECT_GT(executed.load(), 0);
+}
+
+TEST(ThreadPoolTest, FirstExceptionByChunkOrderWins) {
+  ThreadPool pool(4);
+  try {
+    pool.ParallelFor(0, 4096, /*grain=*/64, [&](int64_t lo, int64_t) {
+      throw std::runtime_error("chunk " + std::to_string(lo / 64));
+    });
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 0");
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForMakesProgress) {
+  // A ParallelFor issued from inside pool tasks must not deadlock even when every
+  // worker is occupied by an outer chunk: the helping scheme has each caller drain
+  // its own chunks.
+  ThreadPool pool(4);
+  constexpr int64_t kOuter = 16;
+  constexpr int64_t kInner = 4096;
+  std::vector<std::atomic<int64_t>> sums(kOuter);
+  pool.ParallelFor(0, kOuter, /*grain=*/1, [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      std::atomic<int64_t>& sum = sums[static_cast<size_t>(o)];
+      pool.ParallelFor(0, kInner, /*grain=*/256, [&](int64_t ilo, int64_t ihi) {
+        int64_t local = 0;
+        for (int64_t i = ilo; i < ihi; ++i) {
+          local += i;
+        }
+        sum.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+  });
+  const int64_t expected = kInner * (kInner - 1) / 2;
+  for (int64_t o = 0; o < kOuter; ++o) {
+    EXPECT_EQ(sums[static_cast<size_t>(o)].load(), expected);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 200;
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      if (++done == kTasks) {
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done == kTasks; });
+  EXPECT_EQ(done, kTasks);
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesIndependentOfParallelism) {
+  // The partition must be a pure function of (begin, end, grain) so chunk-indexed
+  // merges (ops::Filter, ops::Aggregate) are deterministic across pool sizes.
+  auto boundaries = [](int parallelism) {
+    ThreadPool pool(parallelism);
+    std::mutex mu;
+    std::vector<std::pair<int64_t, int64_t>> chunks;
+    pool.ParallelFor(7, 100003, /*grain=*/997, [&](int64_t lo, int64_t hi) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(lo, hi);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  EXPECT_EQ(boundaries(1), boundaries(4));
+}
+
+TEST(ThreadPoolTest, CurrentBindingRoutesFreeParallelFor) {
+  // Workers are bound to their pool; Scope binds a pool to the caller. The free
+  // ParallelFor must follow the binding, so work inside a serial dispatcher run
+  // stays on the dispatcher's (single) thread instead of escaping to the shared
+  // hardware-sized pool.
+  EXPECT_EQ(ThreadPool::Current(), nullptr);
+  ThreadPool serial(1);
+  {
+    ThreadPool::Scope scope(&serial);
+    EXPECT_EQ(ThreadPool::Current(), &serial);
+    const std::thread::id caller = std::this_thread::get_id();
+    ParallelFor(0, 100000, [&](int64_t, int64_t) {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      EXPECT_EQ(ThreadPool::Current(), &serial);
+    });
+  }
+  EXPECT_EQ(ThreadPool::Current(), nullptr);
+
+  // Inside a pool task, the binding is the owning pool.
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool checked = false;
+  bool bound_correctly = false;
+  pool.Submit([&] {
+    const bool ok = ThreadPool::Current() == &pool;
+    std::lock_guard<std::mutex> lock(mu);
+    bound_correctly = ok;
+    checked = true;
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return checked; });
+  EXPECT_TRUE(bound_correctly);
+}
+
+TEST(ThreadPoolTest, DefaultParallelismHonorsEnv) {
+  // CONCLAVE_THREADS overrides the hardware default (used by benches and CI).
+  ASSERT_EQ(setenv("CONCLAVE_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(ThreadPool::DefaultParallelism(), 3);
+  ASSERT_EQ(unsetenv("CONCLAVE_THREADS"), 0);
+  EXPECT_GE(ThreadPool::DefaultParallelism(), 1);
+}
+
+}  // namespace
+}  // namespace conclave
