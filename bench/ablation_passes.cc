@@ -133,6 +133,7 @@ double RunComorbidity(const Config& config, uint64_t total) {
 
 int main() {
   using namespace conclave;
+  bench::TuneAllocatorForBench();
   const uint64_t market_rows = bench::SmallScale() ? 30000 : 300000;
   const uint64_t credit_rows = bench::SmallScale() ? 3000 : 20000;
   const uint64_t comorbidity_rows = bench::SmallScale() ? 2000 : 10000;

@@ -69,7 +69,9 @@ RunOutcome RunShape(Shape shape, uint64_t rows_per_party, int mode /*0=SM,1=GC,2
   return outcome;
 }
 
-void RunTable(const char* title, Shape shape, const std::vector<uint64_t>& sizes) {
+void RunTable(const char* title, const char* json_name, Shape shape,
+              const std::vector<uint64_t>& sizes) {
+  bench::WallTimer timer;
   bench::Table table(title, {"sharemind", "obliv-c", "auto (choice)"});
   for (uint64_t rows : sizes) {
     const RunOutcome sm = RunShape(shape, rows, 0);
@@ -83,6 +85,7 @@ void RunTable(const char* title, Shape shape, const std::vector<uint64_t>& sizes
                 HumanCount(rows).c_str());
   }
   table.Print();
+  table.WriteJson(json_name, timer.Seconds());
 }
 
 }  // namespace
@@ -90,9 +93,10 @@ void RunTable(const char* title, Shape shape, const std::vector<uint64_t>& sizes
 
 int main() {
   using namespace conclave;
-  RunTable("Backend choice: PROJECT-only query [s]", Shape::kProjection,
-           {100, 1000, 10000, 50000});
-  RunTable("Backend choice: JOIN+aggregate query [s]", Shape::kJoinAgg,
-           {100, 300, 1000, 3000});
+  bench::TuneAllocatorForBench();
+  RunTable("Backend choice: PROJECT-only query [s]", "backend_choice_project",
+           Shape::kProjection, {100, 1000, 10000, 50000});
+  RunTable("Backend choice: JOIN+aggregate query [s]", "backend_choice_joinagg",
+           Shape::kJoinAgg, {100, 300, 1000, 3000});
   return 0;
 }

@@ -1,13 +1,19 @@
 // Shared helpers for the figure-reproduction benches: aligned table printing with the
 // paper's conventions (log-scale size sweeps; DNF rows for runs past the time budget;
-// OOM rows for simulated memory exhaustion).
+// OOM rows for simulated memory exhaustion), machine-readable JSON result dumps, and
+// bench-process allocator tuning.
 #ifndef CONCLAVE_BENCH_BENCH_UTIL_H_
 #define CONCLAVE_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 
 #include "conclave/common/strings.h"
 
@@ -17,6 +23,19 @@ namespace bench {
 // Runs past this simulated budget print as DNF, mirroring the paper's "did not
 // complete within two hours" cutoffs while keeping real CPU time bounded.
 inline constexpr double kTimeBudgetSeconds = 7200.0;
+
+// Figure benches churn through relation-sized buffers (hundreds of MB at the top of
+// a sweep). glibc hands allocations above its mmap threshold straight to the kernel
+// and unmaps them on free, so every large temporary costs a fresh round of page
+// faults — the dominant wall-clock term at the 10M-row points, and a noisy one.
+// Raising the thresholds keeps freed blocks on the heap for reuse. Benches opt in at
+// the top of main(); the library never touches process-wide allocator policy.
+inline void TuneAllocatorForBench() {
+#if defined(__GLIBC__)
+  mallopt(M_MMAP_THRESHOLD, 1 << 30);
+  mallopt(M_TRIM_THRESHOLD, 1 << 30);
+#endif
+}
 
 // One measured cell: seconds, or a marker (DNF / OOM / skipped).
 struct Cell {
@@ -56,6 +75,20 @@ struct Cell {
     }
     return "-";
   }
+
+  const char* KindName() const {
+    switch (kind) {
+      case Kind::kSeconds:
+        return "seconds";
+      case Kind::kDnf:
+        return "dnf";
+      case Kind::kOom:
+        return "oom";
+      case Kind::kSkip:
+        return "skip";
+    }
+    return "skip";
+  }
 };
 
 class Table {
@@ -86,6 +119,50 @@ class Table {
                 kTimeBudgetSeconds);
   }
 
+  // Machine-readable dump: BENCH_<name>.json in the working directory (override the
+  // directory with CONCLAVE_BENCH_JSON_DIR). Cells carry the simulated (virtual)
+  // seconds; wall_clock_seconds is the bench's real elapsed time, establishing the
+  // perf trajectory across PRs.
+  void WriteJson(const std::string& bench_name, double wall_clock_seconds) const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("CONCLAVE_BENCH_JSON_DIR")) {
+      dir = env;
+    }
+    const std::string path = dir + "/BENCH_" + bench_name + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"title\": \"%s\",\n",
+                 bench_name.c_str(), title_.c_str());
+    std::fprintf(f, "  \"wall_clock_seconds\": %.6f,\n", wall_clock_seconds);
+    std::fprintf(f, "  \"columns\": [");
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ", columns_[i].c_str());
+    }
+    std::fprintf(f, "],\n  \"rows\": [\n");
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      const Row& row = rows_[r];
+      std::fprintf(f, "    {\"records\": %llu, \"cells\": [",
+                   static_cast<unsigned long long>(row.size));
+      for (size_t i = 0; i < row.cells.size(); ++i) {
+        const Cell& cell = row.cells[i];
+        std::fprintf(f, "%s{\"kind\": \"%s\"", i == 0 ? "" : ", ",
+                     cell.KindName());
+        if (cell.kind == Cell::Kind::kSeconds) {
+          std::fprintf(f, ", \"virtual_seconds\": %.6f, \"modeled\": %s",
+                       cell.seconds, cell.modeled ? "true" : "false");
+        }
+        std::fprintf(f, "}");
+      }
+      std::fprintf(f, "]}%s\n", r + 1 == rows_.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
  private:
   struct Row {
     uint64_t size;
@@ -94,6 +171,19 @@ class Table {
   std::string title_;
   std::vector<std::string> columns_;
   std::vector<Row> rows_;
+};
+
+// Wall-clock timer for the JSON dumps: construct at the top of main().
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
 };
 
 // Bench scale knob: CONCLAVE_BENCH_SCALE=small caps sweeps for quick CI runs.

@@ -167,7 +167,9 @@ Cell RunSpark(uint64_t n) {
   return Cell::Seconds(kModel.SparkSeconds(n, 9));
 }
 
-void RunPanel(const char* title, int panel, const std::vector<uint64_t>& sizes) {
+void RunPanel(const char* title, const char* json_name, int panel,
+              const std::vector<uint64_t>& sizes) {
+  bench::WallTimer timer;
   bench::Table table(title, {"spark(insec)", "sharemind", "obliv-c"});
   bool sm_done = false;
   bool gc_done = false;
@@ -183,6 +185,7 @@ void RunPanel(const char* title, int panel, const std::vector<uint64_t>& sizes) 
     table.AddRow(n, {RunSpark(n), sm, gc_cell});
   }
   table.Print();
+  table.WriteJson(json_name, timer.Seconds());
 }
 
 }  // namespace
@@ -190,14 +193,16 @@ void RunPanel(const char* title, int panel, const std::vector<uint64_t>& sizes) 
 
 int main() {
   using conclave::bench::SmallScale;
+  conclave::bench::TuneAllocatorForBench();
   std::vector<uint64_t> sizes{10,      100,     1000,     3000,    10000,
                               30000,   100000,  300000,   1000000, 3000000,
                               10000000};
   if (SmallScale()) {
     sizes = {10, 1000, 30000, 300000};
   }
-  conclave::RunPanel("Figure 1a: Aggregation (SUM) runtime [s]", 0, sizes);
-  conclave::RunPanel("Figure 1b: JOIN runtime [s]", 1, sizes);
-  conclave::RunPanel("Figure 1c: PROJECT runtime [s]", 2, sizes);
+  conclave::RunPanel("Figure 1a: Aggregation (SUM) runtime [s]", "fig1_aggregate", 0,
+                     sizes);
+  conclave::RunPanel("Figure 1b: JOIN runtime [s]", "fig1_join", 1, sizes);
+  conclave::RunPanel("Figure 1c: PROJECT runtime [s]", "fig1_project", 2, sizes);
   return 0;
 }

@@ -107,6 +107,8 @@ double ModelInsecure(uint64_t total) {
 int main() {
   using namespace conclave;
   using bench::Cell;
+  bench::TuneAllocatorForBench();
+  bench::WallTimer timer;
 
   std::vector<uint64_t> executed_sizes{10,     100,     1000,    10000,
                                        100000, 1000000, 3000000, 10000000};
@@ -134,5 +136,6 @@ int main() {
                          Cell::Seconds(ModelConclave(total), true)});
   }
   table.Print();
+  table.WriteJson("fig4_market", timer.Seconds());
   return 0;
 }

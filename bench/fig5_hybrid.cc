@@ -152,6 +152,7 @@ Cell RunAgg(uint64_t total, int variant) {
 int main() {
   using namespace conclave;
   using bench::Cell;
+  bench::TuneAllocatorForBench();
 
   std::vector<uint64_t> join_sizes{10,     100,    1000,    10000, 100000,
                                    200000, 1000000, 2000000};
@@ -161,18 +162,22 @@ int main() {
     agg_sizes = {10, 1000, 30000};
   }
 
+  bench::WallTimer join_timer;
   bench::Table join_table("Figure 5a: hybrid join runtime [s]",
                           {"sharemind join", "hybrid join", "public join"});
   for (uint64_t n : join_sizes) {
     join_table.AddRow(n, {RunJoin(n, 0), RunJoin(n, 1), RunJoin(n, 2)});
   }
   join_table.Print();
+  join_table.WriteJson("fig5_join", join_timer.Seconds());
 
+  bench::WallTimer agg_timer;
   bench::Table agg_table("Figure 5b: hybrid aggregation runtime [s]",
                          {"sharemind agg", "hybrid agg"});
   for (uint64_t n : agg_sizes) {
     agg_table.AddRow(n, {RunAgg(n, 0), RunAgg(n, 1)});
   }
   agg_table.Print();
+  agg_table.WriteJson("fig5_agg", agg_timer.Seconds());
   return 0;
 }

@@ -79,6 +79,8 @@ int main() {
   using namespace conclave;
   using bench::Cell;
 
+  bench::TuneAllocatorForBench();
+  bench::WallTimer timer;
   std::vector<uint64_t> sizes{10, 100, 1000, 3000, 10000, 30000, 100000, 300000};
   if (bench::SmallScale()) {
     sizes = {10, 1000, 30000};
@@ -98,5 +100,6 @@ int main() {
     table.AddRow(total, {sharemind, Run(total, /*annotate=*/true)});
   }
   table.Print();
+  table.WriteJson("fig6_credit", timer.Seconds());
   return 0;
 }

@@ -38,6 +38,7 @@ double EstimateSmcqlAspirin(uint64_t rows_per_party, double per_slice_seconds) {
 }
 
 void RunAspirin(const std::vector<uint64_t>& per_party_sizes) {
+  bench::WallTimer timer;
   bench::Table table(
       "Figure 7a: aspirin count runtime [s] (total diagnosis records)",
       {"smcql", "conclave"});
@@ -76,6 +77,7 @@ void RunAspirin(const std::vector<uint64_t>& per_party_sizes) {
     table.AddRow(rows * 2, {smcql_cell, conclave_cell});
   }
   table.Print();
+  table.WriteJson("fig7_aspirin", timer.Seconds());
 }
 
 // --- panel (b): comorbidity -------------------------------------------------------------
@@ -126,6 +128,7 @@ double EstimateConclaveComorbidity(uint64_t total_rows) {
 }
 
 void RunComorbidity(const std::vector<uint64_t>& total_sizes) {
+  bench::WallTimer timer;
   bench::Table table("Figure 7b: comorbidity runtime [s] (total input records)",
                      {"smcql", "conclave"});
   smcql::RunConfig config;
@@ -148,6 +151,7 @@ void RunComorbidity(const std::vector<uint64_t>& total_sizes) {
     table.AddRow(total, {smcql_cell, conclave_cell});
   }
   table.Print();
+  table.WriteJson("fig7_comorbidity", timer.Seconds());
 }
 
 // --- panel (c): recurrent c.diff --------------------------------------------------------
@@ -161,6 +165,7 @@ double EstimateSmcqlCdiff(uint64_t rows_per_party, double per_slice_seconds) {
 }
 
 void RunRecurrentCdiff(const std::vector<uint64_t>& per_party_sizes) {
+  bench::WallTimer timer;
   bench::Table table(
       "Figure 7c (extension): recurrent c.diff runtime [s] (total event records)",
       {"smcql", "conclave"});
@@ -192,6 +197,7 @@ void RunRecurrentCdiff(const std::vector<uint64_t>& per_party_sizes) {
     table.AddRow(rows * 2, {smcql_cell, conclave_cell});
   }
   table.Print();
+  table.WriteJson("fig7_cdiff", timer.Seconds());
 }
 
 }  // namespace
@@ -199,6 +205,7 @@ void RunRecurrentCdiff(const std::vector<uint64_t>& per_party_sizes) {
 
 int main() {
   using namespace conclave;
+  bench::TuneAllocatorForBench();
   std::vector<uint64_t> aspirin_per_party{10,    100,   1000,   4000,
                                           20000, 40000, 200000, 2000000};
   std::vector<uint64_t> comorbidity_total{10,    100,   1000,   10000,

@@ -74,6 +74,7 @@ Measurement RunOnce(uint64_t total, const std::map<std::string, Relation>& input
 
 int main() {
   using namespace conclave;
+  bench::TuneAllocatorForBench();
 
   const uint64_t total = bench::SmallScale() ? 300000 : 3000000;
   const auto inputs = MakeInputs(total);

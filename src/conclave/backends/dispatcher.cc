@@ -634,9 +634,11 @@ StatusOr<ExecutionResult> Dispatcher::Run(
   }
 
   std::vector<ir::OpNode*> order = dag.TopoOrder();
-  // Bind the run's pool to this thread so morsel-level ParallelFor inside any
-  // coordinator-side operator work shares the same thread budget as the job tasks
-  // (workers bind themselves in WorkerLoop).
+  // Bind the run's pool to this thread: this is what hands the dispatcher's pool to
+  // the MPC lane. Lane nodes execute on the coordinator, and every engine kernel's
+  // morsel-level ParallelFor routes through ThreadPool::Current(), so intra-op MPC
+  // parallelism shares the same thread budget as the job tasks (workers bind
+  // themselves in WorkerLoop) and pool_parallelism=1 stays serial all the way down.
   ThreadPool::Scope scope(&pool());
   JobGraphExecutor executor(
       state, compilation, inputs, pool(),

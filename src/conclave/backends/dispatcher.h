@@ -12,6 +12,13 @@
 // cleartext relation, charging ingest) when a local value flows into an MPC node,
 // and reveal when a shared value flows into a local node or a Collect.
 //
+// The MPC lane is serialized *across* nodes but parallel *within* them: the run's
+// pool is bound to the coordinator thread (ThreadPool::Scope), so the secret-sharing
+// engine's morsel kernels (mpc/secret_share_engine.cc, mpc/oblivious.cc) fan their
+// row loops out over the same thread budget as the cleartext jobs. Counter-based
+// randomness and fixed morsel summation order keep every sharing bit-identical at
+// any pool size (DESIGN.md §5).
+//
 // Virtual time is job-scheduled and independent of the pool size: each job gets a
 // duration (cost-model time for local jobs, engine-measured time for MPC/hybrid
 // jobs) and the total is the critical path over the job dependency graph. The

@@ -1,0 +1,84 @@
+// Recycling pool for the MPC data plane's per-call temporaries.
+//
+// SecretShareEngine primitives used to allocate (and zero) several fresh vectors per
+// call — masked-opening buffers, ideal-functionality reconstruction buffers — which
+// at sort-network scale means thousands of large allocations per query. The arena
+// keeps released buffers on a free list, so a steady-state engine touches no
+// allocator at all on its hot path: Acquire() pops a recycled vector and resizes it
+// (a no-op when the size matches, which it does across the layers of one sort).
+//
+// Single-threaded by design: the engine acquires and releases only on the MPC lane
+// (DESIGN.md §5), while morsel workers merely read/write the buffer contents.
+#ifndef CONCLAVE_COMMON_ARENA_H_
+#define CONCLAVE_COMMON_ARENA_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace conclave {
+
+class ScratchArena {
+ public:
+  // RAII borrow of one uint64 buffer; returns it to the arena on destruction.
+  // Signed access reinterprets the same storage (signed/unsigned variants of the
+  // same type may alias), so ring shares and int64 cleartext reuse one pool.
+  class Buffer {
+   public:
+    Buffer(ScratchArena* arena, std::vector<uint64_t> storage)
+        : arena_(arena), storage_(std::move(storage)) {}
+    ~Buffer() {
+      if (arena_ != nullptr) {
+        arena_->Release(std::move(storage_));
+      }
+    }
+    Buffer(Buffer&& other) noexcept
+        : arena_(other.arena_), storage_(std::move(other.storage_)) {
+      other.arena_ = nullptr;
+    }
+    Buffer(const Buffer&) = delete;
+    Buffer& operator=(const Buffer&) = delete;
+    Buffer& operator=(Buffer&&) = delete;
+
+    uint64_t* u64() { return storage_.data(); }
+    int64_t* i64() { return reinterpret_cast<int64_t*>(storage_.data()); }
+    const uint64_t* u64() const { return storage_.data(); }
+    const int64_t* i64() const {
+      return reinterpret_cast<const int64_t*>(storage_.data());
+    }
+    size_t size() const { return storage_.size(); }
+
+   private:
+    ScratchArena* arena_;
+    std::vector<uint64_t> storage_;
+  };
+
+  Buffer Acquire(size_t size) {
+    std::vector<uint64_t> storage;
+    if (!free_.empty()) {
+      storage = std::move(free_.back());
+      free_.pop_back();
+    }
+    storage.resize(size);
+    return Buffer(this, std::move(storage));
+  }
+
+  size_t free_buffers() const { return free_.size(); }
+
+ private:
+  friend class Buffer;
+
+  void Release(std::vector<uint64_t> storage) {
+    // Engine call depth bounds live borrows at a handful; anything beyond this is
+    // a leak of the pattern, not a workload to optimize for.
+    if (free_.size() < 16) {
+      free_.push_back(std::move(storage));
+    }
+  }
+
+  std::vector<std::vector<uint64_t>> free_;
+};
+
+}  // namespace conclave
+
+#endif  // CONCLAVE_COMMON_ARENA_H_

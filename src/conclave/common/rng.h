@@ -27,6 +27,34 @@ class SplitMix64 {
   uint64_t state_;
 };
 
+// Counter-based generator: word `index` of stream `stream` is a pure function of
+// (seed, stream, index) — SplitMix64's finalizer over a per-stream base. Unlike the
+// sequential generators below, any subset of a stream can be evaluated in any order
+// (or in parallel) and still produce the same words, which is what makes share
+// generation embarrassingly parallel while staying bit-identical at every pool size
+// (DESIGN.md §5). Consumers claim one stream per logical operation from a sequential
+// counter and index words within it.
+class CounterRng {
+ public:
+  CounterRng() = default;
+  CounterRng(uint64_t seed, uint64_t stream)
+      : base_(Mix(seed ^ Mix(stream ^ 0x6a09e667f3bcc909ULL))) {}
+
+  uint64_t At(uint64_t index) const {
+    return Mix(base_ + (index + 1) * 0x9e3779b97f4a7c15ULL);
+  }
+
+ private:
+  // SplitMix64's output finalizer: a bijective avalanche over the counter word.
+  static uint64_t Mix(uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t base_ = 0;
+};
+
 class Rng {
  public:
   explicit Rng(uint64_t seed) {

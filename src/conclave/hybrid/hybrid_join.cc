@@ -21,17 +21,18 @@ Relation RevealToStp(SecretShareEngine& engine, const SharedRelation& relation,
   return ReconstructRelation(relation);
 }
 
-// STP secret-shares a locally computed column back into the MPC.
-SharedColumn ShareFromStp(SecretShareEngine& engine, const std::vector<int64_t>& values,
+// STP secret-shares a locally computed relation column back into the MPC, straight
+// from the row-major cell buffer (no ColumnValues copy).
+SharedColumn ShareFromStp(SecretShareEngine& engine, const Relation& relation, int col,
                           PartyId stp, int num_parties) {
-  const uint64_t bytes = static_cast<uint64_t>(values.size()) * 8;
+  const uint64_t bytes = static_cast<uint64_t>(relation.NumRows()) * 8;
   for (PartyId p = 0; p < num_parties; ++p) {
     if (p != stp) {
       engine.network().Send(stp, p, bytes);
     }
   }
   engine.network().Rounds(1);
-  return engine.Share(values);
+  return engine.ShareColumn(relation, col);
 }
 
 }  // namespace
@@ -75,9 +76,9 @@ StatusOr<SharedRelation> HybridJoin(SecretShareEngine& engine,
   const int lidx_col = static_cast<int>(left_keys.size());
   const int ridx_col = lidx_col + 1;
   SharedColumn left_indexes =
-      ShareFromStp(engine, joined_idx.ColumnValues(lidx_col), stp, num_parties);
+      ShareFromStp(engine, joined_idx, lidx_col, stp, num_parties);
   SharedColumn right_indexes =
-      ShareFromStp(engine, joined_idx.ColumnValues(ridx_col), stp, num_parties);
+      ShareFromStp(engine, joined_idx, ridx_col, stp, num_parties);
 
   CONCLAVE_RETURN_IF_ERROR(mpc::CheckWorkingSet(
       model, 3 * (left.NumCells() + right.NumCells()) +

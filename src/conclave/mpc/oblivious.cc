@@ -4,8 +4,38 @@
 #include <numeric>
 #include <utility>
 
+#include "conclave/common/thread_pool.h"
+
 namespace conclave {
 namespace {
+
+// Builds every output column as a fresh re-randomized gather of the corresponding
+// input column at `rows`. Streams are claimed per column up front, in column order
+// on the serialized lane, so the fan-out over columns (each column's kernel is
+// itself morsel-parallel over rows) cannot perturb stream assignment — the result
+// is bit-identical at every pool size.
+std::vector<SharedColumn> GatherRerandomizeColumns(SecretShareEngine& engine,
+                                                   const SharedRelation& input,
+                                                   std::span<const int64_t> rows) {
+  const int num_columns = input.NumColumns();
+  std::vector<CounterRng> streams;
+  streams.reserve(static_cast<size_t>(num_columns));
+  for (int c = 0; c < num_columns; ++c) {
+    streams.push_back(engine.NewStream());
+  }
+  std::vector<SharedColumn> columns(static_cast<size_t>(num_columns));
+  ParallelFor(
+      0, num_columns,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t c = lo; c < hi; ++c) {
+          columns[static_cast<size_t>(c)] = SecretShareEngine::GatherRerandomizeWith(
+              input.Column(static_cast<int>(c)), rows,
+              streams[static_cast<size_t>(c)]);
+        }
+      },
+      /*grain=*/1);
+  return columns;
+}
 
 // Shared 0/1 column: 1 iff the row at `lo` is lexicographically greater than the row
 // at `hi` on the key columns (i.e., the pair must swap for ascending order).
@@ -123,13 +153,10 @@ SharedRelation ObliviousShuffle(SecretShareEngine& engine,
   const int64_t rows = input.NumRows();
   std::vector<int64_t> perm(static_cast<size_t>(rows));
   std::iota(perm.begin(), perm.end(), 0);
+  // Fisher-Yates is inherently sequential; it draws from the lane-owned generator.
   std::shuffle(perm.begin(), perm.end(), engine.rng());
 
-  std::vector<SharedColumn> columns;
-  columns.reserve(static_cast<size_t>(input.NumColumns()));
-  for (int c = 0; c < input.NumColumns(); ++c) {
-    columns.push_back(engine.Rerandomize(GatherColumn(input.Column(c), perm)));
-  }
+  std::vector<SharedColumn> columns = GatherRerandomizeColumns(engine, input, perm);
 
   const CostModel& model = engine.network().model();
   const uint64_t cells = input.NumCells();
@@ -192,11 +219,7 @@ SharedRelation ObliviousSelect(SecretShareEngine& engine, const SharedRelation& 
     CONCLAVE_CHECK_LT(row, n);
   }
 
-  std::vector<SharedColumn> columns;
-  columns.reserve(static_cast<size_t>(input.NumColumns()));
-  for (int c = 0; c < input.NumColumns(); ++c) {
-    columns.push_back(engine.Rerandomize(GatherColumn(input.Column(c), rows)));
-  }
+  std::vector<SharedColumn> columns = GatherRerandomizeColumns(engine, input, rows);
 
   const CostModel& model = engine.network().model();
   const double total = static_cast<double>(n + m);
@@ -215,11 +238,17 @@ SharedRelation ObliviousSelect(SecretShareEngine& engine, const SharedRelation& 
 SharedRelation ApplyPublicOrder(const SharedRelation& input,
                                 std::span<const int64_t> order) {
   CONCLAVE_CHECK_EQ(static_cast<int64_t>(order.size()), input.NumRows());
-  std::vector<SharedColumn> columns;
-  columns.reserve(static_cast<size_t>(input.NumColumns()));
-  for (int c = 0; c < input.NumColumns(); ++c) {
-    columns.push_back(GatherColumn(input.Column(c), order));
-  }
+  // RNG-free share movement: columns fan out with no stream claims to sequence.
+  std::vector<SharedColumn> columns(static_cast<size_t>(input.NumColumns()));
+  ParallelFor(
+      0, input.NumColumns(),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t c = lo; c < hi; ++c) {
+          columns[static_cast<size_t>(c)] =
+              GatherColumn(input.Column(static_cast<int>(c)), order);
+        }
+      },
+      /*grain=*/1);
   return SharedRelation(input.schema(), std::move(columns));
 }
 

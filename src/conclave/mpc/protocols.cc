@@ -106,7 +106,14 @@ StatusOr<SharedRelation> InputRelation(SecretShareEngine& engine,
       static_cast<uint64_t>(input.NumRows()) * static_cast<uint64_t>(input.NumColumns());
   CONCLAVE_RETURN_IF_ERROR(CheckWorkingSet(model, 2 * cells));
 
-  SharedRelation shared = ShareRelation(input, engine.rng());
+  // Ingest straight from the row-major cell buffer: one strided, morsel-parallel
+  // sharing pass per column, no ColumnValues copies.
+  std::vector<SharedColumn> columns;
+  columns.reserve(static_cast<size_t>(input.NumColumns()));
+  for (int c = 0; c < input.NumColumns(); ++c) {
+    columns.push_back(engine.ShareColumn(input, c));
+  }
+  SharedRelation shared(input.schema(), std::move(columns));
   engine.network().CpuSeconds(static_cast<double>(input.NumRows()) *
                               model.ss_record_io_seconds);
   engine.network().CountAggregateBytes(cells * model.ss_bytes_per_shared_cell);
@@ -167,8 +174,8 @@ SharedRelation Arithmetic(SecretShareEngine& engine, const SharedRelation& input
   if (spec.rhs_is_column) {
     rhs = input.Column(spec.rhs_column);
   } else {
-    rhs = SecretShareEngine::Public(
-        std::vector<int64_t>(static_cast<size_t>(input.NumRows()), spec.rhs_literal));
+    rhs = SecretShareEngine::PublicConst(static_cast<size_t>(input.NumRows()),
+                                         spec.rhs_literal);
   }
 
   SharedColumn result;
@@ -318,13 +325,13 @@ StatusOr<SharedRelation> Join(SecretShareEngine& engine, const SharedRelation& l
   std::vector<SharedColumn> columns;
   columns.reserve(static_cast<size_t>(out_schema.NumColumns()));
   for (int c : left_keys) {
-    columns.push_back(engine.Rerandomize(GatherColumn(left.Column(c), left_rows)));
+    columns.push_back(engine.GatherRerandomize(left.Column(c), left_rows));
   }
   for (int c : left_rest) {
-    columns.push_back(engine.Rerandomize(GatherColumn(left.Column(c), left_rows)));
+    columns.push_back(engine.GatherRerandomize(left.Column(c), left_rows));
   }
   for (int c : right_rest) {
-    columns.push_back(engine.Rerandomize(GatherColumn(right.Column(c), right_rows)));
+    columns.push_back(engine.GatherRerandomize(right.Column(c), right_rows));
   }
   SharedRelation joined(std::move(out_schema), std::move(columns));
   // Shuffle so the revealed output carries no row-alignment information.
@@ -360,13 +367,9 @@ StatusOr<SharedRelation> Aggregate(SecretShareEngine& engine,
       SharedColumn acc(1);
       SharedColumn count(1);
       for (int p = 0; p < kNumShareParties; ++p) {
-        Ring total = 0;
-        if (kind != AggKind::kCount) {
-          for (Ring v : input.Column(agg_column).shares[p]) {
-            total += v;
-          }
-        }
-        acc.shares[p][0] = total;
+        // Morsel-parallel partials, folded in fixed chunk order (DESIGN.md §5).
+        acc.shares[p][0] =
+            kind == AggKind::kCount ? 0 : RingSum(input.Column(agg_column).shares[p]);
       }
       if (kind == AggKind::kCount) {
         acc.shares[0][0] = static_cast<Ring>(n);
@@ -442,16 +445,14 @@ StatusOr<SharedRelation> AggregateWithFlags(SecretShareEngine& engine,
   // scans (sum and count) and divides.
   SharedColumn values;
   if (kind == AggKind::kCount) {
-    values = SecretShareEngine::Public(
-        std::vector<int64_t>(static_cast<size_t>(n), 1));
+    values = SecretShareEngine::PublicConst(static_cast<size_t>(n), 1);
   } else {
     values = ordered.Column(agg_column);
   }
   SharedColumn scan_flags = equal_prev_flags;
   SegmentedScan(engine, values, scan_flags, kind);
   if (kind == AggKind::kMean) {
-    SharedColumn counts = SecretShareEngine::Public(
-        std::vector<int64_t>(static_cast<size_t>(n), 1));
+    SharedColumn counts = SecretShareEngine::PublicConst(static_cast<size_t>(n), 1);
     SharedColumn count_flags = equal_prev_flags;
     SegmentedScan(engine, counts, count_flags, AggKind::kCount);
     values = engine.Div(values, counts, 1);
@@ -460,8 +461,8 @@ StatusOr<SharedRelation> AggregateWithFlags(SecretShareEngine& engine,
   // Keep-flag = row is the last of its group = NOT next-row-equal.
   SharedColumn keep(static_cast<size_t>(n));
   {
-    const SharedColumn ones = SecretShareEngine::Public(
-        std::vector<int64_t>(static_cast<size_t>(n - 1), 1));
+    const SharedColumn ones =
+        SecretShareEngine::PublicConst(static_cast<size_t>(n - 1), 1);
     SharedColumn next_eq =
         SliceColumn(equal_prev_flags, 1, static_cast<size_t>(n - 1));
     SharedColumn not_next = SecretShareEngine::Sub(ones, next_eq);
@@ -531,8 +532,7 @@ StatusOr<SharedRelation> WindowWithFlags(SecretShareEngine& engine,
   SharedColumn computed;
   switch (fn) {
     case WindowFn::kRowNumber: {
-      SharedColumn ones = SecretShareEngine::Public(
-          std::vector<int64_t>(static_cast<size_t>(n), 1));
+      SharedColumn ones = SecretShareEngine::PublicConst(static_cast<size_t>(n), 1);
       SegmentedScan(engine, ones, same_partition_flags, AggKind::kCount);
       computed = std::move(ones);
       break;
@@ -607,8 +607,7 @@ StatusOr<SharedRelation> Distinct(SecretShareEngine& engine,
   // Keep the first row of each run: keep = 1 - equal-to-previous.
   const int64_t n = sorted.NumRows();
   SharedColumn keep = SecretShareEngine::Sub(
-      SecretShareEngine::Public(std::vector<int64_t>(static_cast<size_t>(n), 1)),
-      eq_flags);
+      SecretShareEngine::PublicConst(static_cast<size_t>(n), 1), eq_flags);
   sorted.AppendColumn(ColumnDef("__keep"), std::move(keep));
   return ShuffleRevealCompact(engine, sorted, sorted.NumColumns() - 1);
 }
@@ -669,8 +668,8 @@ StatusOr<SharedRelation> CountDistinctSorted(SecretShareEngine& engine,
   // the group-OR at the last row — a local share addition after one multiplication.
   SharedColumn is_last(static_cast<size_t>(n));
   {
-    const SharedColumn ones = SecretShareEngine::Public(
-        std::vector<int64_t>(static_cast<size_t>(n - 1), 1));
+    const SharedColumn ones =
+        SecretShareEngine::PublicConst(static_cast<size_t>(n - 1), 1);
     SharedColumn next_eq = SliceColumn(segment, 1, static_cast<size_t>(n - 1));
     SharedColumn not_next = SecretShareEngine::Sub(ones, next_eq);
     for (int p = 0; p < kNumShareParties; ++p) {
@@ -683,11 +682,7 @@ StatusOr<SharedRelation> CountDistinctSorted(SecretShareEngine& engine,
   SharedColumn contributions = engine.Mul(is_last, group_or);
   SharedColumn total(1);
   for (int p = 0; p < kNumShareParties; ++p) {
-    Ring sum = 0;
-    for (Ring v : contributions.shares[p]) {
-      sum += v;
-    }
-    total.shares[p][0] = sum;
+    total.shares[p][0] = RingSum(contributions.shares[p]);
   }
   std::vector<SharedColumn> columns{std::move(total)};
   return SharedRelation(Schema(std::move(defs)), std::move(columns));

@@ -1,5 +1,7 @@
 #include "conclave/mpc/secret_share_engine.h"
 
+#include "conclave/common/thread_pool.h"
+
 namespace conclave {
 namespace {
 
@@ -8,15 +10,26 @@ void CheckSameSize(const SharedColumn& a, const SharedColumn& b) {
   CONCLAVE_CHECK_EQ(a.size(), b.size());
 }
 
+// Morsel loop over [0, n) with the MPC grain.
+template <typename Body>
+void ForRows(size_t n, const Body& body) {
+  ParallelFor(0, static_cast<int64_t>(n), body, kMpcGrainRows);
+}
+
 }  // namespace
 
 SharedColumn SecretShareEngine::Add(const SharedColumn& a, const SharedColumn& b) {
   CheckSameSize(a, b);
   SharedColumn out(a.size());
   for (int p = 0; p < kNumShareParties; ++p) {
-    for (size_t i = 0; i < a.size(); ++i) {
-      out.shares[p][i] = a.shares[p][i] + b.shares[p][i];
-    }
+    const Ring* const ap = a.shares[p].data();
+    const Ring* const bp = b.shares[p].data();
+    Ring* const op = out.shares[p].data();
+    ForRows(a.size(), [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        op[i] = ap[i] + bp[i];
+      }
+    });
   }
   return out;
 }
@@ -25,9 +38,14 @@ SharedColumn SecretShareEngine::Sub(const SharedColumn& a, const SharedColumn& b
   CheckSameSize(a, b);
   SharedColumn out(a.size());
   for (int p = 0; p < kNumShareParties; ++p) {
-    for (size_t i = 0; i < a.size(); ++i) {
-      out.shares[p][i] = a.shares[p][i] - b.shares[p][i];
-    }
+    const Ring* const ap = a.shares[p].data();
+    const Ring* const bp = b.shares[p].data();
+    Ring* const op = out.shares[p].data();
+    ForRows(a.size(), [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        op[i] = ap[i] - bp[i];
+      }
+    });
   }
   return out;
 }
@@ -35,9 +53,12 @@ SharedColumn SecretShareEngine::Sub(const SharedColumn& a, const SharedColumn& b
 SharedColumn SecretShareEngine::AddConst(const SharedColumn& a, int64_t constant) {
   SharedColumn out = a;
   const Ring k = ToRing(constant);
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.shares[0][i] += k;
-  }
+  Ring* const o0 = out.shares[0].data();
+  ForRows(out.size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      o0[i] += k;
+    }
+  });
   return out;
 }
 
@@ -45,18 +66,32 @@ SharedColumn SecretShareEngine::MulConst(const SharedColumn& a, int64_t constant
   SharedColumn out(a.size());
   const Ring k = ToRing(constant);
   for (int p = 0; p < kNumShareParties; ++p) {
-    for (size_t i = 0; i < a.size(); ++i) {
-      out.shares[p][i] = a.shares[p][i] * k;
-    }
+    const Ring* const ap = a.shares[p].data();
+    Ring* const op = out.shares[p].data();
+    ForRows(a.size(), [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        op[i] = ap[i] * k;
+      }
+    });
   }
   return out;
 }
 
-SharedColumn SecretShareEngine::Public(const std::vector<int64_t>& values) {
+SharedColumn SecretShareEngine::Public(std::span<const int64_t> values) {
   SharedColumn out(values.size());
-  for (size_t i = 0; i < values.size(); ++i) {
-    out.shares[0][i] = ToRing(values[i]);
-  }
+  const int64_t* const v = values.data();
+  Ring* const o0 = out.shares[0].data();
+  ForRows(values.size(), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      o0[i] = ToRing(v[i]);
+    }
+  });
+  return out;
+}
+
+SharedColumn SecretShareEngine::PublicConst(size_t n, int64_t value) {
+  SharedColumn out(n);
+  out.shares[0].assign(n, ToRing(value));
   return out;
 }
 
@@ -68,24 +103,47 @@ SharedColumn SecretShareEngine::Mul(const SharedColumn& a, const SharedColumn& b
   }
   const CostModel& model = network_->model();
 
-  TripleBatch triples = dealer_.Deal(n);
+  // Operands must not alias the dealer's scratch batch: DealBatch below refills it.
+  CONCLAVE_CHECK(!dealer_.OwnsBatchColumn(a) && !dealer_.OwnsBatchColumn(b));
+  const TripleBatch& triples = dealer_.DealBatch(n);
 
   // Beaver: open d = a - ta and e = b - tb, then
   //   z = tc + d*tb + e*ta + d*e  (the d*e term folded into party 0's share).
   SharedColumn out(n);
-  for (size_t i = 0; i < n; ++i) {
-    Ring d = 0;
-    Ring e = 0;
-    for (int p = 0; p < kNumShareParties; ++p) {
-      d += a.shares[p][i] - triples.a.shares[p][i];
-      e += b.shares[p][i] - triples.b.shares[p][i];
+  auto d_buf = arena_.Acquire(n);
+  auto e_buf = arena_.Acquire(n);
+  Ring* const d = d_buf.u64();
+  Ring* const e = e_buf.u64();
+  ForRows(n, [&](int64_t lo, int64_t hi) {
+    // Party-major passes so every inner loop streams over dense arrays.
+    for (int64_t i = lo; i < hi; ++i) {
+      d[i] = 0;
+      e[i] = 0;
     }
     for (int p = 0; p < kNumShareParties; ++p) {
-      out.shares[p][i] =
-          triples.c.shares[p][i] + d * triples.b.shares[p][i] + e * triples.a.shares[p][i];
+      const Ring* const ap = a.shares[p].data();
+      const Ring* const bp = b.shares[p].data();
+      const Ring* const tap = triples.a.shares[p].data();
+      const Ring* const tbp = triples.b.shares[p].data();
+      for (int64_t i = lo; i < hi; ++i) {
+        d[i] += ap[i] - tap[i];
+        e[i] += bp[i] - tbp[i];
+      }
     }
-    out.shares[0][i] += d * e;
-  }
+    for (int p = 0; p < kNumShareParties; ++p) {
+      const Ring* const tap = triples.a.shares[p].data();
+      const Ring* const tbp = triples.b.shares[p].data();
+      const Ring* const tcp = triples.c.shares[p].data();
+      Ring* const op = out.shares[p].data();
+      for (int64_t i = lo; i < hi; ++i) {
+        op[i] = tcp[i] + d[i] * tbp[i] + e[i] * tap[i];
+      }
+    }
+    Ring* const o0 = out.shares[0].data();
+    for (int64_t i = lo; i < hi; ++i) {
+      o0[i] += d[i] * e[i];
+    }
+  });
 
   network_->CpuSeconds(static_cast<double>(n) * model.ss_mult_seconds);
   network_->CountAggregateBytes(n * model.ss_bytes_per_mult);
@@ -103,14 +161,49 @@ std::vector<int64_t> SecretShareEngine::Open(const SharedColumn& a) {
 }
 
 SharedColumn SecretShareEngine::Rerandomize(const SharedColumn& a) {
-  SharedColumn out(a.size());
-  for (size_t i = 0; i < a.size(); ++i) {
-    const Ring r0 = rng_.Next();
-    const Ring r1 = rng_.Next();
-    out.shares[0][i] = a.shares[0][i] + r0;
-    out.shares[1][i] = a.shares[1][i] + r1;
-    out.shares[2][i] = a.shares[2][i] - r0 - r1;
-  }
+  const size_t n = a.size();
+  SharedColumn out(n);
+  const CounterRng rng = NewStream();
+  const Ring* const a0 = a.shares[0].data();
+  const Ring* const a1 = a.shares[1].data();
+  const Ring* const a2 = a.shares[2].data();
+  Ring* const o0 = out.shares[0].data();
+  Ring* const o1 = out.shares[1].data();
+  Ring* const o2 = out.shares[2].data();
+  ForRows(n, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const Ring r0 = rng.At(2 * static_cast<uint64_t>(i));
+      const Ring r1 = rng.At(2 * static_cast<uint64_t>(i) + 1);
+      o0[i] = a0[i] + r0;
+      o1[i] = a1[i] + r1;
+      o2[i] = a2[i] - r0 - r1;
+    }
+  });
+  return out;
+}
+
+SharedColumn SecretShareEngine::GatherRerandomizeWith(const SharedColumn& column,
+                                                      std::span<const int64_t> rows,
+                                                      const CounterRng& rng) {
+  const size_t n = rows.size();
+  SharedColumn out(n);
+  const Ring* const a0 = column.shares[0].data();
+  const Ring* const a1 = column.shares[1].data();
+  const Ring* const a2 = column.shares[2].data();
+  Ring* const o0 = out.shares[0].data();
+  Ring* const o1 = out.shares[1].data();
+  Ring* const o2 = out.shares[2].data();
+  ForRows(n, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const size_t row = static_cast<size_t>(rows[static_cast<size_t>(i)]);
+      CONCLAVE_DCHECK(row < column.size());
+      const Ring r0 = rng.At(2 * static_cast<uint64_t>(i));
+      const Ring r1 = rng.At(2 * static_cast<uint64_t>(i) + 1);
+      o0[i] = a0[row] + r0;
+      o1[i] = a1[row] + r1;
+      o2[i] = a2[row] - r0 - r1;
+    }
+  });
   return out;
 }
 
@@ -121,11 +214,51 @@ SharedColumn SecretShareEngine::Compare(CompareOp op, const SharedColumn& a,
   const CostModel& model = network_->model();
   const bool is_equality = (op == CompareOp::kEq || op == CompareOp::kNe);
 
-  const std::vector<int64_t> lhs = IdealReconstruct(a);
-  const std::vector<int64_t> rhs = IdealReconstruct(b);
-  std::vector<int64_t> bits(n);
-  for (size_t i = 0; i < n; ++i) {
-    bits[i] = EvalCompare(op, lhs[i], rhs[i]) ? 1 : 0;
+  auto lhs_buf = arena_.Acquire(n);
+  auto rhs_buf = arena_.Acquire(n);
+  ReconstructInto(a, lhs_buf.i64());
+  ReconstructInto(b, rhs_buf.i64());
+  const int64_t* const lhs = lhs_buf.i64();
+  const int64_t* const rhs = rhs_buf.i64();
+
+  // Fresh sharing of the comparison bits, fused with their computation. The op
+  // dispatch is hoisted so the per-element loop stays branch-free.
+  SharedColumn out(n);
+  const CounterRng rng = NewStream();
+  Ring* const o0 = out.shares[0].data();
+  Ring* const o1 = out.shares[1].data();
+  Ring* const o2 = out.shares[2].data();
+  const auto share_bits = [&](auto cmp) {
+    ForRows(n, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        const Ring bit = cmp(lhs[i], rhs[i]) ? 1 : 0;
+        const Ring r0 = rng.At(2 * static_cast<uint64_t>(i));
+        const Ring r1 = rng.At(2 * static_cast<uint64_t>(i) + 1);
+        o0[i] = r0;
+        o1[i] = r1;
+        o2[i] = bit - r0 - r1;
+      }
+    });
+  };
+  switch (op) {
+    case CompareOp::kEq:
+      share_bits([](int64_t x, int64_t y) { return x == y; });
+      break;
+    case CompareOp::kNe:
+      share_bits([](int64_t x, int64_t y) { return x != y; });
+      break;
+    case CompareOp::kLt:
+      share_bits([](int64_t x, int64_t y) { return x < y; });
+      break;
+    case CompareOp::kLe:
+      share_bits([](int64_t x, int64_t y) { return x <= y; });
+      break;
+    case CompareOp::kGt:
+      share_bits([](int64_t x, int64_t y) { return x > y; });
+      break;
+    case CompareOp::kGe:
+      share_bits([](int64_t x, int64_t y) { return x >= y; });
+      break;
   }
 
   if (is_equality) {
@@ -138,12 +271,12 @@ SharedColumn SecretShareEngine::Compare(CompareOp op, const SharedColumn& a,
     network_->Rounds(8);  // Bit-decomposition + prefix circuit depth.
   }
   network_->mutable_counters().mpc_comparisons += n;
-  return Share(bits);
+  return out;
 }
 
 SharedColumn SecretShareEngine::CompareConst(CompareOp op, const SharedColumn& a,
                                              int64_t constant) {
-  return Compare(op, a, Public(std::vector<int64_t>(a.size(), constant)));
+  return Compare(op, a, PublicConst(a.size(), constant));
 }
 
 SharedColumn SecretShareEngine::Div(const SharedColumn& a, const SharedColumn& b,
@@ -152,17 +285,33 @@ SharedColumn SecretShareEngine::Div(const SharedColumn& a, const SharedColumn& b
   const size_t n = a.size();
   const CostModel& model = network_->model();
 
-  const std::vector<int64_t> num = IdealReconstruct(a);
-  const std::vector<int64_t> den = IdealReconstruct(b);
-  std::vector<int64_t> out(n);
-  for (size_t i = 0; i < n; ++i) {
-    out[i] = den[i] == 0 ? 0 : (num[i] * scale) / den[i];
-  }
+  auto num_buf = arena_.Acquire(n);
+  auto den_buf = arena_.Acquire(n);
+  ReconstructInto(a, num_buf.i64());
+  ReconstructInto(b, den_buf.i64());
+  const int64_t* const num = num_buf.i64();
+  const int64_t* const den = den_buf.i64();
+
+  SharedColumn out(n);
+  const CounterRng rng = NewStream();
+  Ring* const o0 = out.shares[0].data();
+  Ring* const o1 = out.shares[1].data();
+  Ring* const o2 = out.shares[2].data();
+  ForRows(n, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const int64_t q = den[i] == 0 ? 0 : (num[i] * scale) / den[i];
+      const Ring r0 = rng.At(2 * static_cast<uint64_t>(i));
+      const Ring r1 = rng.At(2 * static_cast<uint64_t>(i) + 1);
+      o0[i] = r0;
+      o1[i] = r1;
+      o2[i] = ToRing(q) - r0 - r1;
+    }
+  });
 
   network_->CpuSeconds(static_cast<double>(n) * model.ss_division_seconds);
   network_->CountAggregateBytes(n * model.ss_bytes_per_compare);
   network_->Rounds(10);
-  return Share(out);
+  return out;
 }
 
 SharedColumn SecretShareEngine::Mux(const SharedColumn& condition,

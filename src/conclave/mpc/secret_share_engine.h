@@ -17,12 +17,24 @@
 //
 // All batched calls cost one (or O(circuit-depth)) communication rounds regardless of
 // batch size, mirroring how Sharemind amortizes round trips over vectorized ops.
+//
+// Data-plane layout (DESIGN.md §5): every primitive is a structure-of-arrays morsel
+// loop over rows (ParallelFor on the pool bound to the MPC lane), randomness is
+// counter-based — each operation claims one CounterRng stream from a sequential
+// counter, and element i derives its words from the (stream, i) pair — and per-call
+// temporaries (masked openings, ideal-functionality reconstructions) live in a
+// recycling scratch arena. Together these make every kernel a pure function of its
+// operands and stream, so shares are bit-identical at every pool size while the
+// steady-state hot path performs no allocation.
 #ifndef CONCLAVE_MPC_SECRET_SHARE_ENGINE_H_
 #define CONCLAVE_MPC_SECRET_SHARE_ENGINE_H_
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
+#include "conclave/common/arena.h"
 #include "conclave/common/rng.h"
 #include "conclave/mpc/share.h"
 #include "conclave/mpc/triple_dealer.h"
@@ -34,7 +46,10 @@ namespace conclave {
 class SecretShareEngine {
  public:
   SecretShareEngine(SimNetwork* network, uint64_t seed)
-      : network_(network), dealer_(seed ^ 0xdeadbeefULL), rng_(seed) {
+      : network_(network),
+        dealer_(seed ^ 0xdeadbeefULL),
+        seed_(seed),
+        perm_rng_(seed) {
     CONCLAVE_CHECK(network != nullptr);
   }
 
@@ -45,7 +60,13 @@ class SecretShareEngine {
   static SharedColumn AddConst(const SharedColumn& a, int64_t constant);
   static SharedColumn MulConst(const SharedColumn& a, int64_t constant);
   // Trivial sharing (v, 0, 0) of public values.
-  static SharedColumn Public(const std::vector<int64_t>& values);
+  static SharedColumn Public(std::span<const int64_t> values);
+  static SharedColumn Public(std::initializer_list<int64_t> values) {
+    return Public(std::span<const int64_t>(values.begin(), values.size()));
+  }
+  // Trivial sharing of n copies of one public value — the all-ones / all-k columns
+  // the protocol layer leans on, without materializing a cleartext vector first.
+  static SharedColumn PublicConst(size_t n, int64_t value);
 
   // --- Real interactive protocols -----------------------------------------------------
   // Beaver multiplication; one round, one triple per element.
@@ -54,6 +75,17 @@ class SecretShareEngine {
   std::vector<int64_t> Open(const SharedColumn& a);
   // Fresh re-randomized sharing of the same secret (adds a zero-sharing).
   SharedColumn Rerandomize(const SharedColumn& a);
+  // Fused gather + re-randomize: out[i] = fresh sharing of column[rows[i]]. One pass,
+  // no intermediate column; the workhorse of shuffle/select/join share movement.
+  SharedColumn GatherRerandomize(const SharedColumn& column,
+                                 std::span<const int64_t> rows) {
+    return GatherRerandomizeWith(column, rows, NewStream());
+  }
+  // Stream-explicit variant: callers that move several columns in parallel claim one
+  // stream per column up front (in column order, on the lane) and fan the moves out.
+  static SharedColumn GatherRerandomizeWith(const SharedColumn& column,
+                                            std::span<const int64_t> rows,
+                                            const CounterRng& rng);
 
   // --- Ideal-functionality protocols (full cost charged) -----------------------------
   // Element-wise comparison; returns a shared 0/1 column. kEq/kNe use the cheap
@@ -71,8 +103,16 @@ class SecretShareEngine {
 
   // Fresh sharing of cleartext values (no cost — callers charge context-appropriate
   // ingest costs; see protocols.h InputRelation).
-  SharedColumn Share(const std::vector<int64_t>& values) {
-    return ShareValues(values, rng_);
+  SharedColumn Share(std::span<const int64_t> values) {
+    return ShareValues(values, NewStream());
+  }
+  SharedColumn Share(std::initializer_list<int64_t> values) {
+    return Share(std::span<const int64_t>(values.begin(), values.size()));
+  }
+  // Shares one relation column straight from the row-major cell buffer (the
+  // copy-free MPC ingest path).
+  SharedColumn ShareColumn(const Relation& relation, int col) {
+    return conclave::ShareColumn(relation, col, NewStream());
   }
 
   // Internal reconstruction used by ideal-functionality steps. Deliberately public so
@@ -82,14 +122,24 @@ class SecretShareEngine {
     return ReconstructValues(a);
   }
 
+  // Claims the next randomness stream. Streams are claimed in a fixed sequence on
+  // the serialized MPC lane, so stream assignment — and therefore every sharing —
+  // is independent of the pool size.
+  CounterRng NewStream() { return CounterRng(seed_, next_stream_++); }
+
   SimNetwork& network() { return *network_; }
   TripleDealer& dealer() { return dealer_; }
-  Rng& rng() { return rng_; }
+  // The sequential generator feeding shuffle permutations (Fisher-Yates is
+  // inherently order-dependent; it runs only on the serialized lane).
+  Rng& rng() { return perm_rng_; }
 
  private:
   SimNetwork* network_;
   TripleDealer dealer_;
-  Rng rng_;
+  uint64_t seed_;
+  uint64_t next_stream_ = 0;
+  Rng perm_rng_;
+  ScratchArena arena_;
 };
 
 }  // namespace conclave

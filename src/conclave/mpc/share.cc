@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include "conclave/common/thread_pool.h"
+
 namespace conclave {
 
-SharedColumn ShareValues(const std::vector<int64_t>& values, Rng& rng) {
+SharedColumn ShareValues(std::span<const int64_t> values, Rng& rng) {
   SharedColumn column(values.size());
   for (size_t i = 0; i < values.size(); ++i) {
     const Ring r0 = rng.Next();
@@ -16,12 +18,97 @@ SharedColumn ShareValues(const std::vector<int64_t>& values, Rng& rng) {
   return column;
 }
 
+SharedColumn ShareValues(std::span<const int64_t> values, const CounterRng& rng) {
+  SharedColumn column(values.size());
+  Ring* const s0 = column.shares[0].data();
+  Ring* const s1 = column.shares[1].data();
+  Ring* const s2 = column.shares[2].data();
+  const int64_t* const v = values.data();
+  ParallelFor(
+      0, static_cast<int64_t>(values.size()),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const Ring r0 = rng.At(2 * static_cast<uint64_t>(i));
+          const Ring r1 = rng.At(2 * static_cast<uint64_t>(i) + 1);
+          s0[i] = r0;
+          s1[i] = r1;
+          s2[i] = ToRing(v[i]) - r0 - r1;
+        }
+      },
+      kMpcGrainRows);
+  return column;
+}
+
+SharedColumn ShareColumn(const Relation& relation, int col, const CounterRng& rng) {
+  CONCLAVE_CHECK_GE(col, 0);
+  CONCLAVE_CHECK_LT(col, relation.NumColumns());
+  const size_t n = static_cast<size_t>(relation.NumRows());
+  SharedColumn column(n);
+  if (n == 0) {
+    return column;  // An empty cell buffer may have no base pointer to offset.
+  }
+  const size_t stride = static_cast<size_t>(relation.NumColumns());
+  const int64_t* const base = relation.cells().data() + col;
+  Ring* const s0 = column.shares[0].data();
+  Ring* const s1 = column.shares[1].data();
+  Ring* const s2 = column.shares[2].data();
+  ParallelFor(
+      0, static_cast<int64_t>(n),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const Ring r0 = rng.At(2 * static_cast<uint64_t>(i));
+          const Ring r1 = rng.At(2 * static_cast<uint64_t>(i) + 1);
+          s0[i] = r0;
+          s1[i] = r1;
+          s2[i] = ToRing(base[static_cast<size_t>(i) * stride]) - r0 - r1;
+        }
+      },
+      kMpcGrainRows);
+  return column;
+}
+
+void ReconstructInto(const SharedColumn& column, int64_t* out) {
+  const Ring* const s0 = column.shares[0].data();
+  const Ring* const s1 = column.shares[1].data();
+  const Ring* const s2 = column.shares[2].data();
+  ParallelFor(
+      0, static_cast<int64_t>(column.size()),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          out[i] = FromRing(s0[i] + s1[i] + s2[i]);
+        }
+      },
+      kMpcGrainRows);
+}
+
 std::vector<int64_t> ReconstructValues(const SharedColumn& column) {
   std::vector<int64_t> values(column.size());
-  for (size_t i = 0; i < column.size(); ++i) {
-    values[i] = FromRing(column.ReconstructAt(i));
-  }
+  ReconstructInto(column, values.data());
   return values;
+}
+
+Ring RingSum(std::span<const Ring> values) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  if (n == 0) {
+    return 0;
+  }
+  const int64_t num_chunks = (n + kMpcGrainRows - 1) / kMpcGrainRows;
+  std::vector<Ring> partials(static_cast<size_t>(num_chunks), 0);
+  ParallelFor(
+      0, n,
+      [&](int64_t lo, int64_t hi) {
+        Ring sum = 0;
+        for (int64_t i = lo; i < hi; ++i) {
+          sum += values[static_cast<size_t>(i)];
+        }
+        partials[static_cast<size_t>(lo / kMpcGrainRows)] = sum;
+      },
+      kMpcGrainRows);
+  Ring total = 0;
+  for (Ring partial : partials) {
+    total += partial;
+  }
+  return total;
 }
 
 SharedRelation::SharedRelation(Schema schema, std::vector<SharedColumn> columns)
@@ -84,10 +171,19 @@ SharedRelation ShareRelation(const Relation& relation, Rng& rng) {
 SharedColumn GatherColumn(const SharedColumn& column, std::span<const int64_t> rows) {
   SharedColumn out(rows.size());
   for (int p = 0; p < kNumShareParties; ++p) {
-    for (size_t i = 0; i < rows.size(); ++i) {
-      CONCLAVE_DCHECK(rows[i] >= 0 && rows[i] < static_cast<int64_t>(column.size()));
-      out.shares[p][i] = column.shares[p][static_cast<size_t>(rows[i])];
-    }
+    const Ring* const src = column.shares[p].data();
+    Ring* const dst = out.shares[p].data();
+    ParallelFor(
+        0, static_cast<int64_t>(rows.size()),
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            CONCLAVE_DCHECK(rows[static_cast<size_t>(i)] >= 0 &&
+                            rows[static_cast<size_t>(i)] <
+                                static_cast<int64_t>(column.size()));
+            dst[i] = src[static_cast<size_t>(rows[static_cast<size_t>(i)])];
+          }
+        },
+        kMpcGrainRows);
   }
   return out;
 }
@@ -96,10 +192,19 @@ void ScatterColumn(SharedColumn& column, std::span<const int64_t> rows,
                    const SharedColumn& values) {
   CONCLAVE_CHECK_EQ(rows.size(), values.size());
   for (int p = 0; p < kNumShareParties; ++p) {
-    for (size_t i = 0; i < rows.size(); ++i) {
-      CONCLAVE_DCHECK(rows[i] >= 0 && rows[i] < static_cast<int64_t>(column.size()));
-      column.shares[p][static_cast<size_t>(rows[i])] = values.shares[p][i];
-    }
+    const Ring* const src = values.shares[p].data();
+    Ring* const dst = column.shares[p].data();
+    ParallelFor(
+        0, static_cast<int64_t>(rows.size()),
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            CONCLAVE_DCHECK(rows[static_cast<size_t>(i)] >= 0 &&
+                            rows[static_cast<size_t>(i)] <
+                                static_cast<int64_t>(column.size()));
+            dst[static_cast<size_t>(rows[static_cast<size_t>(i)])] = src[i];
+          }
+        },
+        kMpcGrainRows);
   }
 }
 
@@ -118,17 +223,24 @@ Relation ReconstructRelation(const SharedRelation& shared) {
   Relation relation{shared.schema()};
   const int64_t rows = shared.NumRows();
   const int cols = shared.NumColumns();
-  relation.Reserve(rows);
-  std::vector<std::vector<int64_t>> column_values;
-  column_values.reserve(static_cast<size_t>(cols));
-  for (int c = 0; c < cols; ++c) {
-    column_values.push_back(ReconstructValues(shared.Column(c)));
-  }
   auto& cells = relation.mutable_cells();
-  for (int64_t r = 0; r < rows; ++r) {
-    for (int c = 0; c < cols; ++c) {
-      cells.push_back(column_values[static_cast<size_t>(c)][static_cast<size_t>(r)]);
-    }
+  cells.resize(static_cast<size_t>(rows) * static_cast<size_t>(cols));
+  // One strided pass per column straight into the row-major cell buffer.
+  for (int c = 0; c < cols; ++c) {
+    const SharedColumn& column = shared.Column(c);
+    const Ring* const s0 = column.shares[0].data();
+    const Ring* const s1 = column.shares[1].data();
+    const Ring* const s2 = column.shares[2].data();
+    int64_t* const base = cells.data() + c;
+    ParallelFor(
+        0, rows,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            base[static_cast<size_t>(i) * static_cast<size_t>(cols)] =
+                FromRing(s0[i] + s1[i] + s2[i]);
+          }
+        },
+        kMpcGrainRows);
   }
   return relation;
 }

@@ -8,6 +8,12 @@
 //
 // Signed int64 relation cells map to ring elements by two's-complement bit pattern, so
 // additions/subtractions/multiplications of shares agree with wrapping int64 semantics.
+//
+// The bulk helpers here are the data plane's innermost loops: they run structure-of-
+// arrays passes over morsels of rows (common/thread_pool.h ParallelFor), writing
+// disjoint elements, so they produce bit-identical shares at every pool size. Share
+// generation uses counter-based randomness (CounterRng): element i of a sharing draws
+// words 2i and 2i+1 of the operation's stream, independent of evaluation order.
 #ifndef CONCLAVE_MPC_SHARE_H_
 #define CONCLAVE_MPC_SHARE_H_
 
@@ -29,6 +35,12 @@ using Ring = uint64_t;
 inline Ring ToRing(int64_t value) { return std::bit_cast<Ring>(value); }
 inline int64_t FromRing(Ring value) { return std::bit_cast<int64_t>(value); }
 
+// Morsel size for the MPC data plane's row loops. Smaller than the cleartext
+// operators' grain: each shared row touches three share streams (plus triples and
+// masks on the heavier kernels), so this still amortizes chunk dispatch thousands
+// of times over while letting mid-sized batches spread across a pool.
+inline constexpr int64_t kMpcGrainRows = 8 * 1024;
+
 // One secret-shared vector of ring elements (a relation column, or a batch of
 // intermediate values). shares[p][i] is party p's share of element i.
 struct SharedColumn {
@@ -44,16 +56,43 @@ struct SharedColumn {
   size_t size() const { return shares[0].size(); }
   bool empty() const { return shares[0].empty(); }
 
+  // Resizes all three share vectors; grown elements are zero. Scratch owners
+  // (e.g. the triple dealer's batch) resize instead of reconstructing so steady
+  // state reuses capacity instead of reallocating.
+  void Resize(size_t size) {
+    for (auto& s : shares) {
+      s.resize(size);
+    }
+  }
+
   Ring ReconstructAt(size_t i) const {
     return shares[0][i] + shares[1][i] + shares[2][i];
   }
 };
 
-// Splits cleartext values into fresh random additive shares.
-SharedColumn ShareValues(const std::vector<int64_t>& values, Rng& rng);
+// Splits cleartext values into fresh random additive shares (sequential generator;
+// test/fixture convenience). The engine's data plane uses the CounterRng overload.
+SharedColumn ShareValues(std::span<const int64_t> values, Rng& rng);
+
+// Counter-based, morsel-parallel sharing: element i draws stream words 2i and 2i+1,
+// so the result is a pure function of (values, rng) at every pool size.
+SharedColumn ShareValues(std::span<const int64_t> values, const CounterRng& rng);
+
+// Shares one column of a row-major relation directly from its cell buffer (stride =
+// NumColumns), replacing the ColumnValues copy on the MPC ingest path.
+SharedColumn ShareColumn(const Relation& relation, int col, const CounterRng& rng);
 
 // Recombines shares into cleartext values.
 std::vector<int64_t> ReconstructValues(const SharedColumn& column);
+
+// Reconstructs into a caller-owned buffer of column.size() elements (no allocation;
+// the engine points this at arena scratch).
+void ReconstructInto(const SharedColumn& column, int64_t* out);
+
+// Fixed-order chunked sum of one share vector: per-morsel partials folded in chunk
+// order. Ring addition commutes mod 2^64, but the fixed fold order is the documented
+// discipline for every morsel reduction in the MPC lane (DESIGN.md §5).
+Ring RingSum(std::span<const Ring> values);
 
 // A secret-shared relation: public schema and row count, secret cells, stored
 // column-major for batched per-column protocols. Consistent with the paper's security
@@ -99,7 +138,9 @@ SharedRelation ShareRelation(const Relation& relation, Rng& rng);
 Relation ReconstructRelation(const SharedRelation& shared);
 
 // Share-local data movement (no communication, no re-randomization — callers that
-// reveal gathered data must re-randomize first).
+// reveal gathered data must re-randomize first). Morsel-parallel; scatter rows must
+// be distinct (compare-exchange layers are pair-disjoint by construction, a property
+// the oblivious tests assert).
 SharedColumn GatherColumn(const SharedColumn& column, std::span<const int64_t> rows);
 void ScatterColumn(SharedColumn& column, std::span<const int64_t> rows,
                    const SharedColumn& values);

@@ -1,34 +1,60 @@
 #include "conclave/mpc/triple_dealer.h"
 
+#include "conclave/common/thread_pool.h"
+
 namespace conclave {
+
+void TripleDealer::Fill(TripleBatch& batch, size_t count) {
+  batch.a.Resize(count);
+  batch.b.Resize(count);
+  batch.c.Resize(count);
+  const CounterRng rng(seed_, next_stream_++);
+  Ring* const a0 = batch.a.shares[0].data();
+  Ring* const a1 = batch.a.shares[1].data();
+  Ring* const a2 = batch.a.shares[2].data();
+  Ring* const b0 = batch.b.shares[0].data();
+  Ring* const b1 = batch.b.shares[1].data();
+  Ring* const b2 = batch.b.shares[2].data();
+  Ring* const c0 = batch.c.shares[0].data();
+  Ring* const c1 = batch.c.shares[1].data();
+  Ring* const c2 = batch.c.shares[2].data();
+  ParallelFor(
+      0, static_cast<int64_t>(count),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const uint64_t base = 8 * static_cast<uint64_t>(i);
+          const Ring a = rng.At(base);
+          const Ring b = rng.At(base + 1);
+          // Share each of a, b, c = a*b with fresh randomness.
+          const Ring r0 = rng.At(base + 2);
+          const Ring r1 = rng.At(base + 3);
+          const Ring r2 = rng.At(base + 4);
+          const Ring r3 = rng.At(base + 5);
+          const Ring r4 = rng.At(base + 6);
+          const Ring r5 = rng.At(base + 7);
+          a0[i] = r0;
+          a1[i] = r1;
+          a2[i] = a - r0 - r1;
+          b0[i] = r2;
+          b1[i] = r3;
+          b2[i] = b - r2 - r3;
+          c0[i] = r4;
+          c1[i] = r5;
+          c2[i] = a * b - r4 - r5;
+        }
+      },
+      kMpcGrainRows);
+  triples_dealt_ += count;
+}
+
+const TripleBatch& TripleDealer::DealBatch(size_t count) {
+  Fill(scratch_, count);
+  return scratch_;
+}
 
 TripleBatch TripleDealer::Deal(size_t count) {
   TripleBatch batch;
-  batch.a = SharedColumn(count);
-  batch.b = SharedColumn(count);
-  batch.c = SharedColumn(count);
-  for (size_t i = 0; i < count; ++i) {
-    const Ring a = rng_.Next();
-    const Ring b = rng_.Next();
-    const Ring c = a * b;
-    // Share each of a, b, c with fresh randomness.
-    Ring r0 = rng_.Next();
-    Ring r1 = rng_.Next();
-    batch.a.shares[0][i] = r0;
-    batch.a.shares[1][i] = r1;
-    batch.a.shares[2][i] = a - r0 - r1;
-    r0 = rng_.Next();
-    r1 = rng_.Next();
-    batch.b.shares[0][i] = r0;
-    batch.b.shares[1][i] = r1;
-    batch.b.shares[2][i] = b - r0 - r1;
-    r0 = rng_.Next();
-    r1 = rng_.Next();
-    batch.c.shares[0][i] = r0;
-    batch.c.shares[1][i] = r1;
-    batch.c.shares[2][i] = c - r0 - r1;
-  }
-  triples_dealt_ += count;
+  Fill(batch, count);
   return batch;
 }
 

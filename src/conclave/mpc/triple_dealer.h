@@ -4,6 +4,12 @@
 // one triple per secret multiplication (Beaver's protocol [4]). A trusted dealer is the
 // standard simulation stand-in for Sharemind's correlated-randomness preprocessing; the
 // number of triples dealt is exposed so tests can assert multiplication counts.
+//
+// Randomness is counter-based (CounterRng): triple i of a batch draws words
+// [8i, 8i+8) of the batch's stream, so columns fill in one morsel-parallel pass with
+// a pool-size-independent result. DealBatch writes into a dealer-owned scratch batch
+// (borrowed until the next call), so steady-state multiplication consumes no
+// allocations for triples at all.
 #ifndef CONCLAVE_MPC_TRIPLE_DEALER_H_
 #define CONCLAVE_MPC_TRIPLE_DEALER_H_
 
@@ -23,15 +29,31 @@ struct TripleBatch {
 
 class TripleDealer {
  public:
-  explicit TripleDealer(uint64_t seed) : rng_(seed) {}
+  explicit TripleDealer(uint64_t seed) : seed_(seed) {}
 
+  // Fills the dealer's scratch batch with `count` fresh triples in one pass and
+  // returns it; the reference is valid until the next DealBatch/Deal call.
+  const TripleBatch& DealBatch(size_t count);
+
+  // Copying convenience for callers that keep the batch (tests).
   TripleBatch Deal(size_t count);
 
   uint64_t triples_dealt() const { return triples_dealt_; }
 
+  // True when `column` is one of the dealer-owned scratch columns. The engine
+  // rejects such operands: the next DealBatch would refill them mid-protocol.
+  bool OwnsBatchColumn(const SharedColumn& column) const {
+    return &column == &scratch_.a || &column == &scratch_.b ||
+           &column == &scratch_.c;
+  }
+
  private:
-  Rng rng_;
+  void Fill(TripleBatch& batch, size_t count);
+
+  uint64_t seed_;
+  uint64_t next_stream_ = 0;
   uint64_t triples_dealt_ = 0;
+  TripleBatch scratch_;
 };
 
 }  // namespace conclave

@@ -1,0 +1,212 @@
+// Pool-size independence of the MPC data plane (DESIGN.md §5, strong form).
+//
+// Every engine kernel is a morsel-parallel loop fed by counter-based randomness, so
+// running the same operation sequence under pools of different sizes must produce
+// bit-identical *shares* — not merely equal reconstructions — plus identical virtual
+// clock, byte counters, and op counters. These tests bind pools of size 1, 2, and 4
+// to the calling thread (exactly how the dispatcher hands its pool to the MPC lane)
+// and fingerprint everything the engine emits.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "conclave/common/thread_pool.h"
+#include "conclave/data/generators.h"
+#include "conclave/mpc/oblivious.h"
+#include "conclave/mpc/protocols.h"
+
+namespace conclave {
+namespace {
+
+std::vector<int64_t> RandomValues(int64_t n, uint64_t seed, int64_t lo = -1000,
+                                  int64_t hi = 1000) {
+  Rng rng(seed);
+  std::vector<int64_t> values(static_cast<size_t>(n));
+  for (auto& v : values) {
+    v = rng.NextInRange(lo, hi);
+  }
+  return values;
+}
+
+struct Trace {
+  std::vector<SharedColumn> columns;
+  std::vector<Relation> relations;
+  double virtual_seconds = 0;
+  uint64_t network_bytes = 0;
+  uint64_t mpc_multiplications = 0;
+  uint64_t mpc_comparisons = 0;
+  uint64_t triples_dealt = 0;
+
+  bool BitIdentical(const Trace& other) const {
+    if (columns.size() != other.columns.size() ||
+        relations.size() != other.relations.size()) {
+      return false;
+    }
+    for (size_t c = 0; c < columns.size(); ++c) {
+      for (int p = 0; p < kNumShareParties; ++p) {
+        if (columns[c].shares[p] != other.columns[c].shares[p]) {
+          return false;
+        }
+      }
+    }
+    for (size_t r = 0; r < relations.size(); ++r) {
+      if (!relations[r].RowsEqual(other.relations[r])) {
+        return false;
+      }
+    }
+    return virtual_seconds == other.virtual_seconds &&
+           network_bytes == other.network_bytes &&
+           mpc_multiplications == other.mpc_multiplications &&
+           mpc_comparisons == other.mpc_comparisons &&
+           triples_dealt == other.triples_dealt;
+  }
+};
+
+// Exercises every engine kernel once, at a size that spans several morsels
+// (kMpcGrainRows = 8192), and records all produced shares.
+Trace RunKernels(int pool_parallelism) {
+  ThreadPool pool(pool_parallelism);
+  ThreadPool::Scope scope(&pool);
+
+  const int64_t n = 3 * kMpcGrainRows + 257;  // Several chunks plus a ragged tail.
+  SimNetwork net{CostModel{}};
+  SecretShareEngine engine(&net, /*seed=*/99);
+  Trace trace;
+
+  SharedColumn a = engine.Share(RandomValues(n, 1));
+  SharedColumn b = engine.Share(RandomValues(n, 2, -50, 50));
+  trace.columns.push_back(a);
+  trace.columns.push_back(b);
+  trace.columns.push_back(SecretShareEngine::Add(a, b));
+  trace.columns.push_back(SecretShareEngine::Sub(a, b));
+  trace.columns.push_back(SecretShareEngine::AddConst(a, 17));
+  trace.columns.push_back(SecretShareEngine::MulConst(a, -3));
+  trace.columns.push_back(engine.Mul(a, b));
+  trace.columns.push_back(engine.Rerandomize(a));
+  trace.columns.push_back(engine.Compare(CompareOp::kLt, a, b));
+  trace.columns.push_back(engine.CompareConst(CompareOp::kGe, a, 10));
+  trace.columns.push_back(engine.Div(a, b, 100));
+  trace.columns.push_back(
+      engine.Mux(engine.CompareConst(CompareOp::kEq, b, 0), a, b));
+
+  std::vector<int64_t> rows(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    rows[static_cast<size_t>(i)] = (i * 7919) % n;
+  }
+  trace.columns.push_back(GatherColumn(a, rows));
+  trace.columns.push_back(engine.GatherRerandomize(a, rows));
+
+  const TripleBatch& triples = engine.dealer().DealBatch(static_cast<size_t>(n));
+  trace.columns.push_back(triples.a);
+  trace.columns.push_back(triples.b);
+  trace.columns.push_back(triples.c);
+
+  Relation rel = data::UniformInts(n, {"k", "v"}, 1 << 16, /*seed=*/5);
+  const auto shared = mpc::InputRelation(engine, rel);
+  CONCLAVE_CHECK(shared.ok());
+  trace.relations.push_back(ReconstructRelation(*shared));
+
+  trace.virtual_seconds = net.ElapsedSeconds();
+  trace.network_bytes = net.counters().network_bytes;
+  trace.mpc_multiplications = net.counters().mpc_multiplications;
+  trace.mpc_comparisons = net.counters().mpc_comparisons;
+  trace.triples_dealt = engine.dealer().triples_dealt();
+  return trace;
+}
+
+// The oblivious layer end to end: sort, shuffle, select, merge, plus the protocol
+// layer's aggregation (segmented scans + RingSum reduction path).
+Trace RunProtocols(int pool_parallelism) {
+  ThreadPool pool(pool_parallelism);
+  ThreadPool::Scope scope(&pool);
+
+  SimNetwork net{CostModel{}};
+  SecretShareEngine engine(&net, /*seed=*/123);
+  Trace trace;
+
+  Relation rel = data::UniformInts(500, {"g", "x"}, 8, /*seed=*/11);
+  const auto shared = mpc::InputRelation(engine, rel);
+  CONCLAVE_CHECK(shared.ok());
+
+  const int keys[] = {0};
+  SharedRelation sorted = ObliviousSort(engine, *shared, keys);
+  trace.relations.push_back(ReconstructRelation(sorted));
+  for (int c = 0; c < sorted.NumColumns(); ++c) {
+    trace.columns.push_back(sorted.Column(c));
+  }
+
+  SharedRelation shuffled = ObliviousShuffle(engine, *shared);
+  trace.relations.push_back(ReconstructRelation(shuffled));
+  for (int c = 0; c < shuffled.NumColumns(); ++c) {
+    trace.columns.push_back(shuffled.Column(c));
+  }
+
+  SharedColumn indices = engine.Share(RandomValues(64, 3, 0, 499));
+  SharedRelation selected = ObliviousSelect(engine, *shared, indices);
+  for (int c = 0; c < selected.NumColumns(); ++c) {
+    trace.columns.push_back(selected.Column(c));
+  }
+
+  const int group[] = {0};
+  const auto agg = mpc::Aggregate(engine, *shared, group, AggKind::kSum, 1, "s");
+  CONCLAVE_CHECK(agg.ok());
+  trace.relations.push_back(ReconstructRelation(*agg));
+
+  const auto global =
+      mpc::Aggregate(engine, *shared, std::span<const int>{}, AggKind::kSum, 1, "t");
+  CONCLAVE_CHECK(global.ok());
+  trace.columns.push_back(global->Column(0));
+
+  trace.virtual_seconds = net.ElapsedSeconds();
+  trace.network_bytes = net.counters().network_bytes;
+  trace.mpc_multiplications = net.counters().mpc_multiplications;
+  trace.mpc_comparisons = net.counters().mpc_comparisons;
+  trace.triples_dealt = engine.dealer().triples_dealt();
+  return trace;
+}
+
+TEST(MpcParallelTest, KernelSharesBitIdenticalAcrossPoolSizes) {
+  const Trace serial = RunKernels(1);
+  EXPECT_TRUE(serial.BitIdentical(RunKernels(2)));
+  EXPECT_TRUE(serial.BitIdentical(RunKernels(4)));
+}
+
+TEST(MpcParallelTest, ProtocolSharesBitIdenticalAcrossPoolSizes) {
+  const Trace serial = RunProtocols(1);
+  EXPECT_TRUE(serial.BitIdentical(RunProtocols(2)));
+  EXPECT_TRUE(serial.BitIdentical(RunProtocols(4)));
+}
+
+TEST(MpcParallelTest, RepeatedParallelRunsAreStable) {
+  // Scheduling nondeterminism must never surface: repeat the parallel run.
+  const Trace first = RunProtocols(4);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(first.BitIdentical(RunProtocols(4)));
+  }
+}
+
+TEST(MpcParallelTest, KernelsCorrectUnderParallelPool) {
+  // Semantic spot-checks while a pool is bound (the determinism tests above only
+  // compare runs with each other).
+  ThreadPool pool(4);
+  ThreadPool::Scope scope(&pool);
+  SimNetwork net{CostModel{}};
+  SecretShareEngine engine(&net, 7);
+  const int64_t n = 2 * kMpcGrainRows + 13;
+  const auto a_vals = RandomValues(n, 21);
+  const auto b_vals = RandomValues(n, 22, -30, 30);
+  SharedColumn a = engine.Share(a_vals);
+  SharedColumn b = engine.Share(b_vals);
+  const auto product = ReconstructValues(engine.Mul(a, b));
+  const auto less = ReconstructValues(engine.Compare(CompareOp::kLt, a, b));
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(product[static_cast<size_t>(i)],
+              a_vals[static_cast<size_t>(i)] * b_vals[static_cast<size_t>(i)]);
+    EXPECT_EQ(less[static_cast<size_t>(i)],
+              a_vals[static_cast<size_t>(i)] < b_vals[static_cast<size_t>(i)] ? 1
+                                                                              : 0);
+  }
+}
+
+}  // namespace
+}  // namespace conclave

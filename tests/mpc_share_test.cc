@@ -72,11 +72,11 @@ TEST(ShareTest, DropColumnUpdatesSchema) {
 
 TEST(ShareTest, GatherScatterSlice) {
   Rng rng(6);
-  SharedColumn column = ShareValues({10, 20, 30, 40}, rng);
+  SharedColumn column = ShareValues(std::vector<int64_t>{10, 20, 30, 40}, rng);
   const std::vector<int64_t> rows{3, 1};
   SharedColumn gathered = GatherColumn(column, rows);
   EXPECT_EQ(ReconstructValues(gathered), (std::vector<int64_t>{40, 20}));
-  SharedColumn replacement = ShareValues({-1, -2}, rng);
+  SharedColumn replacement = ShareValues(std::vector<int64_t>{-1, -2}, rng);
   ScatterColumn(column, rows, replacement);
   EXPECT_EQ(ReconstructValues(column), (std::vector<int64_t>{10, -2, 30, -1}));
   SharedColumn slice = SliceColumn(column, 1, 2);

@@ -74,9 +74,14 @@ TEST_P(BatcherNetworkTest, LayersTouchDisjointIndices) {
   }
 }
 
+// Adversarial non-power-of-two sizes matter twice over: the generalized network must
+// still sort (correctness), and every layer must stay pair-disjoint (the property
+// intra-layer morsel parallelism relies on — gathers/scatters of one layer write
+// disjoint rows).
 INSTANTIATE_TEST_SUITE_P(Sizes, BatcherNetworkTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 31,
-                                           33, 63, 64, 100, 127, 200));
+                                           33, 63, 64, 100, 127, 129, 200, 255, 257,
+                                           333, 511, 1000));
 
 class MergeNetworkTest : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {
 };
@@ -98,13 +103,35 @@ TEST_P(MergeNetworkTest, MergesTwoSortedRuns) {
   }
 }
 
+TEST_P(MergeNetworkTest, LayersTouchDisjointIndices) {
+  const auto [run, extra] = GetParam();
+  for (const auto& layer : BatcherMergeLayers(run, run + extra)) {
+    std::vector<int64_t> touched;
+    for (const auto& [lo, hi] : layer) {
+      EXPECT_GE(lo, 0);
+      EXPECT_LT(lo, hi);
+      EXPECT_LT(hi, run + extra);
+      touched.push_back(lo);
+      touched.push_back(hi);
+    }
+    std::sort(touched.begin(), touched.end());
+    EXPECT_TRUE(std::adjacent_find(touched.begin(), touched.end()) == touched.end())
+        << "merge layer reuses an index; batching would race";
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Shapes, MergeNetworkTest,
     ::testing::Values(std::pair<int64_t, int64_t>{1, 1},
+                      std::pair<int64_t, int64_t>{2, 1},
+                      std::pair<int64_t, int64_t>{4, 3},
                       std::pair<int64_t, int64_t>{4, 4},
+                      std::pair<int64_t, int64_t>{8, 1},
                       std::pair<int64_t, int64_t>{8, 5},
                       std::pair<int64_t, int64_t>{16, 16},
-                      std::pair<int64_t, int64_t>{32, 7}));
+                      std::pair<int64_t, int64_t>{32, 7},
+                      std::pair<int64_t, int64_t>{64, 63},
+                      std::pair<int64_t, int64_t>{128, 100}));
 
 class ObliviousFixture : public ::testing::Test {
  protected:
@@ -217,6 +244,81 @@ TEST_F(ObliviousFixture, MergeFallbackForOddShapes) {
   Relation merged = ReconstructRelation(
       ObliviousMerge(engine_, ShareRelation(a, rng_), ShareRelation(b, rng_), keys));
   EXPECT_EQ(merged.ColumnValues(0), (std::vector<int64_t>{1, 2, 3, 4, 6}));
+}
+
+// The full-sort fallback triggers whenever the left run is not a power of two or the
+// right run is longer (or empty); the merged output must still be exactly sorted.
+TEST_F(ObliviousFixture, MergeFallbackAdversarialShapes) {
+  const std::pair<int64_t, int64_t> shapes[] = {
+      {3, 2}, {5, 5}, {6, 7}, {4, 9}, {0, 4}, {7, 0}, {12, 20}};
+  Rng data_rng(31);
+  for (const auto& [left_rows, right_rows] : shapes) {
+    Relation a{Schema::Of({"k"})};
+    Relation b{Schema::Of({"k"})};
+    for (int64_t i = 0; i < left_rows; ++i) {
+      a.AppendRow({data_rng.NextInRange(-30, 30)});
+    }
+    for (int64_t i = 0; i < right_rows; ++i) {
+      b.AppendRow({data_rng.NextInRange(-30, 30)});
+    }
+    const int keys[] = {0};
+    Relation a_sorted = ops::SortBy(a, keys);
+    Relation b_sorted = ops::SortBy(b, keys);
+    Relation merged = ReconstructRelation(ObliviousMerge(
+        engine_, ShareRelation(a_sorted, rng_), ShareRelation(b_sorted, rng_), keys));
+    std::vector<int64_t> expected = a.ColumnValues(0);
+    const std::vector<int64_t> more = b.ColumnValues(0);
+    expected.insert(expected.end(), more.begin(), more.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(merged.ColumnValues(0), expected)
+        << "shape (" << left_rows << ", " << right_rows << ")";
+  }
+}
+
+// Power-of-two left runs with a right run up to the same length use the cheap merge
+// network; sweep the boundary shapes around it.
+TEST_F(ObliviousFixture, MergeNetworkBoundaryShapes) {
+  const std::pair<int64_t, int64_t> shapes[] = {
+      {4, 1}, {4, 4}, {8, 7}, {8, 8}, {16, 3}, {16, 16}, {32, 31}};
+  Rng data_rng(32);
+  for (const auto& [left_rows, right_rows] : shapes) {
+    Relation a{Schema::Of({"k"})};
+    Relation b{Schema::Of({"k"})};
+    for (int64_t i = 0; i < left_rows; ++i) {
+      a.AppendRow({data_rng.NextInRange(0, 40)});
+    }
+    for (int64_t i = 0; i < right_rows; ++i) {
+      b.AppendRow({data_rng.NextInRange(0, 40)});
+    }
+    const int keys[] = {0};
+    Relation a_sorted = ops::SortBy(a, keys);
+    Relation b_sorted = ops::SortBy(b, keys);
+    Relation merged = ReconstructRelation(ObliviousMerge(
+        engine_, ShareRelation(a_sorted, rng_), ShareRelation(b_sorted, rng_), keys));
+    std::vector<int64_t> expected = a.ColumnValues(0);
+    const std::vector<int64_t> more = b.ColumnValues(0);
+    expected.insert(expected.end(), more.begin(), more.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(merged.ColumnValues(0), expected)
+        << "shape (" << left_rows << ", " << right_rows << ")";
+  }
+}
+
+// End-to-end oblivious sort on adversarial non-power-of-two sizes (the MPC layers,
+// not just the cleartext network validation above).
+TEST_F(ObliviousFixture, SortAdversarialSizes) {
+  for (int64_t n : {1, 2, 3, 5, 9, 17, 33, 65, 127, 129}) {
+    Relation rel{Schema::Of({"k", "v"})};
+    Rng data_rng(static_cast<uint64_t>(n) + 100);
+    for (int64_t i = 0; i < n; ++i) {
+      rel.AppendRow({data_rng.NextInRange(-50, 50), i});
+    }
+    SharedRelation shared = ShareRelation(rel, rng_);
+    const int keys[] = {0};
+    Relation sorted = ReconstructRelation(ObliviousSort(engine_, shared, keys));
+    EXPECT_TRUE(ops::IsSortedBy(sorted, keys)) << "n = " << n;
+    EXPECT_TRUE(UnorderedEqual(sorted, rel)) << "n = " << n;
+  }
 }
 
 TEST_F(ObliviousFixture, MergeCheaperThanSort) {
