@@ -8,6 +8,8 @@
 //                   secret sharing pays its per-record storage layer (Fig. 1c).
 //   * join+agg    — comparison-heavy; secret sharing's batched equality tests win
 //                   (Fig. 1a/1b), and big sizes OOM the GC engine.
+#include <cmath>
+
 #include "bench/bench_util.h"
 #include "conclave/api/conclave.h"
 #include "conclave/data/generators.h"
@@ -22,6 +24,8 @@ const CostModel kModel;
 struct RunOutcome {
   Cell cell = Cell::Dnf();
   compiler::MpcBackendKind backend = compiler::MpcBackendKind::kSharemind;
+  double est_sharemind = 0;  // The chooser's explain totals (auto mode only).
+  double est_oblivc = 0;
 };
 
 enum class Shape { kProjection, kJoinAgg };
@@ -57,6 +61,10 @@ RunOutcome RunShape(Shape shape, uint64_t rows_per_party, int mode /*0=SM,1=GC,2
   }
   RunOutcome outcome;
   outcome.backend = compilation->options.mpc_backend;
+  if (compilation->has_cost_report) {
+    outcome.est_sharemind = compilation->cost_report.sharemind_seconds;
+    outcome.est_oblivc = compilation->cost_report.oblivc_seconds;
+  }
   backends::Dispatcher dispatcher(kModel, rows_per_party + 7);
   const auto result = dispatcher.Run(query.dag(), *compilation, inputs);
   if (!result.ok()) {
@@ -77,12 +85,14 @@ void RunTable(const char* title, const char* json_name, Shape shape,
     const RunOutcome sm = RunShape(shape, rows, 0);
     const RunOutcome gc = RunShape(shape, rows, 1);
     RunOutcome chosen = RunShape(shape, rows, 2);
-    // Annotate the auto column with the chosen backend.
+    // Annotate the auto column with the chosen backend and the explain totals.
     Cell annotated = chosen.cell;
     table.AddRow(rows * 2, {sm.cell, gc.cell, annotated});
-    std::printf("    -> auto picked %s at %s rows/party\n",
-                compiler::MpcBackendName(chosen.backend),
-                HumanCount(rows).c_str());
+    std::printf("    -> auto picked %s at %s rows/party (est. sharemind %s, "
+                "obliv-c %s)\n",
+                compiler::MpcBackendName(chosen.backend), HumanCount(rows).c_str(),
+                compiler::FormatPlanSeconds(chosen.est_sharemind, 1).c_str(),
+                compiler::FormatPlanSeconds(chosen.est_oblivc, 1).c_str());
   }
   table.Print();
   table.WriteJson(json_name, timer.Seconds());

@@ -230,6 +230,13 @@ StatusOr<compiler::Compilation> Query::Compile(
   return compiler::Compile(dag_, options);
 }
 
+StatusOr<compiler::PlanCostReport> Query::ExplainPlan(
+    compiler::CompilerOptions options) {
+  options.explain_plan = true;
+  CONCLAVE_ASSIGN_OR_RETURN(compiler::Compilation compilation, Compile(options));
+  return std::move(compilation.cost_report);
+}
+
 StatusOr<backends::ExecutionResult> Query::Run(
     const std::map<std::string, Relation>& inputs,
     const compiler::CompilerOptions& options, CostModel cost_model, uint64_t seed,

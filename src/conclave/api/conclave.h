@@ -127,6 +127,13 @@ class Query {
   // Compiles the query (rewrites the DAG in place). Callable once per Query.
   StatusOr<compiler::Compilation> Compile(const compiler::CompilerOptions& options);
 
+  // Explain API: compiles the query (single-use, like Compile) and returns the
+  // plan-cost report — per MPC-resident node, the estimated cardinalities and the
+  // price under each MPC backend, computed with the same formulas the engines charge
+  // at run time. `report.cheapest` is the backend the chooser would pick.
+  StatusOr<compiler::PlanCostReport> ExplainPlan(
+      compiler::CompilerOptions options = {});
+
   // Compile + dispatch in one step. `inputs` maps table names to relations.
   // `pool_parallelism` is the executor's thread budget (0 = hardware default,
   // 1 = serial); results and virtual time are identical for every value — see

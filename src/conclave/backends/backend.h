@@ -45,6 +45,12 @@ struct ExecutionResult {
   // composition across Collects with a DpSpec; 0 for exact queries).
   double dp_epsilon_spent = 0;
   CostCounters counters;
+  // Measured virtual seconds per DAG node id: the node's metered engine/boundary
+  // charges (x the malicious-security scale) plus its cleartext compute time. The
+  // runtime half of the plan-cost contract — tests compare these meters against
+  // compiler::PlanCostReport estimates. Deterministic across pool sizes (folded in
+  // topo order, like every other total).
+  std::map<int, double> node_seconds;
 };
 
 }  // namespace backends

@@ -106,15 +106,11 @@ void EnsureCleartextAt(RunState& state, MaterializedValue& value, PartyId party)
 }
 
 // Cost-model seconds a cleartext backend spends processing `records` input records
-// (Spark stage throughput or sequential Python scan). The per-job Spark startup
-// charge is added once per job in the final accounting pass.
+// (Spark stage throughput or sequential Python scan; the formula lives on CostModel,
+// shared with the planner). The per-job Spark startup charge is added once per job
+// in the final accounting pass.
 double LocalComputeSeconds(const RunState& state, uint64_t records) {
-  if (state.use_spark) {
-    return static_cast<double>(records) /
-           (state.net.model().spark_records_per_second_per_worker *
-            state.net.model().spark_workers_per_party);
-  }
-  return state.net.model().PythonSeconds(records);
+  return state.net.model().CleartextScanSeconds(records, state.use_spark);
 }
 
 // How the executor treats a node: pool-executed cleartext work vs. coordinator-run
@@ -566,6 +562,8 @@ StatusOr<ExecutionResult> JobGraphExecutor::FinalizeAccounting(
   std::unordered_set<int> jobs_started;  // Spark startup charged once per job.
   for (const NodeExec& exec : execs_) {
     const int job = state_.node_job.at(exec.node->id);
+    result.node_seconds[exec.node->id] =
+        exec.boundary_scaled_seconds + exec.local_compute_seconds;
     double seconds = exec.boundary_scaled_seconds + exec.local_compute_seconds;
     if (exec.charged_local && state_.use_spark &&
         jobs_started.insert(job).second) {

@@ -1,223 +1,25 @@
 #include "conclave/compiler/backend_chooser.h"
 
 #include <cmath>
-#include <limits>
+#include <utility>
 
 #include "conclave/common/strings.h"
-#include "conclave/mpc/garbled/gc_cost.h"
 
 namespace conclave {
 namespace compiler {
-namespace {
-
-constexpr double kInfeasible = std::numeric_limits<double>::infinity();
-
-double Log2Rounds(double rows) {
-  return rows <= 1 ? 0.0 : std::ceil(std::log2(rows));
-}
-
-// Batcher sorting-network compare-exchange count, continuous approximation
-// (n/4 log^2 n) — the analytic gc_cost::BatcherCompareExchanges needs an integer n.
-double BatcherExchanges(double rows) {
-  if (rows <= 1) {
-    return 0;
-  }
-  const double log_n = Log2Rounds(rows);
-  return rows * log_n * (log_n + 1) / 4;
-}
-
-// Secret-sharing (Sharemind-like) virtual seconds for one MPC-resident operator.
-double SharemindSeconds(const ir::OpNode& node, double rows, double input_rows,
-                        double right_rows, const CostModel& m) {
-  const double cols = node.schema.NumColumns();
-  const double shuffle = input_rows * cols * m.ss_shuffle_op_seconds;
-  switch (node.kind) {
-    case ir::OpKind::kFilter:
-      return input_rows * m.ss_equality_seconds + shuffle;
-    case ir::OpKind::kJoin: {
-      if (node.hybrid == ir::HybridKind::kHybridJoin ||
-          node.hybrid == ir::HybridKind::kPublicJoin) {
-        const double n = input_rows + right_rows + rows;
-        return n * Log2Rounds(n) * m.ss_select_op_seconds + shuffle;
-      }
-      return input_rows * right_rows * m.ss_equality_seconds + shuffle;
-    }
-    case ir::OpKind::kAggregate: {
-      const auto& params = node.Params<ir::AggregateParams>();
-      if (params.group_columns.empty()) {
-        return input_rows * m.ss_mult_seconds;
-      }
-      const double scan =
-          input_rows * Log2Rounds(input_rows) * m.ss_mult_seconds;
-      if (node.hybrid == ir::HybridKind::kHybridAggregate) {
-        return shuffle * Log2Rounds(input_rows) + scan;
-      }
-      return BatcherExchanges(input_rows) * m.ss_compare_seconds + scan;
-    }
-    case ir::OpKind::kWindow: {
-      const double scan =
-          input_rows * Log2Rounds(input_rows) * m.ss_mult_seconds;
-      if (node.hybrid == ir::HybridKind::kHybridWindow) {
-        return shuffle * Log2Rounds(input_rows) + scan;
-      }
-      const double sort =
-          node.assume_sorted ? 0 : BatcherExchanges(input_rows) * m.ss_compare_seconds;
-      return sort + scan;
-    }
-    case ir::OpKind::kSortBy:
-      return node.assume_sorted
-                 ? 0
-                 : BatcherExchanges(input_rows) * m.ss_compare_seconds;
-    case ir::OpKind::kDistinct: {
-      const double sort =
-          node.assume_sorted ? 0 : BatcherExchanges(input_rows) * m.ss_compare_seconds;
-      return sort + input_rows * m.ss_equality_seconds + shuffle;
-    }
-    case ir::OpKind::kArithmetic: {
-      const auto& params = node.Params<ir::ArithmeticParams>();
-      if (params.kind == ArithKind::kDiv) {
-        return input_rows * m.ss_division_seconds;
-      }
-      if (params.kind == ArithKind::kMul && params.rhs_is_column) {
-        return input_rows * m.ss_mult_seconds;
-      }
-      return 0;
-    }
-    default:
-      return 0;  // Concat/project/limit are share-local.
-  }
-}
-
-// Garbled-circuit (Obliv-C-like) virtual seconds; kInfeasible on simulated OOM or an
-// operator the GC backend cannot run (hybrid protocols).
-double OblivcSeconds(const ir::OpNode& node, double rows, double input_rows,
-                     double right_rows, const CostModel& m) {
-  if (node.hybrid != ir::HybridKind::kNone) {
-    return kInfeasible;
-  }
-  const auto urows = static_cast<uint64_t>(input_rows);
-  const auto ucols = static_cast<uint64_t>(node.schema.NumColumns());
-  const auto in_cols = static_cast<uint64_t>(
-      node.inputs.empty() ? 0 : node.inputs[0]->schema.NumColumns());
-  gc::GcOpCost cost;
-  switch (node.kind) {
-    case ir::OpKind::kFilter:
-      cost = gc::LinearPassCost(m, urows, in_cols, ucols, gc::kAndPerEqual);
-      break;
-    case ir::OpKind::kJoin: {
-      const auto& params = node.Params<ir::JoinParams>();
-      const ir::OpNode* left = node.inputs[0];
-      const ir::OpNode* right = node.inputs[1];
-      cost = gc::JoinCost(m, static_cast<uint64_t>(input_rows),
-                          static_cast<uint64_t>(right_rows),
-                          static_cast<uint64_t>(left->schema.NumColumns()),
-                          static_cast<uint64_t>(right->schema.NumColumns()),
-                          params.left_keys.size());
-      break;
-    }
-    case ir::OpKind::kAggregate: {
-      const auto& params = node.Params<ir::AggregateParams>();
-      cost = gc::AggregateCost(m, urows, ucols,
-                               std::max<uint64_t>(params.group_columns.size(), 1),
-                               node.assume_sorted);
-      break;
-    }
-    case ir::OpKind::kWindow: {
-      const auto& params = node.Params<ir::WindowParams>();
-      cost = gc::WindowCost(m, urows, ucols, params.partition_columns.size(),
-                            node.assume_sorted);
-      break;
-    }
-    case ir::OpKind::kSortBy:
-      if (!node.assume_sorted) {
-        cost = gc::SortCost(m, urows, ucols,
-                            node.Params<ir::SortByParams>().columns.size());
-      }
-      break;
-    case ir::OpKind::kDistinct:
-      cost = gc::AggregateCost(m, urows, ucols,
-                               node.Params<ir::DistinctParams>().columns.size(),
-                               node.assume_sorted);
-      break;
-    case ir::OpKind::kArithmetic: {
-      const auto& params = node.Params<ir::ArithmeticParams>();
-      const uint64_t per_row = params.kind == ArithKind::kMul ||
-                                       params.kind == ArithKind::kDiv
-                                   ? gc::kAndPerMul
-                                   : gc::kAndPerAdd;
-      cost = gc::LinearPassCost(m, urows, in_cols, ucols, per_row);
-      break;
-    }
-    case ir::OpKind::kConcat:
-      // All branches contribute: cost the pass over the combined output rows.
-      cost = gc::LinearPassCost(m, static_cast<uint64_t>(rows), ucols, ucols, 0);
-      break;
-    case ir::OpKind::kProject:
-    case ir::OpKind::kLimit:
-      cost = gc::LinearPassCost(m, urows, in_cols, ucols, 0);
-      break;
-    default:
-      return 0;
-  }
-  // Plan conservatively: per-op estimates miss resident input labels and engine
-  // bookkeeping, so leave 30% headroom before calling the GC engine feasible.
-  if (cost.live_state_bytes > m.gc_memory_limit_bytes / 10 * 7) {
-    return kInfeasible;
-  }
-  return static_cast<double>(cost.and_gates) * m.gc_seconds_per_and_gate;
-}
-
-}  // namespace
 
 BackendChoice ChooseMpcBackend(const ir::Dag& dag, const CostModel& model,
                                int num_parties,
                                const CardinalityOptions& cardinality) {
-  const auto rows = EstimateCardinalities(dag, cardinality);
   BackendChoice choice;
-  // The Obliv-C backend is a two-party protocol; a third contributing party forces
-  // secret sharing (the paper runs Sharemind with three parties, Obliv-C with two).
-  const bool gc_feasible_parties = num_parties <= 2;
-
-  for (const ir::OpNode* node : dag.TopoOrder()) {
-    if (node->exec_mode == ir::ExecMode::kLocal ||
-        node->kind == ir::OpKind::kCreate || node->kind == ir::OpKind::kCollect) {
-      continue;
-    }
-    const double out_rows = rows.at(node->id);
-    const double in_rows =
-        node->inputs.empty() ? 0 : rows.at(node->inputs[0]->id);
-    const double right_rows =
-        node->inputs.size() > 1 ? rows.at(node->inputs[1]->id) : 0;
-    // Boundary ingest: inputs crossing from local cleartext into the MPC.
-    for (const ir::OpNode* input : node->inputs) {
-      if (input->exec_mode == ir::ExecMode::kLocal) {
-        const double ingest_rows = rows.at(input->id);
-        choice.sharemind_seconds += ingest_rows * model.ss_record_io_seconds;
-        // GC input transfer: wire labels per bit.
-        choice.oblivc_seconds +=
-            ingest_rows * static_cast<double>(input->schema.NumColumns()) * 64 *
-            2 * static_cast<double>(model.gc_bytes_per_and_gate) /
-            model.bandwidth_bytes_per_second;
-      }
-    }
-    choice.sharemind_seconds +=
-        SharemindSeconds(*node, out_rows, in_rows, right_rows, model);
-    choice.oblivc_seconds +=
-        OblivcSeconds(*node, out_rows, in_rows, right_rows, model);
-  }
-
-  if (!gc_feasible_parties) {
-    choice.oblivc_seconds = kInfeasible;
-  }
-  choice.chosen = choice.oblivc_seconds < choice.sharemind_seconds
-                      ? MpcBackendKind::kOblivC
-                      : MpcBackendKind::kSharemind;
+  choice.report = EstimatePlanCost(dag, model, num_parties, cardinality);
+  choice.sharemind_seconds = choice.report.sharemind_seconds;
+  choice.oblivc_seconds = choice.report.oblivc_seconds;
+  choice.chosen = choice.report.cheapest;
   choice.rationale = StrFormat(
-      "backend-chooser: est. sharemind %.3fs vs obliv-c %s -> %s",
-      choice.sharemind_seconds,
-      std::isinf(choice.oblivc_seconds)
-          ? "infeasible"
-          : StrFormat("%.3fs", choice.oblivc_seconds).c_str(),
+      "backend-chooser: est. sharemind %s vs obliv-c %s -> %s",
+      FormatPlanSeconds(choice.sharemind_seconds).c_str(),
+      FormatPlanSeconds(choice.oblivc_seconds).c_str(),
       MpcBackendName(choice.chosen));
   return choice;
 }

@@ -5,10 +5,11 @@
 // secret sharing pays per-record storage/ingest but its arithmetic and equality tests
 // are cheap, while garbled circuits evaluate linear passes almost for free (free-XOR)
 // yet pay heavily per comparison-rich gate and hold the whole relation's wire labels
-// in memory. The chooser walks the MPC-resident part of the DAG, prices every
-// operator under both cost models using estimated cardinalities, treats a simulated
-// GC OOM or a >2-party execution as infinite Obliv-C cost, and picks the cheaper
-// backend.
+// in memory. The chooser prices the MPC-resident part of the DAG under both backends
+// through the shared plan-cost subsystem (compiler/plan_cost.h) — the same
+// per-primitive charges, network shapes, and memory checks the engines apply at run
+// time — treats a simulated OOM or a >2-party execution as infinite Obliv-C cost, and
+// picks the cheaper backend.
 #ifndef CONCLAVE_COMPILER_BACKEND_CHOOSER_H_
 #define CONCLAVE_COMPILER_BACKEND_CHOOSER_H_
 
@@ -16,6 +17,7 @@
 
 #include "conclave/compiler/cardinality.h"
 #include "conclave/compiler/codegen.h"
+#include "conclave/compiler/plan_cost.h"
 #include "conclave/ir/dag.h"
 #include "conclave/net/cost_model.h"
 
@@ -27,6 +29,7 @@ struct BackendChoice {
   double sharemind_seconds = 0;  // Estimated MPC-clique time under secret sharing.
   double oblivc_seconds = 0;     // Under garbled circuits; +inf if infeasible.
   std::string rationale;         // One-line explanation for the rewrite log.
+  PlanCostReport report;         // Per-node breakdown (the explain payload).
 };
 
 // Prices the DAG's MPC/hybrid-resident operators under both backends. Call after

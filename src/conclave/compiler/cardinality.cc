@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "conclave/relational/ops.h"
+
 namespace conclave {
 namespace compiler {
 
@@ -51,7 +53,11 @@ std::unordered_map<int, double> EstimateCardinalities(
             in0, static_cast<double>(node->Params<ir::LimitParams>().count));
         break;
       case ir::OpKind::kPad:
-        estimate = in0 <= 1 ? 1.0 : std::exp2(std::ceil(std::log2(in0)));
+        // The padding pass's actual policy (one source of truth with
+        // ops::PadToPowerOfTwo), applied to the rounded estimate. Clamp before
+        // llround: above 2^62 the conversion is UB and no padded size fits anyway.
+        estimate = static_cast<double>(ops::PaddedRowCount(
+            std::llround(std::clamp(in0, 0.0, 0x1p62))));
         break;
       case ir::OpKind::kProject:
       case ir::OpKind::kArithmetic:

@@ -1,5 +1,7 @@
 #include "conclave/compiler/compiler.h"
 
+#include <utility>
+
 #include "conclave/common/logging.h"
 #include "conclave/compiler/backend_chooser.h"
 #include "conclave/compiler/hybrid_transform.h"
@@ -13,6 +15,14 @@
 
 namespace conclave {
 namespace compiler {
+
+std::string Compilation::ExplainPlan() const {
+  if (!has_cost_report) {
+    return "plan-cost: not computed (set CompilerOptions::explain_plan or "
+           "auto_backend)\n";
+  }
+  return cost_report.ToString();
+}
 
 StatusOr<Compilation> Compile(ir::Dag& dag, const CompilerOptions& options) {
   if (dag.Creates().empty()) {
@@ -83,12 +93,18 @@ StatusOr<Compilation> Compile(ir::Dag& dag, const CompilerOptions& options) {
   }
 
   // Stage 6b: cost-based MPC backend choice (§9 extension) — after all placement
-  // decisions, since the estimate prices exactly what stays under MPC.
-  if (options.auto_backend) {
-    const BackendChoice choice = ChooseMpcBackend(dag, options.planning_cost_model,
-                                                  result.num_parties);
-    result.options.mpc_backend = choice.chosen;
-    result.transformations.push_back(choice.rationale);
+  // decisions, since the estimate prices exactly what stays under MPC. The same
+  // plan-cost walk feeds the explain API.
+  if (options.auto_backend || options.explain_plan) {
+    BackendChoice choice =
+        ChooseMpcBackend(dag, options.planning_cost_model, result.num_parties,
+                         options.planning_cardinality);
+    if (options.auto_backend) {
+      result.options.mpc_backend = choice.chosen;
+      result.transformations.push_back(choice.rationale);
+    }
+    result.cost_report = std::move(choice.report);
+    result.has_cost_report = true;
   }
 
   // Stage 7: partition and generate code.

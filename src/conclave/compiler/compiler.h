@@ -21,6 +21,7 @@
 #include "conclave/common/status.h"
 #include "conclave/compiler/codegen.h"
 #include "conclave/compiler/partition.h"
+#include "conclave/compiler/plan_cost.h"
 #include "conclave/ir/dag.h"
 #include "conclave/net/cost_model.h"
 
@@ -46,6 +47,12 @@ struct CompilerOptions {
   // options and the rewrite log.
   bool auto_backend = false;
   CostModel planning_cost_model;
+  // Fill Compilation::cost_report with the per-node plan-cost breakdown (the explain
+  // API) even when auto_backend is off. Off by default: pricing a plan walks exact
+  // Batcher network shapes, which is wasted work for fixed-backend production runs.
+  bool explain_plan = false;
+  // Cardinality knobs feeding the plan-cost estimate (selectivities, default rows).
+  CardinalityOptions planning_cardinality;
   // Adaptive padding (§9 extension): pad every local relation entering an MPC join /
   // grouped aggregation / window to the next power of two, hiding data-dependent
   // cardinalities on the MPC boundary behind log2 buckets. Off by default — padding
@@ -64,6 +71,15 @@ struct Compilation {
   std::string generated_code;                // Per-job program listings.
   int num_parties = 0;
   CompilerOptions options;
+  // Per-node cost breakdown under both MPC backends (the explain API's payload).
+  // Filled when options.auto_backend or options.explain_plan is set; tests and
+  // benches assert chooser decisions against it. cost_report.cheapest is the
+  // cost-based pick; options.mpc_backend is what will actually run.
+  PlanCostReport cost_report;
+  bool has_cost_report = false;
+
+  // The explain listing: per-node estimated costs and the chosen backend.
+  std::string ExplainPlan() const;
 };
 
 // Rewrites `dag` in place and returns the plan. The DAG must have at least one

@@ -33,6 +33,10 @@
 namespace conclave {
 namespace compiler {
 
+// The pass's row-count policy is ops::PaddedRowCount (relational/ops.h): the runtime
+// pad operator executes it and the cardinality/plan-cost estimates query it, so there
+// is exactly one definition of "padded size" in the system.
+
 // Inserts Pad nodes below the MPC frontier. Call after placement (hybrid transform)
 // and before sort elimination. Returns a human-readable rewrite log.
 std::vector<std::string> ApplyPadding(ir::Dag& dag);

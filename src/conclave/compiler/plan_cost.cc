@@ -1,0 +1,820 @@
+#include "conclave/compiler/plan_cost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "conclave/common/strings.h"
+#include "conclave/mpc/garbled/gc_cost.h"
+#include "conclave/mpc/oblivious.h"
+#include "conclave/mpc/protocols.h"
+#include "conclave/relational/ops.h"
+
+namespace conclave {
+namespace compiler {
+namespace {
+
+constexpr double kInfeasible = std::numeric_limits<double>::infinity();
+
+int64_t ToRows(double estimate) {
+  // Clamp before llround: above 2^62 the conversion is UB, and the structural
+  // loops (Batcher shapes, scans) only need "absurdly large", not exact.
+  return estimate <= 0 ? 0 : std::llround(std::min(estimate, 0x1p62));
+}
+
+// Exact Batcher shapes are walked in O(n log n) plan time and counted in uint64.
+// Above this cap (2M rows) fall back to the continuous n/4·ceil(log2 n)² form in
+// doubles: the relative error is negligible there (exactness matters at small and
+// non-power-of-two n), the walk stays bounded for absurd cardinality estimates,
+// and nothing overflows.
+constexpr int64_t kMaxExactShapeRows = int64_t{1} << 21;
+
+// Double-valued network shape: huge estimated relations produce exchange counts
+// beyond uint64, and cost math is double anyway.
+struct NetworkShape {
+  double exchanges = 0;
+  double layers = 0;
+};
+
+uint64_t CeilLog2(int64_t n) {
+  uint64_t log = 0;
+  while ((int64_t{1} << log) < n) {
+    ++log;
+  }
+  return log;
+}
+
+NetworkShape ApproxSortShape(int64_t n) {
+  const double log = static_cast<double>(CeilLog2(n));
+  NetworkShape shape;
+  shape.exchanges = static_cast<double>(n) / 4 * log * (log + 1);
+  shape.layers = log * (log + 1) / 2;
+  return shape;
+}
+
+// Accumulates one backend's price for one operator; the first working-set violation
+// turns the whole operator infeasible (mirroring the engines' StatusOr returns).
+struct OpAccount {
+  double seconds = 0;
+  bool feasible = true;
+  std::string reason;
+
+  void Infeasible(std::string why) {
+    if (feasible) {
+      feasible = false;
+      reason = std::move(why);
+    }
+  }
+  BackendOpCost Finish() const {
+    BackendOpCost cost;
+    cost.feasible = feasible;
+    cost.seconds = feasible ? seconds : kInfeasible;
+    cost.infeasible_reason = reason;
+    return cost;
+  }
+};
+
+// Prices secret-sharing work with the engines' own calibration rows
+// (CostModel::SsChargeFor) and protocol structure. Every method mirrors one charge
+// site in mpc/secret_share_engine.cc, mpc/oblivious.cc, mpc/protocols.cc, or
+// hybrid/*.cc — when one of those changes, change the mirror here (plan_cost tests
+// compare estimates against metered runs and catch drift).
+class SsCoster {
+ public:
+  SsCoster(const CostModel& model, int num_parties)
+      : model_(model), num_parties_(num_parties) {}
+
+  double Lat(uint64_t rounds) const {
+    return model_.SecondsForRounds(rounds);
+  }
+  // One batched primitive invocation over `elements`.
+  double Batch(SsPrimitive primitive, double elements) const {
+    const SsCharge charge = model_.SsChargeFor(primitive);
+    return elements * charge.seconds + Lat(charge.rounds);
+  }
+  double Mul(double n) const { return Batch(SsPrimitive::kMult, n); }
+  double Compare(CompareOp op, double n) const {
+    const bool eq = op == CompareOp::kEq || op == CompareOp::kNe;
+    return Batch(eq ? SsPrimitive::kEquality : SsPrimitive::kCompare, n);
+  }
+  double Div(double n) const { return Batch(SsPrimitive::kDivision, n); }
+  double Open(double) const { return Lat(1); }
+  double Ingest(double rows) const {
+    return Batch(SsPrimitive::kRecordIngest, rows);
+  }
+  double Shuffle(double rows, double cols) const {
+    return Batch(SsPrimitive::kShuffleCell, rows * cols);
+  }
+  double ShuffleRevealCompact(double rows, double cols) const {
+    return Shuffle(rows, cols) + Open(rows);
+  }
+  double Select(int64_t n, int64_t m) const {
+    // Clamp before summing: two 2^62-clamped estimates would overflow int64 in
+    // ObliviousSelectRounds. The log term saturates anyway.
+    constexpr int64_t kMax = int64_t{1} << 60;
+    const uint64_t log_term =
+        ObliviousSelectRounds(std::min(n, kMax), std::min(m, kMax));
+    const double ops = (static_cast<double>(n) + static_cast<double>(m)) *
+                       static_cast<double>(log_term);
+    return ops * model_.SsChargeFor(SsPrimitive::kSelectOp).seconds +
+           Lat(log_term);
+  }
+  // Cleartext work at the STP / joiner, in doubles (estimated row counts can
+  // exceed uint64 when summed).
+  double Python(double records) const {
+    return records / model_.python_records_per_second;
+  }
+  // One point-to-point transfer (SimNetwork::Send charges bandwidth time).
+  // Takes doubles: estimated byte counts can exceed uint64.
+  double SendBytes(double bytes) const {
+    return bytes / model_.bandwidth_bytes_per_second;
+  }
+
+  // AdjacentEqualFlags: one equality batch per key column over n-1 adjacent pairs,
+  // folded with k-1 multiplications.
+  double AdjacentEqualFlags(int64_t n, size_t keys) const {
+    if (n <= 0 || keys == 0) {
+      return 0;
+    }
+    const double pairs = static_cast<double>(n - 1);
+    double seconds = static_cast<double>(keys) * Compare(CompareOp::kEq, pairs);
+    if (keys > 1) {
+      seconds += static_cast<double>(keys - 1) * Mul(pairs);
+    }
+    return seconds;
+  }
+
+  // Hillis-Steele segmented scan over n rows: log-depth passes of muxes (sum/count)
+  // plus an ordered comparison for min/max.
+  double SegmentedScan(int64_t n, AggKind kind) const {
+    double seconds = 0;
+    for (int64_t d = 1; d < n; d *= 2) {
+      const double len = static_cast<double>(n - d);
+      if (kind == AggKind::kMin || kind == AggKind::kMax) {
+        seconds += Compare(CompareOp::kLt, len) + 3 * Mul(len);
+      } else {
+        seconds += 2 * Mul(len);
+      }
+    }
+    return seconds;
+  }
+
+  // One Batcher compare-exchange network (sort or merge pass) over a relation of
+  // `cols` columns with `keys` sort keys: per exchange, the RowGreater comparison
+  // ladder plus one mux multiplication per column; per layer, the corresponding
+  // batched-invocation rounds.
+  double BatcherNetwork(const NetworkShape& shape, size_t cols,
+                        size_t keys) const {
+    if (shape.exchanges == 0) {
+      return 0;
+    }
+    const double k = static_cast<double>(keys);
+    const double eq_batches = keys > 1 ? k - 1 : 0;
+    const double ladder_muls =
+        (keys > 1 ? k - 1 : 0) + (keys > 2 ? k - 2 : 0);
+    const double muls = ladder_muls + static_cast<double>(cols);
+    const SsCharge cmp = model_.SsChargeFor(SsPrimitive::kCompare);
+    const SsCharge eq = model_.SsChargeFor(SsPrimitive::kEquality);
+    const SsCharge mul = model_.SsChargeFor(SsPrimitive::kMult);
+    double seconds = shape.exchanges * (k * cmp.seconds +
+                                        eq_batches * eq.seconds +
+                                        muls * mul.seconds);
+    seconds += shape.layers *
+               Lat(static_cast<uint64_t>(k) * cmp.rounds +
+                   static_cast<uint64_t>(eq_batches) * eq.rounds +
+                   static_cast<uint64_t>(muls) * mul.rounds);
+    return seconds;
+  }
+
+  double ObliviousSort(int64_t n, size_t cols, size_t keys) const {
+    return BatcherNetwork(SortShape(n), cols, keys);
+  }
+
+  const NetworkShape& SortShape(int64_t n) const {
+    auto it = sort_shapes_.find(n);
+    if (it == sort_shapes_.end()) {
+      NetworkShape shape;
+      if (n <= kMaxExactShapeRows) {
+        const gc::BatcherNetworkShape exact =
+            gc::BatcherSortShape(static_cast<uint64_t>(n));
+        shape.exchanges = static_cast<double>(exact.exchanges);
+        shape.layers = static_cast<double>(exact.layers);
+      } else {
+        shape = ApproxSortShape(n);
+      }
+      it = sort_shapes_.emplace(n, shape).first;
+    }
+    return it->second;
+  }
+
+  NetworkShape MergeShape(int64_t run, int64_t total) const {
+    if (total <= kMaxExactShapeRows) {
+      const gc::BatcherNetworkShape exact = gc::BatcherMergeShape(
+          static_cast<uint64_t>(run), static_cast<uint64_t>(total));
+      return {static_cast<double>(exact.exchanges),
+              static_cast<double>(exact.layers)};
+    }
+    // One merge pass: ~log2(run)+1 layers of ~total/2 comparators each.
+    const double layers = static_cast<double>(CeilLog2(run)) + 1;
+    return {static_cast<double>(total) / 2 * layers, layers};
+  }
+
+  // mpc::CheckWorkingSet mirror; false = the Sharemind VM would OOM.
+  bool FitsWorkingSet(double live_cells) const {
+    return live_cells * static_cast<double>(model_.ss_bytes_per_resident_cell) <=
+           static_cast<double>(model_.ss_memory_limit_bytes);
+  }
+  void CheckWorkingSet(OpAccount& account, double live_cells,
+                       const char* what) const {
+    if (!FitsWorkingSet(live_cells)) {
+      account.Infeasible(StrFormat("sharemind VM OOM (%s)", what));
+    }
+  }
+
+  int parties() const { return num_parties_; }
+  const CostModel& model() const { return model_; }
+
+ private:
+  const CostModel& model_;
+  int num_parties_;
+  mutable std::unordered_map<int64_t, NetworkShape> sort_shapes_;
+};
+
+size_t JoinKeyCount(const ir::OpNode& node) {
+  return node.Params<ir::JoinParams>().left_keys.size();
+}
+
+// --- Secret-sharing backend: per-operator estimates ----------------------------------
+
+// Mirrors mpc::Filter: one comparison batch, then shuffle-reveal-compact over the
+// flagged relation.
+void SsFilter(const SsCoster& ss, const ir::OpNode& node, int64_t n, double cols,
+              OpAccount& account) {
+  ss.CheckWorkingSet(account, 3 * static_cast<double>(n) * cols, "filter");
+  account.seconds += ss.Compare(node.Params<ir::FilterParams>().op,
+                                static_cast<double>(n));
+  account.seconds += ss.ShuffleRevealCompact(static_cast<double>(n), cols + 1);
+}
+
+// Mirrors mpc::Join: n*m*keys batched equality tests (one kSsJoinRounds-deep batch),
+// free gather-rerandomize assembly, and a final shuffle of the output.
+void SsJoin(const SsCoster& ss, const ir::OpNode& node, int64_t n, int64_t m,
+            int64_t out, OpAccount& account) {
+  const size_t keys = JoinKeyCount(node);
+  const double lc = node.inputs[0]->schema.NumColumns();
+  const double rc = node.inputs[1]->schema.NumColumns();
+  const double out_cols = node.schema.NumColumns();
+  const double pairs = static_cast<double>(n) * static_cast<double>(m) *
+                       static_cast<double>(keys);
+  account.seconds +=
+      pairs * ss.model().SsChargeFor(SsPrimitive::kEquality).seconds +
+      ss.Lat(mpc::kSsJoinRounds);
+  ss.CheckWorkingSet(account,
+                     static_cast<double>(n) * lc + static_cast<double>(m) * rc +
+                         static_cast<double>(out) * out_cols,
+                     "join");
+  account.seconds += ss.Shuffle(static_cast<double>(out), out_cols);
+}
+
+// Mirrors hybrid::HybridJoin step for step: shuffles, key reveals to the STP, the
+// STP's cleartext join, index re-sharing, two oblivious selects, a final shuffle.
+void SsHybridJoin(const SsCoster& ss, const ir::OpNode& node, int64_t n, int64_t m,
+                  int64_t out, OpAccount& account) {
+  const size_t keys = JoinKeyCount(node);
+  const double lc = node.inputs[0]->schema.NumColumns();
+  const double rc = node.inputs[1]->schema.NumColumns();
+  const double out_cols = node.schema.NumColumns();
+  const double l_cells = static_cast<double>(n) * lc;
+  const double r_cells = static_cast<double>(m) * rc;
+  ss.CheckWorkingSet(account, 6 * (l_cells + r_cells), "hybrid join");
+  ss.CheckWorkingSet(account,
+                     3 * (l_cells + r_cells) +
+                         static_cast<double>(out) * (lc + rc),
+                     "hybrid join select");
+  const int senders = ss.parties() - 1;
+  account.seconds += ss.Shuffle(static_cast<double>(n), lc) +
+                     ss.Shuffle(static_cast<double>(m), rc);
+  // RevealToStp of each side's key columns.
+  account.seconds +=
+      senders * ss.SendBytes(static_cast<double>(n) * static_cast<double>(keys) * 8) + ss.Lat(1);
+  account.seconds +=
+      senders * ss.SendBytes(static_cast<double>(m) * static_cast<double>(keys) * 8) + ss.Lat(1);
+  // STP joins in the clear.
+  account.seconds +=
+      ss.Python(static_cast<double>(n) + static_cast<double>(m) + static_cast<double>(out));
+  // Two index columns shared back from the STP.
+  account.seconds +=
+      2 * (senders * ss.SendBytes(static_cast<double>(out) * 8) + ss.Lat(1));
+  // Oblivious selects of the contributing rows.
+  account.seconds += ss.Select(n, out) + ss.Select(m, out);
+  account.seconds += ss.Shuffle(static_cast<double>(out), out_cols);
+}
+
+// Mirrors hybrid::PublicJoinShared: key reveal to the joiner, cleartext join, index
+// broadcast; assembly is local share gathering.
+void SsPublicJoin(const SsCoster& ss, const ir::OpNode& node, int64_t n, int64_t m,
+                  int64_t out, OpAccount& account) {
+  const size_t keys = JoinKeyCount(node);
+  const double lc = node.inputs[0]->schema.NumColumns();
+  const double rc = node.inputs[1]->schema.NumColumns();
+  ss.CheckWorkingSet(
+      account, static_cast<double>(n) * lc + static_cast<double>(m) * rc,
+      "public join");
+  const int senders = std::max(ss.parties() - 1, 1);
+  const double key_bytes = (static_cast<double>(n) + static_cast<double>(m)) *
+                           static_cast<double>(keys) * 8;
+  account.seconds += senders * ss.SendBytes(key_bytes / senders) + ss.Lat(1);
+  account.seconds +=
+      ss.Python(static_cast<double>(n) + static_cast<double>(m) + static_cast<double>(out));
+  account.seconds +=
+      senders * ss.SendBytes(static_cast<double>(out) * 16) + ss.Lat(1);
+}
+
+// The STP phase shared by hybrid aggregation and hybrid window: shuffle, reveal
+// `key_cols` columns to the STP, cleartext sort, order broadcast + flag sharing.
+double SsStpOrderPhase(const SsCoster& ss, int64_t n, double cols,
+                       size_t key_cols) {
+  const int senders = ss.parties() - 1;
+  double seconds = ss.Shuffle(static_cast<double>(n), cols);
+  seconds +=
+      senders * ss.SendBytes(static_cast<double>(n) * static_cast<double>(key_cols) * 8) + ss.Lat(1);
+  seconds += ss.Python(static_cast<double>(n));
+  // Order broadcast plus flag shares, then two round barriers.
+  seconds += 2 * senders * ss.SendBytes(static_cast<double>(n) * 8) + ss.Lat(2);
+  return seconds;
+}
+
+// Mirrors mpc::Aggregate / hybrid::HybridAggregate (flag-driven scan + compaction).
+void SsAggregate(const SsCoster& ss, const ir::OpNode& node, int64_t n, double cols,
+                 OpAccount& account) {
+  const auto& params = node.Params<ir::AggregateParams>();
+  if (n == 0) {
+    return;  // Zero rows aggregate to zero groups before any charge.
+  }
+  const size_t keys = params.group_columns.size();
+  if (keys == 0) {
+    // Global aggregate: sums/counts are share-local; mean divides once; min/max run
+    // a compare-exchange tree.
+    if (params.kind == AggKind::kMean) {
+      account.seconds += ss.Div(1);
+    } else if (params.kind == AggKind::kMin || params.kind == AggKind::kMax) {
+      for (int64_t size = n; size > 1;) {
+        const int64_t half = size / 2;
+        account.seconds += ss.Compare(CompareOp::kLt, static_cast<double>(half)) +
+                           ss.Mul(static_cast<double>(half));
+        size = half + (size % 2);
+      }
+    }
+    return;
+  }
+  ss.CheckWorkingSet(account, 3 * static_cast<double>(n) * cols, "aggregate");
+  if (node.hybrid == ir::HybridKind::kHybridAggregate) {
+    account.seconds += SsStpOrderPhase(ss, n, cols, keys);
+  } else {
+    if (!node.assume_sorted) {
+      account.seconds +=
+          ss.ObliviousSort(n, static_cast<size_t>(cols), keys);
+    }
+    account.seconds += ss.AdjacentEqualFlags(n, keys);
+  }
+  account.seconds += ss.SegmentedScan(n, params.kind);
+  if (params.kind == AggKind::kMean) {
+    account.seconds += ss.SegmentedScan(n, AggKind::kCount) +
+                       ss.Div(static_cast<double>(n));
+  }
+  account.seconds += ss.ShuffleRevealCompact(static_cast<double>(n),
+                                             static_cast<double>(keys) + 2);
+}
+
+// Mirrors mpc::Window / hybrid::HybridWindow.
+void SsWindow(const SsCoster& ss, const ir::OpNode& node, int64_t n, double cols,
+              OpAccount& account) {
+  const auto& params = node.Params<ir::WindowParams>();
+  if (n == 0) {
+    return;
+  }
+  const size_t partitions = params.partition_columns.size();
+  ss.CheckWorkingSet(account, 3 * static_cast<double>(n) * cols, "window");
+  if (node.hybrid == ir::HybridKind::kHybridWindow) {
+    account.seconds += SsStpOrderPhase(ss, n, cols, partitions + 1);
+  } else {
+    if (!node.assume_sorted) {
+      account.seconds +=
+          ss.ObliviousSort(n, static_cast<size_t>(cols), partitions + 1);
+    }
+    account.seconds += ss.AdjacentEqualFlags(n, partitions);
+  }
+  switch (params.fn) {
+    case WindowFn::kRowNumber:
+      account.seconds += ss.SegmentedScan(n, AggKind::kCount);
+      break;
+    case WindowFn::kRunningSum:
+      account.seconds += ss.SegmentedScan(n, AggKind::kSum);
+      break;
+    case WindowFn::kLag:
+      account.seconds += ss.Mul(static_cast<double>(n));
+      break;
+  }
+}
+
+// Mirrors the Sharemind backend's sorted-merge concat: fold the branches through
+// oblivious merges, falling back to a full sort exactly where ObliviousMerge does.
+void SsMergeConcat(const SsCoster& ss, const ir::OpNode& node,
+                   const std::unordered_map<int, double>& rows,
+                   OpAccount& account) {
+  const auto& params = node.Params<ir::ConcatParams>();
+  const size_t keys = params.merge_columns.size();
+  const size_t cols = static_cast<size_t>(node.schema.NumColumns());
+  int64_t merged = ToRows(rows.at(node.inputs[0]->id));
+  for (size_t i = 1; i < node.inputs.size(); ++i) {
+    const int64_t branch = ToRows(rows.at(node.inputs[i]->id));
+    const int64_t total = merged + branch;
+    const bool merge_shape = merged > 0 && (merged & (merged - 1)) == 0 &&
+                             branch <= merged && branch > 0;
+    if (merge_shape) {
+      account.seconds += ss.BatcherNetwork(ss.MergeShape(merged, total), cols, keys);
+    } else {
+      account.seconds += ss.ObliviousSort(total, cols, keys);
+    }
+    merged = total;
+  }
+}
+
+// One (rows, cells) entry per cleartext input relation first entering the MPC at
+// this node; each is secret-shared / garbled as its own batch, like EnsureSecure.
+using IngestList = std::vector<std::pair<double, double>>;
+
+BackendOpCost SsOpCost(const SsCoster& ss, const ir::OpNode& node,
+                       const std::unordered_map<int, double>& rows,
+                       const IngestList& ingests) {
+  OpAccount account;
+  for (const auto& [ingest_rows, ingest_cells] : ingests) {
+    ss.CheckWorkingSet(account, 2 * ingest_cells, "ingest");
+    account.seconds += ss.Ingest(ingest_rows);
+  }
+  const int64_t n =
+      node.inputs.empty() ? 0 : ToRows(rows.at(node.inputs[0]->id));
+  const int64_t m =
+      node.inputs.size() > 1 ? ToRows(rows.at(node.inputs[1]->id)) : 0;
+  const int64_t out = ToRows(rows.at(node.id));
+  const double in_cols =
+      node.inputs.empty() ? 0 : node.inputs[0]->schema.NumColumns();
+
+  switch (node.kind) {
+    case ir::OpKind::kFilter:
+      SsFilter(ss, node, n, in_cols, account);
+      break;
+    case ir::OpKind::kJoin:
+      switch (node.hybrid) {
+        case ir::HybridKind::kHybridJoin:
+          SsHybridJoin(ss, node, n, m, out, account);
+          break;
+        case ir::HybridKind::kPublicJoin:
+          SsPublicJoin(ss, node, n, m, out, account);
+          break;
+        default:
+          SsJoin(ss, node, n, m, out, account);
+          break;
+      }
+      break;
+    case ir::OpKind::kAggregate:
+      SsAggregate(ss, node, n, in_cols, account);
+      break;
+    case ir::OpKind::kWindow:
+      SsWindow(ss, node, n, in_cols, account);
+      break;
+    case ir::OpKind::kSortBy:
+      // mpc::Sort checks the working set before the assume_sorted early-out.
+      ss.CheckWorkingSet(account, 2 * static_cast<double>(n) * in_cols, "sort");
+      if (!node.assume_sorted && n > 0) {
+        account.seconds += ss.ObliviousSort(
+            n, static_cast<size_t>(in_cols),
+            node.Params<ir::SortByParams>().columns.size());
+      }
+      break;
+    case ir::OpKind::kDistinct: {
+      const size_t keys = node.Params<ir::DistinctParams>().columns.size();
+      // mpc::Distinct checks the full input's working set before projecting.
+      ss.CheckWorkingSet(account, 3 * static_cast<double>(n) * in_cols,
+                         "distinct");
+      if (n > 0) {
+        if (!node.assume_sorted) {
+          account.seconds += ss.ObliviousSort(n, keys, keys);
+        }
+        account.seconds += ss.AdjacentEqualFlags(n, keys);
+        account.seconds += ss.ShuffleRevealCompact(
+            static_cast<double>(n), static_cast<double>(keys) + 1);
+      }
+      break;
+    }
+    case ir::OpKind::kArithmetic: {
+      const auto& params = node.Params<ir::ArithmeticParams>();
+      if (params.kind == ArithKind::kDiv) {
+        account.seconds += ss.Div(static_cast<double>(n));
+      } else if (params.kind == ArithKind::kMul && params.rhs_is_column) {
+        account.seconds += ss.Mul(static_cast<double>(n));
+      }
+      break;
+    }
+    case ir::OpKind::kConcat:
+      if (!node.Params<ir::ConcatParams>().merge_columns.empty()) {
+        SsMergeConcat(ss, node, rows, account);
+      }
+      break;
+    default:
+      break;  // Project/limit/pad are share-local.
+  }
+  return account.Finish();
+}
+
+// --- Garbled-circuit backend: per-operator estimates ---------------------------------
+
+// Mirrors GcEngine::Charge: gate time plus the constant-round barrier, infeasible on
+// a live-state overflow.
+void GcCharge(const CostModel& model, const gc::GcOpCost& cost, const char* what,
+              OpAccount& account) {
+  if (cost.live_state_bytes > model.gc_memory_limit_bytes) {
+    account.Infeasible(StrFormat("GC OOM (%s)", what));
+    return;
+  }
+  account.seconds += static_cast<double>(cost.and_gates) *
+                         model.gc_seconds_per_and_gate +
+                     model.SecondsForRounds(2);
+}
+
+// True when a sort-bearing GC operator is already infeasible from the sort phase's
+// live labels alone (2x the relation resident, the floor of every SortCost-derived
+// total) — the verdict GcCharge would reach anyway, checked before the O(n log n)
+// exchange walk so pricing a large plan never pays for doomed gate counts.
+bool GcSortObviouslyOom(const CostModel& model, uint64_t rows, uint64_t cols,
+                        const char* what, OpAccount& account) {
+  if (2 * gc::LiveBytesForCells(model, rows, cols) > model.gc_memory_limit_bytes) {
+    account.Infeasible(StrFormat("GC OOM (%s)", what));
+    return true;
+  }
+  return false;
+}
+
+BackendOpCost GcOpCostOf(const CostModel& model, const ir::OpNode& node,
+                         const std::unordered_map<int, double>& rows,
+                         const IngestList& ingests, int num_parties) {
+  OpAccount account;
+  if (num_parties > 2) {
+    // Obliv-C is a two-party protocol (the paper runs it with two parties only).
+    account.Infeasible(StrFormat("%d parties (2-party protocol)", num_parties));
+    return account.Finish();
+  }
+  if (node.hybrid != ir::HybridKind::kNone) {
+    account.Infeasible("hybrid protocols run on the secret-sharing backend");
+    return account.Finish();
+  }
+  for (const auto& [ingest_rows, ingest_cells] : ingests) {
+    // Mirrors GcEngine::ChargeInput: evaluator labels travel via OT. Computed in
+    // doubles — estimated cell counts can exceed uint64.
+    const double bits = ingest_cells * 64;
+    if (bits * static_cast<double>(model.gc_bytes_per_live_bit) >
+        static_cast<double>(model.gc_memory_limit_bytes)) {
+      account.Infeasible("GC OOM (input labels)");
+      return account.Finish();
+    }
+    account.seconds += bits * 16 / model.bandwidth_bytes_per_second +
+                       model.SecondsForRounds(2);
+  }
+
+  // Cap rows before the analytic gate formulas: every GC operator is memory-
+  // infeasible far below this cap (live labels alone at 2M rows x 1 column are
+  // ~25x the 4 GB VM), so capping cannot flip a feasibility verdict — while it
+  // bounds the exact Batcher walks and keeps the uint64 pair/gate arithmetic
+  // from overflowing on absurd cardinality estimates.
+  const auto cap = [](int64_t value) {
+    return static_cast<uint64_t>(std::min(value, kMaxExactShapeRows));
+  };
+  const uint64_t n =
+      cap(node.inputs.empty() ? 0 : ToRows(rows.at(node.inputs[0]->id)));
+  const uint64_t m =
+      cap(node.inputs.size() > 1 ? ToRows(rows.at(node.inputs[1]->id)) : 0);
+  const uint64_t out = cap(ToRows(rows.at(node.id)));
+  const uint64_t in_cols = static_cast<uint64_t>(
+      node.inputs.empty() ? 0 : node.inputs[0]->schema.NumColumns());
+  const uint64_t out_cols = static_cast<uint64_t>(node.schema.NumColumns());
+
+  switch (node.kind) {
+    case ir::OpKind::kFilter: {
+      const auto op = node.Params<ir::FilterParams>().op;
+      const uint64_t per_row = (op == CompareOp::kEq || op == CompareOp::kNe)
+                                   ? gc::kAndPerEqual
+                                   : gc::kAndPerLess;
+      GcCharge(model, gc::LinearPassCost(model, n, in_cols, in_cols, per_row),
+               "filter", account);
+      break;
+    }
+    case ir::OpKind::kJoin:
+      GcCharge(model,
+               gc::JoinCost(
+                   model, n, m,
+                   static_cast<uint64_t>(node.inputs[0]->schema.NumColumns()),
+                   static_cast<uint64_t>(node.inputs[1]->schema.NumColumns()),
+                   JoinKeyCount(node)),
+               "join", account);
+      break;
+    case ir::OpKind::kAggregate: {
+      const auto& params = node.Params<ir::AggregateParams>();
+      if (!node.assume_sorted &&
+          GcSortObviouslyOom(model, n, in_cols, "aggregate", account)) {
+        break;
+      }
+      GcCharge(model,
+               gc::AggregateCost(
+                   model, n, in_cols,
+                   std::max<uint64_t>(params.group_columns.size(), 1),
+                   node.assume_sorted),
+               "aggregate", account);
+      break;
+    }
+    case ir::OpKind::kWindow:
+      if (!node.assume_sorted &&
+          GcSortObviouslyOom(model, n, in_cols, "window", account)) {
+        break;
+      }
+      GcCharge(model,
+               gc::WindowCost(model, n, in_cols,
+                              node.Params<ir::WindowParams>()
+                                  .partition_columns.size(),
+                              node.assume_sorted),
+               "window", account);
+      break;
+    case ir::OpKind::kSortBy:
+      if (!node.assume_sorted) {
+        if (GcSortObviouslyOom(model, n, in_cols, "sort", account)) {
+          break;
+        }
+        GcCharge(model,
+                 gc::SortCost(model, n, in_cols,
+                              node.Params<ir::SortByParams>().columns.size()),
+                 "sort", account);
+      }
+      break;
+    case ir::OpKind::kDistinct: {
+      const uint64_t keys = node.Params<ir::DistinctParams>().columns.size();
+      if (!node.assume_sorted &&
+          GcSortObviouslyOom(model, n, keys, "distinct", account)) {
+        break;
+      }
+      gc::GcOpCost cost;
+      if (!node.assume_sorted) {
+        cost += gc::SortCost(model, n, keys, keys);
+      }
+      cost += gc::LinearPassCost(model, n, keys, keys, keys * gc::kAndPerEqual);
+      GcCharge(model, cost, "distinct", account);
+      break;
+    }
+    case ir::OpKind::kConcat: {
+      GcCharge(model, gc::LinearPassCost(model, out, out_cols, out_cols, 0),
+               "concat", account);
+      const auto& params = node.Params<ir::ConcatParams>();
+      if (!params.merge_columns.empty() &&
+          !GcSortObviouslyOom(model, out, out_cols, "merge-concat sort",
+                              account)) {
+        // The GC backend sorts the concatenated relation (no merge network).
+        GcCharge(model,
+                 gc::SortCost(model, out, out_cols,
+                              params.merge_columns.size()),
+                 "merge-concat sort", account);
+      }
+      break;
+    }
+    case ir::OpKind::kArithmetic: {
+      uint64_t per_row = 0;
+      switch (node.Params<ir::ArithmeticParams>().kind) {
+        case ArithKind::kAdd:
+          per_row = gc::kAndPerAdd;
+          break;
+        case ArithKind::kSub:
+          per_row = gc::kAndPerSub;
+          break;
+        case ArithKind::kMul:
+          per_row = gc::kAndPerMul;
+          break;
+        case ArithKind::kDiv:
+          per_row = 4 * gc::kAndPerMul;  // Restoring division.
+          break;
+      }
+      GcCharge(model,
+               gc::LinearPassCost(model, n, in_cols, in_cols + 1, per_row),
+               "arithmetic", account);
+      break;
+    }
+    case ir::OpKind::kProject:
+      GcCharge(model, gc::LinearPassCost(model, n, in_cols, out_cols, 0),
+               "project", account);
+      break;
+    case ir::OpKind::kLimit: {
+      const uint64_t kept = std::min<uint64_t>(
+          n, static_cast<uint64_t>(
+                 std::max<int64_t>(node.Params<ir::LimitParams>().count, 0)));
+      GcCharge(model, gc::LinearPassCost(model, kept, in_cols, in_cols, 0),
+               "limit", account);
+      break;
+    }
+    default:
+      break;
+  }
+  return account.Finish();
+}
+
+std::string NodeLabel(const ir::OpNode& node) {
+  if (node.hybrid != ir::HybridKind::kNone) {
+    return StrFormat("%s[%s]", ir::OpKindName(node.kind),
+                     ir::HybridKindName(node.hybrid));
+  }
+  return StrFormat("%s[%s]", ir::OpKindName(node.kind),
+                   ir::ExecModeName(node.exec_mode));
+}
+
+std::string FormatSeconds(const BackendOpCost& cost) {
+  if (!cost.feasible) {
+    return StrFormat("infeasible: %s", cost.infeasible_reason.c_str());
+  }
+  return StrFormat("%.6fs", cost.seconds);
+}
+
+}  // namespace
+
+std::string FormatPlanSeconds(double seconds, int decimals) {
+  if (std::isinf(seconds)) {
+    return "infeasible";
+  }
+  return StrFormat("%.*fs", decimals, seconds);
+}
+
+std::string PlanCostReport::ToString() const {
+  std::string out = StrFormat("plan-cost: sharemind %s vs obliv-c %s -> %s\n",
+                              FormatPlanSeconds(sharemind_seconds).c_str(),
+                              FormatPlanSeconds(oblivc_seconds).c_str(),
+                              MpcBackendName(cheapest));
+  for (const NodeCost& node : nodes) {
+    out += StrFormat("  #%d %s rows=%.0f", node.node_id, node.label.c_str(),
+                     node.in_rows);
+    if (node.right_rows > 0) {
+      out += StrFormat("x%.0f", node.right_rows);
+    }
+    out += StrFormat(" out=%.0f", node.out_rows);
+    if (node.ingest_rows > 0) {
+      out += StrFormat(" ingest=%.0f", node.ingest_rows);
+    }
+    out += StrFormat(": sharemind %s, obliv-c %s\n",
+                     FormatSeconds(node.sharemind).c_str(),
+                     FormatSeconds(node.oblivc).c_str());
+  }
+  return out;
+}
+
+PlanCostReport EstimatePlanCost(const ir::Dag& dag, const CostModel& model,
+                                int num_parties,
+                                const CardinalityOptions& cardinality) {
+  const auto rows = EstimateCardinalities(dag, cardinality);
+  const SsCoster ss(model, num_parties);
+  PlanCostReport report;
+  // Ingest (inputToMPC) happens once per materialized value, when its first MPC
+  // consumer acquires it — exactly how the dispatcher's EnsureSecure meters it.
+  std::unordered_set<int> ingested;
+
+  for (const ir::OpNode* node : dag.TopoOrder()) {
+    if (node->exec_mode == ir::ExecMode::kLocal ||
+        node->kind == ir::OpKind::kCreate || node->kind == ir::OpKind::kCollect) {
+      continue;
+    }
+    NodeCost cost;
+    cost.node_id = node->id;
+    cost.label = NodeLabel(*node);
+    cost.in_rows = node->inputs.empty() ? 0 : rows.at(node->inputs[0]->id);
+    cost.right_rows =
+        node->inputs.size() > 1 ? rows.at(node->inputs[1]->id) : 0;
+    cost.out_rows = rows.at(node->id);
+    IngestList ingests;
+    for (const ir::OpNode* input : node->inputs) {
+      if (input->exec_mode == ir::ExecMode::kLocal &&
+          ingested.insert(input->id).second) {
+        const double in_rows = rows.at(input->id);
+        cost.ingest_rows += in_rows;
+        ingests.emplace_back(
+            in_rows, in_rows * static_cast<double>(input->schema.NumColumns()));
+      }
+    }
+    cost.sharemind = SsOpCost(ss, *node, rows, ingests);
+    cost.oblivc = GcOpCostOf(model, *node, rows, ingests, num_parties);
+    report.sharemind_seconds += cost.sharemind.seconds;
+    report.oblivc_seconds += cost.oblivc.seconds;
+    report.nodes.push_back(std::move(cost));
+  }
+
+  report.cheapest = report.oblivc_seconds < report.sharemind_seconds
+                        ? MpcBackendKind::kOblivC
+                        : MpcBackendKind::kSharemind;
+  return report;
+}
+
+}  // namespace compiler
+}  // namespace conclave

@@ -1,0 +1,83 @@
+// The shared plan-cost subsystem: one set of per-operator cost functions, keyed on
+// ir::OpKind x backend x hybrid kind, that prices an MPC-resident operator with the
+// SAME formulas the execution layer charges at run time — the calibration table
+// (CostModel::SsChargeFor) for secret-sharing primitives, the exact analytic gate
+// counts (mpc/garbled/gc_cost.h) for garbled circuits, the exact Batcher network
+// shapes for oblivious sorts and merges, the engines' working-set memory checks for
+// OOM cliffs, and the padding pass's real row policy (ops::PaddedRowCount) for padded
+// cardinalities. The backend chooser, the explain API, and tests all derive from it;
+// the only thing separating an estimate from a measurement is the cardinality
+// estimate feeding it.
+//
+// Given exact cardinalities, a node's estimate equals the virtual seconds the
+// dispatcher meters for it (tests assert this); given estimated cardinalities, the
+// ranking of backends still tracks the measured ranking on the paper's query shapes.
+#ifndef CONCLAVE_COMPILER_PLAN_COST_H_
+#define CONCLAVE_COMPILER_PLAN_COST_H_
+
+#include <string>
+#include <vector>
+
+#include "conclave/compiler/cardinality.h"
+#include "conclave/compiler/codegen.h"
+#include "conclave/ir/dag.h"
+#include "conclave/net/cost_model.h"
+
+namespace conclave {
+namespace compiler {
+
+// Cost of one operator under one backend. Infeasible = the engine would refuse to
+// run it (simulated OOM, a hybrid protocol on the GC backend, or a >2-party query
+// for Obliv-C); seconds is +infinity in that case.
+struct BackendOpCost {
+  double seconds = 0;
+  bool feasible = true;
+  std::string infeasible_reason;  // Empty when feasible.
+};
+
+// One explain line: an MPC/hybrid-resident operator with its estimated cardinalities
+// and its price under each backend. Boundary ingest of cleartext inputs (inputToMPC)
+// is folded into the first consuming node, exactly where the dispatcher meters it.
+struct NodeCost {
+  int node_id = -1;
+  std::string label;       // e.g. "join[mpc]", "aggregate[hybrid-agg]".
+  double in_rows = 0;      // Estimated left-input cardinality.
+  double right_rows = 0;   // Estimated right-input cardinality (joins only).
+  double out_rows = 0;     // Estimated output cardinality.
+  double ingest_rows = 0;  // Cleartext rows first entering the MPC at this node.
+  BackendOpCost sharemind;
+  BackendOpCost oblivc;
+};
+
+struct PlanCostReport {
+  std::vector<NodeCost> nodes;
+  // Whole-clique totals; +infinity when any node is infeasible on that backend.
+  double sharemind_seconds = 0;
+  double oblivc_seconds = 0;
+  // The backend with the minimal estimated total. Ties — including both-infeasible
+  // plans, where secret sharing can also exceed its VM — resolve to secret sharing:
+  // it is the only backend that can attempt every operator, and the runtime then
+  // surfaces the predicted OOM as a typed status.
+  MpcBackendKind cheapest = MpcBackendKind::kSharemind;
+
+  // The explain listing: one header line ("plan-cost: ...") plus one line per node
+  // with estimated rows and per-backend seconds.
+  std::string ToString() const;
+};
+
+// Renders an estimated total for logs and tables: "%.<decimals>fs", or
+// "infeasible" for +infinity. Shared by the explain listing, the chooser's
+// rationale line, and benches so the three render identically.
+std::string FormatPlanSeconds(double seconds, int decimals = 3);
+
+// Prices every MPC/hybrid-resident operator of the placed DAG (plus the boundary
+// ingest of its cleartext inputs) under both MPC backends. Call after placement —
+// the estimate covers exactly what stays under MPC.
+PlanCostReport EstimatePlanCost(const ir::Dag& dag, const CostModel& model,
+                                int num_parties,
+                                const CardinalityOptions& cardinality = {});
+
+}  // namespace compiler
+}  // namespace conclave
+
+#endif  // CONCLAVE_COMPILER_PLAN_COST_H_

@@ -160,9 +160,10 @@ SharedRelation ObliviousShuffle(SecretShareEngine& engine,
 
   const CostModel& model = engine.network().model();
   const uint64_t cells = input.NumCells();
-  engine.network().CpuSeconds(static_cast<double>(cells) * model.ss_shuffle_op_seconds);
-  engine.network().CountAggregateBytes(cells * model.ss_bytes_per_shuffle_cell);
-  engine.network().Rounds(3);  // One resharing pass per party's permutation share.
+  const SsCharge charge = model.SsChargeFor(SsPrimitive::kShuffleCell);
+  engine.network().CpuSeconds(static_cast<double>(cells) * charge.seconds);
+  engine.network().CountAggregateBytes(cells * charge.bytes);
+  engine.network().Rounds(charge.rounds);
   return SharedRelation(input.schema(), std::move(columns));
 }
 
@@ -223,14 +224,12 @@ SharedRelation ObliviousSelect(SecretShareEngine& engine, const SharedRelation& 
 
   const CostModel& model = engine.network().model();
   const double total = static_cast<double>(n + m);
-  uint64_t log_term = 1;
-  while ((1LL << log_term) < n + m) {
-    ++log_term;
-  }
+  const uint64_t log_term = ObliviousSelectRounds(n, m);
   const double select_ops = total * static_cast<double>(log_term);
-  engine.network().CpuSeconds(select_ops * model.ss_select_op_seconds);
+  const SsCharge charge = model.SsChargeFor(SsPrimitive::kSelectOp);
+  engine.network().CpuSeconds(select_ops * charge.seconds);
   engine.network().CountAggregateBytes(
-      static_cast<uint64_t>(select_ops) * model.ss_bytes_per_select_op);
+      static_cast<uint64_t>(select_ops) * charge.bytes);
   engine.network().Rounds(log_term);
   return SharedRelation(input.schema(), std::move(columns));
 }

@@ -47,6 +47,16 @@ std::vector<std::vector<std::pair<int64_t, int64_t>>> BatcherSortLayers(int64_t 
 std::vector<std::vector<std::pair<int64_t, int64_t>>> BatcherMergeLayers(
     int64_t run_length, int64_t total);
 
+// Communication rounds of one ObliviousSelect over n input rows and m indices —
+// ceil(log2(n + m)), floored at 1. Shared with the planner's cost estimate.
+inline uint64_t ObliviousSelectRounds(int64_t n, int64_t m) {
+  uint64_t log_term = 1;
+  while ((int64_t{1} << log_term) < n + m) {
+    ++log_term;
+  }
+  return log_term;
+}
+
 }  // namespace conclave
 
 #endif  // CONCLAVE_MPC_OBLIVIOUS_H_

@@ -114,17 +114,18 @@ StatusOr<SharedRelation> InputRelation(SecretShareEngine& engine,
     columns.push_back(engine.ShareColumn(input, c));
   }
   SharedRelation shared(input.schema(), std::move(columns));
-  engine.network().CpuSeconds(static_cast<double>(input.NumRows()) *
-                              model.ss_record_io_seconds);
-  engine.network().CountAggregateBytes(cells * model.ss_bytes_per_shared_cell);
-  engine.network().Rounds(1);
+  const SsCharge charge = model.SsChargeFor(SsPrimitive::kRecordIngest);
+  engine.network().CpuSeconds(static_cast<double>(input.NumRows()) * charge.seconds);
+  engine.network().CountAggregateBytes(cells * charge.bytes);
+  engine.network().Rounds(charge.rounds);
   return shared;
 }
 
 Relation RevealRelation(SecretShareEngine& engine, const SharedRelation& input) {
-  // Every party broadcasts its shares: 6 directed messages of 8 B per cell.
-  engine.network().CountAggregateBytes(input.NumCells() * 8 * 6);
-  engine.network().Rounds(1);
+  const SsCharge charge =
+      engine.network().model().SsChargeFor(SsPrimitive::kReveal);
+  engine.network().CountAggregateBytes(input.NumCells() * charge.bytes);
+  engine.network().Rounds(charge.rounds);
   return ReconstructRelation(input);
 }
 
@@ -259,9 +260,10 @@ StatusOr<SharedRelation> Join(SecretShareEngine& engine, const SharedRelation& l
   // column). Conclave's motivation in a nutshell: this is O(n*m) however small the
   // output.
   const uint64_t pairs = n * m * left_keys.size();
-  engine.network().CpuSeconds(static_cast<double>(pairs) * model.ss_equality_seconds);
-  engine.network().CountAggregateBytes(pairs * model.ss_bytes_per_equality);
-  engine.network().Rounds(8);
+  const SsCharge eq_charge = model.SsChargeFor(SsPrimitive::kEquality);
+  engine.network().CpuSeconds(static_cast<double>(pairs) * eq_charge.seconds);
+  engine.network().CountAggregateBytes(pairs * eq_charge.bytes);
+  engine.network().Rounds(kSsJoinRounds);
   engine.network().mutable_counters().mpc_comparisons += pairs;
 
   // Ideal match step: keys reconstructed internally, matches found in cleartext.

@@ -25,6 +25,10 @@
 namespace conclave {
 namespace mpc {
 
+// Round depth of the batched Cartesian-join equality phase (all n*m tests run as one
+// deep batch rather than per-element fan-in trees). Shared with the planner.
+inline constexpr uint64_t kSsJoinRounds = 8;
+
 // Simulated-memory guard: `live_cells` shared cells must fit in the Sharemind VM.
 Status CheckWorkingSet(const CostModel& model, uint64_t live_cells);
 

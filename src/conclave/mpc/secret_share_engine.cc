@@ -145,18 +145,18 @@ SharedColumn SecretShareEngine::Mul(const SharedColumn& a, const SharedColumn& b
     }
   });
 
-  network_->CpuSeconds(static_cast<double>(n) * model.ss_mult_seconds);
-  network_->CountAggregateBytes(n * model.ss_bytes_per_mult);
-  network_->Rounds(1);
+  const SsCharge charge = model.SsChargeFor(SsPrimitive::kMult);
+  network_->CpuSeconds(static_cast<double>(n) * charge.seconds);
+  network_->CountAggregateBytes(n * charge.bytes);
+  network_->Rounds(charge.rounds);
   network_->mutable_counters().mpc_multiplications += n;
   return out;
 }
 
 std::vector<int64_t> SecretShareEngine::Open(const SharedColumn& a) {
-  // Every party broadcasts its share to the two others: 6 directed messages of 8 B
-  // per element.
-  network_->CountAggregateBytes(a.size() * 8 * 6);
-  network_->Rounds(1);
+  const SsCharge charge = network_->model().SsChargeFor(SsPrimitive::kOpen);
+  network_->CountAggregateBytes(a.size() * charge.bytes);
+  network_->Rounds(charge.rounds);
   return ReconstructValues(a);
 }
 
@@ -261,15 +261,11 @@ SharedColumn SecretShareEngine::Compare(CompareOp op, const SharedColumn& a,
       break;
   }
 
-  if (is_equality) {
-    network_->CpuSeconds(static_cast<double>(n) * model.ss_equality_seconds);
-    network_->CountAggregateBytes(n * model.ss_bytes_per_equality);
-    network_->Rounds(4);  // Multiplicative fan-in tree depth over 64 bits.
-  } else {
-    network_->CpuSeconds(static_cast<double>(n) * model.ss_compare_seconds);
-    network_->CountAggregateBytes(n * model.ss_bytes_per_compare);
-    network_->Rounds(8);  // Bit-decomposition + prefix circuit depth.
-  }
+  const SsCharge charge = model.SsChargeFor(
+      is_equality ? SsPrimitive::kEquality : SsPrimitive::kCompare);
+  network_->CpuSeconds(static_cast<double>(n) * charge.seconds);
+  network_->CountAggregateBytes(n * charge.bytes);
+  network_->Rounds(charge.rounds);
   network_->mutable_counters().mpc_comparisons += n;
   return out;
 }
@@ -308,9 +304,10 @@ SharedColumn SecretShareEngine::Div(const SharedColumn& a, const SharedColumn& b
     }
   });
 
-  network_->CpuSeconds(static_cast<double>(n) * model.ss_division_seconds);
-  network_->CountAggregateBytes(n * model.ss_bytes_per_compare);
-  network_->Rounds(10);
+  const SsCharge charge = model.SsChargeFor(SsPrimitive::kDivision);
+  network_->CpuSeconds(static_cast<double>(n) * charge.seconds);
+  network_->CountAggregateBytes(n * charge.bytes);
+  network_->Rounds(charge.rounds);
   return out;
 }
 

@@ -1,4 +1,42 @@
 #include "conclave/net/cost_model.h"
 
-// CostModel is a plain aggregate; this translation unit exists so the library has a
-// stable archive member for the header (and a place for future non-inline helpers).
+namespace conclave {
+
+// The secret-sharing calibration table. Per-primitive seconds and bytes come from the
+// calibrated members above; the rounds column holds the circuit/communication depth of
+// one batched invocation (batching amortizes rounds over elements, so rounds are per
+// call, not per element). Every runtime charge site and every planner estimate reads
+// this table — changing a row here changes both sides at once, which is the point.
+SsCharge CostModel::SsChargeFor(SsPrimitive primitive) const {
+  switch (primitive) {
+    case SsPrimitive::kMult:
+      // One masked-opening exchange.
+      return {ss_mult_seconds, ss_bytes_per_mult, 1};
+    case SsPrimitive::kEquality:
+      // Multiplicative fan-in tree depth over 64 bits.
+      return {ss_equality_seconds, ss_bytes_per_equality, 4};
+    case SsPrimitive::kCompare:
+      // Bit-decomposition + prefix circuit depth.
+      return {ss_compare_seconds, ss_bytes_per_compare, 8};
+    case SsPrimitive::kDivision:
+      // Goldschmidt-style iteration depth.
+      return {ss_division_seconds, ss_bytes_per_compare, 10};
+    case SsPrimitive::kShuffleCell:
+      // One resharing pass per party's permutation share.
+      return {ss_shuffle_op_seconds, ss_bytes_per_shuffle_cell, 3};
+    case SsPrimitive::kSelectOp:
+      // Rounds scale with log2(n + m); the caller charges them.
+      return {ss_select_op_seconds, ss_bytes_per_select_op, 0};
+    case SsPrimitive::kRecordIngest:
+      // Seconds per record (storage layer), bytes per shared cell.
+      return {ss_record_io_seconds, ss_bytes_per_shared_cell, 1};
+    case SsPrimitive::kOpen:
+    case SsPrimitive::kReveal:
+      // Every party broadcasts its share to the two others: 6 messages of 8 B per
+      // element; transfer time is covered by the consuming primitive's seconds.
+      return {0.0, 8 * 6, 1};
+  }
+  return {};
+}
+
+}  // namespace conclave

@@ -23,6 +23,36 @@
 
 namespace conclave {
 
+// Row keys of the secret-sharing calibration table (CostModel::SsChargeFor). One row
+// per batched primitive the engine executes; the planner (compiler/plan_cost) and the
+// runtime (mpc/secret_share_engine.cc, mpc/oblivious.cc, mpc/protocols.cc) read the
+// same rows, so estimated and executed per-primitive costs cannot drift apart.
+enum class SsPrimitive {
+  kMult,          // Beaver multiplication; per element.
+  kEquality,      // Private equality test; per element.
+  kCompare,       // Private ordered comparison (bit decomposition); per element.
+  kDivision,      // Private division; per element.
+  kShuffleCell,   // Resharing-based oblivious shuffle; per cell.
+  kSelectOp,      // Laud oblivious-index op; per element-step. Rounds scale with
+                  // log2(n + m) and are charged by the caller, not the table.
+  kRecordIngest,  // Secret-share ingest + storage layer; seconds per *record*,
+                  // bytes per *cell* (the storage layer writes whole rows, the
+                  // network moves cells).
+  kOpen,          // Public opening; per element. Traffic only (6 x 8 B), no seconds.
+  kReveal,        // Relation reveal at the frontier; per cell. Traffic only.
+};
+
+// One calibration row: amortized virtual seconds and counted bytes per unit (see the
+// SsPrimitive commentary for each primitive's unit), plus synchronous communication
+// rounds per batched invocation. Seconds already include the primitive's own traffic
+// time; bytes are additionally *counted* so tests can assert communication volume
+// without double-charging the clock.
+struct SsCharge {
+  double seconds = 0;
+  uint64_t bytes = 0;
+  uint64_t rounds = 0;
+};
+
 struct CostModel {
   // --- LAN ------------------------------------------------------------------------
   double latency_seconds = 1e-3;          // One communication round, LAN RTT-ish.
@@ -105,6 +135,20 @@ struct CostModel {
   double PythonSeconds(uint64_t records) const {
     return static_cast<double>(records) / python_records_per_second;
   }
+  // Cleartext backend scan time for one job's input records, without the per-job
+  // Spark startup charge (that is charged once per job, not per node). The
+  // dispatcher's cost meters and the planner's local estimates share this formula.
+  double CleartextScanSeconds(uint64_t records, bool use_spark) const {
+    if (use_spark) {
+      return static_cast<double>(records) /
+             (spark_records_per_second_per_worker * spark_workers_per_party);
+    }
+    return PythonSeconds(records);
+  }
+
+  // The secret-sharing calibration table (defined in cost_model.cc). All per-primitive
+  // charging — runtime and planner alike — goes through this one accessor.
+  SsCharge SsChargeFor(SsPrimitive primitive) const;
 };
 
 }  // namespace conclave

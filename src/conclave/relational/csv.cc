@@ -30,10 +30,27 @@ StatusOr<int64_t> ParseInt(const std::string& text, size_t line_number) {
   if (text.empty()) {
     return InvalidArgumentError(StrFormat("empty cell on line %zu", line_number));
   }
+  // strtoll silently skips leading whitespace and stops at a sign with no digits;
+  // require the cell to be exactly [+-]?[0-9]+ so " 5", "+", and "-" fail loudly.
+  const bool signed_cell = text[0] == '+' || text[0] == '-';
+  const size_t first_digit = signed_cell ? 1 : 0;
+  if (text.size() == first_digit || text[first_digit] < '0' ||
+      text[first_digit] > '9') {
+    return InvalidArgumentError(
+        StrFormat("cell '%s' on line %zu is not an integer", text.c_str(),
+                  line_number));
+  }
   errno = 0;
   char* end = nullptr;
   const long long value = std::strtoll(text.c_str(), &end, 10);
-  if (errno != 0 || end == text.c_str() || *end != '\0') {
+  if (errno == ERANGE) {
+    return InvalidArgumentError(
+        StrFormat("cell '%s' on line %zu overflows int64", text.c_str(),
+                  line_number));
+  }
+  // end must reach the string's full size: '*end == 0' alone would accept an
+  // embedded NUL ("5\0junk") and silently drop the tail.
+  if (errno != 0 || end != text.c_str() + text.size()) {
     return InvalidArgumentError(
         StrFormat("cell '%s' on line %zu is not an integer", text.c_str(),
                   line_number));

@@ -524,10 +524,7 @@ bool IsSortedBy(const Relation& input, std::span<const int> columns) {
 }
 
 Relation PadToPowerOfTwo(const Relation& input, int64_t sentinel_stream) {
-  int64_t target = 1;
-  while (target < input.NumRows()) {
-    target *= 2;
-  }
+  const int64_t target = PaddedRowCount(input.NumRows());
   Relation output = input;
   output.Reserve(target);
   // Unique sentinel per cell: base + stream * 2^32 + counter. Streams separate pad

@@ -153,8 +153,23 @@ bool IsSortedBy(const Relation& input, std::span<const int> columns);
 // so pad rows never match a join key and never collide in a group-by.
 inline constexpr int64_t kSentinelBase = int64_t{1} << 62;
 
-// Appends sentinel rows until the row count is the next power of two (zero rows pad
-// to one). Hides the exact cardinality behind its log2 bucket.
+// The padding pass's row-count policy: the next power of two >= rows (zero rows pad
+// to one). This is THE definition — PadToPowerOfTwo executes it and the compiler's
+// cardinality pass (compiler/cardinality.cc) and plan-cost estimates query it, so the
+// planner can never disagree with the runtime about padded sizes.
+inline int64_t PaddedRowCount(int64_t rows) {
+  int64_t target = 1;
+  while (target < rows) {
+    if (target > (int64_t{1} << 61)) {
+      return rows;  // No power of two fits in int64; never overflow-wrap.
+    }
+    target *= 2;
+  }
+  return target;
+}
+
+// Appends sentinel rows until the row count reaches PaddedRowCount(rows). Hides the
+// exact cardinality behind its log2 bucket.
 Relation PadToPowerOfTwo(const Relation& input, int64_t sentinel_stream);
 
 // Drops every row containing a sentinel cell (the recipient-side inverse of padding).

@@ -519,6 +519,47 @@ TEST(CsvTest, RejectsMalformedCell) {
   EXPECT_FALSE(ParseCsv("").ok());
 }
 
+TEST(CsvTest, AcceptsExplicitSigns) {
+  const auto parsed = ParseCsv("a,b\n+5,-7\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->At(0, 0), 5);
+  EXPECT_EQ(parsed->At(0, 1), -7);
+}
+
+TEST(CsvTest, RejectsWhitespaceAndSignOnlyCells) {
+  // strtoll would silently accept all of these prefixes; the parser must not.
+  EXPECT_FALSE(ParseCsv("a\n 5\n").ok());    // Leading whitespace.
+  EXPECT_FALSE(ParseCsv("a\n\t5\n").ok());   // Leading tab.
+  EXPECT_FALSE(ParseCsv("a\n+\n").ok());     // Sign with no digits.
+  EXPECT_FALSE(ParseCsv("a\n-\n").ok());
+  EXPECT_FALSE(ParseCsv("a\n+ 5\n").ok());   // Sign then whitespace.
+  EXPECT_FALSE(ParseCsv("a\n5 \n").ok());    // Trailing whitespace.
+}
+
+TEST(CsvTest, RejectsEmbeddedNul) {
+  // strtoll stops at an embedded NUL; the parser must notice the dropped tail.
+  const std::string text("a\n5\0junk\n", 9);
+  EXPECT_FALSE(ParseCsv(text).ok());
+}
+
+TEST(CsvTest, RejectsOverflow) {
+  EXPECT_TRUE(ParseCsv("a\n9223372036854775807\n").ok());   // INT64_MAX fits.
+  EXPECT_TRUE(ParseCsv("a\n-9223372036854775808\n").ok());  // INT64_MIN fits.
+  const auto over = ParseCsv("a\n9223372036854775808\n");
+  ASSERT_FALSE(over.ok());
+  EXPECT_NE(over.status().ToString().find("overflow"), std::string::npos);
+  EXPECT_FALSE(ParseCsv("a\n-9223372036854775809\n").ok());
+}
+
+TEST(CsvTest, RejectsEmptyTrailingField) {
+  // "1,2," splits into three fields, the last empty — a schema mismatch or an empty
+  // cell, never a silent zero.
+  EXPECT_FALSE(ParseCsv("a,b\n1,2,\n").ok());
+  const auto status = ParseCsv("a,b,c\n1,2,\n");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.status().ToString().find("empty cell"), std::string::npos);
+}
+
 TEST(CsvTest, SkipsEmptyLines) {
   const auto parsed = ParseCsv("a\n1\n\n2\n");
   ASSERT_TRUE(parsed.ok());
