@@ -2,8 +2,17 @@
 // cost (the simulator's own overhead), complementing the virtual-time figure benches:
 // sharing, Beaver multiplication, comparisons, oblivious shuffle/sort, the gate-level
 // garbled-circuit builders, and the cleartext operator library.
+//
+// A custom main runs the google-benchmark suite, then a fixed sweep of columnar-
+// kernel microbenches (column scan, filter selectivity, zero-copy share ingest)
+// whose measured seconds land in BENCH_primitives.json via bench_util.h — the
+// kernel-level record of the columnar data plane's throughput per commit.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <limits>
+
+#include "bench/bench_util.h"
 #include "conclave/data/generators.h"
 #include "conclave/mpc/garbled/circuit.h"
 #include "conclave/mpc/oblivious.h"
@@ -131,7 +140,108 @@ void BM_CleartextAggregate(benchmark::State& state) {
 }
 BENCHMARK(BM_CleartextAggregate)->Range(1 << 10, 1 << 20);
 
+void BM_ColumnScan(benchmark::State& state) {
+  Relation rel = data::UniformInts(state.range(0), {"a", "b", "c", "d"}, 1000, 18);
+  for (auto _ : state) {
+    int64_t sum = 0;
+    for (int64_t v : rel.ColumnSpan(2)) {
+      sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ColumnScan)->Range(1 << 12, 1 << 22);
+
+// The pre-columnar access pattern, kept as the baseline for the scan numbers in
+// the README: the same 4-column relation flattened row-major, one column read as
+// a stride-4 walk (what every kernel and the share ingest used to do).
+void BM_ColumnScanRowMajorLayout(benchmark::State& state) {
+  Relation rel = data::UniformInts(state.range(0), {"a", "b", "c", "d"}, 1000, 18);
+  const std::vector<int64_t> cells = rel.RowMajorCells();
+  const int64_t rows = rel.NumRows();
+  for (auto _ : state) {
+    int64_t sum = 0;
+    const int64_t* const base = cells.data() + 2;
+    for (int64_t r = 0; r < rows; ++r) {
+      sum += base[static_cast<size_t>(r) * 4];
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ColumnScanRowMajorLayout)->Range(1 << 12, 1 << 22);
+
+// --- Columnar-kernel sweep with a JSON record ---------------------------------------
+// Each cell is the best-of-N wall seconds for one kernel pass at the given row
+// count over a 4-column relation: a contiguous column-scan reduction, ops::Filter
+// at three literal selectivities, and the zero-copy counter-based share ingest of
+// one column.
+
+double BestOfRuns(int reps, const std::function<void()>& body) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < reps; ++i) {
+    bench::WallTimer timer;
+    body();
+    best = std::min(best, timer.Seconds());
+  }
+  return best;
+}
+
+void RunKernelSweep(double wall_seconds_so_far) {
+  const bool small = bench::SmallScale();
+  const std::vector<int64_t> sizes =
+      small ? std::vector<int64_t>{1 << 14, 1 << 16}
+            : std::vector<int64_t>{1 << 18, 1 << 20, 1 << 22};
+  const int reps = small ? 3 : 5;
+  bench::Table table("primitives: columnar kernel sweep (wall seconds per pass)",
+                     {"column_scan", "filter_sel10", "filter_sel50", "filter_sel90",
+                      "share_ingest"});
+  bench::WallTimer timer;
+  for (int64_t n : sizes) {
+    // Uniform values in [0, 999]: literal thresholds 100/500/900 give ~10/50/90%
+    // selectivity.
+    Relation rel = data::UniformInts(n, {"a", "b", "c", "d"}, 1000, 21);
+    std::vector<bench::Cell> cells;
+
+    cells.push_back(bench::Cell::Seconds(BestOfRuns(reps, [&] {
+      int64_t sum = 0;
+      for (int64_t v : rel.ColumnSpan(1)) {
+        sum += v;
+      }
+      benchmark::DoNotOptimize(sum);
+    })));
+
+    for (const int64_t threshold : {100, 500, 900}) {
+      cells.push_back(bench::Cell::Seconds(BestOfRuns(reps, [&] {
+        benchmark::DoNotOptimize(ops::Filter(
+            rel, FilterPredicate::ColumnVsLiteral(0, CompareOp::kLt, threshold)));
+      })));
+    }
+
+    const CounterRng rng(/*seed=*/7, /*stream=*/11);
+    cells.push_back(bench::Cell::Seconds(BestOfRuns(reps, [&] {
+      benchmark::DoNotOptimize(ShareValues(rel.ColumnSpan(0), rng));
+    })));
+
+    table.AddRow(static_cast<uint64_t>(n), std::move(cells));
+  }
+  table.Print();
+  table.WriteJson("primitives", wall_seconds_so_far + timer.Seconds());
+}
+
 }  // namespace
 }  // namespace conclave
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  conclave::bench::TuneAllocatorForBench();
+  conclave::bench::WallTimer timer;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  conclave::RunKernelSweep(timer.Seconds());
+  return 0;
+}

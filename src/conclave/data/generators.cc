@@ -34,6 +34,10 @@ std::vector<int64_t> PatientIds(const HealthConfig& config, int party) {
   return ids;
 }
 
+// The generators presize the column buffers and write through raw pointers (no
+// per-row append). RNG draws stay in the historical row-major cell order, so every
+// generated relation is bit-identical to the row-major-era output.
+
 }  // namespace
 
 Relation UniformInts(int64_t rows, const std::vector<std::string>& columns,
@@ -44,12 +48,16 @@ Relation UniformInts(int64_t rows, const std::vector<std::string>& columns,
     defs.emplace_back(name);
   }
   Relation relation{Schema(std::move(defs))};
-  relation.Reserve(rows);
+  relation.Resize(rows);
+  std::vector<int64_t*> data;
+  data.reserve(columns.size());
+  for (int c = 0; c < relation.NumColumns(); ++c) {
+    data.push_back(relation.ColumnData(c));
+  }
   Rng rng(seed);
-  auto& cells = relation.mutable_cells();
   for (int64_t r = 0; r < rows; ++r) {
     for (size_t c = 0; c < columns.size(); ++c) {
-      cells.push_back(rng.NextInRange(0, range - 1));
+      data[c][r] = rng.NextInRange(0, range - 1);
     }
   }
   return relation;
@@ -57,13 +65,14 @@ Relation UniformInts(int64_t rows, const std::vector<std::string>& columns,
 
 Relation TaxiTrips(const TaxiConfig& config) {
   Relation relation{Schema::Of({"companyID", "price"})};
-  relation.Reserve(config.rows);
+  relation.Resize(config.rows);
+  int64_t* const company = relation.ColumnData(0);
+  int64_t* const price = relation.ColumnData(1);
+  std::fill(company, company + config.rows, config.company_id);
   Rng rng(config.seed);
-  auto& cells = relation.mutable_cells();
   for (int64_t r = 0; r < config.rows; ++r) {
-    cells.push_back(config.company_id);
     const bool zero_fare = rng.NextDouble() < config.zero_fare_fraction;
-    cells.push_back(zero_fare ? 0 : rng.NextInRange(1, config.max_fare));
+    price[r] = zero_fare ? 0 : rng.NextInRange(1, config.max_fare);
   }
   return relation;
 }
@@ -72,78 +81,83 @@ Relation Demographics(int64_t rows, int64_t ssn_space, int64_t num_zips,
                       uint64_t seed) {
   CONCLAVE_CHECK_LE(rows, ssn_space);
   Relation relation{Schema::Of({"ssn", "zip"})};
-  relation.Reserve(rows);
-  Rng rng(seed);
-  auto& cells = relation.mutable_cells();
+  relation.Resize(rows);
+  int64_t* const ssns = relation.ColumnData(0);
+  int64_t* const zips = relation.ColumnData(1);
   // Unique SSNs: a stride walk over the space (coprime step), zips uniform.
   const int64_t step = ssn_space % 2 == 0 ? ssn_space / 2 - 1 : 2;
   int64_t ssn = 0;
   for (int64_t r = 0; r < rows; ++r) {
-    cells.push_back(ssn);
-    cells.push_back(rng.NextInRange(0, num_zips - 1));
+    ssns[r] = ssn;
     ssn = (ssn + step) % ssn_space;
+  }
+  Rng rng(seed);
+  for (int64_t r = 0; r < rows; ++r) {
+    zips[r] = rng.NextInRange(0, num_zips - 1);
   }
   return relation;
 }
 
 Relation CreditScores(int64_t rows, int64_t ssn_space, uint64_t seed) {
   Relation relation{Schema::Of({"ssn", "score"})};
-  relation.Reserve(rows);
+  relation.Resize(rows);
+  int64_t* const ssns = relation.ColumnData(0);
+  int64_t* const scores = relation.ColumnData(1);
   Rng rng(seed);
-  auto& cells = relation.mutable_cells();
   for (int64_t r = 0; r < rows; ++r) {
-    cells.push_back(rng.NextInRange(0, ssn_space - 1));
-    cells.push_back(rng.NextInRange(300, 850));
+    ssns[r] = rng.NextInRange(0, ssn_space - 1);
+    scores[r] = rng.NextInRange(300, 850);
   }
   return relation;
 }
 
-Relation Diagnoses(const HealthConfig& config, int party) {
-  Relation relation{Schema::Of({"pid", "diag"})};
-  relation.Reserve(config.rows_per_party);
-  Rng rng(config.seed * 31 + static_cast<uint64_t>(party));
-  auto& cells = relation.mutable_cells();
-  for (int64_t pid : PatientIds(config, party)) {
-    cells.push_back(pid);
-    cells.push_back(rng.NextInRange(0, config.num_diagnosis_codes - 1));
+namespace {
+
+// (pid, code) relation: pids copied wholesale, codes drawn per row — the shared
+// shape of Diagnoses/Medications/ComorbidityDiagnoses.
+Relation PidCodeRelation(const char* code_name, const std::vector<int64_t>& pids,
+                         uint64_t seed, int64_t code_range) {
+  Relation relation{Schema::Of({"pid", code_name})};
+  relation.Resize(static_cast<int64_t>(pids.size()));
+  std::copy(pids.begin(), pids.end(), relation.ColumnData(0));
+  int64_t* const codes = relation.ColumnData(1);
+  Rng rng(seed);
+  for (size_t r = 0; r < pids.size(); ++r) {
+    codes[r] = rng.NextInRange(0, code_range - 1);
   }
   return relation;
+}
+
+}  // namespace
+
+Relation Diagnoses(const HealthConfig& config, int party) {
+  return PidCodeRelation("diag", PatientIds(config, party),
+                         config.seed * 31 + static_cast<uint64_t>(party),
+                         config.num_diagnosis_codes);
 }
 
 Relation Medications(const HealthConfig& config, int party) {
-  Relation relation{Schema::Of({"pid", "med"})};
-  relation.Reserve(config.rows_per_party);
-  Rng rng(config.seed * 37 + static_cast<uint64_t>(party));
-  auto& cells = relation.mutable_cells();
-  for (int64_t pid : PatientIds(config, party)) {
-    cells.push_back(pid);
-    cells.push_back(rng.NextInRange(0, config.num_medication_codes - 1));
-  }
-  return relation;
+  return PidCodeRelation("med", PatientIds(config, party),
+                         config.seed * 37 + static_cast<uint64_t>(party),
+                         config.num_medication_codes);
 }
 
 Relation ComorbidityDiagnoses(const HealthConfig& config, int party) {
   const int64_t distinct = std::max<int64_t>(
       1, static_cast<int64_t>(static_cast<double>(config.rows_per_party) *
                               config.distinct_key_fraction));
-  Relation relation{Schema::Of({"pid", "diag"})};
-  relation.Reserve(config.rows_per_party);
-  Rng rng(config.seed * 41 + static_cast<uint64_t>(party));
-  auto& cells = relation.mutable_cells();
-  for (int64_t pid : PatientIds(config, party)) {
-    cells.push_back(pid);
-    cells.push_back(rng.NextInRange(0, distinct - 1));
-  }
-  return relation;
+  return PidCodeRelation("diag", PatientIds(config, party),
+                         config.seed * 41 + static_cast<uint64_t>(party), distinct);
 }
 
 Relation AspirinDiagnoses(const HealthConfig& config, int party) {
   Relation relation = Diagnoses(config, party);
   // ~20% of patients carry the filtered diagnosis so the query output is non-trivial.
   Rng rng(config.seed * 43 + static_cast<uint64_t>(party));
+  int64_t* const diags = relation.ColumnData(1);
   for (int64_t r = 0; r < relation.NumRows(); ++r) {
     if (rng.NextDouble() < 0.2) {
-      relation.Set(r, 1, kHeartDiseaseCode);
+      diags[r] = kHeartDiseaseCode;
     }
   }
   return relation;
@@ -152,9 +166,10 @@ Relation AspirinDiagnoses(const HealthConfig& config, int party) {
 Relation AspirinMedications(const HealthConfig& config, int party) {
   Relation relation = Medications(config, party);
   Rng rng(config.seed * 47 + static_cast<uint64_t>(party));
+  int64_t* const meds = relation.ColumnData(1);
   for (int64_t r = 0; r < relation.NumRows(); ++r) {
     if (rng.NextDouble() < 0.3) {
-      relation.Set(r, 1, kAspirinCode);
+      meds[r] = kAspirinCode;
     }
   }
   return relation;
@@ -162,31 +177,48 @@ Relation AspirinMedications(const HealthConfig& config, int party) {
 
 Relation CdiffDiagnoses(const HealthConfig& config, int party,
                         double recurrence_fraction) {
+  const std::vector<int64_t> pids = PatientIds(config, party);
   Relation relation{Schema::Of({"pid", "time", "diag"})};
-  relation.Reserve(2 * config.rows_per_party);
+  relation.Resize(2 * static_cast<int64_t>(pids.size()));
+  int64_t* const out_pid = relation.ColumnData(0);
+  int64_t* const out_time = relation.ColumnData(1);
+  int64_t* const out_diag = relation.ColumnData(2);
   Rng rng(config.seed * 53 + static_cast<uint64_t>(party));
-  for (int64_t pid : PatientIds(config, party)) {
+  int64_t w = 0;
+  for (int64_t pid : pids) {
     // Two events per patient. Times use a party parity (even at hospital 0, odd at
     // hospital 1) so a shared patient's events never collide across parties, keeping
     // window-lag results tie-free; same-party gaps are even to preserve the parity.
     const int64_t base = rng.NextInRange(0, 1500) * 2 + party;
     const double roll = rng.NextDouble();
+    int64_t times[2];
+    int64_t diags[2];
     if (roll < recurrence_fraction) {
       // Recurrent: second c.diff lands inside the [15, 56]-day window.
       const int64_t gap = 2 * rng.NextInRange(8, 28);
-      relation.AppendRow({pid, base, kCdiffCode});
-      relation.AppendRow({pid, base + gap, kCdiffCode});
+      times[0] = base;
+      times[1] = base + gap;
+      diags[0] = kCdiffCode;
+      diags[1] = kCdiffCode;
     } else if (roll < 2 * recurrence_fraction) {
       // c.diff recurs, but too late to count.
       const int64_t gap = 2 * rng.NextInRange(40, 200);
-      relation.AppendRow({pid, base, kCdiffCode});
-      relation.AppendRow({pid, base + gap, kCdiffCode});
+      times[0] = base;
+      times[1] = base + gap;
+      diags[0] = kCdiffCode;
+      diags[1] = kCdiffCode;
     } else {
       // Unrelated diagnoses (codes offset past kCdiffCode).
-      relation.AppendRow(
-          {pid, base, 100 + rng.NextInRange(0, config.num_diagnosis_codes - 1)});
-      relation.AppendRow({pid, base + 2 * rng.NextInRange(1, 100),
-                          100 + rng.NextInRange(0, config.num_diagnosis_codes - 1)});
+      times[0] = base;
+      diags[0] = 100 + rng.NextInRange(0, config.num_diagnosis_codes - 1);
+      times[1] = base + 2 * rng.NextInRange(1, 100);
+      diags[1] = 100 + rng.NextInRange(0, config.num_diagnosis_codes - 1);
+    }
+    for (int i = 0; i < 2; ++i) {
+      out_pid[w] = pid;
+      out_time[w] = times[i];
+      out_diag[w] = diags[i];
+      ++w;
     }
   }
   return relation;

@@ -1,5 +1,6 @@
 #include "conclave/hybrid/hybrid_agg.h"
 
+#include <algorithm>
 #include <numeric>
 #include <utility>
 #include <vector>
@@ -43,17 +44,21 @@ StatusOr<SharedRelation> HybridAggregate(SecretShareEngine& engine,
   Relation sorted = ops::SortBy(enumerated, key_positions);
   engine.network().CpuSeconds(model.PythonSeconds(static_cast<uint64_t>(n)));
 
-  std::vector<int64_t> order(static_cast<size_t>(n));
-  std::vector<int64_t> flags(static_cast<size_t>(n), 0);
+  // Columnar STP steps: the enumeration column lifts out wholesale, and the
+  // adjacent-equality flags fold one contiguous key-column pass at a time.
   const int idx_col = static_cast<int>(group_columns.size());
-  for (int64_t r = 0; r < n; ++r) {
-    order[static_cast<size_t>(r)] = sorted.At(r, idx_col);
-    if (r > 0) {
-      bool equal = true;
-      for (int k : key_positions) {
-        equal = equal && sorted.At(r, k) == sorted.At(r - 1, k);
+  const auto idx = sorted.ColumnSpan(idx_col);
+  std::vector<int64_t> order(idx.begin(), idx.end());
+  std::vector<int64_t> flags(static_cast<size_t>(n), 0);
+  if (n > 0) {
+    std::fill(flags.begin() + 1, flags.end(), 1);
+    for (int k : key_positions) {
+      const auto column = sorted.ColumnSpan(k);
+      for (int64_t r = 1; r < n; ++r) {
+        flags[static_cast<size_t>(r)] &=
+            column[static_cast<size_t>(r)] == column[static_cast<size_t>(r - 1)] ? 1
+                                                                                 : 0;
       }
-      flags[static_cast<size_t>(r)] = equal ? 1 : 0;
     }
   }
 

@@ -21,8 +21,8 @@ Relation RevealToStp(SecretShareEngine& engine, const SharedRelation& relation,
   return ReconstructRelation(relation);
 }
 
-// STP secret-shares a locally computed relation column back into the MPC, straight
-// from the row-major cell buffer (no ColumnValues copy).
+// STP secret-shares a locally computed relation column back into the MPC, zero-copy
+// from its contiguous column buffer.
 SharedColumn ShareFromStp(SecretShareEngine& engine, const Relation& relation, int col,
                           PartyId stp, int num_parties) {
   const uint64_t bytes = static_cast<uint64_t>(relation.NumRows()) * 8;

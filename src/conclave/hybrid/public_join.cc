@@ -21,14 +21,13 @@ void JoinIndexes(const Relation& left_keys, const Relation& right_keys,
   // The joiner sorts by key in the clear; downstream oblivious sorts become
   // redundant (the sort-elimination win of §5.4 / §7.4).
   joined = ops::SortBy(joined, key_positions);
+  // The index columns come out of the join as contiguous buffers; lift them
+  // wholesale.
   const int lidx_col = left_keys.NumColumns();
-  const int ridx_col = lidx_col + 1;
-  left_rows->reserve(static_cast<size_t>(joined.NumRows()));
-  right_rows->reserve(static_cast<size_t>(joined.NumRows()));
-  for (int64_t r = 0; r < joined.NumRows(); ++r) {
-    left_rows->push_back(joined.At(r, lidx_col));
-    right_rows->push_back(joined.At(r, ridx_col));
-  }
+  const auto lidx = joined.ColumnSpan(lidx_col);
+  const auto ridx = joined.ColumnSpan(lidx_col + 1);
+  left_rows->assign(lidx.begin(), lidx.end());
+  right_rows->assign(ridx.begin(), ridx.end());
 }
 
 }  // namespace
@@ -127,19 +126,19 @@ StatusOr<Relation> PublicJoinCleartext(SimNetwork& network, const Relation& left
   std::vector<int> right_rest;
   Schema out_schema = ops::JoinOutputSchema(left.schema(), right.schema(), left_keys,
                                             right_keys, &left_rest, &right_rest);
+  // Per-column gathers against the public index lists (same assembly as the
+  // share-space PublicJoinShared above, in the clear).
   Relation output{std::move(out_schema)};
-  output.Reserve(static_cast<int64_t>(left_rows.size()));
-  auto& cells = output.mutable_cells();
-  for (size_t i = 0; i < left_rows.size(); ++i) {
-    for (int c : left_keys) {
-      cells.push_back(left.At(left_rows[i], c));
-    }
-    for (int c : left_rest) {
-      cells.push_back(left.At(left_rows[i], c));
-    }
-    for (int c : right_rest) {
-      cells.push_back(right.At(right_rows[i], c));
-    }
+  output.Resize(static_cast<int64_t>(left_rows.size()));
+  int out_col = 0;
+  for (int c : left_keys) {
+    ops::GatherColumnInto(left, c, left_rows, output.ColumnData(out_col++));
+  }
+  for (int c : left_rest) {
+    ops::GatherColumnInto(left, c, left_rows, output.ColumnData(out_col++));
+  }
+  for (int c : right_rest) {
+    ops::GatherColumnInto(right, c, right_rows, output.ColumnData(out_col++));
   }
   return output;
 }

@@ -26,9 +26,11 @@ Commitment CommitRelation(const Relation& relation, uint64_t nonce) {
     hasher.Update(column.name.data(), column.name.size());
     hasher.Update("|", 1);
   }
+  // Cells are absorbed in row-major order — the commitment format predates the
+  // columnar layout and must stay byte-stable across it.
   for (int64_t r = 0; r < relation.NumRows(); ++r) {
-    for (int64_t cell : relation.Row(r)) {
-      UpdateUint64(hasher, static_cast<uint64_t>(cell));
+    for (int c = 0; c < relation.NumColumns(); ++c) {
+      UpdateUint64(hasher, static_cast<uint64_t>(relation.At(r, c)));
     }
   }
   return Commitment{hasher.Finalize()};

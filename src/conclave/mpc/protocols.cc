@@ -106,8 +106,8 @@ StatusOr<SharedRelation> InputRelation(SecretShareEngine& engine,
       static_cast<uint64_t>(input.NumRows()) * static_cast<uint64_t>(input.NumColumns());
   CONCLAVE_RETURN_IF_ERROR(CheckWorkingSet(model, 2 * cells));
 
-  // Ingest straight from the row-major cell buffer: one strided, morsel-parallel
-  // sharing pass per column, no ColumnValues copies.
+  // Zero-copy ingest: each relation column is a contiguous buffer, and sharing is
+  // one morsel-parallel pass straight over its span — no gathers, no copies.
   std::vector<SharedColumn> columns;
   columns.reserve(static_cast<size_t>(input.NumColumns()));
   for (int c = 0; c < input.NumColumns(); ++c) {

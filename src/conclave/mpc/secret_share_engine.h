@@ -109,8 +109,8 @@ class SecretShareEngine {
   SharedColumn Share(std::initializer_list<int64_t> values) {
     return Share(std::span<const int64_t>(values.begin(), values.size()));
   }
-  // Shares one relation column straight from the row-major cell buffer (the
-  // copy-free MPC ingest path).
+  // Shares one relation column zero-copy from its contiguous column buffer (the
+  // MPC ingest path; no gather, no copy).
   SharedColumn ShareColumn(const Relation& relation, int col) {
     return conclave::ShareColumn(relation, col, NewStream());
   }

@@ -39,34 +39,6 @@ SharedColumn ShareValues(std::span<const int64_t> values, const CounterRng& rng)
   return column;
 }
 
-SharedColumn ShareColumn(const Relation& relation, int col, const CounterRng& rng) {
-  CONCLAVE_CHECK_GE(col, 0);
-  CONCLAVE_CHECK_LT(col, relation.NumColumns());
-  const size_t n = static_cast<size_t>(relation.NumRows());
-  SharedColumn column(n);
-  if (n == 0) {
-    return column;  // An empty cell buffer may have no base pointer to offset.
-  }
-  const size_t stride = static_cast<size_t>(relation.NumColumns());
-  const int64_t* const base = relation.cells().data() + col;
-  Ring* const s0 = column.shares[0].data();
-  Ring* const s1 = column.shares[1].data();
-  Ring* const s2 = column.shares[2].data();
-  ParallelFor(
-      0, static_cast<int64_t>(n),
-      [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) {
-          const Ring r0 = rng.At(2 * static_cast<uint64_t>(i));
-          const Ring r1 = rng.At(2 * static_cast<uint64_t>(i) + 1);
-          s0[i] = r0;
-          s1[i] = r1;
-          s2[i] = ToRing(base[static_cast<size_t>(i) * stride]) - r0 - r1;
-        }
-      },
-      kMpcGrainRows);
-  return column;
-}
-
 void ReconstructInto(const SharedColumn& column, int64_t* out) {
   const Ring* const s0 = column.shares[0].data();
   const Ring* const s1 = column.shares[1].data();
@@ -163,7 +135,7 @@ SharedRelation ShareRelation(const Relation& relation, Rng& rng) {
   std::vector<SharedColumn> columns;
   columns.reserve(static_cast<size_t>(relation.NumColumns()));
   for (int c = 0; c < relation.NumColumns(); ++c) {
-    columns.push_back(ShareValues(relation.ColumnValues(c), rng));
+    columns.push_back(ShareValues(relation.ColumnSpan(c), rng));
   }
   return SharedRelation(relation.schema(), std::move(columns));
 }
@@ -221,26 +193,11 @@ SharedColumn SliceColumn(const SharedColumn& column, size_t start, size_t length
 
 Relation ReconstructRelation(const SharedRelation& shared) {
   Relation relation{shared.schema()};
-  const int64_t rows = shared.NumRows();
-  const int cols = shared.NumColumns();
-  auto& cells = relation.mutable_cells();
-  cells.resize(static_cast<size_t>(rows) * static_cast<size_t>(cols));
-  // One strided pass per column straight into the row-major cell buffer.
-  for (int c = 0; c < cols; ++c) {
-    const SharedColumn& column = shared.Column(c);
-    const Ring* const s0 = column.shares[0].data();
-    const Ring* const s1 = column.shares[1].data();
-    const Ring* const s2 = column.shares[2].data();
-    int64_t* const base = cells.data() + c;
-    ParallelFor(
-        0, rows,
-        [&](int64_t lo, int64_t hi) {
-          for (int64_t i = lo; i < hi; ++i) {
-            base[static_cast<size_t>(i) * static_cast<size_t>(cols)] =
-                FromRing(s0[i] + s1[i] + s2[i]);
-          }
-        },
-        kMpcGrainRows);
+  relation.Resize(shared.NumRows());
+  // Shares and relation cells are both column-major now: reconstruction is one
+  // contiguous morsel-parallel pass per column, straight into the column buffer.
+  for (int c = 0; c < shared.NumColumns(); ++c) {
+    ReconstructInto(shared.Column(c), relation.ColumnData(c));
   }
   return relation;
 }

@@ -78,9 +78,14 @@ SharedColumn ShareValues(std::span<const int64_t> values, Rng& rng);
 // so the result is a pure function of (values, rng) at every pool size.
 SharedColumn ShareValues(std::span<const int64_t> values, const CounterRng& rng);
 
-// Shares one column of a row-major relation directly from its cell buffer (stride =
-// NumColumns), replacing the ColumnValues copy on the MPC ingest path.
-SharedColumn ShareColumn(const Relation& relation, int col, const CounterRng& rng);
+// Shares one relation column zero-copy: the columnar layout makes this exactly
+// ShareValues over the column's contiguous cell span — no strided gather, no copy.
+inline SharedColumn ShareColumn(const Relation& relation, int col,
+                                const CounterRng& rng) {
+  CONCLAVE_CHECK_GE(col, 0);
+  CONCLAVE_CHECK_LT(col, relation.NumColumns());
+  return ShareValues(relation.ColumnSpan(col), rng);
+}
 
 // Recombines shares into cleartext values.
 std::vector<int64_t> ReconstructValues(const SharedColumn& column);

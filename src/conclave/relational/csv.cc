@@ -74,27 +74,54 @@ StatusOr<Relation> ParseCsv(const std::string& text) {
     defs.emplace_back(name);
   }
   Relation relation{Schema(std::move(defs))};
+  const int cols = relation.NumColumns();
 
+  // First pass: count data lines so the column buffers size once. getline strips
+  // the '\n' but not '\r'; "\r" alone is a 1-field line (matching SplitLine), so
+  // only truly empty lines are skipped — the same rule the parse loop applies.
+  const size_t header_end = text.find('\n');
+  int64_t data_rows = 0;
+  if (header_end != std::string::npos) {
+    bool line_empty = true;
+    for (size_t i = header_end + 1; i < text.size(); ++i) {
+      if (text[i] == '\n') {
+        data_rows += line_empty ? 0 : 1;
+        line_empty = true;
+      } else {
+        line_empty = false;
+      }
+    }
+    data_rows += line_empty ? 0 : 1;  // Final line without a trailing newline.
+  }
+  relation.Resize(data_rows);
+  std::vector<int64_t*> column_data(static_cast<size_t>(cols));
+  for (int c = 0; c < cols; ++c) {
+    column_data[static_cast<size_t>(c)] = relation.ColumnData(c);
+  }
+
+  // Second pass: parse straight into the column buffers (no per-row AppendRow).
   size_t line_number = 1;
-  std::vector<int64_t> row;
+  int64_t row = 0;
   while (std::getline(stream, line)) {
     ++line_number;
     if (line.empty()) {
       continue;
     }
     const auto fields = SplitLine(line);
-    if (static_cast<int>(fields.size()) != relation.NumColumns()) {
+    if (static_cast<int>(fields.size()) != cols) {
       return InvalidArgumentError(
           StrFormat("line %zu has %zu fields, expected %d", line_number,
-                    fields.size(), relation.NumColumns()));
+                    fields.size(), cols));
     }
-    row.clear();
-    for (const auto& field : fields) {
-      CONCLAVE_ASSIGN_OR_RETURN(int64_t value, ParseInt(field, line_number));
-      row.push_back(value);
+    CONCLAVE_CHECK_LT(row, data_rows);
+    for (int c = 0; c < cols; ++c) {
+      CONCLAVE_ASSIGN_OR_RETURN(
+          int64_t value, ParseInt(fields[static_cast<size_t>(c)], line_number));
+      column_data[static_cast<size_t>(c)][row] = value;
     }
-    relation.AppendRow(row);
+    ++row;
   }
+  CONCLAVE_CHECK_EQ(row, data_rows);
   return relation;
 }
 

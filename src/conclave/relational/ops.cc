@@ -105,22 +105,34 @@ struct KeyHash {
   }
 };
 
-std::vector<int64_t> ExtractKey(const Relation& rel, int64_t row,
-                                std::span<const int> columns) {
+// Base pointers of the given columns; hoists the per-access column lookup out of
+// row loops (comparators, key extraction).
+std::vector<const int64_t*> ColumnPtrs(const Relation& rel,
+                                       std::span<const int> columns) {
+  std::vector<const int64_t*> ptrs;
+  ptrs.reserve(columns.size());
+  for (int c : columns) {
+    ptrs.push_back(rel.ColumnSpan(c).data());
+  }
+  return ptrs;
+}
+
+std::vector<int64_t> ExtractKey(std::span<const int64_t* const> columns,
+                                int64_t row) {
   std::vector<int64_t> key;
   key.reserve(columns.size());
-  for (int c : columns) {
-    key.push_back(rel.At(row, c));
+  for (const int64_t* column : columns) {
+    key.push_back(column[row]);
   }
   return key;
 }
 
-// Lexicographic three-way compare of two rows restricted to `columns`.
-int CompareRows(const Relation& rel, int64_t row_a, int64_t row_b,
-                std::span<const int> columns) {
-  for (int c : columns) {
-    const int64_t a = rel.At(row_a, c);
-    const int64_t b = rel.At(row_b, c);
+// Lexicographic three-way compare of two rows restricted to the given columns.
+int CompareRowsAt(std::span<const int64_t* const> columns, int64_t row_a,
+                  int64_t row_b) {
+  for (const int64_t* column : columns) {
+    const int64_t a = column[row_a];
+    const int64_t b = column[row_b];
     if (a < b) {
       return -1;
     }
@@ -131,7 +143,44 @@ int CompareRows(const Relation& rel, int64_t row_a, int64_t row_b,
   return 0;
 }
 
+// Stitches per-morsel index buffers (chunk order == row order) into one selection
+// vector. Shared by every selection-producing kernel so the output row order is
+// the serial scan order at any pool size.
+std::vector<int64_t> ConcatPartials(std::vector<std::vector<int64_t>> partials) {
+  size_t total = 0;
+  for (const auto& partial : partials) {
+    total += partial.size();
+  }
+  std::vector<int64_t> merged;
+  merged.reserve(total);
+  for (const auto& partial : partials) {
+    merged.insert(merged.end(), partial.begin(), partial.end());
+  }
+  return merged;
+}
+
 }  // namespace
+
+void GatherColumnInto(const Relation& src, int src_col,
+                      std::span<const int64_t> rows, int64_t* dst) {
+  // Contiguous-destination gather; morsels write disjoint ranges, so the result
+  // is byte-identical to the serial loop.
+  const int64_t* const column = rows.empty() ? nullptr : src.ColumnSpan(src_col).data();
+  ParallelFor(0, static_cast<int64_t>(rows.size()), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      dst[i] = column[rows[static_cast<size_t>(i)]];
+    }
+  });
+}
+
+Relation GatherRows(const Relation& input, std::span<const int64_t> rows) {
+  Relation output{input.schema()};
+  output.Resize(static_cast<int64_t>(rows.size()));
+  for (int c = 0; c < input.NumColumns(); ++c) {
+    GatherColumnInto(input, c, rows, output.ColumnData(c));
+  }
+  return output;
+}
 
 Relation Project(const Relation& input, std::span<const int> columns) {
   std::vector<ColumnDef> defs;
@@ -140,48 +189,82 @@ Relation Project(const Relation& input, std::span<const int> columns) {
     defs.push_back(input.schema().Column(c));
   }
   Relation output{Schema(std::move(defs))};
-  const int64_t rows = input.NumRows();
-  auto& cells = output.mutable_cells();
-  cells.resize(static_cast<size_t>(rows) * columns.size());
-  // Output offsets are a pure function of the row index, so morsels write disjoint
-  // pre-sized ranges and the result is byte-identical to the serial loop.
-  ParallelFor(0, rows, [&](int64_t lo, int64_t hi) {
-    size_t w = static_cast<size_t>(lo) * columns.size();
-    for (int64_t r = lo; r < hi; ++r) {
-      for (int c : columns) {
-        cells[w++] = input.At(r, c);
-      }
-    }
-  });
+  output.Resize(input.NumRows());
+  // Column-major projection is K whole-column copies — no per-row work at all.
+  for (size_t i = 0; i < columns.size(); ++i) {
+    const auto src = input.ColumnSpan(columns[i]);
+    std::copy(src.begin(), src.end(), output.ColumnData(static_cast<int>(i)));
+  }
   return output;
 }
 
-Relation Filter(const Relation& input, const FilterPredicate& predicate) {
-  Relation output{input.schema()};
-  auto& cells = output.mutable_cells();
-  const int64_t rows = input.NumRows();
-  // Morsel parallelism: each fixed row range filters into a private buffer; the
-  // buffers are stitched back in range order, so the output row order matches the
-  // serial scan exactly regardless of thread count.
+namespace {
+
+// Selection pass shared by Filter: emits the indices of passing rows in scan
+// order. The comparison op is dispatched once, outside the contiguous column
+// loop, so each instantiation is a branch-free two-pointer scan.
+template <typename Cmp>
+std::vector<int64_t> SelectRows(const int64_t* lhs, const int64_t* rhs,
+                                int64_t rhs_literal, int64_t rows, Cmp cmp) {
   const int64_t grain = kDefaultGrainRows;
   const int64_t num_chunks = rows == 0 ? 0 : (rows + grain - 1) / grain;
   std::vector<std::vector<int64_t>> partials(static_cast<size_t>(num_chunks));
   ParallelFor(0, rows, [&](int64_t lo, int64_t hi) {
     std::vector<int64_t>& local = partials[static_cast<size_t>(lo / grain)];
-    for (int64_t r = lo; r < hi; ++r) {
-      const int64_t lhs = input.At(r, predicate.column);
-      const int64_t rhs = predicate.rhs_is_column ? input.At(r, predicate.rhs_column)
-                                                  : predicate.rhs_literal;
-      if (EvalCompare(predicate.op, lhs, rhs)) {
-        auto row = input.Row(r);
-        local.insert(local.end(), row.begin(), row.end());
+    if (rhs != nullptr) {
+      for (int64_t r = lo; r < hi; ++r) {
+        if (cmp(lhs[r], rhs[r])) {
+          local.push_back(r);
+        }
+      }
+    } else {
+      for (int64_t r = lo; r < hi; ++r) {
+        if (cmp(lhs[r], rhs_literal)) {
+          local.push_back(r);
+        }
       }
     }
   }, grain);
-  for (const std::vector<int64_t>& local : partials) {
-    cells.insert(cells.end(), local.begin(), local.end());
+  return ConcatPartials(std::move(partials));
+}
+
+}  // namespace
+
+Relation Filter(const Relation& input, const FilterPredicate& predicate) {
+  const int64_t rows = input.NumRows();
+  const int64_t* const lhs =
+      rows == 0 ? nullptr : input.ColumnSpan(predicate.column).data();
+  const int64_t* const rhs = (rows == 0 || !predicate.rhs_is_column)
+                                 ? nullptr
+                                 : input.ColumnSpan(predicate.rhs_column).data();
+  std::vector<int64_t> selected;
+  switch (predicate.op) {
+    case CompareOp::kEq:
+      selected = SelectRows(lhs, rhs, predicate.rhs_literal, rows,
+                            [](int64_t a, int64_t b) { return a == b; });
+      break;
+    case CompareOp::kNe:
+      selected = SelectRows(lhs, rhs, predicate.rhs_literal, rows,
+                            [](int64_t a, int64_t b) { return a != b; });
+      break;
+    case CompareOp::kLt:
+      selected = SelectRows(lhs, rhs, predicate.rhs_literal, rows,
+                            [](int64_t a, int64_t b) { return a < b; });
+      break;
+    case CompareOp::kLe:
+      selected = SelectRows(lhs, rhs, predicate.rhs_literal, rows,
+                            [](int64_t a, int64_t b) { return a <= b; });
+      break;
+    case CompareOp::kGt:
+      selected = SelectRows(lhs, rhs, predicate.rhs_literal, rows,
+                            [](int64_t a, int64_t b) { return a > b; });
+      break;
+    case CompareOp::kGe:
+      selected = SelectRows(lhs, rhs, predicate.rhs_literal, rows,
+                            [](int64_t a, int64_t b) { return a >= b; });
+      break;
   }
-  return output;
+  return GatherRows(input, selected);
 }
 
 Schema JoinOutputSchema(const Schema& left, const Schema& right,
@@ -213,66 +296,158 @@ Schema JoinOutputSchema(const Schema& left, const Schema& right,
   return Schema(std::move(defs));
 }
 
+namespace {
+
+// Probe result: matching (left row, right row) pairs in left-scan order with the
+// build side's insertion order (ascending right row) inside each match set — the
+// same output order as the historical row-at-a-time join.
+struct JoinPairs {
+  std::vector<int64_t> left_rows;
+  std::vector<int64_t> right_rows;
+};
+
+// Single-column equi-key fast path: int64 keys hash directly, no per-row key
+// vector allocations on either side.
+JoinPairs JoinPairsSingleKey(const Relation& left, const Relation& right,
+                             int left_key, int right_key) {
+  JoinPairs pairs;
+  std::unordered_map<int64_t, std::vector<int64_t>> index;
+  index.reserve(static_cast<size_t>(right.NumRows()));
+  const int64_t* const rk =
+      right.NumRows() == 0 ? nullptr : right.ColumnSpan(right_key).data();
+  for (int64_t r = 0; r < right.NumRows(); ++r) {
+    index[rk[r]].push_back(r);
+  }
+  const int64_t* const lk =
+      left.NumRows() == 0 ? nullptr : left.ColumnSpan(left_key).data();
+  for (int64_t lr = 0; lr < left.NumRows(); ++lr) {
+    const auto it = index.find(lk[lr]);
+    if (it == index.end()) {
+      continue;
+    }
+    for (int64_t rr : it->second) {
+      pairs.left_rows.push_back(lr);
+      pairs.right_rows.push_back(rr);
+    }
+  }
+  return pairs;
+}
+
+JoinPairs JoinPairsMultiKey(const Relation& left, const Relation& right,
+                            std::span<const int> left_keys,
+                            std::span<const int> right_keys) {
+  JoinPairs pairs;
+  std::unordered_map<std::vector<int64_t>, std::vector<int64_t>, KeyHash> index;
+  index.reserve(static_cast<size_t>(right.NumRows()));
+  const auto right_cols = ColumnPtrs(right, right_keys);
+  for (int64_t r = 0; r < right.NumRows(); ++r) {
+    index[ExtractKey(right_cols, r)].push_back(r);
+  }
+  const auto left_cols = ColumnPtrs(left, left_keys);
+  for (int64_t lr = 0; lr < left.NumRows(); ++lr) {
+    const auto it = index.find(ExtractKey(left_cols, lr));
+    if (it == index.end()) {
+      continue;
+    }
+    for (int64_t rr : it->second) {
+      pairs.left_rows.push_back(lr);
+      pairs.right_rows.push_back(rr);
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
 Relation Join(const Relation& left, const Relation& right,
               std::span<const int> left_keys, std::span<const int> right_keys) {
   std::vector<int> left_rest;
   std::vector<int> right_rest;
   Relation output{JoinOutputSchema(left.schema(), right.schema(), left_keys,
                                    right_keys, &left_rest, &right_rest)};
+  const JoinPairs pairs =
+      left_keys.size() == 1
+          ? JoinPairsSingleKey(left, right, left_keys[0], right_keys[0])
+          : JoinPairsMultiKey(left, right, left_keys, right_keys);
 
-  // Build side: hash the right relation's keys to row indices.
-  std::unordered_map<std::vector<int64_t>, std::vector<int64_t>, KeyHash> index;
-  index.reserve(static_cast<size_t>(right.NumRows()));
-  for (int64_t r = 0; r < right.NumRows(); ++r) {
-    index[ExtractKey(right, r, right_keys)].push_back(r);
+  // Assemble per output column: contiguous gathers from the owning side.
+  output.Resize(static_cast<int64_t>(pairs.left_rows.size()));
+  int out_col = 0;
+  for (int c : left_keys) {
+    GatherColumnInto(left, c, pairs.left_rows, output.ColumnData(out_col++));
   }
-
-  auto& cells = output.mutable_cells();
-  for (int64_t lr = 0; lr < left.NumRows(); ++lr) {
-    const auto it = index.find(ExtractKey(left, lr, left_keys));
-    if (it == index.end()) {
-      continue;
-    }
-    for (int64_t rr : it->second) {
-      for (int c : left_keys) {
-        cells.push_back(left.At(lr, c));
-      }
-      for (int c : left_rest) {
-        cells.push_back(left.At(lr, c));
-      }
-      for (int c : right_rest) {
-        cells.push_back(right.At(rr, c));
-      }
-    }
+  for (int c : left_rest) {
+    GatherColumnInto(left, c, pairs.left_rows, output.ColumnData(out_col++));
+  }
+  for (int c : right_rest) {
+    GatherColumnInto(right, c, pairs.right_rows, output.ColumnData(out_col++));
   }
   return output;
 }
 
-Relation Aggregate(const Relation& input, std::span<const int> group_columns,
-                   AggKind kind, int agg_column, const std::string& output_name) {
-  struct Accumulator {
-    int64_t sum = 0;
-    int64_t count = 0;
-    int64_t min = std::numeric_limits<int64_t>::max();
-    int64_t max = std::numeric_limits<int64_t>::min();
-  };
+namespace {
 
-  // Pre-combine morsels: each row range aggregates into a private hash map, and the
-  // partial maps merge in range order. Accumulator merge is associative and the
-  // output is sorted by group key below, so the result is identical to a serial
-  // scan for any thread count.
-  using GroupMap = std::unordered_map<std::vector<int64_t>, Accumulator, KeyHash>;
+struct Accumulator {
+  int64_t sum = 0;
+  int64_t count = 0;
+  int64_t min = std::numeric_limits<int64_t>::max();
+  int64_t max = std::numeric_limits<int64_t>::min();
+
+  void Merge(const Accumulator& other) {
+    sum += other.sum;
+    count += other.count;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+};
+
+int64_t Finalize(const Accumulator& acc, AggKind kind) {
+  switch (kind) {
+    case AggKind::kSum:
+      return acc.sum;
+    case AggKind::kCount:
+      return acc.count;
+    case AggKind::kMin:
+      return acc.min;
+    case AggKind::kMax:
+      return acc.max;
+    case AggKind::kMean:
+      return acc.count == 0 ? 0 : acc.sum / acc.count;
+  }
+  return 0;
+}
+
+Schema AggregateOutputSchema(const Relation& input,
+                             std::span<const int> group_columns,
+                             const std::string& output_name) {
+  std::vector<ColumnDef> defs;
+  for (int c : group_columns) {
+    defs.push_back(input.schema().Column(c));
+  }
+  defs.emplace_back(output_name);
+  return Schema(std::move(defs));
+}
+
+// Single group column fast path: int64-keyed maps, key columns scanned
+// contiguously, output written per column.
+Relation AggregateSingleKey(const Relation& input, int group_column, AggKind kind,
+                            int agg_column, const std::string& output_name) {
+  using GroupMap = std::unordered_map<int64_t, Accumulator>;
   const int64_t rows = input.NumRows();
   const int64_t grain = kDefaultGrainRows;
   const int64_t num_chunks = rows == 0 ? 0 : (rows + grain - 1) / grain;
   std::vector<GroupMap> partials(static_cast<size_t>(num_chunks));
+  const int64_t* const keys = rows == 0 ? nullptr : input.ColumnSpan(group_column).data();
+  const int64_t* const vals =
+      (rows == 0 || kind == AggKind::kCount) ? nullptr
+                                             : input.ColumnSpan(agg_column).data();
   ParallelFor(0, rows, [&](int64_t lo, int64_t hi) {
     GroupMap& local = partials[static_cast<size_t>(lo / grain)];
     for (int64_t r = lo; r < hi; ++r) {
-      auto& acc = local[ExtractKey(input, r, group_columns)];
+      auto& acc = local[keys[r]];
       acc.count += 1;
-      if (kind != AggKind::kCount) {
-        const int64_t v = input.At(r, agg_column);
+      if (vals != nullptr) {
+        const int64_t v = vals[r];
         acc.sum += v;
         acc.min = std::min(acc.min, v);
         acc.max = std::max(acc.max, v);
@@ -284,21 +459,73 @@ Relation Aggregate(const Relation& input, std::span<const int> group_columns,
     groups = std::move(partials.front());
     for (size_t i = 1; i < partials.size(); ++i) {
       for (auto& [key, partial] : partials[i]) {
-        Accumulator& acc = groups[key];
-        acc.sum += partial.sum;
-        acc.count += partial.count;
-        acc.min = std::min(acc.min, partial.min);
-        acc.max = std::max(acc.max, partial.max);
+        groups[key].Merge(partial);
       }
     }
   }
 
-  std::vector<ColumnDef> defs;
-  for (int c : group_columns) {
-    defs.push_back(input.schema().Column(c));
+  std::vector<std::pair<int64_t, Accumulator>> entries(groups.begin(), groups.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  const int group_cols[] = {group_column};
+  Relation output{AggregateOutputSchema(input, group_cols, output_name)};
+  output.Resize(static_cast<int64_t>(entries.size()));
+  int64_t* const out_keys = output.ColumnData(0);
+  int64_t* const out_vals = output.ColumnData(1);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    out_keys[i] = entries[i].first;
+    out_vals[i] = Finalize(entries[i].second, kind);
   }
-  defs.emplace_back(output_name);
-  Relation output{Schema(std::move(defs))};
+  return output;
+}
+
+}  // namespace
+
+Relation Aggregate(const Relation& input, std::span<const int> group_columns,
+                   AggKind kind, int agg_column, const std::string& output_name) {
+  if (group_columns.size() == 1) {
+    return AggregateSingleKey(input, group_columns[0], kind, agg_column,
+                              output_name);
+  }
+
+  // Pre-combine morsels: each row range aggregates into a private hash map, and the
+  // partial maps merge in range order. Accumulator merge is associative and the
+  // output is sorted by group key below, so the result is identical to a serial
+  // scan for any thread count.
+  using GroupMap = std::unordered_map<std::vector<int64_t>, Accumulator, KeyHash>;
+  const int64_t rows = input.NumRows();
+  const int64_t grain = kDefaultGrainRows;
+  const int64_t num_chunks = rows == 0 ? 0 : (rows + grain - 1) / grain;
+  std::vector<GroupMap> partials(static_cast<size_t>(num_chunks));
+  const auto group_cols = ColumnPtrs(input, group_columns);
+  const int64_t* const vals =
+      (rows == 0 || kind == AggKind::kCount) ? nullptr
+                                             : input.ColumnSpan(agg_column).data();
+  ParallelFor(0, rows, [&](int64_t lo, int64_t hi) {
+    GroupMap& local = partials[static_cast<size_t>(lo / grain)];
+    for (int64_t r = lo; r < hi; ++r) {
+      auto& acc = local[ExtractKey(group_cols, r)];
+      acc.count += 1;
+      if (vals != nullptr) {
+        const int64_t v = vals[r];
+        acc.sum += v;
+        acc.min = std::min(acc.min, v);
+        acc.max = std::max(acc.max, v);
+      }
+    }
+  }, grain);
+  GroupMap groups;
+  if (!partials.empty()) {
+    groups = std::move(partials.front());
+    for (size_t i = 1; i < partials.size(); ++i) {
+      for (auto& [key, partial] : partials[i]) {
+        groups[key].Merge(partial);
+      }
+    }
+  }
+
+  Relation output{AggregateOutputSchema(input, group_columns, output_name)};
 
   // Sort group keys for a deterministic output order.
   std::vector<const std::pair<const std::vector<int64_t>, Accumulator>*> entries;
@@ -309,27 +536,17 @@ Relation Aggregate(const Relation& input, std::span<const int> group_columns,
   std::sort(entries.begin(), entries.end(),
             [](const auto* a, const auto* b) { return a->first < b->first; });
 
-  auto& cells = output.mutable_cells();
-  for (const auto* entry : entries) {
-    cells.insert(cells.end(), entry->first.begin(), entry->first.end());
-    const Accumulator& acc = entry->second;
-    switch (kind) {
-      case AggKind::kSum:
-        cells.push_back(acc.sum);
-        break;
-      case AggKind::kCount:
-        cells.push_back(acc.count);
-        break;
-      case AggKind::kMin:
-        cells.push_back(acc.min);
-        break;
-      case AggKind::kMax:
-        cells.push_back(acc.max);
-        break;
-      case AggKind::kMean:
-        cells.push_back(acc.count == 0 ? 0 : acc.sum / acc.count);
-        break;
+  output.Resize(static_cast<int64_t>(entries.size()));
+  const int num_group_cols = static_cast<int>(group_columns.size());
+  for (int c = 0; c < num_group_cols; ++c) {
+    int64_t* const out = output.ColumnData(c);
+    for (size_t i = 0; i < entries.size(); ++i) {
+      out[i] = entries[i]->first[static_cast<size_t>(c)];
     }
+  }
+  int64_t* const out_vals = output.ColumnData(num_group_cols);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    out_vals[i] = Finalize(entries[i]->second, kind);
   }
   return output;
 }
@@ -349,20 +566,24 @@ Relation Concat(std::span<const Relation* const> inputs) {
     CONCLAVE_CHECK(inputs[0]->schema().NamesMatch(rel->schema()));
   }
   Relation output{inputs[0]->schema()};
-  std::vector<size_t> offsets(inputs.size());
-  size_t total_cells = 0;
+  std::vector<int64_t> offsets(inputs.size());
+  int64_t total_rows = 0;
   for (size_t i = 0; i < inputs.size(); ++i) {
-    offsets[i] = total_cells;
-    total_cells += inputs[i]->cells().size();
+    offsets[i] = total_rows;
+    total_rows += inputs[i]->NumRows();
   }
-  auto& cells = output.mutable_cells();
-  cells.resize(total_cells);
-  // One copy per input, in parallel; each writes a disjoint pre-sized range.
+  output.Resize(total_rows);
+  // Column-major concat is inputs x columns contiguous range copies, in parallel;
+  // each copy writes a disjoint pre-sized range.
+  const int cols = output.NumColumns();
   ParallelFor(0, static_cast<int64_t>(inputs.size()), [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
-      const auto& src = inputs[static_cast<size_t>(i)]->cells();
-      std::copy(src.begin(), src.end(),
-                cells.begin() + static_cast<int64_t>(offsets[static_cast<size_t>(i)]));
+      const Relation& src = *inputs[static_cast<size_t>(i)];
+      for (int c = 0; c < cols; ++c) {
+        const auto column = src.ColumnSpan(c);
+        std::copy(column.begin(), column.end(),
+                  output.ColumnData(c) + offsets[static_cast<size_t>(i)]);
+      }
     }
   }, /*grain=*/1);
   return output;
@@ -371,48 +592,47 @@ Relation Concat(std::span<const Relation* const> inputs) {
 Relation SortBy(const Relation& input, std::span<const int> columns, bool ascending) {
   std::vector<int64_t> order(static_cast<size_t>(input.NumRows()));
   std::iota(order.begin(), order.end(), 0);
+  // Sorting is genuinely row-oriented: the comparator walks the sort columns via
+  // hoisted base pointers, then the output materializes as per-column gathers.
+  const auto sort_cols = ColumnPtrs(input, columns);
   std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
-    const int cmp = CompareRows(input, a, b, columns);
+    const int cmp = CompareRowsAt(sort_cols, a, b);
     return ascending ? cmp < 0 : cmp > 0;
   });
-
-  Relation output{input.schema()};
-  output.Reserve(input.NumRows());
-  auto& cells = output.mutable_cells();
-  for (int64_t r : order) {
-    auto row = input.Row(r);
-    cells.insert(cells.end(), row.begin(), row.end());
-  }
-  return output;
+  return GatherRows(input, order);
 }
 
 Relation Distinct(const Relation& input, std::span<const int> columns) {
   Relation projected = Project(input, columns);
-  std::vector<std::vector<int64_t>> rows;
-  rows.reserve(static_cast<size_t>(projected.NumRows()));
-  for (int64_t r = 0; r < projected.NumRows(); ++r) {
-    auto row = projected.Row(r);
-    rows.emplace_back(row.begin(), row.end());
+  // Order row indices lexicographically, then keep the first row of each run of
+  // equal rows; matches the historical sort+unique over materialized row tuples.
+  std::vector<int64_t> order(static_cast<size_t>(projected.NumRows()));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<int> all_columns(static_cast<size_t>(projected.NumColumns()));
+  std::iota(all_columns.begin(), all_columns.end(), 0);
+  const auto cols = ColumnPtrs(projected, all_columns);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return CompareRowsAt(cols, a, b) < 0;
+  });
+  std::vector<int64_t> unique;
+  unique.reserve(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i == 0 || CompareRowsAt(cols, order[i - 1], order[i]) != 0) {
+      unique.push_back(order[i]);
+    }
   }
-  std::sort(rows.begin(), rows.end());
-  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
-
-  Relation output{projected.schema()};
-  output.Reserve(static_cast<int64_t>(rows.size()));
-  for (const auto& row : rows) {
-    output.AppendRow(row);
-  }
-  return output;
+  return GatherRows(projected, unique);
 }
 
 Relation Limit(const Relation& input, int64_t count) {
   CONCLAVE_CHECK_GE(count, 0);
   Relation output{input.schema()};
   const int64_t rows = std::min(count, input.NumRows());
-  output.Reserve(rows);
-  auto& cells = output.mutable_cells();
-  cells.insert(cells.end(), input.cells().begin(),
-               input.cells().begin() + rows * input.NumColumns());
+  output.Resize(rows);
+  for (int c = 0; c < input.NumColumns(); ++c) {
+    const auto src = input.ColumnSpan(c);
+    std::copy(src.begin(), src.begin() + rows, output.ColumnData(c));
+  }
   return output;
 }
 
@@ -421,34 +641,43 @@ Relation Arithmetic(const Relation& input, const ArithSpec& spec) {
   defs.emplace_back(spec.result_name);
   Relation output{Schema(std::move(defs))};
   const int64_t rows = input.NumRows();
-  const int out_cols = input.NumColumns() + 1;
-  auto& cells = output.mutable_cells();
-  cells.resize(static_cast<size_t>(rows) * out_cols);
+  output.Resize(rows);
+  // Pass-through columns copy wholesale; the computed column is one contiguous
+  // loop over the operand columns (auto-vectorizes for every ArithKind).
+  for (int c = 0; c < input.NumColumns(); ++c) {
+    const auto src = input.ColumnSpan(c);
+    std::copy(src.begin(), src.end(), output.ColumnData(c));
+  }
+  const int64_t* const lhs = rows == 0 ? nullptr : input.ColumnSpan(spec.lhs_column).data();
+  const int64_t* const rhs = (rows == 0 || !spec.rhs_is_column)
+                                 ? nullptr
+                                 : input.ColumnSpan(spec.rhs_column).data();
+  int64_t* const out = output.ColumnData(input.NumColumns());
+  const int64_t literal = spec.rhs_literal;
+  const int64_t scale = spec.scale;
   ParallelFor(0, rows, [&](int64_t lo, int64_t hi) {
-    size_t w = static_cast<size_t>(lo) * out_cols;
-    for (int64_t r = lo; r < hi; ++r) {
-      auto row = input.Row(r);
-      std::copy(row.begin(), row.end(), cells.begin() + static_cast<int64_t>(w));
-      w += row.size();
-      const int64_t lhs = input.At(r, spec.lhs_column);
-      const int64_t rhs =
-          spec.rhs_is_column ? input.At(r, spec.rhs_column) : spec.rhs_literal;
-      int64_t result = 0;
-      switch (spec.kind) {
-        case ArithKind::kAdd:
-          result = lhs + rhs;
-          break;
-        case ArithKind::kSub:
-          result = lhs - rhs;
-          break;
-        case ArithKind::kMul:
-          result = lhs * rhs;
-          break;
-        case ArithKind::kDiv:
-          result = rhs == 0 ? 0 : (lhs * spec.scale) / rhs;
-          break;
-      }
-      cells[w++] = result;
+    switch (spec.kind) {
+      case ArithKind::kAdd:
+        for (int64_t r = lo; r < hi; ++r) {
+          out[r] = lhs[r] + (rhs != nullptr ? rhs[r] : literal);
+        }
+        break;
+      case ArithKind::kSub:
+        for (int64_t r = lo; r < hi; ++r) {
+          out[r] = lhs[r] - (rhs != nullptr ? rhs[r] : literal);
+        }
+        break;
+      case ArithKind::kMul:
+        for (int64_t r = lo; r < hi; ++r) {
+          out[r] = lhs[r] * (rhs != nullptr ? rhs[r] : literal);
+        }
+        break;
+      case ArithKind::kDiv:
+        for (int64_t r = lo; r < hi; ++r) {
+          const int64_t d = rhs != nullptr ? rhs[r] : literal;
+          out[r] = d == 0 ? 0 : (lhs[r] * scale) / d;
+        }
+        break;
     }
   });
   return output;
@@ -458,13 +687,13 @@ Relation Enumerate(const Relation& input, const std::string& index_name) {
   std::vector<ColumnDef> defs = input.schema().columns();
   defs.emplace_back(index_name);
   Relation output{Schema(std::move(defs))};
-  output.Reserve(input.NumRows());
-  auto& cells = output.mutable_cells();
-  for (int64_t r = 0; r < input.NumRows(); ++r) {
-    auto row = input.Row(r);
-    cells.insert(cells.end(), row.begin(), row.end());
-    cells.push_back(r);
+  output.Resize(input.NumRows());
+  for (int c = 0; c < input.NumColumns(); ++c) {
+    const auto src = input.ColumnSpan(c);
+    std::copy(src.begin(), src.end(), output.ColumnData(c));
   }
+  int64_t* const idx = output.ColumnData(input.NumColumns());
+  std::iota(idx, idx + input.NumRows(), int64_t{0});
   return output;
 }
 
@@ -478,45 +707,54 @@ Relation Window(const Relation& input, const WindowSpec& spec) {
   std::vector<ColumnDef> defs = sorted.schema().columns();
   defs.emplace_back(spec.output_name);
   Relation output{Schema(std::move(defs))};
-  output.Reserve(sorted.NumRows());
-  auto& cells = output.mutable_cells();
+  const int64_t rows = sorted.NumRows();
+  output.Resize(rows);
+  for (int c = 0; c < sorted.NumColumns(); ++c) {
+    const auto src = sorted.ColumnSpan(c);
+    std::copy(src.begin(), src.end(), output.ColumnData(c));
+  }
 
+  // The running-state scan is inherently sequential over rows, but reads only the
+  // partition/value columns — all contiguous.
+  const auto partition_cols = ColumnPtrs(sorted, spec.partition_columns);
+  const int64_t* const values =
+      (rows == 0 || spec.fn == WindowFn::kRowNumber)
+          ? nullptr
+          : sorted.ColumnSpan(spec.value_column).data();
+  int64_t* const computed = output.ColumnData(sorted.NumColumns());
   int64_t row_number = 0;
   int64_t running_sum = 0;
   int64_t prev_value = 0;
-  for (int64_t r = 0; r < sorted.NumRows(); ++r) {
+  for (int64_t r = 0; r < rows; ++r) {
     const bool new_partition =
-        r == 0 || CompareRows(sorted, r - 1, r, spec.partition_columns) != 0;
+        r == 0 || CompareRowsAt(partition_cols, r - 1, r) != 0;
     if (new_partition) {
       row_number = 0;
       running_sum = 0;
       prev_value = 0;
     }
     row_number += 1;
-    int64_t computed = 0;
     switch (spec.fn) {
       case WindowFn::kRowNumber:
-        computed = row_number;
+        computed[r] = row_number;
         break;
       case WindowFn::kLag:
-        computed = prev_value;
-        prev_value = sorted.At(r, spec.value_column);
+        computed[r] = prev_value;
+        prev_value = values[r];
         break;
       case WindowFn::kRunningSum:
-        running_sum += sorted.At(r, spec.value_column);
-        computed = running_sum;
+        running_sum += values[r];
+        computed[r] = running_sum;
         break;
     }
-    auto row = sorted.Row(r);
-    cells.insert(cells.end(), row.begin(), row.end());
-    cells.push_back(computed);
   }
   return output;
 }
 
 bool IsSortedBy(const Relation& input, std::span<const int> columns) {
+  const auto cols = ColumnPtrs(input, columns);
   for (int64_t r = 1; r < input.NumRows(); ++r) {
-    if (CompareRows(input, r - 1, r, columns) > 0) {
+    if (CompareRowsAt(cols, r - 1, r) > 0) {
       return false;
     }
   }
@@ -524,34 +762,46 @@ bool IsSortedBy(const Relation& input, std::span<const int> columns) {
 }
 
 Relation PadToPowerOfTwo(const Relation& input, int64_t sentinel_stream) {
-  const int64_t target = PaddedRowCount(input.NumRows());
+  const int64_t rows = input.NumRows();
+  const int64_t target = PaddedRowCount(rows);
   Relation output = input;
-  output.Reserve(target);
+  output.Resize(target);
   // Unique sentinel per cell: base + stream * 2^32 + counter. Streams separate pad
-  // sites (parties/branches); the counter separates cells within a site.
-  int64_t counter = 0;
-  for (int64_t r = input.NumRows(); r < target; ++r) {
-    std::vector<int64_t> row(static_cast<size_t>(input.NumColumns()));
-    for (auto& cell : row) {
-      cell = kSentinelBase + sentinel_stream * (int64_t{1} << 32) + counter++;
+  // sites (parties/branches); the counter separates cells within a site. The
+  // counter walks pad cells in row-major order (row by row, then column) so the
+  // sentinel values are identical to the historical AppendRow loop.
+  const int cols = input.NumColumns();
+  const int64_t base = kSentinelBase + sentinel_stream * (int64_t{1} << 32);
+  for (int c = 0; c < cols; ++c) {
+    int64_t* const out = output.ColumnData(c);
+    for (int64_t r = rows; r < target; ++r) {
+      out[r] = base + (r - rows) * cols + c;
     }
-    output.AppendRow(row);
   }
   return output;
 }
 
 Relation StripSentinelRows(const Relation& input) {
-  Relation output{input.schema()};
-  auto& cells = output.mutable_cells();
-  for (int64_t r = 0; r < input.NumRows(); ++r) {
-    auto row = input.Row(r);
-    const bool padded = std::any_of(row.begin(), row.end(),
-                                    [](int64_t cell) { return cell >= kSentinelBase; });
-    if (!padded) {
-      cells.insert(cells.end(), row.begin(), row.end());
+  const int64_t rows = input.NumRows();
+  // Column-parallel sentinel detection: a row is padded iff any of its cells is in
+  // the sentinel range.
+  std::vector<uint8_t> padded(static_cast<size_t>(rows), 0);
+  for (int c = 0; c < input.NumColumns(); ++c) {
+    const int64_t* const column = rows == 0 ? nullptr : input.ColumnSpan(c).data();
+    ParallelFor(0, rows, [&](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        padded[static_cast<size_t>(r)] |= column[r] >= kSentinelBase ? 1 : 0;
+      }
+    });
+  }
+  std::vector<int64_t> kept;
+  kept.reserve(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    if (padded[static_cast<size_t>(r)] == 0) {
+      kept.push_back(r);
     }
   }
-  return output;
+  return GatherRows(input, kept);
 }
 
 }  // namespace ops

@@ -99,6 +99,18 @@ struct ArithSpec {
 
 namespace ops {
 
+// Materializes the listed rows (in the given order, duplicates allowed) as a new
+// relation: one contiguous-destination gather per column. The backbone of every
+// selection-shaped kernel (filter, sort, distinct, sentinel strip) and of the
+// cleartext sides of the hybrid protocols.
+Relation GatherRows(const Relation& input, std::span<const int64_t> rows);
+
+// Gathers one source column at the listed rows into a caller-owned destination
+// buffer of rows.size() cells (morsel-parallel, disjoint writes). The per-column
+// primitive behind GatherRows and the join-output assembly.
+void GatherColumnInto(const Relation& src, int src_col,
+                      std::span<const int64_t> rows, int64_t* dst);
+
 // Keeps columns listed in `columns`, in that order (reordering projections allowed).
 Relation Project(const Relation& input, std::span<const int> columns);
 

@@ -6,31 +6,58 @@
 
 namespace conclave {
 
-Relation::Relation(Schema schema, std::vector<int64_t> cells)
-    : schema_(std::move(schema)), cells_(std::move(cells)) {
+Relation::Relation(Schema schema, std::vector<int64_t> row_major_cells)
+    : schema_(std::move(schema)) {
   const int cols = schema_.NumColumns();
   CONCLAVE_CHECK_GT(cols, 0);
-  CONCLAVE_CHECK_EQ(cells_.size() % static_cast<size_t>(cols), 0u);
+  CONCLAVE_CHECK_EQ(row_major_cells.size() % static_cast<size_t>(cols), 0u);
+  const int64_t rows = static_cast<int64_t>(row_major_cells.size()) / cols;
+  columns_.resize(static_cast<size_t>(cols));
+  Resize(rows);
+  for (int c = 0; c < cols; ++c) {
+    int64_t* const out = columns_[static_cast<size_t>(c)].data();
+    const int64_t* const base = row_major_cells.data() + c;
+    for (int64_t r = 0; r < rows; ++r) {
+      out[r] = base[static_cast<size_t>(r) * cols];
+    }
+  }
 }
 
 void Relation::AppendRow(std::span<const int64_t> values) {
   CONCLAVE_CHECK_EQ(static_cast<int>(values.size()), NumColumns());
-  cells_.insert(cells_.end(), values.begin(), values.end());
+  if (NumColumns() == 0) {
+    return;  // A zero-column relation has no rows (matches NumRows() == 0).
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].push_back(values[c]);
+  }
+  ++num_rows_;
 }
 
-std::vector<int64_t> Relation::ColumnValues(int col) const {
-  CONCLAVE_CHECK_GE(col, 0);
-  CONCLAVE_CHECK_LT(col, NumColumns());
-  std::vector<int64_t> values;
-  values.reserve(static_cast<size_t>(NumRows()));
-  for (int64_t r = 0; r < NumRows(); ++r) {
-    values.push_back(At(r, col));
+void Relation::CopyRowInto(int64_t row, std::span<int64_t> out) const {
+  CONCLAVE_DCHECK(row >= 0 && row < NumRows());
+  CONCLAVE_CHECK_EQ(static_cast<int>(out.size()), NumColumns());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out[c] = columns_[c][static_cast<size_t>(row)];
   }
-  return values;
+}
+
+std::vector<int64_t> Relation::RowMajorCells() const {
+  const int cols = NumColumns();
+  std::vector<int64_t> cells(static_cast<size_t>(num_rows_) * cols);
+  for (int c = 0; c < cols; ++c) {
+    const int64_t* const src = columns_[static_cast<size_t>(c)].data();
+    int64_t* const base = cells.data() + c;
+    for (int64_t r = 0; r < num_rows_; ++r) {
+      base[static_cast<size_t>(r) * cols] = src[r];
+    }
+  }
+  return cells;
 }
 
 bool Relation::RowsEqual(const Relation& other) const {
-  return schema_.NamesMatch(other.schema_) && cells_ == other.cells_;
+  return schema_.NamesMatch(other.schema_) && num_rows_ == other.num_rows_ &&
+         columns_ == other.columns_;
 }
 
 std::string Relation::ToString(int64_t max_rows) const {
@@ -56,18 +83,16 @@ bool UnorderedEqual(const Relation& a, const Relation& b) {
   if (!a.schema().NamesMatch(b.schema()) || a.NumRows() != b.NumRows()) {
     return false;
   }
-  const int cols = a.NumColumns();
-  auto sorted_rows = [cols](const Relation& rel) {
-    std::vector<std::vector<int64_t>> rows;
-    rows.reserve(static_cast<size_t>(rel.NumRows()));
+  auto sorted_rows = [](const Relation& rel) {
+    std::vector<std::vector<int64_t>> rows(static_cast<size_t>(rel.NumRows()));
     for (int64_t r = 0; r < rel.NumRows(); ++r) {
-      auto row = rel.Row(r);
-      rows.emplace_back(row.begin(), row.end());
+      auto& row = rows[static_cast<size_t>(r)];
+      row.resize(static_cast<size_t>(rel.NumColumns()));
+      rel.CopyRowInto(r, row);
     }
     std::sort(rows.begin(), rows.end());
     return rows;
   };
-  (void)cols;
   return sorted_rows(a) == sorted_rows(b);
 }
 

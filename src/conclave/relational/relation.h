@@ -1,6 +1,17 @@
-// In-memory relation: a schema plus row-major int64 cells.
+// In-memory relation: a schema plus column-major int64 cells.
 //
-// Storage is one flat vector (cache-friendly; relations in benches reach 10^7+ rows).
+// Storage is one contiguous vector per column (cache-friendly; relations in benches
+// reach 10^7+ rows). Column scans — the dominant access pattern of the operator
+// kernels, the MPC share ingest, and reconstruction — are contiguous loops over
+// ColumnSpan()/ColumnData(), which auto-vectorize and feed zero-copy into the
+// secret-sharing layer. Row-oriented access (sort comparators, ToString, debug
+// hashing) goes through the At()/CopyRowInto() compat shims.
+//
+// The columns are unchunked: one allocation per column. A fixed-morsel chunked
+// layout was considered and rejected — the execution layer already morselizes every
+// scan via ParallelFor, so chunked storage would only add per-chunk indirection to
+// the inner loops (see DESIGN.md §7).
+//
 // Relations are value types; the operator library in ops.h produces new relations.
 #ifndef CONCLAVE_RELATIONAL_RELATION_H_
 #define CONCLAVE_RELATIONAL_RELATION_H_
@@ -17,54 +28,84 @@ namespace conclave {
 class Relation {
  public:
   Relation() = default;
-  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
-  Relation(Schema schema, std::vector<int64_t> cells);
+  explicit Relation(Schema schema)
+      : schema_(std::move(schema)),
+        columns_(static_cast<size_t>(schema_.NumColumns())) {}
+  // Builds from row-major cells (rows * columns values in row order). Compat
+  // constructor for tests and the row-major reference implementation; the runtime
+  // ingest paths (CSV, generators, MPC reconstruct) fill columns directly.
+  Relation(Schema schema, std::vector<int64_t> row_major_cells);
 
   const Schema& schema() const { return schema_; }
   Schema& mutable_schema() { return schema_; }
 
-  int64_t NumRows() const {
-    const int cols = schema_.NumColumns();
-    return cols == 0 ? 0 : static_cast<int64_t>(cells_.size()) / cols;
-  }
+  int64_t NumRows() const { return num_rows_; }
   int NumColumns() const { return schema_.NumColumns(); }
 
   int64_t At(int64_t row, int col) const {
     CONCLAVE_DCHECK(row >= 0 && row < NumRows());
     CONCLAVE_DCHECK(col >= 0 && col < NumColumns());
-    return cells_[static_cast<size_t>(row) * NumColumns() + col];
+    return columns_[static_cast<size_t>(col)][static_cast<size_t>(row)];
   }
   void Set(int64_t row, int col, int64_t value) {
     CONCLAVE_DCHECK(row >= 0 && row < NumRows());
     CONCLAVE_DCHECK(col >= 0 && col < NumColumns());
-    cells_[static_cast<size_t>(row) * NumColumns() + col] = value;
+    columns_[static_cast<size_t>(col)][static_cast<size_t>(row)] = value;
   }
 
-  std::span<const int64_t> Row(int64_t row) const {
-    CONCLAVE_DCHECK(row >= 0 && row < NumRows());
-    return {cells_.data() + static_cast<size_t>(row) * NumColumns(),
-            static_cast<size_t>(NumColumns())};
+  // Zero-copy view of one column's cells. This is the hot accessor: operator
+  // kernels scan it contiguously and the MPC ingest shares straight out of it.
+  std::span<const int64_t> ColumnSpan(int col) const {
+    CONCLAVE_DCHECK(col >= 0 && col < NumColumns());
+    return columns_[static_cast<size_t>(col)];
   }
 
+  // Mutable base pointer of one column (null when the relation is empty). Kernels
+  // Resize() first, then write disjoint ranges through this pointer in parallel.
+  int64_t* ColumnData(int col) {
+    CONCLAVE_DCHECK(col >= 0 && col < NumColumns());
+    return columns_[static_cast<size_t>(col)].data();
+  }
+
+  // Appends one row (slow path: touches every column; bulk producers Resize() and
+  // write columns directly instead).
   void AppendRow(std::span<const int64_t> values);
   void AppendRow(std::initializer_list<int64_t> values) {
     AppendRow(std::span<const int64_t>(values.begin(), values.size()));
   }
 
   void Reserve(int64_t rows) {
-    cells_.reserve(static_cast<size_t>(rows) * NumColumns());
+    for (auto& column : columns_) {
+      column.reserve(static_cast<size_t>(rows));
+    }
   }
 
-  // Extracts one column as a vector (used when moving columns in/out of MPC).
-  std::vector<int64_t> ColumnValues(int col) const;
+  // Presizes every column to `rows` (grown cells zero); the bulk-ingest entry
+  // point, paired with ColumnData() writes.
+  void Resize(int64_t rows) {
+    CONCLAVE_CHECK_GE(rows, 0);
+    for (auto& column : columns_) {
+      column.resize(static_cast<size_t>(rows));
+    }
+    num_rows_ = NumColumns() == 0 ? 0 : rows;
+  }
 
-  const std::vector<int64_t>& cells() const { return cells_; }
-  std::vector<int64_t>& mutable_cells() { return cells_; }
+  // Copies row `row` into `out` (size NumColumns()): the row-oriented compat shim
+  // for genuinely row-major consumers (debug rendering, row materialization).
+  void CopyRowInto(int64_t row, std::span<int64_t> out) const;
+
+  // Row-major rendering of all cells (rows * columns, row order). Compat accessor
+  // for tests and the layout-equivalence reference; O(cells) copy.
+  std::vector<int64_t> RowMajorCells() const;
 
   // Approximate in-memory footprint (cells only); drives the simulated-OOM checks.
-  uint64_t ByteSize() const { return cells_.size() * sizeof(int64_t); }
+  // Same value as the row-major layout: the swap moves bytes, it does not add any.
+  uint64_t ByteSize() const {
+    return static_cast<uint64_t>(num_rows_) * static_cast<uint64_t>(NumColumns()) *
+           sizeof(int64_t);
+  }
 
-  // Exact equality: same schema names and identical cells in identical order.
+  // Exact equality: same schema names and identical cells in identical row order.
   bool RowsEqual(const Relation& other) const;
 
   // Multi-line debug rendering; caps at `max_rows` rows.
@@ -72,7 +113,8 @@ class Relation {
 
  private:
   Schema schema_;
-  std::vector<int64_t> cells_;
+  int64_t num_rows_ = 0;
+  std::vector<std::vector<int64_t>> columns_;
 };
 
 // Order-insensitive comparison used by tests: sorts both relations' rows

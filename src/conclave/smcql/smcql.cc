@@ -18,8 +18,8 @@ namespace {
 std::unordered_set<int64_t> KeySet(const Relation& relation, int key_col) {
   std::unordered_set<int64_t> keys;
   keys.reserve(static_cast<size_t>(relation.NumRows()));
-  for (int64_t r = 0; r < relation.NumRows(); ++r) {
-    keys.insert(relation.At(r, key_col));
+  for (int64_t key : relation.ColumnSpan(key_col)) {
+    keys.insert(key);
   }
   return keys;
 }
@@ -27,16 +27,14 @@ std::unordered_set<int64_t> KeySet(const Relation& relation, int key_col) {
 Relation FilterByKeyMembership(const Relation& relation, int key_col,
                                const std::unordered_set<int64_t>& keys,
                                bool keep_members) {
-  Relation out{relation.schema()};
-  auto& cells = out.mutable_cells();
+  const auto key_column = relation.ColumnSpan(key_col);
+  std::vector<int64_t> selected;
   for (int64_t r = 0; r < relation.NumRows(); ++r) {
-    const bool member = keys.contains(relation.At(r, key_col));
-    if (member == keep_members) {
-      auto row = relation.Row(r);
-      cells.insert(cells.end(), row.begin(), row.end());
+    if (keys.contains(key_column[static_cast<size_t>(r)]) == keep_members) {
+      selected.push_back(r);
     }
   }
-  return out;
+  return ops::GatherRows(relation, selected);
 }
 
 // Patients at party p qualifying locally: have both the diagnosis and the medication
@@ -44,15 +42,20 @@ Relation FilterByKeyMembership(const Relation& relation, int key_col,
 std::unordered_set<int64_t> LocalQualifiers(const Relation& diag, const Relation& med,
                                             int64_t diag_code, int64_t med_code) {
   std::unordered_set<int64_t> diagnosed;
+  const auto diag_pids = diag.ColumnSpan(0);
+  const auto diag_codes = diag.ColumnSpan(1);
   for (int64_t r = 0; r < diag.NumRows(); ++r) {
-    if (diag.At(r, 1) == diag_code) {
-      diagnosed.insert(diag.At(r, 0));
+    if (diag_codes[static_cast<size_t>(r)] == diag_code) {
+      diagnosed.insert(diag_pids[static_cast<size_t>(r)]);
     }
   }
   std::unordered_set<int64_t> qualifying;
+  const auto med_pids = med.ColumnSpan(0);
+  const auto med_codes = med.ColumnSpan(1);
   for (int64_t r = 0; r < med.NumRows(); ++r) {
-    if (med.At(r, 1) == med_code && diagnosed.contains(med.At(r, 0))) {
-      qualifying.insert(med.At(r, 0));
+    if (med_codes[static_cast<size_t>(r)] == med_code &&
+        diagnosed.contains(med_pids[static_cast<size_t>(r)])) {
+      qualifying.insert(med_pids[static_cast<size_t>(r)]);
     }
   }
   return qualifying;
@@ -69,8 +72,9 @@ std::unordered_map<int64_t, std::vector<int64_t>> RowsByKey(const Relation& rela
                                                             int key_col) {
   std::unordered_map<int64_t, std::vector<int64_t>> index;
   index.reserve(static_cast<size_t>(relation.NumRows()));
+  const auto keys = relation.ColumnSpan(key_col);
   for (int64_t r = 0; r < relation.NumRows(); ++r) {
-    index[relation.At(r, key_col)].push_back(r);
+    index[keys[static_cast<size_t>(r)]].push_back(r);
   }
   return index;
 }
@@ -78,17 +82,11 @@ std::unordered_map<int64_t, std::vector<int64_t>> RowsByKey(const Relation& rela
 Relation GatherRows(const Relation& relation,
                     const std::unordered_map<int64_t, std::vector<int64_t>>& index,
                     int64_t key) {
-  Relation out{relation.schema()};
   const auto it = index.find(key);
   if (it == index.end()) {
-    return out;
+    return Relation{relation.schema()};
   }
-  auto& cells = out.mutable_cells();
-  for (int64_t r : it->second) {
-    auto row = relation.Row(r);
-    cells.insert(cells.end(), row.begin(), row.end());
-  }
-  return out;
+  return ops::GatherRows(relation, it->second);
 }
 
 }  // namespace

@@ -10,6 +10,13 @@
 namespace conclave {
 namespace {
 
+// Materializes one column as a vector (the zero-copy ColumnSpan is the runtime
+// accessor; tests copy for gtest matchers).
+std::vector<int64_t> Column(const Relation& rel, int col) {
+  const auto span = rel.ColumnSpan(col);
+  return {span.begin(), span.end()};
+}
+
 SharedRelation ShareSingleColumn(const std::vector<int64_t>& values, Rng& rng,
                                  const std::string& name = "k") {
   Relation rel{Schema::Of({name})};
@@ -189,7 +196,7 @@ TEST_F(ObliviousFixture, SortDescending) {
   const int keys[] = {0};
   Relation sorted = ReconstructRelation(
       ObliviousSort(engine_, shared, keys, /*ascending=*/false));
-  EXPECT_EQ(sorted.ColumnValues(0), (std::vector<int64_t>{5, 4, 3, 1, 1}));
+  EXPECT_EQ(Column(sorted, 0), (std::vector<int64_t>{5, 4, 3, 1, 1}));
 }
 
 TEST_F(ObliviousFixture, SortMultiKeyLexicographic) {
@@ -228,7 +235,7 @@ TEST_F(ObliviousFixture, MergePowerOfTwoRuns) {
   const int keys[] = {0};
   Relation merged = ReconstructRelation(
       ObliviousMerge(engine_, ShareRelation(a, rng_), ShareRelation(b, rng_), keys));
-  EXPECT_EQ(merged.ColumnValues(0), (std::vector<int64_t>{1, 2, 3, 4, 5, 8, 9}));
+  EXPECT_EQ(Column(merged, 0), (std::vector<int64_t>{1, 2, 3, 4, 5, 8, 9}));
 }
 
 TEST_F(ObliviousFixture, MergeFallbackForOddShapes) {
@@ -243,7 +250,7 @@ TEST_F(ObliviousFixture, MergeFallbackForOddShapes) {
   const int keys[] = {0};
   Relation merged = ReconstructRelation(
       ObliviousMerge(engine_, ShareRelation(a, rng_), ShareRelation(b, rng_), keys));
-  EXPECT_EQ(merged.ColumnValues(0), (std::vector<int64_t>{1, 2, 3, 4, 6}));
+  EXPECT_EQ(Column(merged, 0), (std::vector<int64_t>{1, 2, 3, 4, 6}));
 }
 
 // The full-sort fallback triggers whenever the left run is not a power of two or the
@@ -266,11 +273,11 @@ TEST_F(ObliviousFixture, MergeFallbackAdversarialShapes) {
     Relation b_sorted = ops::SortBy(b, keys);
     Relation merged = ReconstructRelation(ObliviousMerge(
         engine_, ShareRelation(a_sorted, rng_), ShareRelation(b_sorted, rng_), keys));
-    std::vector<int64_t> expected = a.ColumnValues(0);
-    const std::vector<int64_t> more = b.ColumnValues(0);
+    std::vector<int64_t> expected = Column(a, 0);
+    const std::vector<int64_t> more = Column(b, 0);
     expected.insert(expected.end(), more.begin(), more.end());
     std::sort(expected.begin(), expected.end());
-    EXPECT_EQ(merged.ColumnValues(0), expected)
+    EXPECT_EQ(Column(merged, 0), expected)
         << "shape (" << left_rows << ", " << right_rows << ")";
   }
 }
@@ -295,11 +302,11 @@ TEST_F(ObliviousFixture, MergeNetworkBoundaryShapes) {
     Relation b_sorted = ops::SortBy(b, keys);
     Relation merged = ReconstructRelation(ObliviousMerge(
         engine_, ShareRelation(a_sorted, rng_), ShareRelation(b_sorted, rng_), keys));
-    std::vector<int64_t> expected = a.ColumnValues(0);
-    const std::vector<int64_t> more = b.ColumnValues(0);
+    std::vector<int64_t> expected = Column(a, 0);
+    const std::vector<int64_t> more = Column(b, 0);
     expected.insert(expected.end(), more.begin(), more.end());
     std::sort(expected.begin(), expected.end());
-    EXPECT_EQ(merged.ColumnValues(0), expected)
+    EXPECT_EQ(Column(merged, 0), expected)
         << "shape (" << left_rows << ", " << right_rows << ")";
   }
 }
@@ -389,7 +396,7 @@ TEST_F(ObliviousFixture, ApplyPublicOrderReordersRows) {
   SharedRelation rel = ShareSingleColumn({10, 20, 30}, rng_);
   const std::vector<int64_t> order{2, 0, 1};
   Relation out = ReconstructRelation(ApplyPublicOrder(rel, order));
-  EXPECT_EQ(out.ColumnValues(0), (std::vector<int64_t>{30, 10, 20}));
+  EXPECT_EQ(Column(out, 0), (std::vector<int64_t>{30, 10, 20}));
 }
 
 }  // namespace

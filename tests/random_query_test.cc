@@ -9,6 +9,7 @@
 #include "conclave/api/conclave.h"
 #include "conclave/backends/local_backend.h"
 #include "conclave/data/generators.h"
+#include "row_major_reference.h"
 
 namespace conclave {
 namespace {
@@ -200,6 +201,47 @@ TEST_P(RandomQueryTest, MaliciousExecutionMatchesReference) {
   const auto result = secure.query.Run(secure.inputs, options);
   ASSERT_TRUE(result.ok()) << "seed " << seed;
   EXPECT_TRUE(UnorderedEqual(result->outputs.at("out"), expected)) << "seed " << seed;
+}
+
+// Layout equivalence over the whole query corpus: evaluate the uncompiled DAG
+// node-by-node through BOTH data layouts — the columnar operator library
+// (backends::ExecuteLocal) and the retained row-major reference
+// (rowmajor::ref::ExecuteLocal) — and require every intermediate relation to be
+// cell-for-cell identical, not merely the final output. This pins the columnar
+// kernels to the historical row-major semantics on arbitrary operator chains.
+TEST_P(RandomQueryTest, ColumnarAndRowMajorLayoutsAgreeNodeByNode) {
+  const uint64_t seed = GetParam();
+  RandomQuery instance(seed, /*annotate_trust=*/false);
+  const ir::Dag& dag = instance.query.dag();
+
+  std::unordered_map<int, Relation> columnar;
+  std::unordered_map<int, rowmajor::RowMajorRelation> row_major;
+  for (const ir::OpNode* node : dag.TopoOrder()) {
+    if (node->kind == ir::OpKind::kCreate) {
+      const Relation& input =
+          instance.inputs.at(node->Params<ir::CreateParams>().name);
+      columnar[node->id] = input;
+      row_major[node->id] = rowmajor::RowMajorRelation::FromColumnar(input);
+      continue;
+    }
+    std::vector<const Relation*> rels;
+    std::vector<const rowmajor::RowMajorRelation*> ref_rels;
+    for (const ir::OpNode* input : node->inputs) {
+      rels.push_back(&columnar.at(input->id));
+      ref_rels.push_back(&row_major.at(input->id));
+    }
+    auto result = backends::ExecuteLocal(*node, rels);
+    auto ref_result = rowmajor::ref::ExecuteLocal(*node, ref_rels);
+    ASSERT_TRUE(result.ok()) << "seed " << seed << ": " << node->ToString();
+    ASSERT_TRUE(ref_result.ok()) << "seed " << seed << ": " << node->ToString();
+    EXPECT_TRUE(result->RowsEqual(ref_result->ToColumnar()))
+        << "seed " << seed << " layouts diverge at node " << node->ToString()
+        << "\nrow-major reference\n"
+        << ref_result->ToColumnar().ToString() << "\ncolumnar\n"
+        << result->ToString();
+    columnar[node->id] = *std::move(result);
+    row_major[node->id] = *std::move(ref_result);
+  }
 }
 
 // Structural invariants of the compiled DAG (DESIGN.md #5):

@@ -61,9 +61,45 @@ TEST(RelationTest, AppendAndAccess) {
   EXPECT_EQ(rel.At(1, 0), 9);
 }
 
-TEST(RelationTest, ColumnValues) {
+TEST(RelationTest, ColumnSpanIsZeroCopyView) {
   Relation rel = MakeRelation({"a", "b"}, {{1, 2}, {3, 4}, {5, 6}});
-  EXPECT_EQ(rel.ColumnValues(1), (std::vector<int64_t>{2, 4, 6}));
+  const auto column = rel.ColumnSpan(1);
+  EXPECT_EQ(std::vector<int64_t>(column.begin(), column.end()),
+            (std::vector<int64_t>{2, 4, 6}));
+  // The span aliases the storage: cell writes are visible through it.
+  rel.Set(1, 1, 40);
+  EXPECT_EQ(column[1], 40);
+  EXPECT_EQ(rel.ColumnSpan(1).data(), column.data());
+}
+
+TEST(RelationTest, RowMajorCellsRoundTrip) {
+  Relation rel = MakeRelation({"a", "b"}, {{1, 2}, {3, 4}, {5, 6}});
+  const std::vector<int64_t> cells = rel.RowMajorCells();
+  EXPECT_EQ(cells, (std::vector<int64_t>{1, 2, 3, 4, 5, 6}));
+  Relation rebuilt{rel.schema(), cells};
+  EXPECT_TRUE(rebuilt.RowsEqual(rel));
+}
+
+TEST(RelationTest, ResizeAndColumnDataBulkIngest) {
+  Relation rel{Schema::Of({"a", "b"})};
+  rel.Resize(3);
+  EXPECT_EQ(rel.NumRows(), 3);
+  EXPECT_EQ(rel.At(2, 1), 0);  // Grown cells are zero.
+  int64_t* const a = rel.ColumnData(0);
+  for (int64_t r = 0; r < 3; ++r) {
+    a[r] = r + 1;
+  }
+  EXPECT_EQ(rel.At(2, 0), 3);
+  rel.Resize(1);
+  EXPECT_EQ(rel.NumRows(), 1);
+  EXPECT_EQ(rel.At(0, 0), 1);
+}
+
+TEST(RelationTest, CopyRowInto) {
+  Relation rel = MakeRelation({"a", "b", "c"}, {{1, 2, 3}, {4, 5, 6}});
+  std::vector<int64_t> row(3);
+  rel.CopyRowInto(1, row);
+  EXPECT_EQ(row, (std::vector<int64_t>{4, 5, 6}));
 }
 
 TEST(RelationTest, UnorderedEqualIgnoresRowOrder) {

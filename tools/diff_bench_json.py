@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Diffs figure-bench JSON tables against the committed goldens.
+
+Usage: diff_bench_json.py <golden_dir> <result_dir>
+
+Compares every BENCH_*.json present in <golden_dir> field-for-field, ignoring
+wall_clock_seconds (real time varies per machine; the simulated virtual seconds
+and table structure must not). A mismatch means a code change altered bench
+*results* — not just speed — and must either be a bug or come with regenerated
+goldens and an explanation in the PR.
+
+Regenerate goldens after an intentional change with:
+    CONCLAVE_BENCH_SCALE=small CONCLAVE_BENCH_JSON_DIR=bench/goldens \
+        ./bench_fig1_microbench && ... (each figure bench)
+"""
+
+import json
+import pathlib
+import sys
+
+
+def strip_wall(doc):
+    doc = dict(doc)
+    doc.pop("wall_clock_seconds", None)
+    return doc
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    golden_dir = pathlib.Path(sys.argv[1])
+    result_dir = pathlib.Path(sys.argv[2])
+    goldens = sorted(golden_dir.glob("BENCH_*.json"))
+    if not goldens:
+        sys.exit(f"no BENCH_*.json goldens found in {golden_dir}")
+    failures = []
+    for golden_path in goldens:
+        result_path = result_dir / golden_path.name
+        if not result_path.exists():
+            failures.append(f"{golden_path.name}: missing from {result_dir}")
+            continue
+        golden = strip_wall(json.loads(golden_path.read_text()))
+        result = strip_wall(json.loads(result_path.read_text()))
+        if golden != result:
+            failures.append(
+                f"{golden_path.name}: differs from golden\n"
+                f"  golden: {json.dumps(golden, sort_keys=True)}\n"
+                f"  result: {json.dumps(result, sort_keys=True)}"
+            )
+        else:
+            print(f"OK {golden_path.name}")
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        sys.exit(f"{len(failures)} bench table(s) diverged from the goldens")
+    print(f"all {len(goldens)} bench tables match the goldens")
+
+
+if __name__ == "__main__":
+    main()
