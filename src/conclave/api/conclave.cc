@@ -240,9 +240,9 @@ StatusOr<compiler::PlanCostReport> Query::ExplainPlan(
 StatusOr<backends::ExecutionResult> Query::Run(
     const std::map<std::string, Relation>& inputs,
     const compiler::CompilerOptions& options, CostModel cost_model, uint64_t seed,
-    int pool_parallelism) {
+    int pool_parallelism, int shard_count) {
   CONCLAVE_ASSIGN_OR_RETURN(compiler::Compilation compilation, Compile(options));
-  backends::Dispatcher dispatcher(cost_model, seed, pool_parallelism);
+  backends::Dispatcher dispatcher(cost_model, seed, pool_parallelism, shard_count);
   return dispatcher.Run(dag_, compilation, inputs);
 }
 

@@ -136,12 +136,15 @@ class Query {
 
   // Compile + dispatch in one step. `inputs` maps table names to relations.
   // `pool_parallelism` is the executor's thread budget (0 = hardware default,
-  // 1 = serial); results and virtual time are identical for every value — see
-  // DESIGN.md §5.
+  // 1 = serial). `shard_count` is the cleartext data plane's horizontal shard
+  // count (0 = the CONCLAVE_SHARDS env override, else 1 — today's unsharded
+  // execution; backends::Dispatcher::kAutoShardCount = planner-priced decision).
+  // Results and virtual time are identical for every {pool, shard} combination —
+  // see DESIGN.md §5 and §9.
   StatusOr<backends::ExecutionResult> Run(
       const std::map<std::string, Relation>& inputs,
       const compiler::CompilerOptions& options = {}, CostModel cost_model = {},
-      uint64_t seed = 42, int pool_parallelism = 0);
+      uint64_t seed = 42, int pool_parallelism = 0, int shard_count = 0);
 
   ir::Dag& dag() { return dag_; }
   int num_parties() const { return static_cast<int>(parties_.size()); }

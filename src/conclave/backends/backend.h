@@ -1,8 +1,13 @@
 // Shared execution-time types for the backends and the dispatcher.
 //
-// During plan execution every DAG node materializes to one of three value kinds,
+// During plan execution every DAG node materializes to one of four value kinds,
 // mirroring where the data lives in a real deployment:
 //   * kCleartext — a relation held in the clear by one party (local jobs);
+//   * kShardedClear — the same cleartext domain, horizontally sharded for the
+//                  data-parallel executor (shard_count > 1 runs); coalesces back
+//                  into one kCleartext relation at the MPC frontier and at
+//                  Collects, so the engines always see the single-relation
+//                  contract (see relational/sharded.h);
 //   * kShared    — a secret-shared relation inside the Sharemind-style backend;
 //   * kGarbled   — a relation inside the garbled-circuit backend (payload evaluated
 //                  in the ideal model, costs and memory fully accounted; see
@@ -17,20 +22,29 @@
 #include "conclave/common/virtual_clock.h"
 #include "conclave/mpc/share.h"
 #include "conclave/relational/relation.h"
+#include "conclave/relational/sharded.h"
 
 namespace conclave {
 namespace backends {
 
 struct MaterializedValue {
-  enum class Kind { kCleartext, kShared, kGarbled };
+  enum class Kind { kCleartext, kShardedClear, kShared, kGarbled };
 
   Kind kind = Kind::kCleartext;
   Relation clear;          // kCleartext / kGarbled payload.
-  PartyId location = kNoParty;  // kCleartext: the holding party.
+  PartyId location = kNoParty;  // kCleartext / kShardedClear: the holding party.
   SharedRelation shared;   // kShared.
+  ShardedRelation sharded;  // kShardedClear.
 
   int64_t NumRows() const {
-    return kind == Kind::kShared ? shared.NumRows() : clear.NumRows();
+    switch (kind) {
+      case Kind::kShared:
+        return shared.NumRows();
+      case Kind::kShardedClear:
+        return sharded.NumRows();
+      default:
+        return clear.NumRows();
+    }
   }
 };
 

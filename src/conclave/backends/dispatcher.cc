@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdlib>
 #include <mutex>
 #include <unordered_set>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "conclave/backends/spark_backend.h"
 #include "conclave/common/logging.h"
 #include "conclave/common/strings.h"
+#include "conclave/compiler/partition.h"
 #include "conclave/mpc/malicious/commitment.h"
 
 namespace conclave {
@@ -28,6 +30,11 @@ struct RunState {
   int num_parties;
   uint64_t seed;
   uint64_t next_nonce = 0;
+  // Horizontal shard count of the cleartext data plane (1 = unsharded, the
+  // historical executor). Sharding changes wall clock only: every virtual-time
+  // charge is computed from totals (row counts, byte sizes) that are identical at
+  // any shard count, and shards coalesce before anything enters the MPC engines.
+  int shard_count = 1;
 
   std::vector<MaterializedValue> values;  // Indexed by node id; slots never move.
   std::unordered_map<int, int> node_job;  // node id -> job id
@@ -53,7 +60,21 @@ struct RunState {
 // Moves a value into the secure domain (inputToMPC), charging ingest on the engine.
 // Under malicious security, every cleartext relation entering the MPC first runs the
 // Appendix-A.5 commit + ZK-consistency phase; a rejected proof aborts the query.
+// Coalesces a sharded cleartext value back into the single-relation form (the MPC
+// frontier and Collect contract). Callers must hold exclusive access to the value
+// (no concurrent shard readers) — the executor guarantees this by treating lane
+// and collect acquisitions as payload-overwriting.
+void CoalesceShards(MaterializedValue& value) {
+  if (value.kind != MaterializedValue::Kind::kShardedClear) {
+    return;
+  }
+  value.clear = value.sharded.Coalesce();
+  value.sharded = ShardedRelation{};
+  value.kind = MaterializedValue::Kind::kCleartext;
+}
+
 Status EnsureSecure(RunState& state, MaterializedValue& value) {
+  CoalesceShards(value);
   if (state.malicious && value.kind == MaterializedValue::Kind::kCleartext) {
     const PartyId owner = value.location == kNoParty ? 0 : value.location;
     CONCLAVE_RETURN_IF_ERROR(malicious::InputConsistencyPhase(
@@ -79,8 +100,11 @@ Status EnsureSecure(RunState& state, MaterializedValue& value) {
   return Status::Ok();
 }
 
-// Moves a value into the clear at `party` (reveal / party-to-party transfer).
+// Moves a value into the clear at `party` (reveal / party-to-party transfer),
+// coalescing sharded values first. Local-compute input acquisition uses
+// EnsureLocalInputAt instead, which keeps shards intact.
 void EnsureCleartextAt(RunState& state, MaterializedValue& value, PartyId party) {
+  CoalesceShards(value);
   switch (value.kind) {
     case MaterializedValue::Kind::kShared:
       value.clear = state.sharemind.Reveal(value.shared);
@@ -102,7 +126,24 @@ void EnsureCleartextAt(RunState& state, MaterializedValue& value, PartyId party)
         value.location = party;
       }
       break;
+    case MaterializedValue::Kind::kShardedClear:
+      break;  // Unreachable: coalesced above.
   }
+}
+
+// Local-compute input acquisition: like EnsureCleartextAt but keeps sharded values
+// sharded (the per-party transfer charge uses the shard total, which equals the
+// coalesced relation's byte size — virtual time is shard-count-invariant).
+void EnsureLocalInputAt(RunState& state, MaterializedValue& value, PartyId party) {
+  if (value.kind == MaterializedValue::Kind::kShardedClear) {
+    if (value.location != party && value.location != kNoParty) {
+      state.net.Send(value.location, party, value.sharded.ByteSize());
+      state.net.Rounds(1);
+      value.location = party;
+    }
+    return;
+  }
+  EnsureCleartextAt(state, value, party);
 }
 
 // Cost-model seconds a cleartext backend spends processing `records` input records
@@ -176,6 +217,8 @@ class JobGraphExecutor {
     int topo_index = 0;
     Status status;
     Relation output;
+    ShardedRelation sharded_output;  // Valid when is_sharded.
+    bool is_sharded = false;
   };
 
   int TopoIndexOf(int node_id) const { return topo_index_.at(node_id); }
@@ -224,8 +267,10 @@ class JobGraphExecutor {
 
 bool JobGraphExecutor::CanAcquireInputs(const NodeExec& exec) const {
   const int my_topo = TopoIndexOf(exec.node->id);
+  // inputToMPC moves the cleartext payload, and Collects coalesce sharded values
+  // in place; neither may overlap with pool tasks still reading the old payload.
   const bool overwrites_payload =
-      exec.klass == NodeClass::kLane;  // inputToMPC moves the cleartext payload.
+      exec.klass == NodeClass::kLane || exec.klass == NodeClass::kCollect;
   for (const ir::OpNode* in : exec.node->inputs) {
     const NodeExec& producer = execs_[TopoIndexOf(in->id)];
     if (!producer.materialized) {
@@ -279,7 +324,8 @@ void JobGraphExecutor::DispatchCreate(NodeExec& exec) {
   exec.dispatched = true;
   ++in_flight_;
   const int my_topo = TopoIndexOf(node->id);
-  pool_.Submit([this, node, my_topo] {
+  const int shard_count = state_.shard_count;
+  pool_.Submit([this, node, my_topo, shard_count] {
     Completion completion;
     completion.topo_index = my_topo;
     try {
@@ -293,6 +339,12 @@ void JobGraphExecutor::DispatchCreate(NodeExec& exec) {
             "input '%s' schema %s does not match declared schema %s",
             params.name.c_str(), it->second.schema().ToString().c_str(),
             node->schema.ToString().c_str()));
+      } else if (shard_count > 1) {
+        // Sharded ingest: partition the input into contiguous shards as it enters
+        // the data plane (the per-shard range copies run in parallel).
+        completion.sharded_output =
+            ShardedRelation::SplitEven(it->second, shard_count);
+        completion.is_sharded = true;
       } else {
         completion.output = it->second;
       }
@@ -310,14 +362,48 @@ void JobGraphExecutor::DispatchCreate(NodeExec& exec) {
 
 void JobGraphExecutor::DispatchLocalCompute(NodeExec& exec) {
   const ir::OpNode* node = exec.node;
+  const bool sharded = state_.shard_count > 1;
   std::vector<const Relation*> rels;
+  std::vector<std::vector<const Relation*>> shard_rels;
+  // Keeps lazy splits alive for the task; shared so the pointer lists stay valid
+  // however often the std::function wrapper is moved or copied.
+  auto owned_splits = std::make_shared<std::vector<ShardedRelation>>();
   rels.reserve(node->inputs.size());
   uint64_t records = 0;
   for (const ir::OpNode* in : node->inputs) {
     MaterializedValue& value = state_.values[static_cast<size_t>(in->id)];
-    EnsureCleartextAt(state_, value, node->exec_party);
-    rels.push_back(&value.clear);
-    records += static_cast<uint64_t>(value.clear.NumRows());
+    if (sharded) {
+      // Shards flow straight into the shard-aware kernels. Values that arrive as
+      // single relations — MPC reveals and party transfers — are re-split so the
+      // local chain downstream of a frontier crossing still runs data-parallel.
+      // With no concurrent readers the stored value converts in place (later
+      // consumers then reuse the split); otherwise the split is a task-owned copy.
+      EnsureLocalInputAt(state_, value, node->exec_party);
+      NodeExec& producer = ExecOf(*in);
+      if (value.kind != MaterializedValue::Kind::kShardedClear &&
+          value.clear.NumRows() > 0) {
+        if (producer.active_readers == 0) {
+          value.sharded =
+              ShardedRelation::SplitEven(value.clear, state_.shard_count);
+          value.clear = Relation{};
+          value.kind = MaterializedValue::Kind::kShardedClear;
+        } else {
+          owned_splits->push_back(
+              ShardedRelation::SplitEven(value.clear, state_.shard_count));
+        }
+      }
+      if (value.kind == MaterializedValue::Kind::kShardedClear) {
+        shard_rels.push_back(value.sharded.ShardPtrs());
+      } else if (value.clear.NumRows() > 0) {
+        shard_rels.push_back(owned_splits->back().ShardPtrs());
+      } else {
+        shard_rels.push_back({&value.clear});
+      }
+    } else {
+      EnsureCleartextAt(state_, value, node->exec_party);
+      rels.push_back(&value.clear);
+    }
+    records += static_cast<uint64_t>(value.NumRows());
     ++ExecOf(*in).active_readers;
   }
   AdvanceAcquisition(exec);
@@ -330,15 +416,29 @@ void JobGraphExecutor::DispatchLocalCompute(NodeExec& exec) {
   exec.dispatched = true;
   ++in_flight_;
   const int my_topo = TopoIndexOf(node->id);
-  pool_.Submit([this, node, my_topo, rels = std::move(rels)] {
+  const int shard_count = state_.shard_count;
+  pool_.Submit([this, node, my_topo, shard_count, rels = std::move(rels),
+                shard_rels = std::move(shard_rels),
+                owned_splits = std::move(owned_splits)] {
     Completion completion;
     completion.topo_index = my_topo;
     try {
-      StatusOr<Relation> out = ExecuteLocal(*node, rels);
-      if (out.ok()) {
-        completion.output = std::move(*out);
+      if (shard_count > 1) {
+        StatusOr<ShardedRelation> out =
+            ExecuteLocalSharded(*node, shard_rels, shard_count);
+        if (out.ok()) {
+          completion.sharded_output = std::move(*out);
+          completion.is_sharded = true;
+        } else {
+          completion.status = out.status();
+        }
       } else {
-        completion.status = out.status();
+        StatusOr<Relation> out = ExecuteLocal(*node, rels);
+        if (out.ok()) {
+          completion.output = std::move(*out);
+        } else {
+          completion.status = out.status();
+        }
       }
     } catch (const std::exception& e) {
       // See DispatchCreate: escaping exceptions must not reach WorkerLoop.
@@ -444,8 +544,13 @@ void JobGraphExecutor::DrainCompletions(bool wait) {
       continue;
     }
     MaterializedValue value;
-    value.kind = MaterializedValue::Kind::kCleartext;
-    value.clear = std::move(completion.output);
+    if (completion.is_sharded) {
+      value.kind = MaterializedValue::Kind::kShardedClear;
+      value.sharded = std::move(completion.sharded_output);
+    } else {
+      value.kind = MaterializedValue::Kind::kCleartext;
+      value.clear = std::move(completion.output);
+    }
     value.location = exec.klass == NodeClass::kCreate
                          ? exec.node->Params<ir::CreateParams>().party
                          : exec.node->exec_party;
@@ -588,21 +693,65 @@ StatusOr<ExecutionResult> JobGraphExecutor::FinalizeAccounting(
   }
 
   // Critical-path schedule over the job graph: a job starts when all jobs feeding it
-  // finish; independent per-party local jobs overlap.
+  // finish; independent per-party local jobs overlap. Job ids are NOT guaranteed to
+  // be a topological order of the job graph (a job keyed by an early node can
+  // contain late nodes whose inputs come from jobs created in between — e.g. a join
+  // against a table declared mid-chain), so the fold runs as a worklist over the
+  // job dependency edges. The finish times are order-independent given their deps,
+  // so this computes exactly what the id-order pass computed on plans where id
+  // order happened to be topological.
   std::unordered_map<int, double> finish;
+  std::unordered_map<int, std::vector<int>> job_dependents;
+  std::unordered_map<int, int> unmet_deps;
   for (const compiler::Job& job : compilation_.plan.jobs) {
-    double start = 0;
+    std::unordered_set<int> deps;
     for (const ir::OpNode* node : job.nodes) {
       for (const ir::OpNode* in : node->inputs) {
         const int dep_job = state_.node_job.at(in->id);
         if (dep_job != job.id) {
-          const auto it = finish.find(dep_job);
-          CONCLAVE_CHECK(it != finish.end());  // Jobs are topologically ordered.
-          start = std::max(start, it->second);
+          deps.insert(dep_job);
         }
       }
     }
-    finish[job.id] = start + job_duration[job.id];
+    unmet_deps[job.id] = static_cast<int>(deps.size());
+    for (int dep : deps) {
+      job_dependents[dep].push_back(job.id);
+    }
+  }
+  std::vector<int> ready;
+  for (const compiler::Job& job : compilation_.plan.jobs) {
+    if (unmet_deps[job.id] == 0) {
+      ready.push_back(job.id);
+    }
+  }
+  std::unordered_map<int, const compiler::Job*> job_by_id;
+  for (const compiler::Job& job : compilation_.plan.jobs) {
+    job_by_id[job.id] = &job;
+  }
+  while (!ready.empty()) {
+    const int id = ready.back();
+    ready.pop_back();
+    const compiler::Job& job = *job_by_id.at(id);
+    double start = 0;
+    for (const ir::OpNode* node : job.nodes) {
+      for (const ir::OpNode* in : node->inputs) {
+        const int dep_job = state_.node_job.at(in->id);
+        if (dep_job != id) {
+          start = std::max(start, finish.at(dep_job));
+        }
+      }
+    }
+    finish[id] = start + job_duration[id];
+    for (int dependent : job_dependents[id]) {
+      if (--unmet_deps[dependent] == 0) {
+        ready.push_back(dependent);
+      }
+    }
+  }
+  // A cyclic job graph would leave jobs unscheduled; the partitioner never builds
+  // one for DAG-shaped queries.
+  CONCLAVE_CHECK_EQ(finish.size(), compilation_.plan.jobs.size());
+  for (const compiler::Job& job : compilation_.plan.jobs) {
     if (job.kind == compiler::JobKind::kLocal) {
       result.local_seconds += job_duration[job.id];
     }
@@ -616,6 +765,20 @@ StatusOr<ExecutionResult> JobGraphExecutor::FinalizeAccounting(
 
 }  // namespace
 
+int Dispatcher::DefaultShardCount() {
+  if (const char* env = std::getenv("CONCLAVE_SHARDS")) {
+    const std::string value(env);
+    if (value == "auto") {
+      return kAutoShardCount;
+    }
+    const int parsed = std::atoi(env);
+    if (parsed > 0) {
+      return parsed;
+    }
+  }
+  return 1;
+}
+
 StatusOr<ExecutionResult> Dispatcher::Run(
     const ir::Dag& dag, const compiler::Compilation& compilation,
     const std::map<std::string, Relation>& inputs) {
@@ -624,6 +787,16 @@ StatusOr<ExecutionResult> Dispatcher::Run(
   RunState state(model_, seed_, compilation.num_parties, use_gc,
                  compilation.options.use_spark,
                  compilation.options.malicious_security);
+  int shards = shard_count_ == 0 ? DefaultShardCount() : shard_count_;
+  if (shards == kAutoShardCount) {
+    int64_t total_rows = 0;
+    for (const auto& [name, relation] : inputs) {
+      total_rows += relation.NumRows();
+    }
+    shards = compiler::ChooseShardCount(compilation.plan, model_,
+                                        pool().parallelism(), total_rows);
+  }
+  state.shard_count = std::max(1, shards);
 
   for (const compiler::Job& job : compilation.plan.jobs) {
     for (const ir::OpNode* node : job.nodes) {

@@ -43,15 +43,27 @@ namespace backends {
 
 class Dispatcher {
  public:
+  // `shard_count` = kAutoShardCount asks the planner for a cost-model-priced
+  // shard-count decision (compiler::ChooseShardCount).
+  static constexpr int kAutoShardCount = -1;
+
   // `pool_parallelism` sets the executor's thread budget: 0 shares the process-wide
   // pool (sized to the hardware), 1 runs fully serial, N > 1 creates a dedicated
-  // pool with N lanes. Results and virtual time are identical for every value.
-  Dispatcher(CostModel model, uint64_t seed, int pool_parallelism = 0)
-      : model_(model), seed_(seed) {
+  // pool with N lanes. `shard_count` sets the cleartext data plane's horizontal
+  // shard count: 0 resolves the CONCLAVE_SHARDS env override (default 1, today's
+  // single-relation execution), N > 1 runs per-shard operator instances that
+  // coalesce at the MPC frontier, kAutoShardCount defers to the planner. Results
+  // and virtual time are identical for every {pool, shard} combination.
+  Dispatcher(CostModel model, uint64_t seed, int pool_parallelism = 0,
+             int shard_count = 0)
+      : model_(model), seed_(seed), shard_count_(shard_count) {
     if (pool_parallelism > 0) {
       owned_pool_ = std::make_unique<ThreadPool>(pool_parallelism);
     }
   }
+
+  // CONCLAVE_SHARDS env override ("auto" = kAutoShardCount), else 1.
+  static int DefaultShardCount();
 
   // Executes the compiled plan. `inputs` maps each Create node's name to the relation
   // its owning party contributes. The DAG must be the one `compilation` was built
@@ -67,6 +79,7 @@ class Dispatcher {
 
   CostModel model_;
   uint64_t seed_;
+  int shard_count_ = 0;
   std::unique_ptr<ThreadPool> owned_pool_;
 };
 

@@ -11,6 +11,7 @@
 #include "conclave/common/status.h"
 #include "conclave/ir/op.h"
 #include "conclave/relational/relation.h"
+#include "conclave/relational/sharded.h"
 
 namespace conclave {
 namespace backends {
@@ -18,6 +19,16 @@ namespace backends {
 // Executes one non-Create node on cleartext inputs (one Relation per DAG input).
 StatusOr<Relation> ExecuteLocal(const ir::OpNode& node,
                                 const std::vector<const Relation*>& inputs);
+
+// Shard-aware variant: each DAG input arrives as a non-owning shard pointer list
+// (a one-entry list for unsharded values) and the output is a sharded relation
+// honoring the canonical-order invariant — coalescing it yields exactly what
+// ExecuteLocal returns on the coalesced inputs. Operators without a sharded kernel
+// (window, pad) coalesce, execute unsharded, and re-split into `shard_count`
+// shards.
+StatusOr<ShardedRelation> ExecuteLocalSharded(
+    const ir::OpNode& node,
+    const std::vector<std::vector<const Relation*>>& inputs, int shard_count);
 
 }  // namespace backends
 }  // namespace conclave

@@ -27,6 +27,19 @@ class SplitMix64 {
   uint64_t state_;
 };
 
+// One SplitMix64 absorption step: folds `value` into the running hash `h`. The
+// single definition behind every multi-word key hash in the repo — the join
+// kernels' key maps (ops.cc) and the exchange step's bucket placement
+// (shard_ops.cc) must agree bit for bit, so they all chain this helper.
+inline uint64_t HashChainStep(uint64_t h, uint64_t value) {
+  uint64_t z = value + 0x9e3779b97f4a7c15ULL + h;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline constexpr uint64_t kHashChainSeed = 0x9e3779b97f4a7c15ULL;
+
 // Counter-based generator: word `index` of stream `stream` is a pure function of
 // (seed, stream, index) — SplitMix64's finalizer over a per-stream base. Unlike the
 // sequential generators below, any subset of a stream can be evaluated in any order

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "conclave/common/logging.h"
+#include "conclave/common/thread_pool.h"
 #include "conclave/compiler/backend_chooser.h"
 #include "conclave/compiler/hybrid_transform.h"
 #include "conclave/compiler/ownership.h"
@@ -111,6 +112,20 @@ StatusOr<Compilation> Compile(ir::Dag& dag, const CompilerOptions& options) {
   result.plan = PartitionDag(dag);
   result.generated_code =
       GenerateCode(result.plan, result.options.mpc_backend, options.use_spark);
+  if (result.has_cost_report) {
+    // Sharding advice for the explain listing: priced from the Create nodes' row
+    // hints (the planner's compile-time input knowledge) at the configured or
+    // hardware-default pool.
+    int64_t hinted_rows = 0;
+    for (const ir::OpNode* create : dag.Creates()) {
+      hinted_rows += create->Params<ir::CreateParams>().num_rows_hint;
+    }
+    const int pool = options.planning_pool_parallelism > 0
+                         ? options.planning_pool_parallelism
+                         : ThreadPool::DefaultParallelism();
+    AnnotateShardAdvice(result.cost_report, result.plan,
+                        options.planning_cost_model, pool, hinted_rows);
+  }
 
   CONCLAVE_LOG(kInfo, "compiled query: %zu transformations, %zu jobs",
                result.transformations.size(), result.plan.jobs.size());

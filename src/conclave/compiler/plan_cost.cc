@@ -768,7 +768,20 @@ std::string PlanCostReport::ToString() const {
                      FormatSeconds(node.sharemind).c_str(),
                      FormatSeconds(node.oblivc).c_str());
   }
+  out += StrFormat("shard-advice: %d shard(s) (cleartext scan %s)\n",
+                   recommended_shard_count,
+                   FormatPlanSeconds(cleartext_scan_seconds).c_str());
   return out;
+}
+
+void AnnotateShardAdvice(PlanCostReport& report, const ExecutionPlan& plan,
+                         const CostModel& model, int pool_parallelism,
+                         int64_t total_input_rows) {
+  report.cleartext_scan_seconds = model.CleartextScanSeconds(
+      total_input_rows < 0 ? 0 : static_cast<uint64_t>(total_input_rows),
+      /*use_spark=*/false);
+  report.recommended_shard_count =
+      ChooseShardCount(plan, model, pool_parallelism, total_input_rows);
 }
 
 PlanCostReport EstimatePlanCost(const ir::Dag& dag, const CostModel& model,

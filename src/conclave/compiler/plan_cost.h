@@ -20,6 +20,7 @@
 
 #include "conclave/compiler/cardinality.h"
 #include "conclave/compiler/codegen.h"
+#include "conclave/compiler/partition.h"
 #include "conclave/ir/dag.h"
 #include "conclave/net/cost_model.h"
 
@@ -60,8 +61,15 @@ struct PlanCostReport {
   // surfaces the predicted OOM as a typed status.
   MpcBackendKind cheapest = MpcBackendKind::kSharemind;
 
+  // Sharding advice for the cleartext data plane (filled by AnnotateShardAdvice
+  // after partitioning): the shard count compiler::ChooseShardCount picks for this
+  // plan and the priced cleartext scan seconds that justified it. Advisory only —
+  // sharding changes wall clock, never results or virtual time.
+  int recommended_shard_count = 1;
+  double cleartext_scan_seconds = 0;
+
   // The explain listing: one header line ("plan-cost: ...") plus one line per node
-  // with estimated rows and per-backend seconds.
+  // with estimated rows and per-backend seconds, and a trailing shard-advice line.
   std::string ToString() const;
 };
 
@@ -76,6 +84,15 @@ std::string FormatPlanSeconds(double seconds, int decimals = 3);
 PlanCostReport EstimatePlanCost(const ir::Dag& dag, const CostModel& model,
                                 int num_parties,
                                 const CardinalityOptions& cardinality = {});
+
+// Fills the report's sharding advice from the partitioned plan: prices the
+// cleartext portion with the shared cost model and records the shard count
+// ChooseShardCount would pick at `pool_parallelism`. `total_input_rows` is the
+// planner's input-size knowledge (the Create nodes' row hints at compile time, or
+// the actual input sizes when the dispatcher decides at run time).
+void AnnotateShardAdvice(PlanCostReport& report, const ExecutionPlan& plan,
+                         const CostModel& model, int pool_parallelism,
+                         int64_t total_input_rows);
 
 }  // namespace compiler
 }  // namespace conclave

@@ -10,6 +10,7 @@
 
 #include "conclave/common/status.h"
 #include "conclave/relational/relation.h"
+#include "conclave/relational/sharded.h"
 
 namespace conclave {
 
@@ -19,6 +20,13 @@ Status WriteCsv(const Relation& relation, const std::string& path);
 // String-based variants (used by tests and in-memory pipelines).
 StatusOr<Relation> ParseCsv(const std::string& text);
 std::string ToCsv(const Relation& relation);
+
+// Sharded ingest: parses the data lines into `shard_count` contiguous shards, one
+// parallel parse task per shard. Bit-identical to
+// ShardedRelation::SplitEven(ParseCsv(text), shard_count), including which error
+// is reported on malformed input (the earliest line wins).
+StatusOr<ShardedRelation> ParseCsvSharded(const std::string& text, int shard_count);
+StatusOr<ShardedRelation> ReadCsvSharded(const std::string& path, int shard_count);
 
 }  // namespace conclave
 

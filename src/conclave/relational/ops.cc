@@ -5,6 +5,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "conclave/common/rng.h"
 #include "conclave/common/strings.h"
 #include "conclave/common/thread_pool.h"
 
@@ -94,12 +95,9 @@ namespace {
 // Mixes a multi-column key into one hash (SplitMix64 finalizer per word).
 struct KeyHash {
   size_t operator()(const std::vector<int64_t>& key) const {
-    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    uint64_t h = kHashChainSeed;
     for (int64_t v : key) {
-      uint64_t z = static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL + h;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      h = z ^ (z >> 31);
+      h = HashChainStep(h, static_cast<uint64_t>(v));
     }
     return static_cast<size_t>(h);
   }
@@ -359,16 +357,26 @@ JoinPairs JoinPairsMultiKey(const Relation& left, const Relation& right,
 
 }  // namespace
 
+void JoinRowPairs(const Relation& left, const Relation& right,
+                  std::span<const int> left_keys, std::span<const int> right_keys,
+                  std::vector<int64_t>* left_rows, std::vector<int64_t>* right_rows) {
+  JoinPairs pairs =
+      left_keys.size() == 1
+          ? JoinPairsSingleKey(left, right, left_keys[0], right_keys[0])
+          : JoinPairsMultiKey(left, right, left_keys, right_keys);
+  *left_rows = std::move(pairs.left_rows);
+  *right_rows = std::move(pairs.right_rows);
+}
+
 Relation Join(const Relation& left, const Relation& right,
               std::span<const int> left_keys, std::span<const int> right_keys) {
   std::vector<int> left_rest;
   std::vector<int> right_rest;
   Relation output{JoinOutputSchema(left.schema(), right.schema(), left_keys,
                                    right_keys, &left_rest, &right_rest)};
-  const JoinPairs pairs =
-      left_keys.size() == 1
-          ? JoinPairsSingleKey(left, right, left_keys[0], right_keys[0])
-          : JoinPairsMultiKey(left, right, left_keys, right_keys);
+  JoinPairs pairs;
+  JoinRowPairs(left, right, left_keys, right_keys, &pairs.left_rows,
+               &pairs.right_rows);
 
   // Assemble per output column: contiguous gathers from the owning side.
   output.Resize(static_cast<int64_t>(pairs.left_rows.size()));

@@ -122,6 +122,15 @@ Relation Filter(const Relation& input, const FilterPredicate& predicate);
 Relation Join(const Relation& left, const Relation& right,
               std::span<const int> left_keys, std::span<const int> right_keys);
 
+// The matching (left row, right row) pairs of the inner equi-join, in exactly the
+// order Join materializes rows: left-scan order, ascending right row within each
+// match set. Join is a gather over this pair stream; the sharded partitioned join
+// (shard_ops.h) consumes it per bucket so it can merge bucket outputs back into the
+// unsharded order by row provenance.
+void JoinRowPairs(const Relation& left, const Relation& right,
+                  std::span<const int> left_keys, std::span<const int> right_keys,
+                  std::vector<int64_t>* left_rows, std::vector<int64_t>* right_rows);
+
 // Group-by aggregate. Output schema: group columns, then one aggregate column named
 // `output_name`. For kCount, `agg_column` is ignored. Output rows are sorted by group
 // key, making cleartext evaluation deterministic. An empty `group_columns` computes a

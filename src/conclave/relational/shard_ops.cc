@@ -1,0 +1,604 @@
+#include "conclave/relational/shard_ops.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "conclave/common/rng.h"
+#include "conclave/common/thread_pool.h"
+
+namespace conclave {
+namespace ops {
+namespace {
+
+// One row of one shard: the reference currency of every merge step.
+struct ShardRowRef {
+  int32_t shard = 0;
+  int64_t row = 0;
+};
+
+// SplitMix64 chain over the key cells (the shared HashChainStep, same
+// construction as the join hash in ops.cc and independent of std::hash, so
+// bucket placement is deterministic across standard libraries).
+uint64_t HashKeyCells(std::span<const int64_t* const> columns, int64_t row) {
+  uint64_t h = kHashChainSeed;
+  for (const int64_t* column : columns) {
+    h = HashChainStep(h, static_cast<uint64_t>(column[row]));
+  }
+  return h;
+}
+
+std::vector<const int64_t*> ShardColumnPtrs(const Relation& rel,
+                                            std::span<const int> columns) {
+  std::vector<const int64_t*> ptrs;
+  ptrs.reserve(columns.size());
+  for (int c : columns) {
+    ptrs.push_back(rel.ColumnSpan(c).data());
+  }
+  return ptrs;
+}
+
+// Lexicographic three-way compare between rows of (possibly different) shards,
+// restricted to the hoisted column pointer sets.
+int CompareAcross(std::span<const int64_t* const> a_cols, int64_t a_row,
+                  std::span<const int64_t* const> b_cols, int64_t b_row) {
+  for (size_t k = 0; k < a_cols.size(); ++k) {
+    const int64_t a = a_cols[k][a_row];
+    const int64_t b = b_cols[k][b_row];
+    if (a < b) {
+      return -1;
+    }
+    if (a > b) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+// Materializes rows referenced across `sources` into `out_shard_count` contiguous
+// shards (shard boundaries depend only on the total row count). The output schema
+// is `schema`; refs are gathered column by column, shards filled in parallel.
+ShardedRelation MaterializeRefs(std::span<const Relation* const> sources,
+                                const Schema& schema,
+                                std::span<const ShardRowRef> order,
+                                int out_shard_count) {
+  const int64_t rows = static_cast<int64_t>(order.size());
+  const int cols = schema.NumColumns();
+  ShardedRelation out(schema);
+  std::vector<Relation> shards(static_cast<size_t>(out_shard_count),
+                               Relation{schema});
+  // Hoist per-source column base pointers.
+  std::vector<std::vector<const int64_t*>> src_cols(sources.size());
+  for (size_t s = 0; s < sources.size(); ++s) {
+    src_cols[s].reserve(static_cast<size_t>(cols));
+    for (int c = 0; c < cols; ++c) {
+      src_cols[s].push_back(sources[s]->ColumnSpan(c).data());
+    }
+  }
+  ParallelFor(0, out_shard_count, [&](int64_t lo, int64_t hi) {
+    for (int64_t s = lo; s < hi; ++s) {
+      const int64_t begin = rows * s / out_shard_count;
+      const int64_t end = rows * (s + 1) / out_shard_count;
+      Relation& shard = shards[static_cast<size_t>(s)];
+      shard.Resize(end - begin);
+      for (int c = 0; c < cols; ++c) {
+        int64_t* const dst = shard.ColumnData(c);
+        for (int64_t i = begin; i < end; ++i) {
+          const ShardRowRef& ref = order[static_cast<size_t>(i)];
+          dst[i - begin] = src_cols[static_cast<size_t>(ref.shard)]
+                                   [static_cast<size_t>(c)][ref.row];
+        }
+      }
+    }
+  }, /*grain=*/1);
+  for (Relation& shard : shards) {
+    out.AddShard(std::move(shard));
+  }
+  return out;
+}
+
+// K-way merge driver: `sizes[s]` is stream s's length, `comes_before(a, b)` says
+// whether stream a's *current* head precedes stream b's (and must break ties
+// toward the lower stream index, which is what makes the merges stable), and
+// `emit(s)` consumes stream s's head (the caller advances its own head cursor).
+// Streams sit in a heap keyed by their current heads — valid because only the
+// just-popped stream's head changes — so the merge is O(total log K) instead of
+// the O(total x K) linear head scan.
+template <typename ComesBefore, typename Emit>
+void KWayMerge(std::span<const int64_t> sizes, ComesBefore comes_before,
+               Emit emit) {
+  // std::push_heap keeps the element that compares LARGEST at the front, so the
+  // heap comparator inverts comes_before to pop the stream that comes first.
+  const auto heap_after = [&](int a, int b) { return comes_before(b, a); };
+  std::vector<int> heap;
+  std::vector<int64_t> consumed(sizes.size(), 0);
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    if (sizes[s] > 0) {
+      heap.push_back(static_cast<int>(s));
+    }
+  }
+  std::make_heap(heap.begin(), heap.end(), heap_after);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), heap_after);
+    const int s = heap.back();
+    heap.pop_back();
+    emit(s);
+    if (++consumed[static_cast<size_t>(s)] < sizes[static_cast<size_t>(s)]) {
+      heap.push_back(s);
+      std::push_heap(heap.begin(), heap.end(), heap_after);
+    }
+  }
+}
+
+// Runs `body(shard_index)` over every shard on the pool and returns the per-shard
+// relations as a ShardedRelation (shard order preserved).
+template <typename Body>
+ShardedRelation PerShard(std::span<const Relation* const> shards, Body body) {
+  CONCLAVE_CHECK_GT(shards.size(), 0u);
+  std::vector<Relation> results(shards.size());
+  ParallelFor(0, static_cast<int64_t>(shards.size()), [&](int64_t lo, int64_t hi) {
+    for (int64_t s = lo; s < hi; ++s) {
+      results[static_cast<size_t>(s)] = body(static_cast<size_t>(s));
+    }
+  }, /*grain=*/1);
+  ShardedRelation out(results.front().schema());
+  for (Relation& shard : results) {
+    out.AddShard(std::move(shard));
+  }
+  return out;
+}
+
+}  // namespace
+
+int ShardOfKey(std::span<const int64_t> key, int bucket_count) {
+  CONCLAVE_CHECK_GT(bucket_count, 0);
+  uint64_t h = kHashChainSeed;
+  for (int64_t v : key) {
+    h = HashChainStep(h, static_cast<uint64_t>(v));
+  }
+  return static_cast<int>(h % static_cast<uint64_t>(bucket_count));
+}
+
+std::vector<Relation> ExchangeByHash(
+    std::span<const Relation* const> shards, std::span<const int> key_columns,
+    int bucket_count, std::vector<std::vector<int64_t>>* bucket_gids) {
+  CONCLAVE_CHECK_GT(shards.size(), 0u);
+  CONCLAVE_CHECK_GT(bucket_count, 0);
+  const Schema& schema = shards[0]->schema();
+
+  // Canonical global row id base of each shard.
+  std::vector<int64_t> gid_base(shards.size());
+  int64_t total = 0;
+  for (size_t s = 0; s < shards.size(); ++s) {
+    gid_base[s] = total;
+    total += shards[s]->NumRows();
+  }
+
+  // Pass 1: per (source shard, bucket) row lists, built in one scan per shard
+  // (shard-parallel). Row order within each list is the shard's row order.
+  std::vector<std::vector<std::vector<int64_t>>> rows_for(shards.size());
+  ParallelFor(0, static_cast<int64_t>(shards.size()), [&](int64_t lo, int64_t hi) {
+    for (int64_t s = lo; s < hi; ++s) {
+      const Relation& shard = *shards[static_cast<size_t>(s)];
+      const int64_t rows = shard.NumRows();
+      auto& my_buckets = rows_for[static_cast<size_t>(s)];
+      my_buckets.resize(static_cast<size_t>(bucket_count));
+      if (rows == 0) {
+        continue;
+      }
+      const auto keys = ShardColumnPtrs(shard, key_columns);
+      for (int64_t r = 0; r < rows; ++r) {
+        my_buckets[static_cast<size_t>(
+                       HashKeyCells(keys, r) % static_cast<uint64_t>(bucket_count))]
+            .push_back(r);
+      }
+    }
+  }, /*grain=*/1);
+
+  // Pass 2: per-bucket gather, concatenating the per-shard lists in shard order so
+  // every bucket preserves canonical relative order. O(rows) total, not
+  // O(rows x buckets).
+  std::vector<Relation> buckets(static_cast<size_t>(bucket_count),
+                                Relation{schema});
+  if (bucket_gids != nullptr) {
+    bucket_gids->assign(static_cast<size_t>(bucket_count), {});
+  }
+  const int cols = schema.NumColumns();
+  ParallelFor(0, bucket_count, [&](int64_t lo, int64_t hi) {
+    for (int64_t b = lo; b < hi; ++b) {
+      int64_t bucket_rows = 0;
+      for (size_t s = 0; s < shards.size(); ++s) {
+        bucket_rows += static_cast<int64_t>(rows_for[s][static_cast<size_t>(b)].size());
+      }
+      Relation& bucket = buckets[static_cast<size_t>(b)];
+      bucket.Resize(bucket_rows);
+      std::vector<int64_t> gids;
+      if (bucket_gids != nullptr) {
+        gids.reserve(static_cast<size_t>(bucket_rows));
+      }
+      int64_t offset = 0;
+      for (size_t s = 0; s < shards.size(); ++s) {
+        const auto& rows = rows_for[s][static_cast<size_t>(b)];
+        for (int c = 0; c < cols; ++c) {
+          const auto src = shards[s]->ColumnSpan(c);
+          int64_t* const dst = bucket.ColumnData(c) + offset;
+          for (size_t i = 0; i < rows.size(); ++i) {
+            dst[i] = src[static_cast<size_t>(rows[i])];
+          }
+        }
+        if (bucket_gids != nullptr) {
+          for (int64_t r : rows) {
+            gids.push_back(gid_base[s] + r);
+          }
+        }
+        offset += static_cast<int64_t>(rows.size());
+      }
+      if (bucket_gids != nullptr) {
+        (*bucket_gids)[static_cast<size_t>(b)] = std::move(gids);
+      }
+    }
+  }, /*grain=*/1);
+  return buckets;
+}
+
+ShardedRelation ShardedFilter(std::span<const Relation* const> shards,
+                              const FilterPredicate& predicate) {
+  return PerShard(shards, [&](size_t s) { return Filter(*shards[s], predicate); });
+}
+
+ShardedRelation ShardedProject(std::span<const Relation* const> shards,
+                               std::span<const int> columns) {
+  return PerShard(shards, [&](size_t s) { return Project(*shards[s], columns); });
+}
+
+ShardedRelation ShardedArithmetic(std::span<const Relation* const> shards,
+                                  const ArithSpec& spec) {
+  return PerShard(shards, [&](size_t s) { return Arithmetic(*shards[s], spec); });
+}
+
+ShardedRelation ShardedLimit(std::span<const Relation* const> shards,
+                             int64_t count) {
+  CONCLAVE_CHECK_GE(count, 0);
+  // The prefix of the canonical order: per-shard take counts are fixed up front,
+  // then the truncations run shard-parallel.
+  std::vector<int64_t> takes(shards.size());
+  int64_t remaining = count;
+  for (size_t s = 0; s < shards.size(); ++s) {
+    takes[s] = std::min(remaining, shards[s]->NumRows());
+    remaining -= takes[s];
+  }
+  return PerShard(shards, [&](size_t s) { return Limit(*shards[s], takes[s]); });
+}
+
+ShardedRelation ShardedRebalance(std::span<const Relation* const> shards,
+                                 int out_shard_count) {
+  CONCLAVE_CHECK_GT(shards.size(), 0u);
+  const Schema& schema = shards[0]->schema();
+  // Canonical offsets of the source runs: output shard s covers canonical rows
+  // [total*s/n, total*(s+1)/n), materialized as contiguous per-column range
+  // copies from the overlapping sources (no per-row indirection).
+  std::vector<int64_t> src_begin(shards.size() + 1, 0);
+  for (size_t s = 0; s < shards.size(); ++s) {
+    src_begin[s + 1] = src_begin[s] + shards[s]->NumRows();
+  }
+  const int64_t total = src_begin.back();
+  const int cols = schema.NumColumns();
+  ShardedRelation out(schema);
+  std::vector<Relation> out_shards(static_cast<size_t>(out_shard_count),
+                                   Relation{schema});
+  ParallelFor(0, out_shard_count, [&](int64_t lo, int64_t hi) {
+    for (int64_t s = lo; s < hi; ++s) {
+      const int64_t begin = total * s / out_shard_count;
+      const int64_t end = total * (s + 1) / out_shard_count;
+      Relation& shard = out_shards[static_cast<size_t>(s)];
+      shard.Resize(end - begin);
+      // First source run overlapping `begin`.
+      size_t src = static_cast<size_t>(
+          std::upper_bound(src_begin.begin(), src_begin.end(), begin) -
+          src_begin.begin() - 1);
+      for (int64_t at = begin; at < end; ++src) {
+        const int64_t run_lo = at - src_begin[src];
+        const int64_t run_hi =
+            std::min<int64_t>(shards[src]->NumRows(), end - src_begin[src]);
+        if (run_hi <= run_lo) {
+          continue;  // Empty source run.
+        }
+        for (int c = 0; c < cols; ++c) {
+          const auto column = shards[src]->ColumnSpan(c);
+          std::copy(column.begin() + run_lo, column.begin() + run_hi,
+                    shard.ColumnData(c) + (at - begin));
+        }
+        at += run_hi - run_lo;
+      }
+    }
+  }, /*grain=*/1);
+  for (Relation& shard : out_shards) {
+    out.AddShard(std::move(shard));
+  }
+  return out;
+}
+
+ShardedRelation ShardedJoin(std::span<const Relation* const> left,
+                            std::span<const Relation* const> right,
+                            std::span<const int> left_keys,
+                            std::span<const int> right_keys, int shard_count) {
+  CONCLAVE_CHECK_GT(shard_count, 0);
+  // Exchange both sides on the join key: co-partitioned buckets carry their rows'
+  // canonical gids so the merge can restore ops::Join's output order.
+  std::vector<std::vector<int64_t>> left_gids;
+  std::vector<std::vector<int64_t>> right_gids;
+  const std::vector<Relation> left_buckets =
+      ExchangeByHash(left, left_keys, shard_count, &left_gids);
+  const std::vector<Relation> right_buckets =
+      ExchangeByHash(right, right_keys, shard_count, &right_gids);
+
+  // Per-bucket hash joins: the pair streams come out sorted by (left gid, right
+  // gid) because exchange preserves canonical order on both sides.
+  struct BucketPairs {
+    std::vector<int64_t> left_rows;
+    std::vector<int64_t> right_rows;
+  };
+  std::vector<BucketPairs> pairs(static_cast<size_t>(shard_count));
+  ParallelFor(0, shard_count, [&](int64_t lo, int64_t hi) {
+    for (int64_t b = lo; b < hi; ++b) {
+      JoinRowPairs(left_buckets[static_cast<size_t>(b)],
+                   right_buckets[static_cast<size_t>(b)], left_keys, right_keys,
+                   &pairs[static_cast<size_t>(b)].left_rows,
+                   &pairs[static_cast<size_t>(b)].right_rows);
+    }
+  }, /*grain=*/1);
+
+  // K-way merge of the bucket streams by (left gid, right gid). Left gids are
+  // disjoint across buckets (each left row hashes to exactly one bucket), so the
+  // merged order is exactly the unsharded left-scan order.
+  int64_t total = 0;
+  std::vector<int64_t> sizes(static_cast<size_t>(shard_count));
+  for (int b = 0; b < shard_count; ++b) {
+    sizes[static_cast<size_t>(b)] =
+        static_cast<int64_t>(pairs[static_cast<size_t>(b)].left_rows.size());
+    total += sizes[static_cast<size_t>(b)];
+  }
+  std::vector<std::pair<int32_t, int64_t>> order;  // (bucket, pair index)
+  order.reserve(static_cast<size_t>(total));
+  std::vector<size_t> heads(static_cast<size_t>(shard_count), 0);
+  const auto head_gids = [&](int b) {
+    const BucketPairs& bucket = pairs[static_cast<size_t>(b)];
+    const size_t head = heads[static_cast<size_t>(b)];
+    return std::pair<int64_t, int64_t>(
+        left_gids[static_cast<size_t>(b)]
+                 [static_cast<size_t>(bucket.left_rows[head])],
+        right_gids[static_cast<size_t>(b)]
+                  [static_cast<size_t>(bucket.right_rows[head])]);
+  };
+  KWayMerge(
+      sizes,
+      [&](int a, int b) {
+        const auto ga = head_gids(a);
+        const auto gb = head_gids(b);
+        return ga != gb ? ga < gb : a < b;
+      },
+      [&](int b) {
+        order.emplace_back(static_cast<int32_t>(b),
+                           static_cast<int64_t>(heads[static_cast<size_t>(b)]));
+        ++heads[static_cast<size_t>(b)];
+      });
+
+  // Materialize straight into contiguous output shards: keys and left rest gather
+  // from the left bucket, right rest from the right bucket.
+  std::vector<int> left_rest;
+  std::vector<int> right_rest;
+  const Schema out_schema =
+      JoinOutputSchema(left[0]->schema(), right[0]->schema(), left_keys,
+                       right_keys, &left_rest, &right_rest);
+  std::vector<int> left_cols(left_keys.begin(), left_keys.end());
+  left_cols.insert(left_cols.end(), left_rest.begin(), left_rest.end());
+
+  ShardedRelation out(out_schema);
+  std::vector<Relation> out_shards(static_cast<size_t>(shard_count),
+                                   Relation{out_schema});
+  ParallelFor(0, shard_count, [&](int64_t lo, int64_t hi) {
+    for (int64_t s = lo; s < hi; ++s) {
+      const int64_t begin = total * s / shard_count;
+      const int64_t end = total * (s + 1) / shard_count;
+      Relation& shard = out_shards[static_cast<size_t>(s)];
+      shard.Resize(end - begin);
+      int out_col = 0;
+      for (int c : left_cols) {
+        int64_t* const dst = shard.ColumnData(out_col++);
+        for (int64_t i = begin; i < end; ++i) {
+          const auto& [bucket, idx] = order[static_cast<size_t>(i)];
+          const int64_t lr =
+              pairs[static_cast<size_t>(bucket)].left_rows[static_cast<size_t>(idx)];
+          dst[i - begin] =
+              left_buckets[static_cast<size_t>(bucket)].ColumnSpan(c)
+                          [static_cast<size_t>(lr)];
+        }
+      }
+      for (int c : right_rest) {
+        int64_t* const dst = shard.ColumnData(out_col++);
+        for (int64_t i = begin; i < end; ++i) {
+          const auto& [bucket, idx] = order[static_cast<size_t>(i)];
+          const int64_t rr =
+              pairs[static_cast<size_t>(bucket)].right_rows[static_cast<size_t>(idx)];
+          dst[i - begin] =
+              right_buckets[static_cast<size_t>(bucket)].ColumnSpan(c)
+                           [static_cast<size_t>(rr)];
+        }
+      }
+    }
+  }, /*grain=*/1);
+  for (Relation& shard : out_shards) {
+    out.AddShard(std::move(shard));
+  }
+  return out;
+}
+
+ShardedRelation ShardedAggregate(std::span<const Relation* const> shards,
+                                 std::span<const int> group_columns, AggKind kind,
+                                 int agg_column, const std::string& output_name,
+                                 int out_shard_count) {
+  CONCLAVE_CHECK_GT(shards.size(), 0u);
+  const int num_groups = static_cast<int>(group_columns.size());
+  std::vector<int> partial_groups(static_cast<size_t>(num_groups));
+  for (int i = 0; i < num_groups; ++i) {
+    partial_groups[static_cast<size_t>(i)] = i;
+  }
+  const int partial_value = num_groups;  // Partial value column index.
+
+  if (kind != AggKind::kMean) {
+    // One partial per shard with the same kind, then one combining aggregate over
+    // the concatenated partials (sum/min/max combine with themselves; counts
+    // combine by summing the partial counts).
+    const AggKind combine = kind == AggKind::kCount ? AggKind::kSum : kind;
+    std::vector<Relation> partials(shards.size());
+    ParallelFor(0, static_cast<int64_t>(shards.size()), [&](int64_t lo, int64_t hi) {
+      for (int64_t s = lo; s < hi; ++s) {
+        partials[static_cast<size_t>(s)] = Aggregate(
+            *shards[static_cast<size_t>(s)], group_columns, kind, agg_column,
+            output_name);
+      }
+    }, /*grain=*/1);
+    const Relation merged = Concat(partials);
+    return ShardedRelation::SplitEven(
+        Aggregate(merged, partial_groups, combine, partial_value, output_name),
+        out_shard_count);
+  }
+
+  // kMean: partial (sum, count) per shard, combined per group, finalized with the
+  // same truncating division ops::Aggregate applies (count > 0 post-merge).
+  std::vector<Relation> sums(shards.size());
+  std::vector<Relation> counts(shards.size());
+  ParallelFor(0, static_cast<int64_t>(shards.size()), [&](int64_t lo, int64_t hi) {
+    for (int64_t s = lo; s < hi; ++s) {
+      sums[static_cast<size_t>(s)] =
+          Aggregate(*shards[static_cast<size_t>(s)], group_columns, AggKind::kSum,
+                    agg_column, output_name);
+      counts[static_cast<size_t>(s)] =
+          Aggregate(*shards[static_cast<size_t>(s)], group_columns,
+                    AggKind::kCount, agg_column, output_name);
+    }
+  }, /*grain=*/1);
+  Relation total_sum = Aggregate(Concat(sums), partial_groups, AggKind::kSum,
+                                 partial_value, output_name);
+  const Relation total_count = Aggregate(Concat(counts), partial_groups,
+                                         AggKind::kSum, partial_value, output_name);
+  // Both totals are sorted by the identical group key set, so rows align 1:1.
+  CONCLAVE_CHECK_EQ(total_sum.NumRows(), total_count.NumRows());
+  Relation result = std::move(total_sum);
+  const int64_t rows = result.NumRows();
+  if (rows > 0) {
+    int64_t* const means = result.ColumnData(partial_value);
+    const int64_t* const cnts = total_count.ColumnSpan(partial_value).data();
+    for (int64_t r = 0; r < rows; ++r) {
+      means[r] = cnts[r] == 0 ? 0 : means[r] / cnts[r];
+    }
+  }
+  return ShardedRelation::SplitEven(result, out_shard_count);
+}
+
+ShardedRelation ShardedSortBy(std::span<const Relation* const> shards,
+                              std::span<const int> columns, bool ascending,
+                              int out_shard_count) {
+  CONCLAVE_CHECK_GT(shards.size(), 0u);
+  // Per-shard stable sorted runs.
+  std::vector<Relation> runs(shards.size());
+  ParallelFor(0, static_cast<int64_t>(shards.size()), [&](int64_t lo, int64_t hi) {
+    for (int64_t s = lo; s < hi; ++s) {
+      runs[static_cast<size_t>(s)] =
+          SortBy(*shards[static_cast<size_t>(s)], columns, ascending);
+    }
+  }, /*grain=*/1);
+
+  // K-way stable merge: on ties the lower shard wins, and shards are contiguous
+  // canonical ranges, so the merged order equals the global stable sort.
+  std::vector<std::vector<const int64_t*>> run_cols(runs.size());
+  std::vector<const Relation*> run_ptrs(runs.size());
+  std::vector<int64_t> sizes(runs.size());
+  int64_t total = 0;
+  for (size_t s = 0; s < runs.size(); ++s) {
+    run_cols[s] = ShardColumnPtrs(runs[s], columns);
+    run_ptrs[s] = &runs[s];
+    sizes[s] = runs[s].NumRows();
+    total += sizes[s];
+  }
+  std::vector<ShardRowRef> order;
+  order.reserve(static_cast<size_t>(total));
+  std::vector<int64_t> heads(runs.size(), 0);
+  KWayMerge(
+      sizes,
+      [&](int a, int b) {
+        const int cmp =
+            CompareAcross(run_cols[static_cast<size_t>(a)],
+                          heads[static_cast<size_t>(a)],
+                          run_cols[static_cast<size_t>(b)],
+                          heads[static_cast<size_t>(b)]);
+        if (cmp != 0) {
+          return ascending ? cmp < 0 : cmp > 0;
+        }
+        return a < b;
+      },
+      [&](int s) {
+        order.push_back({static_cast<int32_t>(s), heads[static_cast<size_t>(s)]});
+        ++heads[static_cast<size_t>(s)];
+      });
+  return MaterializeRefs(run_ptrs, runs.front().schema(), order, out_shard_count);
+}
+
+ShardedRelation ShardedDistinct(std::span<const Relation* const> shards,
+                                std::span<const int> columns,
+                                int out_shard_count) {
+  CONCLAVE_CHECK_GT(shards.size(), 0u);
+  // Per-shard sorted dedup runs over the projected columns.
+  std::vector<Relation> runs(shards.size());
+  ParallelFor(0, static_cast<int64_t>(shards.size()), [&](int64_t lo, int64_t hi) {
+    for (int64_t s = lo; s < hi; ++s) {
+      runs[static_cast<size_t>(s)] =
+          Distinct(*shards[static_cast<size_t>(s)], columns);
+    }
+  }, /*grain=*/1);
+
+  // Ascending k-way merge with cross-shard dedup: emit each distinct row once, in
+  // sorted order — exactly ops::Distinct's output on the coalesced input.
+  std::vector<int> all_columns(static_cast<size_t>(runs.front().NumColumns()));
+  for (size_t c = 0; c < all_columns.size(); ++c) {
+    all_columns[c] = static_cast<int>(c);
+  }
+  std::vector<std::vector<const int64_t*>> run_cols(runs.size());
+  std::vector<const Relation*> run_ptrs(runs.size());
+  std::vector<int64_t> sizes(runs.size());
+  for (size_t s = 0; s < runs.size(); ++s) {
+    run_cols[s] = ShardColumnPtrs(runs[s], all_columns);
+    run_ptrs[s] = &runs[s];
+    sizes[s] = runs[s].NumRows();
+  }
+  std::vector<ShardRowRef> order;
+  std::vector<int64_t> heads(runs.size(), 0);
+  int last_shard = -1;
+  int64_t last_row = 0;
+  KWayMerge(
+      sizes,
+      [&](int a, int b) {
+        const int cmp =
+            CompareAcross(run_cols[static_cast<size_t>(a)],
+                          heads[static_cast<size_t>(a)],
+                          run_cols[static_cast<size_t>(b)],
+                          heads[static_cast<size_t>(b)]);
+        return cmp != 0 ? cmp < 0 : a < b;
+      },
+      [&](int s) {
+        const int64_t row = heads[static_cast<size_t>(s)];
+        ++heads[static_cast<size_t>(s)];
+        if (last_shard >= 0 &&
+            CompareAcross(run_cols[static_cast<size_t>(s)], row,
+                          run_cols[static_cast<size_t>(last_shard)],
+                          last_row) == 0) {
+          return;  // Duplicate of the previously emitted row.
+        }
+        order.push_back({static_cast<int32_t>(s), row});
+        last_shard = s;
+        last_row = row;
+      });
+  return MaterializeRefs(run_ptrs, runs.front().schema(), order, out_shard_count);
+}
+
+}  // namespace ops
+}  // namespace conclave

@@ -1,0 +1,95 @@
+// Shard-aware cleartext kernels over shard pointer lists.
+//
+// Every kernel takes its input as a non-owning list of shard pointers (an unsharded
+// relation participates as a one-entry list) and preserves the canonical-order
+// invariant documented in sharded.h: the returned shards, concatenated in order, are
+// bit-identical to the corresponding unsharded ops:: kernel applied to the
+// coalesced input. Three kernel families:
+//
+//  * shard-local (Filter / Project / Arithmetic / Limit): each shard is processed
+//    independently; the input's shard structure carries through.
+//  * exchange-based (Join): both sides hash-repartition on the join key (the
+//    exchange step), co-partitioned buckets join independently, and the bucket
+//    outputs merge back into the unsharded order by row provenance (global left row
+//    ids are disjoint across buckets).
+//  * partial-then-merge (Aggregate / SortBy / Distinct): per-shard partials
+//    (partial accumulators, sorted runs, deduped runs) merge into the unsharded
+//    result, which re-splits into `out_shard_count` contiguous shards.
+//
+// All kernels fan out over the calling thread's pool (ParallelFor over shards, with
+// the per-shard ops' own morsel loops nesting inside), and none of them touches the
+// SimNetwork: sharding changes wall clock only, never virtual time.
+#ifndef CONCLAVE_RELATIONAL_SHARD_OPS_H_
+#define CONCLAVE_RELATIONAL_SHARD_OPS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "conclave/relational/ops.h"
+#include "conclave/relational/sharded.h"
+
+namespace conclave {
+namespace ops {
+
+// Bucket of a key tuple under the exchange hash: SplitMix64-mixed over the key
+// cells, mod `bucket_count`. Deterministic; exposed for tests.
+int ShardOfKey(std::span<const int64_t> key, int bucket_count);
+
+// The exchange (repartition) step: scatters the rows of `shards` into
+// `bucket_count` hash-partitioned buckets keyed on `key_columns`. Rows keep their
+// canonical relative order inside each bucket (the scatter walks shards in shard
+// order, rows in row order). When `bucket_gids` is non-null, bucket_gids[b][i] is
+// the canonical global row index of bucket b's row i — the provenance the join's
+// merge step uses to restore the unsharded output order.
+std::vector<Relation> ExchangeByHash(std::span<const Relation* const> shards,
+                                     std::span<const int> key_columns,
+                                     int bucket_count,
+                                     std::vector<std::vector<int64_t>>* bucket_gids);
+
+// --- Shard-local kernels (output shard structure == input shard structure) --------
+ShardedRelation ShardedFilter(std::span<const Relation* const> shards,
+                              const FilterPredicate& predicate);
+ShardedRelation ShardedProject(std::span<const Relation* const> shards,
+                               std::span<const int> columns);
+ShardedRelation ShardedArithmetic(std::span<const Relation* const> shards,
+                                  const ArithSpec& spec);
+// Keeps the first `count` rows of the canonical order (a prefix across shards).
+ShardedRelation ShardedLimit(std::span<const Relation* const> shards, int64_t count);
+// Copies the canonical order into `out_shard_count` contiguous shards (the
+// sharded concat: feed it the inputs' combined shard list).
+ShardedRelation ShardedRebalance(std::span<const Relation* const> shards,
+                                 int out_shard_count);
+
+// --- Exchange-based partitioned hash join -----------------------------------------
+// Repartitions both sides into `shard_count` co-partitioned buckets, joins each
+// bucket, and merges the bucket outputs back into ops::Join's row order. Output is
+// re-split into `shard_count` contiguous shards.
+ShardedRelation ShardedJoin(std::span<const Relation* const> left,
+                            std::span<const Relation* const> right,
+                            std::span<const int> left_keys,
+                            std::span<const int> right_keys, int shard_count);
+
+// --- Partial-then-merge kernels ---------------------------------------------------
+// Partial-aggregate-then-merge group-by: per-shard partial aggregates combine into
+// exactly ops::Aggregate's output (sum/count/min/max partials are associative and
+// int64 addition is commutative mod 2^64, so the combine is shard-count-invariant;
+// kMean finalizes sum/count after the merge with the same truncating division).
+ShardedRelation ShardedAggregate(std::span<const Relation* const> shards,
+                                 std::span<const int> group_columns, AggKind kind,
+                                 int agg_column, const std::string& output_name,
+                                 int out_shard_count);
+// Per-shard stable sort + k-way stable merge (ties resolve to the lower shard, so
+// the result is the global stable sort of the canonical order).
+ShardedRelation ShardedSortBy(std::span<const Relation* const> shards,
+                              std::span<const int> columns, bool ascending,
+                              int out_shard_count);
+// Per-shard sorted dedup + k-way merge with cross-shard dedup.
+ShardedRelation ShardedDistinct(std::span<const Relation* const> shards,
+                                std::span<const int> columns, int out_shard_count);
+
+}  // namespace ops
+}  // namespace conclave
+
+#endif  // CONCLAVE_RELATIONAL_SHARD_OPS_H_

@@ -1,0 +1,76 @@
+#include "conclave/relational/sharded.h"
+
+#include <utility>
+
+#include "conclave/common/thread_pool.h"
+#include "conclave/relational/ops.h"
+
+namespace conclave {
+
+ShardedRelation ShardedRelation::Single(Relation relation) {
+  ShardedRelation sharded(relation.schema());
+  sharded.shards_.push_back(std::move(relation));
+  return sharded;
+}
+
+ShardedRelation ShardedRelation::SplitEven(const Relation& relation,
+                                           int shard_count) {
+  CONCLAVE_CHECK_GT(shard_count, 0);
+  ShardedRelation sharded(relation.schema());
+  sharded.shards_.resize(static_cast<size_t>(shard_count),
+                         Relation{relation.schema()});
+  const int64_t rows = relation.NumRows();
+  const int cols = relation.NumColumns();
+  // Shard boundaries depend only on (rows, shard_count), never on thread count;
+  // each shard's columns are contiguous range copies, filled in parallel.
+  ParallelFor(0, shard_count, [&](int64_t lo, int64_t hi) {
+    for (int64_t s = lo; s < hi; ++s) {
+      const int64_t begin = rows * s / shard_count;
+      const int64_t end = rows * (s + 1) / shard_count;
+      Relation& shard = sharded.shards_[static_cast<size_t>(s)];
+      shard.Resize(end - begin);
+      for (int c = 0; c < cols; ++c) {
+        const auto src = relation.ColumnSpan(c);
+        std::copy(src.begin() + begin, src.begin() + end, shard.ColumnData(c));
+      }
+    }
+  }, /*grain=*/1);
+  return sharded;
+}
+
+Relation ShardedRelation::Coalesce() const {
+  if (shards_.empty()) {
+    return Relation{schema_};
+  }
+  if (shards_.size() == 1) {
+    return shards_.front();
+  }
+  return ops::Concat(std::span<const Relation* const>(ShardPtrs()));
+}
+
+int64_t ShardedRelation::NumRows() const {
+  int64_t rows = 0;
+  for (const Relation& shard : shards_) {
+    rows += shard.NumRows();
+  }
+  return rows;
+}
+
+uint64_t ShardedRelation::ByteSize() const {
+  uint64_t bytes = 0;
+  for (const Relation& shard : shards_) {
+    bytes += shard.ByteSize();
+  }
+  return bytes;
+}
+
+std::vector<const Relation*> ShardedRelation::ShardPtrs() const {
+  std::vector<const Relation*> ptrs;
+  ptrs.reserve(shards_.size());
+  for (const Relation& shard : shards_) {
+    ptrs.push_back(&shard);
+  }
+  return ptrs;
+}
+
+}  // namespace conclave

@@ -1,0 +1,67 @@
+// Horizontally sharded relation: N columnar shards with one shared schema.
+//
+// This is the data-parallel unit of the cleartext data plane (the role Spark
+// partitions play in the paper's deployment): shard-local operator instances run
+// concurrently on the thread pool and only coalesce back into one Relation at the
+// MPC frontier, where the secret-sharing / garbling engines and the cost model keep
+// seeing the single-relation contract.
+//
+// Canonical-order invariant: at every node boundary the shards are a *contiguous
+// split* of the relation the unsharded executor would have produced — concatenating
+// the shards in shard order yields that relation bit for bit. Every kernel in
+// shard_ops.h preserves this (order-preserving ops work shard-locally; reordering
+// ops merge their per-shard results back into the unsharded order by row
+// provenance before re-splitting), which is what extends the PR 1 determinism
+// contract to every {pool, shard} combination: results, virtual-clock totals, and
+// counters are bit-identical at any shard count. Hash-partitioned layouts appear
+// only *inside* kernels (the join's exchange step), never at node boundaries.
+#ifndef CONCLAVE_RELATIONAL_SHARDED_H_
+#define CONCLAVE_RELATIONAL_SHARDED_H_
+
+#include <vector>
+
+#include "conclave/relational/relation.h"
+
+namespace conclave {
+
+class ShardedRelation {
+ public:
+  ShardedRelation() = default;
+  // An empty sharded relation over `schema` with no shards yet (AddShard to fill).
+  explicit ShardedRelation(Schema schema) : schema_(std::move(schema)) {}
+
+  // Wraps one relation as a single shard (no copy).
+  static ShardedRelation Single(Relation relation);
+
+  // Contiguous range split into `shard_count` near-equal shards (shard i holds rows
+  // [i*rows/n, (i+1)*rows/n) of the canonical order; later shards may be empty when
+  // shard_count > rows). The canonical ingest-side partitioner.
+  static ShardedRelation SplitEven(const Relation& relation, int shard_count);
+
+  // Concatenates the shards in shard order. Under the canonical-order invariant
+  // this is exactly the relation the unsharded executor would hold.
+  Relation Coalesce() const;
+
+  const Schema& schema() const { return schema_; }
+  int NumShards() const { return static_cast<int>(shards_.size()); }
+  const Relation& Shard(int i) const { return shards_[static_cast<size_t>(i)]; }
+  Relation& MutableShard(int i) { return shards_[static_cast<size_t>(i)]; }
+  void AddShard(Relation shard) { shards_.push_back(std::move(shard)); }
+
+  // Total rows across shards.
+  int64_t NumRows() const;
+  // Total cell footprint across shards; equals the coalesced relation's ByteSize.
+  uint64_t ByteSize() const;
+
+  // Non-owning shard pointer list, the argument form the shard_ops kernels take
+  // (so an unsharded Relation can join the same code path as a one-entry list).
+  std::vector<const Relation*> ShardPtrs() const;
+
+ private:
+  Schema schema_;
+  std::vector<Relation> shards_;
+};
+
+}  // namespace conclave
+
+#endif  // CONCLAVE_RELATIONAL_SHARDED_H_

@@ -6,8 +6,12 @@
 // elimination may change query semantics.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdlib>
+
 #include "conclave/api/conclave.h"
 #include "conclave/backends/local_backend.h"
+#include "conclave/common/strings.h"
 #include "conclave/data/generators.h"
 #include "row_major_reference.h"
 
@@ -294,6 +298,416 @@ TEST_P(RandomQueryTest, CompiledDagInvariantsHold) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomQueryTest,
                          ::testing::Range<uint64_t>(1, 26));
+
+// ===== Property-based differential shard/pool harness ===============================
+//
+// A seeded plan generator draws a random query (multi-party tables with uniform /
+// skewed / duplicate-heavy key distributions, then a chain of joins, aggregates,
+// filters, sorts, distincts, projections, and arithmetic) as a *shrinkable spec*:
+// every op's parameters are raw draws interpreted modulo the schema at build time,
+// so any subsequence of ops is still a valid plan. Each plan executes at every
+// shard_count in {1, 2, 3, 8} x pool in {1, 4} and must reproduce the unsharded
+// serial baseline bit for bit: RowsEqual on the revealed output (exact row order,
+// not just set equality) and exact virtual-clock totals. On a failure, a greedy
+// shrinker drops ops and halves tables while the failure reproduces, then prints
+// the minimal failing plan and its seed.
+namespace diff {
+
+struct TableSpec {
+  int64_t rows = 0;
+  int distribution = 0;  // 0 = uniform, 1 = skewed, 2 = duplicate-heavy.
+  uint64_t seed = 0;
+};
+
+struct OpSpec {
+  enum Kind : int {
+    kFilter = 0,
+    kProject,
+    kArith,
+    kAggregate,
+    kDistinct,
+    kSortLimit,
+    kJoin,
+    kNumKinds,
+  };
+  int kind = kFilter;
+  uint64_t id = 0;  // Stable name suffix; survives shrinking.
+  uint64_t a = 0, b = 0, c = 0, d = 0;  // Raw draws, interpreted at build time.
+  TableSpec join_table;  // kJoin only: the right side's data.
+};
+
+struct PlanSpec {
+  uint64_t seed = 0;
+  int num_parties = 2;
+  std::vector<TableSpec> tables;  // One per party, concatenated at the root.
+  std::vector<OpSpec> ops;
+};
+
+int64_t DrawKey(Rng& rng, int distribution) {
+  switch (distribution) {
+    case 1:  // Skewed: quadratic concentration near zero.
+      return static_cast<int64_t>(rng.NextBelow(1 + rng.NextBelow(12)));
+    case 2:  // Duplicate-heavy: 80% of rows share one hot key.
+      return rng.NextBelow(10) < 8 ? 3
+                                   : static_cast<int64_t>(rng.NextBelow(6));
+    default:
+      return static_cast<int64_t>(rng.NextBelow(12));
+  }
+}
+
+Relation MakeTable(const TableSpec& spec, const std::string& key_name,
+                   const std::string& value_name) {
+  Relation rel{Schema::Of({key_name, value_name})};
+  rel.Resize(spec.rows);
+  Rng rng(spec.seed);
+  int64_t* const keys = spec.rows == 0 ? nullptr : rel.ColumnData(0);
+  int64_t* const values = spec.rows == 0 ? nullptr : rel.ColumnData(1);
+  for (int64_t r = 0; r < spec.rows; ++r) {
+    keys[r] = DrawKey(rng, spec.distribution);
+    values[r] = static_cast<int64_t>(rng.NextBelow(100));
+  }
+  return rel;
+}
+
+PlanSpec GeneratePlan(uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  PlanSpec spec;
+  spec.seed = seed;
+  spec.num_parties = 2 + static_cast<int>(rng.NextBelow(2));
+  for (int p = 0; p < spec.num_parties; ++p) {
+    TableSpec table;
+    // Includes 0-row and 1-row tables (NextBelow(80) can draw 0 and 1).
+    table.rows = static_cast<int64_t>(rng.NextBelow(80));
+    table.distribution = static_cast<int>(rng.NextBelow(3));
+    table.seed = seed * 131 + static_cast<uint64_t>(p) + 7;
+    spec.tables.push_back(table);
+  }
+  const int num_ops = 1 + static_cast<int>(rng.NextBelow(5));
+  for (int i = 0; i < num_ops; ++i) {
+    OpSpec op;
+    op.kind = static_cast<int>(rng.NextBelow(OpSpec::kNumKinds));
+    op.id = static_cast<uint64_t>(i);
+    op.a = rng.Next();
+    op.b = rng.Next();
+    op.c = rng.Next();
+    op.d = rng.Next();
+    if (op.kind == OpSpec::kJoin) {
+      op.join_table.rows = static_cast<int64_t>(rng.NextBelow(50));
+      op.join_table.distribution = static_cast<int>(rng.NextBelow(3));
+      op.join_table.seed = seed * 977 + op.id + 13;
+    }
+    spec.ops.push_back(op);
+  }
+  return spec;
+}
+
+struct BuiltPlan {
+  api::Query query;
+  std::map<std::string, Relation> inputs;
+};
+
+std::vector<std::string> SchemaNames(const api::Table& table) {
+  std::vector<std::string> names;
+  for (const auto& column : table.node()->schema.columns()) {
+    names.push_back(column.name);
+  }
+  return names;
+}
+
+// Deterministic in `spec` alone (queries are single-use, so every run rebuilds).
+void BuildPlan(const PlanSpec& spec, BuiltPlan* built) {
+  std::vector<api::Party> parties;
+  for (int p = 0; p < spec.num_parties; ++p) {
+    parties.push_back(built->query.AddParty("party" + std::to_string(p)));
+  }
+  std::vector<api::Table> tables;
+  for (int p = 0; p < spec.num_parties; ++p) {
+    const std::string name = "t" + std::to_string(p);
+    tables.push_back(built->query.NewTable(name, {{"k"}, {"v"}},
+                                           parties[static_cast<size_t>(p)]));
+    built->inputs[name] =
+        MakeTable(spec.tables[static_cast<size_t>(p)], "k", "v");
+  }
+  api::Table current = built->query.Concat(tables);
+
+  for (const OpSpec& op : spec.ops) {
+    const std::vector<std::string> names = SchemaNames(current);
+    const std::string any = names[op.a % names.size()];
+    const std::string other = names[op.b % names.size()];
+    const std::string tag = std::to_string(op.id);
+    switch (op.kind) {
+      case OpSpec::kFilter:
+        current = current.Filter(any, static_cast<CompareOp>(op.c % 6),
+                                 static_cast<int64_t>(op.d % 12));
+        break;
+      case OpSpec::kProject: {
+        // Rotation: reorders without dropping (keeps later ops meaningful).
+        std::vector<std::string> rotated = names;
+        std::rotate(rotated.begin(),
+                    rotated.begin() + static_cast<long>(op.c % rotated.size()),
+                    rotated.end());
+        current = current.Project(rotated);
+        break;
+      }
+      case OpSpec::kArith:
+        switch (op.c % 4) {
+          case 0:
+            current = current.Multiply("m" + tag, any, other);
+            break;
+          case 1:
+            current = current.Subtract("s" + tag, any, other);
+            break;
+          case 2:
+            current = current.Divide("d" + tag, any, other, 100);
+            break;
+          default:
+            current = current.AddConst("a" + tag, any, 7);
+            break;
+        }
+        break;
+      case OpSpec::kAggregate:
+        current = current.Aggregate("agg" + tag, static_cast<AggKind>(op.c % 5),
+                                    {any}, other);
+        break;
+      case OpSpec::kDistinct:
+        current = current.Distinct({any});
+        break;
+      case OpSpec::kSortLimit:
+        // Total-order sort keeps the limited prefix engine-independent.
+        current = current.SortBy(names, (op.c & 1) != 0);
+        current = current.Limit(1 + static_cast<int64_t>(op.d % 20));
+        break;
+      case OpSpec::kJoin: {
+        const std::string jk = "jk" + tag;
+        const std::string jv = "jv" + tag;
+        const std::string jname = "j" + tag;
+        api::Table right = built->query.NewTable(
+            jname, {{jk}, {jv}},
+            parties[static_cast<size_t>(op.c % parties.size())]);
+        built->inputs[jname] = MakeTable(op.join_table, jk, jv);
+        current = current.Join(right, {any}, {jk});
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  current.WriteToCsv("out", {parties[0]});
+}
+
+std::string Describe(const PlanSpec& spec) {
+  std::string out = StrFormat("plan seed=%llu parties=%d tables=[",
+                              static_cast<unsigned long long>(spec.seed),
+                              spec.num_parties);
+  for (size_t t = 0; t < spec.tables.size(); ++t) {
+    out += StrFormat("%s%lld rows(dist %d)", t == 0 ? "" : ", ",
+                     static_cast<long long>(spec.tables[t].rows),
+                     spec.tables[t].distribution);
+  }
+  out += "] ops=[";
+  const char* kind_names[] = {"filter",   "project",    "arith", "aggregate",
+                              "distinct", "sort+limit", "join"};
+  for (size_t i = 0; i < spec.ops.size(); ++i) {
+    const OpSpec& op = spec.ops[i];
+    out += StrFormat("%s%s#%llu", i == 0 ? "" : ", ", kind_names[op.kind],
+                     static_cast<unsigned long long>(op.id));
+    if (op.kind == OpSpec::kJoin) {
+      out += StrFormat("(right %lld rows)",
+                       static_cast<long long>(op.join_table.rows));
+    }
+  }
+  return out + "]";
+}
+
+struct RunOutcome {
+  bool ok = false;
+  std::string error;
+  Relation output;
+  double virtual_seconds = 0;
+};
+
+RunOutcome RunPlan(const PlanSpec& spec, int pool, int shards) {
+  BuiltPlan built;
+  BuildPlan(spec, &built);
+  RunOutcome outcome;
+  const auto result =
+      built.query.Run(built.inputs, {}, CostModel{}, /*seed=*/42,
+                      /*pool_parallelism=*/pool, /*shard_count=*/shards);
+  if (!result.ok()) {
+    outcome.error = result.status().ToString();
+    return outcome;
+  }
+  outcome.ok = true;
+  outcome.output = result->outputs.at("out");
+  outcome.virtual_seconds = result->virtual_seconds;
+  return outcome;
+}
+
+// Empty string = the config reproduces the serial unsharded baseline exactly.
+// The baseline depends only on the spec, so sweeps compute it once and reuse it.
+std::string CheckConfigAgainst(const RunOutcome& baseline, const PlanSpec& spec,
+                               int pool, int shards) {
+  const RunOutcome candidate = RunPlan(spec, pool, shards);
+  if (baseline.ok != candidate.ok) {
+    return StrFormat("status diverges: baseline %s vs {pool=%d, shards=%d} %s",
+                     baseline.ok ? "ok" : baseline.error.c_str(), pool, shards,
+                     candidate.ok ? "ok" : candidate.error.c_str());
+  }
+  if (!baseline.ok) {
+    // Both failed: the failure must be the canonical sequential one.
+    return baseline.error == candidate.error
+               ? ""
+               : StrFormat("error diverges: '%s' vs '%s'",
+                           baseline.error.c_str(), candidate.error.c_str());
+  }
+  if (!candidate.output.RowsEqual(baseline.output)) {
+    return StrFormat("rows diverge at {pool=%d, shards=%d}\nbaseline\n%s\ngot\n%s",
+                     pool, shards, baseline.output.ToString().c_str(),
+                     candidate.output.ToString().c_str());
+  }
+  if (candidate.virtual_seconds != baseline.virtual_seconds) {
+    return StrFormat(
+        "virtual clock diverges at {pool=%d, shards=%d}: %.9f vs %.9f", pool,
+        shards, baseline.virtual_seconds, candidate.virtual_seconds);
+  }
+  return "";
+}
+
+std::string CheckConfig(const PlanSpec& spec, int pool, int shards) {
+  return CheckConfigAgainst(RunPlan(spec, /*pool=*/1, /*shards=*/1), spec, pool,
+                            shards);
+}
+
+// Greedy shrink: drop ops (end first), then halve tables, while the same
+// {pool, shards} config still fails.
+PlanSpec ShrinkPlan(PlanSpec spec, int pool, int shards) {
+  const auto fails = [&](const PlanSpec& candidate) {
+    return !CheckConfig(candidate, pool, shards).empty();
+  };
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = spec.ops.size(); i-- > 0;) {
+      PlanSpec candidate = spec;
+      candidate.ops.erase(candidate.ops.begin() + static_cast<long>(i));
+      if (fails(candidate)) {
+        spec = std::move(candidate);
+        progress = true;
+      }
+    }
+    for (size_t t = 0; t < spec.tables.size(); ++t) {
+      if (spec.tables[t].rows == 0) {
+        continue;
+      }
+      PlanSpec candidate = spec;
+      candidate.tables[t].rows /= 2;
+      if (fails(candidate)) {
+        spec = std::move(candidate);
+        progress = true;
+      }
+      PlanSpec empty_join = spec;
+      bool changed = false;
+      for (OpSpec& op : empty_join.ops) {
+        if (op.kind == OpSpec::kJoin && op.join_table.rows > 0) {
+          op.join_table.rows /= 2;
+          changed = true;
+        }
+      }
+      if (changed && fails(empty_join)) {
+        spec = std::move(empty_join);
+        progress = true;
+      }
+    }
+  }
+  return spec;
+}
+
+struct Config {
+  int pool;
+  int shards;
+};
+
+constexpr Config kConfigs[] = {{1, 2}, {1, 3}, {1, 8}, {4, 1},
+                               {4, 2}, {4, 3}, {4, 8}};
+
+// Runs one seeded plan through the full config sweep; on failure, shrinks and
+// reports the minimal reproduction.
+void CheckSeed(uint64_t seed) {
+  const PlanSpec spec = GeneratePlan(seed);
+  const RunOutcome baseline = RunPlan(spec, /*pool=*/1, /*shards=*/1);
+  for (const Config& config : kConfigs) {
+    const std::string failure =
+        CheckConfigAgainst(baseline, spec, config.pool, config.shards);
+    if (failure.empty()) {
+      continue;
+    }
+    const PlanSpec minimal = ShrinkPlan(spec, config.pool, config.shards);
+    const std::string minimal_failure =
+        CheckConfig(minimal, config.pool, config.shards);
+    ADD_FAILURE() << "differential failure at seed " << seed << " {pool="
+                  << config.pool << ", shards=" << config.shards << "}\n"
+                  << failure << "\n\nminimal failing plan (rerun with "
+                  << "CheckConfig(GeneratePlan-like spec below)):\n"
+                  << Describe(minimal) << "\n"
+                  << minimal_failure;
+    return;  // One minimal report per seed is enough.
+  }
+}
+
+int FixedSeedCount() {
+  if (const char* env = std::getenv("CONCLAVE_DIFF_SEEDS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) {
+      return parsed;
+    }
+  }
+  return 200;
+}
+
+}  // namespace diff
+
+// Fixed seed list: every plan must be bit-identical (rows and virtual clock) to
+// the serial unsharded baseline at every {pool, shard} configuration. CI runs the
+// default 200 seeds; CONCLAVE_DIFF_SEEDS overrides.
+TEST(DifferentialShardHarness, SeededPlansMatchBaselineAtEveryConfig) {
+  const int seeds = diff::FixedSeedCount();
+  for (uint64_t seed = 1; seed <= static_cast<uint64_t>(seeds); ++seed) {
+    diff::CheckSeed(seed);
+    if (::testing::Test::HasFailure()) {
+      return;  // The minimal reproduction for this seed is already printed.
+    }
+  }
+}
+
+// Time-boxed random sweep for the nightly sanitizer jobs: draws fresh seeds until
+// the CONCLAVE_DIFF_RANDOM_SECONDS budget expires (skipped when unset).
+TEST(DifferentialShardHarness, RandomSweepWithinTimeBudget) {
+  const char* env = std::getenv("CONCLAVE_DIFF_RANDOM_SECONDS");
+  const double budget = env != nullptr ? std::atof(env) : 0;
+  if (budget <= 0) {
+    GTEST_SKIP() << "set CONCLAVE_DIFF_RANDOM_SECONDS to enable";
+  }
+  const uint64_t base = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  std::printf("random sweep base seed %llu (%.0f s budget)\n",
+              static_cast<unsigned long long>(base), budget);
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t checked = 0;
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+             .count() < budget) {
+    diff::CheckSeed(base + checked);
+    ++checked;
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "random sweep failed at seed " << (base + checked - 1)
+                    << " (base " << base << ")";
+      return;
+    }
+  }
+  std::printf("random sweep: %llu plans checked\n",
+              static_cast<unsigned long long>(checked));
+}
 
 }  // namespace
 }  // namespace conclave

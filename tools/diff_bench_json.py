@@ -2,12 +2,19 @@
 """Diffs figure-bench JSON tables against the committed goldens.
 
 Usage: diff_bench_json.py <golden_dir> <result_dir>
+       diff_bench_json.py --self-test
 
 Compares every BENCH_*.json present in <golden_dir> field-for-field, ignoring
 wall_clock_seconds (real time varies per machine; the simulated virtual seconds
-and table structure must not). A mismatch means a code change altered bench
-*results* — not just speed — and must either be a bug or come with regenerated
-goldens and an explanation in the PR.
+and table structure must not). The comparison walks the documents recursively and
+reports *every* divergent path explicitly — in particular, a golden key (or table
+file, or row) missing from the candidate is its own hard failure, never a silent
+pass. A mismatch means a code change altered bench *results* — not just speed —
+and must either be a bug or come with regenerated goldens and an explanation in
+the PR.
+
+Exit status: 0 only when every golden table exists in the candidate directory and
+matches; 1 otherwise.
 
 Regenerate goldens after an intentional change with:
     CONCLAVE_BENCH_SCALE=small CONCLAVE_BENCH_JSON_DIR=bench/goldens \
@@ -25,35 +32,109 @@ def strip_wall(doc):
     return doc
 
 
-def main():
-    if len(sys.argv) != 3:
-        sys.exit(__doc__)
-    golden_dir = pathlib.Path(sys.argv[1])
-    result_dir = pathlib.Path(sys.argv[2])
-    goldens = sorted(golden_dir.glob("BENCH_*.json"))
-    if not goldens:
-        sys.exit(f"no BENCH_*.json goldens found in {golden_dir}")
-    failures = []
-    for golden_path in goldens:
-        result_path = result_dir / golden_path.name
-        if not result_path.exists():
-            failures.append(f"{golden_path.name}: missing from {result_dir}")
-            continue
+def diff_value(golden, result, path, out):
+    """Appends one line per divergence between golden and result at `path`."""
+    if isinstance(golden, dict) and isinstance(result, dict):
+        for key in golden:
+            if key not in result:
+                out.append(f"  {path}.{key}: missing from candidate")
+            else:
+                diff_value(golden[key], result[key], f"{path}.{key}", out)
+        for key in result:
+            if key not in golden:
+                out.append(f"  {path}.{key}: not in golden (unexpected key)")
+        return
+    if isinstance(golden, list) and isinstance(result, list):
+        if len(golden) != len(result):
+            out.append(
+                f"  {path}: golden has {len(golden)} entries, candidate has "
+                f"{len(result)}"
+            )
+        for i, (g, r) in enumerate(zip(golden, result)):
+            diff_value(g, r, f"{path}[{i}]", out)
+        return
+    if type(golden) is not type(result) or golden != result:
+        out.append(f"  {path}: golden {golden!r} != candidate {result!r}")
+
+
+def diff_file(golden_path, result_path):
+    """Returns a list of divergence lines (empty when the tables match)."""
+    if not result_path.exists():
+        return [f"  table missing from {result_path.parent}"]
+    try:
         golden = strip_wall(json.loads(golden_path.read_text()))
         result = strip_wall(json.loads(result_path.read_text()))
-        if golden != result:
-            failures.append(
-                f"{golden_path.name}: differs from golden\n"
-                f"  golden: {json.dumps(golden, sort_keys=True)}\n"
-                f"  result: {json.dumps(result, sort_keys=True)}"
-            )
+    except (json.JSONDecodeError, OSError) as error:
+        return [f"  unreadable: {error}"]
+    out = []
+    diff_value(golden, result, "$", out)
+    return out
+
+
+def run_diff(golden_dir, result_dir):
+    goldens = sorted(golden_dir.glob("BENCH_*.json"))
+    if not goldens:
+        print(f"no BENCH_*.json goldens found in {golden_dir}", file=sys.stderr)
+        return 1
+    failures = 0
+    for golden_path in goldens:
+        problems = diff_file(golden_path, result_dir / golden_path.name)
+        if problems:
+            failures += 1
+            print(f"{golden_path.name}: differs from golden", file=sys.stderr)
+            for line in problems:
+                print(line, file=sys.stderr)
         else:
             print(f"OK {golden_path.name}")
     if failures:
-        print("\n".join(failures), file=sys.stderr)
-        sys.exit(f"{len(failures)} bench table(s) diverged from the goldens")
+        print(f"{failures} bench table(s) diverged from the goldens",
+              file=sys.stderr)
+        return 1
     print(f"all {len(goldens)} bench tables match the goldens")
+    return 0
+
+
+def self_test():
+    """Regression cases for the comparison itself, run in CI before the diff."""
+    golden = {
+        "bench": "t",
+        "wall_clock_seconds": 1.0,
+        "rows": [{"records": 10, "cells": [{"virtual_seconds": 2.5}]}],
+    }
+
+    def diffs(result):
+        out = []
+        diff_value(strip_wall(golden), strip_wall(result), "$", out)
+        return out
+
+    assert diffs(dict(golden)) == []
+    assert diffs({**golden, "wall_clock_seconds": 9.9}) == []  # Wall time ignored.
+    # A dropped golden key must be reported (the historical silent-pass hole).
+    missing = {k: v for k, v in golden.items() if k != "rows"}
+    assert any("missing from candidate" in line for line in diffs(missing)), diffs(
+        missing
+    )
+    # A dropped row, a changed value, and an unexpected extra key all fail.
+    assert diffs({**golden, "rows": []})
+    changed = json.loads(json.dumps(golden))
+    changed["rows"][0]["cells"][0]["virtual_seconds"] = 2.6
+    assert diffs(changed)
+    assert diffs({**golden, "extra": 1})
+    # Type changes are not equality-coerced (0 vs 0.0 vs False).
+    assert diffs({**golden, "bench": 0}) and diffs({**golden, "bench": False})
+    print("self-test passed")
+    return 0
+
+
+def main():
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        sys.exit(self_test())
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    sys.exit(run_diff(pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])))
 
 
 if __name__ == "__main__":
     main()
+
+
