@@ -17,6 +17,7 @@
 #include "conclave/mpc/garbled/circuit.h"
 #include "conclave/mpc/oblivious.h"
 #include "conclave/mpc/protocols.h"
+#include "conclave/relational/pipeline.h"
 
 namespace conclave {
 namespace {
@@ -194,9 +195,11 @@ void RunKernelSweep(double wall_seconds_so_far) {
       small ? std::vector<int64_t>{1 << 14, 1 << 16}
             : std::vector<int64_t>{1 << 18, 1 << 20, 1 << 22};
   const int reps = small ? 3 : 5;
-  bench::Table table("primitives: columnar kernel sweep (wall seconds per pass)",
+  bench::Table table("primitives: columnar kernel sweep (wall seconds per pass; "
+                     "chain_peak_rows is a row count, not seconds)",
                      {"column_scan", "filter_sel10", "filter_sel50", "filter_sel90",
-                      "share_ingest"});
+                      "share_ingest", "chain_materialized", "chain_pipelined",
+                      "chain_peak_rows"});
   bench::WallTimer timer;
   for (int64_t n : sizes) {
     // Uniform values in [0, 999]: literal thresholds 100/500/900 give ~10/50/90%
@@ -223,6 +226,38 @@ void RunKernelSweep(double wall_seconds_so_far) {
     cells.push_back(bench::Cell::Seconds(BestOfRuns(reps, [&] {
       benchmark::DoNotOptimize(ShareValues(rel.ColumnSpan(0), rng));
     })));
+
+    // A/B: the same filter -> project -> arithmetic chain executed
+    // materializing (one ops.h kernel per node, two full intermediates) vs.
+    // streamed through a BatchPipeline at the default batch size.
+    // chain_peak_rows records the pipeline's peak resident rows — the
+    // bounded-memory (peak-RSS) proxy: materializing peaks at O(n) rows, the
+    // pipeline at O(depth x batch), independent of n.
+    const FilterPredicate chain_predicate =
+        FilterPredicate::ColumnVsLiteral(0, CompareOp::kLt, 500);
+    const std::vector<int> chain_columns = {0, 1};
+    ArithSpec chain_arith;
+    chain_arith.kind = ArithKind::kAdd;
+    chain_arith.lhs_column = 1;
+    chain_arith.rhs_is_column = false;
+    chain_arith.rhs_literal = 7;
+    chain_arith.result_name = "b7";
+    cells.push_back(bench::Cell::Seconds(BestOfRuns(reps, [&] {
+      const Relation filtered = ops::Filter(rel, chain_predicate);
+      const Relation projected = ops::Project(filtered, chain_columns);
+      benchmark::DoNotOptimize(ops::Arithmetic(projected, chain_arith));
+    })));
+    PipelineSpec chain_spec;
+    chain_spec.input_schema = rel.schema();
+    chain_spec.ops.push_back(PipelineOp::Filter(chain_predicate));
+    chain_spec.ops.push_back(PipelineOp::Project(chain_columns));
+    chain_spec.ops.push_back(PipelineOp::Arithmetic(chain_arith));
+    BatchPipeline chain_pipeline(chain_spec);
+    cells.push_back(bench::Cell::Seconds(BestOfRuns(reps, [&] {
+      benchmark::DoNotOptimize(chain_pipeline.Run(rel, kDefaultBatchRows));
+    })));
+    cells.push_back(bench::Cell::Seconds(
+        static_cast<double>(chain_pipeline.stats().peak_rows_resident)));
 
     table.AddRow(static_cast<uint64_t>(n), std::move(cells));
   }

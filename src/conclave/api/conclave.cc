@@ -240,9 +240,10 @@ StatusOr<compiler::PlanCostReport> Query::ExplainPlan(
 StatusOr<backends::ExecutionResult> Query::Run(
     const std::map<std::string, Relation>& inputs,
     const compiler::CompilerOptions& options, CostModel cost_model, uint64_t seed,
-    int pool_parallelism, int shard_count) {
+    int pool_parallelism, int shard_count, int64_t batch_rows) {
   CONCLAVE_ASSIGN_OR_RETURN(compiler::Compilation compilation, Compile(options));
-  backends::Dispatcher dispatcher(cost_model, seed, pool_parallelism, shard_count);
+  backends::Dispatcher dispatcher(cost_model, seed, pool_parallelism, shard_count,
+                                  batch_rows);
   return dispatcher.Run(dag_, compilation, inputs);
 }
 

@@ -139,12 +139,16 @@ class Query {
   // 1 = serial). `shard_count` is the cleartext data plane's horizontal shard
   // count (0 = the CONCLAVE_SHARDS env override, else 1 — today's unsharded
   // execution; backends::Dispatcher::kAutoShardCount = planner-priced decision).
-  // Results and virtual time are identical for every {pool, shard} combination —
-  // see DESIGN.md §5 and §9.
+  // `batch_rows` is the push-based pipeline executor's batch size (0 = the
+  // CONCLAVE_BATCH_ROWS env override, else kDefaultBatchRows; negative =
+  // materialize every operator, disabling fusion). Results and virtual time are
+  // identical for every {pool, shard, batch} combination — see DESIGN.md §5,
+  // §9, and §10.
   StatusOr<backends::ExecutionResult> Run(
       const std::map<std::string, Relation>& inputs,
       const compiler::CompilerOptions& options = {}, CostModel cost_model = {},
-      uint64_t seed = 42, int pool_parallelism = 0, int shard_count = 0);
+      uint64_t seed = 42, int pool_parallelism = 0, int shard_count = 0,
+      int64_t batch_rows = 0);
 
   ir::Dag& dag() { return dag_; }
   int num_parties() const { return static_cast<int>(parties_.size()); }

@@ -1,9 +1,12 @@
 #include "conclave/backends/dispatcher.h"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -13,7 +16,9 @@
 #include "conclave/common/logging.h"
 #include "conclave/common/strings.h"
 #include "conclave/compiler/partition.h"
+#include "conclave/compiler/plan_cost.h"
 #include "conclave/mpc/malicious/commitment.h"
+#include "conclave/relational/pipeline.h"
 
 namespace conclave {
 namespace backends {
@@ -35,6 +40,11 @@ struct RunState {
   // charge is computed from totals (row counts, byte sizes) that are identical at
   // any shard count, and shards coalesce before anything enters the MPC engines.
   int shard_count = 1;
+  // Batch size of the push-based pipeline executor (<= 0 disables fusion; every
+  // operator then materializes node-at-a-time). Batching, like sharding, changes
+  // wall clock and memory only: fused chains are priced per node from row totals
+  // that are identical at every batch size (DESIGN.md §10).
+  int64_t batch_rows = kDefaultBatchRows;
 
   std::vector<MaterializedValue> values;  // Indexed by node id; slots never move.
   std::unordered_map<int, int> node_job;  // node id -> job id
@@ -211,6 +221,14 @@ class JobGraphExecutor {
     double local_compute_seconds = 0;    // Cost-model cleartext compute.
     double dp_epsilon = 0;
     bool charged_local = false;          // Participates in the Spark startup charge.
+    // Pipeline fusion (DESIGN.md §10): topo indices of this chain's members in
+    // chain order (filled on the head only; length >= 2). Members execute as one
+    // BatchPipeline per shard inside the head's dispatch; only the tail's output
+    // materializes.
+    std::vector<int> chain_members;
+    // Topo index of the owning chain's head (-1 = not fused). The head points at
+    // itself.
+    int chain_head = -1;
   };
 
   struct Completion {
@@ -219,6 +237,10 @@ class JobGraphExecutor {
     Relation output;
     ShardedRelation sharded_output;  // Valid when is_sharded.
     bool is_sharded = false;
+    // Fused-chain completions: rows consumed by each chain member (summed over
+    // shards). Equals the unfused execution's per-node input cardinalities at
+    // every batch size; DrainCompletions prices interior members from these.
+    std::vector<int64_t> chain_op_rows;
   };
 
   int TopoIndexOf(int node_id) const { return topo_index_.at(node_id); }
@@ -233,8 +255,28 @@ class JobGraphExecutor {
   // stay at the call sites because the target form differs per node class.
   void AdvanceAcquisition(NodeExec& exec);
 
+  // Cleartext input forms acquired for a local-compute dispatch (unsharded
+  // pointer list, or per-input shard pointer lists plus the owned lazy splits
+  // keeping them alive).
+  struct AcquiredInputs {
+    std::vector<const Relation*> rels;
+    std::vector<std::vector<const Relation*>> shard_rels;
+    std::shared_ptr<std::vector<ShardedRelation>> owned_splits;
+    uint64_t records = 0;
+  };
+
   void DispatchCreate(NodeExec& exec);
+  // Acquires `exec`'s inputs at its party (frontier transitions + shard splits),
+  // advances the acquisition cursors, and charges the node's boundary and
+  // cleartext-compute attributions — the shared front half of every
+  // local-compute dispatch, fused or not.
+  AcquiredInputs AcquireLocalInputs(NodeExec& exec);
   void DispatchLocalCompute(NodeExec& exec);
+  // Dispatches a fused chain (exec is the head): resolves the streaming
+  // operator specs against the runtime input schema, then submits one
+  // BatchPipeline task per shard; the completion is posted once, under the
+  // head's topo index, carrying the tail's output.
+  void DispatchChain(NodeExec& exec);
   Status RunCollect(NodeExec& exec, ExecutionResult& result);
   Status RunLaneNode(NodeExec& exec);
 
@@ -360,16 +402,15 @@ void JobGraphExecutor::DispatchCreate(NodeExec& exec) {
   });
 }
 
-void JobGraphExecutor::DispatchLocalCompute(NodeExec& exec) {
+JobGraphExecutor::AcquiredInputs JobGraphExecutor::AcquireLocalInputs(
+    NodeExec& exec) {
   const ir::OpNode* node = exec.node;
   const bool sharded = state_.shard_count > 1;
-  std::vector<const Relation*> rels;
-  std::vector<std::vector<const Relation*>> shard_rels;
+  AcquiredInputs acquired;
   // Keeps lazy splits alive for the task; shared so the pointer lists stay valid
   // however often the std::function wrapper is moved or copied.
-  auto owned_splits = std::make_shared<std::vector<ShardedRelation>>();
-  rels.reserve(node->inputs.size());
-  uint64_t records = 0;
+  acquired.owned_splits = std::make_shared<std::vector<ShardedRelation>>();
+  acquired.rels.reserve(node->inputs.size());
   for (const ir::OpNode* in : node->inputs) {
     MaterializedValue& value = state_.values[static_cast<size_t>(in->id)];
     if (sharded) {
@@ -388,38 +429,45 @@ void JobGraphExecutor::DispatchLocalCompute(NodeExec& exec) {
           value.clear = Relation{};
           value.kind = MaterializedValue::Kind::kShardedClear;
         } else {
-          owned_splits->push_back(
+          acquired.owned_splits->push_back(
               ShardedRelation::SplitEven(value.clear, state_.shard_count));
         }
       }
       if (value.kind == MaterializedValue::Kind::kShardedClear) {
-        shard_rels.push_back(value.sharded.ShardPtrs());
+        acquired.shard_rels.push_back(value.sharded.ShardPtrs());
       } else if (value.clear.NumRows() > 0) {
-        shard_rels.push_back(owned_splits->back().ShardPtrs());
+        acquired.shard_rels.push_back(acquired.owned_splits->back().ShardPtrs());
       } else {
-        shard_rels.push_back({&value.clear});
+        acquired.shard_rels.push_back({&value.clear});
       }
     } else {
       EnsureCleartextAt(state_, value, node->exec_party);
-      rels.push_back(&value.clear);
+      acquired.rels.push_back(&value.clear);
     }
-    records += static_cast<uint64_t>(value.NumRows());
+    acquired.records += static_cast<uint64_t>(value.NumRows());
     ++ExecOf(*in).active_readers;
   }
   AdvanceAcquisition(exec);
   // Reveal/transfer time for this node's frontier inputs.
   exec.boundary_scaled_seconds = state_.net.TakeMeterSeconds() * state_.MpcScale();
-  exec.local_compute_seconds = LocalComputeSeconds(state_, records);
+  exec.local_compute_seconds = LocalComputeSeconds(state_, acquired.records);
   exec.charged_local = true;
-  state_.net.mutable_counters().cleartext_records += records;
+  state_.net.mutable_counters().cleartext_records += acquired.records;
+  return acquired;
+}
+
+void JobGraphExecutor::DispatchLocalCompute(NodeExec& exec) {
+  const ir::OpNode* node = exec.node;
+  AcquiredInputs acquired = AcquireLocalInputs(exec);
 
   exec.dispatched = true;
   ++in_flight_;
   const int my_topo = TopoIndexOf(node->id);
   const int shard_count = state_.shard_count;
-  pool_.Submit([this, node, my_topo, shard_count, rels = std::move(rels),
-                shard_rels = std::move(shard_rels),
-                owned_splits = std::move(owned_splits)] {
+  pool_.Submit([this, node, my_topo, shard_count,
+                rels = std::move(acquired.rels),
+                shard_rels = std::move(acquired.shard_rels),
+                owned_splits = std::move(acquired.owned_splits)] {
     Completion completion;
     completion.topo_index = my_topo;
     try {
@@ -449,6 +497,135 @@ void JobGraphExecutor::DispatchLocalCompute(NodeExec& exec) {
     completions_.push_back(std::move(completion));
     completions_cv_.notify_all();
   });
+}
+
+void JobGraphExecutor::DispatchChain(NodeExec& exec) {
+  const bool sharded = state_.shard_count > 1;
+  AcquiredInputs acquired = AcquireLocalInputs(exec);
+  // All members are spoken for the moment the head dispatches: the acquisition
+  // cursors have advanced, so nothing may re-dispatch any member — including on
+  // the resolution-failure path below.
+  exec.dispatched = true;
+  for (int member_topo : exec.chain_members) {
+    NodeExec& member = execs_[static_cast<size_t>(member_topo)];
+    member.dispatched = true;
+    // Interior members cross no frontier (boundary stays 0), but each fused
+    // node still participates in its job's Spark startup charge, as unfused.
+    member.charged_local = true;
+  }
+
+  // Resolve every member against the runtime schema flowing through the chain.
+  // A resolution failure is attributed to the failing member's topo index —
+  // the canonical error a sequential unfused walk would report.
+  auto spec = std::make_shared<PipelineSpec>();
+  spec->input_schema = sharded ? acquired.shard_rels[0][0]->schema()
+                               : acquired.rels[0]->schema();
+  Schema schema = spec->input_schema;
+  for (int member_topo : exec.chain_members) {
+    const ir::OpNode& member = *execs_[static_cast<size_t>(member_topo)].node;
+    StatusOr<PipelineOp> op = ResolvePipelineOp(schema, member);
+    if (!op.ok()) {
+      // No task was submitted: release the head's input readers here.
+      for (const ir::OpNode* in : exec.node->inputs) {
+        --ExecOf(*in).active_readers;
+      }
+      RecordFailure(member_topo, op.status());
+      return;
+    }
+    schema = BatchPipeline::DeriveSchema(schema, *op);
+    spec->ops.push_back(std::move(*op));
+  }
+
+  ++in_flight_;
+  const int my_topo = TopoIndexOf(exec.node->id);
+  const int64_t batch_rows = state_.batch_rows;
+
+  if (!sharded) {
+    pool_.Submit([this, my_topo, batch_rows, spec,
+                  rels = std::move(acquired.rels),
+                  owned_splits = std::move(acquired.owned_splits)] {
+      Completion completion;
+      completion.topo_index = my_topo;
+      try {
+        BatchPipeline pipeline(*spec);
+        completion.output = pipeline.Run(*rels[0], batch_rows);
+        completion.chain_op_rows = pipeline.stats().op_input_rows;
+      } catch (const std::exception& e) {
+        // See DispatchCreate: escaping exceptions must not reach WorkerLoop.
+        completion.status =
+            InternalError(StrFormat("fused chain task threw: %s", e.what()));
+      }
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      completions_.push_back(std::move(completion));
+      completions_cv_.notify_all();
+    });
+    return;
+  }
+
+  // Sharded: one pipeline task per shard (sharded chains hold only per-row ops,
+  // which commute with sharding), all writing shard-indexed slots of a shared
+  // state. Whichever task finishes last assembles the output, sums the per-op
+  // row counts, and posts the single completion — everything folds in shard
+  // order, so the result is independent of task finishing order.
+  struct ChainShardState {
+    Schema output_schema;
+    std::vector<Relation> outputs;
+    std::vector<std::vector<int64_t>> op_rows;
+    std::vector<Status> statuses;
+    std::atomic<int> remaining{0};
+  };
+  const std::vector<const Relation*> shards = std::move(acquired.shard_rels[0]);
+  const int num_shards = static_cast<int>(shards.size());
+  auto shared = std::make_shared<ChainShardState>();
+  shared->output_schema = schema;
+  shared->outputs.resize(static_cast<size_t>(num_shards));
+  shared->op_rows.resize(static_cast<size_t>(num_shards));
+  shared->statuses.assign(static_cast<size_t>(num_shards), Status::Ok());
+  shared->remaining.store(num_shards, std::memory_order_relaxed);
+  for (int s = 0; s < num_shards; ++s) {
+    const Relation* shard = shards[static_cast<size_t>(s)];
+    pool_.Submit([this, my_topo, batch_rows, spec, shared, shard, s,
+                  owned_splits = acquired.owned_splits] {
+      try {
+        BatchPipeline pipeline(*spec);
+        shared->outputs[static_cast<size_t>(s)] =
+            pipeline.Run(*shard, batch_rows);
+        shared->op_rows[static_cast<size_t>(s)] =
+            pipeline.stats().op_input_rows;
+      } catch (const std::exception& e) {
+        shared->statuses[static_cast<size_t>(s)] = InternalError(
+            StrFormat("fused chain shard task threw: %s", e.what()));
+      }
+      if (shared->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+        return;  // Not the last shard; the last finisher posts the completion.
+      }
+      Completion completion;
+      completion.topo_index = my_topo;
+      for (Status& status : shared->statuses) {
+        if (!status.ok()) {
+          completion.status = std::move(status);
+          break;
+        }
+      }
+      if (completion.status.ok()) {
+        ShardedRelation out{shared->output_schema};
+        for (Relation& relation : shared->outputs) {
+          out.AddShard(std::move(relation));
+        }
+        completion.sharded_output = std::move(out);
+        completion.is_sharded = true;
+        completion.chain_op_rows.assign(spec->ops.size(), 0);
+        for (const std::vector<int64_t>& rows : shared->op_rows) {
+          for (size_t k = 0; k < rows.size(); ++k) {
+            completion.chain_op_rows[k] += rows[k];
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      completions_.push_back(std::move(completion));
+      completions_cv_.notify_all();
+    });
+  }
 }
 
 Status JobGraphExecutor::RunCollect(NodeExec& exec, ExecutionResult& result) {
@@ -551,6 +728,32 @@ void JobGraphExecutor::DrainCompletions(bool wait) {
       value.kind = MaterializedValue::Kind::kCleartext;
       value.clear = std::move(completion.output);
     }
+    if (exec.chain_members.size() >= 2) {
+      // Fused chain: price interior members from the per-op input rows the
+      // pipeline metered (equal to the unfused intermediate cardinalities at
+      // every batch size — streaming limits consume their whole input), store
+      // the tail's output, and materialize every member in chain order.
+      // chain_op_rows[0] is the head's input, already charged at acquisition.
+      for (size_t k = 1; k < exec.chain_members.size(); ++k) {
+        NodeExec& member = execs_[static_cast<size_t>(exec.chain_members[k])];
+        const uint64_t records =
+            static_cast<uint64_t>(completion.chain_op_rows[k]);
+        member.local_compute_seconds = LocalComputeSeconds(state_, records);
+        state_.net.mutable_counters().cleartext_records += records;
+      }
+      const NodeExec& tail =
+          execs_[static_cast<size_t>(exec.chain_members.back())];
+      value.location = tail.node->exec_party;
+      state_.values[static_cast<size_t>(tail.node->id)] = std::move(value);
+      MarkMaterialized(exec);
+      for (size_t k = 1; k < exec.chain_members.size(); ++k) {
+        NodeExec& member = execs_[static_cast<size_t>(exec.chain_members[k])];
+        // Each member's sole use of its predecessor's (never-stored) value.
+        AdvanceAcquisition(member);
+        MarkMaterialized(member);
+      }
+      continue;
+    }
     value.location = exec.klass == NodeClass::kCreate
                          ? exec.node->Params<ir::CreateParams>().party
                          : exec.node->exec_party;
@@ -587,6 +790,23 @@ StatusOr<ExecutionResult> JobGraphExecutor::Run() {
     std::sort(exec.consumer_uses.begin(), exec.consumer_uses.end());
   }
 
+  // Pipeline fusion (DESIGN.md §10): stamp each fusible local chain on its
+  // head. The chain set comes from the same predicate the planner's explain
+  // advice uses (compiler::PipelineChains), so listing and runtime agree.
+  if (state_.batch_rows > 0) {
+    for (const std::vector<const ir::OpNode*>& chain : compiler::PipelineChains(
+             std::span<const ir::OpNode* const>(topo_.data(), topo_.size()),
+             state_.shard_count)) {
+      const int head_topo = TopoIndexOf(chain.front()->id);
+      NodeExec& head = execs_[static_cast<size_t>(head_topo)];
+      for (const ir::OpNode* member : chain) {
+        const int member_topo = TopoIndexOf(member->id);
+        head.chain_members.push_back(member_topo);
+        execs_[static_cast<size_t>(member_topo)].chain_head = head_topo;
+      }
+    }
+  }
+
   ExecutionResult result;
 
   // --- Event loop: dispatch everything ready, then wait for pool completions. ------
@@ -614,7 +834,11 @@ StatusOr<ExecutionResult> JobGraphExecutor::Run() {
           break;
         case NodeClass::kLocalCompute:
           if (CanAcquireInputs(exec)) {
-            DispatchLocalCompute(exec);
+            if (exec.chain_members.size() >= 2) {
+              DispatchChain(exec);
+            } else {
+              DispatchLocalCompute(exec);
+            }
             dispatched_any = true;
           }
           break;
@@ -797,6 +1021,10 @@ StatusOr<ExecutionResult> Dispatcher::Run(
                                         pool().parallelism(), total_rows);
   }
   state.shard_count = std::max(1, shards);
+  // Batch knob: 0 resolves the CONCLAVE_BATCH_ROWS env override; negative
+  // (kMaterializeBatchRows) disables fusion entirely (chain stamping is gated
+  // on batch_rows > 0).
+  state.batch_rows = batch_rows_ == 0 ? DefaultBatchRows() : batch_rows_;
 
   for (const compiler::Job& job : compilation.plan.jobs) {
     for (const ir::OpNode* node : job.nodes) {

@@ -52,11 +52,19 @@ class Dispatcher {
   // pool with N lanes. `shard_count` sets the cleartext data plane's horizontal
   // shard count: 0 resolves the CONCLAVE_SHARDS env override (default 1, today's
   // single-relation execution), N > 1 runs per-shard operator instances that
-  // coalesce at the MPC frontier, kAutoShardCount defers to the planner. Results
-  // and virtual time are identical for every {pool, shard} combination.
+  // coalesce at the MPC frontier, kAutoShardCount defers to the planner.
+  // `batch_rows` sets the push-based pipeline executor's batch size: 0 resolves
+  // the CONCLAVE_BATCH_ROWS env override (default kDefaultBatchRows), N > 0
+  // streams fused local chains in batches of N rows, a negative value
+  // (kMaterializeBatchRows) disables fusion and materializes every operator.
+  // Results and virtual time are identical for every {pool, shard, batch}
+  // combination (DESIGN.md §5, §9, §10).
   Dispatcher(CostModel model, uint64_t seed, int pool_parallelism = 0,
-             int shard_count = 0)
-      : model_(model), seed_(seed), shard_count_(shard_count) {
+             int shard_count = 0, int64_t batch_rows = 0)
+      : model_(model),
+        seed_(seed),
+        shard_count_(shard_count),
+        batch_rows_(batch_rows) {
     if (pool_parallelism > 0) {
       owned_pool_ = std::make_unique<ThreadPool>(pool_parallelism);
     }
@@ -80,6 +88,7 @@ class Dispatcher {
   CostModel model_;
   uint64_t seed_;
   int shard_count_ = 0;
+  int64_t batch_rows_ = 0;
   std::unique_ptr<ThreadPool> owned_pool_;
 };
 

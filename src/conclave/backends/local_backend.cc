@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "conclave/common/strings.h"
 #include "conclave/relational/ops.h"
 #include "conclave/relational/shard_ops.h"
 
@@ -267,6 +268,41 @@ StatusOr<ShardedRelation> ExecuteLocalSharded(
       break;  // kCreate / kCollect: rejected above.
   }
   return InternalError("unhandled op kind in sharded local execution");
+}
+
+StatusOr<PipelineOp> ResolvePipelineOp(const Schema& input_schema,
+                                       const ir::OpNode& node) {
+  switch (node.kind) {
+    case ir::OpKind::kFilter: {
+      CONCLAVE_ASSIGN_OR_RETURN(
+          FilterPredicate predicate,
+          ResolveFilter(input_schema, node.Params<ir::FilterParams>()));
+      return PipelineOp::Filter(predicate);
+    }
+    case ir::OpKind::kProject: {
+      CONCLAVE_ASSIGN_OR_RETURN(
+          std::vector<int> columns,
+          input_schema.IndicesOf(node.Params<ir::ProjectParams>().columns));
+      return PipelineOp::Project(std::move(columns));
+    }
+    case ir::OpKind::kArithmetic: {
+      CONCLAVE_ASSIGN_OR_RETURN(
+          ArithSpec spec,
+          ResolveArith(input_schema, node.Params<ir::ArithmeticParams>()));
+      return PipelineOp::Arithmetic(spec);
+    }
+    case ir::OpKind::kLimit:
+      return PipelineOp::Limit(node.Params<ir::LimitParams>().count);
+    case ir::OpKind::kDistinct: {
+      CONCLAVE_ASSIGN_OR_RETURN(
+          std::vector<int> columns,
+          input_schema.IndicesOf(node.Params<ir::DistinctParams>().columns));
+      return PipelineOp::DistinctOnSorted(std::move(columns));
+    }
+    default:
+      return InternalError(
+          StrFormat("op kind %s is not pipeline-fusible", ir::OpKindName(node.kind)));
+  }
 }
 
 }  // namespace backends

@@ -10,6 +10,7 @@
 
 #include "conclave/common/status.h"
 #include "conclave/ir/op.h"
+#include "conclave/relational/pipeline.h"
 #include "conclave/relational/relation.h"
 #include "conclave/relational/sharded.h"
 
@@ -29,6 +30,14 @@ StatusOr<Relation> ExecuteLocal(const ir::OpNode& node,
 StatusOr<ShardedRelation> ExecuteLocalSharded(
     const ir::OpNode& node,
     const std::vector<std::vector<const Relation*>>& inputs, int shard_count);
+
+// Resolves one pipeline-fusible node (compiler::PipelineFusibleOp) into a
+// streaming operator against its runtime input schema. Name resolution mirrors
+// ExecuteLocal's per-kind resolution exactly, so a failure carries the same
+// status the unfused execution of the node would report. The stage's output
+// schema is BatchPipeline::DeriveSchema(input_schema, op).
+StatusOr<PipelineOp> ResolvePipelineOp(const Schema& input_schema,
+                                       const ir::OpNode& node);
 
 }  // namespace backends
 }  // namespace conclave

@@ -13,6 +13,7 @@
 #include "conclave/compiler/sort_elimination.h"
 #include "conclave/compiler/sort_pushup.h"
 #include "conclave/compiler/trust.h"
+#include "conclave/relational/pipeline.h"
 
 namespace conclave {
 namespace compiler {
@@ -125,6 +126,11 @@ StatusOr<Compilation> Compile(ir::Dag& dag, const CompilerOptions& options) {
                          : ThreadPool::DefaultParallelism();
     AnnotateShardAdvice(result.cost_report, result.plan,
                         options.planning_cost_model, pool, hinted_rows);
+    // Pipeline-fusion advice at the advised shard count and the configured (or
+    // env-default) batch size; the dispatcher fuses exactly these chains.
+    AnnotatePipelineAdvice(result.cost_report, dag,
+                           result.cost_report.recommended_shard_count,
+                           DefaultBatchRows());
   }
 
   CONCLAVE_LOG(kInfo, "compiled query: %zu transformations, %zu jobs",

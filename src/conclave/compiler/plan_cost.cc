@@ -771,6 +771,15 @@ std::string PlanCostReport::ToString() const {
   out += StrFormat("shard-advice: %d shard(s) (cleartext scan %s)\n",
                    recommended_shard_count,
                    FormatPlanSeconds(cleartext_scan_seconds).c_str());
+  if (pipeline_batch_rows > 0) {
+    out += StrFormat(
+        "pipeline-advice: %d fused chain(s) over %d node(s), longest %d "
+        "(batch %lld rows; resident rows per shard <= depth x batch)\n",
+        fused_pipeline_chains, fused_pipeline_nodes, longest_pipeline_chain,
+        static_cast<long long>(pipeline_batch_rows));
+  } else {
+    out += "pipeline-advice: fusion disabled (materializing operators)\n";
+  }
   return out;
 }
 
@@ -782,6 +791,109 @@ void AnnotateShardAdvice(PlanCostReport& report, const ExecutionPlan& plan,
       /*use_spark=*/false);
   report.recommended_shard_count =
       ChooseShardCount(plan, model, pool_parallelism, total_input_rows);
+}
+
+bool PipelineFusibleOp(const ir::OpNode& node, int shard_count) {
+  if (node.exec_mode != ir::ExecMode::kLocal || node.inputs.size() != 1) {
+    return false;
+  }
+  switch (node.kind) {
+    case ir::OpKind::kFilter:
+    case ir::OpKind::kProject:
+    case ir::OpKind::kArithmetic:
+      return true;
+    case ir::OpKind::kLimit:
+      // The streaming limit cursor is a whole-relation prefix; the sharded
+      // kernel computes it across shards, so limit fuses unsharded only.
+      return shard_count <= 1;
+    case ir::OpKind::kDistinct: {
+      if (shard_count > 1) {
+        return false;  // Dedup is cross-shard; keep the exchange-based kernel.
+      }
+      // Streaming adjacent-run dedup needs the input sorted ascending by a
+      // column list the distinct columns prefix. The only sortedness the IR can
+      // prove with direction today is a direct ascending kSortBy producer.
+      const ir::OpNode& in = *node.inputs[0];
+      if (in.kind != ir::OpKind::kSortBy) {
+        return false;
+      }
+      const auto& sort = in.Params<ir::SortByParams>();
+      const auto& distinct = node.Params<ir::DistinctParams>();
+      if (!sort.ascending || distinct.columns.size() > sort.columns.size()) {
+        return false;
+      }
+      return std::equal(distinct.columns.begin(), distinct.columns.end(),
+                        sort.columns.begin());
+    }
+    default:
+      return false;
+  }
+}
+
+std::vector<std::vector<const ir::OpNode*>> PipelineChains(
+    std::span<const ir::OpNode* const> topo, int shard_count) {
+  // Consuming-edge counts and the unique consumer, within `topo` only (detached
+  // consumers never execute, so they do not pin a value as materialized).
+  std::unordered_map<int, int> uses;
+  std::unordered_map<int, const ir::OpNode*> sole_consumer;
+  for (const ir::OpNode* node : topo) {
+    for (const ir::OpNode* in : node->inputs) {
+      if (++uses[in->id] == 1) {
+        sole_consumer[in->id] = node;
+      } else {
+        sole_consumer.erase(in->id);
+      }
+    }
+  }
+  std::vector<std::vector<const ir::OpNode*>> chains;
+  std::unordered_set<int> claimed;
+  for (const ir::OpNode* node : topo) {
+    if (claimed.count(node->id) != 0 || !PipelineFusibleOp(*node, shard_count)) {
+      continue;
+    }
+    std::vector<const ir::OpNode*> chain{node};
+    const ir::OpNode* tail = node;
+    for (;;) {
+      const auto it = sole_consumer.find(tail->id);
+      if (it == sole_consumer.end()) {
+        break;  // Zero or several consuming edges: the value must materialize.
+      }
+      const ir::OpNode* next = it->second;
+      if (!PipelineFusibleOp(*next, shard_count) ||
+          next->exec_party != tail->exec_party) {
+        break;
+      }
+      chain.push_back(next);
+      tail = next;
+    }
+    if (chain.size() < 2) {
+      continue;  // A lone streaming op materializes its output anyway.
+    }
+    for (const ir::OpNode* member : chain) {
+      claimed.insert(member->id);
+    }
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+void AnnotatePipelineAdvice(PlanCostReport& report, const ir::Dag& dag,
+                            int shard_count, int64_t batch_rows) {
+  report.pipeline_batch_rows = batch_rows > 0 ? batch_rows : 0;
+  report.fused_pipeline_chains = 0;
+  report.fused_pipeline_nodes = 0;
+  report.longest_pipeline_chain = 0;
+  if (batch_rows <= 0) {
+    return;
+  }
+  const std::vector<ir::OpNode*> order = dag.TopoOrder();
+  const std::vector<const ir::OpNode*> topo(order.begin(), order.end());
+  for (const auto& chain : PipelineChains(topo, shard_count)) {
+    ++report.fused_pipeline_chains;
+    report.fused_pipeline_nodes += static_cast<int>(chain.size());
+    report.longest_pipeline_chain =
+        std::max(report.longest_pipeline_chain, static_cast<int>(chain.size()));
+  }
 }
 
 PlanCostReport EstimatePlanCost(const ir::Dag& dag, const CostModel& model,

@@ -15,6 +15,7 @@
 #ifndef CONCLAVE_COMPILER_PLAN_COST_H_
 #define CONCLAVE_COMPILER_PLAN_COST_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -68,8 +69,21 @@ struct PlanCostReport {
   int recommended_shard_count = 1;
   double cleartext_scan_seconds = 0;
 
+  // Pipeline-fusion advice (filled by AnnotatePipelineAdvice): how many local
+  // operator chains the executor fuses into push-based batch pipelines, and the
+  // resident-row bound the streaming contract guarantees per chain. Advisory
+  // only — fusion changes wall clock and memory, never results or virtual time
+  // (fused nodes are priced per node with the same formulas the unfused
+  // executor meters, so the estimate==meter identities hold at every batch
+  // size).
+  int fused_pipeline_chains = 0;
+  int fused_pipeline_nodes = 0;
+  int longest_pipeline_chain = 0;
+  int64_t pipeline_batch_rows = 0;  // 0 = fusion disabled (materializing).
+
   // The explain listing: one header line ("plan-cost: ...") plus one line per node
-  // with estimated rows and per-backend seconds, and a trailing shard-advice line.
+  // with estimated rows and per-backend seconds, and trailing shard-advice and
+  // pipeline-advice lines.
   std::string ToString() const;
 };
 
@@ -93,6 +107,31 @@ PlanCostReport EstimatePlanCost(const ir::Dag& dag, const CostModel& model,
 void AnnotateShardAdvice(PlanCostReport& report, const ExecutionPlan& plan,
                          const CostModel& model, int pool_parallelism,
                          int64_t total_input_rows);
+
+// --- Pipeline fusion (push-based batch pipelines, DESIGN.md §10) --------------------
+
+// True when `node` can be a member of a fused streaming chain: a single-input
+// cleartext-local operator whose kernel consumes and emits batches without
+// materializing. In sharded execution (shard_count > 1), limit (a cross-shard
+// prefix) and distinct (cross-shard dedup) keep their shard-aware materializing
+// kernels and break chains; distinct additionally fuses only when its direct
+// input is an ascending sort whose column list it prefixes (the sortedness proof
+// for the streaming adjacent-run dedup).
+bool PipelineFusibleOp(const ir::OpNode& node, int shard_count);
+
+// Maximal chains (length >= 2) of fusible nodes within `topo`, where every
+// interior link is the producer's only consuming edge inside `topo` and both
+// ends run at the same party. The dispatcher executes exactly these chains as
+// one BatchPipeline per shard; the explain annotation prices the same chains —
+// one decision procedure, two callers, so the planner can never disagree with
+// the runtime about what fuses.
+std::vector<std::vector<const ir::OpNode*>> PipelineChains(
+    std::span<const ir::OpNode* const> topo, int shard_count);
+
+// Fills the report's pipeline-fusion advice from the placed DAG at the given
+// shard count and batch size (batch_rows <= 0 = fusion disabled).
+void AnnotatePipelineAdvice(PlanCostReport& report, const ir::Dag& dag,
+                            int shard_count, int64_t batch_rows);
 
 }  // namespace compiler
 }  // namespace conclave

@@ -1,0 +1,449 @@
+#include "conclave/relational/pipeline.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace conclave {
+
+int64_t DefaultBatchRows() {
+  if (const char* env = std::getenv("CONCLAVE_BATCH_ROWS")) {
+    const std::string value(env);
+    if (value == "materialize") {
+      return kMaterializeBatchRows;
+    }
+    const long long parsed = std::atoll(env);
+    return parsed > 0 ? static_cast<int64_t>(parsed) : kMaterializeBatchRows;
+  }
+  return kDefaultBatchRows;
+}
+
+PipelineOp PipelineOp::Filter(const FilterPredicate& predicate) {
+  PipelineOp op;
+  op.kind = Kind::kFilter;
+  op.filter = predicate;
+  return op;
+}
+
+PipelineOp PipelineOp::Project(std::vector<int> columns) {
+  PipelineOp op;
+  op.kind = Kind::kProject;
+  op.columns = std::move(columns);
+  return op;
+}
+
+PipelineOp PipelineOp::Arithmetic(const ArithSpec& spec) {
+  PipelineOp op;
+  op.kind = Kind::kArithmetic;
+  op.arith = spec;
+  return op;
+}
+
+PipelineOp PipelineOp::Limit(int64_t count) {
+  PipelineOp op;
+  op.kind = Kind::kLimit;
+  op.limit_count = count;
+  return op;
+}
+
+PipelineOp PipelineOp::DistinctOnSorted(std::vector<int> columns) {
+  PipelineOp op;
+  op.kind = Kind::kDistinctOnSorted;
+  op.columns = std::move(columns);
+  return op;
+}
+
+namespace {
+
+// Materializes rows [lo, hi) of `src` as an owned batch.
+Relation CopySlice(const Relation& src, int64_t lo, int64_t hi) {
+  Relation batch{src.schema()};
+  batch.Resize(hi - lo);
+  for (int c = 0; c < src.NumColumns(); ++c) {
+    const auto column = src.ColumnSpan(c);
+    std::copy(column.begin() + lo, column.begin() + hi, batch.ColumnData(c));
+  }
+  return batch;
+}
+
+}  // namespace
+
+namespace pipeline_internal {
+
+// The consume/flush operator contract. An operator receives owned batches (or,
+// for the pipeline head, borrowed slices of the source), emits output batches
+// downstream, and may keep only O(1) rows of cross-batch state. Subclasses must
+// be batch-invariant: concatenating the emitted batches reproduces the matching
+// ops.h kernel bit for bit at every batch size.
+class BatchOperator {
+ public:
+  BatchOperator(BatchPipeline* pipeline, size_t index, Schema output_schema)
+      : pipeline_(pipeline), index_(index), output_schema_(std::move(output_schema)) {}
+  virtual ~BatchOperator() = default;
+
+  const Schema& output_schema() const { return output_schema_; }
+
+  virtual void Reset() {}
+  // Consumes one owned batch, emitting zero or more output batches.
+  virtual void Consume(Relation&& batch) = 0;
+  // Consumes rows [lo, hi) of a borrowed source relation. The default
+  // materializes the slice; operators whose kernel can read the source directly
+  // (filter's selection scan, project's column copies) override it to skip the
+  // head-of-pipeline copy.
+  virtual void ConsumeSlice(const Relation& src, int64_t lo, int64_t hi) {
+    SelfDeliver(CopySlice(src, lo, hi));
+  }
+  // End of stream. None of the streaming operators buffer whole batches, so the
+  // default emits nothing; the hook is the contract's drain point.
+  virtual void Flush() {}
+
+ protected:
+  void Emit(Relation&& batch) { pipeline_->Push(index_ + 1, std::move(batch)); }
+  // Routes a head-of-pipeline slice copy through the pipeline's residency
+  // accounting and back into this operator's Consume.
+  void SelfDeliver(Relation&& batch) { pipeline_->Push(index_, std::move(batch)); }
+
+ private:
+  BatchPipeline* pipeline_;
+  size_t index_;
+  Schema output_schema_;
+};
+
+namespace {
+
+class FilterOperator : public BatchOperator {
+ public:
+  FilterOperator(BatchPipeline* pipeline, size_t index, Schema output_schema,
+                 const FilterPredicate& predicate)
+      : BatchOperator(pipeline, index, std::move(output_schema)),
+        predicate_(predicate) {}
+
+  void Consume(Relation&& batch) override { ConsumeSlice(batch, 0, batch.NumRows()); }
+
+  void ConsumeSlice(const Relation& src, int64_t lo, int64_t hi) override {
+    selected_.clear();
+    const int64_t* const lhs =
+        hi == lo ? nullptr : src.ColumnSpan(predicate_.column).data();
+    const int64_t* const rhs = (hi == lo || !predicate_.rhs_is_column)
+                                   ? nullptr
+                                   : src.ColumnSpan(predicate_.rhs_column).data();
+    const int64_t literal = predicate_.rhs_literal;
+    for (int64_t r = lo; r < hi; ++r) {
+      if (EvalCompare(predicate_.op, lhs[r], rhs != nullptr ? rhs[r] : literal)) {
+        selected_.push_back(r);
+      }
+    }
+    if (!selected_.empty()) {
+      Emit(ops::GatherRows(src, selected_));
+    }
+  }
+
+ private:
+  FilterPredicate predicate_;
+  std::vector<int64_t> selected_;  // Reused scratch; O(batch) rows.
+};
+
+class ProjectOperator : public BatchOperator {
+ public:
+  ProjectOperator(BatchPipeline* pipeline, size_t index, Schema output_schema,
+                  std::vector<int> columns)
+      : BatchOperator(pipeline, index, std::move(output_schema)),
+        columns_(std::move(columns)) {}
+
+  void Consume(Relation&& batch) override { ConsumeSlice(batch, 0, batch.NumRows()); }
+
+  void ConsumeSlice(const Relation& src, int64_t lo, int64_t hi) override {
+    if (hi == lo) {
+      return;
+    }
+    Relation out{output_schema()};
+    out.Resize(hi - lo);
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      const auto column = src.ColumnSpan(columns_[i]);
+      std::copy(column.begin() + lo, column.begin() + hi,
+                out.ColumnData(static_cast<int>(i)));
+    }
+    Emit(std::move(out));
+  }
+
+ private:
+  std::vector<int> columns_;
+};
+
+class ArithmeticOperator : public BatchOperator {
+ public:
+  ArithmeticOperator(BatchPipeline* pipeline, size_t index, Schema output_schema,
+                     const ArithSpec& spec)
+      : BatchOperator(pipeline, index, std::move(output_schema)), spec_(spec) {}
+
+  void Consume(Relation&& batch) override { ConsumeSlice(batch, 0, batch.NumRows()); }
+
+  void ConsumeSlice(const Relation& src, int64_t lo, int64_t hi) override {
+    const int64_t rows = hi - lo;
+    if (rows == 0) {
+      return;
+    }
+    Relation out{output_schema()};
+    out.Resize(rows);
+    for (int c = 0; c < src.NumColumns(); ++c) {
+      const auto column = src.ColumnSpan(c);
+      std::copy(column.begin() + lo, column.begin() + hi, out.ColumnData(c));
+    }
+    // Same per-row formulas as ops::Arithmetic (incl. kDiv's fixed-point scale
+    // and divide-by-zero -> 0), so batch concatenation is bit-identical.
+    const int64_t* const lhs = src.ColumnSpan(spec_.lhs_column).data() + lo;
+    const int64_t* const rhs = spec_.rhs_is_column
+                                   ? src.ColumnSpan(spec_.rhs_column).data() + lo
+                                   : nullptr;
+    int64_t* const out_col = out.ColumnData(src.NumColumns());
+    const int64_t literal = spec_.rhs_literal;
+    const int64_t scale = spec_.scale;
+    switch (spec_.kind) {
+      case ArithKind::kAdd:
+        for (int64_t r = 0; r < rows; ++r) {
+          out_col[r] = lhs[r] + (rhs != nullptr ? rhs[r] : literal);
+        }
+        break;
+      case ArithKind::kSub:
+        for (int64_t r = 0; r < rows; ++r) {
+          out_col[r] = lhs[r] - (rhs != nullptr ? rhs[r] : literal);
+        }
+        break;
+      case ArithKind::kMul:
+        for (int64_t r = 0; r < rows; ++r) {
+          out_col[r] = lhs[r] * (rhs != nullptr ? rhs[r] : literal);
+        }
+        break;
+      case ArithKind::kDiv:
+        for (int64_t r = 0; r < rows; ++r) {
+          const int64_t d = rhs != nullptr ? rhs[r] : literal;
+          out_col[r] = d == 0 ? 0 : (lhs[r] * scale) / d;
+        }
+        break;
+    }
+    Emit(std::move(out));
+  }
+
+ private:
+  ArithSpec spec_;
+};
+
+class LimitOperator : public BatchOperator {
+ public:
+  LimitOperator(BatchPipeline* pipeline, size_t index, Schema output_schema,
+                int64_t count)
+      : BatchOperator(pipeline, index, std::move(output_schema)), count_(count) {}
+
+  void Reset() override { remaining_ = count_; }
+
+  void Consume(Relation&& batch) override {
+    const int64_t take = std::min(remaining_, batch.NumRows());
+    remaining_ -= take;
+    if (take == 0) {
+      // Deliberately no early exit: the whole stream is still consumed so
+      // per-operator row counts match the unfused execution.
+      return;
+    }
+    if (take == batch.NumRows()) {
+      Emit(std::move(batch));
+    } else {
+      Emit(CopySlice(batch, 0, take));
+    }
+  }
+
+  void ConsumeSlice(const Relation& src, int64_t lo, int64_t hi) override {
+    const int64_t take = std::min(remaining_, hi - lo);
+    remaining_ -= take;
+    if (take > 0) {
+      Emit(CopySlice(src, lo, lo + take));
+    }
+  }
+
+ private:
+  int64_t count_;
+  int64_t remaining_ = 0;
+};
+
+// Distinct over an input sorted ascending (lexicographically) by a column list
+// of which `columns` is a prefix: the projection onto `columns` is then
+// non-decreasing, so keeping the first row of every equal run emits exactly
+// ops::Distinct's sorted unique rows. Cross-batch state is one row.
+class DistinctOnSortedOperator : public BatchOperator {
+ public:
+  DistinctOnSortedOperator(BatchPipeline* pipeline, size_t index,
+                           Schema output_schema, std::vector<int> columns)
+      : BatchOperator(pipeline, index, std::move(output_schema)),
+        columns_(std::move(columns)) {}
+
+  void Reset() override {
+    last_row_.clear();
+    has_last_ = false;
+  }
+
+  void Consume(Relation&& batch) override { ConsumeSlice(batch, 0, batch.NumRows()); }
+
+  void ConsumeSlice(const Relation& src, int64_t lo, int64_t hi) override {
+    selected_.clear();
+    std::vector<const int64_t*> cols(columns_.size());
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      cols[i] = hi == lo ? nullptr : src.ColumnSpan(columns_[i]).data();
+    }
+    for (int64_t r = lo; r < hi; ++r) {
+      bool is_new = !has_last_;
+      if (!is_new) {
+        for (size_t i = 0; i < cols.size(); ++i) {
+          if (cols[i][r] != last_row_[i]) {
+            is_new = true;
+            break;
+          }
+        }
+      }
+      if (is_new) {
+        selected_.push_back(r);
+        has_last_ = true;
+        last_row_.resize(cols.size());
+        for (size_t i = 0; i < cols.size(); ++i) {
+          last_row_[i] = cols[i][r];
+        }
+      }
+    }
+    if (selected_.empty()) {
+      return;
+    }
+    Relation out{output_schema()};
+    out.Resize(static_cast<int64_t>(selected_.size()));
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      ops::GatherColumnInto(src, columns_[i], selected_,
+                            out.ColumnData(static_cast<int>(i)));
+    }
+    Emit(std::move(out));
+  }
+
+ private:
+  std::vector<int> columns_;
+  bool has_last_ = false;
+  std::vector<int64_t> last_row_;      // The last emitted distinct row; O(1) rows.
+  std::vector<int64_t> selected_;      // Reused scratch; O(batch) rows.
+};
+
+}  // namespace
+}  // namespace pipeline_internal
+
+Schema BatchPipeline::DeriveSchema(const Schema& input, const PipelineOp& op) {
+  switch (op.kind) {
+    case PipelineOp::Kind::kFilter:
+    case PipelineOp::Kind::kLimit:
+      return input;
+    case PipelineOp::Kind::kProject:
+    case PipelineOp::Kind::kDistinctOnSorted: {
+      std::vector<ColumnDef> defs;
+      defs.reserve(op.columns.size());
+      for (int c : op.columns) {
+        defs.push_back(input.Column(c));
+      }
+      return Schema(std::move(defs));
+    }
+    case PipelineOp::Kind::kArithmetic: {
+      std::vector<ColumnDef> defs = input.columns();
+      defs.emplace_back(op.arith.result_name);
+      return Schema(std::move(defs));
+    }
+  }
+  return input;
+}
+
+BatchPipeline::BatchPipeline(const PipelineSpec& spec) {
+  using pipeline_internal::BatchOperator;
+  Schema schema = spec.input_schema;
+  for (size_t i = 0; i < spec.ops.size(); ++i) {
+    const PipelineOp& op = spec.ops[i];
+    Schema out = DeriveSchema(schema, op);
+    std::unique_ptr<BatchOperator> built;
+    switch (op.kind) {
+      case PipelineOp::Kind::kFilter:
+        built = std::make_unique<pipeline_internal::FilterOperator>(this, i, out,
+                                                                    op.filter);
+        break;
+      case PipelineOp::Kind::kProject:
+        built = std::make_unique<pipeline_internal::ProjectOperator>(this, i, out,
+                                                                     op.columns);
+        break;
+      case PipelineOp::Kind::kArithmetic:
+        built = std::make_unique<pipeline_internal::ArithmeticOperator>(this, i, out,
+                                                                        op.arith);
+        break;
+      case PipelineOp::Kind::kLimit:
+        built = std::make_unique<pipeline_internal::LimitOperator>(this, i, out,
+                                                                   op.limit_count);
+        break;
+      case PipelineOp::Kind::kDistinctOnSorted:
+        built = std::make_unique<pipeline_internal::DistinctOnSortedOperator>(
+            this, i, out, op.columns);
+        break;
+    }
+    operators_.push_back(std::move(built));
+    schema = std::move(out);
+  }
+  output_schema_ = std::move(schema);
+}
+
+BatchPipeline::~BatchPipeline() = default;
+
+void BatchPipeline::Push(size_t op_index, Relation&& batch) {
+  if (op_index == operators_.size()) {
+    const int64_t start = output_.NumRows();
+    const int64_t rows = batch.NumRows();
+    output_.Resize(start + rows);
+    for (int c = 0; c < batch.NumColumns(); ++c) {
+      const auto column = batch.ColumnSpan(c);
+      std::copy(column.begin(), column.end(), output_.ColumnData(c) + start);
+    }
+    return;
+  }
+  const int64_t rows = batch.NumRows();
+  if (op_index > 0) {
+    stats_.op_input_rows[op_index] += rows;
+  }
+  ++live_batches_;
+  live_rows_ += rows;
+  stats_.peak_batches_resident = std::max(stats_.peak_batches_resident, live_batches_);
+  stats_.peak_rows_resident = std::max(stats_.peak_rows_resident, live_rows_);
+  operators_[op_index]->Consume(std::move(batch));
+  --live_batches_;
+  live_rows_ -= rows;
+}
+
+Relation BatchPipeline::Run(const Relation& input, int64_t batch_rows) {
+  stats_ = PipelineStats{};
+  stats_.op_input_rows.assign(operators_.size(), 0);
+  live_batches_ = 0;
+  live_rows_ = 0;
+  for (auto& op : operators_) {
+    op->Reset();
+  }
+  output_ = Relation{output_schema_};
+  // Every streaming operator's output is at most its input, so the source row
+  // count bounds the output: one reservation, no quadratic regrowth on append.
+  output_.Reserve(input.NumRows());
+
+  const int64_t rows = input.NumRows();
+  const int64_t step = batch_rows <= 0 ? std::max<int64_t>(rows, 1) : batch_rows;
+  if (!operators_.empty()) {
+    for (int64_t lo = 0; lo < rows; lo += step) {
+      const int64_t hi = std::min(rows, lo + step);
+      ++stats_.batches_pushed;
+      stats_.rows_pushed += hi - lo;
+      stats_.op_input_rows[0] += hi - lo;
+      operators_[0]->ConsumeSlice(input, lo, hi);
+    }
+    for (auto& op : operators_) {
+      op->Flush();
+    }
+  } else {
+    output_ = input;
+  }
+  return std::move(output_);
+}
+
+}  // namespace conclave

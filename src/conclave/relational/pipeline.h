@@ -1,0 +1,134 @@
+// Push-based batch pipeline for fused chains of non-blocking cleartext operators.
+//
+// A BatchPipeline streams fixed-size row batches from a materialized source
+// relation through a chain of streaming operators (filter / project / arithmetic /
+// limit / distinct-on-sorted), materializing only the chain's final output. Each
+// operator implements a Carnot-style consume/flush contract: it receives one input
+// batch at a time, emits zero or more output batches downstream, and may hold only
+// O(1) rows of cross-batch state (the limit cursor, the last distinct row). The
+// pipeline therefore holds O(pipeline depth x batch_rows) rows of intermediate
+// state regardless of input size — the high-water marks in PipelineStats record
+// exactly that, and tests assert it.
+//
+// Batch-invariance contract: for every operator and every batch size (including
+// one row per batch and the whole relation in one batch), the concatenation of the
+// emitted batches is bit-identical — values AND row order — to the corresponding
+// materializing kernel in ops.h applied to the concatenated input. The dispatcher
+// relies on this to extend the {pool, shard} determinism contract with a batch
+// axis (DESIGN.md §10); blocking operators (sort, join, aggregate, window, pad)
+// never enter a pipeline and keep materializing through ops.h.
+//
+// Streaming limit deliberately does NOT early-exit: upstream operators consume
+// every batch even after the limit is satisfied, so per-operator row counts — and
+// with them the dispatcher's cost-model charges and counters — are identical to
+// the unfused execution at every batch size.
+#ifndef CONCLAVE_RELATIONAL_PIPELINE_H_
+#define CONCLAVE_RELATIONAL_PIPELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "conclave/relational/ops.h"
+#include "conclave/relational/relation.h"
+
+namespace conclave {
+
+// Default rows per batch of the push-based pipeline executor (~4k rows: large
+// enough to amortize per-batch overhead, small enough that a fused chain's
+// working set stays cache-resident).
+inline constexpr int64_t kDefaultBatchRows = 4096;
+// Disables pipeline fusion entirely: every operator materializes through ops.h
+// (the pre-pipeline executor, and the differential harness's baseline).
+inline constexpr int64_t kMaterializeBatchRows = -1;
+
+// CONCLAVE_BATCH_ROWS env override: a positive integer sets the batch size,
+// "materialize" (or any non-positive value) disables fusion; unset picks
+// kDefaultBatchRows.
+int64_t DefaultBatchRows();
+
+// One resolved streaming operator of a pipeline (column references are
+// pre-resolved indices against the stage's input schema, as in ops.h).
+struct PipelineOp {
+  enum class Kind { kFilter, kProject, kArithmetic, kLimit, kDistinctOnSorted };
+
+  Kind kind = Kind::kFilter;
+  FilterPredicate filter;         // kFilter.
+  std::vector<int> columns;       // kProject / kDistinctOnSorted.
+  ArithSpec arith;                // kArithmetic.
+  int64_t limit_count = 0;        // kLimit.
+
+  static PipelineOp Filter(const FilterPredicate& predicate);
+  static PipelineOp Project(std::vector<int> columns);
+  static PipelineOp Arithmetic(const ArithSpec& spec);
+  static PipelineOp Limit(int64_t count);
+  // Requires the pipeline's input at this stage to be sorted ascending
+  // (lexicographically) by a column list of which `columns` is a prefix.
+  static PipelineOp DistinctOnSorted(std::vector<int> columns);
+};
+
+// A fully resolved pipeline: the source schema plus the operator chain. Cheap to
+// copy — sharded execution builds one BatchPipeline per shard from one spec.
+struct PipelineSpec {
+  Schema input_schema;
+  std::vector<PipelineOp> ops;
+};
+
+// Instrumentation captured by one BatchPipeline::Run. The peaks are high-water
+// marks over pipeline-owned batches only (the source and the materialized output
+// exist regardless of batching); a non-blocking chain must keep them O(depth x
+// batch_rows), never O(input rows).
+struct PipelineStats {
+  int64_t batches_pushed = 0;       // Source batches entering the pipeline.
+  int64_t rows_pushed = 0;          // Source rows entering the pipeline.
+  int64_t peak_batches_resident = 0;
+  int64_t peak_rows_resident = 0;
+  // Rows consumed by each operator (index-aligned with the spec's ops). Equals
+  // the materialized intermediate cardinalities of the unfused execution, at
+  // every batch size; the dispatcher prices fused interior nodes from these.
+  std::vector<int64_t> op_input_rows;
+};
+
+namespace pipeline_internal {
+class BatchOperator;
+}  // namespace pipeline_internal
+
+class BatchPipeline {
+ public:
+  explicit BatchPipeline(const PipelineSpec& spec);
+  ~BatchPipeline();
+  BatchPipeline(const BatchPipeline&) = delete;
+  BatchPipeline& operator=(const BatchPipeline&) = delete;
+
+  const Schema& output_schema() const { return output_schema_; }
+
+  // Streams `input` through the chain in batches of at most `batch_rows` rows
+  // (<= 0 streams the whole relation as one batch) and returns the materialized
+  // result. Resets operator state and stats first, so a pipeline may run again.
+  Relation Run(const Relation& input, int64_t batch_rows);
+
+  // Stats of the most recent Run.
+  const PipelineStats& stats() const { return stats_; }
+
+  // The schema each streaming operator derives from `input`, mirroring the
+  // corresponding ops.h kernel; `ops` prefixes of a chain compose left to right.
+  static Schema DeriveSchema(const Schema& input, const PipelineOp& op);
+
+ private:
+  friend class pipeline_internal::BatchOperator;
+
+  // Delivers one owned batch to operator `op_index` (== ops_.size() appends to
+  // the output), tracking batch residency around the consume call.
+  void Push(size_t op_index, Relation&& batch);
+
+  Schema output_schema_;
+  std::vector<std::unique_ptr<pipeline_internal::BatchOperator>> operators_;
+  PipelineStats stats_;
+  int64_t live_batches_ = 0;
+  int64_t live_rows_ = 0;
+  Relation output_;
+};
+
+}  // namespace conclave
+
+#endif  // CONCLAVE_RELATIONAL_PIPELINE_H_

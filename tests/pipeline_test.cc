@@ -1,0 +1,385 @@
+// Tests of the push-based batch pipeline (DESIGN.md §10): every streaming
+// operator against its materializing ops.h kernel across a batch-size grid with
+// boundary edge cases (0-row inputs, 1-row batches, limits cut mid-batch,
+// distinct runs spanning batch boundaries), bounded-memory high-water marks
+// proving O(depth x batch) residency, the CONCLAVE_BATCH_ROWS knob, and
+// end-to-end {batch} invariance of a fused chain feeding a blocking operator
+// through the public Query API.
+#include "conclave/relational/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "conclave/api/conclave.h"
+#include "conclave/data/generators.h"
+#include "conclave/relational/ops.h"
+#include "conclave/relational/relation.h"
+#include "test_util.h"
+
+namespace conclave {
+namespace {
+
+Relation MakeRelation(std::initializer_list<std::string> names,
+                      std::initializer_list<std::initializer_list<int64_t>> rows) {
+  std::vector<ColumnDef> defs;
+  for (const auto& name : names) {
+    defs.emplace_back(name);
+  }
+  Relation rel{Schema(std::move(defs))};
+  for (const auto& row : rows) {
+    rel.AppendRow(row);
+  }
+  return rel;
+}
+
+Relation RunPipeline(const PipelineSpec& spec, const Relation& input,
+                     int64_t batch_rows) {
+  BatchPipeline pipeline(spec);
+  return pipeline.Run(input, batch_rows);
+}
+
+// Batch sizes covering the boundary cases: one row per batch, boundaries that
+// fall mid-relation both on and off operator-relevant edges, the whole relation
+// in one batch (0), and a batch far larger than any input.
+const int64_t kBatchGrid[] = {1, 2, 3, 4, 7, 0, 1 << 20};
+
+void ExpectPipelineMatches(const PipelineSpec& spec, const Relation& input,
+                           const Relation& expected) {
+  for (int64_t batch_rows : kBatchGrid) {
+    const Relation got = RunPipeline(spec, input, batch_rows);
+    EXPECT_TRUE(got.RowsEqual(expected))
+        << "batch_rows=" << batch_rows << ": got " << got.NumRows()
+        << " rows, want " << expected.NumRows();
+    EXPECT_EQ(got.schema().ToString(), expected.schema().ToString())
+        << "batch_rows=" << batch_rows;
+  }
+}
+
+TEST(BatchPipelineTest, FilterMatchesMaterializingKernel) {
+  const Relation input = data::UniformInts(257, {"a", "b"}, 50, /*seed=*/11);
+  PipelineSpec spec;
+  spec.input_schema = input.schema();
+  const FilterPredicate predicate =
+      FilterPredicate::ColumnVsLiteral(0, CompareOp::kLt, 25);
+  spec.ops.push_back(PipelineOp::Filter(predicate));
+  ExpectPipelineMatches(spec, input, ops::Filter(input, predicate));
+}
+
+TEST(BatchPipelineTest, FilterColumnVsColumnAndEmptySelections) {
+  // Batches whose every row is filtered out must not surface as empty batches
+  // downstream or corrupt the output.
+  const Relation input = MakeRelation({"a", "b"}, {{1, 2},
+                                                   {5, 5},
+                                                   {9, 3},
+                                                   {0, 0},
+                                                   {7, 8}});
+  PipelineSpec spec;
+  spec.input_schema = input.schema();
+  const FilterPredicate predicate =
+      FilterPredicate::ColumnVsColumn(0, CompareOp::kGe, 1);
+  spec.ops.push_back(PipelineOp::Filter(predicate));
+  ExpectPipelineMatches(spec, input, ops::Filter(input, predicate));
+}
+
+TEST(BatchPipelineTest, ZeroRowInputFlowsThroughEveryOperator) {
+  Relation input{Schema::Of({"a", "b"})};
+  PipelineSpec spec;
+  spec.input_schema = input.schema();
+  spec.ops.push_back(PipelineOp::Filter(
+      FilterPredicate::ColumnVsLiteral(0, CompareOp::kGt, 0)));
+  spec.ops.push_back(PipelineOp::Project({1, 0}));
+  spec.ops.push_back(PipelineOp::Limit(5));
+  for (int64_t batch_rows : kBatchGrid) {
+    const Relation got = RunPipeline(spec, input, batch_rows);
+    EXPECT_EQ(got.NumRows(), 0) << "batch_rows=" << batch_rows;
+    EXPECT_EQ(got.schema().ToString(), Schema::Of({"b", "a"}).ToString());
+  }
+}
+
+TEST(BatchPipelineTest, ProjectReordersAndPreservesColumnDefs) {
+  const Relation input = data::UniformInts(64, {"x", "y", "z"}, 100, /*seed=*/3);
+  PipelineSpec spec;
+  spec.input_schema = input.schema();
+  const std::vector<int> columns = {2, 0};
+  spec.ops.push_back(PipelineOp::Project(columns));
+  ExpectPipelineMatches(spec, input, ops::Project(input, columns));
+}
+
+TEST(BatchPipelineTest, ArithmeticMatchesIncludingDivisionByZero) {
+  // kDiv's fixed-point scale and divide-by-zero-yields-0 semantics must
+  // replicate ops.h bit for bit, wherever the batch boundary falls relative to
+  // the zero denominators.
+  const Relation input = MakeRelation({"num", "den"}, {{10, 3},
+                                                       {7, 0},
+                                                       {0, 0},
+                                                       {-9, 2},
+                                                       {1, 1},
+                                                       {100, 7}});
+  ArithSpec arith;
+  arith.kind = ArithKind::kDiv;
+  arith.lhs_column = 0;
+  arith.rhs_is_column = true;
+  arith.rhs_column = 1;
+  arith.result_name = "ratio";
+  arith.scale = 10000;
+  PipelineSpec spec;
+  spec.input_schema = input.schema();
+  spec.ops.push_back(PipelineOp::Arithmetic(arith));
+  ExpectPipelineMatches(spec, input, ops::Arithmetic(input, arith));
+}
+
+TEST(BatchPipelineTest, LimitCutsMidBatchAndOnBatchBoundaries) {
+  const Relation input = data::UniformInts(23, {"a"}, 1000, /*seed=*/7);
+  // Limits below, on, and above batch boundaries, plus 0 and beyond-input.
+  for (int64_t count : {0, 1, 3, 4, 8, 22, 23, 500}) {
+    PipelineSpec spec;
+    spec.input_schema = input.schema();
+    spec.ops.push_back(PipelineOp::Limit(count));
+    ExpectPipelineMatches(spec, input, ops::Limit(input, count));
+  }
+}
+
+TEST(BatchPipelineTest, StreamingLimitDoesNotEarlyExit) {
+  // The no-early-exit contract: operators upstream of a satisfied limit still
+  // consume the whole input, so per-operator row counts (and with them the
+  // dispatcher's cost charges) match the unfused execution at every batch size.
+  const Relation input = data::UniformInts(100, {"a", "b"}, 50, /*seed=*/5);
+  const FilterPredicate predicate =
+      FilterPredicate::ColumnVsLiteral(0, CompareOp::kLt, 25);
+  const int64_t filtered_rows = ops::Filter(input, predicate).NumRows();
+  PipelineSpec spec;
+  spec.input_schema = input.schema();
+  spec.ops.push_back(PipelineOp::Filter(predicate));
+  spec.ops.push_back(PipelineOp::Limit(2));
+  BatchPipeline pipeline(spec);
+  const Relation got = pipeline.Run(input, /*batch_rows=*/10);
+  EXPECT_EQ(got.NumRows(), 2);
+  EXPECT_EQ(pipeline.stats().rows_pushed, input.NumRows());
+  ASSERT_EQ(pipeline.stats().op_input_rows.size(), 2u);
+  EXPECT_EQ(pipeline.stats().op_input_rows[0], input.NumRows());
+  EXPECT_EQ(pipeline.stats().op_input_rows[1], filtered_rows);
+}
+
+TEST(BatchPipelineTest, DistinctOnSortedMatchesDistinctKernel) {
+  // Duplicate runs deliberately span batch boundaries (batch sizes 1..4 all cut
+  // inside some run); the operator's O(1) last-row state must bridge them.
+  Relation input = MakeRelation({"k", "v"}, {{1, 1},
+                                             {1, 1},
+                                             {1, 1},
+                                             {2, 5},
+                                             {2, 5},
+                                             {3, 0},
+                                             {4, 9},
+                                             {4, 9},
+                                             {4, 9},
+                                             {4, 9},
+                                             {5, 2}});
+  const std::vector<int> columns = {0, 1};
+  PipelineSpec spec;
+  spec.input_schema = input.schema();
+  spec.ops.push_back(PipelineOp::DistinctOnSorted(columns));
+  ExpectPipelineMatches(spec, input, ops::Distinct(input, columns));
+}
+
+TEST(BatchPipelineTest, DistinctOnSortedPrefixOfSortColumns) {
+  // Distinct on a strict prefix of the sort order (the fusion predicate's
+  // condition): equal-prefix rows are adjacent even when their suffixes differ.
+  Relation input = data::UniformInts(300, {"a", "b"}, 9, /*seed=*/17);
+  const std::vector<int> sort_columns = {0, 1};
+  input = ops::SortBy(input, sort_columns, /*ascending=*/true);
+  const std::vector<int> columns = {0};
+  PipelineSpec spec;
+  spec.input_schema = input.schema();
+  spec.ops.push_back(PipelineOp::DistinctOnSorted(columns));
+  ExpectPipelineMatches(spec, input, ops::Distinct(input, columns));
+}
+
+TEST(BatchPipelineTest, ChainedOperatorsComposeAtEveryBatchSize) {
+  const Relation input = data::UniformInts(1000, {"a", "b", "c"}, 200, /*seed=*/23);
+  const FilterPredicate predicate =
+      FilterPredicate::ColumnVsLiteral(2, CompareOp::kGe, 50);
+  ArithSpec arith;
+  arith.kind = ArithKind::kMul;
+  arith.lhs_column = 0;
+  arith.rhs_is_column = true;
+  arith.rhs_column = 1;
+  arith.result_name = "ab";
+  PipelineSpec spec;
+  spec.input_schema = input.schema();
+  spec.ops.push_back(PipelineOp::Filter(predicate));
+  spec.ops.push_back(PipelineOp::Project({0, 1}));
+  spec.ops.push_back(PipelineOp::Arithmetic(arith));
+  spec.ops.push_back(PipelineOp::Limit(117));
+
+  Relation expected = ops::Filter(input, predicate);
+  expected = ops::Project(expected, std::vector<int>{0, 1});
+  expected = ops::Arithmetic(expected, arith);
+  expected = ops::Limit(expected, 117);
+  ExpectPipelineMatches(spec, input, expected);
+}
+
+TEST(BatchPipelineTest, ResidencyStaysBoundedByDepthTimesBatch) {
+  // The bounded-memory claim, asserted: pushing N rows through a depth-3 chain
+  // holds O(depth x batch) pipeline-owned rows at peak, not O(N).
+  constexpr int64_t kRows = 100000;
+  constexpr int64_t kBatch = 512;
+  const Relation input = data::UniformInts(kRows, {"a", "b"}, 1000, /*seed=*/31);
+  ArithSpec arith;
+  arith.kind = ArithKind::kAdd;
+  arith.lhs_column = 0;
+  arith.rhs_is_column = false;
+  arith.rhs_literal = 7;
+  arith.result_name = "a7";
+  PipelineSpec spec;
+  spec.input_schema = input.schema();
+  spec.ops.push_back(PipelineOp::Filter(
+      FilterPredicate::ColumnVsLiteral(0, CompareOp::kLt, 500)));  // ~50%.
+  spec.ops.push_back(PipelineOp::Project({0}));
+  spec.ops.push_back(PipelineOp::Arithmetic(arith));
+
+  BatchPipeline pipeline(spec);
+  const Relation got = pipeline.Run(input, kBatch);
+  const PipelineStats& stats = pipeline.stats();
+  EXPECT_GT(got.NumRows(), 0);
+  EXPECT_EQ(stats.rows_pushed, kRows);
+  EXPECT_EQ(stats.batches_pushed, (kRows + kBatch - 1) / kBatch);
+  const int64_t depth = static_cast<int64_t>(spec.ops.size());
+  // One batch may be live per stage plus the one in flight between stages.
+  EXPECT_LE(stats.peak_batches_resident, depth + 1);
+  EXPECT_LE(stats.peak_rows_resident, (depth + 1) * kBatch);
+  // The point of the exercise: peak residency is a tiny fraction of the input.
+  EXPECT_LT(stats.peak_rows_resident, kRows / 10);
+}
+
+TEST(BatchPipelineTest, SingleBatchRunMaterializesWholeInput) {
+  const Relation input = data::UniformInts(1000, {"a"}, 50, /*seed=*/41);
+  PipelineSpec spec;
+  spec.input_schema = input.schema();
+  spec.ops.push_back(PipelineOp::Filter(
+      FilterPredicate::ColumnVsLiteral(0, CompareOp::kLt, 25)));
+  BatchPipeline pipeline(spec);
+  const Relation got = pipeline.Run(input, /*batch_rows=*/0);
+  EXPECT_EQ(pipeline.stats().batches_pushed, 1);
+  EXPECT_EQ(pipeline.stats().rows_pushed, input.NumRows());
+  EXPECT_TRUE(got.RowsEqual(ops::Filter(
+      input, FilterPredicate::ColumnVsLiteral(0, CompareOp::kLt, 25))));
+}
+
+TEST(DefaultBatchRowsTest, EnvKnobParsing) {
+  {
+    test::ScopedEnvVar unset("CONCLAVE_BATCH_ROWS", nullptr);
+    EXPECT_EQ(DefaultBatchRows(), kDefaultBatchRows);
+  }
+  {
+    test::ScopedEnvVar env("CONCLAVE_BATCH_ROWS", "100");
+    EXPECT_EQ(DefaultBatchRows(), 100);
+  }
+  {
+    test::ScopedEnvVar env("CONCLAVE_BATCH_ROWS", "materialize");
+    EXPECT_EQ(DefaultBatchRows(), kMaterializeBatchRows);
+  }
+  {
+    test::ScopedEnvVar env("CONCLAVE_BATCH_ROWS", "0");
+    EXPECT_EQ(DefaultBatchRows(), kMaterializeBatchRows);
+  }
+  {
+    test::ScopedEnvVar env("CONCLAVE_BATCH_ROWS", "-8");
+    EXPECT_EQ(DefaultBatchRows(), kMaterializeBatchRows);
+  }
+  {
+    test::ScopedEnvVar env("CONCLAVE_BATCH_ROWS", "not-a-number");
+    EXPECT_EQ(DefaultBatchRows(), kMaterializeBatchRows);
+  }
+}
+
+// A fused local chain feeding a blocking operator (sort, then an MPC-side
+// aggregate): outputs, virtual clock, and counters must be bit-identical
+// between materializing execution and every batch size, at pool sizes 1 and 4.
+TEST(PipelineQueryTest, FusedChainFeedingBlockingOpIsBatchInvariant) {
+  auto run = [](int pool, int64_t batch_rows) {
+    api::Query query;
+    api::Party alice = query.AddParty("alice");
+    api::Party bob = query.AddParty("bob");
+    api::Table left = query.NewTable("left", {{"k"}, {"v"}}, alice);
+    api::Table right = query.NewTable("right", {{"k"}, {"w"}}, bob);
+    left.Filter("v", CompareOp::kLt, 600)
+        .MultiplyConst("v2", "v", 3)
+        .Project({"k", "v2"})
+        .Join(right, {"k"}, {"k"})
+        .Aggregate("total", AggKind::kSum, {"k"}, "v2")
+        .SortBy({"k"})
+        .WriteToCsv("out", {alice, bob});
+    std::map<std::string, Relation> inputs;
+    inputs["left"] = data::UniformInts(700, {"k", "v"}, 900, /*seed=*/51);
+    inputs["right"] = data::UniformInts(400, {"k", "w"}, 900, /*seed=*/52);
+    auto result = query.Run(inputs, {}, CostModel{}, /*seed=*/42, pool,
+                            /*shard_count=*/1, batch_rows);
+    CONCLAVE_CHECK(result.ok());
+    return std::move(*result);
+  };
+
+  const backends::ExecutionResult baseline = run(1, kMaterializeBatchRows);
+  ASSERT_GT(baseline.outputs.at("out").NumRows(), 0);
+  for (int pool : {1, 4}) {
+    for (int64_t batch_rows :
+         {int64_t{1}, int64_t{7}, kDefaultBatchRows,
+          int64_t{std::numeric_limits<int>::max()}}) {
+      const backends::ExecutionResult got = run(pool, batch_rows);
+      EXPECT_TRUE(got.outputs.at("out").RowsEqual(baseline.outputs.at("out")))
+          << "pool=" << pool << " batch_rows=" << batch_rows;
+      EXPECT_EQ(got.virtual_seconds, baseline.virtual_seconds)
+          << "pool=" << pool << " batch_rows=" << batch_rows;
+      EXPECT_EQ(got.local_seconds, baseline.local_seconds)
+          << "pool=" << pool << " batch_rows=" << batch_rows;
+      EXPECT_EQ(got.counters.cleartext_records,
+                baseline.counters.cleartext_records)
+          << "pool=" << pool << " batch_rows=" << batch_rows;
+      EXPECT_EQ(got.counters.network_bytes, baseline.counters.network_bytes)
+          << "pool=" << pool << " batch_rows=" << batch_rows;
+    }
+  }
+}
+
+// Same invariance with the data plane sharded: fused chains there hold only the
+// per-row operators, executed as one pipeline task per shard.
+TEST(PipelineQueryTest, ShardedFusedChainsMatchMaterializing) {
+  auto run = [](int shards, int64_t batch_rows) {
+    api::Query query;
+    api::Party alice = query.AddParty("alice");
+    api::Party bob = query.AddParty("bob");
+    api::Table left = query.NewTable("left", {{"k"}, {"v"}}, alice);
+    api::Table right = query.NewTable("right", {{"k"}, {"w"}}, bob);
+    left.Filter("v", CompareOp::kLt, 600)
+        .AddConst("v2", "v", 11)
+        .Join(right, {"k"}, {"k"})
+        .Aggregate("total", AggKind::kSum, {"k"}, "v2")
+        .WriteToCsv("out", {alice});
+    std::map<std::string, Relation> inputs;
+    inputs["left"] = data::UniformInts(900, {"k", "v"}, 800, /*seed=*/61);
+    inputs["right"] = data::UniformInts(500, {"k", "w"}, 800, /*seed=*/62);
+    auto result = query.Run(inputs, {}, CostModel{}, /*seed=*/42,
+                            /*pool_parallelism=*/2, shards, batch_rows);
+    CONCLAVE_CHECK(result.ok());
+    return std::move(*result);
+  };
+
+  const backends::ExecutionResult baseline = run(1, kMaterializeBatchRows);
+  for (int shards : {1, 3}) {
+    for (int64_t batch_rows : {int64_t{1}, int64_t{13}, kDefaultBatchRows}) {
+      const backends::ExecutionResult got = run(shards, batch_rows);
+      EXPECT_TRUE(got.outputs.at("out").RowsEqual(baseline.outputs.at("out")))
+          << "shards=" << shards << " batch_rows=" << batch_rows;
+      EXPECT_EQ(got.virtual_seconds, baseline.virtual_seconds)
+          << "shards=" << shards << " batch_rows=" << batch_rows;
+      EXPECT_EQ(got.counters.cleartext_records,
+                baseline.counters.cleartext_records)
+          << "shards=" << shards << " batch_rows=" << batch_rows;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace conclave

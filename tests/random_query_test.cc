@@ -8,11 +8,13 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <limits>
 
 #include "conclave/api/conclave.h"
 #include "conclave/backends/local_backend.h"
 #include "conclave/common/strings.h"
 #include "conclave/data/generators.h"
+#include "conclave/relational/pipeline.h"
 #include "row_major_reference.h"
 
 namespace conclave {
@@ -299,18 +301,20 @@ TEST_P(RandomQueryTest, CompiledDagInvariantsHold) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomQueryTest,
                          ::testing::Range<uint64_t>(1, 26));
 
-// ===== Property-based differential shard/pool harness ===============================
+// ===== Property-based differential shard/pool/batch harness =========================
 //
 // A seeded plan generator draws a random query (multi-party tables with uniform /
 // skewed / duplicate-heavy key distributions, then a chain of joins, aggregates,
 // filters, sorts, distincts, projections, and arithmetic) as a *shrinkable spec*:
 // every op's parameters are raw draws interpreted modulo the schema at build time,
-// so any subsequence of ops is still a valid plan. Each plan executes at every
-// shard_count in {1, 2, 3, 8} x pool in {1, 4} and must reproduce the unsharded
-// serial baseline bit for bit: RowsEqual on the revealed output (exact row order,
-// not just set equality) and exact virtual-clock totals. On a failure, a greedy
-// shrinker drops ops and halves tables while the failure reproduces, then prints
-// the minimal failing plan and its seed.
+// so any subsequence of ops is still a valid plan. Each plan executes across a
+// materializing {shard, pool} sweep plus the pipelined batch grid batch_rows in
+// {1, 7, 4096, INT_MAX} x shards in {1, 3} x pool in {1, 4}, and must reproduce
+// the serial materializing baseline (pool=1, shards=1, fusion off) bit for bit:
+// RowsEqual on the revealed output (exact row order, not just set equality) and
+// exact virtual-clock totals. On a failure, a greedy shrinker drops ops and halves
+// tables while the failure reproduces, then prints the minimal failing
+// (plan, seed, batch_rows) triple.
 namespace diff {
 
 struct TableSpec {
@@ -526,13 +530,15 @@ struct RunOutcome {
   double virtual_seconds = 0;
 };
 
-RunOutcome RunPlan(const PlanSpec& spec, int pool, int shards) {
+RunOutcome RunPlan(const PlanSpec& spec, int pool, int shards,
+                   int64_t batch_rows) {
   BuiltPlan built;
   BuildPlan(spec, &built);
   RunOutcome outcome;
   const auto result =
       built.query.Run(built.inputs, {}, CostModel{}, /*seed=*/42,
-                      /*pool_parallelism=*/pool, /*shard_count=*/shards);
+                      /*pool_parallelism=*/pool, /*shard_count=*/shards,
+                      batch_rows);
   if (!result.ok()) {
     outcome.error = result.status().ToString();
     return outcome;
@@ -543,15 +549,23 @@ RunOutcome RunPlan(const PlanSpec& spec, int pool, int shards) {
   return outcome;
 }
 
-// Empty string = the config reproduces the serial unsharded baseline exactly.
-// The baseline depends only on the spec, so sweeps compute it once and reuse it.
+RunOutcome RunBaseline(const PlanSpec& spec) {
+  // Serial, unsharded, fusion off: the node-at-a-time materializing executor.
+  return RunPlan(spec, /*pool=*/1, /*shards=*/1, kMaterializeBatchRows);
+}
+
+// Empty string = the config reproduces the serial materializing baseline
+// exactly. The baseline depends only on the spec, so sweeps compute it once and
+// reuse it.
 std::string CheckConfigAgainst(const RunOutcome& baseline, const PlanSpec& spec,
-                               int pool, int shards) {
-  const RunOutcome candidate = RunPlan(spec, pool, shards);
+                               int pool, int shards, int64_t batch_rows) {
+  const RunOutcome candidate = RunPlan(spec, pool, shards, batch_rows);
   if (baseline.ok != candidate.ok) {
-    return StrFormat("status diverges: baseline %s vs {pool=%d, shards=%d} %s",
-                     baseline.ok ? "ok" : baseline.error.c_str(), pool, shards,
-                     candidate.ok ? "ok" : candidate.error.c_str());
+    return StrFormat(
+        "status diverges: baseline %s vs {pool=%d, shards=%d, batch=%lld} %s",
+        baseline.ok ? "ok" : baseline.error.c_str(), pool, shards,
+        static_cast<long long>(batch_rows),
+        candidate.ok ? "ok" : candidate.error.c_str());
   }
   if (!baseline.ok) {
     // Both failed: the failure must be the canonical sequential one.
@@ -561,28 +575,31 @@ std::string CheckConfigAgainst(const RunOutcome& baseline, const PlanSpec& spec,
                            baseline.error.c_str(), candidate.error.c_str());
   }
   if (!candidate.output.RowsEqual(baseline.output)) {
-    return StrFormat("rows diverge at {pool=%d, shards=%d}\nbaseline\n%s\ngot\n%s",
-                     pool, shards, baseline.output.ToString().c_str(),
-                     candidate.output.ToString().c_str());
+    return StrFormat(
+        "rows diverge at {pool=%d, shards=%d, batch=%lld}\nbaseline\n%s\ngot\n%s",
+        pool, shards, static_cast<long long>(batch_rows),
+        baseline.output.ToString().c_str(), candidate.output.ToString().c_str());
   }
   if (candidate.virtual_seconds != baseline.virtual_seconds) {
     return StrFormat(
-        "virtual clock diverges at {pool=%d, shards=%d}: %.9f vs %.9f", pool,
-        shards, baseline.virtual_seconds, candidate.virtual_seconds);
+        "virtual clock diverges at {pool=%d, shards=%d, batch=%lld}: %.9f vs "
+        "%.9f",
+        pool, shards, static_cast<long long>(batch_rows),
+        baseline.virtual_seconds, candidate.virtual_seconds);
   }
   return "";
 }
 
-std::string CheckConfig(const PlanSpec& spec, int pool, int shards) {
-  return CheckConfigAgainst(RunPlan(spec, /*pool=*/1, /*shards=*/1), spec, pool,
-                            shards);
+std::string CheckConfig(const PlanSpec& spec, int pool, int shards,
+                        int64_t batch_rows) {
+  return CheckConfigAgainst(RunBaseline(spec), spec, pool, shards, batch_rows);
 }
 
 // Greedy shrink: drop ops (end first), then halve tables, while the same
-// {pool, shards} config still fails.
-PlanSpec ShrinkPlan(PlanSpec spec, int pool, int shards) {
+// {pool, shards, batch_rows} config still fails.
+PlanSpec ShrinkPlan(PlanSpec spec, int pool, int shards, int64_t batch_rows) {
   const auto fails = [&](const PlanSpec& candidate) {
-    return !CheckConfig(candidate, pool, shards).empty();
+    return !CheckConfig(candidate, pool, shards, batch_rows).empty();
   };
   bool progress = true;
   while (progress) {
@@ -625,29 +642,45 @@ PlanSpec ShrinkPlan(PlanSpec spec, int pool, int shards) {
 struct Config {
   int pool;
   int shards;
+  int64_t batch_rows;  // kMaterializeBatchRows = fusion off.
 };
 
-constexpr Config kConfigs[] = {{1, 2}, {1, 3}, {1, 8}, {4, 1},
-                               {4, 2}, {4, 3}, {4, 8}};
+constexpr int64_t kMat = kMaterializeBatchRows;
+constexpr int64_t kOneBatch = std::numeric_limits<int>::max();
+
+constexpr Config kConfigs[] = {
+    // Materializing {shard, pool} sweep (the historical harness).
+    {1, 2, kMat}, {1, 3, kMat}, {1, 8, kMat}, {4, 1, kMat},
+    {4, 2, kMat}, {4, 3, kMat}, {4, 8, kMat},
+    // Pipelined batch grid (DESIGN.md §10): batch_rows x shards x pool. One
+    // row per batch, a prime that straddles boundaries, the default, and
+    // effectively-one-batch.
+    {1, 1, 1},       {1, 3, 1},       {4, 1, 1},       {4, 3, 1},
+    {1, 1, 7},       {1, 3, 7},       {4, 1, 7},       {4, 3, 7},
+    {1, 1, 4096},    {1, 3, 4096},    {4, 1, 4096},    {4, 3, 4096},
+    {1, 1, kOneBatch}, {1, 3, kOneBatch}, {4, 1, kOneBatch}, {4, 3, kOneBatch},
+};
 
 // Runs one seeded plan through the full config sweep; on failure, shrinks and
-// reports the minimal reproduction.
+// reports the minimal (plan, seed, batch_rows) reproduction.
 void CheckSeed(uint64_t seed) {
   const PlanSpec spec = GeneratePlan(seed);
-  const RunOutcome baseline = RunPlan(spec, /*pool=*/1, /*shards=*/1);
+  const RunOutcome baseline = RunBaseline(spec);
   for (const Config& config : kConfigs) {
-    const std::string failure =
-        CheckConfigAgainst(baseline, spec, config.pool, config.shards);
+    const std::string failure = CheckConfigAgainst(
+        baseline, spec, config.pool, config.shards, config.batch_rows);
     if (failure.empty()) {
       continue;
     }
-    const PlanSpec minimal = ShrinkPlan(spec, config.pool, config.shards);
+    const PlanSpec minimal =
+        ShrinkPlan(spec, config.pool, config.shards, config.batch_rows);
     const std::string minimal_failure =
-        CheckConfig(minimal, config.pool, config.shards);
+        CheckConfig(minimal, config.pool, config.shards, config.batch_rows);
     ADD_FAILURE() << "differential failure at seed " << seed << " {pool="
-                  << config.pool << ", shards=" << config.shards << "}\n"
-                  << failure << "\n\nminimal failing plan (rerun with "
-                  << "CheckConfig(GeneratePlan-like spec below)):\n"
+                  << config.pool << ", shards=" << config.shards << ", batch="
+                  << config.batch_rows << "}\n"
+                  << failure << "\n\nminimal failing plan (seed " << seed
+                  << ", batch_rows " << config.batch_rows << "):\n"
                   << Describe(minimal) << "\n"
                   << minimal_failure;
     return;  // One minimal report per seed is enough.
@@ -667,8 +700,8 @@ int FixedSeedCount() {
 }  // namespace diff
 
 // Fixed seed list: every plan must be bit-identical (rows and virtual clock) to
-// the serial unsharded baseline at every {pool, shard} configuration. CI runs the
-// default 200 seeds; CONCLAVE_DIFF_SEEDS overrides.
+// the serial materializing baseline at every {pool, shard, batch} configuration.
+// CI runs the default 200 seeds; CONCLAVE_DIFF_SEEDS overrides.
 TEST(DifferentialShardHarness, SeededPlansMatchBaselineAtEveryConfig) {
   const int seeds = diff::FixedSeedCount();
   for (uint64_t seed = 1; seed <= static_cast<uint64_t>(seeds); ++seed) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "conclave/common/thread_pool.h"
+#include "test_util.h"
 
 namespace conclave {
 namespace {
@@ -188,9 +189,11 @@ TEST(ThreadPoolTest, CurrentBindingRoutesFreeParallelFor) {
 
 TEST(ThreadPoolTest, DefaultParallelismHonorsEnv) {
   // CONCLAVE_THREADS overrides the hardware default (used by benches and CI).
-  ASSERT_EQ(setenv("CONCLAVE_THREADS", "3", /*overwrite=*/1), 0);
-  EXPECT_EQ(ThreadPool::DefaultParallelism(), 3);
-  ASSERT_EQ(unsetenv("CONCLAVE_THREADS"), 0);
+  {
+    test::ScopedEnvVar threads("CONCLAVE_THREADS", "3");
+    EXPECT_EQ(ThreadPool::DefaultParallelism(), 3);
+  }
+  test::ScopedEnvVar unset("CONCLAVE_THREADS", nullptr);
   EXPECT_GE(ThreadPool::DefaultParallelism(), 1);
 }
 
