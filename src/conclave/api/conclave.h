@@ -24,6 +24,7 @@
 #define CONCLAVE_API_CONCLAVE_H_
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -141,14 +142,18 @@ class Query {
   // execution; backends::Dispatcher::kAutoShardCount = planner-priced decision).
   // `batch_rows` is the push-based pipeline executor's batch size (0 = the
   // CONCLAVE_BATCH_ROWS env override, else kDefaultBatchRows; negative =
-  // materialize every operator, disabling fusion). Results and virtual time are
-  // identical for every {pool, shard, batch} combination — see DESIGN.md §5,
-  // §9, and §10.
+  // materialize every operator, disabling fusion). `fault_plan` schedules
+  // deterministic fault injection (net/fault.h, DESIGN.md §11; nullopt = the
+  // CONCLAVE_FAULT_PLAN env override, disabled when unset). Results and virtual
+  // time are identical for every {pool, shard, batch} combination — see
+  // DESIGN.md §5, §9, and §10; a recoverable fault plan preserves the results
+  // bit for bit and adds exactly its priced recovery time to the clock.
   StatusOr<backends::ExecutionResult> Run(
       const std::map<std::string, Relation>& inputs,
       const compiler::CompilerOptions& options = {}, CostModel cost_model = {},
       uint64_t seed = 42, int pool_parallelism = 0, int shard_count = 0,
-      int64_t batch_rows = 0);
+      int64_t batch_rows = 0,
+      std::optional<FaultPlan> fault_plan = std::nullopt);
 
   ir::Dag& dag() { return dag_; }
   int num_parties() const { return static_cast<int>(parties_.size()); }

@@ -19,8 +19,10 @@
 #include <string>
 
 #include "conclave/common/party.h"
+#include "conclave/common/status.h"
 #include "conclave/common/virtual_clock.h"
 #include "conclave/mpc/share.h"
+#include "conclave/net/fault.h"
 #include "conclave/relational/relation.h"
 #include "conclave/relational/sharded.h"
 
@@ -65,6 +67,17 @@ struct ExecutionResult {
   // compiler::PlanCostReport estimates. Deterministic across pool sizes (folded in
   // topo order, like every other total).
   std::map<int, double> node_seconds;
+  // Fault-injection outcome (net/fault.h; fault_mode is false for runs without an
+  // active FaultPlan). Under injection, virtual_seconds equals the fault-free
+  // run's total plus fault_report.recovery_seconds, exactly.
+  FaultReport fault_report;
+  // Graceful degradation: when the fault-recovery budget is exhausted, Run returns
+  // ok() with aborted = true, abort_status carrying the canonical (earliest node
+  // in topological order) failure provenance, and no outputs — a structured abort
+  // with a populated FaultReport instead of a bare error. Non-fault failures keep
+  // returning a plain error Status from Run, as always.
+  bool aborted = false;
+  Status abort_status;
 };
 
 }  // namespace backends

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <unordered_set>
 #include <utility>
@@ -48,6 +49,11 @@ struct RunState {
 
   std::vector<MaterializedValue> values;  // Indexed by node id; slots never move.
   std::unordered_map<int, int> node_job;  // node id -> job id
+
+  // Active fault injector (nullptr = injection off). Coordinator-owned, like the
+  // network and engines it perturbs (net/fault.h, DESIGN.md §11); pool tasks
+  // never consult it.
+  FaultInjector* fault = nullptr;
 
   RunState(const CostModel& model, uint64_t run_seed, int parties, bool gc,
            bool spark, bool malicious_mode)
@@ -118,6 +124,11 @@ void EnsureCleartextAt(RunState& state, MaterializedValue& value, PartyId party)
   switch (value.kind) {
     case MaterializedValue::Kind::kShared:
       value.clear = state.sharemind.Reveal(value.shared);
+      if (state.fault != nullptr) {
+        // Reveal-path integrity under injection: corrupted deliveries are
+        // detected by the commitment opening check and retransmitted.
+        state.fault->DeliverReveal(value.clear);
+      }
       value.shared = SharedRelation{};
       value.kind = MaterializedValue::Kind::kCleartext;
       value.location = party;
@@ -221,6 +232,9 @@ class JobGraphExecutor {
     double local_compute_seconds = 0;    // Cost-model cleartext compute.
     double dp_epsilon = 0;
     bool charged_local = false;          // Participates in the Spark startup charge.
+    // Injected crash count for this node's job (fault mode; decided once at
+    // dispatch on the coordinator so the schedule is pool-size-independent).
+    int fault_crashes = 0;
     // Pipeline fusion (DESIGN.md §10): topo indices of this chain's members in
     // chain order (filled on the head only; length >= 2). Members execute as one
     // BatchPipeline per shard inside the head's dispatch; only the tail's output
@@ -279,6 +293,47 @@ class JobGraphExecutor {
   void DispatchChain(NodeExec& exec);
   Status RunCollect(NodeExec& exec, ExecutionResult& result);
   Status RunLaneNode(NodeExec& exec);
+  // One execution attempt of a lane node: secures inputs, runs the engine, and
+  // stores the output value — everything RunLaneNode may have to replay after an
+  // injected crash. Metering/materialization stay with the caller.
+  Status ExecuteLaneOnce(NodeExec& exec);
+
+  // Frontier checkpoint for lane-node crash recovery (DESIGN.md §11): enough
+  // coordinator state to re-execute the node bit-identically — the network
+  // snapshot, the engine's randomness cursors, the malicious-input nonce, copies
+  // of the node's input values (EnsureSecure consumes cleartext payloads), and
+  // the producers' acquisition cursors.
+  struct LaneCheckpoint {
+    SimNetwork::Snapshot net;
+    SecretShareEngine::ReplayCheckpoint engine;
+    uint64_t next_nonce = 0;
+    std::vector<std::pair<int, MaterializedValue>> inputs;  // node id -> copy
+    std::vector<std::pair<int, int>> acquired;  // topo index -> acquired_uses
+  };
+  LaneCheckpoint TakeLaneCheckpoint(const NodeExec& exec);
+  void RestoreLaneCheckpoint(const LaneCheckpoint& checkpoint);
+
+  // Fault-mode job dispatch, front half: enters the node's injector scope and
+  // takes the scheduled crash count. False = the crash budget is exhausted (the
+  // fault failure is recorded and the caller abandons the dispatch, before any
+  // input acquisition).
+  bool PrepareJobFaults(NodeExec& exec);
+  // Fault-mode job dispatch, back half (after acquisition): escalates
+  // unrecoverable send faults raised during acquisition and prices the job's
+  // modeled crash restarts. Pool tasks are pure functions of their inputs (the
+  // determinism contract the chaos fuzzer enforces), so a crashed task re-runs
+  // to the same bits — the restart is priced, not physically re-executed; lane
+  // nodes, whose execution mutates engine state, ARE physically replayed
+  // (RunLaneNode). False = fault failure recorded; the caller releases its
+  // readers and abandons the dispatch.
+  bool CommitJobFaults(NodeExec& exec);
+  // Canonicalizes a pending injector failure to the earliest topo index, the
+  // fault-path mirror of RecordFailure.
+  void RecordFaultFailure(int topo_index);
+  // Topo gate for dispatch: nothing at or past the earliest failure (regular or
+  // fault) may start.
+  int FailureGate() const;
+  std::vector<int> TopoNodeIds() const;
 
   void MarkMaterialized(NodeExec& exec);
   void RecordFailure(int topo_index, Status status);
@@ -301,6 +356,14 @@ class JobGraphExecutor {
 
   int first_failed_topo_ = -1;
   Status failure_;
+
+  // Fault-injection failures (exhausted recovery budgets) are tracked separately
+  // from regular Status failures: they end in a structured abort, not an error.
+  // Canonicalized to the earliest topo index, like failure_; at the same index
+  // the fault abort wins (the fault caused the step to fail).
+  int fault_failed_topo_ = -1;
+  std::string fault_failure_text_;
+  int fault_failure_node_ = -1;
 
   std::mutex completions_mu_;
   std::condition_variable completions_cv_;
@@ -361,8 +424,102 @@ void JobGraphExecutor::RecordFailure(int topo_index, Status status) {
   }
 }
 
+void JobGraphExecutor::RecordFaultFailure(int topo_index) {
+  int node_id = -1;
+  std::string text = state_.fault->TakePendingFailure(&node_id);
+  if (fault_failed_topo_ < 0 || topo_index < fault_failed_topo_) {
+    fault_failed_topo_ = topo_index;
+    fault_failure_text_ = std::move(text);
+    fault_failure_node_ = node_id;
+  }
+}
+
+int JobGraphExecutor::FailureGate() const {
+  int gate = first_failed_topo_;
+  if (fault_failed_topo_ >= 0 && (gate < 0 || fault_failed_topo_ < gate)) {
+    gate = fault_failed_topo_;
+  }
+  return gate;
+}
+
+std::vector<int> JobGraphExecutor::TopoNodeIds() const {
+  std::vector<int> ids;
+  ids.reserve(topo_.size());
+  for (const ir::OpNode* node : topo_) {
+    ids.push_back(node->id);
+  }
+  return ids;
+}
+
+bool JobGraphExecutor::PrepareJobFaults(NodeExec& exec) {
+  if (state_.fault == nullptr) {
+    return true;
+  }
+  state_.fault->EnterScope(exec.node->id);
+  exec.fault_crashes = state_.fault->JobCrashes(exec.node->id);
+  if (state_.fault->has_pending_failure()) {
+    exec.dispatched = true;
+    RecordFaultFailure(TopoIndexOf(exec.node->id));
+    return false;
+  }
+  return true;
+}
+
+bool JobGraphExecutor::CommitJobFaults(NodeExec& exec) {
+  if (state_.fault == nullptr) {
+    return true;
+  }
+  if (state_.fault->has_pending_failure()) {
+    exec.dispatched = true;
+    RecordFaultFailure(TopoIndexOf(exec.node->id));
+    return false;
+  }
+  for (int k = 0; k < exec.fault_crashes; ++k) {
+    state_.fault->ChargeJobRestart(exec.node->id, exec.local_compute_seconds);
+  }
+  return true;
+}
+
+JobGraphExecutor::LaneCheckpoint JobGraphExecutor::TakeLaneCheckpoint(
+    const NodeExec& exec) {
+  LaneCheckpoint checkpoint;
+  checkpoint.net = state_.net.TakeSnapshot();
+  checkpoint.engine = state_.sharemind.engine().TakeCheckpoint();
+  checkpoint.next_nonce = state_.next_nonce;
+  for (const ir::OpNode* in : exec.node->inputs) {
+    checkpoint.inputs.emplace_back(in->id,
+                                   state_.values[static_cast<size_t>(in->id)]);
+    const int producer_topo = TopoIndexOf(in->id);
+    checkpoint.acquired.emplace_back(
+        producer_topo, execs_[static_cast<size_t>(producer_topo)].acquired_uses);
+  }
+  return checkpoint;
+}
+
+void JobGraphExecutor::RestoreLaneCheckpoint(const LaneCheckpoint& checkpoint) {
+  state_.net.RestoreSnapshot(checkpoint.net);
+  state_.sharemind.engine().Restore(checkpoint.engine);
+  state_.next_nonce = checkpoint.next_nonce;
+  for (const auto& [node_id, value] : checkpoint.inputs) {
+    state_.values[static_cast<size_t>(node_id)] = value;
+  }
+  for (const auto& [producer_topo, acquired_uses] : checkpoint.acquired) {
+    execs_[static_cast<size_t>(producer_topo)].acquired_uses = acquired_uses;
+  }
+}
+
 void JobGraphExecutor::DispatchCreate(NodeExec& exec) {
   const ir::OpNode* node = exec.node;
+  if (!PrepareJobFaults(exec)) {
+    return;
+  }
+  if (state_.fault != nullptr) {
+    // Create tasks charge no cost-model compute; a crashed ingest re-runs for
+    // free and pays only the restart penalty.
+    for (int k = 0; k < exec.fault_crashes; ++k) {
+      state_.fault->ChargeJobRestart(node->id, /*wasted_seconds=*/0);
+    }
+  }
   exec.dispatched = true;
   ++in_flight_;
   const int my_topo = TopoIndexOf(node->id);
@@ -458,7 +615,17 @@ JobGraphExecutor::AcquiredInputs JobGraphExecutor::AcquireLocalInputs(
 
 void JobGraphExecutor::DispatchLocalCompute(NodeExec& exec) {
   const ir::OpNode* node = exec.node;
+  if (!PrepareJobFaults(exec)) {
+    return;
+  }
   AcquiredInputs acquired = AcquireLocalInputs(exec);
+  if (!CommitJobFaults(exec)) {
+    // No task was submitted: release the readers acquisition registered.
+    for (const ir::OpNode* in : node->inputs) {
+      --ExecOf(*in).active_readers;
+    }
+    return;
+  }
 
   exec.dispatched = true;
   ++in_flight_;
@@ -501,7 +668,18 @@ void JobGraphExecutor::DispatchLocalCompute(NodeExec& exec) {
 
 void JobGraphExecutor::DispatchChain(NodeExec& exec) {
   const bool sharded = state_.shard_count > 1;
+  if (!PrepareJobFaults(exec)) {
+    return;
+  }
   AcquiredInputs acquired = AcquireLocalInputs(exec);
+  if (!CommitJobFaults(exec)) {
+    // Crash restarts priced so far cover the head's compute; the interior
+    // members never price (the run aborts). Release the acquisition's readers.
+    for (const ir::OpNode* in : exec.node->inputs) {
+      --ExecOf(*in).active_readers;
+    }
+    return;
+  }
   // All members are spoken for the moment the head dispatches: the acquisition
   // cursors have advanced, so nothing may re-dispatch any member — including on
   // the resolution-failure path below.
@@ -632,6 +810,11 @@ Status JobGraphExecutor::RunCollect(NodeExec& exec, ExecutionResult& result) {
   const ir::OpNode* node = exec.node;
   const auto& params = node->Params<ir::CollectParams>();
   exec.dispatched = true;
+  if (state_.fault != nullptr) {
+    // Collect runs on the coordinator with no compute to restart; its reveal and
+    // fan-out sends are the faultable operations.
+    state_.fault->EnterScope(node->id);
+  }
 
   MaterializedValue& input = state_.values[static_cast<size_t>(node->inputs[0]->id)];
   EnsureCleartextAt(state_, input, params.recipients.First());
@@ -658,6 +841,11 @@ Status JobGraphExecutor::RunCollect(NodeExec& exec, ExecutionResult& result) {
   result.outputs[params.name] = std::move(output);
   exec.boundary_scaled_seconds = state_.net.TakeMeterSeconds() * state_.MpcScale();
   MarkMaterialized(exec);
+  if (state_.fault != nullptr && state_.fault->has_pending_failure()) {
+    // An unrecoverable drop/corruption during the reveal or fan-out; the abort
+    // discards this Collect's (already stored) output.
+    RecordFaultFailure(TopoIndexOf(node->id));
+  }
   return Status::Ok();
 }
 
@@ -666,6 +854,57 @@ Status JobGraphExecutor::RunLaneNode(NodeExec& exec) {
   exec.dispatched = true;
   ++lane_next_;
 
+  FaultInjector* fault = state_.fault;
+  int crashes = 0;
+  if (fault != nullptr) {
+    fault->EnterScope(node->id);
+    crashes = fault->JobCrashes(node->id);
+    if (fault->has_pending_failure()) {
+      // Crash budget exhausted: structured abort, nothing materializes.
+      RecordFaultFailure(TopoIndexOf(node->id));
+      return Status::Ok();
+    }
+  }
+
+  for (int attempt = 0;; ++attempt) {
+    // Injected crashes are decided up front, so whether this attempt needs a
+    // frontier checkpoint is known before it runs.
+    const bool crash_after = attempt < crashes;
+    LaneCheckpoint checkpoint;
+    if (crash_after) {
+      checkpoint = TakeLaneCheckpoint(exec);
+    }
+    if (fault != nullptr && attempt > 0) {
+      fault->BeginAttempt(attempt);
+    }
+    CONCLAVE_RETURN_IF_ERROR(ExecuteLaneOnce(exec));
+    if (fault != nullptr && fault->has_pending_failure()) {
+      // Unrecoverable send loss inside this attempt: structured abort. Drain
+      // the attempt's meter so no charge leaks into a later step.
+      state_.net.TakeMeterSeconds();
+      RecordFaultFailure(TopoIndexOf(node->id));
+      return Status::Ok();
+    }
+    if (!crash_after) {
+      break;
+    }
+    // Injected crash: divert the wasted attempt's metered work (x MpcScale,
+    // like any lane charge) to the recovery accumulators, roll back to the
+    // frontier checkpoint, and replay. The replayed attempt re-claims the same
+    // randomness streams, so its bits are identical to the crashed one's.
+    const double wasted =
+        (state_.net.TakeMeterSeconds() - checkpoint.net.meter_seconds) *
+        state_.MpcScale();
+    fault->ChargeJobRestart(node->id, wasted);
+    RestoreLaneCheckpoint(checkpoint);
+  }
+  exec.boundary_scaled_seconds = state_.net.TakeMeterSeconds() * state_.MpcScale();
+  MarkMaterialized(exec);
+  return Status::Ok();
+}
+
+Status JobGraphExecutor::ExecuteLaneOnce(NodeExec& exec) {
+  const ir::OpNode* node = exec.node;
   if (state_.use_gc_backend) {
     std::vector<const Relation*> rels;
     rels.reserve(node->inputs.size());
@@ -696,8 +935,6 @@ Status JobGraphExecutor::RunLaneNode(NodeExec& exec) {
     value.shared = std::move(out);
     state_.values[static_cast<size_t>(node->id)] = std::move(value);
   }
-  exec.boundary_scaled_seconds = state_.net.TakeMeterSeconds() * state_.MpcScale();
-  MarkMaterialized(exec);
   return Status::Ok();
 }
 
@@ -740,6 +977,15 @@ void JobGraphExecutor::DrainCompletions(bool wait) {
             static_cast<uint64_t>(completion.chain_op_rows[k]);
         member.local_compute_seconds = LocalComputeSeconds(state_, records);
         state_.net.mutable_counters().cleartext_records += records;
+        if (state_.fault != nullptr && exec.fault_crashes > 0) {
+          // Each restart of the head's job re-ran the whole fused chain; the
+          // interior members' compute joins the head's (already counted)
+          // restarts. The charge is a pure function of the chain's row totals,
+          // so it is identical at every pool/shard/batch configuration.
+          state_.fault->AddRecoverySeconds(
+              exec.node->id, static_cast<double>(exec.fault_crashes) *
+                                 member.local_compute_seconds);
+        }
       }
       const NodeExec& tail =
           execs_[static_cast<size_t>(exec.chain_members.back())];
@@ -820,7 +1066,8 @@ StatusOr<ExecutionResult> JobGraphExecutor::Run() {
   for (;;) {
     bool dispatched_any = false;
     for (size_t i = 0; i < execs_.size(); ++i) {
-      if (first_failed_topo_ >= 0 && static_cast<int>(i) >= first_failed_topo_) {
+      const int gate = FailureGate();
+      if (gate >= 0 && static_cast<int>(i) >= gate) {
         break;  // execs_ is topo-ordered; nothing past the failure may dispatch.
       }
       NodeExec& exec = execs_[i];
@@ -873,6 +1120,24 @@ StatusOr<ExecutionResult> JobGraphExecutor::Run() {
     break;  // Quiescent: everything runnable (below any failure) has finished.
   }
 
+  // Graceful degradation: an exhausted fault-recovery budget ends in a
+  // structured abort (ok() + aborted + FaultReport), not a bare error. At the
+  // same topo index the fault abort wins — the injected fault is what made the
+  // step fail; a regular failure at a strictly earlier index is the canonical
+  // outcome a fault-free run reports, so it takes precedence.
+  const bool fault_abort =
+      fault_failed_topo_ >= 0 &&
+      (first_failed_topo_ < 0 || fault_failed_topo_ <= first_failed_topo_);
+  if (fault_abort) {
+    state_.fault->RecordFirstFailure(fault_failure_node_, fault_failure_text_);
+    ExecutionResult aborted;
+    aborted.aborted = true;
+    aborted.abort_status = ResourceExhaustedError(
+        StrFormat("fault recovery budget exhausted at node #%d: %s",
+                  fault_failure_node_, fault_failure_text_.c_str()));
+    aborted.fault_report = state_.fault->Report(TopoNodeIds());
+    return aborted;
+  }
   if (first_failed_topo_ >= 0) {
     return failure_;
   }
@@ -984,6 +1249,14 @@ StatusOr<ExecutionResult> JobGraphExecutor::FinalizeAccounting(
     result.virtual_seconds = std::max(result.virtual_seconds, finish[job.id]);
   }
   result.counters = state_.net.counters();
+  if (state_.fault != nullptr) {
+    // Recovery rides the critical path: everything up to here is bit-identical
+    // to the fault-free run (fault charges never touch the meter or counters),
+    // so the faulted total is exactly the fault-free total plus the priced
+    // recovery time — the chaos fuzzer's headline identity.
+    result.fault_report = state_.fault->Report(TopoNodeIds());
+    result.virtual_seconds += result.fault_report.recovery_seconds;
+  }
   return result;
 }
 
@@ -1030,6 +1303,22 @@ StatusOr<ExecutionResult> Dispatcher::Run(
     for (const ir::OpNode* node : job.nodes) {
       state.node_job[node->id] = job.id;
     }
+  }
+
+  // Fault-injection knob (DESIGN.md §11): an explicit plan wins (a disabled one
+  // forces injection off); otherwise the CONCLAVE_FAULT_PLAN env override
+  // resolves, failing loud on a malformed value.
+  FaultPlan fault_plan;
+  if (fault_plan_.has_value()) {
+    fault_plan = *fault_plan_;
+  } else {
+    CONCLAVE_ASSIGN_OR_RETURN(fault_plan, FaultPlan::FromEnv());
+  }
+  std::optional<FaultInjector> injector;
+  if (fault_plan.enabled) {
+    injector.emplace(std::move(fault_plan), model_);
+    state.fault = &*injector;
+    state.net.set_fault_injector(&*injector);
   }
 
   std::vector<ir::OpNode*> order = dag.TopoOrder();

@@ -29,6 +29,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -37,6 +38,7 @@
 #include "conclave/backends/sharemind_backend.h"
 #include "conclave/common/thread_pool.h"
 #include "conclave/compiler/compiler.h"
+#include "conclave/net/fault.h"
 
 namespace conclave {
 namespace backends {
@@ -57,14 +59,21 @@ class Dispatcher {
   // the CONCLAVE_BATCH_ROWS env override (default kDefaultBatchRows), N > 0
   // streams fused local chains in batches of N rows, a negative value
   // (kMaterializeBatchRows) disables fusion and materializes every operator.
-  // Results and virtual time are identical for every {pool, shard, batch}
-  // combination (DESIGN.md §5, §9, §10).
+  // `fault_plan` schedules deterministic fault injection (net/fault.h,
+  // DESIGN.md §11): nullopt resolves the CONCLAVE_FAULT_PLAN env override
+  // (disabled when unset); a disabled plan forces injection off regardless of
+  // the environment. Results, counters, and share bits are identical for every
+  // {pool, shard, batch} combination (DESIGN.md §5, §9, §10), with or without a
+  // recoverable fault plan; under injection the virtual clock additionally
+  // carries exactly the priced recovery time.
   Dispatcher(CostModel model, uint64_t seed, int pool_parallelism = 0,
-             int shard_count = 0, int64_t batch_rows = 0)
+             int shard_count = 0, int64_t batch_rows = 0,
+             std::optional<FaultPlan> fault_plan = std::nullopt)
       : model_(model),
         seed_(seed),
         shard_count_(shard_count),
-        batch_rows_(batch_rows) {
+        batch_rows_(batch_rows),
+        fault_plan_(std::move(fault_plan)) {
     if (pool_parallelism > 0) {
       owned_pool_ = std::make_unique<ThreadPool>(pool_parallelism);
     }
@@ -89,6 +98,7 @@ class Dispatcher {
   uint64_t seed_;
   int shard_count_ = 0;
   int64_t batch_rows_ = 0;
+  std::optional<FaultPlan> fault_plan_;
   std::unique_ptr<ThreadPool> owned_pool_;
 };
 

@@ -131,6 +131,13 @@ StatusOr<Compilation> Compile(ir::Dag& dag, const CompilerOptions& options) {
     AnnotatePipelineAdvice(result.cost_report, dag,
                            result.cost_report.recommended_shard_count,
                            DefaultBatchRows());
+    // Fault-injection advice from the same CONCLAVE_FAULT_PLAN knob the
+    // dispatcher resolves at run time; a malformed value fails loud there —
+    // explain treats it as off.
+    StatusOr<FaultPlan> fault_plan = FaultPlan::FromEnv();
+    AnnotateFaultAdvice(result.cost_report,
+                        fault_plan.ok() ? *fault_plan : FaultPlan{},
+                        options.planning_cost_model);
   }
 
   CONCLAVE_LOG(kInfo, "compiled query: %zu transformations, %zu jobs",

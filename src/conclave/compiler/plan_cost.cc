@@ -780,6 +780,17 @@ std::string PlanCostReport::ToString() const {
   } else {
     out += "pipeline-advice: fusion disabled (materializing operators)\n";
   }
+  if (fault_mode) {
+    out += StrFormat(
+        "fault-advice: injection armed (%s); <=%d retransmissions/send "
+        "(backoff envelope %s), %d restart(s)/job; recoverable plans add "
+        "exactly their priced recovery time\n",
+        fault_plan_summary.c_str(), fault_max_send_retries,
+        FormatPlanSeconds(fault_retry_envelope_seconds).c_str(),
+        fault_job_retries);
+  } else {
+    out += "fault-advice: injection off (set CONCLAVE_FAULT_PLAN to arm)\n";
+  }
   return out;
 }
 
@@ -893,6 +904,21 @@ void AnnotatePipelineAdvice(PlanCostReport& report, const ir::Dag& dag,
     report.fused_pipeline_nodes += static_cast<int>(chain.size());
     report.longest_pipeline_chain =
         std::max(report.longest_pipeline_chain, static_cast<int>(chain.size()));
+  }
+}
+
+void AnnotateFaultAdvice(PlanCostReport& report, const FaultPlan& plan,
+                         const CostModel& model) {
+  report.fault_mode = plan.enabled;
+  report.fault_plan_summary = plan.ToString();
+  report.fault_max_send_retries = model.max_send_retries;
+  report.fault_job_retries = plan.job_retries;
+  // Worst case one send can absorb before escalating: the full backed-off
+  // timeout schedule (payload retransmission time is size-dependent and priced
+  // at run time).
+  report.fault_retry_envelope_seconds = 0;
+  for (int k = 0; k < model.max_send_retries; ++k) {
+    report.fault_retry_envelope_seconds += model.RetrySeconds(k, /*bytes=*/0);
   }
 }
 

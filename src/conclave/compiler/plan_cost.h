@@ -24,6 +24,7 @@
 #include "conclave/compiler/partition.h"
 #include "conclave/ir/dag.h"
 #include "conclave/net/cost_model.h"
+#include "conclave/net/fault.h"
 
 namespace conclave {
 namespace compiler {
@@ -81,6 +82,18 @@ struct PlanCostReport {
   int longest_pipeline_chain = 0;
   int64_t pipeline_batch_rows = 0;  // 0 = fusion disabled (materializing).
 
+  // Fault-injection advice (filled by AnnotateFaultAdvice from the resolved
+  // FaultPlan): whether injection is armed, the plan's compact knob summary,
+  // the recovery budgets, and the worst-case backoff envelope one send can
+  // absorb before escalating (sum of the bounded retry timeouts). Advisory
+  // only — a recoverable plan changes the virtual clock by exactly its priced
+  // recovery time and nothing else (DESIGN.md §11).
+  bool fault_mode = false;
+  std::string fault_plan_summary;
+  int fault_max_send_retries = 0;
+  int fault_job_retries = 0;
+  double fault_retry_envelope_seconds = 0;
+
   // The explain listing: one header line ("plan-cost: ...") plus one line per node
   // with estimated rows and per-backend seconds, and trailing shard-advice and
   // pipeline-advice lines.
@@ -132,6 +145,12 @@ std::vector<std::vector<const ir::OpNode*>> PipelineChains(
 // shard count and batch size (batch_rows <= 0 = fusion disabled).
 void AnnotatePipelineAdvice(PlanCostReport& report, const ir::Dag& dag,
                             int shard_count, int64_t batch_rows);
+
+// Fills the report's fault-injection advice from the resolved FaultPlan (the
+// dispatcher resolves the same CONCLAVE_FAULT_PLAN knob at run time) and the
+// cost model's retry/backoff pricing.
+void AnnotateFaultAdvice(PlanCostReport& report, const FaultPlan& plan,
+                         const CostModel& model);
 
 }  // namespace compiler
 }  // namespace conclave

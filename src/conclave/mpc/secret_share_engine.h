@@ -127,6 +127,29 @@ class SecretShareEngine {
   // is independent of the pool size.
   CounterRng NewStream() { return CounterRng(seed_, next_stream_++); }
 
+  // Replay checkpoint for fault-injected frontier rollback (backends/dispatcher,
+  // DESIGN.md §11): restoring rewinds the stream counter, the sequential
+  // permutation generator, and the triple dealer, so a re-executed node claims
+  // the same streams and reproduces the same share bits — the property that
+  // makes crash recovery bit-identical.
+  struct ReplayCheckpoint {
+    uint64_t next_stream = 0;
+    Rng perm_rng{0};
+    TripleDealer::Checkpoint dealer;
+  };
+  ReplayCheckpoint TakeCheckpoint() const {
+    ReplayCheckpoint checkpoint;
+    checkpoint.next_stream = next_stream_;
+    checkpoint.perm_rng = perm_rng_;
+    checkpoint.dealer = dealer_.TakeCheckpoint();
+    return checkpoint;
+  }
+  void Restore(const ReplayCheckpoint& checkpoint) {
+    next_stream_ = checkpoint.next_stream;
+    perm_rng_ = checkpoint.perm_rng;
+    dealer_.Restore(checkpoint.dealer);
+  }
+
   SimNetwork& network() { return *network_; }
   TripleDealer& dealer() { return dealer_; }
   // The sequential generator feeding shuffle permutations (Fisher-Yates is

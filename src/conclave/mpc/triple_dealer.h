@@ -40,6 +40,21 @@ class TripleDealer {
 
   uint64_t triples_dealt() const { return triples_dealt_; }
 
+  // Replay checkpoint for fault-injected frontier rollback: restoring rewinds the
+  // stream counter (and the dealt-triples meter), so a re-executed node consumes
+  // the same triples and reproduces the same openings (DESIGN.md §11). The
+  // scratch batch needs no snapshot — it is borrowed per call and refilled from
+  // the (restored) stream counter.
+  struct Checkpoint {
+    uint64_t next_stream = 0;
+    uint64_t triples_dealt = 0;
+  };
+  Checkpoint TakeCheckpoint() const { return {next_stream_, triples_dealt_}; }
+  void Restore(const Checkpoint& checkpoint) {
+    next_stream_ = checkpoint.next_stream;
+    triples_dealt_ = checkpoint.triples_dealt;
+  }
+
   // True when `column` is one of the dealer-owned scratch columns. The engine
   // rejects such operands: the next DealBatch would refill them mid-protocol.
   bool OwnsBatchColumn(const SharedColumn& column) const {

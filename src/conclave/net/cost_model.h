@@ -120,7 +120,29 @@ struct CostModel {
   double zk_verify_seconds_per_row = 4e-5;
   uint64_t zk_proof_bytes_per_row = 192;
 
+  // --- Reliable delivery under fault injection (net/fault.h, DESIGN.md §11) ----------
+  // SimNetwork's reliable-delivery layer detects a lost point-to-point send after a
+  // timeout and retransmits with exponential backoff, bounded by max_send_retries;
+  // corrupted reveals (detected by a commitment opening check) retransmit on the
+  // same schedule, and a crashed job restarts from its last MPC-frontier checkpoint
+  // after crash_restart_seconds. Recovery time accrues in injector-owned
+  // accumulators, separate from every fault-free charge — these constants never
+  // affect a run without injected faults.
+  double retry_timeout_seconds = 5e-3;  // Loss detected after this long.
+  double retry_backoff_factor = 2.0;    // Timeout multiplier per retransmission.
+  int max_send_retries = 4;             // Bounded retry before escalation.
+  double crash_restart_seconds = 0.5;   // Checkpoint restore + job restart.
+
   // --- Derived helpers ---------------------------------------------------------------
+  // Priced cost of retransmission `attempt` (0-based) of a `bytes`-sized payload:
+  // the sender waits out the backed-off timeout, then resends.
+  double RetrySeconds(int attempt, uint64_t bytes) const {
+    double timeout = retry_timeout_seconds;
+    for (int k = 0; k < attempt; ++k) {
+      timeout *= retry_backoff_factor;
+    }
+    return timeout + SecondsForBytes(bytes);
+  }
   double SecondsForBytes(uint64_t bytes) const {
     return static_cast<double>(bytes) / bandwidth_bytes_per_second;
   }

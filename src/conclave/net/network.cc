@@ -1,3 +1,12 @@
 #include "conclave/net/network.h"
 
-// SimNetwork is header-only; this translation unit anchors the library archive.
+#include "conclave/net/fault.h"
+
+namespace conclave {
+
+// Out of line so network.h (included by every engine) stays free of fault.h.
+void SimNetwork::FaultOnSend(PartyId from, PartyId to, uint64_t bytes) {
+  fault_->OnSend(from, to, bytes);
+}
+
+}  // namespace conclave

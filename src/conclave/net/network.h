@@ -16,6 +16,8 @@
 
 namespace conclave {
 
+class FaultInjector;  // net/fault.h: consulted per Send under fault injection.
+
 class SimNetwork {
  public:
   explicit SimNetwork(CostModel model) : model_(model) {}
@@ -23,12 +25,20 @@ class SimNetwork {
 
   const CostModel& model() const { return model_; }
 
-  // Point-to-point transfer: counts bytes and charges bandwidth time.
+  // Point-to-point transfer: counts bytes and charges bandwidth time. Under fault
+  // injection the reliable-delivery layer then consults the injector: scheduled
+  // drops are absorbed by timeout + backed-off retransmission (bounded by
+  // CostModel::max_send_retries), priced into the injector's recovery
+  // accumulators — never into this network's meter or counters, which stay
+  // bit-identical to the fault-free run (DESIGN.md §11).
   void Send(PartyId from, PartyId to, uint64_t bytes) {
     CONCLAVE_CHECK_NE(from, to);
     counters_.network_bytes += bytes;
     bytes_matrix_[Index(from)][Index(to)] += bytes;
     Charge(model_.SecondsForBytes(bytes));
+    if (fault_ != nullptr) {
+      FaultOnSend(from, to, bytes);
+    }
   }
 
   // Broadcast from one party to all others.
@@ -89,12 +99,45 @@ class SimNetwork {
     return total;
   }
 
+  // Meter hygiene: a Reset that discards an undrained meter silently loses cost
+  // attribution (some step's charges would vanish from the per-node totals), so
+  // callers must TakeMeterSeconds() before resetting.
   void Reset() {
+    CONCLAVE_CHECK_EQ(meter_seconds_, 0);
     clock_.Reset();
     counters_.Reset();
     bytes_matrix_ = {};
-    meter_seconds_ = 0;
   }
+
+  // Full simulation-state snapshot for frontier-checkpoint rollback (the
+  // dispatcher's crash recovery, DESIGN.md §11). The fault injector binding is
+  // deliberately not part of the snapshot: the injector's accumulators record the
+  // crashed attempt's recovery charges and must survive the rollback.
+  struct Snapshot {
+    double clock_seconds = 0;
+    double meter_seconds = 0;
+    CostCounters counters;
+    std::array<std::array<uint64_t, kMaxParties>, kMaxParties> bytes_matrix{};
+  };
+  Snapshot TakeSnapshot() const {
+    Snapshot snapshot;
+    snapshot.clock_seconds = clock_.now_seconds();
+    snapshot.meter_seconds = meter_seconds_;
+    snapshot.counters = counters_;
+    snapshot.bytes_matrix = bytes_matrix_;
+    return snapshot;
+  }
+  void RestoreSnapshot(const Snapshot& snapshot) {
+    clock_.Reset();
+    clock_.Advance(snapshot.clock_seconds);  // 0 + x == x, bit for bit.
+    meter_seconds_ = snapshot.meter_seconds;
+    counters_ = snapshot.counters;
+    bytes_matrix_ = snapshot.bytes_matrix;
+  }
+
+  // Binds/unbinds the run's fault injector (coordinator-owned; see net/fault.h).
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+  FaultInjector* fault_injector() const { return fault_; }
 
  private:
   static size_t Index(PartyId party) {
@@ -108,11 +151,15 @@ class SimNetwork {
     meter_seconds_ += seconds;
   }
 
+  // Out of line (net/network.cc) so this header needs no fault.h dependency.
+  void FaultOnSend(PartyId from, PartyId to, uint64_t bytes);
+
   CostModel model_;
   VirtualClock clock_;
   double meter_seconds_ = 0;
   CostCounters counters_;
   std::array<std::array<uint64_t, kMaxParties>, kMaxParties> bytes_matrix_{};
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace conclave

@@ -3,6 +3,8 @@
 // the composition of all extension features in one run.
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "conclave/api/conclave.h"
 #include "conclave/data/generators.h"
 
@@ -42,6 +44,74 @@ TEST(DispatcherFailureTest, SharemindOomSurfacesAsResourceExhausted) {
   tight.ss_memory_limit_bytes = 64 * 1024;  // Far below the join's working set.
   const auto result = setup.query.Run(setup.inputs, {}, tight);
   EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- Negative-path coverage: failures must be canonical (identical status and
+// --- message at every pool size) and must drain the pool cleanly — a fresh run
+// --- right after a failed one succeeds. TSan validates there are no leaked or
+// --- wedged tasks racing the dispatcher teardown.
+
+// Queries are single-use, so every run rebuilds; `mutate` corrupts the inputs.
+Status RunCreditLikeStatus(
+    int pool, const CostModel& model,
+    const std::function<void(std::map<std::string, Relation>&)>& mutate) {
+  QuerySetup setup;
+  BuildCreditLike(setup, 400);
+  mutate(setup.inputs);
+  return setup.query
+      .Run(setup.inputs, {}, model, /*seed=*/42, /*pool_parallelism=*/pool)
+      .status();
+}
+
+void ExpectPoolStillHealthy(int pool) {
+  QuerySetup setup;
+  BuildCreditLike(setup, 100);
+  const auto result =
+      setup.query.Run(setup.inputs, {}, CostModel{}, /*seed=*/42, pool);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->outputs.at("out").NumRows(), 0);
+}
+
+TEST(DispatcherFailureTest, MissingCreateInputFailsCanonicallyAtEveryPoolSize) {
+  const auto drop_s1 = [](std::map<std::string, Relation>& inputs) {
+    inputs.erase("s1");
+  };
+  const Status serial = RunCreditLikeStatus(1, CostModel{}, drop_s1);
+  const Status parallel = RunCreditLikeStatus(4, CostModel{}, drop_s1);
+  EXPECT_EQ(serial.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(serial.message().find("no input relation provided for 's1'"),
+            std::string::npos)
+      << serial.ToString();
+  EXPECT_EQ(serial.ToString(), parallel.ToString());
+  ExpectPoolStillHealthy(4);
+}
+
+TEST(DispatcherFailureTest, SchemaMismatchFailsCanonicallyAtEveryPoolSize) {
+  const auto wrong_schema = [](std::map<std::string, Relation>& inputs) {
+    inputs["demo"] = data::UniformInts(50, {"ssn", "oops"}, 100, 9);
+  };
+  const Status serial = RunCreditLikeStatus(1, CostModel{}, wrong_schema);
+  const Status parallel = RunCreditLikeStatus(4, CostModel{}, wrong_schema);
+  EXPECT_EQ(serial.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(serial.message().find("does not match declared schema"),
+            std::string::npos)
+      << serial.ToString();
+  EXPECT_EQ(serial.ToString(), parallel.ToString());
+  ExpectPoolStillHealthy(4);
+}
+
+TEST(DispatcherFailureTest, MidGraphFailureDrainsCleanlyAtEveryPoolSize) {
+  // The Create jobs succeed; the MPC join then trips the simulated OOM mid-graph.
+  // The canonical failure (earliest topological failing node) must be pool-size
+  // independent, and the pool must come out clean.
+  CostModel tight;
+  tight.ss_memory_limit_bytes = 64 * 1024;
+  const auto keep = [](std::map<std::string, Relation>&) {};
+  const Status serial = RunCreditLikeStatus(1, tight, keep);
+  const Status parallel = RunCreditLikeStatus(4, tight, keep);
+  EXPECT_EQ(serial.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(serial.ToString(), parallel.ToString());
+  ExpectPoolStillHealthy(4);
 }
 
 TEST(DispatcherFailureTest, GcOomSurfacesAsResourceExhausted) {

@@ -1,0 +1,367 @@
+// Fault-injection tests (net/fault.h, DESIGN.md §11): per-event-type unit
+// coverage — drop -> retry -> success, crash -> frontier rollback, corruption ->
+// commitment mismatch -> structured abort — plus the retry/backoff pricing
+// identities against CostModel and the FaultPlan knob parser.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "conclave/api/conclave.h"
+#include "conclave/data/generators.h"
+#include "conclave/net/fault.h"
+#include "conclave/net/network.h"
+
+namespace conclave {
+namespace {
+
+using api::Party;
+using api::Query;
+using api::Table;
+
+struct QuerySetup {
+  Query query;
+  std::map<std::string, Relation> inputs;
+};
+
+// Three-party grouped sum over an MPC join: local pre-processing on every party,
+// frontier ingest, lane execution, and a revealing Collect — every faultable
+// step class in one plan. `fan_out` delivers the output to two parties, adding
+// the point-to-point sends that drop/latency injection targets (pure-MPC
+// traffic is charged in aggregate, not as individual sends).
+void BuildCreditLike(QuerySetup& setup, int64_t rows, bool fan_out = false) {
+  Party regulator = setup.query.AddParty("regulator");
+  Party bank1 = setup.query.AddParty("bank1");
+  Party bank2 = setup.query.AddParty("bank2");
+  Table demo = setup.query.NewTable("demo", {{"ssn"}, {"zip"}}, regulator);
+  Table s1 = setup.query.NewTable("s1", {{"ssn"}, {"score"}}, bank1);
+  Table s2 = setup.query.NewTable("s2", {{"ssn"}, {"score"}}, bank2);
+  Table total = demo.Join(setup.query.Concat({s1, s2}), {"ssn"}, {"ssn"})
+                    .Aggregate("total", AggKind::kSum, {"zip"}, "score");
+  if (fan_out) {
+    total.WriteToCsv("out", {regulator, bank1});
+  } else {
+    total.WriteToCsv("out", {regulator});
+  }
+  setup.inputs["demo"] = data::Demographics(rows, rows * 4, 8, 1);
+  setup.inputs["s1"] = data::CreditScores(rows / 2, rows * 4, 2);
+  setup.inputs["s2"] = data::CreditScores(rows / 2, rows * 4, 3);
+}
+
+backends::ExecutionResult RunCreditLike(std::optional<FaultPlan> plan,
+                                        int pool = 1, bool fan_out = false) {
+  QuerySetup setup;
+  BuildCreditLike(setup, 200, fan_out);
+  auto result = setup.query.Run(setup.inputs, {}, CostModel{}, 42, pool,
+                                /*shard_count=*/1, /*batch_rows=*/0,
+                                std::move(plan));
+  CONCLAVE_CHECK(result.ok());
+  return std::move(*result);
+}
+
+void ExpectCountersEqual(const CostCounters& a, const CostCounters& b) {
+  EXPECT_EQ(a.network_bytes, b.network_bytes);
+  EXPECT_EQ(a.network_rounds, b.network_rounds);
+  EXPECT_EQ(a.mpc_multiplications, b.mpc_multiplications);
+  EXPECT_EQ(a.mpc_comparisons, b.mpc_comparisons);
+  EXPECT_EQ(a.gc_and_gates, b.gc_and_gates);
+  EXPECT_EQ(a.gc_xor_gates, b.gc_xor_gates);
+  EXPECT_EQ(a.cleartext_records, b.cleartext_records);
+  EXPECT_EQ(a.zk_proofs, b.zk_proofs);
+}
+
+// The faulted run must be bit-identical to the fault-free run in everything but
+// the virtual clock, which carries exactly the priced recovery time.
+void ExpectRecoveredBitIdentical(const backends::ExecutionResult& base,
+                                 const backends::ExecutionResult& faulty) {
+  ASSERT_FALSE(faulty.aborted) << faulty.abort_status.ToString();
+  ASSERT_EQ(base.outputs.size(), faulty.outputs.size());
+  for (const auto& [name, relation] : base.outputs) {
+    ASSERT_TRUE(faulty.outputs.count(name));
+    EXPECT_TRUE(relation.RowsEqual(faulty.outputs.at(name))) << name;
+  }
+  ExpectCountersEqual(base.counters, faulty.counters);
+  EXPECT_EQ(base.node_seconds, faulty.node_seconds);
+  EXPECT_EQ(faulty.virtual_seconds,
+            base.virtual_seconds + faulty.fault_report.recovery_seconds);
+  EXPECT_GT(faulty.fault_report.recovery_seconds, 0.0);
+}
+
+// --- Pricing identities -------------------------------------------------------------
+
+TEST(FaultPricingTest, RetrySecondsIsBackedOffTimeoutPlusRetransmission) {
+  CostModel model;
+  double timeout = model.retry_timeout_seconds;
+  for (int k = 0; k < model.max_send_retries; ++k) {
+    EXPECT_EQ(model.RetrySeconds(k, 4096),
+              timeout + model.SecondsForBytes(4096));
+    EXPECT_EQ(model.RetrySeconds(k, 0), timeout);
+    timeout *= model.retry_backoff_factor;
+  }
+}
+
+TEST(FaultPricingTest, DropChargesRecoveryAccumulatorsNotTheNetwork) {
+  const CostModel model;
+  FaultPlan plan;
+  plan.enabled = true;
+  FaultEvent drop;
+  drop.kind = FaultEvent::Kind::kDropSend;
+  drop.node_id = 7;
+  drop.ordinal = 0;
+  drop.times = 2;
+  plan.events.push_back(drop);
+
+  SimNetwork fault_free{model};
+  fault_free.Send(0, 1, 100);
+
+  SimNetwork net{model};
+  FaultInjector injector(plan, model);
+  net.set_fault_injector(&injector);
+  injector.EnterScope(7);
+  net.Send(0, 1, 100);
+
+  // The network's meter, clock, and counters never see fault charges.
+  EXPECT_EQ(net.TakeMeterSeconds(), fault_free.TakeMeterSeconds());
+  EXPECT_EQ(net.ElapsedSeconds(), fault_free.ElapsedSeconds());
+  EXPECT_EQ(net.counters().network_bytes, fault_free.counters().network_bytes);
+
+  // Two lost copies -> two priced retransmissions with exponential backoff.
+  EXPECT_EQ(injector.NodeRecoverySeconds(7),
+            model.RetrySeconds(0, 100) + model.RetrySeconds(1, 100));
+  EXPECT_FALSE(injector.has_pending_failure());
+  const FaultReport report = injector.Report({7});
+  EXPECT_EQ(report.injected_drops, 2u);
+  EXPECT_EQ(report.retried_sends, 2u);
+  EXPECT_EQ(report.recovered_faults, 2u);
+  EXPECT_EQ(report.recovery_bytes, 200u);
+  EXPECT_EQ(report.recovery_seconds, injector.NodeRecoverySeconds(7));
+  ASSERT_EQ(report.injected_events.size(), 1u);
+  EXPECT_EQ(report.injected_events[0].kind, FaultEvent::Kind::kDropSend);
+}
+
+TEST(FaultPricingTest, DropBeyondRetryCapRaisesPendingFailure) {
+  const CostModel model;
+  FaultPlan plan;
+  plan.enabled = true;
+  FaultEvent drop;
+  drop.kind = FaultEvent::Kind::kDropSend;
+  drop.times = model.max_send_retries + 1;
+  plan.events.push_back(drop);
+
+  SimNetwork net{model};
+  FaultInjector injector(plan, model);
+  net.set_fault_injector(&injector);
+  injector.EnterScope(3);
+  net.Send(0, 1, 64);
+
+  ASSERT_TRUE(injector.has_pending_failure());
+  int node_id = -1;
+  const std::string provenance = injector.TakePendingFailure(&node_id);
+  EXPECT_EQ(node_id, 3);
+  EXPECT_NE(provenance.find("max_send_retries"), std::string::npos);
+  EXPECT_FALSE(injector.has_pending_failure());
+  // The bounded retries were still priced before escalating.
+  EXPECT_EQ(injector.Report({3}).retried_sends,
+            static_cast<uint64_t>(model.max_send_retries));
+}
+
+TEST(FaultPricingTest, LatencyEventIsRecoveredAndPricedOnce) {
+  const CostModel model;
+  FaultPlan plan;
+  plan.enabled = true;
+  FaultEvent lat;
+  lat.kind = FaultEvent::Kind::kAddLatency;
+  lat.extra_seconds = 0.25;
+  plan.events.push_back(lat);
+
+  SimNetwork net{model};
+  FaultInjector injector(plan, model);
+  net.set_fault_injector(&injector);
+  injector.EnterScope(1);
+  net.Send(0, 1, 8);
+
+  EXPECT_EQ(injector.NodeRecoverySeconds(1), 0.25);
+  const FaultReport report = injector.Report({1});
+  EXPECT_EQ(report.injected_latencies, 1u);
+  EXPECT_EQ(report.recovered_faults, 1u);
+  EXPECT_FALSE(injector.has_pending_failure());
+}
+
+// --- End-to-end recovery ------------------------------------------------------------
+
+TEST(FaultRecoveryTest, DroppedSendsRetryToBitIdenticalResults) {
+  const backends::ExecutionResult base =
+      RunCreditLike(std::nullopt, /*pool=*/1, /*fan_out=*/true);
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = 11;
+  plan.drop_rate = 1.0;  // Every send loses at least one copy.
+  plan.max_consecutive_drops = 1;
+  const backends::ExecutionResult faulty =
+      RunCreditLike(plan, /*pool=*/1, /*fan_out=*/true);
+  ASSERT_TRUE(faulty.fault_report.fault_mode);
+  EXPECT_GT(faulty.fault_report.injected_drops, 0u);
+  EXPECT_GE(faulty.fault_report.retried_sends,
+            faulty.fault_report.injected_drops);
+  ExpectRecoveredBitIdentical(base, faulty);
+}
+
+TEST(FaultRecoveryTest, CrashesRollBackToFrontierCheckpointsBitIdentically) {
+  const backends::ExecutionResult base = RunCreditLike(std::nullopt);
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = 13;
+  FaultEvent crash;
+  crash.kind = FaultEvent::Kind::kCrashJob;  // Every job crashes once.
+  plan.events.push_back(crash);
+  for (int pool : {1, 4}) {
+    const backends::ExecutionResult faulty = RunCreditLike(plan, pool);
+    EXPECT_GT(faulty.fault_report.injected_crashes, 0u);
+    EXPECT_EQ(faulty.fault_report.job_restarts,
+              faulty.fault_report.injected_crashes);
+    ExpectRecoveredBitIdentical(base, faulty);
+  }
+}
+
+TEST(FaultRecoveryTest, CorruptedRevealsAreDetectedAndRetransmitted) {
+  const backends::ExecutionResult base = RunCreditLike(std::nullopt);
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = 17;
+  plan.corrupt_rate = 1.0;  // Every reveal delivery corrupted once.
+  plan.corrupt_times = 1;
+  const backends::ExecutionResult faulty = RunCreditLike(plan);
+  EXPECT_GT(faulty.fault_report.injected_corruptions, 0u);
+  ExpectRecoveredBitIdentical(base, faulty);
+}
+
+TEST(FaultRecoveryTest, MixedFaultLoadRecoversAtEveryPoolSize) {
+  const backends::ExecutionResult base = RunCreditLike(std::nullopt);
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = 23;
+  plan.drop_rate = 0.5;
+  plan.corrupt_rate = 0.5;
+  plan.crash_rate = 0.5;
+  plan.latency_rate = 0.5;
+  plan.max_consecutive_drops = 3;
+  const backends::ExecutionResult serial = RunCreditLike(plan, /*pool=*/1);
+  const backends::ExecutionResult parallel = RunCreditLike(plan, /*pool=*/4);
+  ExpectRecoveredBitIdentical(base, serial);
+  ExpectRecoveredBitIdentical(base, parallel);
+  // The fault schedule itself is pool-size-independent.
+  EXPECT_EQ(serial.fault_report.injected_drops,
+            parallel.fault_report.injected_drops);
+  EXPECT_EQ(serial.fault_report.injected_crashes,
+            parallel.fault_report.injected_crashes);
+  EXPECT_EQ(serial.fault_report.recovery_seconds,
+            parallel.fault_report.recovery_seconds);
+}
+
+// --- Graceful degradation -----------------------------------------------------------
+
+TEST(FaultAbortTest, CorruptionBeyondRetryCapAbortsWithFaultReport) {
+  const CostModel model;
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = 29;
+  FaultEvent corrupt;
+  corrupt.kind = FaultEvent::Kind::kCorruptReveal;
+  corrupt.times = model.max_send_retries + 1;  // Unrecoverable by construction.
+  plan.events.push_back(corrupt);
+  const backends::ExecutionResult result = RunCreditLike(plan);
+
+  // Structured abort: Run returns ok() with aborted set, a canonical
+  // provenance-carrying status, and no outputs.
+  EXPECT_TRUE(result.aborted);
+  EXPECT_EQ(result.abort_status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.abort_status.message().find("commitment mismatch"),
+            std::string::npos);
+  EXPECT_TRUE(result.outputs.empty());
+  EXPECT_TRUE(result.fault_report.fault_mode);
+  EXPECT_FALSE(result.fault_report.first_failure.empty());
+  EXPECT_GE(result.fault_report.first_failure_node, 0);
+  EXPECT_GT(result.fault_report.injected_corruptions, 0u);
+  EXPECT_NE(result.fault_report.ToString().find("first failure"),
+            std::string::npos);
+}
+
+TEST(FaultAbortTest, CrashBudgetExhaustionAbortsGracefullyAtEveryPoolSize) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = 31;
+  plan.crash_rate = 1.0;
+  plan.crash_times = plan.job_retries + 1;  // Exhausts the per-job budget.
+  const backends::ExecutionResult serial = RunCreditLike(plan, /*pool=*/1);
+  const backends::ExecutionResult parallel = RunCreditLike(plan, /*pool=*/4);
+  for (const backends::ExecutionResult* result : {&serial, &parallel}) {
+    EXPECT_TRUE(result->aborted);
+    EXPECT_EQ(result->abort_status.code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(result->abort_status.message().find("job_retries"),
+              std::string::npos);
+    EXPECT_TRUE(result->outputs.empty());
+  }
+  // The canonical first failure is the same node at every pool size.
+  EXPECT_EQ(serial.fault_report.first_failure_node,
+            parallel.fault_report.first_failure_node);
+  EXPECT_EQ(serial.fault_report.first_failure,
+            parallel.fault_report.first_failure);
+}
+
+// --- The knob -----------------------------------------------------------------------
+
+TEST(FaultPlanTest, ParseRoundTripsThroughToString) {
+  const auto plan = FaultPlan::Parse(
+      "seed=7,drop=0.05,corrupt=0.02,crash=0.1,latency=0.2,latency_s=0.002,"
+      "drops=2,crash_times=1,corrupt_times=1,retries=3");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->enabled);
+  EXPECT_EQ(plan->seed, 7u);
+  EXPECT_EQ(plan->drop_rate, 0.05);
+  EXPECT_EQ(plan->job_retries, 3);
+  const auto reparsed = FaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->ToString(), plan->ToString());
+}
+
+TEST(FaultPlanTest, ParseRejectsMalformedSpecs) {
+  EXPECT_EQ(FaultPlan::Parse("bogus_key=1").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FaultPlan::Parse("drop=banana").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FaultPlan::Parse("drop").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FaultPlan::Parse("drop=1.5").status().code(),
+            StatusCode::kInvalidArgument);
+  const auto off = FaultPlan::Parse("off");
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off->enabled);
+  EXPECT_EQ(off->ToString(), "off");
+}
+
+TEST(FaultPlanTest, FromEnvResolvesTheKnob) {
+  ASSERT_EQ(setenv("CONCLAVE_FAULT_PLAN", "seed=9,drop=0.5", 1), 0);
+  auto plan = FaultPlan::FromEnv();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->enabled);
+  EXPECT_EQ(plan->seed, 9u);
+  EXPECT_EQ(plan->drop_rate, 0.5);
+
+  ASSERT_EQ(setenv("CONCLAVE_FAULT_PLAN", "nope=1", 1), 0);
+  EXPECT_EQ(FaultPlan::FromEnv().status().code(), StatusCode::kInvalidArgument);
+
+  ASSERT_EQ(unsetenv("CONCLAVE_FAULT_PLAN"), 0);
+  plan = FaultPlan::FromEnv();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->enabled);
+}
+
+TEST(FaultPlanTest, ExplainCarriesTheFaultAdviceLine) {
+  QuerySetup setup;
+  BuildCreditLike(setup, 100);
+  const auto report = setup.query.ExplainPlan();
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->ToString().find("fault-advice:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace conclave

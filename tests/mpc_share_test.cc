@@ -278,10 +278,23 @@ TEST(NetworkTest, ResetClearsEverything) {
   SimNetwork net{CostModel{}};
   net.Send(0, 1, 10);
   net.Rounds(1);
+  EXPECT_GT(net.TakeMeterSeconds(), 0.0);  // Meter hygiene: drain before Reset.
   net.Reset();
   EXPECT_EQ(net.ElapsedSeconds(), 0.0);
   EXPECT_EQ(net.counters().network_bytes, 0u);
   EXPECT_EQ(net.BytesSent(0, 1), 0u);
+}
+
+TEST(NetworkDeathTest, ResetWithUndrainedMeterAborts) {
+  // A Reset that discards an undrained meter silently loses cost attribution;
+  // the hygiene check turns that into a loud invariant failure.
+  EXPECT_DEATH(
+      {
+        SimNetwork net{CostModel{}};
+        net.Send(0, 1, 10);
+        net.Reset();
+      },
+      "meter_seconds_");
 }
 
 }  // namespace

@@ -9,11 +9,13 @@
 #include <chrono>
 #include <cstdlib>
 #include <limits>
+#include <optional>
 
 #include "conclave/api/conclave.h"
 #include "conclave/backends/local_backend.h"
 #include "conclave/common/strings.h"
 #include "conclave/data/generators.h"
+#include "conclave/net/fault.h"
 #include "conclave/relational/pipeline.h"
 #include "row_major_reference.h"
 
@@ -528,19 +530,34 @@ struct RunOutcome {
   std::string error;
   Relation output;
   double virtual_seconds = 0;
+  CostCounters counters;
+  bool aborted = false;
+  FaultReport fault_report;
 };
 
 RunOutcome RunPlan(const PlanSpec& spec, int pool, int shards,
-                   int64_t batch_rows) {
+                   int64_t batch_rows,
+                   const FaultPlan* fault_plan = nullptr) {
   BuiltPlan built;
   BuildPlan(spec, &built);
   RunOutcome outcome;
   const auto result =
       built.query.Run(built.inputs, {}, CostModel{}, /*seed=*/42,
                       /*pool_parallelism=*/pool, /*shard_count=*/shards,
-                      batch_rows);
+                      batch_rows,
+                      fault_plan != nullptr ? std::optional<FaultPlan>(*fault_plan)
+                                            : std::nullopt);
   if (!result.ok()) {
     outcome.error = result.status().ToString();
+    return outcome;
+  }
+  outcome.aborted = result->aborted;
+  outcome.fault_report = result->fault_report;
+  outcome.counters = result->counters;
+  if (result->aborted) {
+    // Structured fault abort: ok stays false so status-divergence checks treat
+    // it as a failure, but the report stays available for provenance checks.
+    outcome.error = result->abort_status.ToString();
     return outcome;
   }
   outcome.ok = true;
@@ -697,6 +714,220 @@ int FixedSeedCount() {
   return 200;
 }
 
+// ---- Chaos axis (DESIGN.md §11): the same differential contract under a -------
+// ---- seeded fault schedule. -------------------------------------------------
+
+// Recoverable by construction: every repetition count stays within the recovery
+// budgets (max_consecutive_drops <= CostModel::max_send_retries = 4, crash_times
+// <= FaultPlan::job_retries, corrupt_times <= max_send_retries), so a correct
+// executor must absorb the whole schedule and charge exactly its priced recovery
+// time.
+FaultPlan GenerateFaultPlan(uint64_t seed) {
+  Rng rng(seed * 0xa24baed4963ee407ULL + 17);
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = rng.Next();
+  plan.drop_rate = static_cast<double>(rng.NextBelow(41)) / 100.0;
+  plan.corrupt_rate = static_cast<double>(rng.NextBelow(41)) / 100.0;
+  plan.crash_rate = static_cast<double>(rng.NextBelow(41)) / 100.0;
+  plan.latency_rate = static_cast<double>(rng.NextBelow(41)) / 100.0;
+  plan.latency_seconds = 1e-4 * static_cast<double>(1 + rng.NextBelow(30));
+  plan.max_consecutive_drops = 1 + static_cast<int>(rng.NextBelow(4));
+  plan.crash_times = 1 + static_cast<int>(rng.NextBelow(2));
+  plan.corrupt_times = 1 + static_cast<int>(rng.NextBelow(4));
+  return plan;
+}
+
+std::string CountersDiff(const CostCounters& want, const CostCounters& got) {
+  const struct {
+    const char* name;
+    uint64_t want;
+    uint64_t got;
+  } fields[] = {
+      {"network_bytes", want.network_bytes, got.network_bytes},
+      {"network_rounds", want.network_rounds, got.network_rounds},
+      {"mpc_multiplications", want.mpc_multiplications, got.mpc_multiplications},
+      {"mpc_comparisons", want.mpc_comparisons, got.mpc_comparisons},
+      {"gc_and_gates", want.gc_and_gates, got.gc_and_gates},
+      {"gc_xor_gates", want.gc_xor_gates, got.gc_xor_gates},
+      {"cleartext_records", want.cleartext_records, got.cleartext_records},
+      {"zk_proofs", want.zk_proofs, got.zk_proofs},
+  };
+  for (const auto& field : fields) {
+    if (field.want != field.got) {
+      return StrFormat("counter %s diverges: %llu vs %llu", field.name,
+                       static_cast<unsigned long long>(field.want),
+                       static_cast<unsigned long long>(field.got));
+    }
+  }
+  return "";
+}
+
+// Empty string = the faulted run recovers bit-identically: same rows and
+// counters as the fault-free serial baseline, and the virtual-clock delta is
+// EXACTLY the injector's priced recovery time (double equality, no tolerance —
+// the accounting is separated by construction, DESIGN.md §11).
+std::string CheckChaosConfigAgainst(const RunOutcome& baseline,
+                                    const PlanSpec& spec,
+                                    const FaultPlan& fault_plan, int pool,
+                                    int shards, int64_t batch_rows) {
+  const RunOutcome faulted =
+      RunPlan(spec, pool, shards, batch_rows, &fault_plan);
+  const std::string where = StrFormat("{pool=%d, shards=%d, batch=%lld}", pool,
+                                      shards, static_cast<long long>(batch_rows));
+  if (baseline.ok != faulted.ok) {
+    return StrFormat(
+        "status diverges under faults: fault-free baseline %s vs %s %s%s",
+        baseline.ok ? "ok" : baseline.error.c_str(), where.c_str(),
+        faulted.ok ? "ok" : faulted.error.c_str(),
+        faulted.aborted ? " (recoverable plan aborted)" : "");
+  }
+  if (!baseline.ok) {
+    // The plan fails fault-free (e.g. a simulated OOM): injection must surface
+    // the identical canonical failure, never mask or reorder it.
+    return baseline.error == faulted.error
+               ? ""
+               : StrFormat("error diverges under faults at %s: '%s' vs '%s'",
+                           where.c_str(), baseline.error.c_str(),
+                           faulted.error.c_str());
+  }
+  if (!faulted.fault_report.fault_mode) {
+    return StrFormat("fault report missing at %s", where.c_str());
+  }
+  if (!faulted.output.RowsEqual(baseline.output)) {
+    return StrFormat("rows diverge under faults at %s\nbaseline\n%s\ngot\n%s",
+                     where.c_str(), baseline.output.ToString().c_str(),
+                     faulted.output.ToString().c_str());
+  }
+  const std::string counters = CountersDiff(baseline.counters, faulted.counters);
+  if (!counters.empty()) {
+    return StrFormat("%s under faults at %s", counters.c_str(), where.c_str());
+  }
+  const double expected =
+      baseline.virtual_seconds + faulted.fault_report.recovery_seconds;
+  if (faulted.virtual_seconds != expected) {
+    return StrFormat(
+        "virtual clock breaks the recovery identity at %s: %.12f vs "
+        "fault-free %.12f + priced recovery %.12f",
+        where.c_str(), faulted.virtual_seconds, baseline.virtual_seconds,
+        faulted.fault_report.recovery_seconds);
+  }
+  return "";
+}
+
+std::string CheckChaosConfig(const PlanSpec& spec, const FaultPlan& fault_plan,
+                             int pool, int shards, int64_t batch_rows) {
+  return CheckChaosConfigAgainst(RunBaseline(spec), spec, fault_plan, pool,
+                                 shards, batch_rows);
+}
+
+// Fault-aware greedy shrink: first try to switch off whole fault axes (the
+// biggest single simplification of a chaos repro), then minimize the query plan
+// exactly like ShrinkPlan, while the same config still fails.
+void ShrinkChaos(PlanSpec& spec, FaultPlan& fault_plan, int pool, int shards,
+                 int64_t batch_rows) {
+  const auto fails = [&](const PlanSpec& s, const FaultPlan& f) {
+    return !CheckChaosConfig(s, f, pool, shards, batch_rows).empty();
+  };
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    double* rates[] = {&fault_plan.drop_rate, &fault_plan.corrupt_rate,
+                       &fault_plan.crash_rate, &fault_plan.latency_rate};
+    for (double* rate : rates) {
+      if (*rate == 0) {
+        continue;
+      }
+      const double saved = *rate;
+      *rate = 0;
+      if (fails(spec, fault_plan)) {
+        progress = true;
+      } else {
+        *rate = saved;
+      }
+    }
+    if (!fault_plan.events.empty()) {
+      FaultPlan no_events = fault_plan;
+      no_events.events.clear();
+      if (fails(spec, no_events)) {
+        fault_plan = std::move(no_events);
+        progress = true;
+      }
+    }
+    for (size_t i = spec.ops.size(); i-- > 0;) {
+      PlanSpec candidate = spec;
+      candidate.ops.erase(candidate.ops.begin() + static_cast<long>(i));
+      if (fails(candidate, fault_plan)) {
+        spec = std::move(candidate);
+        progress = true;
+      }
+    }
+    for (size_t t = 0; t < spec.tables.size(); ++t) {
+      if (spec.tables[t].rows == 0) {
+        continue;
+      }
+      PlanSpec candidate = spec;
+      candidate.tables[t].rows /= 2;
+      if (fails(candidate, fault_plan)) {
+        spec = std::move(candidate);
+        progress = true;
+      }
+    }
+  }
+}
+
+// The chaos grid: {pool 1,4} x {shard 1,3} materializing, plus two batch-grid
+// points so the fault axis composes with pipeline fusion.
+constexpr Config kChaosConfigs[] = {
+    {1, 1, kMat}, {1, 3, kMat}, {4, 1, kMat}, {4, 3, kMat},
+    {1, 3, 7},    {4, 1, 4096},
+};
+
+// Runs one seeded (plan, fault plan) pair through the chaos grid; on failure,
+// shrinks both and reports the minimal reproduction alongside the realized
+// fault schedule.
+void CheckChaosSeed(uint64_t seed) {
+  const PlanSpec spec = GeneratePlan(seed);
+  const FaultPlan fault_plan = GenerateFaultPlan(seed);
+  const RunOutcome baseline = RunBaseline(spec);
+  for (const Config& config : kChaosConfigs) {
+    const std::string failure =
+        CheckChaosConfigAgainst(baseline, spec, fault_plan, config.pool,
+                                config.shards, config.batch_rows);
+    if (failure.empty()) {
+      continue;
+    }
+    PlanSpec minimal_spec = spec;
+    FaultPlan minimal_plan = fault_plan;
+    ShrinkChaos(minimal_spec, minimal_plan, config.pool, config.shards,
+                config.batch_rows);
+    const RunOutcome repro = RunPlan(minimal_spec, config.pool, config.shards,
+                                     config.batch_rows, &minimal_plan);
+    ADD_FAILURE() << "chaos differential failure at seed " << seed << " {pool="
+                  << config.pool << ", shards=" << config.shards << ", batch="
+                  << config.batch_rows << "}\n"
+                  << failure << "\n\nminimal failing plan (seed " << seed
+                  << ", batch_rows " << config.batch_rows << "):\n"
+                  << Describe(minimal_spec) << "\nminimal fault plan: "
+                  << minimal_plan.ToString() << "\ninjected schedule: "
+                  << FormatFaultEvents(repro.fault_report.injected_events)
+                  << "\n"
+                  << CheckChaosConfig(minimal_spec, minimal_plan, config.pool,
+                                      config.shards, config.batch_rows);
+    return;  // One minimal report per seed is enough.
+  }
+}
+
+int ChaosSeedCount() {
+  if (const char* env = std::getenv("CONCLAVE_CHAOS_SEEDS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) {
+      return parsed;
+    }
+  }
+  return 200;
+}
+
 }  // namespace diff
 
 // Fixed seed list: every plan must be bit-identical (rows and virtual clock) to
@@ -739,6 +970,99 @@ TEST(DifferentialShardHarness, RandomSweepWithinTimeBudget) {
     }
   }
   std::printf("random sweep: %llu plans checked\n",
+              static_cast<unsigned long long>(checked));
+}
+
+// Chaos differential contract (DESIGN.md §11): every seeded recoverable fault
+// schedule must recover bit-identically — same rows and counters as the
+// fault-free serial baseline at every chaos-grid config, with the virtual-clock
+// delta equal to exactly the priced recovery charges. CI runs the default 200
+// seeds; CONCLAVE_CHAOS_SEEDS overrides.
+TEST(ChaosDifferentialHarness, SeededFaultPlansRecoverBitIdentically) {
+  const int seeds = diff::ChaosSeedCount();
+  uint64_t injected = 0;
+  for (uint64_t seed = 1; seed <= static_cast<uint64_t>(seeds); ++seed) {
+    diff::CheckChaosSeed(seed);
+    if (::testing::Test::HasFailure()) {
+      return;  // The minimal reproduction for this seed is already printed.
+    }
+    // Non-vacuity tally: the corpus must actually inject faults, not pass by
+    // never faulting.
+    const FaultPlan sample_plan = diff::GenerateFaultPlan(seed);
+    const diff::RunOutcome sample =
+        diff::RunPlan(diff::GeneratePlan(seed), /*pool=*/4, /*shards=*/3,
+                      kMaterializeBatchRows, &sample_plan);
+    injected += sample.fault_report.injected_drops +
+                sample.fault_report.injected_corruptions +
+                sample.fault_report.injected_crashes +
+                sample.fault_report.injected_latencies;
+  }
+  EXPECT_GT(injected, 0u) << "chaos corpus never injected a fault";
+  std::printf("chaos corpus: %llu faults injected across %d seeds\n",
+              static_cast<unsigned long long>(injected), seeds);
+}
+
+// A schedule past the recovery budgets must not recover — it must abort
+// gracefully with the canonical structured report, never crash or return
+// partial outputs.
+TEST(ChaosDifferentialHarness, UnrecoverablePlansAbortGracefully) {
+  const diff::PlanSpec spec = diff::GeneratePlan(3);
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = 7;
+  plan.crash_rate = 1.0;
+  plan.crash_times = plan.job_retries + 1;  // One rollback past the budget.
+  const diff::RunOutcome outcome =
+      diff::RunPlan(spec, /*pool=*/1, /*shards=*/1, kMaterializeBatchRows,
+                    &plan);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_TRUE(outcome.aborted);
+  EXPECT_NE(outcome.error.find("fault recovery budget exhausted"),
+            std::string::npos)
+      << outcome.error;
+  EXPECT_TRUE(outcome.fault_report.fault_mode);
+  EXPECT_FALSE(outcome.fault_report.first_failure.empty());
+  EXPECT_GE(outcome.fault_report.first_failure_node, 0);
+  // The abort itself must be deterministic: same provenance at pool 4.
+  const diff::RunOutcome parallel =
+      diff::RunPlan(spec, /*pool=*/4, /*shards=*/1, kMaterializeBatchRows,
+                    &plan);
+  EXPECT_TRUE(parallel.aborted);
+  EXPECT_EQ(parallel.error, outcome.error);
+  EXPECT_EQ(parallel.fault_report.first_failure_node,
+            outcome.fault_report.first_failure_node);
+  EXPECT_EQ(parallel.fault_report.first_failure,
+            outcome.fault_report.first_failure);
+}
+
+// Time-boxed chaos sweep for the nightly sanitizer jobs: fresh (plan, fault
+// plan) pairs until the CONCLAVE_CHAOS_RANDOM_SECONDS budget expires (skipped
+// when unset).
+TEST(ChaosDifferentialHarness, RandomSweepWithinTimeBudget) {
+  const char* env = std::getenv("CONCLAVE_CHAOS_RANDOM_SECONDS");
+  const double budget = env != nullptr ? std::atof(env) : 0;
+  if (budget <= 0) {
+    GTEST_SKIP() << "set CONCLAVE_CHAOS_RANDOM_SECONDS to enable";
+  }
+  const uint64_t base = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  std::printf("chaos sweep base seed %llu (%.0f s budget)\n",
+              static_cast<unsigned long long>(base), budget);
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t checked = 0;
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+             .count() < budget) {
+    diff::CheckChaosSeed(base + checked);
+    ++checked;
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "chaos sweep failed at seed " << (base + checked - 1)
+                    << " (base " << base << ")";
+      return;
+    }
+  }
+  std::printf("chaos sweep: %llu (plan, fault plan) pairs checked\n",
               static_cast<unsigned long long>(checked));
 }
 
