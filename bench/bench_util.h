@@ -42,12 +42,27 @@ struct Cell {
   enum class Kind { kSeconds, kDnf, kOom, kSkip } kind = Kind::kSkip;
   double seconds = 0;
   bool modeled = false;  // Analytic extrapolation, not an executed run.
+  // Priced spill I/O charge (DESIGN.md §12), recorded separately from the
+  // spill-free base clock in `seconds`: clock(budget) = clock(unbounded) +
+  // spill charge, exactly, so a CONCLAVE_MEM_BUDGET re-run reproduces the
+  // unbounded goldens' virtual_seconds bit for bit and diffs clean under
+  // `diff_bench_json.py --ignore-key spill_seconds` (the key is omitted from
+  // the JSON when zero, i.e. in every unbounded golden).
+  double spill_seconds = 0;
 
   static Cell Seconds(double s, bool is_modeled = false) {
     Cell cell;
     cell.kind = Kind::kSeconds;
     cell.seconds = s;
     cell.modeled = is_modeled;
+    return cell;
+  }
+  // For cells fed by a dispatcher ExecutionResult: pass the measured
+  // virtual_seconds and the run's spill_report.spill_seconds; the cell stores
+  // the spill-free base clock plus the charge.
+  static Cell RunSeconds(double virtual_seconds, double spill_charge) {
+    Cell cell = Seconds(virtual_seconds - spill_charge);
+    cell.spill_seconds = spill_charge;
     return cell;
   }
   static Cell Dnf() {
@@ -153,6 +168,9 @@ class Table {
         if (cell.kind == Cell::Kind::kSeconds) {
           std::fprintf(f, ", \"virtual_seconds\": %.6f, \"modeled\": %s",
                        cell.seconds, cell.modeled ? "true" : "false");
+          if (cell.spill_seconds != 0) {
+            std::fprintf(f, ", \"spill_seconds\": %.6f", cell.spill_seconds);
+          }
         }
         std::fprintf(f, "}");
       }

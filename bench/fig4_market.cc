@@ -73,7 +73,8 @@ Cell RunPipeline(uint64_t total, bool enable_passes,
     return result.status().code() == StatusCode::kResourceExhausted ? Cell::Oom()
                                                                     : Cell::Dnf();
   }
-  return Cell::Seconds(result->virtual_seconds);
+  return Cell::RunSeconds(result->virtual_seconds,
+                          result->spill_report.spill_seconds);
 }
 
 // Whole-query-under-MPC estimate: ingest + oblivious filter + sorting-network

@@ -69,7 +69,8 @@ Cell Run(uint64_t total, bool annotate) {
     return result.status().code() == StatusCode::kResourceExhausted ? Cell::Oom()
                                                                     : Cell::Dnf();
   }
-  return Cell::Seconds(result->virtual_seconds);
+  return Cell::RunSeconds(result->virtual_seconds,
+                          result->spill_report.spill_seconds);
 }
 
 }  // namespace

@@ -116,7 +116,8 @@ Cell RunConclaveComorbidity(uint64_t total_rows) {
     return result.status().code() == StatusCode::kResourceExhausted ? Cell::Oom()
                                                                     : Cell::Dnf();
   }
-  return Cell::Seconds(result->virtual_seconds);
+  return Cell::RunSeconds(result->virtual_seconds,
+                          result->spill_report.spill_seconds);
 }
 
 // Conclave's secondary aggregation sorts ~0.2*n partial rows obliviously.

@@ -9,6 +9,7 @@
 // kernel-level record of the columnar data plane's throughput per commit.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <functional>
 #include <limits>
 
@@ -18,6 +19,7 @@
 #include "conclave/mpc/oblivious.h"
 #include "conclave/mpc/protocols.h"
 #include "conclave/relational/pipeline.h"
+#include "conclave/relational/spill.h"
 
 namespace conclave {
 namespace {
@@ -196,10 +198,12 @@ void RunKernelSweep(double wall_seconds_so_far) {
             : std::vector<int64_t>{1 << 18, 1 << 20, 1 << 22};
   const int reps = small ? 3 : 5;
   bench::Table table("primitives: columnar kernel sweep (wall seconds per pass; "
-                     "chain_peak_rows is a row count, not seconds)",
+                     "*_peak_rows and spill_bytes are counts, not seconds)",
                      {"column_scan", "filter_sel10", "filter_sel50", "filter_sel90",
                       "share_ingest", "chain_materialized", "chain_pipelined",
-                      "chain_peak_rows"});
+                      "chain_peak_rows", "sort_in_mem", "sort_external",
+                      "groupby_in_mem", "groupby_spill", "spill_peak_rows",
+                      "spill_bytes"});
   bench::WallTimer timer;
   for (int64_t n : sizes) {
     // Uniform values in [0, 999]: literal thresholds 100/500/900 give ~10/50/90%
@@ -258,6 +262,40 @@ void RunKernelSweep(double wall_seconds_so_far) {
     })));
     cells.push_back(bench::Cell::Seconds(
         static_cast<double>(chain_pipeline.stats().peak_rows_resident)));
+
+    // A/B (DESIGN.md §12): the blocking kernels in-memory vs. through the spill
+    // subsystem with the working set capped at n/8 rows — external merge sort
+    // against ops::SortBy, run-merge group-by against ops::Aggregate.
+    // spill_peak_rows records the larger of the two kernels' high-water
+    // operator-owned resident rows (the ≤ 2x-budget guarantee the tests
+    // assert); spill_bytes the total run/partition bytes written to disk.
+    const int64_t spill_budget = n / 8;
+    const int sort_keys[] = {2, 0};
+    const int group_keys[] = {0};
+    cells.push_back(bench::Cell::Seconds(BestOfRuns(reps, [&] {
+      benchmark::DoNotOptimize(ops::SortBy(rel, sort_keys, /*ascending=*/true));
+    })));
+    spill::SpillStats sort_stats;
+    cells.push_back(bench::Cell::Seconds(BestOfRuns(reps, [&] {
+      sort_stats = {};
+      benchmark::DoNotOptimize(spill::SortBy(rel, sort_keys, /*ascending=*/true,
+                                             spill_budget, &sort_stats));
+    })));
+    cells.push_back(bench::Cell::Seconds(BestOfRuns(reps, [&] {
+      benchmark::DoNotOptimize(ops::Aggregate(rel, group_keys, AggKind::kSum,
+                                              /*agg_column=*/1, "s"));
+    })));
+    spill::SpillStats groupby_stats;
+    cells.push_back(bench::Cell::Seconds(BestOfRuns(reps, [&] {
+      groupby_stats = {};
+      benchmark::DoNotOptimize(spill::Aggregate(rel, group_keys, AggKind::kSum,
+                                                /*agg_column=*/1, "s",
+                                                spill_budget, &groupby_stats));
+    })));
+    cells.push_back(bench::Cell::Seconds(static_cast<double>(std::max(
+        sort_stats.peak_resident_rows, groupby_stats.peak_resident_rows))));
+    cells.push_back(bench::Cell::Seconds(static_cast<double>(
+        sort_stats.spilled_bytes + groupby_stats.spilled_bytes)));
 
     table.AddRow(static_cast<uint64_t>(n), std::move(cells));
   }

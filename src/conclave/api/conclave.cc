@@ -42,6 +42,26 @@ Table Query::NewTable(const std::string& name, const std::vector<ColumnSpec>& co
   return Table(this, node);
 }
 
+Table Query::NewCsvTable(const std::string& name,
+                         const std::vector<ColumnSpec>& columns,
+                         const Party& owner, const std::string& csv_path,
+                         int64_t num_rows_hint) {
+  std::vector<ColumnDef> defs;
+  defs.reserve(columns.size());
+  for (const auto& spec : columns) {
+    PartySet trust;
+    for (const auto& party : spec.trust) {
+      trust.Insert(party.id);
+    }
+    defs.emplace_back(spec.name, trust);
+  }
+  ir::OpNode* node =
+      Unwrap(dag_.AddCreate(name, Schema(std::move(defs)), owner.id,
+                            num_rows_hint, csv_path),
+             "NewCsvTable");
+  return Table(this, node);
+}
+
 ColumnSpec Query::PublicColumn(const std::string& name) const {
   ColumnSpec spec(name);
   spec.trust = parties_;
@@ -241,10 +261,11 @@ StatusOr<backends::ExecutionResult> Query::Run(
     const std::map<std::string, Relation>& inputs,
     const compiler::CompilerOptions& options, CostModel cost_model, uint64_t seed,
     int pool_parallelism, int shard_count, int64_t batch_rows,
-    std::optional<FaultPlan> fault_plan) {
+    std::optional<FaultPlan> fault_plan, int64_t mem_budget_rows) {
   CONCLAVE_ASSIGN_OR_RETURN(compiler::Compilation compilation, Compile(options));
   backends::Dispatcher dispatcher(cost_model, seed, pool_parallelism, shard_count,
-                                  batch_rows, std::move(fault_plan));
+                                  batch_rows, std::move(fault_plan),
+                                  mem_budget_rows);
   return dispatcher.Run(dag_, compilation, inputs);
 }
 

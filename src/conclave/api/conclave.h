@@ -119,6 +119,14 @@ class Query {
   // Declares an input relation stored at `owner` (Listing 1, lines 4–11).
   Table NewTable(const std::string& name, const std::vector<ColumnSpec>& columns,
                  const Party& owner, int64_t num_rows_hint = 0);
+  // Declares an input relation backed by a CSV file at `owner` instead of an
+  // entry in Run's `inputs` map. When the table's sole consumer is a fused
+  // local chain, ingest streams: the executor indexes the file and the chain
+  // parses row ranges batch-at-a-time, never materializing the source relation
+  // (DESIGN.md §12). Otherwise the file parses eagerly at dispatch.
+  Table NewCsvTable(const std::string& name,
+                    const std::vector<ColumnSpec>& columns, const Party& owner,
+                    const std::string& csv_path, int64_t num_rows_hint = 0);
   // Marks a column public (trust set = all parties) in a ColumnSpec list.
   ColumnSpec PublicColumn(const std::string& name) const;
 
@@ -144,16 +152,22 @@ class Query {
   // CONCLAVE_BATCH_ROWS env override, else kDefaultBatchRows; negative =
   // materialize every operator, disabling fusion). `fault_plan` schedules
   // deterministic fault injection (net/fault.h, DESIGN.md §11; nullopt = the
-  // CONCLAVE_FAULT_PLAN env override, disabled when unset). Results and virtual
-  // time are identical for every {pool, shard, batch} combination — see
-  // DESIGN.md §5, §9, and §10; a recoverable fault plan preserves the results
-  // bit for bit and adds exactly its priced recovery time to the clock.
+  // CONCLAVE_FAULT_PLAN env override, disabled when unset). `mem_budget_rows`
+  // caps each blocking cleartext operator instance's resident working set
+  // (0 = the CONCLAVE_MEM_BUDGET env override, unbounded when unset; negative
+  // forces unbounded): over-budget sorts/joins/group-bys/distincts spill
+  // through the external kernels in relational/spill.h. Results and virtual
+  // time are identical for every {pool, shard, batch, budget} combination —
+  // see DESIGN.md §5, §9, §10, and §12; a recoverable fault plan preserves the
+  // results bit for bit and adds exactly its priced recovery time to the
+  // clock, and a budget adds exactly its priced spill I/O time.
   StatusOr<backends::ExecutionResult> Run(
       const std::map<std::string, Relation>& inputs,
       const compiler::CompilerOptions& options = {}, CostModel cost_model = {},
       uint64_t seed = 42, int pool_parallelism = 0, int shard_count = 0,
       int64_t batch_rows = 0,
-      std::optional<FaultPlan> fault_plan = std::nullopt);
+      std::optional<FaultPlan> fault_plan = std::nullopt,
+      int64_t mem_budget_rows = 0);
 
   ir::Dag& dag() { return dag_; }
   int num_parties() const { return static_cast<int>(parties_.size()); }

@@ -16,6 +16,7 @@
 #define CONCLAVE_BACKENDS_BACKEND_H_
 
 #include <map>
+#include <memory>
 #include <string>
 
 #include "conclave/common/party.h"
@@ -23,20 +24,27 @@
 #include "conclave/common/virtual_clock.h"
 #include "conclave/mpc/share.h"
 #include "conclave/net/fault.h"
+#include "conclave/relational/csv.h"
 #include "conclave/relational/relation.h"
 #include "conclave/relational/sharded.h"
+#include "conclave/relational/spill.h"
 
 namespace conclave {
 namespace backends {
 
 struct MaterializedValue {
-  enum class Kind { kCleartext, kShardedClear, kShared, kGarbled };
+  // kCsvSource is the streaming-ingest form (DESIGN.md §12): a CSV-backed
+  // Create whose sole consumer is a fused local chain materializes only the
+  // indexed raw text; the chain's per-shard pipelines parse row ranges
+  // batch-at-a-time and the source relation never exists in memory.
+  enum class Kind { kCleartext, kShardedClear, kShared, kGarbled, kCsvSource };
 
   Kind kind = Kind::kCleartext;
   Relation clear;          // kCleartext / kGarbled payload.
-  PartyId location = kNoParty;  // kCleartext / kShardedClear: the holding party.
+  PartyId location = kNoParty;  // kCleartext / kShardedClear / kCsvSource: holder.
   SharedRelation shared;   // kShared.
   ShardedRelation sharded;  // kShardedClear.
+  std::shared_ptr<CsvSource> csv;  // kCsvSource (shared with in-flight tasks).
 
   int64_t NumRows() const {
     switch (kind) {
@@ -44,10 +52,25 @@ struct MaterializedValue {
         return shared.NumRows();
       case Kind::kShardedClear:
         return sharded.NumRows();
+      case Kind::kCsvSource:
+        return csv->NumRows();
       default:
         return clear.NumRows();
     }
   }
+};
+
+// Beyond-RAM execution outcome (DESIGN.md §12). The priced fields are closed
+// forms over node-total row counts (compiler::NodeSpillSeconds), identical at
+// every {pool, shard, batch_rows} grid point; `stats` carries the physical
+// spill counters, whose layout varies with shard/batch structure and which are
+// therefore reported for observability only.
+struct SpillReport {
+  int64_t mem_budget_rows = 0;  // Resolved per-operator budget (0 = unbounded).
+  int spilling_nodes = 0;       // Nodes whose priced charge was non-zero.
+  int64_t spill_passes = 0;     // Total priced merge passes across those nodes.
+  double spill_seconds = 0;     // Priced spill I/O, folded into virtual_seconds.
+  spill::SpillStats stats;      // Physical counters (merged in topo order).
 };
 
 struct ExecutionResult {
@@ -71,6 +94,15 @@ struct ExecutionResult {
   // active FaultPlan). Under injection, virtual_seconds equals the fault-free
   // run's total plus fault_report.recovery_seconds, exactly.
   FaultReport fault_report;
+  // Beyond-RAM execution outcome (DESIGN.md §12). With a budget,
+  // virtual_seconds equals the unbounded run's total plus
+  // spill_report.spill_seconds, exactly; results stay bit-identical.
+  SpillReport spill_report;
+  // Streaming-ingest residency witness (DESIGN.md §12): the largest row range
+  // any CSV source parsed at once. For a streamed source this is at most one
+  // pipeline batch — the proof the source relation never materialized; 0 when
+  // no Create streamed.
+  int64_t csv_peak_parse_rows = 0;
   // Graceful degradation: when the fault-recovery budget is exhausted, Run returns
   // ok() with aborted = true, abort_status carrying the canonical (earliest node
   // in topological order) failure provenance, and no outputs — a structured abort

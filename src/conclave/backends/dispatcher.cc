@@ -46,6 +46,12 @@ struct RunState {
   // wall clock and memory only: fused chains are priced per node from row totals
   // that are identical at every batch size (DESIGN.md §10).
   int64_t batch_rows = kDefaultBatchRows;
+  // Per-operator-instance memory budget of the blocking cleartext kernels
+  // (DESIGN.md §12; 0 = unbounded). The physical spill work changes wall clock
+  // and disk only; the virtual clock carries the priced closed form
+  // (compiler::NodeSpillSeconds over node-total rows), identical at every
+  // {pool, shard, batch} point and added once in the final accounting pass.
+  int64_t mem_budget_rows = 0;
 
   std::vector<MaterializedValue> values;  // Indexed by node id; slots never move.
   std::unordered_map<int, int> node_job;  // node id -> job id
@@ -149,6 +155,12 @@ void EnsureCleartextAt(RunState& state, MaterializedValue& value, PartyId party)
       break;
     case MaterializedValue::Kind::kShardedClear:
       break;  // Unreachable: coalesced above.
+    case MaterializedValue::Kind::kCsvSource:
+      // Unreachable: a streaming source is produced only when its sole consumer
+      // is a fused chain head at the owning party, which acquires through
+      // AcquireLocalInputs without any frontier transition.
+      CONCLAVE_CHECK(false);
+      break;
   }
 }
 
@@ -235,6 +247,18 @@ class JobGraphExecutor {
     // Injected crash count for this node's job (fault mode; decided once at
     // dispatch on the coordinator so the schedule is pool-size-independent).
     int fault_crashes = 0;
+    // Priced beyond-RAM spill charge for this node (DESIGN.md §12): the
+    // closed-form compiler::NodeSpillSeconds over the node's TOTAL input rows,
+    // computed on the coordinator at acquisition (or, for fused interior
+    // members, from the chain's summed per-op rows) — never from physical
+    // shard/batch layout, so the charge is grid-invariant. Folded into
+    // virtual_seconds once, in the final accounting pass; node_seconds stays
+    // spill-free so the per-node estimate==meter identities are untouched.
+    double spill_priced_seconds = 0;
+    int64_t spill_passes = 0;
+    // Physical spill counters this node's kernels reported (observability
+    // only; layout-dependent).
+    spill::SpillStats spill_stats;
     // Pipeline fusion (DESIGN.md §10): topo indices of this chain's members in
     // chain order (filled on the head only; length >= 2). Members execute as one
     // BatchPipeline per shard inside the head's dispatch; only the tail's output
@@ -255,6 +279,12 @@ class JobGraphExecutor {
     // shards). Equals the unfused execution's per-node input cardinalities at
     // every batch size; DrainCompletions prices interior members from these.
     std::vector<int64_t> chain_op_rows;
+    // Physical spill counters from the task's kernels (zero when nothing
+    // spilled).
+    spill::SpillStats spill_stats;
+    // Streaming CSV ingest (DESIGN.md §12): a Create completing as an indexed
+    // source instead of a materialized relation.
+    std::shared_ptr<CsvSource> csv_output;
   };
 
   int TopoIndexOf(int node_id) const { return topo_index_.at(node_id); }
@@ -277,6 +307,12 @@ class JobGraphExecutor {
     std::vector<std::vector<const Relation*>> shard_rels;
     std::shared_ptr<std::vector<ShardedRelation>> owned_splits;
     uint64_t records = 0;
+    // Total rows per DAG input, in input order (shard- and batch-invariant);
+    // the spill pricing's cardinality source.
+    std::vector<int64_t> input_rows;
+    // Non-null when the (sole) input is a streaming CSV source: the chain
+    // head pulls parsed row-range batches instead of reading a relation.
+    std::shared_ptr<CsvSource> csv;
   };
 
   void DispatchCreate(NodeExec& exec);
@@ -524,13 +560,69 @@ void JobGraphExecutor::DispatchCreate(NodeExec& exec) {
   ++in_flight_;
   const int my_topo = TopoIndexOf(node->id);
   const int shard_count = state_.shard_count;
-  pool_.Submit([this, node, my_topo, shard_count] {
+  // Streaming-ingest eligibility (DESIGN.md §12), decided on the coordinator so
+  // the choice is pool-size-independent: a CSV-backed Create whose sole
+  // consumer is a fused chain head at the owning party materializes only the
+  // indexed source text; the chain's pipelines parse row ranges themselves.
+  // Every other CSV create parses eagerly into the usual relation forms.
+  const auto& create_params = node->Params<ir::CreateParams>();
+  bool stream_csv = false;
+  if (!create_params.csv_path.empty() && state_.batch_rows > 0 &&
+      exec.consumer_uses.size() == 1) {
+    const NodeExec& consumer =
+        execs_[static_cast<size_t>(exec.consumer_uses[0])];
+    stream_csv = consumer.chain_members.size() >= 2 &&
+                 consumer.node->exec_party == create_params.party;
+  }
+  pool_.Submit([this, node, my_topo, shard_count, stream_csv] {
     Completion completion;
     completion.topo_index = my_topo;
     try {
       const auto& params = node->Params<ir::CreateParams>();
-      const auto it = inputs_.find(params.name);
-      if (it == inputs_.end()) {
+      if (!params.csv_path.empty()) {
+        StatusOr<CsvSource> source = CsvSource::FromFile(params.csv_path);
+        if (!source.ok()) {
+          completion.status = source.status();
+        } else if (!source->schema().NamesMatch(node->schema)) {
+          completion.status = InvalidArgumentError(StrFormat(
+              "input '%s' schema %s does not match declared schema %s",
+              params.name.c_str(), source->schema().ToString().c_str(),
+              node->schema.ToString().c_str()));
+        } else if (stream_csv) {
+          completion.csv_output =
+              std::make_shared<CsvSource>(std::move(*source));
+        } else if (shard_count > 1) {
+          // Sharded ingest: parse contiguous row ranges straight into shards
+          // (same boundaries as SplitEven); the earliest shard's parse error
+          // is the canonical one.
+          const int64_t rows = source->NumRows();
+          ShardedRelation out{source->schema()};
+          Status status;
+          for (int s = 0; s < shard_count && status.ok(); ++s) {
+            StatusOr<Relation> shard = source->ParseRows(
+                rows * s / shard_count, rows * (s + 1) / shard_count);
+            if (shard.ok()) {
+              out.AddShard(std::move(*shard));
+            } else {
+              status = shard.status();
+            }
+          }
+          if (status.ok()) {
+            completion.sharded_output = std::move(out);
+            completion.is_sharded = true;
+          } else {
+            completion.status = std::move(status);
+          }
+        } else {
+          StatusOr<Relation> all = source->ParseRows(0, source->NumRows());
+          if (all.ok()) {
+            completion.output = std::move(*all);
+          } else {
+            completion.status = all.status();
+          }
+        }
+      } else if (const auto it = inputs_.find(params.name);
+                 it == inputs_.end()) {
         completion.status = InvalidArgumentError(
             StrFormat("no input relation provided for '%s'", params.name.c_str()));
       } else if (!it->second.schema().NamesMatch(node->schema)) {
@@ -570,6 +662,18 @@ JobGraphExecutor::AcquiredInputs JobGraphExecutor::AcquireLocalInputs(
   acquired.rels.reserve(node->inputs.size());
   for (const ir::OpNode* in : node->inputs) {
     MaterializedValue& value = state_.values[static_cast<size_t>(in->id)];
+    if (value.kind == MaterializedValue::Kind::kCsvSource) {
+      // Streaming CSV head (DESIGN.md §12): produced only for a sole-consumer
+      // fused chain at the owning party, so no transfer and no split — the
+      // chain's per-shard pipelines parse their own row ranges.
+      CONCLAVE_CHECK(value.location == node->exec_party ||
+                     value.location == kNoParty);
+      acquired.csv = value.csv;
+      acquired.records += static_cast<uint64_t>(value.NumRows());
+      acquired.input_rows.push_back(value.NumRows());
+      ++ExecOf(*in).active_readers;
+      continue;
+    }
     if (sharded) {
       // Shards flow straight into the shard-aware kernels. Values that arrive as
       // single relations — MPC reveals and party transfers — are re-split so the
@@ -602,6 +706,7 @@ JobGraphExecutor::AcquiredInputs JobGraphExecutor::AcquireLocalInputs(
       acquired.rels.push_back(&value.clear);
     }
     acquired.records += static_cast<uint64_t>(value.NumRows());
+    acquired.input_rows.push_back(value.NumRows());
     ++ExecOf(*in).active_readers;
   }
   AdvanceAcquisition(exec);
@@ -610,6 +715,24 @@ JobGraphExecutor::AcquiredInputs JobGraphExecutor::AcquireLocalInputs(
   exec.local_compute_seconds = LocalComputeSeconds(state_, acquired.records);
   exec.charged_local = true;
   state_.net.mutable_counters().cleartext_records += acquired.records;
+  // Priced spill charge from the node-total input cardinalities (0 when the
+  // budget is unbounded or the inputs fit; fused chains price their interior
+  // members in DrainCompletions from the summed per-op rows instead).
+  if (state_.mem_budget_rows > 0) {
+    const double in_rows =
+        acquired.input_rows.empty() ? 0 : static_cast<double>(acquired.input_rows[0]);
+    const double right_rows = acquired.input_rows.size() > 1
+                                  ? static_cast<double>(acquired.input_rows[1])
+                                  : 0;
+    exec.spill_priced_seconds = compiler::NodeSpillSeconds(
+        *node, in_rows, right_rows, state_.net.model(), state_.mem_budget_rows);
+    if (exec.spill_priced_seconds > 0) {
+      exec.spill_passes = spill::SpillMergePasses(
+          node->kind == ir::OpKind::kJoin ? static_cast<int64_t>(right_rows)
+                                          : static_cast<int64_t>(in_rows),
+          state_.mem_budget_rows);
+    }
+  }
   return acquired;
 }
 
@@ -631,16 +754,20 @@ void JobGraphExecutor::DispatchLocalCompute(NodeExec& exec) {
   ++in_flight_;
   const int my_topo = TopoIndexOf(node->id);
   const int shard_count = state_.shard_count;
-  pool_.Submit([this, node, my_topo, shard_count,
+  const int64_t mem_budget_rows = state_.mem_budget_rows;
+  pool_.Submit([this, node, my_topo, shard_count, mem_budget_rows,
                 rels = std::move(acquired.rels),
                 shard_rels = std::move(acquired.shard_rels),
                 owned_splits = std::move(acquired.owned_splits)] {
     Completion completion;
     completion.topo_index = my_topo;
     try {
+      LocalExecOptions options;
+      options.mem_budget_rows = mem_budget_rows;
+      options.spill_stats = &completion.spill_stats;
       if (shard_count > 1) {
         StatusOr<ShardedRelation> out =
-            ExecuteLocalSharded(*node, shard_rels, shard_count);
+            ExecuteLocalSharded(*node, shard_rels, shard_count, options);
         if (out.ok()) {
           completion.sharded_output = std::move(*out);
           completion.is_sharded = true;
@@ -648,7 +775,7 @@ void JobGraphExecutor::DispatchLocalCompute(NodeExec& exec) {
           completion.status = out.status();
         }
       } else {
-        StatusOr<Relation> out = ExecuteLocal(*node, rels);
+        StatusOr<Relation> out = ExecuteLocal(*node, rels, options);
         if (out.ok()) {
           completion.output = std::move(*out);
         } else {
@@ -696,8 +823,9 @@ void JobGraphExecutor::DispatchChain(NodeExec& exec) {
   // A resolution failure is attributed to the failing member's topo index —
   // the canonical error a sequential unfused walk would report.
   auto spec = std::make_shared<PipelineSpec>();
-  spec->input_schema = sharded ? acquired.shard_rels[0][0]->schema()
-                               : acquired.rels[0]->schema();
+  spec->input_schema = acquired.csv != nullptr ? acquired.csv->schema()
+                       : sharded              ? acquired.shard_rels[0][0]->schema()
+                                              : acquired.rels[0]->schema();
   Schema schema = spec->input_schema;
   for (int member_topo : exec.chain_members) {
     const ir::OpNode& member = *execs_[static_cast<size_t>(member_topo)].node;
@@ -719,15 +847,28 @@ void JobGraphExecutor::DispatchChain(NodeExec& exec) {
   const int64_t batch_rows = state_.batch_rows;
 
   if (!sharded) {
-    pool_.Submit([this, my_topo, batch_rows, spec,
+    pool_.Submit([this, my_topo, batch_rows, spec, csv = acquired.csv,
                   rels = std::move(acquired.rels),
                   owned_splits = std::move(acquired.owned_splits)] {
       Completion completion;
       completion.topo_index = my_topo;
       try {
         BatchPipeline pipeline(*spec);
-        completion.output = pipeline.Run(*rels[0], batch_rows);
-        completion.chain_op_rows = pipeline.stats().op_input_rows;
+        if (csv != nullptr) {
+          // Streaming source (DESIGN.md §12): parse-and-push batch-at-a-time;
+          // the source relation never materializes.
+          StatusOr<Relation> out =
+              pipeline.RunFromCsv(*csv, 0, csv->NumRows(), batch_rows);
+          if (out.ok()) {
+            completion.output = std::move(*out);
+            completion.chain_op_rows = pipeline.stats().op_input_rows;
+          } else {
+            completion.status = out.status();
+          }
+        } else {
+          completion.output = pipeline.Run(*rels[0], batch_rows);
+          completion.chain_op_rows = pipeline.stats().op_input_rows;
+        }
       } catch (const std::exception& e) {
         // See DispatchCreate: escaping exceptions must not reach WorkerLoop.
         completion.status =
@@ -752,8 +893,24 @@ void JobGraphExecutor::DispatchChain(NodeExec& exec) {
     std::vector<Status> statuses;
     std::atomic<int> remaining{0};
   };
-  const std::vector<const Relation*> shards = std::move(acquired.shard_rels[0]);
-  const int num_shards = static_cast<int>(shards.size());
+  const std::vector<const Relation*> shards =
+      acquired.csv != nullptr ? std::vector<const Relation*>{}
+                              : std::move(acquired.shard_rels[0]);
+  const int num_shards = acquired.csv != nullptr
+                             ? state_.shard_count
+                             : static_cast<int>(shards.size());
+  // A fused tail limit keeps each shard's local `count`-prefix — a superset of
+  // that shard's slice of the global prefix (shards concatenate in canonical
+  // order). The last finisher trims the assembled shards to the global prefix,
+  // reproducing ops::ShardedLimit's layout exactly.
+  int64_t tail_limit = -1;
+  {
+    const ir::OpNode& tail =
+        *execs_[static_cast<size_t>(exec.chain_members.back())].node;
+    if (tail.kind == ir::OpKind::kLimit) {
+      tail_limit = std::max<int64_t>(0, tail.Params<ir::LimitParams>().count);
+    }
+  }
   auto shared = std::make_shared<ChainShardState>();
   shared->output_schema = schema;
   shared->outputs.resize(static_cast<size_t>(num_shards));
@@ -761,15 +918,33 @@ void JobGraphExecutor::DispatchChain(NodeExec& exec) {
   shared->statuses.assign(static_cast<size_t>(num_shards), Status::Ok());
   shared->remaining.store(num_shards, std::memory_order_relaxed);
   for (int s = 0; s < num_shards; ++s) {
-    const Relation* shard = shards[static_cast<size_t>(s)];
-    pool_.Submit([this, my_topo, batch_rows, spec, shared, shard, s,
+    const Relation* shard =
+        acquired.csv != nullptr ? nullptr : shards[static_cast<size_t>(s)];
+    pool_.Submit([this, my_topo, batch_rows, spec, shared, shard, s, num_shards,
+                  tail_limit, csv = acquired.csv,
                   owned_splits = acquired.owned_splits] {
       try {
         BatchPipeline pipeline(*spec);
-        shared->outputs[static_cast<size_t>(s)] =
-            pipeline.Run(*shard, batch_rows);
-        shared->op_rows[static_cast<size_t>(s)] =
-            pipeline.stats().op_input_rows;
+        if (csv != nullptr) {
+          // Streaming source, shard slice [rows*s/n, rows*(s+1)/n) — the same
+          // contiguous boundaries SplitEven materializes.
+          const int64_t rows = csv->NumRows();
+          StatusOr<Relation> out = pipeline.RunFromCsv(
+              *csv, rows * s / num_shards, rows * (s + 1) / num_shards,
+              batch_rows);
+          if (out.ok()) {
+            shared->outputs[static_cast<size_t>(s)] = std::move(*out);
+            shared->op_rows[static_cast<size_t>(s)] =
+                pipeline.stats().op_input_rows;
+          } else {
+            shared->statuses[static_cast<size_t>(s)] = out.status();
+          }
+        } else {
+          shared->outputs[static_cast<size_t>(s)] =
+              pipeline.Run(*shard, batch_rows);
+          shared->op_rows[static_cast<size_t>(s)] =
+              pipeline.stats().op_input_rows;
+        }
       } catch (const std::exception& e) {
         shared->statuses[static_cast<size_t>(s)] = InternalError(
             StrFormat("fused chain shard task threw: %s", e.what()));
@@ -786,6 +961,14 @@ void JobGraphExecutor::DispatchChain(NodeExec& exec) {
         }
       }
       if (completion.status.ok()) {
+        if (tail_limit >= 0) {
+          int64_t remaining_rows = tail_limit;
+          for (Relation& relation : shared->outputs) {
+            const int64_t take = std::min(remaining_rows, relation.NumRows());
+            relation.Resize(take);
+            remaining_rows -= take;
+          }
+        }
         ShardedRelation out{shared->output_schema};
         for (Relation& relation : shared->outputs) {
           out.AddShard(std::move(relation));
@@ -957,8 +1140,12 @@ void JobGraphExecutor::DrainCompletions(bool wait) {
       RecordFailure(completion.topo_index, std::move(completion.status));
       continue;
     }
+    exec.spill_stats = completion.spill_stats;
     MaterializedValue value;
-    if (completion.is_sharded) {
+    if (completion.csv_output != nullptr) {
+      value.kind = MaterializedValue::Kind::kCsvSource;
+      value.csv = std::move(completion.csv_output);
+    } else if (completion.is_sharded) {
       value.kind = MaterializedValue::Kind::kShardedClear;
       value.sharded = std::move(completion.sharded_output);
     } else {
@@ -977,6 +1164,20 @@ void JobGraphExecutor::DrainCompletions(bool wait) {
             static_cast<uint64_t>(completion.chain_op_rows[k]);
         member.local_compute_seconds = LocalComputeSeconds(state_, records);
         state_.net.mutable_counters().cleartext_records += records;
+        // Fused blocking members (a distinct-on-sorted tail) carry the same
+        // priced spill charge the unfused executor would: the charge is a
+        // function of the member's total input rows, which the pipeline
+        // metered batch-invariantly — the clock stays grid-invariant whether
+        // the member fuses or materializes.
+        if (state_.mem_budget_rows > 0) {
+          member.spill_priced_seconds = compiler::NodeSpillSeconds(
+              *member.node, static_cast<double>(completion.chain_op_rows[k]),
+              /*right_rows=*/0, state_.net.model(), state_.mem_budget_rows);
+          if (member.spill_priced_seconds > 0) {
+            member.spill_passes = spill::SpillMergePasses(
+                completion.chain_op_rows[k], state_.mem_budget_rows);
+          }
+        }
         if (state_.fault != nullptr && exec.fault_crashes > 0) {
           // Each restart of the head's job re-ran the whole fused chain; the
           // interior members' compute joins the head's (already counted)
@@ -1257,6 +1458,29 @@ StatusOr<ExecutionResult> JobGraphExecutor::FinalizeAccounting(
     result.fault_report = state_.fault->Report(TopoNodeIds());
     result.virtual_seconds += result.fault_report.recovery_seconds;
   }
+  // Beyond-RAM accounting (DESIGN.md §12), folded in topo order like every
+  // other total. The priced charge joins the clock once, here — never through
+  // node_seconds or the meter — so with a budget the total is exactly the
+  // unbounded run's clock plus spill_seconds; with none, the report stays zero
+  // and the clock is untouched. Physical SpillStats merge alongside for
+  // observability (their layout varies with shard/batch structure).
+  result.spill_report.mem_budget_rows = state_.mem_budget_rows;
+  for (const NodeExec& exec : execs_) {
+    if (exec.spill_priced_seconds > 0) {
+      ++result.spill_report.spilling_nodes;
+      result.spill_report.spill_passes += exec.spill_passes;
+      result.spill_report.spill_seconds += exec.spill_priced_seconds;
+    }
+    result.spill_report.stats.Merge(exec.spill_stats);
+  }
+  result.virtual_seconds += result.spill_report.spill_seconds;
+  for (const MaterializedValue& value : state_.values) {
+    if (value.kind == MaterializedValue::Kind::kCsvSource &&
+        value.csv != nullptr) {
+      result.csv_peak_parse_rows =
+          std::max(result.csv_peak_parse_rows, value.csv->MaxMaterializedRows());
+    }
+  }
   return result;
 }
 
@@ -1298,6 +1522,11 @@ StatusOr<ExecutionResult> Dispatcher::Run(
   // (kMaterializeBatchRows) disables fusion entirely (chain stamping is gated
   // on batch_rows > 0).
   state.batch_rows = batch_rows_ == 0 ? DefaultBatchRows() : batch_rows_;
+  // Memory-budget knob: 0 resolves the CONCLAVE_MEM_BUDGET env override;
+  // negative forces unbounded regardless of the environment.
+  state.mem_budget_rows = mem_budget_rows_ == 0
+                              ? DefaultMemBudgetRows()
+                              : std::max<int64_t>(0, mem_budget_rows_);
 
   for (const compiler::Job& job : compilation.plan.jobs) {
     for (const ir::OpNode* node : job.nodes) {

@@ -62,18 +62,26 @@ class Dispatcher {
   // `fault_plan` schedules deterministic fault injection (net/fault.h,
   // DESIGN.md §11): nullopt resolves the CONCLAVE_FAULT_PLAN env override
   // (disabled when unset); a disabled plan forces injection off regardless of
-  // the environment. Results, counters, and share bits are identical for every
-  // {pool, shard, batch} combination (DESIGN.md §5, §9, §10), with or without a
+  // the environment. `mem_budget_rows` caps each blocking cleartext operator
+  // instance's resident working set (DESIGN.md §12): 0 resolves the
+  // CONCLAVE_MEM_BUDGET env override (unbounded when unset), N > 0 makes
+  // over-budget sorts/joins/group-bys/distincts run through the spill::
+  // kernels, negative forces unbounded regardless of the environment. Results,
+  // counters, and share bits are identical for every {pool, shard, batch,
+  // budget} combination (DESIGN.md §5, §9, §10, §12), with or without a
   // recoverable fault plan; under injection the virtual clock additionally
-  // carries exactly the priced recovery time.
+  // carries exactly the priced recovery time, and under a budget exactly the
+  // priced spill I/O time (compiler::NodeSpillSeconds).
   Dispatcher(CostModel model, uint64_t seed, int pool_parallelism = 0,
              int shard_count = 0, int64_t batch_rows = 0,
-             std::optional<FaultPlan> fault_plan = std::nullopt)
+             std::optional<FaultPlan> fault_plan = std::nullopt,
+             int64_t mem_budget_rows = 0)
       : model_(model),
         seed_(seed),
         shard_count_(shard_count),
         batch_rows_(batch_rows),
-        fault_plan_(std::move(fault_plan)) {
+        fault_plan_(std::move(fault_plan)),
+        mem_budget_rows_(mem_budget_rows) {
     if (pool_parallelism > 0) {
       owned_pool_ = std::make_unique<ThreadPool>(pool_parallelism);
     }
@@ -99,6 +107,7 @@ class Dispatcher {
   int shard_count_ = 0;
   int64_t batch_rows_ = 0;
   std::optional<FaultPlan> fault_plan_;
+  int64_t mem_budget_rows_ = 0;
   std::unique_ptr<ThreadPool> owned_pool_;
 };
 

@@ -43,7 +43,8 @@ StatusOr<ArithSpec> ResolveArith(const Schema& schema,
 }  // namespace
 
 StatusOr<Relation> ExecuteLocal(const ir::OpNode& node,
-                                const std::vector<const Relation*>& inputs) {
+                                const std::vector<const Relation*>& inputs,
+                                const LocalExecOptions& options) {
   switch (node.kind) {
     case ir::OpKind::kCreate:
       return InternalError("create nodes materialize from provided inputs");
@@ -75,7 +76,8 @@ StatusOr<Relation> ExecuteLocal(const ir::OpNode& node,
                                 inputs[0]->schema().IndicesOf(params.left_keys));
       CONCLAVE_ASSIGN_OR_RETURN(std::vector<int> rk,
                                 inputs[1]->schema().IndicesOf(params.right_keys));
-      return ops::Join(*inputs[0], *inputs[1], lk, rk);
+      return spill::Join(*inputs[0], *inputs[1], lk, rk, options.mem_budget_rows,
+                         options.spill_stats);
     }
     case ir::OpKind::kAggregate: {
       const auto& params = node.Params<ir::AggregateParams>();
@@ -86,8 +88,9 @@ StatusOr<Relation> ExecuteLocal(const ir::OpNode& node,
         CONCLAVE_ASSIGN_OR_RETURN(agg_column,
                                   inputs[0]->schema().IndexOf(params.agg_column));
       }
-      return ops::Aggregate(*inputs[0], group, params.kind, agg_column,
-                            params.output_name);
+      return spill::Aggregate(*inputs[0], group, params.kind, agg_column,
+                              params.output_name, options.mem_budget_rows,
+                              options.spill_stats);
     }
     case ir::OpKind::kArithmetic: {
       CONCLAVE_ASSIGN_OR_RETURN(
@@ -114,13 +117,15 @@ StatusOr<Relation> ExecuteLocal(const ir::OpNode& node,
       const auto& params = node.Params<ir::SortByParams>();
       CONCLAVE_ASSIGN_OR_RETURN(std::vector<int> columns,
                                 inputs[0]->schema().IndicesOf(params.columns));
-      return ops::SortBy(*inputs[0], columns, params.ascending);
+      return spill::SortBy(*inputs[0], columns, params.ascending,
+                           options.mem_budget_rows, options.spill_stats);
     }
     case ir::OpKind::kDistinct: {
       CONCLAVE_ASSIGN_OR_RETURN(
           std::vector<int> columns,
           inputs[0]->schema().IndicesOf(node.Params<ir::DistinctParams>().columns));
-      return ops::Distinct(*inputs[0], columns);
+      return spill::Distinct(*inputs[0], columns, options.mem_budget_rows,
+                             options.spill_stats);
     }
     case ir::OpKind::kPad:
       return ops::PadToPowerOfTwo(*inputs[0],
@@ -163,7 +168,8 @@ class CoalescedView {
 
 StatusOr<ShardedRelation> ExecuteLocalSharded(
     const ir::OpNode& node,
-    const std::vector<std::vector<const Relation*>>& inputs, int shard_count) {
+    const std::vector<std::vector<const Relation*>>& inputs, int shard_count,
+    const LocalExecOptions& options) {
   switch (node.kind) {
     case ir::OpKind::kCreate:
       return InternalError("create nodes materialize from provided inputs");
@@ -215,7 +221,8 @@ StatusOr<ShardedRelation> ExecuteLocalSharded(
                                 schema.IndicesOf(params.left_keys));
       CONCLAVE_ASSIGN_OR_RETURN(std::vector<int> rk,
                                 inputs[1][0]->schema().IndicesOf(params.right_keys));
-      return ops::ShardedJoin(inputs[0], inputs[1], lk, rk, shard_count);
+      return ops::ShardedJoin(inputs[0], inputs[1], lk, rk, shard_count,
+                              options.mem_budget_rows, options.spill_stats);
     }
     case ir::OpKind::kAggregate: {
       const auto& params = node.Params<ir::AggregateParams>();
@@ -226,7 +233,8 @@ StatusOr<ShardedRelation> ExecuteLocalSharded(
         CONCLAVE_ASSIGN_OR_RETURN(agg_column, schema.IndexOf(params.agg_column));
       }
       return ops::ShardedAggregate(inputs[0], group, params.kind, agg_column,
-                                   params.output_name, shard_count);
+                                   params.output_name, shard_count,
+                                   options.mem_budget_rows, options.spill_stats);
     }
     case ir::OpKind::kArithmetic: {
       CONCLAVE_ASSIGN_OR_RETURN(
@@ -238,13 +246,15 @@ StatusOr<ShardedRelation> ExecuteLocalSharded(
       const auto& params = node.Params<ir::SortByParams>();
       CONCLAVE_ASSIGN_OR_RETURN(std::vector<int> columns,
                                 schema.IndicesOf(params.columns));
-      return ops::ShardedSortBy(inputs[0], columns, params.ascending, shard_count);
+      return ops::ShardedSortBy(inputs[0], columns, params.ascending, shard_count,
+                                options.mem_budget_rows, options.spill_stats);
     }
     case ir::OpKind::kDistinct: {
       CONCLAVE_ASSIGN_OR_RETURN(
           std::vector<int> columns,
           schema.IndicesOf(node.Params<ir::DistinctParams>().columns));
-      return ops::ShardedDistinct(inputs[0], columns, shard_count);
+      return ops::ShardedDistinct(inputs[0], columns, shard_count,
+                                  options.mem_budget_rows, options.spill_stats);
     }
     case ir::OpKind::kLimit:
       return ops::ShardedLimit(inputs[0], node.Params<ir::LimitParams>().count);
@@ -261,7 +271,7 @@ StatusOr<ShardedRelation> ExecuteLocalSharded(
       for (const CoalescedView& view : views) {
         rels.push_back(&view.get());
       }
-      CONCLAVE_ASSIGN_OR_RETURN(Relation out, ExecuteLocal(node, rels));
+      CONCLAVE_ASSIGN_OR_RETURN(Relation out, ExecuteLocal(node, rels, options));
       return ShardedRelation::SplitEven(out, shard_count);
     }
     default:

@@ -13,13 +13,26 @@
 #include "conclave/relational/pipeline.h"
 #include "conclave/relational/relation.h"
 #include "conclave/relational/sharded.h"
+#include "conclave/relational/spill.h"
 
 namespace conclave {
 namespace backends {
 
+// Per-node execution knobs threaded from the dispatcher (DESIGN.md §12).
+struct LocalExecOptions {
+  // Memory budget per blocking-operator instance; 0 = unbounded (the in-memory
+  // kernels). SortBy / Distinct / Aggregate / Join over budget run through the
+  // spill:: kernels. Window, pad, and concat's merge step stay materializing.
+  int64_t mem_budget_rows = 0;
+  // Physical spill counters for this node, filled when non-null. Reported for
+  // observability only — layout varies with shard/batch structure.
+  spill::SpillStats* spill_stats = nullptr;
+};
+
 // Executes one non-Create node on cleartext inputs (one Relation per DAG input).
 StatusOr<Relation> ExecuteLocal(const ir::OpNode& node,
-                                const std::vector<const Relation*>& inputs);
+                                const std::vector<const Relation*>& inputs,
+                                const LocalExecOptions& options = {});
 
 // Shard-aware variant: each DAG input arrives as a non-owning shard pointer list
 // (a one-entry list for unsharded values) and the output is a sharded relation
@@ -29,7 +42,8 @@ StatusOr<Relation> ExecuteLocal(const ir::OpNode& node,
 // shards.
 StatusOr<ShardedRelation> ExecuteLocalSharded(
     const ir::OpNode& node,
-    const std::vector<std::vector<const Relation*>>& inputs, int shard_count);
+    const std::vector<std::vector<const Relation*>>& inputs, int shard_count,
+    const LocalExecOptions& options = {});
 
 // Resolves one pipeline-fusible node (compiler::PipelineFusibleOp) into a
 // streaming operator against its runtime input schema. Name resolution mirrors

@@ -1,0 +1,111 @@
+#include "conclave/common/tempfile.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+#include "conclave/common/check.h"
+#include "conclave/common/strings.h"
+
+namespace conclave {
+namespace {
+
+std::atomic<int64_t> live_temp_dirs{0};
+std::atomic<int64_t> live_spill_files{0};
+
+// Monotonic suffix: uniqueness within the process. Cross-process collisions are
+// avoided by folding in the pid via tmpnam-free naming below.
+std::atomic<uint64_t> dir_counter{0};
+
+}  // namespace
+
+std::string SpillBaseDir() {
+  if (const char* env = std::getenv("CONCLAVE_SPILL_DIR")) {
+    if (env[0] != '\0') {
+      return env;
+    }
+  }
+  std::error_code ec;
+  const std::filesystem::path base = std::filesystem::temp_directory_path(ec);
+  CONCLAVE_CHECK(!ec);
+  return base.string();
+}
+
+TempDir::TempDir() {
+  const std::filesystem::path base = SpillBaseDir();
+  std::error_code ec;
+  std::filesystem::create_directories(base, ec);  // Best effort; create below checks.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const uint64_t seq = dir_counter.fetch_add(1, std::memory_order_relaxed);
+    const std::filesystem::path candidate =
+        base / StrFormat("conclave-spill-%llu-%llu",
+                         static_cast<unsigned long long>(::getpid()),
+                         static_cast<unsigned long long>(seq));
+    ec.clear();
+    if (std::filesystem::create_directory(candidate, ec) && !ec) {
+      path_ = candidate.string();
+      live_temp_dirs.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  CONCLAVE_CHECK(false && "TempDir: could not create a unique spill directory");
+}
+
+TempDir& TempDir::operator=(TempDir&& other) noexcept {
+  if (this != &other) {
+    Remove();
+    path_ = std::exchange(other.path_, {});
+  }
+  return *this;
+}
+
+TempDir::~TempDir() { Remove(); }
+
+void TempDir::Remove() noexcept {
+  if (path_.empty()) {
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);  // Best effort; leaks show up in LiveCount.
+  if (!ec) {
+    live_temp_dirs.fetch_sub(1, std::memory_order_relaxed);
+  }
+  path_.clear();
+}
+
+int64_t TempDir::LiveCount() { return live_temp_dirs.load(std::memory_order_relaxed); }
+
+SpillFile::SpillFile(std::string path) : path_(std::move(path)) {
+  if (!path_.empty()) {
+    live_spill_files.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+SpillFile& SpillFile::operator=(SpillFile&& other) noexcept {
+  if (this != &other) {
+    Remove();
+    path_ = std::exchange(other.path_, {});
+  }
+  return *this;
+}
+
+SpillFile::~SpillFile() { Remove(); }
+
+void SpillFile::Remove() noexcept {
+  if (path_.empty()) {
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);  // Missing file is fine; writer may never open.
+  live_spill_files.fetch_sub(1, std::memory_order_relaxed);
+  path_.clear();
+}
+
+int64_t SpillFile::LiveCount() {
+  return live_spill_files.load(std::memory_order_relaxed);
+}
+
+}  // namespace conclave

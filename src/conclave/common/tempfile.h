@@ -1,0 +1,71 @@
+// RAII ownership for spill artifacts on disk. `TempDir` owns a uniquely named
+// directory (removed recursively on destruction); `SpillFile` owns one file
+// inside such a directory (unlinked on destruction). Both keep process-wide
+// live counts so tests can assert nothing leaked — including on abort paths,
+// where the dispatcher unwinds normally and destructors still run.
+//
+// The base directory is `CONCLAVE_SPILL_DIR` when set, else the system temp
+// directory.
+#ifndef CONCLAVE_COMMON_TEMPFILE_H_
+#define CONCLAVE_COMMON_TEMPFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace conclave {
+
+// Resolves the base directory spill temp dirs are created under.
+std::string SpillBaseDir();
+
+class TempDir {
+ public:
+  // Creates a uniquely named directory under SpillBaseDir(). Aborts if the base
+  // directory is not writable (a broken environment, not a recoverable plan).
+  TempDir();
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  TempDir(TempDir&& other) noexcept : path_(std::exchange(other.path_, {})) {}
+  TempDir& operator=(TempDir&& other) noexcept;
+
+  const std::string& path() const { return path_; }
+
+  // Number of TempDir-owned directories currently on disk (leak assertion hook).
+  static int64_t LiveCount();
+
+ private:
+  void Remove() noexcept;
+
+  std::string path_;  // Empty after move-out.
+};
+
+class SpillFile {
+ public:
+  SpillFile() = default;
+  // Takes ownership of `path`; the file is unlinked on destruction. The file
+  // need not exist yet — writers create it on first open.
+  explicit SpillFile(std::string path);
+  ~SpillFile();
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+  SpillFile(SpillFile&& other) noexcept : path_(std::exchange(other.path_, {})) {}
+  SpillFile& operator=(SpillFile&& other) noexcept;
+
+  const std::string& path() const { return path_; }
+  bool owns_file() const { return !path_.empty(); }
+
+  // Number of live SpillFile owners (leak assertion hook).
+  static int64_t LiveCount();
+
+ private:
+  void Remove() noexcept;
+
+  std::string path_;  // Empty when default-constructed or moved-out.
+};
+
+}  // namespace conclave
+
+#endif  // CONCLAVE_COMMON_TEMPFILE_H_

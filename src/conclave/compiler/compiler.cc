@@ -14,6 +14,7 @@
 #include "conclave/compiler/sort_pushup.h"
 #include "conclave/compiler/trust.h"
 #include "conclave/relational/pipeline.h"
+#include "conclave/relational/spill.h"
 
 namespace conclave {
 namespace compiler {
@@ -138,6 +139,11 @@ StatusOr<Compilation> Compile(ir::Dag& dag, const CompilerOptions& options) {
     AnnotateFaultAdvice(result.cost_report,
                         fault_plan.ok() ? *fault_plan : FaultPlan{},
                         options.planning_cost_model);
+    // Spill advice from the same CONCLAVE_MEM_BUDGET knob the dispatcher
+    // resolves at run time (DESIGN.md §12); with exact cardinalities the
+    // estimate equals the metered spill charge.
+    AnnotateSpillAdvice(result.cost_report, dag, options.planning_cost_model,
+                        DefaultMemBudgetRows(), options.planning_cardinality);
   }
 
   CONCLAVE_LOG(kInfo, "compiled query: %zu transformations, %zu jobs",

@@ -11,6 +11,7 @@
 #include "conclave/mpc/oblivious.h"
 #include "conclave/mpc/protocols.h"
 #include "conclave/relational/ops.h"
+#include "conclave/relational/spill.h"
 
 namespace conclave {
 namespace compiler {
@@ -791,6 +792,19 @@ std::string PlanCostReport::ToString() const {
   } else {
     out += "fault-advice: injection off (set CONCLAVE_FAULT_PLAN to arm)\n";
   }
+  if (spill_mem_budget_rows > 0) {
+    out += StrFormat(
+        "spill-advice: budget %lld resident rows/operator; %d spilling "
+        "node(s), %lld priced pass(es), spill I/O %s (the meter charges this "
+        "exact formula)\n",
+        static_cast<long long>(spill_mem_budget_rows), spilling_nodes,
+        static_cast<long long>(spill_total_passes),
+        FormatPlanSeconds(spill_seconds).c_str());
+  } else {
+    out +=
+        "spill-advice: unbounded (set CONCLAVE_MEM_BUDGET to cap resident "
+        "rows)\n";
+  }
   return out;
 }
 
@@ -814,31 +828,69 @@ bool PipelineFusibleOp(const ir::OpNode& node, int shard_count) {
     case ir::OpKind::kArithmetic:
       return true;
     case ir::OpKind::kLimit:
-      // The streaming limit cursor is a whole-relation prefix; the sharded
-      // kernel computes it across shards, so limit fuses unsharded only.
-      return shard_count <= 1;
+      // Unsharded, the streaming cursor is the whole-relation prefix. Sharded,
+      // each shard's cursor keeps its local `count`-row prefix — a superset of
+      // the global prefix, since shards concatenate in canonical order — and
+      // the chain's assembly trims the concatenation to the global prefix. The
+      // trim needs the materialized per-shard outputs, so a sharded limit can
+      // only ever be the TAIL of a chain (PipelineChains enforces this).
+      return true;
     case ir::OpKind::kDistinct: {
       if (shard_count > 1) {
         return false;  // Dedup is cross-shard; keep the exchange-based kernel.
       }
       // Streaming adjacent-run dedup needs the input sorted ascending by a
-      // column list the distinct columns prefix. The only sortedness the IR can
-      // prove with direction today is a direct ascending kSortBy producer.
-      const ir::OpNode& in = *node.inputs[0];
-      if (in.kind != ir::OpKind::kSortBy) {
-        return false;
-      }
-      const auto& sort = in.Params<ir::SortByParams>();
+      // column list the distinct columns prefix. Walk upstream through the
+      // order-preserving single-input ops — filter and limit drop rows but
+      // never reorder, project and arithmetic never touch existing cells
+      // (columns are referenced by name, so surviving names keep their values)
+      // — to an ascending kSortBy whose column list the distinct columns
+      // prefix. An arithmetic output_name shadowing a distinct column kills
+      // the proof: that column's values postdate the sort.
       const auto& distinct = node.Params<ir::DistinctParams>();
-      if (!sort.ascending || distinct.columns.size() > sort.columns.size()) {
-        return false;
+      const ir::OpNode* in = node.inputs[0];
+      for (;;) {
+        switch (in->kind) {
+          case ir::OpKind::kSortBy: {
+            const auto& sort = in->Params<ir::SortByParams>();
+            if (!sort.ascending ||
+                distinct.columns.size() > sort.columns.size()) {
+              return false;
+            }
+            return std::equal(distinct.columns.begin(), distinct.columns.end(),
+                              sort.columns.begin());
+          }
+          case ir::OpKind::kFilter:
+          case ir::OpKind::kLimit:
+          case ir::OpKind::kProject:
+            break;
+          case ir::OpKind::kArithmetic: {
+            const auto& arith = in->Params<ir::ArithmeticParams>();
+            if (std::find(distinct.columns.begin(), distinct.columns.end(),
+                          arith.output_name) != distinct.columns.end()) {
+              return false;
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+        if (in->inputs.size() != 1) {
+          return false;
+        }
+        in = in->inputs[0];
       }
-      return std::equal(distinct.columns.begin(), distinct.columns.end(),
-                        sort.columns.begin());
     }
     default:
       return false;
   }
+}
+
+// True when `node` may join a fused chain only as its last member: the sharded
+// limit's global-prefix trim runs at assembly, over the finished per-shard
+// outputs, so nothing can stream past it.
+static bool PipelineChainTerminator(const ir::OpNode& node, int shard_count) {
+  return node.kind == ir::OpKind::kLimit && shard_count > 1;
 }
 
 std::vector<std::vector<const ir::OpNode*>> PipelineChains(
@@ -864,7 +916,7 @@ std::vector<std::vector<const ir::OpNode*>> PipelineChains(
     }
     std::vector<const ir::OpNode*> chain{node};
     const ir::OpNode* tail = node;
-    for (;;) {
+    while (!PipelineChainTerminator(*tail, shard_count)) {
       const auto it = sole_consumer.find(tail->id);
       if (it == sole_consumer.end()) {
         break;  // Zero or several consuming edges: the value must materialize.
@@ -904,6 +956,99 @@ void AnnotatePipelineAdvice(PlanCostReport& report, const ir::Dag& dag,
     report.fused_pipeline_nodes += static_cast<int>(chain.size());
     report.longest_pipeline_chain =
         std::max(report.longest_pipeline_chain, static_cast<int>(chain.size()));
+  }
+}
+
+double NodeSpillSeconds(const ir::OpNode& node, double in_rows, double right_rows,
+                        const CostModel& model, int64_t mem_budget_rows) {
+  if (mem_budget_rows <= 0 || node.exec_mode != ir::ExecMode::kLocal) {
+    return 0;
+  }
+  const int64_t budget = mem_budget_rows;
+  switch (node.kind) {
+    // One priced pass = one generation of run files written then read back
+    // (spill::SpillMergePasses counts exactly the generations the kernels
+    // produce: run formation feeds the first merge level, each deeper level
+    // rewrites every row once). Distinct and aggregate runs shrink as they
+    // dedup/combine, but the price deliberately keeps the full input rows per
+    // pass — the meter charges the same closed form, and only the
+    // estimate==meter identity matters, not physical byte exactness.
+    case ir::OpKind::kSortBy: {
+      const int64_t rows = ToRows(in_rows);
+      const int64_t passes = spill::SpillMergePasses(rows, budget);
+      const double cells =
+          static_cast<double>(rows) * node.schema.NumColumns();
+      return model.SpillPassSeconds(static_cast<double>(passes) * cells * 8.0);
+    }
+    case ir::OpKind::kDistinct: {
+      // Runs carry the distinct columns only (== the node's output schema).
+      const int64_t rows = ToRows(in_rows);
+      const int64_t passes = spill::SpillMergePasses(rows, budget);
+      const double cells =
+          static_cast<double>(rows) * node.schema.NumColumns();
+      return model.SpillPassSeconds(static_cast<double>(passes) * cells * 8.0);
+    }
+    case ir::OpKind::kAggregate: {
+      // Partial-aggregate runs: group keys plus one accumulator column (two
+      // for mean: running sum and count, finalized only at the last level).
+      const auto& params = node.Params<ir::AggregateParams>();
+      const int64_t rows = ToRows(in_rows);
+      const int64_t passes = spill::SpillMergePasses(rows, budget);
+      const double cols = static_cast<double>(params.group_columns.size()) +
+                          (params.kind == AggKind::kMean ? 2.0 : 1.0);
+      return model.SpillPassSeconds(static_cast<double>(passes) *
+                                    static_cast<double>(rows) * cols * 8.0);
+    }
+    case ir::OpKind::kJoin: {
+      // Grace hash join spills when the build (right) side exceeds the budget:
+      // both sides stream through (key, gid) partition files — K key columns
+      // plus the provenance gid — once per recursion level.
+      const int64_t build = ToRows(right_rows);
+      const int64_t levels = spill::SpillMergePasses(build, budget);
+      if (levels == 0) {
+        return 0;
+      }
+      const double key_cols =
+          static_cast<double>(node.Params<ir::JoinParams>().left_keys.size()) +
+          1.0;
+      const double cells = (ToRows(in_rows) + build) * key_cols;
+      return model.SpillPassSeconds(static_cast<double>(levels) * cells * 8.0);
+    }
+    default:
+      return 0;
+  }
+}
+
+void AnnotateSpillAdvice(PlanCostReport& report, const ir::Dag& dag,
+                         const CostModel& model, int64_t mem_budget_rows,
+                         const CardinalityOptions& cardinality) {
+  report.spill_mem_budget_rows = mem_budget_rows > 0 ? mem_budget_rows : 0;
+  report.spilling_nodes = 0;
+  report.spill_total_passes = 0;
+  report.spill_seconds = 0;
+  if (mem_budget_rows <= 0) {
+    return;
+  }
+  const auto rows = EstimateCardinalities(dag, cardinality);
+  for (const ir::OpNode* node : dag.TopoOrder()) {
+    if (node->exec_mode != ir::ExecMode::kLocal || node->inputs.empty()) {
+      continue;
+    }
+    const double in_rows = rows.at(node->inputs[0]->id);
+    const double right_rows =
+        node->inputs.size() > 1 ? rows.at(node->inputs[1]->id) : 0;
+    const double seconds =
+        NodeSpillSeconds(*node, in_rows, right_rows, model, mem_budget_rows);
+    if (seconds <= 0) {
+      continue;
+    }
+    ++report.spilling_nodes;
+    const int64_t spilled_input = node->kind == ir::OpKind::kJoin
+                                      ? ToRows(right_rows)
+                                      : ToRows(in_rows);
+    report.spill_total_passes +=
+        spill::SpillMergePasses(spilled_input, mem_budget_rows);
+    report.spill_seconds += seconds;
   }
 }
 

@@ -94,6 +94,18 @@ struct PlanCostReport {
   int fault_job_retries = 0;
   double fault_retry_envelope_seconds = 0;
 
+  // Spill advice (filled by AnnotateSpillAdvice from the resolved memory
+  // budget, DESIGN.md §12): how many cleartext-local blocking operators the
+  // budget forces to spill at estimated cardinalities, their total priced merge
+  // passes, and the priced spill I/O seconds. Unlike the advisory lines above,
+  // spill_seconds IS a virtual-clock charge: the dispatcher adds exactly this
+  // formula (NodeSpillSeconds over node-total input rows) to the clock, so with
+  // exact cardinalities the estimate equals the meter.
+  int64_t spill_mem_budget_rows = 0;  // 0 = unbounded (no spilling).
+  int spilling_nodes = 0;
+  int64_t spill_total_passes = 0;
+  double spill_seconds = 0;
+
   // The explain listing: one header line ("plan-cost: ...") plus one line per node
   // with estimated rows and per-backend seconds, and trailing shard-advice and
   // pipeline-advice lines.
@@ -125,11 +137,15 @@ void AnnotateShardAdvice(PlanCostReport& report, const ExecutionPlan& plan,
 
 // True when `node` can be a member of a fused streaming chain: a single-input
 // cleartext-local operator whose kernel consumes and emits batches without
-// materializing. In sharded execution (shard_count > 1), limit (a cross-shard
-// prefix) and distinct (cross-shard dedup) keep their shard-aware materializing
-// kernels and break chains; distinct additionally fuses only when its direct
-// input is an ascending sort whose column list it prefixes (the sortedness proof
-// for the streaming adjacent-run dedup).
+// materializing. A sharded limit (shard_count > 1) fuses only as a chain's
+// TAIL: each shard streams its local count-row prefix and the assembly trims
+// the concatenation to the global prefix (PipelineChains enforces the
+// tail-only rule). Sharded distinct (cross-shard dedup) keeps its
+// exchange-based kernel and breaks chains; unsharded distinct fuses when an
+// upstream walk through order-preserving ops (filter / limit / project /
+// arithmetic that does not shadow a distinct column) reaches an ascending sort
+// whose column list the distinct columns prefix — the sortedness proof for the
+// streaming adjacent-run dedup.
 bool PipelineFusibleOp(const ir::OpNode& node, int shard_count);
 
 // Maximal chains (length >= 2) of fusible nodes within `topo`, where every
@@ -151,6 +167,25 @@ void AnnotatePipelineAdvice(PlanCostReport& report, const ir::Dag& dag,
 // cost model's retry/backoff pricing.
 void AnnotateFaultAdvice(PlanCostReport& report, const FaultPlan& plan,
                          const CostModel& model);
+
+// --- Beyond-RAM spill pricing (DESIGN.md §12) ---------------------------------------
+
+// Priced spill I/O seconds for one cleartext-local blocking operator at the given
+// node-TOTAL input cardinalities and per-instance memory budget. Zero when the
+// budget is unbounded (<= 0), the node is not a blocking local operator, or the
+// inputs fit. The formula is closed over (rows, budget, schema widths) only —
+// never physical shard or batch layout — so the charge is identical at every
+// {pool, shard, batch_rows} grid point. The dispatcher meters this exact function;
+// the planner estimates it; with exact cardinalities the two are equal.
+double NodeSpillSeconds(const ir::OpNode& node, double in_rows, double right_rows,
+                        const CostModel& model, int64_t mem_budget_rows);
+
+// Fills the report's spill advice: prices NodeSpillSeconds over every
+// cleartext-local node at estimated cardinalities and records how many nodes the
+// budget forces to spill, their total merge passes, and the summed seconds.
+void AnnotateSpillAdvice(PlanCostReport& report, const ir::Dag& dag,
+                         const CostModel& model, int64_t mem_budget_rows,
+                         const CardinalityOptions& cardinality = {});
 
 }  // namespace compiler
 }  // namespace conclave

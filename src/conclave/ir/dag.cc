@@ -174,7 +174,7 @@ OpNode* Dag::NewNode(OpKind kind, OpParams params, std::vector<OpNode*> inputs) 
 }
 
 StatusOr<OpNode*> Dag::AddCreate(const std::string& name, Schema schema, PartyId party,
-                                 int64_t num_rows_hint) {
+                                 int64_t num_rows_hint, std::string csv_path) {
   if (party == kNoParty) {
     return InvalidArgumentError("create requires an owning party (at= annotation)");
   }
@@ -183,6 +183,7 @@ StatusOr<OpNode*> Dag::AddCreate(const std::string& name, Schema schema, PartyId
   params.schema = std::move(schema);
   params.party = party;
   params.num_rows_hint = num_rows_hint;
+  params.csv_path = std::move(csv_path);
   OpNode* node = NewNode(OpKind::kCreate, std::move(params), {});
   CONCLAVE_RETURN_IF_ERROR(ReinferSchema(node));
   return node;

@@ -30,7 +30,8 @@ class Dag {
 
   // --- Construction (used by the api frontend and tests) ---------------------------
   StatusOr<OpNode*> AddCreate(const std::string& name, Schema schema, PartyId party,
-                              int64_t num_rows_hint = 0);
+                              int64_t num_rows_hint = 0,
+                              std::string csv_path = {});
   StatusOr<OpNode*> AddConcat(std::vector<OpNode*> inputs);
   StatusOr<OpNode*> AddProject(OpNode* input, std::vector<std::string> columns);
   StatusOr<OpNode*> AddFilter(OpNode* input, FilterParams params);

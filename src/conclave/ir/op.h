@@ -66,6 +66,11 @@ struct CreateParams {
   Schema schema;           // Declared schema with trust annotations (§4.3).
   PartyId party = kNoParty;  // The `at=` owner annotation.
   int64_t num_rows_hint = 0; // Optional cardinality hint for planning diagnostics.
+  // Non-empty = the input is a CSV file the owning party's agent reads itself
+  // (api::Query::NewCsvTable) instead of a relation passed to Run. When the sole
+  // consumer is a fused local chain, the dispatcher streams row ranges from the
+  // file batch-at-a-time and the source relation never materializes (§12).
+  std::string csv_path;
 };
 
 struct ConcatParams {

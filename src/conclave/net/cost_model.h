@@ -133,6 +133,13 @@ struct CostModel {
   int max_send_retries = 4;             // Bounded retry before escalation.
   double crash_restart_seconds = 0.5;   // Checkpoint restore + job restart.
 
+  // --- Spill I/O for beyond-RAM blocking operators (DESIGN.md §12) -------------------
+  // Sequential throughput of the local spill volume. Each priced spill pass is one
+  // write plus one read of the operator's run cells; planner estimate and dispatcher
+  // meter share NodeSpillSeconds (compiler/plan_cost.h), built on this rate, so the
+  // spill-advice estimate equals the metered charge identically.
+  double spill_bytes_per_second = 500e6;
+
   // --- Derived helpers ---------------------------------------------------------------
   // Priced cost of retransmission `attempt` (0-based) of a `bytes`-sized payload:
   // the sender waits out the backed-off timeout, then resends.
@@ -145,6 +152,10 @@ struct CostModel {
   }
   double SecondsForBytes(uint64_t bytes) const {
     return static_cast<double>(bytes) / bandwidth_bytes_per_second;
+  }
+  // One write + one read of `bytes` spilled cells on the local spill volume.
+  double SpillPassSeconds(double bytes) const {
+    return 2.0 * bytes / spill_bytes_per_second;
   }
   double SecondsForRounds(uint64_t rounds) const {
     return static_cast<double>(rounds) * latency_seconds;

@@ -145,17 +145,13 @@ std::string ToCsv(const Relation& relation) {
   return out;
 }
 
-StatusOr<ShardedRelation> ParseCsvSharded(const std::string& text,
-                                          int shard_count) {
-  if (shard_count <= 0) {
-    return InvalidArgumentError("shard_count must be positive");
+StatusOr<CsvSource> CsvSource::FromText(std::string text) {
+  if (text.empty()) {
+    return InvalidArgumentError("CSV input is empty (missing header)");
   }
   const size_t header_end = text.find('\n');
   const std::string header =
       header_end == std::string::npos ? text : text.substr(0, header_end);
-  if (text.empty()) {
-    return InvalidArgumentError("CSV input is empty (missing header)");
-  }
   std::vector<ColumnDef> defs;
   for (const auto& name : SplitLine(header)) {
     if (name.empty()) {
@@ -163,63 +159,106 @@ StatusOr<ShardedRelation> ParseCsvSharded(const std::string& text,
     }
     defs.emplace_back(name);
   }
-  const Schema schema{std::move(defs)};
-  const int cols = schema.NumColumns();
-
+  CsvSource source;
+  source.schema_ = Schema(std::move(defs));
+  source.text_ = std::move(text);
   // Index the non-empty data lines (byte range + original line number, so error
-  // messages match the unsharded parser exactly).
-  struct DataLine {
-    size_t begin;
-    size_t end;
-    size_t line_number;
-  };
-  std::vector<DataLine> lines;
+  // messages match the eager parsers exactly).
   if (header_end != std::string::npos) {
     size_t line_start = header_end + 1;
     size_t line_number = 2;
-    for (size_t i = line_start; i <= text.size(); ++i) {
-      if (i == text.size() || text[i] == '\n') {
+    for (size_t i = line_start; i <= source.text_.size(); ++i) {
+      if (i == source.text_.size() || source.text_[i] == '\n') {
         if (i > line_start) {
-          lines.push_back({line_start, i, line_number});
+          source.lines_.push_back({line_start, i, line_number});
         }
         line_start = i + 1;
         ++line_number;
       }
     }
   }
+  return source;
+}
+
+StatusOr<CsvSource> CsvSource::FromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return NotFoundError(StrFormat("cannot open '%s' for reading", path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return FromText(buffer.str());
+}
+
+CsvSource::CsvSource(CsvSource&& other) noexcept
+    : text_(std::move(other.text_)),
+      schema_(std::move(other.schema_)),
+      lines_(std::move(other.lines_)),
+      max_materialized_rows_(
+          other.max_materialized_rows_.load(std::memory_order_relaxed)) {}
+
+CsvSource& CsvSource::operator=(CsvSource&& other) noexcept {
+  text_ = std::move(other.text_);
+  schema_ = std::move(other.schema_);
+  lines_ = std::move(other.lines_);
+  max_materialized_rows_.store(
+      other.max_materialized_rows_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  return *this;
+}
+
+StatusOr<Relation> CsvSource::ParseRows(int64_t begin, int64_t end) const {
+  CONCLAVE_CHECK(begin >= 0 && begin <= end && end <= NumRows());
+  const int cols = schema_.NumColumns();
+  Relation relation{schema_};
+  relation.Resize(end - begin);
+  for (int64_t r = begin; r < end; ++r) {
+    const DataLine& line = lines_[static_cast<size_t>(r)];
+    const auto fields =
+        SplitLine(text_.substr(line.begin, line.end - line.begin));
+    if (static_cast<int>(fields.size()) != cols) {
+      return InvalidArgumentError(
+          StrFormat("line %zu has %zu fields, expected %d", line.line_number,
+                    fields.size(), cols));
+    }
+    for (int c = 0; c < cols; ++c) {
+      CONCLAVE_ASSIGN_OR_RETURN(
+          int64_t value, ParseInt(fields[static_cast<size_t>(c)], line.line_number));
+      relation.ColumnData(c)[r - begin] = value;
+    }
+  }
+  // Relaxed CAS-max: concurrent shard parses race only on this witness value.
+  int64_t seen = max_materialized_rows_.load(std::memory_order_relaxed);
+  while (end - begin > seen &&
+         !max_materialized_rows_.compare_exchange_weak(
+             seen, end - begin, std::memory_order_relaxed)) {
+  }
+  return relation;
+}
+
+StatusOr<ShardedRelation> ParseCsvSharded(const std::string& text,
+                                          int shard_count) {
+  if (shard_count <= 0) {
+    return InvalidArgumentError("shard_count must be positive");
+  }
+  CONCLAVE_ASSIGN_OR_RETURN(CsvSource source, CsvSource::FromText(text));
 
   // Parse shard-parallel: shard boundaries are the SplitEven row ranges, so the
   // shard layout matches the canonical contiguous split.
-  const int64_t rows = static_cast<int64_t>(lines.size());
-  ShardedRelation sharded{schema};
+  const int64_t rows = source.NumRows();
+  ShardedRelation sharded{source.schema()};
   std::vector<Relation> shards(static_cast<size_t>(shard_count),
-                               Relation{schema});
+                               Relation{source.schema()});
   std::vector<Status> shard_status(static_cast<size_t>(shard_count), Status::Ok());
   ParallelFor(0, shard_count, [&](int64_t lo, int64_t hi) {
     for (int64_t s = lo; s < hi; ++s) {
-      const int64_t begin = rows * s / shard_count;
-      const int64_t end = rows * (s + 1) / shard_count;
-      Relation& shard = shards[static_cast<size_t>(s)];
-      shard.Resize(end - begin);
-      for (int64_t r = begin; r < end; ++r) {
-        const DataLine& line = lines[static_cast<size_t>(r)];
-        const auto fields =
-            SplitLine(text.substr(line.begin, line.end - line.begin));
-        if (static_cast<int>(fields.size()) != cols) {
-          shard_status[static_cast<size_t>(s)] = InvalidArgumentError(
-              StrFormat("line %zu has %zu fields, expected %d", line.line_number,
-                        fields.size(), cols));
-          return;
-        }
-        for (int c = 0; c < cols; ++c) {
-          auto value = ParseInt(fields[static_cast<size_t>(c)], line.line_number);
-          if (!value.ok()) {
-            shard_status[static_cast<size_t>(s)] = value.status();
-            return;
-          }
-          shard.ColumnData(c)[r - begin] = *value;
-        }
+      StatusOr<Relation> shard = source.ParseRows(rows * s / shard_count,
+                                                  rows * (s + 1) / shard_count);
+      if (!shard.ok()) {
+        shard_status[static_cast<size_t>(s)] = shard.status();
+        return;
       }
+      shards[static_cast<size_t>(s)] = std::move(*shard);
     }
   }, /*grain=*/1);
   // Earliest shard's error wins: shards cover ascending line ranges, so this is

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "conclave/relational/csv.h"
+
 namespace conclave {
 
 int64_t DefaultBatchRows() {
@@ -442,6 +444,42 @@ Relation BatchPipeline::Run(const Relation& input, int64_t batch_rows) {
     }
   } else {
     output_ = input;
+  }
+  return std::move(output_);
+}
+
+StatusOr<Relation> BatchPipeline::RunFromCsv(const CsvSource& source,
+                                             int64_t begin, int64_t end,
+                                             int64_t batch_rows) {
+  stats_ = PipelineStats{};
+  stats_.op_input_rows.assign(operators_.size(), 0);
+  live_batches_ = 0;
+  live_rows_ = 0;
+  for (auto& op : operators_) {
+    op->Reset();
+  }
+  output_ = Relation{output_schema_};
+  const int64_t rows = end - begin;
+  output_.Reserve(rows);
+
+  const int64_t step = batch_rows <= 0 ? std::max<int64_t>(rows, 1) : batch_rows;
+  if (!operators_.empty()) {
+    for (int64_t lo = begin; lo < end; lo += step) {
+      const int64_t hi = std::min(end, lo + step);
+      CONCLAVE_ASSIGN_OR_RETURN(Relation batch, source.ParseRows(lo, hi));
+      ++stats_.batches_pushed;
+      stats_.rows_pushed += hi - lo;
+      stats_.op_input_rows[0] += hi - lo;
+      // Unlike Run's borrowed source slices, the parsed batch is
+      // pipeline-owned memory: route it through Push so the residency
+      // high-water counts it.
+      Push(0, std::move(batch));
+    }
+    for (auto& op : operators_) {
+      op->Flush();
+    }
+  } else {
+    CONCLAVE_ASSIGN_OR_RETURN(output_, source.ParseRows(begin, end));
   }
   return std::move(output_);
 }

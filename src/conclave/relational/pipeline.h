@@ -29,10 +29,13 @@
 #include <memory>
 #include <vector>
 
+#include "conclave/common/status.h"
 #include "conclave/relational/ops.h"
 #include "conclave/relational/relation.h"
 
 namespace conclave {
+
+class CsvSource;
 
 // Default rows per batch of the push-based pipeline executor (~4k rows: large
 // enough to amortize per-batch overhead, small enough that a fused chain's
@@ -106,6 +109,15 @@ class BatchPipeline {
   // (<= 0 streams the whole relation as one batch) and returns the materialized
   // result. Resets operator state and stats first, so a pipeline may run again.
   Relation Run(const Relation& input, int64_t batch_rows);
+
+  // Source-driven variant (DESIGN.md §12): parses rows [begin, end) of `source`
+  // batch-at-a-time and pushes each parsed batch through the chain, so the
+  // source relation never materializes — at most one batch of parsed source
+  // rows is live at a time (it enters the pipeline's residency accounting,
+  // unlike Run's borrowed slices). Bit-identical to
+  // Run(*source.ParseRows(begin, end), batch_rows) at every batch size.
+  StatusOr<Relation> RunFromCsv(const CsvSource& source, int64_t begin,
+                                int64_t end, int64_t batch_rows);
 
   // Stats of the most recent Run.
   const PipelineStats& stats() const { return stats_; }

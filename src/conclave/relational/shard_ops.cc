@@ -320,7 +320,9 @@ ShardedRelation ShardedRebalance(std::span<const Relation* const> shards,
 ShardedRelation ShardedJoin(std::span<const Relation* const> left,
                             std::span<const Relation* const> right,
                             std::span<const int> left_keys,
-                            std::span<const int> right_keys, int shard_count) {
+                            std::span<const int> right_keys, int shard_count,
+                            int64_t mem_budget_rows,
+                            spill::SpillStats* spill_stats) {
   CONCLAVE_CHECK_GT(shard_count, 0);
   // Exchange both sides on the join key: co-partitioned buckets carry their rows'
   // canonical gids so the merge can restore ops::Join's output order.
@@ -338,14 +340,24 @@ ShardedRelation ShardedJoin(std::span<const Relation* const> left,
     std::vector<int64_t> right_rows;
   };
   std::vector<BucketPairs> pairs(static_cast<size_t>(shard_count));
+  std::vector<spill::SpillStats> bucket_stats(static_cast<size_t>(shard_count));
   ParallelFor(0, shard_count, [&](int64_t lo, int64_t hi) {
     for (int64_t b = lo; b < hi; ++b) {
-      JoinRowPairs(left_buckets[static_cast<size_t>(b)],
-                   right_buckets[static_cast<size_t>(b)], left_keys, right_keys,
-                   &pairs[static_cast<size_t>(b)].left_rows,
-                   &pairs[static_cast<size_t>(b)].right_rows);
+      // Under a budget the bucket's build side Grace-partitions to disk; the
+      // pair stream is identical either way (spill.h's contract).
+      spill::JoinRowPairs(left_buckets[static_cast<size_t>(b)],
+                          right_buckets[static_cast<size_t>(b)], left_keys,
+                          right_keys, mem_budget_rows,
+                          &bucket_stats[static_cast<size_t>(b)],
+                          &pairs[static_cast<size_t>(b)].left_rows,
+                          &pairs[static_cast<size_t>(b)].right_rows);
     }
   }, /*grain=*/1);
+  if (spill_stats != nullptr) {
+    for (const spill::SpillStats& stats : bucket_stats) {
+      spill_stats->Merge(stats);
+    }
+  }
 
   // K-way merge of the bucket streams by (left gid, right gid). Left gids are
   // disjoint across buckets (each left row hashes to exactly one bucket), so the
@@ -435,8 +447,17 @@ ShardedRelation ShardedJoin(std::span<const Relation* const> left,
 ShardedRelation ShardedAggregate(std::span<const Relation* const> shards,
                                  std::span<const int> group_columns, AggKind kind,
                                  int agg_column, const std::string& output_name,
-                                 int out_shard_count) {
+                                 int out_shard_count, int64_t mem_budget_rows,
+                                 spill::SpillStats* spill_stats) {
   CONCLAVE_CHECK_GT(shards.size(), 0u);
+  std::vector<spill::SpillStats> shard_stats(shards.size());
+  const auto fold_stats = [&] {
+    if (spill_stats != nullptr) {
+      for (const spill::SpillStats& stats : shard_stats) {
+        spill_stats->Merge(stats);
+      }
+    }
+  };
   const int num_groups = static_cast<int>(group_columns.size());
   std::vector<int> partial_groups(static_cast<size_t>(num_groups));
   for (int i = 0; i < num_groups; ++i) {
@@ -452,14 +473,16 @@ ShardedRelation ShardedAggregate(std::span<const Relation* const> shards,
     std::vector<Relation> partials(shards.size());
     ParallelFor(0, static_cast<int64_t>(shards.size()), [&](int64_t lo, int64_t hi) {
       for (int64_t s = lo; s < hi; ++s) {
-        partials[static_cast<size_t>(s)] = Aggregate(
+        partials[static_cast<size_t>(s)] = spill::Aggregate(
             *shards[static_cast<size_t>(s)], group_columns, kind, agg_column,
-            output_name);
+            output_name, mem_budget_rows, &shard_stats[static_cast<size_t>(s)]);
       }
     }, /*grain=*/1);
+    fold_stats();
     const Relation merged = Concat(partials);
     return ShardedRelation::SplitEven(
-        Aggregate(merged, partial_groups, combine, partial_value, output_name),
+        spill::Aggregate(merged, partial_groups, combine, partial_value,
+                         output_name, mem_budget_rows, spill_stats),
         out_shard_count);
   }
 
@@ -469,18 +492,23 @@ ShardedRelation ShardedAggregate(std::span<const Relation* const> shards,
   std::vector<Relation> counts(shards.size());
   ParallelFor(0, static_cast<int64_t>(shards.size()), [&](int64_t lo, int64_t hi) {
     for (int64_t s = lo; s < hi; ++s) {
-      sums[static_cast<size_t>(s)] =
-          Aggregate(*shards[static_cast<size_t>(s)], group_columns, AggKind::kSum,
-                    agg_column, output_name);
-      counts[static_cast<size_t>(s)] =
-          Aggregate(*shards[static_cast<size_t>(s)], group_columns,
-                    AggKind::kCount, agg_column, output_name);
+      sums[static_cast<size_t>(s)] = spill::Aggregate(
+          *shards[static_cast<size_t>(s)], group_columns, AggKind::kSum,
+          agg_column, output_name, mem_budget_rows,
+          &shard_stats[static_cast<size_t>(s)]);
+      counts[static_cast<size_t>(s)] = spill::Aggregate(
+          *shards[static_cast<size_t>(s)], group_columns, AggKind::kCount,
+          agg_column, output_name, mem_budget_rows,
+          &shard_stats[static_cast<size_t>(s)]);
     }
   }, /*grain=*/1);
-  Relation total_sum = Aggregate(Concat(sums), partial_groups, AggKind::kSum,
-                                 partial_value, output_name);
-  const Relation total_count = Aggregate(Concat(counts), partial_groups,
-                                         AggKind::kSum, partial_value, output_name);
+  fold_stats();
+  Relation total_sum =
+      spill::Aggregate(Concat(sums), partial_groups, AggKind::kSum, partial_value,
+                       output_name, mem_budget_rows, spill_stats);
+  const Relation total_count =
+      spill::Aggregate(Concat(counts), partial_groups, AggKind::kSum,
+                       partial_value, output_name, mem_budget_rows, spill_stats);
   // Both totals are sorted by the identical group key set, so rows align 1:1.
   CONCLAVE_CHECK_EQ(total_sum.NumRows(), total_count.NumRows());
   Relation result = std::move(total_sum);
@@ -497,16 +525,24 @@ ShardedRelation ShardedAggregate(std::span<const Relation* const> shards,
 
 ShardedRelation ShardedSortBy(std::span<const Relation* const> shards,
                               std::span<const int> columns, bool ascending,
-                              int out_shard_count) {
+                              int out_shard_count, int64_t mem_budget_rows,
+                              spill::SpillStats* spill_stats) {
   CONCLAVE_CHECK_GT(shards.size(), 0u);
-  // Per-shard stable sorted runs.
+  // Per-shard stable sorted runs (externally sorted when over budget).
   std::vector<Relation> runs(shards.size());
+  std::vector<spill::SpillStats> shard_stats(shards.size());
   ParallelFor(0, static_cast<int64_t>(shards.size()), [&](int64_t lo, int64_t hi) {
     for (int64_t s = lo; s < hi; ++s) {
       runs[static_cast<size_t>(s)] =
-          SortBy(*shards[static_cast<size_t>(s)], columns, ascending);
+          spill::SortBy(*shards[static_cast<size_t>(s)], columns, ascending,
+                        mem_budget_rows, &shard_stats[static_cast<size_t>(s)]);
     }
   }, /*grain=*/1);
+  if (spill_stats != nullptr) {
+    for (const spill::SpillStats& stats : shard_stats) {
+      spill_stats->Merge(stats);
+    }
+  }
 
   // K-way stable merge: on ties the lower shard wins, and shards are contiguous
   // canonical ranges, so the merged order equals the global stable sort.
@@ -544,17 +580,25 @@ ShardedRelation ShardedSortBy(std::span<const Relation* const> shards,
 }
 
 ShardedRelation ShardedDistinct(std::span<const Relation* const> shards,
-                                std::span<const int> columns,
-                                int out_shard_count) {
+                                std::span<const int> columns, int out_shard_count,
+                                int64_t mem_budget_rows,
+                                spill::SpillStats* spill_stats) {
   CONCLAVE_CHECK_GT(shards.size(), 0u);
   // Per-shard sorted dedup runs over the projected columns.
   std::vector<Relation> runs(shards.size());
+  std::vector<spill::SpillStats> shard_stats(shards.size());
   ParallelFor(0, static_cast<int64_t>(shards.size()), [&](int64_t lo, int64_t hi) {
     for (int64_t s = lo; s < hi; ++s) {
       runs[static_cast<size_t>(s)] =
-          Distinct(*shards[static_cast<size_t>(s)], columns);
+          spill::Distinct(*shards[static_cast<size_t>(s)], columns,
+                          mem_budget_rows, &shard_stats[static_cast<size_t>(s)]);
     }
   }, /*grain=*/1);
+  if (spill_stats != nullptr) {
+    for (const spill::SpillStats& stats : shard_stats) {
+      spill_stats->Merge(stats);
+    }
+  }
 
   // Ascending k-way merge with cross-shard dedup: emit each distinct row once, in
   // sorted order — exactly ops::Distinct's output on the coalesced input.

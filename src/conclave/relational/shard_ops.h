@@ -29,6 +29,7 @@
 
 #include "conclave/relational/ops.h"
 #include "conclave/relational/sharded.h"
+#include "conclave/relational/spill.h"
 
 namespace conclave {
 namespace ops {
@@ -66,10 +67,19 @@ ShardedRelation ShardedRebalance(std::span<const Relation* const> shards,
 // Repartitions both sides into `shard_count` co-partitioned buckets, joins each
 // bucket, and merges the bucket outputs back into ops::Join's row order. Output is
 // re-split into `shard_count` contiguous shards.
+//
+// The blocking kernels below take an optional per-instance memory budget
+// (DESIGN.md §12): with mem_budget_rows > 0 each shard's (or bucket's) blocking
+// step runs through the spill:: kernels, which are bit-identical to the ops::
+// kernels, so the sharded results stay bit-identical at every budget. Physical
+// spill stats from the per-shard instances merge into `spill_stats` in shard
+// order (sums, plus a max over peak residency).
 ShardedRelation ShardedJoin(std::span<const Relation* const> left,
                             std::span<const Relation* const> right,
                             std::span<const int> left_keys,
-                            std::span<const int> right_keys, int shard_count);
+                            std::span<const int> right_keys, int shard_count,
+                            int64_t mem_budget_rows = 0,
+                            spill::SpillStats* spill_stats = nullptr);
 
 // --- Partial-then-merge kernels ---------------------------------------------------
 // Partial-aggregate-then-merge group-by: per-shard partial aggregates combine into
@@ -79,15 +89,19 @@ ShardedRelation ShardedJoin(std::span<const Relation* const> left,
 ShardedRelation ShardedAggregate(std::span<const Relation* const> shards,
                                  std::span<const int> group_columns, AggKind kind,
                                  int agg_column, const std::string& output_name,
-                                 int out_shard_count);
+                                 int out_shard_count, int64_t mem_budget_rows = 0,
+                                 spill::SpillStats* spill_stats = nullptr);
 // Per-shard stable sort + k-way stable merge (ties resolve to the lower shard, so
 // the result is the global stable sort of the canonical order).
 ShardedRelation ShardedSortBy(std::span<const Relation* const> shards,
                               std::span<const int> columns, bool ascending,
-                              int out_shard_count);
+                              int out_shard_count, int64_t mem_budget_rows = 0,
+                              spill::SpillStats* spill_stats = nullptr);
 // Per-shard sorted dedup + k-way merge with cross-shard dedup.
 ShardedRelation ShardedDistinct(std::span<const Relation* const> shards,
-                                std::span<const int> columns, int out_shard_count);
+                                std::span<const int> columns, int out_shard_count,
+                                int64_t mem_budget_rows = 0,
+                                spill::SpillStats* spill_stats = nullptr);
 
 }  // namespace ops
 }  // namespace conclave

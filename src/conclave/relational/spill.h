@@ -1,0 +1,114 @@
+// Beyond-RAM execution for the blocking cleartext operators (DESIGN.md §12).
+//
+// A memory budget of `mem_budget_rows` bounds the rows any single blocking
+// operator instance keeps resident at once. When an input exceeds the budget,
+// the kernels here spill sorted runs / hash partitions to RAII-owned temp files
+// (common/tempfile.h) and merge them back with exactly the PR 5 merge
+// discipline (shard_ops.cc's KWayMerge: ties resolve to the lower stream), so
+// every result is bit-identical to the in-memory ops:: kernel:
+//
+//  * SortBy    — external merge sort: contiguous <=budget-row chunks, each
+//                stable-sorted by ops::SortBy, k-way merged with lower-run-index
+//                tie-break == std::stable_sort of the whole input.
+//  * Distinct  — per-chunk project+dedup runs, k-way merged with dedup.
+//  * Aggregate — per-chunk partial aggregates (kMean splits into kSum + kCount
+//                partials), runs merged by group key combining equal keys;
+//                sum/count/min/max are associative, so chunking is invisible.
+//  * Join      — Grace-style: both sides hash-partitioned on the key into
+//                bucket files holding (key columns, global row id) only,
+//                level-salted rehash recursion for skewed buckets, per-bucket
+//                build+probe emitting (left gid, right gid) pairs, k-way merged
+//                across buckets by (lgid, rgid) == ops::Join's pair order, then
+//                gathered from the original in-memory inputs.
+//
+// Budget semantics: rows <= budget (or budget <= 0) short-circuits to the
+// in-memory kernel — 0 is "unbounded", today's behavior. The budget bounds the
+// operator's OWN working set (runs being formed, merge heads, partial maps);
+// borrowed inputs and the final output are excluded, matching the PipelineStats
+// residency convention. Peak resident rows stay <= ~2x budget.
+//
+// Merges use fan-in kSpillMergeFanIn; more runs than that forces multi-level
+// merges. SpillMergePasses is the closed-form pass count the cost model prices
+// (compiler/plan_cost) — it depends only on (total rows, budget), never on
+// shard structure, so priced charges are invariant across the {pool, shard,
+// batch_rows} grid even though the physical spill layout is not.
+#ifndef CONCLAVE_RELATIONAL_SPILL_H_
+#define CONCLAVE_RELATIONAL_SPILL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "conclave/relational/ops.h"
+#include "conclave/relational/relation.h"
+
+namespace conclave {
+
+// Resolves the process-default memory budget: CONCLAVE_MEM_BUDGET rows, else 0
+// (unbounded). Mirrors DefaultBatchRows()'s CONCLAVE_BATCH_ROWS resolution.
+int64_t DefaultMemBudgetRows();
+
+namespace spill {
+
+// Merge fan-in for external runs. Part of the pricing contract: changing it
+// changes SpillMergePasses and therefore priced virtual time.
+inline constexpr int64_t kSpillMergeFanIn = 8;
+
+// Number of full read+write merge passes over the data an external sort (or
+// run-merge aggregate/distinct) performs for `rows` input rows under `budget`:
+// 0 when nothing spills, else ceil(log_fanin(ceil(rows/budget))) with a minimum
+// of one pass. Pure closed-form math shared verbatim by the planner estimate
+// and the dispatcher meter.
+int64_t SpillMergePasses(int64_t rows, int64_t budget);
+
+// Observability counters for one operator instance (or one shard's instance).
+// Physical layout varies with shard/batch structure, so these are reported but
+// deliberately excluded from the determinism contract.
+struct SpillStats {
+  int64_t spilled_rows = 0;       // Rows written to run/partition files.
+  int64_t spilled_bytes = 0;      // Bytes written to run/partition files.
+  int64_t runs_written = 0;       // Run or partition files created.
+  int64_t merge_passes = 0;       // Multi-level merge passes performed.
+  int64_t peak_resident_rows = 0; // High-water operator-owned resident rows.
+
+  void Merge(const SpillStats& other) {
+    spilled_rows += other.spilled_rows;
+    spilled_bytes += other.spilled_bytes;
+    runs_written += other.runs_written;
+    merge_passes += other.merge_passes;
+    peak_resident_rows = std::max(peak_resident_rows, other.peak_resident_rows);
+  }
+};
+
+// Budget-aware wrappers. Each matches its ops:: counterpart bit for bit; with
+// budget <= 0 or inputs within budget they forward to it directly. `stats` may
+// be null.
+Relation SortBy(const Relation& input, std::span<const int> columns, bool ascending,
+                int64_t budget, SpillStats* stats);
+
+Relation Distinct(const Relation& input, std::span<const int> columns,
+                  int64_t budget, SpillStats* stats);
+
+Relation Aggregate(const Relation& input, std::span<const int> group_columns,
+                   AggKind kind, int agg_column, const std::string& output_name,
+                   int64_t budget, SpillStats* stats);
+
+Relation Join(const Relation& left, const Relation& right,
+              std::span<const int> left_keys, std::span<const int> right_keys,
+              int64_t budget, SpillStats* stats);
+
+// The join's (left row, right row) pair stream in exactly ops::JoinRowPairs
+// order, Grace-partitioned when the build (right) side exceeds the budget. The
+// sharded partitioned join consumes this per bucket, exactly as it consumes
+// ops::JoinRowPairs today.
+void JoinRowPairs(const Relation& left, const Relation& right,
+                  std::span<const int> left_keys, std::span<const int> right_keys,
+                  int64_t budget, SpillStats* stats,
+                  std::vector<int64_t>* left_rows, std::vector<int64_t>* right_rows);
+
+}  // namespace spill
+}  // namespace conclave
+
+#endif  // CONCLAVE_RELATIONAL_SPILL_H_

@@ -3,8 +3,13 @@
 // against a single-trusted-party cleartext evaluation of the same query.
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "conclave/api/conclave.h"
+#include "conclave/common/tempfile.h"
 #include "conclave/data/generators.h"
+#include "conclave/relational/pipeline.h"
+#include "test_util.h"
 
 namespace conclave {
 namespace {
@@ -441,6 +446,166 @@ TEST_P(RecurrentCdiffQueryTest, DistinctRecurrentPatientsMatchReference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(TrustToggle, RecurrentCdiffQueryTest, ::testing::Bool());
+
+// --- Beyond-RAM execution (DESIGN.md §12) -----------------------------------
+
+// A sort/join/group-by query whose input is 8x the per-operator budget must
+// complete with the spill kernels' resident working set capped at ~2x the
+// budget, bit-identical to the unbounded run, with the virtual-clock delta
+// equal to exactly the priced spill I/O.
+TEST(BeyondRamTest, SortJoinGroupBySpillsWithinBudgetBitIdentically) {
+  constexpr int64_t kBudget = 200;
+  constexpr int64_t kFactRows = 8 * kBudget;
+  const auto build = [](Query& query, std::map<std::string, Relation>& inputs) {
+    Party alice = query.AddParty("alice");
+    Table fact = query.NewTable("fact", {{"k"}, {"v"}}, alice, kFactRows);
+    Table dim = query.NewTable("dim", {{"k"}, {"w"}}, alice, 400);
+    fact.Join(dim, {"k"}, {"k"})
+        .Aggregate("total", AggKind::kSum, {"k"}, "v")
+        .SortBy({"total"})
+        .WriteToCsv("out", {alice});
+    Relation fact_rel{Schema::Of({"k", "v"})};
+    for (int64_t i = 0; i < kFactRows; ++i) {
+      fact_rel.AppendRow({i % 400, (i * 37) % 1000});
+    }
+    Relation dim_rel{Schema::Of({"k", "w"})};
+    for (int64_t j = 0; j < 400; ++j) {
+      dim_rel.AppendRow({j, j * 2});
+    }
+    inputs["fact"] = std::move(fact_rel);
+    inputs["dim"] = std::move(dim_rel);
+  };
+
+  Query unbounded_query;
+  std::map<std::string, Relation> inputs;
+  build(unbounded_query, inputs);
+  const auto unbounded = unbounded_query.Run(
+      inputs, {}, CostModel{}, /*seed=*/42, /*pool_parallelism=*/0,
+      /*shard_count=*/1, /*batch_rows=*/0, std::nullopt, /*mem_budget_rows=*/-1);
+  ASSERT_TRUE(unbounded.ok()) << unbounded.status().ToString();
+  EXPECT_EQ(unbounded->spill_report.mem_budget_rows, 0);
+  EXPECT_EQ(unbounded->spill_report.spill_seconds, 0.0);
+  EXPECT_EQ(unbounded->spill_report.stats.spilled_rows, 0);
+
+  Query budgeted_query;
+  std::map<std::string, Relation> budgeted_inputs;
+  build(budgeted_query, budgeted_inputs);
+  const auto budgeted = budgeted_query.Run(
+      budgeted_inputs, {}, CostModel{}, /*seed=*/42, /*pool_parallelism=*/0,
+      /*shard_count=*/1, /*batch_rows=*/0, std::nullopt,
+      /*mem_budget_rows=*/kBudget);
+  ASSERT_TRUE(budgeted.ok()) << budgeted.status().ToString();
+  EXPECT_TRUE(budgeted->outputs.at("out").RowsEqual(unbounded->outputs.at("out")));
+  EXPECT_GT(budgeted->spill_report.spilling_nodes, 0);
+  EXPECT_GT(budgeted->spill_report.stats.spilled_rows, 0);
+  // Residency witness: the blocking kernels held at most ~2x the budget.
+  EXPECT_GT(budgeted->spill_report.stats.peak_resident_rows, 0);
+  EXPECT_LE(budgeted->spill_report.stats.peak_resident_rows, 2 * kBudget);
+  // Exact spill identity: budgeted clock == unbounded clock + priced spill.
+  EXPECT_EQ(budgeted->virtual_seconds,
+            unbounded->virtual_seconds + budgeted->spill_report.spill_seconds);
+  EXPECT_GT(budgeted->spill_report.spill_seconds, 0.0);
+}
+
+// A CSV-backed table whose sole consumer is a fused chain must stream: the
+// pipelines parse row ranges batch-at-a-time and the source relation never
+// materializes — the residency witness caps at one batch.
+TEST(BeyondRamTest, CsvSourceStreamsThroughFusedChainWithoutMaterializing) {
+  constexpr int64_t kRows = 3000;
+  constexpr int64_t kBatch = 128;
+  TempDir dir;
+  const std::string path = dir.path() + "/t.csv";
+  {
+    std::ofstream file(path);
+    file << "k,v\n";
+    for (int64_t i = 0; i < kRows; ++i) {
+      file << i << "," << (i % 100) << "\n";
+    }
+  }
+  const auto build = [&path](Query& query) {
+    Party alice = query.AddParty("alice");
+    Table t = query.NewCsvTable("t", {{"k"}, {"v"}}, alice, path, kRows);
+    t.Filter("v", CompareOp::kGt, 50).Project({"k"}).WriteToCsv("out", {alice});
+  };
+
+  Query streamed_query;
+  build(streamed_query);
+  const auto streamed =
+      streamed_query.Run({}, {}, CostModel{}, /*seed=*/42,
+                         /*pool_parallelism=*/0, /*shard_count=*/1, kBatch);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  // The non-materialization witness: no parse ever produced more than one
+  // batch of source rows.
+  EXPECT_GT(streamed->csv_peak_parse_rows, 0);
+  EXPECT_LE(streamed->csv_peak_parse_rows, kBatch);
+
+  Query materialized_query;
+  build(materialized_query);
+  const auto materialized = materialized_query.Run(
+      {}, {}, CostModel{}, /*seed=*/42, /*pool_parallelism=*/0,
+      /*shard_count=*/1, kMaterializeBatchRows);
+  ASSERT_TRUE(materialized.ok()) << materialized.status().ToString();
+  EXPECT_EQ(materialized->csv_peak_parse_rows, 0);  // Eager parse: no source.
+  EXPECT_TRUE(
+      streamed->outputs.at("out").RowsEqual(materialized->outputs.at("out")));
+  // The batch axis never moves the clock, streamed ingest included.
+  EXPECT_EQ(streamed->virtual_seconds, materialized->virtual_seconds);
+
+  // Sharded streaming: per-shard pipelines parse disjoint row ranges.
+  Query sharded_query;
+  build(sharded_query);
+  const auto sharded =
+      sharded_query.Run({}, {}, CostModel{}, /*seed=*/42,
+                        /*pool_parallelism=*/4, /*shard_count=*/3, kBatch);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_GT(sharded->csv_peak_parse_rows, 0);
+  EXPECT_LE(sharded->csv_peak_parse_rows, kBatch);
+  EXPECT_TRUE(
+      sharded->outputs.at("out").RowsEqual(materialized->outputs.at("out")));
+  EXPECT_EQ(sharded->virtual_seconds, materialized->virtual_seconds);
+
+  const int64_t expected_rows = kRows - (kRows / 100) * 51;  // v in [51, 99].
+  EXPECT_EQ(streamed->outputs.at("out").NumRows(), expected_rows);
+}
+
+// ExplainPlan's spill-advice must quote the formula the meter charges: with the
+// budget resolved from the environment, the planner's priced spill seconds
+// equal the executed run's, bit for bit.
+TEST(BeyondRamTest, ExplainSpillAdviceMatchesMeterExactly) {
+  test::ScopedEnvVar budget_env("CONCLAVE_MEM_BUDGET", "50");
+  const auto build = [](Query& query, std::map<std::string, Relation>& inputs) {
+    Party alice = query.AddParty("alice");
+    Table t = query.NewTable("t", {{"k"}, {"v"}}, alice, /*num_rows_hint=*/800);
+    t.SortBy({"v"}).WriteToCsv("out", {alice});
+    Relation rel{Schema::Of({"k", "v"})};
+    for (int64_t i = 0; i < 800; ++i) {
+      rel.AppendRow({i, (i * 37) % 801});
+    }
+    inputs["t"] = std::move(rel);
+  };
+
+  Query explain_query;
+  std::map<std::string, Relation> explain_inputs;
+  build(explain_query, explain_inputs);
+  const auto report = explain_query.ExplainPlan();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->ToString().find("spill-advice: budget 50"),
+            std::string::npos)
+      << report->ToString();
+  EXPECT_GT(report->spilling_nodes, 0);
+  EXPECT_GT(report->spill_seconds, 0.0);
+
+  Query run_query;
+  std::map<std::string, Relation> run_inputs;
+  build(run_query, run_inputs);
+  const auto result = run_query.Run(run_inputs);  // Budget from the env.
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->spill_report.mem_budget_rows, 50);
+  // Estimate == meter, exactly: same closed form, same cardinalities.
+  EXPECT_EQ(result->spill_report.spill_seconds, report->spill_seconds);
+  EXPECT_EQ(result->spill_report.spilling_nodes, report->spilling_nodes);
+  EXPECT_EQ(result->spill_report.spill_passes, report->spill_total_passes);
+}
 
 }  // namespace
 }  // namespace conclave

@@ -533,11 +533,13 @@ struct RunOutcome {
   CostCounters counters;
   bool aborted = false;
   FaultReport fault_report;
+  backends::SpillReport spill_report;
 };
 
 RunOutcome RunPlan(const PlanSpec& spec, int pool, int shards,
                    int64_t batch_rows,
-                   const FaultPlan* fault_plan = nullptr) {
+                   const FaultPlan* fault_plan = nullptr,
+                   int64_t mem_budget = 0) {
   BuiltPlan built;
   BuildPlan(spec, &built);
   RunOutcome outcome;
@@ -546,13 +548,15 @@ RunOutcome RunPlan(const PlanSpec& spec, int pool, int shards,
                       /*pool_parallelism=*/pool, /*shard_count=*/shards,
                       batch_rows,
                       fault_plan != nullptr ? std::optional<FaultPlan>(*fault_plan)
-                                            : std::nullopt);
+                                            : std::nullopt,
+                      mem_budget);
   if (!result.ok()) {
     outcome.error = result.status().ToString();
     return outcome;
   }
   outcome.aborted = result->aborted;
   outcome.fault_report = result->fault_report;
+  outcome.spill_report = result->spill_report;
   outcome.counters = result->counters;
   if (result->aborted) {
     // Structured fault abort: ok stays false so status-divergence checks treat
@@ -928,6 +932,169 @@ int ChaosSeedCount() {
   return 200;
 }
 
+// Unbounded-budget baseline for the spill harness (mem_budget = -1 forces
+// unbounded even when CONCLAVE_MEM_BUDGET is set in the environment, so the
+// identity below stays meaningful under the CI tight-budget re-runs).
+RunOutcome RunUnboundedBaseline(const PlanSpec& spec) {
+  return RunPlan(spec, /*pool=*/1, /*shards=*/1, kMaterializeBatchRows,
+                 /*fault_plan=*/nullptr, /*mem_budget=*/-1);
+}
+
+// Empty string = the budgeted run reproduces the unbounded serial baseline bit
+// for bit — same rows and counters — and the virtual-clock delta is EXACTLY
+// the priced spill I/O (double equality, no tolerance: the charge is a closed
+// form over node-total rows, folded into the clock once after everything else,
+// so budgeted_clock == unbounded_clock + spill_seconds holds bit for bit at
+// every {pool, shard, batch} point; DESIGN.md §12).
+std::string CheckSpillConfigAgainst(const RunOutcome& baseline,
+                                    const PlanSpec& spec, int pool, int shards,
+                                    int64_t batch_rows, int64_t mem_budget) {
+  const RunOutcome budgeted = RunPlan(spec, pool, shards, batch_rows,
+                                      /*fault_plan=*/nullptr, mem_budget);
+  const std::string where =
+      StrFormat("{pool=%d, shards=%d, batch=%lld, budget=%lld}", pool, shards,
+                static_cast<long long>(batch_rows),
+                static_cast<long long>(mem_budget));
+  if (baseline.ok != budgeted.ok) {
+    return StrFormat("status diverges under budget: unbounded baseline %s vs "
+                     "%s %s",
+                     baseline.ok ? "ok" : baseline.error.c_str(), where.c_str(),
+                     budgeted.ok ? "ok" : budgeted.error.c_str());
+  }
+  if (!baseline.ok) {
+    // The plan fails unbounded (e.g. a simulated OOM): the budgeted run must
+    // surface the identical canonical failure.
+    return baseline.error == budgeted.error
+               ? ""
+               : StrFormat("error diverges under budget at %s: '%s' vs '%s'",
+                           where.c_str(), baseline.error.c_str(),
+                           budgeted.error.c_str());
+  }
+  if (budgeted.spill_report.mem_budget_rows != mem_budget) {
+    return StrFormat("budget not threaded at %s: report says %lld",
+                     where.c_str(),
+                     static_cast<long long>(
+                         budgeted.spill_report.mem_budget_rows));
+  }
+  if (!budgeted.output.RowsEqual(baseline.output)) {
+    return StrFormat("rows diverge under budget at %s\nbaseline\n%s\ngot\n%s",
+                     where.c_str(), baseline.output.ToString().c_str(),
+                     budgeted.output.ToString().c_str());
+  }
+  const std::string counters = CountersDiff(baseline.counters, budgeted.counters);
+  if (!counters.empty()) {
+    return StrFormat("%s under budget at %s", counters.c_str(), where.c_str());
+  }
+  const double expected =
+      baseline.virtual_seconds + budgeted.spill_report.spill_seconds;
+  if (budgeted.virtual_seconds != expected) {
+    return StrFormat(
+        "virtual clock breaks the spill identity at %s: %.12f vs "
+        "unbounded %.12f + priced spill %.12f",
+        where.c_str(), budgeted.virtual_seconds, baseline.virtual_seconds,
+        budgeted.spill_report.spill_seconds);
+  }
+  if ((budgeted.spill_report.spill_seconds > 0) !=
+      (budgeted.spill_report.spilling_nodes > 0)) {
+    return StrFormat("spill report inconsistent at %s: %.12f s over %d nodes",
+                     where.c_str(), budgeted.spill_report.spill_seconds,
+                     budgeted.spill_report.spilling_nodes);
+  }
+  return "";
+}
+
+std::string CheckSpillConfig(const PlanSpec& spec, int pool, int shards,
+                             int64_t batch_rows, int64_t mem_budget) {
+  return CheckSpillConfigAgainst(RunUnboundedBaseline(spec), spec, pool, shards,
+                                 batch_rows, mem_budget);
+}
+
+// Greedy shrink against the spill identity, mirroring ShrinkPlan.
+PlanSpec ShrinkSpill(PlanSpec spec, int pool, int shards, int64_t batch_rows,
+                     int64_t mem_budget) {
+  const auto fails = [&](const PlanSpec& candidate) {
+    return !CheckSpillConfig(candidate, pool, shards, batch_rows, mem_budget)
+                .empty();
+  };
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = spec.ops.size(); i-- > 0;) {
+      PlanSpec candidate = spec;
+      candidate.ops.erase(candidate.ops.begin() + static_cast<long>(i));
+      if (fails(candidate)) {
+        spec = std::move(candidate);
+        progress = true;
+      }
+    }
+    for (size_t t = 0; t < spec.tables.size(); ++t) {
+      if (spec.tables[t].rows == 0) {
+        continue;
+      }
+      PlanSpec candidate = spec;
+      candidate.tables[t].rows /= 2;
+      if (fails(candidate)) {
+        spec = std::move(candidate);
+        progress = true;
+      }
+    }
+  }
+  return spec;
+}
+
+// The spill grid: the budget axis crossed with materializing and fused points
+// of the {pool, shard, batch} grid. Budget 3 forces multi-level merges and
+// deep Grace recursion on the corpus's 0–80-row tables; 16 exercises the
+// single-pass boundary region.
+struct SpillConfig {
+  Config config;
+  int64_t mem_budget;
+};
+
+constexpr SpillConfig kSpillConfigs[] = {
+    {{1, 1, kMat}, 3},  {{4, 3, kMat}, 3},  {{1, 3, 7}, 3},  {{4, 1, 4096}, 3},
+    {{1, 1, kMat}, 16}, {{4, 3, kMat}, 16}, {{1, 3, 7}, 16}, {{4, 1, 4096}, 16},
+};
+
+// Runs one seeded plan through the spill grid; on failure, shrinks and reports
+// the minimal reproduction.
+void CheckSpillSeed(uint64_t seed) {
+  const PlanSpec spec = GeneratePlan(seed);
+  const RunOutcome baseline = RunUnboundedBaseline(spec);
+  for (const SpillConfig& sc : kSpillConfigs) {
+    const std::string failure =
+        CheckSpillConfigAgainst(baseline, spec, sc.config.pool,
+                                sc.config.shards, sc.config.batch_rows,
+                                sc.mem_budget);
+    if (failure.empty()) {
+      continue;
+    }
+    const PlanSpec minimal =
+        ShrinkSpill(spec, sc.config.pool, sc.config.shards,
+                    sc.config.batch_rows, sc.mem_budget);
+    ADD_FAILURE() << "spill differential failure at seed " << seed << " {pool="
+                  << sc.config.pool << ", shards=" << sc.config.shards
+                  << ", batch=" << sc.config.batch_rows << ", budget="
+                  << sc.mem_budget << "}\n"
+                  << failure << "\n\nminimal failing plan (seed " << seed
+                  << "):\n"
+                  << Describe(minimal) << "\n"
+                  << CheckSpillConfig(minimal, sc.config.pool, sc.config.shards,
+                                      sc.config.batch_rows, sc.mem_budget);
+    return;  // One minimal report per seed is enough.
+  }
+}
+
+int SpillSeedCount() {
+  if (const char* env = std::getenv("CONCLAVE_SPILL_SEEDS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) {
+      return parsed;
+    }
+  }
+  return 120;
+}
+
 }  // namespace diff
 
 // Fixed seed list: every plan must be bit-identical (rows and virtual clock) to
@@ -1000,6 +1167,36 @@ TEST(ChaosDifferentialHarness, SeededFaultPlansRecoverBitIdentically) {
   EXPECT_GT(injected, 0u) << "chaos corpus never injected a fault";
   std::printf("chaos corpus: %llu faults injected across %d seeds\n",
               static_cast<unsigned long long>(injected), seeds);
+}
+
+// Beyond-RAM differential contract (DESIGN.md §12): every seeded plan run
+// under a tight memory budget must reproduce the unbounded serial baseline bit
+// for bit — same rows and counters at every spill-grid config — with the
+// virtual-clock delta equal to exactly the priced spill I/O. CI runs the
+// default 120 seeds; CONCLAVE_SPILL_SEEDS overrides.
+TEST(SpillDifferentialHarness, SeededPlansMatchUnboundedAtEveryBudget) {
+  const int seeds = diff::SpillSeedCount();
+  int spilling_nodes = 0;
+  int64_t physical_spilled_rows = 0;
+  for (uint64_t seed = 1; seed <= static_cast<uint64_t>(seeds); ++seed) {
+    diff::CheckSpillSeed(seed);
+    if (::testing::Test::HasFailure()) {
+      return;  // The minimal reproduction for this seed is already printed.
+    }
+    // Non-vacuity tally: the corpus must actually spill, physically, not pass
+    // by always fitting in budget.
+    const diff::RunOutcome sample = diff::RunPlan(
+        diff::GeneratePlan(seed), /*pool=*/4, /*shards=*/3,
+        kMaterializeBatchRows, /*fault_plan=*/nullptr, /*mem_budget=*/3);
+    spilling_nodes += sample.spill_report.spilling_nodes;
+    physical_spilled_rows += sample.spill_report.stats.spilled_rows;
+  }
+  EXPECT_GT(spilling_nodes, 0) << "spill corpus never priced a spill";
+  EXPECT_GT(physical_spilled_rows, 0) << "spill corpus never wrote a run file";
+  std::printf(
+      "spill corpus: %d spilling nodes, %lld physically spilled rows across "
+      "%d seeds\n",
+      spilling_nodes, static_cast<long long>(physical_spilled_rows), seeds);
 }
 
 // A schedule past the recovery budgets must not recover — it must abort

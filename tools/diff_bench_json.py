@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
 """Diffs figure-bench JSON tables against the committed goldens.
 
-Usage: diff_bench_json.py <golden_dir> <result_dir>
+Usage: diff_bench_json.py [--ignore-key KEY]... <golden_dir> <result_dir>
        diff_bench_json.py --self-test
 
 Compares every BENCH_*.json present in <golden_dir> field-for-field, ignoring
 wall_clock_seconds (real time varies per machine; the simulated virtual seconds
-and table structure must not). The comparison walks the documents recursively and
+and table structure must not). `--ignore-key KEY` (repeatable) strips KEY from
+both documents at every nesting depth before comparing — for fields that are
+environment-dependent by design, like the physical spill counters under a
+CONCLAVE_MEM_BUDGET re-run. The comparison walks the documents recursively and
 reports *every* divergent path explicitly — in particular, a golden key (or table
 file, or row) missing from the candidate is its own hard failure, never a silent
 pass. A mismatch means a code change altered bench *results* — not just speed —
@@ -26,9 +29,16 @@ import pathlib
 import sys
 
 
-def strip_wall(doc):
-    doc = dict(doc)
-    doc.pop("wall_clock_seconds", None)
+def strip_keys(doc, ignored):
+    """Recursively removes every key in `ignored` from dicts at any depth."""
+    if isinstance(doc, dict):
+        return {
+            key: strip_keys(value, ignored)
+            for key, value in doc.items()
+            if key not in ignored
+        }
+    if isinstance(doc, list):
+        return [strip_keys(item, ignored) for item in doc]
     return doc
 
 
@@ -57,13 +67,13 @@ def diff_value(golden, result, path, out):
         out.append(f"  {path}: golden {golden!r} != candidate {result!r}")
 
 
-def diff_file(golden_path, result_path):
+def diff_file(golden_path, result_path, ignored):
     """Returns a list of divergence lines (empty when the tables match)."""
     if not result_path.exists():
         return [f"  table missing from {result_path.parent}"]
     try:
-        golden = strip_wall(json.loads(golden_path.read_text()))
-        result = strip_wall(json.loads(result_path.read_text()))
+        golden = strip_keys(json.loads(golden_path.read_text()), ignored)
+        result = strip_keys(json.loads(result_path.read_text()), ignored)
     except (json.JSONDecodeError, OSError) as error:
         return [f"  unreadable: {error}"]
     out = []
@@ -71,14 +81,14 @@ def diff_file(golden_path, result_path):
     return out
 
 
-def run_diff(golden_dir, result_dir):
+def run_diff(golden_dir, result_dir, ignored):
     goldens = sorted(golden_dir.glob("BENCH_*.json"))
     if not goldens:
         print(f"no BENCH_*.json goldens found in {golden_dir}", file=sys.stderr)
         return 1
     failures = 0
     for golden_path in goldens:
-        problems = diff_file(golden_path, result_dir / golden_path.name)
+        problems = diff_file(golden_path, result_dir / golden_path.name, ignored)
         if problems:
             failures += 1
             print(f"{golden_path.name}: differs from golden", file=sys.stderr)
@@ -102,9 +112,11 @@ def self_test():
         "rows": [{"records": 10, "cells": [{"virtual_seconds": 2.5}]}],
     }
 
-    def diffs(result):
+    def diffs(result, ignored=frozenset({"wall_clock_seconds"})):
         out = []
-        diff_value(strip_wall(golden), strip_wall(result), "$", out)
+        diff_value(
+            strip_keys(golden, ignored), strip_keys(result, ignored), "$", out
+        )
         return out
 
     assert diffs(dict(golden)) == []
@@ -122,19 +134,58 @@ def self_test():
     assert diffs({**golden, "extra": 1})
     # Type changes are not equality-coerced (0 vs 0.0 vs False).
     assert diffs({**golden, "bench": 0}) and diffs({**golden, "bench": False})
+    # --ignore-key strips at every depth: a divergent nested field is forgiven
+    # when (and only when) its key is ignored, including when one side lacks it.
+    nested = json.loads(json.dumps(golden))
+    nested["rows"][0]["cells"][0]["spill_bytes"] = 4096
+    assert diffs(nested)
+    ignore = frozenset({"wall_clock_seconds", "spill_bytes"})
+    assert diffs(nested, ignore) == []
+    both = json.loads(json.dumps(nested))
+    both["rows"][0]["cells"][0]["spill_bytes"] = 8192
+    golden_with = json.loads(json.dumps(golden))
+    golden_with["rows"][0]["cells"][0]["spill_bytes"] = 4096
+    out = []
+    diff_value(
+        strip_keys(golden_with, ignore), strip_keys(both, ignore), "$", out
+    )
+    assert out == []
+    # Ignoring a key never masks a divergence in a *different* field.
+    changed_nested = json.loads(json.dumps(changed))
+    changed_nested["rows"][0]["cells"][0]["spill_bytes"] = 4096
+    assert diffs(changed_nested, ignore)
     print("self-test passed")
     return 0
 
 
 def main():
-    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+    args = sys.argv[1:]
+    if args == ["--self-test"]:
         sys.exit(self_test())
-    if len(sys.argv) != 3:
+    ignored = {"wall_clock_seconds"}
+    positional = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--ignore-key":
+            if i + 1 >= len(args):
+                sys.exit("--ignore-key requires a value")
+            ignored.add(args[i + 1])
+            i += 2
+        elif args[i].startswith("--ignore-key="):
+            ignored.add(args[i].split("=", 1)[1])
+            i += 1
+        else:
+            positional.append(args[i])
+            i += 1
+    if len(positional) != 2:
         sys.exit(__doc__)
-    sys.exit(run_diff(pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])))
+    sys.exit(
+        run_diff(
+            pathlib.Path(positional[0]), pathlib.Path(positional[1]),
+            frozenset(ignored),
+        )
+    )
 
 
 if __name__ == "__main__":
     main()
-
-
