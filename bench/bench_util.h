@@ -210,6 +210,42 @@ inline bool SmallScale() {
   return env != nullptr && std::string(env) == "small";
 }
 
+// --filter=<substring> (or "--filter <substring>"): restricts a bench's custom
+// sweep to the columns whose name contains the substring, so a single
+// microbench row can be re-run in an A/B loop without paying for the whole
+// suite. Construct at the top of main(), BEFORE benchmark::Initialize — the
+// constructor consumes the flag from argv so google-benchmark's own parser
+// (which rejects unknown flags) never sees it. Empty filter = run everything.
+class BenchFilter {
+ public:
+  BenchFilter(int* argc, char** argv) {
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      const std::string arg = argv[i];
+      const std::string prefix = "--filter=";
+      if (arg.rfind(prefix, 0) == 0) {
+        pattern_ = arg.substr(prefix.size());
+      } else if (arg == "--filter" && i + 1 < *argc) {
+        pattern_ = argv[++i];
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    *argc = out;
+  }
+
+  bool Empty() const { return pattern_.empty(); }
+  const std::string& pattern() const { return pattern_; }
+
+  // True when the column named `name` should run this invocation.
+  bool Enabled(const std::string& name) const {
+    return pattern_.empty() || name.find(pattern_) != std::string::npos;
+  }
+
+ private:
+  std::string pattern_;
+};
+
 }  // namespace bench
 }  // namespace conclave
 

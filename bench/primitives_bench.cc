@@ -14,10 +14,12 @@
 #include <limits>
 
 #include "bench/bench_util.h"
+#include "conclave/common/cpu.h"
 #include "conclave/data/generators.h"
 #include "conclave/mpc/garbled/circuit.h"
 #include "conclave/mpc/oblivious.h"
 #include "conclave/mpc/protocols.h"
+#include "conclave/relational/expr.h"
 #include "conclave/relational/pipeline.h"
 #include "conclave/relational/spill.h"
 
@@ -191,7 +193,8 @@ double BestOfRuns(int reps, const std::function<void()>& body) {
   return best;
 }
 
-void RunKernelSweep(double wall_seconds_so_far) {
+void RunKernelSweep(const bench::BenchFilter& filter,
+                    double wall_seconds_so_far) {
   const bool small = bench::SmallScale();
   const std::vector<int64_t> sizes =
       small ? std::vector<int64_t>{1 << 14, 1 << 16}
@@ -200,41 +203,93 @@ void RunKernelSweep(double wall_seconds_so_far) {
   bench::Table table("primitives: columnar kernel sweep (wall seconds per pass; "
                      "*_peak_rows and spill_bytes are counts, not seconds)",
                      {"column_scan", "filter_sel10", "filter_sel50", "filter_sel90",
-                      "share_ingest", "chain_materialized", "chain_pipelined",
+                      "filter_scalar", "arith_simd", "arith_scalar",
+                      "share_ingest", "rng_aesni", "rng_splitmix",
+                      "chain_materialized", "chain_pipelined", "chain_fused",
                       "chain_peak_rows", "sort_in_mem", "sort_external",
                       "groupby_in_mem", "groupby_spill", "spill_peak_rows",
                       "spill_bytes"});
   bench::WallTimer timer;
+  // Timed cell, or a '-' skip when --filter excludes the column.
+  const auto timed = [&](const char* name, const std::function<void()>& body) {
+    return filter.Enabled(name)
+               ? bench::Cell::Seconds(BestOfRuns(reps, body))
+               : bench::Cell::Skip();
+  };
   for (int64_t n : sizes) {
     // Uniform values in [0, 999]: literal thresholds 100/500/900 give ~10/50/90%
     // selectivity.
     Relation rel = data::UniformInts(n, {"a", "b", "c", "d"}, 1000, 21);
     std::vector<bench::Cell> cells;
 
-    cells.push_back(bench::Cell::Seconds(BestOfRuns(reps, [&] {
+    cells.push_back(timed("column_scan", [&] {
       int64_t sum = 0;
       for (int64_t v : rel.ColumnSpan(1)) {
         sum += v;
       }
       benchmark::DoNotOptimize(sum);
-    })));
+    }));
 
-    for (const int64_t threshold : {100, 500, 900}) {
-      cells.push_back(bench::Cell::Seconds(BestOfRuns(reps, [&] {
+    const struct { const char* name; int64_t threshold; } selectivities[] = {
+        {"filter_sel10", 100}, {"filter_sel50", 500}, {"filter_sel90", 900}};
+    for (const auto& sel : selectivities) {
+      cells.push_back(timed(sel.name, [&] {
         benchmark::DoNotOptimize(ops::Filter(
-            rel, FilterPredicate::ColumnVsLiteral(0, CompareOp::kLt, threshold)));
-      })));
+            rel,
+            FilterPredicate::ColumnVsLiteral(0, CompareOp::kLt, sel.threshold)));
+      }));
     }
 
-    const CounterRng rng(/*seed=*/7, /*stream=*/11);
-    cells.push_back(bench::Cell::Seconds(BestOfRuns(reps, [&] {
-      benchmark::DoNotOptimize(ShareValues(rel.ColumnSpan(0), rng));
-    })));
+    // A/B (DESIGN.md §13): the sel50 filter and a mul-by-literal arithmetic
+    // pass with the SIMD dispatch knob forced off vs. on — the committed
+    // record of what the AVX2 kernels buy over the scalar fallbacks (results
+    // are bit-identical either way; the grid tests assert it).
+    cells.push_back(timed("filter_scalar", [&] {
+      const cpu::ScopedSimd scalar(false);
+      benchmark::DoNotOptimize(ops::Filter(
+          rel, FilterPredicate::ColumnVsLiteral(0, CompareOp::kLt, 500)));
+    }));
+    ArithSpec mul_arith;
+    mul_arith.kind = ArithKind::kMul;
+    mul_arith.lhs_column = 1;
+    mul_arith.rhs_is_column = false;
+    mul_arith.rhs_literal = 3;
+    mul_arith.result_name = "b3";
+    cells.push_back(timed("arith_simd", [&] {
+      benchmark::DoNotOptimize(ops::Arithmetic(rel, mul_arith));
+    }));
+    cells.push_back(timed("arith_scalar", [&] {
+      const cpu::ScopedSimd scalar(false);
+      benchmark::DoNotOptimize(ops::Arithmetic(rel, mul_arith));
+    }));
 
-    // A/B: the same filter -> project -> arithmetic chain executed
-    // materializing (one ops.h kernel per node, two full intermediates) vs.
-    // streamed through a BatchPipeline at the default batch size.
-    // chain_peak_rows records the pipeline's peak resident rows — the
+    const AesCounterRng rng(/*seed=*/7, /*stream=*/11);
+    cells.push_back(timed("share_ingest", [&] {
+      benchmark::DoNotOptimize(ShareValues(rel.ColumnSpan(0), rng));
+    }));
+
+    // A/B (DESIGN.md §13): n counter words drawn through the batched AES
+    // generator vs. the SplitMix64-finalizer generator it replaced on the MPC
+    // hot path — the words/s record behind the share-randomness switch.
+    std::vector<uint64_t> words(static_cast<size_t>(n));
+    cells.push_back(timed("rng_aesni", [&] {
+      rng.FillWords(/*first_word=*/0, words.size(), words.data());
+      benchmark::DoNotOptimize(words.data());
+    }));
+    const CounterRng splitmix(/*seed=*/7, /*stream=*/11);
+    cells.push_back(timed("rng_splitmix", [&] {
+      for (size_t i = 0; i < words.size(); ++i) {
+        words[i] = splitmix.At(i);
+      }
+      benchmark::DoNotOptimize(words.data());
+    }));
+
+    // A/B: the same filter -> project -> arithmetic chain executed three ways —
+    // materializing (one ops.h kernel per node, two full intermediates),
+    // streamed through a BatchPipeline with one operator per node (fused
+    // expressions off), and through the fused expression evaluator (the whole
+    // chain compiled into one register-resident pass per batch, DESIGN.md §13).
+    // chain_peak_rows records the fused pipeline's peak resident rows — the
     // bounded-memory (peak-RSS) proxy: materializing peaks at O(n) rows, the
     // pipeline at O(depth x batch), independent of n.
     const FilterPredicate chain_predicate =
@@ -246,22 +301,33 @@ void RunKernelSweep(double wall_seconds_so_far) {
     chain_arith.rhs_is_column = false;
     chain_arith.rhs_literal = 7;
     chain_arith.result_name = "b7";
-    cells.push_back(bench::Cell::Seconds(BestOfRuns(reps, [&] {
+    cells.push_back(timed("chain_materialized", [&] {
       const Relation filtered = ops::Filter(rel, chain_predicate);
       const Relation projected = ops::Project(filtered, chain_columns);
       benchmark::DoNotOptimize(ops::Arithmetic(projected, chain_arith));
-    })));
+    }));
     PipelineSpec chain_spec;
     chain_spec.input_schema = rel.schema();
     chain_spec.ops.push_back(PipelineOp::Filter(chain_predicate));
     chain_spec.ops.push_back(PipelineOp::Project(chain_columns));
     chain_spec.ops.push_back(PipelineOp::Arithmetic(chain_arith));
+    // The fused-expr knob is read once at BatchPipeline construction, so the
+    // per-node and fused variants are two pipelines built under opposite knobs.
+    const ScopedFusedExpr per_node_scope(false);
     BatchPipeline chain_pipeline(chain_spec);
-    cells.push_back(bench::Cell::Seconds(BestOfRuns(reps, [&] {
+    cells.push_back(timed("chain_pipelined", [&] {
       benchmark::DoNotOptimize(chain_pipeline.Run(rel, kDefaultBatchRows));
-    })));
-    cells.push_back(bench::Cell::Seconds(
-        static_cast<double>(chain_pipeline.stats().peak_rows_resident)));
+    }));
+    const ScopedFusedExpr fused_scope(true);
+    BatchPipeline fused_pipeline(chain_spec);
+    const bool fused_ran = filter.Enabled("chain_fused");
+    cells.push_back(timed("chain_fused", [&] {
+      benchmark::DoNotOptimize(fused_pipeline.Run(rel, kDefaultBatchRows));
+    }));
+    cells.push_back(fused_ran
+                        ? bench::Cell::Seconds(static_cast<double>(
+                              fused_pipeline.stats().peak_rows_resident))
+                        : bench::Cell::Skip());
 
     // A/B (DESIGN.md §12): the blocking kernels in-memory vs. through the spill
     // subsystem with the working set capped at n/8 rows — external merge sort
@@ -272,35 +338,49 @@ void RunKernelSweep(double wall_seconds_so_far) {
     const int64_t spill_budget = n / 8;
     const int sort_keys[] = {2, 0};
     const int group_keys[] = {0};
-    cells.push_back(bench::Cell::Seconds(BestOfRuns(reps, [&] {
+    cells.push_back(timed("sort_in_mem", [&] {
       benchmark::DoNotOptimize(ops::SortBy(rel, sort_keys, /*ascending=*/true));
-    })));
+    }));
     spill::SpillStats sort_stats;
-    cells.push_back(bench::Cell::Seconds(BestOfRuns(reps, [&] {
+    cells.push_back(timed("sort_external", [&] {
       sort_stats = {};
       benchmark::DoNotOptimize(spill::SortBy(rel, sort_keys, /*ascending=*/true,
                                              spill_budget, &sort_stats));
-    })));
-    cells.push_back(bench::Cell::Seconds(BestOfRuns(reps, [&] {
+    }));
+    cells.push_back(timed("groupby_in_mem", [&] {
       benchmark::DoNotOptimize(ops::Aggregate(rel, group_keys, AggKind::kSum,
                                               /*agg_column=*/1, "s"));
-    })));
+    }));
     spill::SpillStats groupby_stats;
-    cells.push_back(bench::Cell::Seconds(BestOfRuns(reps, [&] {
+    cells.push_back(timed("groupby_spill", [&] {
       groupby_stats = {};
       benchmark::DoNotOptimize(spill::Aggregate(rel, group_keys, AggKind::kSum,
                                                 /*agg_column=*/1, "s",
                                                 spill_budget, &groupby_stats));
-    })));
-    cells.push_back(bench::Cell::Seconds(static_cast<double>(std::max(
-        sort_stats.peak_resident_rows, groupby_stats.peak_resident_rows))));
-    cells.push_back(bench::Cell::Seconds(static_cast<double>(
-        sort_stats.spilled_bytes + groupby_stats.spilled_bytes)));
+    }));
+    // The spill stat columns only mean something when their producers ran.
+    const bool spill_ran =
+        filter.Enabled("sort_external") && filter.Enabled("groupby_spill");
+    cells.push_back(spill_ran
+                        ? bench::Cell::Seconds(static_cast<double>(std::max(
+                              sort_stats.peak_resident_rows,
+                              groupby_stats.peak_resident_rows)))
+                        : bench::Cell::Skip());
+    cells.push_back(spill_ran
+                        ? bench::Cell::Seconds(static_cast<double>(
+                              sort_stats.spilled_bytes +
+                              groupby_stats.spilled_bytes))
+                        : bench::Cell::Skip());
 
     table.AddRow(static_cast<uint64_t>(n), std::move(cells));
   }
   table.Print();
-  table.WriteJson("primitives", wall_seconds_so_far + timer.Seconds());
+  if (filter.Empty()) {
+    table.WriteJson("primitives", wall_seconds_so_far + timer.Seconds());
+  } else {
+    std::printf("--filter=%s set: JSON not written (partial sweep)\n",
+                filter.pattern().c_str());
+  }
 }
 
 }  // namespace
@@ -309,12 +389,18 @@ void RunKernelSweep(double wall_seconds_so_far) {
 int main(int argc, char** argv) {
   conclave::bench::TuneAllocatorForBench();
   conclave::bench::WallTimer timer;
+  // Must run before benchmark::Initialize: consumes --filter from argv.
+  const conclave::bench::BenchFilter filter(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
   }
-  benchmark::RunSpecifiedBenchmarks();
+  if (filter.Empty()) {
+    // A filtered invocation is an A/B loop over sweep columns; skip the
+    // google-benchmark suite (it has its own --benchmark_filter).
+    benchmark::RunSpecifiedBenchmarks();
+  }
   benchmark::Shutdown();
-  conclave::RunKernelSweep(timer.Seconds());
+  conclave::RunKernelSweep(filter, timer.Seconds());
   return 0;
 }

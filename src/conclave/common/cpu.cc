@@ -1,0 +1,1264 @@
+#include "conclave/common/cpu.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "conclave/common/rng.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define CONCLAVE_X86 1
+#include <immintrin.h>
+#endif
+
+namespace conclave {
+namespace cpu {
+
+// --- Dispatch state ---------------------------------------------------------
+
+namespace {
+
+int InitSimdKnobFromEnv() {
+  const char* env = std::getenv("CONCLAVE_SIMD");
+  if (env != nullptr) {
+    const std::string value(env);
+    if (value == "0" || value == "off" || value == "OFF" || value == "false") {
+      return 0;
+    }
+  }
+  return 1;
+}
+
+std::atomic<int>& SimdKnob() {
+  static std::atomic<int> knob(InitSimdKnobFromEnv());
+  return knob;
+}
+
+}  // namespace
+
+bool HardwareAvx2() {
+#if defined(CONCLAVE_X86)
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+#else
+  return false;
+#endif
+}
+
+bool HardwareAes() {
+#if defined(CONCLAVE_X86)
+  static const bool supported = __builtin_cpu_supports("aes") != 0 &&
+                                __builtin_cpu_supports("sse4.1") != 0;
+  return supported;
+#else
+  return false;
+#endif
+}
+
+bool SimdEnabled() { return SimdKnob().load(std::memory_order_relaxed) != 0; }
+
+void SetSimdEnabled(bool enabled) {
+  SimdKnob().store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+const char* SimdLevelName() { return UsingAvx2() ? "avx2" : "scalar"; }
+
+// --- Scalar reference kernels -----------------------------------------------
+//
+// All int64 arithmetic goes through uint64 so overflow wraps by definition
+// (identical bits to two's-complement hardware, UBSan-clean); these loops are
+// the semantics — the AVX2 variants must reproduce them bit for bit.
+
+namespace {
+
+inline bool CmpScalar(Cmp op, int64_t a, int64_t b) {
+  switch (op) {
+    case Cmp::kEq:
+      return a == b;
+    case Cmp::kNe:
+      return a != b;
+    case Cmp::kLt:
+      return a < b;
+    case Cmp::kLe:
+      return a <= b;
+    case Cmp::kGt:
+      return a > b;
+    case Cmp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+inline uint8_t ApplyMode(MaskMode mode, uint8_t current, uint8_t bit) {
+  switch (mode) {
+    case MaskMode::kSet:
+      return bit;
+    case MaskMode::kAnd:
+      return current & bit;
+    case MaskMode::kOr:
+      return current | bit;
+  }
+  return bit;
+}
+
+size_t SelectCompareScalar(Cmp op, const int64_t* lhs, const int64_t* rhs,
+                           int64_t literal, int64_t base, size_t lo, size_t n,
+                           int64_t* out, size_t count) {
+  if (rhs != nullptr) {
+    for (size_t i = lo; i < n; ++i) {
+      if (CmpScalar(op, lhs[i], rhs[i])) {
+        out[count++] = base + static_cast<int64_t>(i);
+      }
+    }
+  } else {
+    for (size_t i = lo; i < n; ++i) {
+      if (CmpScalar(op, lhs[i], literal)) {
+        out[count++] = base + static_cast<int64_t>(i);
+      }
+    }
+  }
+  return count;
+}
+
+void CompareMaskScalar(Cmp op, const int64_t* lhs, const int64_t* rhs,
+                       int64_t literal, size_t lo, size_t n, MaskMode mode,
+                       uint8_t* mask) {
+  for (size_t i = lo; i < n; ++i) {
+    const uint8_t bit =
+        CmpScalar(op, lhs[i], rhs != nullptr ? rhs[i] : literal) ? 1 : 0;
+    mask[i] = ApplyMode(mode, mask[i], bit);
+  }
+}
+
+// The engine's truncating-division rule, shared verbatim by both dispatch
+// levels (x86 has no SIMD 64-bit divide): divisor 0 -> 0; the lhs * scale
+// product wraps; divisor -1 is wrap-negation so INT64_MIN / -1 is defined
+// (and equal to what non-trapping hardware division would produce elsewhere).
+void DivColumnScalar(const int64_t* lhs, const int64_t* rhs, int64_t literal,
+                     int64_t scale, size_t n, int64_t* out) {
+  const uint64_t uscale = static_cast<uint64_t>(scale);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t d = rhs != nullptr ? rhs[i] : literal;
+    if (d == 0) {
+      out[i] = 0;
+      continue;
+    }
+    const uint64_t prod = static_cast<uint64_t>(lhs[i]) * uscale;
+    out[i] = d == -1 ? static_cast<int64_t>(uint64_t{0} - prod)
+                     : static_cast<int64_t>(prod) / d;
+  }
+}
+
+void ArithColumnScalar(Arith op, const int64_t* lhs, const int64_t* rhs,
+                       int64_t literal, int64_t scale, size_t lo, size_t n,
+                       int64_t* out) {
+  const uint64_t ulit = static_cast<uint64_t>(literal);
+  switch (op) {
+    case Arith::kAdd:
+      if (rhs != nullptr) {
+        for (size_t i = lo; i < n; ++i) {
+          out[i] = static_cast<int64_t>(static_cast<uint64_t>(lhs[i]) +
+                                        static_cast<uint64_t>(rhs[i]));
+        }
+      } else {
+        for (size_t i = lo; i < n; ++i) {
+          out[i] = static_cast<int64_t>(static_cast<uint64_t>(lhs[i]) + ulit);
+        }
+      }
+      break;
+    case Arith::kSub:
+      if (rhs != nullptr) {
+        for (size_t i = lo; i < n; ++i) {
+          out[i] = static_cast<int64_t>(static_cast<uint64_t>(lhs[i]) -
+                                        static_cast<uint64_t>(rhs[i]));
+        }
+      } else {
+        for (size_t i = lo; i < n; ++i) {
+          out[i] = static_cast<int64_t>(static_cast<uint64_t>(lhs[i]) - ulit);
+        }
+      }
+      break;
+    case Arith::kMul:
+      if (rhs != nullptr) {
+        for (size_t i = lo; i < n; ++i) {
+          out[i] = static_cast<int64_t>(static_cast<uint64_t>(lhs[i]) *
+                                        static_cast<uint64_t>(rhs[i]));
+        }
+      } else {
+        for (size_t i = lo; i < n; ++i) {
+          out[i] = static_cast<int64_t>(static_cast<uint64_t>(lhs[i]) * ulit);
+        }
+      }
+      break;
+    case Arith::kDiv:
+      DivColumnScalar(lhs + lo, rhs != nullptr ? rhs + lo : nullptr, literal,
+                      scale, n - lo, out + lo);
+      break;
+  }
+}
+
+}  // namespace
+
+// --- AVX2 kernels -----------------------------------------------------------
+
+#if defined(CONCLAVE_X86)
+
+namespace {
+
+// 4-bit lane mask of 64-bit lanes satisfying `op`. kNe/kLe/kGe are the
+// complements of kEq/kGt/kLt at the mask level, so cmpeq + cmpgt derive all
+// six operators.
+__attribute__((target("avx2"))) inline int CmpMaskBits(Cmp op, __m256i a,
+                                                       __m256i b) {
+  switch (op) {
+    case Cmp::kEq:
+      return _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(a, b)));
+    case Cmp::kNe:
+      return _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(a, b))) ^
+             0xF;
+    case Cmp::kLt:
+      return _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(b, a)));
+    case Cmp::kLe:
+      return _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(a, b))) ^
+             0xF;
+    case Cmp::kGt:
+      return _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(a, b)));
+    case Cmp::kGe:
+      return _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(b, a))) ^
+             0xF;
+  }
+  return 0;
+}
+
+// Low 64 bits of the lane-wise product via 32-bit decomposition:
+// lo(a)*lo(b) + ((lo(a)*hi(b) + hi(a)*lo(b)) << 32).
+__attribute__((target("avx2"))) inline __m256i MulLo64(__m256i a, __m256i b) {
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(a, b_hi), _mm256_mul_epu32(a_hi, b));
+  return _mm256_add_epi64(_mm256_mul_epu32(a, b),
+                          _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) size_t SelectCompareAvx2(
+    Cmp op, const int64_t* lhs, const int64_t* rhs, int64_t literal,
+    int64_t base, size_t n, int64_t* out) {
+  size_t count = 0;
+  size_t i = 0;
+  if (rhs != nullptr) {
+    for (; i + 4 <= n; i += 4) {
+      const __m256i a =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lhs + i));
+      const __m256i b =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rhs + i));
+      int m = CmpMaskBits(op, a, b);
+      while (m != 0) {
+        const int k = __builtin_ctz(static_cast<unsigned>(m));
+        out[count++] = base + static_cast<int64_t>(i) + k;
+        m &= m - 1;
+      }
+    }
+  } else {
+    const __m256i b = _mm256_set1_epi64x(literal);
+    for (; i + 4 <= n; i += 4) {
+      const __m256i a =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lhs + i));
+      int m = CmpMaskBits(op, a, b);
+      while (m != 0) {
+        const int k = __builtin_ctz(static_cast<unsigned>(m));
+        out[count++] = base + static_cast<int64_t>(i) + k;
+        m &= m - 1;
+      }
+    }
+  }
+  return SelectCompareScalar(op, lhs, rhs, literal, base, i, n, out, count);
+}
+
+// 4-bit lane mask -> four 0/1 bytes, as one 32-bit store.
+alignas(64) constexpr uint32_t kNibbleBytes[16] = {
+    0x00000000u, 0x00000001u, 0x00000100u, 0x00000101u, 0x00010000u,
+    0x00010001u, 0x00010100u, 0x00010101u, 0x01000000u, 0x01000001u,
+    0x01000100u, 0x01000101u, 0x01010000u, 0x01010001u, 0x01010100u,
+    0x01010101u};
+
+__attribute__((target("avx2"))) void CompareMaskAvx2(Cmp op, const int64_t* lhs,
+                                                     const int64_t* rhs,
+                                                     int64_t literal, size_t n,
+                                                     MaskMode mode,
+                                                     uint8_t* mask) {
+  const __m256i lit = _mm256_set1_epi64x(literal);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lhs + i));
+    const __m256i b =
+        rhs != nullptr
+            ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rhs + i))
+            : lit;
+    const uint32_t bytes = kNibbleBytes[CmpMaskBits(op, a, b)];
+    uint32_t current;
+    switch (mode) {
+      case MaskMode::kSet:
+        std::memcpy(mask + i, &bytes, 4);
+        break;
+      case MaskMode::kAnd:
+        std::memcpy(&current, mask + i, 4);
+        current &= bytes;
+        std::memcpy(mask + i, &current, 4);
+        break;
+      case MaskMode::kOr:
+        std::memcpy(&current, mask + i, 4);
+        current |= bytes;
+        std::memcpy(mask + i, &current, 4);
+        break;
+    }
+  }
+  CompareMaskScalar(op, lhs, rhs, literal, i, n, mode, mask);
+}
+
+__attribute__((target("avx2"))) size_t CountMaskAvx2(const uint8_t* mask,
+                                                     size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  const __m256i zero = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + i));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(v, zero));
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  size_t count = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) {
+    count += mask[i];
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) size_t MaskToIndicesAvx2(const uint8_t* mask,
+                                                         size_t n, int64_t base,
+                                                         int64_t* out) {
+  size_t count = 0;
+  size_t i = 0;
+  const __m256i zero = _mm256_setzero_si256();
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + i));
+    uint32_t m = static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpgt_epi8(v, zero)));
+    while (m != 0) {
+      const int k = __builtin_ctz(m);
+      out[count++] = base + static_cast<int64_t>(i) + k;
+      m &= m - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if (mask[i] != 0) {
+      out[count++] = base + static_cast<int64_t>(i);
+    }
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) void ArithColumnAvx2(
+    Arith op, const int64_t* lhs, const int64_t* rhs, int64_t literal,
+    int64_t scale, size_t n, int64_t* out) {
+  if (op == Arith::kDiv) {
+    DivColumnScalar(lhs, rhs, literal, scale, n, out);
+    return;
+  }
+  const __m256i lit = _mm256_set1_epi64x(literal);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lhs + i));
+    const __m256i b =
+        rhs != nullptr
+            ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rhs + i))
+            : lit;
+    __m256i r;
+    switch (op) {
+      case Arith::kAdd:
+        r = _mm256_add_epi64(a, b);
+        break;
+      case Arith::kSub:
+        r = _mm256_sub_epi64(a, b);
+        break;
+      default:
+        r = MulLo64(a, b);
+        break;
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), r);
+  }
+  ArithColumnScalar(op, lhs, rhs, literal, scale, i, n, out);
+}
+
+__attribute__((target("avx2"))) bool AllEqualAvx2(const int64_t* v, size_t n) {
+  const __m256i first = _mm256_set1_epi64x(v[0]);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    if (_mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(a, first))) != 0xF) {
+      return false;
+    }
+  }
+  for (; i < n; ++i) {
+    if (v[i] != v[0]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+__attribute__((target("avx2"))) uint64_t SumU64Avx2(const uint64_t* v,
+                                                    size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i)));
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  // Wrap addition is associative and commutative mod 2^64, so the lane fold
+  // order cannot change the bits.
+  uint64_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) {
+    sum += v[i];
+  }
+  return sum;
+}
+
+__attribute__((target("avx2"))) int64_t MinOfAvx2(const int64_t* v, size_t n) {
+  __m256i acc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v));
+  size_t i = 4;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    acc = _mm256_blendv_epi8(acc, a, _mm256_cmpgt_epi64(acc, a));
+  }
+  alignas(32) int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  int64_t best = lanes[0];
+  for (int k = 1; k < 4; ++k) {
+    best = lanes[k] < best ? lanes[k] : best;
+  }
+  for (; i < n; ++i) {
+    best = v[i] < best ? v[i] : best;
+  }
+  return best;
+}
+
+__attribute__((target("avx2"))) int64_t MaxOfAvx2(const int64_t* v, size_t n) {
+  __m256i acc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v));
+  size_t i = 4;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    acc = _mm256_blendv_epi8(acc, a, _mm256_cmpgt_epi64(a, acc));
+  }
+  alignas(32) int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  int64_t best = lanes[0];
+  for (int k = 1; k < 4; ++k) {
+    best = lanes[k] > best ? lanes[k] : best;
+  }
+  for (; i < n; ++i) {
+    best = v[i] > best ? v[i] : best;
+  }
+  return best;
+}
+
+__attribute__((target("avx2"))) void GatherI64Avx2(const int64_t* src,
+                                                   const int64_t* rows,
+                                                   size_t n, int64_t* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows + i));
+    const __m256i g = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(src), idx, 8);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), g);
+  }
+  for (; i < n; ++i) {
+    out[i] = src[rows[i]];
+  }
+}
+
+// Elementwise uint64 kernels. The macro expands a loadu/op/storeu loop plus a
+// scalar tail; every body is pure lane-wise wrap arithmetic.
+__attribute__((target("avx2"))) void AddU64Avx2(const uint64_t* a,
+                                                const uint64_t* b, size_t n,
+                                                uint64_t* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i),
+        _mm256_add_epi64(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i))));
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] + b[i];
+  }
+}
+
+__attribute__((target("avx2"))) void SubU64Avx2(const uint64_t* a,
+                                                const uint64_t* b, size_t n,
+                                                uint64_t* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i),
+        _mm256_sub_epi64(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i))));
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] - b[i];
+  }
+}
+
+__attribute__((target("avx2"))) void SubSubU64Avx2(const uint64_t* a,
+                                                   const uint64_t* b,
+                                                   const uint64_t* c, size_t n,
+                                                   uint64_t* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i vc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_sub_epi64(_mm256_sub_epi64(va, vb), vc));
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] - b[i] - c[i];
+  }
+}
+
+__attribute__((target("avx2"))) void Add3U64Avx2(const uint64_t* a,
+                                                 const uint64_t* b,
+                                                 const uint64_t* c, size_t n,
+                                                 uint64_t* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i vc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_add_epi64(_mm256_add_epi64(va, vb), vc));
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] + b[i] + c[i];
+  }
+}
+
+__attribute__((target("avx2"))) void AddConstU64Avx2(const uint64_t* a,
+                                                     uint64_t k, size_t n,
+                                                     uint64_t* out) {
+  const __m256i vk = _mm256_set1_epi64x(static_cast<long long>(k));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i),
+        _mm256_add_epi64(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)), vk));
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] + k;
+  }
+}
+
+__attribute__((target("avx2"))) void MulConstU64Avx2(const uint64_t* a,
+                                                     uint64_t k, size_t n,
+                                                     uint64_t* out) {
+  const __m256i vk = _mm256_set1_epi64x(static_cast<long long>(k));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i),
+        MulLo64(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+                vk));
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] * k;
+  }
+}
+
+__attribute__((target("avx2"))) void MaskSubSubAvx2(const uint8_t* bits,
+                                                    const uint64_t* r0,
+                                                    const uint64_t* r1,
+                                                    size_t n, uint64_t* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    uint32_t four;
+    std::memcpy(&four, bits + i, 4);
+    const __m256i vb = _mm256_cvtepu8_epi64(
+        _mm_cvtsi32_si128(static_cast<int>(four)));
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r0 + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r1 + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_sub_epi64(_mm256_sub_epi64(vb, v0), v1));
+  }
+  for (; i < n; ++i) {
+    out[i] = static_cast<uint64_t>(bits[i]) - r0[i] - r1[i];
+  }
+}
+
+__attribute__((target("avx2"))) void AccumDiffU64Avx2(const uint64_t* a,
+                                                      const uint64_t* t,
+                                                      size_t n, uint64_t* acc) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vt =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t + i));
+    const __m256i vacc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                        _mm256_add_epi64(vacc, _mm256_sub_epi64(va, vt)));
+  }
+  for (; i < n; ++i) {
+    acc[i] += a[i] - t[i];
+  }
+}
+
+__attribute__((target("avx2"))) void BeaverCombineU64Avx2(
+    const uint64_t* tc, const uint64_t* d, const uint64_t* tb,
+    const uint64_t* e, const uint64_t* ta, size_t n, uint64_t* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vtc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tc + i));
+    const __m256i vd =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + i));
+    const __m256i vtb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tb + i));
+    const __m256i ve =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(e + i));
+    const __m256i vta =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ta + i));
+    const __m256i r = _mm256_add_epi64(
+        vtc, _mm256_add_epi64(MulLo64(vd, vtb), MulLo64(ve, vta)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), r);
+  }
+  for (; i < n; ++i) {
+    out[i] = tc[i] + d[i] * tb[i] + e[i] * ta[i];
+  }
+}
+
+__attribute__((target("avx2"))) void AccumMulU64Avx2(const uint64_t* d,
+                                                     const uint64_t* e,
+                                                     size_t n, uint64_t* acc) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vd =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + i));
+    const __m256i ve =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(e + i));
+    const __m256i vacc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                        _mm256_add_epi64(vacc, MulLo64(vd, ve)));
+  }
+  for (; i < n; ++i) {
+    acc[i] += d[i] * e[i];
+  }
+}
+
+__attribute__((target("avx2"))) void GatherRerandCombineAvx2(
+    const uint64_t* a0, const uint64_t* a1, const uint64_t* a2,
+    const int64_t* rows, size_t n, uint64_t* o0, uint64_t* o1, uint64_t* o2) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows + i));
+    const __m256i g0 = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(a0), idx, 8);
+    const __m256i g1 = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(a1), idx, 8);
+    const __m256i g2 = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(a2), idx, 8);
+    const __m256i r0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(o0 + i));
+    const __m256i r1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(o1 + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(o2 + i),
+                        _mm256_sub_epi64(_mm256_sub_epi64(g2, r0), r1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(o0 + i),
+                        _mm256_add_epi64(g0, r0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(o1 + i),
+                        _mm256_add_epi64(g1, r1));
+  }
+  for (; i < n; ++i) {
+    const size_t row = static_cast<size_t>(rows[i]);
+    const uint64_t r0 = o0[i];
+    const uint64_t r1 = o1[i];
+    o2[i] = a2[row] - r0 - r1;
+    o0[i] = a0[row] + r0;
+    o1[i] = a1[row] + r1;
+  }
+}
+
+}  // namespace
+
+#endif  // CONCLAVE_X86
+
+// --- Public dispatch --------------------------------------------------------
+
+size_t SelectCompare(Cmp op, const int64_t* lhs, const int64_t* rhs,
+                     int64_t literal, int64_t base, size_t n, int64_t* out) {
+#if defined(CONCLAVE_X86)
+  if (UsingAvx2()) {
+    return SelectCompareAvx2(op, lhs, rhs, literal, base, n, out);
+  }
+#endif
+  return SelectCompareScalar(op, lhs, rhs, literal, base, 0, n, out, 0);
+}
+
+void CompareMask(Cmp op, const int64_t* lhs, const int64_t* rhs,
+                 int64_t literal, size_t n, MaskMode mode, uint8_t* mask) {
+#if defined(CONCLAVE_X86)
+  if (UsingAvx2()) {
+    CompareMaskAvx2(op, lhs, rhs, literal, n, mode, mask);
+    return;
+  }
+#endif
+  CompareMaskScalar(op, lhs, rhs, literal, 0, n, mode, mask);
+}
+
+size_t CountMask(const uint8_t* mask, size_t n) {
+#if defined(CONCLAVE_X86)
+  if (UsingAvx2()) {
+    return CountMaskAvx2(mask, n);
+  }
+#endif
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += mask[i];
+  }
+  return count;
+}
+
+size_t MaskToIndices(const uint8_t* mask, size_t n, int64_t base,
+                     int64_t* out) {
+#if defined(CONCLAVE_X86)
+  if (UsingAvx2()) {
+    return MaskToIndicesAvx2(mask, n, base, out);
+  }
+#endif
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (mask[i] != 0) {
+      out[count++] = base + static_cast<int64_t>(i);
+    }
+  }
+  return count;
+}
+
+void ArithColumn(Arith op, const int64_t* lhs, const int64_t* rhs,
+                 int64_t literal, int64_t scale, size_t n, int64_t* out) {
+#if defined(CONCLAVE_X86)
+  if (UsingAvx2()) {
+    ArithColumnAvx2(op, lhs, rhs, literal, scale, n, out);
+    return;
+  }
+#endif
+  ArithColumnScalar(op, lhs, rhs, literal, scale, 0, n, out);
+}
+
+bool AllEqual(const int64_t* v, size_t n) {
+  if (n <= 1) {
+    return true;
+  }
+#if defined(CONCLAVE_X86)
+  if (UsingAvx2()) {
+    return AllEqualAvx2(v, n);
+  }
+#endif
+  for (size_t i = 1; i < n; ++i) {
+    if (v[i] != v[0]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t SumWrap(const int64_t* v, size_t n) {
+  return static_cast<int64_t>(SumU64(reinterpret_cast<const uint64_t*>(v), n));
+}
+
+int64_t MinOf(const int64_t* v, size_t n) {
+#if defined(CONCLAVE_X86)
+  if (UsingAvx2() && n >= 4) {
+    return MinOfAvx2(v, n);
+  }
+#endif
+  int64_t best = v[0];
+  for (size_t i = 1; i < n; ++i) {
+    best = v[i] < best ? v[i] : best;
+  }
+  return best;
+}
+
+int64_t MaxOf(const int64_t* v, size_t n) {
+#if defined(CONCLAVE_X86)
+  if (UsingAvx2() && n >= 4) {
+    return MaxOfAvx2(v, n);
+  }
+#endif
+  int64_t best = v[0];
+  for (size_t i = 1; i < n; ++i) {
+    best = v[i] > best ? v[i] : best;
+  }
+  return best;
+}
+
+void GatherI64(const int64_t* src, const int64_t* rows, size_t n,
+               int64_t* out) {
+#if defined(CONCLAVE_X86)
+  if (UsingAvx2()) {
+    GatherI64Avx2(src, rows, n, out);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = src[rows[i]];
+  }
+}
+
+void AddU64(const uint64_t* a, const uint64_t* b, size_t n, uint64_t* out) {
+#if defined(CONCLAVE_X86)
+  if (UsingAvx2()) {
+    AddU64Avx2(a, b, n, out);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] + b[i];
+  }
+}
+
+void SubU64(const uint64_t* a, const uint64_t* b, size_t n, uint64_t* out) {
+#if defined(CONCLAVE_X86)
+  if (UsingAvx2()) {
+    SubU64Avx2(a, b, n, out);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] - b[i];
+  }
+}
+
+void SubSubU64(const uint64_t* a, const uint64_t* b, const uint64_t* c,
+               size_t n, uint64_t* out) {
+#if defined(CONCLAVE_X86)
+  if (UsingAvx2()) {
+    SubSubU64Avx2(a, b, c, n, out);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] - b[i] - c[i];
+  }
+}
+
+void Add3U64(const uint64_t* a, const uint64_t* b, const uint64_t* c, size_t n,
+             uint64_t* out) {
+#if defined(CONCLAVE_X86)
+  if (UsingAvx2()) {
+    Add3U64Avx2(a, b, c, n, out);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] + b[i] + c[i];
+  }
+}
+
+void AddConstU64(const uint64_t* a, uint64_t k, size_t n, uint64_t* out) {
+#if defined(CONCLAVE_X86)
+  if (UsingAvx2()) {
+    AddConstU64Avx2(a, k, n, out);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] + k;
+  }
+}
+
+void MulConstU64(const uint64_t* a, uint64_t k, size_t n, uint64_t* out) {
+#if defined(CONCLAVE_X86)
+  if (UsingAvx2()) {
+    MulConstU64Avx2(a, k, n, out);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] * k;
+  }
+}
+
+void MaskSubSub(const uint8_t* bits, const uint64_t* r0, const uint64_t* r1,
+                size_t n, uint64_t* out) {
+#if defined(CONCLAVE_X86)
+  if (UsingAvx2()) {
+    MaskSubSubAvx2(bits, r0, r1, n, out);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint64_t>(bits[i]) - r0[i] - r1[i];
+  }
+}
+
+void AccumDiffU64(const uint64_t* a, const uint64_t* t, size_t n,
+                  uint64_t* acc) {
+#if defined(CONCLAVE_X86)
+  if (UsingAvx2()) {
+    AccumDiffU64Avx2(a, t, n, acc);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    acc[i] += a[i] - t[i];
+  }
+}
+
+void BeaverCombineU64(const uint64_t* tc, const uint64_t* d, const uint64_t* tb,
+                      const uint64_t* e, const uint64_t* ta, size_t n,
+                      uint64_t* out) {
+#if defined(CONCLAVE_X86)
+  if (UsingAvx2()) {
+    BeaverCombineU64Avx2(tc, d, tb, e, ta, n, out);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = tc[i] + d[i] * tb[i] + e[i] * ta[i];
+  }
+}
+
+void AccumMulU64(const uint64_t* d, const uint64_t* e, size_t n,
+                 uint64_t* acc) {
+#if defined(CONCLAVE_X86)
+  if (UsingAvx2()) {
+    AccumMulU64Avx2(d, e, n, acc);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    acc[i] += d[i] * e[i];
+  }
+}
+
+void GatherRerandCombine(const uint64_t* a0, const uint64_t* a1,
+                         const uint64_t* a2, const int64_t* rows, size_t n,
+                         uint64_t* o0, uint64_t* o1, uint64_t* o2) {
+#if defined(CONCLAVE_X86)
+  if (UsingAvx2()) {
+    GatherRerandCombineAvx2(a0, a1, a2, rows, n, o0, o1, o2);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    const size_t row = static_cast<size_t>(rows[i]);
+    const uint64_t r0 = o0[i];
+    const uint64_t r1 = o1[i];
+    o2[i] = a2[row] - r0 - r1;
+    o0[i] = a0[row] + r0;
+    o1[i] = a1[row] + r1;
+  }
+}
+
+uint64_t SumU64(const uint64_t* v, size_t n) {
+#if defined(CONCLAVE_X86)
+  if (UsingAvx2()) {
+    return SumU64Avx2(v, n);
+  }
+#endif
+  uint64_t sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += v[i];
+  }
+  return sum;
+}
+
+// --- Fixed-key AES-128 ------------------------------------------------------
+
+namespace {
+
+// Nothing-up-my-sleeve fixed key: the first 16 hex digits of pi's fractional
+// part. Fixed-key AES as a correlation-robust hash/PRF over a counter is the
+// standard garbled-circuit-era construction; secrecy of the key is not needed
+// because the counter base is derived from the run's secret seed.
+constexpr uint8_t kFixedKey[16] = {0x24, 0x3f, 0x6a, 0x88, 0x85, 0xa3,
+                                   0x08, 0xd3, 0x13, 0x19, 0x8a, 0x2e,
+                                   0x03, 0x70, 0x73, 0x44};
+
+constexpr uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+inline uint8_t Xtime(uint8_t x) {
+  return static_cast<uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+struct RoundKeys {
+  uint8_t rk[11][16];
+};
+
+RoundKeys ExpandKey(const uint8_t key[16]) {
+  RoundKeys keys;
+  uint8_t w[176];
+  std::memcpy(w, key, 16);
+  uint8_t rcon = 1;
+  for (int i = 16; i < 176; i += 4) {
+    uint8_t t0 = w[i - 4];
+    uint8_t t1 = w[i - 3];
+    uint8_t t2 = w[i - 2];
+    uint8_t t3 = w[i - 1];
+    if (i % 16 == 0) {
+      const uint8_t rot = t0;
+      t0 = static_cast<uint8_t>(kSbox[t1] ^ rcon);
+      t1 = kSbox[t2];
+      t2 = kSbox[t3];
+      t3 = kSbox[rot];
+      rcon = Xtime(rcon);
+    }
+    w[i] = static_cast<uint8_t>(w[i - 16] ^ t0);
+    w[i + 1] = static_cast<uint8_t>(w[i - 15] ^ t1);
+    w[i + 2] = static_cast<uint8_t>(w[i - 14] ^ t2);
+    w[i + 3] = static_cast<uint8_t>(w[i - 13] ^ t3);
+  }
+  for (int r = 0; r < 11; ++r) {
+    std::memcpy(keys.rk[r], w + 16 * r, 16);
+  }
+  return keys;
+}
+
+const RoundKeys& FixedRoundKeys() {
+  static const RoundKeys keys = ExpandKey(kFixedKey);
+  return keys;
+}
+
+void EncryptBlockPortable(const RoundKeys& keys, const uint8_t in[16],
+                          uint8_t out[16]) {
+  uint8_t s[16];
+  for (int i = 0; i < 16; ++i) {
+    s[i] = static_cast<uint8_t>(in[i] ^ keys.rk[0][i]);
+  }
+  for (int round = 1; round <= 10; ++round) {
+    // SubBytes + ShiftRows (state is column-major: byte r + 4c is row r,
+    // column c; row r rotates left by r columns).
+    uint8_t t[16];
+    for (int c = 0; c < 4; ++c) {
+      for (int r = 0; r < 4; ++r) {
+        t[r + 4 * c] = kSbox[s[r + 4 * ((c + r) & 3)]];
+      }
+    }
+    if (round < 10) {
+      // MixColumns.
+      for (int c = 0; c < 4; ++c) {
+        const uint8_t a0 = t[4 * c];
+        const uint8_t a1 = t[4 * c + 1];
+        const uint8_t a2 = t[4 * c + 2];
+        const uint8_t a3 = t[4 * c + 3];
+        const uint8_t x = static_cast<uint8_t>(a0 ^ a1 ^ a2 ^ a3);
+        t[4 * c] = static_cast<uint8_t>(a0 ^ x ^ Xtime(static_cast<uint8_t>(a0 ^ a1)));
+        t[4 * c + 1] =
+            static_cast<uint8_t>(a1 ^ x ^ Xtime(static_cast<uint8_t>(a1 ^ a2)));
+        t[4 * c + 2] =
+            static_cast<uint8_t>(a2 ^ x ^ Xtime(static_cast<uint8_t>(a2 ^ a3)));
+        t[4 * c + 3] =
+            static_cast<uint8_t>(a3 ^ x ^ Xtime(static_cast<uint8_t>(a3 ^ a0)));
+      }
+    }
+    for (int i = 0; i < 16; ++i) {
+      s[i] = static_cast<uint8_t>(t[i] ^ keys.rk[round][i]);
+    }
+  }
+  std::memcpy(out, s, 16);
+}
+
+// One counter block (base + index, 128-bit little-endian add) through the
+// portable cipher; returns the two 64-bit halves.
+inline void AesBlockPortable(uint64_t base_lo, uint64_t base_hi, uint64_t index,
+                             uint64_t* lo, uint64_t* hi) {
+  const uint64_t ctr_lo = base_lo + index;
+  const uint64_t ctr_hi = base_hi + (ctr_lo < base_lo ? 1 : 0);
+  uint8_t in[16];
+  uint8_t out[16];
+  std::memcpy(in, &ctr_lo, 8);
+  std::memcpy(in + 8, &ctr_hi, 8);
+  EncryptBlockPortable(FixedRoundKeys(), in, out);
+  std::memcpy(lo, out, 8);
+  std::memcpy(hi, out + 8, 8);
+}
+
+#if defined(CONCLAVE_X86)
+
+// Eight-block pipelined AES-NI counter fill: the aesenc chains of the eight
+// blocks interleave, hiding the instruction latency.
+__attribute__((target("aes,sse4.1"))) void AesFillBlocksSplitNi(
+    uint64_t base_lo, uint64_t base_hi, uint64_t first_block, size_t n,
+    uint64_t* lo_out, uint64_t* hi_out) {
+  const RoundKeys& keys = FixedRoundKeys();
+  __m128i rk[11];
+  for (int r = 0; r < 11; ++r) {
+    rk[r] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys.rk[r]));
+  }
+  const auto counter = [&](uint64_t index) {
+    const uint64_t ctr_lo = base_lo + index;
+    const uint64_t ctr_hi = base_hi + (ctr_lo < base_lo ? 1 : 0);
+    return _mm_set_epi64x(static_cast<long long>(ctr_hi),
+                          static_cast<long long>(ctr_lo));
+  };
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m128i b[8];
+    for (int k = 0; k < 8; ++k) {
+      b[k] = _mm_xor_si128(counter(first_block + i + k), rk[0]);
+    }
+    for (int r = 1; r < 10; ++r) {
+      for (int k = 0; k < 8; ++k) {
+        b[k] = _mm_aesenc_si128(b[k], rk[r]);
+      }
+    }
+    for (int k = 0; k < 8; ++k) {
+      b[k] = _mm_aesenclast_si128(b[k], rk[10]);
+      lo_out[i + k] = static_cast<uint64_t>(_mm_cvtsi128_si64(b[k]));
+      hi_out[i + k] = static_cast<uint64_t>(_mm_extract_epi64(b[k], 1));
+    }
+  }
+  for (; i < n; ++i) {
+    __m128i b = _mm_xor_si128(counter(first_block + i), rk[0]);
+    for (int r = 1; r < 10; ++r) {
+      b = _mm_aesenc_si128(b, rk[r]);
+    }
+    b = _mm_aesenclast_si128(b, rk[10]);
+    lo_out[i] = static_cast<uint64_t>(_mm_cvtsi128_si64(b));
+    hi_out[i] = static_cast<uint64_t>(_mm_extract_epi64(b, 1));
+  }
+}
+
+#endif  // CONCLAVE_X86
+
+}  // namespace
+
+void AesFillBlocksSplit(uint64_t base_lo, uint64_t base_hi,
+                        uint64_t first_block, size_t n, uint64_t* lo_out,
+                        uint64_t* hi_out) {
+#if defined(CONCLAVE_X86)
+  if (UsingAesNi()) {
+    AesFillBlocksSplitNi(base_lo, base_hi, first_block, n, lo_out, hi_out);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    AesBlockPortable(base_lo, base_hi, first_block + i, lo_out + i, hi_out + i);
+  }
+}
+
+uint64_t AesWordAt(uint64_t base_lo, uint64_t base_hi, uint64_t word_index) {
+  uint64_t lo;
+  uint64_t hi;
+#if defined(CONCLAVE_X86)
+  if (UsingAesNi()) {
+    AesFillBlocksSplitNi(base_lo, base_hi, word_index >> 1, 1, &lo, &hi);
+    return (word_index & 1) != 0 ? hi : lo;
+  }
+#endif
+  AesBlockPortable(base_lo, base_hi, word_index >> 1, &lo, &hi);
+  return (word_index & 1) != 0 ? hi : lo;
+}
+
+void AesFillWords(uint64_t base_lo, uint64_t base_hi, uint64_t first_word,
+                  size_t n, uint64_t* out) {
+  size_t i = 0;
+  uint64_t w = first_word;
+  if (n == 0) {
+    return;
+  }
+  if ((w & 1) != 0) {
+    out[i++] = AesWordAt(base_lo, base_hi, w);
+    ++w;
+  }
+  constexpr size_t kChunkBlocks = 256;
+  uint64_t lo[kChunkBlocks];
+  uint64_t hi[kChunkBlocks];
+  while (n - i >= 2) {
+    const size_t blocks = ((n - i) / 2) < kChunkBlocks ? (n - i) / 2 : kChunkBlocks;
+    AesFillBlocksSplit(base_lo, base_hi, w >> 1, blocks, lo, hi);
+    for (size_t k = 0; k < blocks; ++k) {
+      out[i + 2 * k] = lo[k];
+      out[i + 2 * k + 1] = hi[k];
+    }
+    i += 2 * blocks;
+    w += 2 * blocks;
+  }
+  if (i < n) {
+    out[i] = AesWordAt(base_lo, base_hi, w);
+  }
+}
+
+void AesEncryptBlockPortable(const uint8_t key[16], const uint8_t in[16],
+                             uint8_t out[16]) {
+  const RoundKeys keys = ExpandKey(key);
+  EncryptBlockPortable(keys, in, out);
+}
+
+}  // namespace cpu
+
+// --- AesCounterRng (declared in common/rng.h) -------------------------------
+
+uint64_t AesCounterRng::At(uint64_t index) const {
+  return cpu::AesWordAt(base_lo_, base_hi_, index);
+}
+
+void AesCounterRng::FillWords(uint64_t first_word, size_t n,
+                              uint64_t* out) const {
+  cpu::AesFillWords(base_lo_, base_hi_, first_word, n, out);
+}
+
+void AesCounterRng::FillBlocksSplit(uint64_t first_block, size_t n,
+                                    uint64_t* lo_out, uint64_t* hi_out) const {
+  cpu::AesFillBlocksSplit(base_lo_, base_hi_, first_block, n, lo_out, hi_out);
+}
+
+}  // namespace conclave

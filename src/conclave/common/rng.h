@@ -6,6 +6,7 @@
 #ifndef CONCLAVE_COMMON_RNG_H_
 #define CONCLAVE_COMMON_RNG_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "conclave/common/check.h"
@@ -47,6 +48,14 @@ inline constexpr uint64_t kHashChainSeed = 0x9e3779b97f4a7c15ULL;
 // generation embarrassingly parallel while staying bit-identical at every pool size
 // (DESIGN.md §5). Consumers claim one stream per logical operation from a sequential
 // counter and index words within it.
+// SplitMix64's output finalizer: a bijective avalanche over the counter word.
+// Shared by CounterRng and AesCounterRng's counter-base derivation.
+inline uint64_t SplitMixFinalize(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 class CounterRng {
  public:
   CounterRng() = default;
@@ -58,14 +67,46 @@ class CounterRng {
   }
 
  private:
-  // SplitMix64's output finalizer: a bijective avalanche over the counter word.
-  static uint64_t Mix(uint64_t z) {
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-  }
+  static uint64_t Mix(uint64_t z) { return SplitMixFinalize(z); }
 
   uint64_t base_ = 0;
+};
+
+// AES-backed counter generator with the same (seed, stream, index) addressing
+// and purity contract as CounterRng, but the word at `index` is a half of
+// AES-128(fixed key, base + (index >> 1)) — batched through AES-NI on hardware
+// that has it (common/cpu.{h,cc}), a bit-identical portable AES otherwise.
+// The MPC data plane draws its share randomness here; the raw share bits
+// therefore differ from the SplitMix CounterRng era, but everything derived
+// from *reconstructed* values (relations, virtual clocks, counters) is
+// unchanged because shares stay uniform masks that cancel on reconstruction
+// (DESIGN.md §13). FillWords/FillBlocksSplit are the batched hot paths:
+// FillBlocksSplit writes element i's two mask words (2i, 2i+1 — the two halves
+// of block i) directly into split r0/r1 arrays, which is exactly the
+// share-generation access pattern.
+class AesCounterRng {
+ public:
+  AesCounterRng() = default;
+  AesCounterRng(uint64_t seed, uint64_t stream)
+      : base_lo_(SplitMixFinalize(
+            seed ^ SplitMixFinalize(stream ^ 0x6a09e667f3bcc909ULL))),
+        base_hi_(SplitMixFinalize(
+            seed ^ SplitMixFinalize(stream ^ 0xbb67ae8584caa73bULL))) {}
+
+  // Word `index` of the stream (pure; any order, any subset).
+  uint64_t At(uint64_t index) const;
+
+  // Words [first_word, first_word + n) into out.
+  void FillWords(uint64_t first_word, size_t n, uint64_t* out) const;
+
+  // Blocks [first_block, first_block + n) deinterleaved: even words (lo
+  // halves) to lo_out, odd words (hi halves) to hi_out.
+  void FillBlocksSplit(uint64_t first_block, size_t n, uint64_t* lo_out,
+                       uint64_t* hi_out) const;
+
+ private:
+  uint64_t base_lo_ = 0;
+  uint64_t base_hi_ = 0;
 };
 
 class Rng {

@@ -10,6 +10,7 @@
 #include "conclave/mpc/garbled/gc_cost.h"
 #include "conclave/mpc/oblivious.h"
 #include "conclave/mpc/protocols.h"
+#include "conclave/relational/expr.h"
 #include "conclave/relational/ops.h"
 #include "conclave/relational/spill.h"
 
@@ -778,6 +779,16 @@ std::string PlanCostReport::ToString() const {
         "(batch %lld rows; resident rows per shard <= depth x batch)\n",
         fused_pipeline_chains, fused_pipeline_nodes, longest_pipeline_chain,
         static_cast<long long>(pipeline_batch_rows));
+    if (fused_expr_enabled) {
+      out += StrFormat(
+          "expr-advice: %d fused expression group(s) over %d node(s) (one "
+          "register-resident pass per batch; per-node pricing unchanged)\n",
+          fused_expr_groups, fused_expr_nodes);
+    } else {
+      out +=
+          "expr-advice: fused evaluator off (unset CONCLAVE_FUSED_EXPR=0 to "
+          "re-enable)\n";
+    }
   } else {
     out += "pipeline-advice: fusion disabled (materializing operators)\n";
   }
@@ -946,9 +957,20 @@ void AnnotatePipelineAdvice(PlanCostReport& report, const ir::Dag& dag,
   report.fused_pipeline_chains = 0;
   report.fused_pipeline_nodes = 0;
   report.longest_pipeline_chain = 0;
+  report.fused_expr_enabled = FusedExprEnabled();
+  report.fused_expr_groups = 0;
+  report.fused_expr_nodes = 0;
   if (batch_rows <= 0) {
     return;
   }
+  // Mirrors relational/expr.h's FusibleExprOp at the plan level: the
+  // dispatcher's PipelineOps map 1:1 to these node kinds, so counting runs
+  // here predicts the executor's slots exactly.
+  const auto expr_fusible = [](const ir::OpNode& node) {
+    return node.kind == ir::OpKind::kFilter ||
+           node.kind == ir::OpKind::kProject ||
+           node.kind == ir::OpKind::kArithmetic;
+  };
   const std::vector<ir::OpNode*> order = dag.TopoOrder();
   const std::vector<const ir::OpNode*> topo(order.begin(), order.end());
   for (const auto& chain : PipelineChains(topo, shard_count)) {
@@ -956,6 +978,23 @@ void AnnotatePipelineAdvice(PlanCostReport& report, const ir::Dag& dag,
     report.fused_pipeline_nodes += static_cast<int>(chain.size());
     report.longest_pipeline_chain =
         std::max(report.longest_pipeline_chain, static_cast<int>(chain.size()));
+    if (!report.fused_expr_enabled) {
+      continue;
+    }
+    size_t i = 0;
+    while (i < chain.size()) {
+      size_t end = i + 1;
+      if (expr_fusible(*chain[i])) {
+        while (end < chain.size() && expr_fusible(*chain[end])) {
+          ++end;
+        }
+      }
+      if (end - i >= 2) {
+        ++report.fused_expr_groups;
+        report.fused_expr_nodes += static_cast<int>(end - i);
+      }
+      i = end;
+    }
   }
 }
 

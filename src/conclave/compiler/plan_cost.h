@@ -82,6 +82,18 @@ struct PlanCostReport {
   int longest_pipeline_chain = 0;
   int64_t pipeline_batch_rows = 0;  // 0 = fusion disabled (materializing).
 
+  // Fused-expression advice (filled by AnnotatePipelineAdvice alongside the
+  // chain counts): within the fused chains, how many maximal runs of >= 2
+  // adjacent filter / project / arithmetic nodes the executor compiles into
+  // single-pass FusedExprPrograms (relational/expr.h), and how many nodes
+  // those runs cover. Advisory only — a fused run reports per-node input rows
+  // identical to per-operator execution, so per-node pricing (and the
+  // estimate==meter identities) are unchanged. Reflects the
+  // CONCLAVE_FUSED_EXPR knob at explain time.
+  bool fused_expr_enabled = false;
+  int fused_expr_groups = 0;
+  int fused_expr_nodes = 0;
+
   // Fault-injection advice (filled by AnnotateFaultAdvice from the resolved
   // FaultPlan): whether injection is armed, the plan's compact knob summary,
   // the recovery budgets, and the worst-case backoff envelope one send can

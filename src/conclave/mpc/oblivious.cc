@@ -18,7 +18,7 @@ std::vector<SharedColumn> GatherRerandomizeColumns(SecretShareEngine& engine,
                                                    const SharedRelation& input,
                                                    std::span<const int64_t> rows) {
   const int num_columns = input.NumColumns();
-  std::vector<CounterRng> streams;
+  std::vector<AesCounterRng> streams;
   streams.reserve(static_cast<size_t>(num_columns));
   for (int c = 0; c < num_columns; ++c) {
     streams.push_back(engine.NewStream());

@@ -1,9 +1,20 @@
 #include "conclave/mpc/secret_share_engine.h"
 
+#include <cstring>
+
+#include "conclave/common/cpu.h"
 #include "conclave/common/thread_pool.h"
 
 namespace conclave {
 namespace {
+
+// cpu::Cmp mirrors CompareOp enumerator-for-enumerator so the engine can cast.
+static_assert(static_cast<int>(cpu::Cmp::kEq) == static_cast<int>(CompareOp::kEq) &&
+              static_cast<int>(cpu::Cmp::kNe) == static_cast<int>(CompareOp::kNe) &&
+              static_cast<int>(cpu::Cmp::kLt) == static_cast<int>(CompareOp::kLt) &&
+              static_cast<int>(cpu::Cmp::kLe) == static_cast<int>(CompareOp::kLe) &&
+              static_cast<int>(cpu::Cmp::kGt) == static_cast<int>(CompareOp::kGt) &&
+              static_cast<int>(cpu::Cmp::kGe) == static_cast<int>(CompareOp::kGe));
 
 // Both operands of a binary batched op must agree in size.
 void CheckSameSize(const SharedColumn& a, const SharedColumn& b) {
@@ -26,9 +37,7 @@ SharedColumn SecretShareEngine::Add(const SharedColumn& a, const SharedColumn& b
     const Ring* const bp = b.shares[p].data();
     Ring* const op = out.shares[p].data();
     ForRows(a.size(), [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) {
-        op[i] = ap[i] + bp[i];
-      }
+      cpu::AddU64(ap + lo, bp + lo, static_cast<size_t>(hi - lo), op + lo);
     });
   }
   return out;
@@ -42,9 +51,7 @@ SharedColumn SecretShareEngine::Sub(const SharedColumn& a, const SharedColumn& b
     const Ring* const bp = b.shares[p].data();
     Ring* const op = out.shares[p].data();
     ForRows(a.size(), [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) {
-        op[i] = ap[i] - bp[i];
-      }
+      cpu::SubU64(ap + lo, bp + lo, static_cast<size_t>(hi - lo), op + lo);
     });
   }
   return out;
@@ -55,9 +62,7 @@ SharedColumn SecretShareEngine::AddConst(const SharedColumn& a, int64_t constant
   const Ring k = ToRing(constant);
   Ring* const o0 = out.shares[0].data();
   ForRows(out.size(), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      o0[i] += k;
-    }
+    cpu::AddConstU64(o0 + lo, k, static_cast<size_t>(hi - lo), o0 + lo);
   });
   return out;
 }
@@ -69,9 +74,7 @@ SharedColumn SecretShareEngine::MulConst(const SharedColumn& a, int64_t constant
     const Ring* const ap = a.shares[p].data();
     Ring* const op = out.shares[p].data();
     ForRows(a.size(), [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) {
-        op[i] = ap[i] * k;
-      }
+      cpu::MulConstU64(ap + lo, k, static_cast<size_t>(hi - lo), op + lo);
     });
   }
   return out;
@@ -82,9 +85,7 @@ SharedColumn SecretShareEngine::Public(std::span<const int64_t> values) {
   const int64_t* const v = values.data();
   Ring* const o0 = out.shares[0].data();
   ForRows(values.size(), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      o0[i] = ToRing(v[i]);
-    }
+    std::memcpy(o0 + lo, v + lo, static_cast<size_t>(hi - lo) * sizeof(Ring));
   });
   return out;
 }
@@ -116,33 +117,22 @@ SharedColumn SecretShareEngine::Mul(const SharedColumn& a, const SharedColumn& b
   Ring* const e = e_buf.u64();
   ForRows(n, [&](int64_t lo, int64_t hi) {
     // Party-major passes so every inner loop streams over dense arrays.
-    for (int64_t i = lo; i < hi; ++i) {
-      d[i] = 0;
-      e[i] = 0;
+    const size_t len = static_cast<size_t>(hi - lo);
+    std::memset(d + lo, 0, len * sizeof(Ring));
+    std::memset(e + lo, 0, len * sizeof(Ring));
+    for (int p = 0; p < kNumShareParties; ++p) {
+      cpu::AccumDiffU64(a.shares[p].data() + lo, triples.a.shares[p].data() + lo,
+                        len, d + lo);
+      cpu::AccumDiffU64(b.shares[p].data() + lo, triples.b.shares[p].data() + lo,
+                        len, e + lo);
     }
     for (int p = 0; p < kNumShareParties; ++p) {
-      const Ring* const ap = a.shares[p].data();
-      const Ring* const bp = b.shares[p].data();
-      const Ring* const tap = triples.a.shares[p].data();
-      const Ring* const tbp = triples.b.shares[p].data();
-      for (int64_t i = lo; i < hi; ++i) {
-        d[i] += ap[i] - tap[i];
-        e[i] += bp[i] - tbp[i];
-      }
+      cpu::BeaverCombineU64(triples.c.shares[p].data() + lo, d + lo,
+                            triples.b.shares[p].data() + lo, e + lo,
+                            triples.a.shares[p].data() + lo, len,
+                            out.shares[p].data() + lo);
     }
-    for (int p = 0; p < kNumShareParties; ++p) {
-      const Ring* const tap = triples.a.shares[p].data();
-      const Ring* const tbp = triples.b.shares[p].data();
-      const Ring* const tcp = triples.c.shares[p].data();
-      Ring* const op = out.shares[p].data();
-      for (int64_t i = lo; i < hi; ++i) {
-        op[i] = tcp[i] + d[i] * tbp[i] + e[i] * tap[i];
-      }
-    }
-    Ring* const o0 = out.shares[0].data();
-    for (int64_t i = lo; i < hi; ++i) {
-      o0[i] += d[i] * e[i];
-    }
+    cpu::AccumMulU64(d + lo, e + lo, len, out.shares[0].data() + lo);
   });
 
   const SsCharge charge = model.SsChargeFor(SsPrimitive::kMult);
@@ -163,7 +153,7 @@ std::vector<int64_t> SecretShareEngine::Open(const SharedColumn& a) {
 SharedColumn SecretShareEngine::Rerandomize(const SharedColumn& a) {
   const size_t n = a.size();
   SharedColumn out(n);
-  const CounterRng rng = NewStream();
+  const AesCounterRng rng = NewStream();
   const Ring* const a0 = a.shares[0].data();
   const Ring* const a1 = a.shares[1].data();
   const Ring* const a2 = a.shares[2].data();
@@ -171,20 +161,20 @@ SharedColumn SecretShareEngine::Rerandomize(const SharedColumn& a) {
   Ring* const o1 = out.shares[1].data();
   Ring* const o2 = out.shares[2].data();
   ForRows(n, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      const Ring r0 = rng.At(2 * static_cast<uint64_t>(i));
-      const Ring r1 = rng.At(2 * static_cast<uint64_t>(i) + 1);
-      o0[i] = a0[i] + r0;
-      o1[i] = a1[i] + r1;
-      o2[i] = a2[i] - r0 - r1;
-    }
+    // o0/o1 hold the fresh masks r0/r1 until the zero-sharing combine: o2 is
+    // computed from them first, then they absorb the input shares.
+    const size_t len = static_cast<size_t>(hi - lo);
+    rng.FillBlocksSplit(static_cast<uint64_t>(lo), len, o0 + lo, o1 + lo);
+    cpu::SubSubU64(a2 + lo, o0 + lo, o1 + lo, len, o2 + lo);
+    cpu::AddU64(o0 + lo, a0 + lo, len, o0 + lo);
+    cpu::AddU64(o1 + lo, a1 + lo, len, o1 + lo);
   });
   return out;
 }
 
 SharedColumn SecretShareEngine::GatherRerandomizeWith(const SharedColumn& column,
                                                       std::span<const int64_t> rows,
-                                                      const CounterRng& rng) {
+                                                      const AesCounterRng& rng) {
   const size_t n = rows.size();
   SharedColumn out(n);
   const Ring* const a0 = column.shares[0].data();
@@ -194,15 +184,17 @@ SharedColumn SecretShareEngine::GatherRerandomizeWith(const SharedColumn& column
   Ring* const o1 = out.shares[1].data();
   Ring* const o2 = out.shares[2].data();
   ForRows(n, [&](int64_t lo, int64_t hi) {
+#if !defined(NDEBUG)
     for (int64_t i = lo; i < hi; ++i) {
-      const size_t row = static_cast<size_t>(rows[static_cast<size_t>(i)]);
-      CONCLAVE_DCHECK(row < column.size());
-      const Ring r0 = rng.At(2 * static_cast<uint64_t>(i));
-      const Ring r1 = rng.At(2 * static_cast<uint64_t>(i) + 1);
-      o0[i] = a0[row] + r0;
-      o1[i] = a1[row] + r1;
-      o2[i] = a2[row] - r0 - r1;
+      CONCLAVE_DCHECK(rows[static_cast<size_t>(i)] >= 0 &&
+                      rows[static_cast<size_t>(i)] <
+                          static_cast<int64_t>(column.size()));
     }
+#endif
+    const size_t len = static_cast<size_t>(hi - lo);
+    rng.FillBlocksSplit(static_cast<uint64_t>(lo), len, o0 + lo, o1 + lo);
+    cpu::GatherRerandCombine(a0, a1, a2, rows.data() + lo, len, o0 + lo,
+                             o1 + lo, o2 + lo);
   });
   return out;
 }
@@ -221,45 +213,22 @@ SharedColumn SecretShareEngine::Compare(CompareOp op, const SharedColumn& a,
   const int64_t* const lhs = lhs_buf.i64();
   const int64_t* const rhs = rhs_buf.i64();
 
-  // Fresh sharing of the comparison bits, fused with their computation. The op
-  // dispatch is hoisted so the per-element loop stays branch-free.
+  // Fresh sharing of the comparison bits, fused with their computation: one
+  // vector compare into 0/1 bytes, one batched mask fill, one combine.
   SharedColumn out(n);
-  const CounterRng rng = NewStream();
+  const AesCounterRng rng = NewStream();
+  auto bits_buf = arena_.Acquire((n + 7) / 8);
+  uint8_t* const bits = reinterpret_cast<uint8_t*>(bits_buf.u64());
   Ring* const o0 = out.shares[0].data();
   Ring* const o1 = out.shares[1].data();
   Ring* const o2 = out.shares[2].data();
-  const auto share_bits = [&](auto cmp) {
-    ForRows(n, [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) {
-        const Ring bit = cmp(lhs[i], rhs[i]) ? 1 : 0;
-        const Ring r0 = rng.At(2 * static_cast<uint64_t>(i));
-        const Ring r1 = rng.At(2 * static_cast<uint64_t>(i) + 1);
-        o0[i] = r0;
-        o1[i] = r1;
-        o2[i] = bit - r0 - r1;
-      }
-    });
-  };
-  switch (op) {
-    case CompareOp::kEq:
-      share_bits([](int64_t x, int64_t y) { return x == y; });
-      break;
-    case CompareOp::kNe:
-      share_bits([](int64_t x, int64_t y) { return x != y; });
-      break;
-    case CompareOp::kLt:
-      share_bits([](int64_t x, int64_t y) { return x < y; });
-      break;
-    case CompareOp::kLe:
-      share_bits([](int64_t x, int64_t y) { return x <= y; });
-      break;
-    case CompareOp::kGt:
-      share_bits([](int64_t x, int64_t y) { return x > y; });
-      break;
-    case CompareOp::kGe:
-      share_bits([](int64_t x, int64_t y) { return x >= y; });
-      break;
-  }
+  ForRows(n, [&](int64_t lo, int64_t hi) {
+    const size_t len = static_cast<size_t>(hi - lo);
+    cpu::CompareMask(static_cast<cpu::Cmp>(op), lhs + lo, rhs + lo, 0, len,
+                     cpu::MaskMode::kSet, bits + lo);
+    rng.FillBlocksSplit(static_cast<uint64_t>(lo), len, o0 + lo, o1 + lo);
+    cpu::MaskSubSub(bits + lo, o0 + lo, o1 + lo, len, o2 + lo);
+  });
 
   const SsCharge charge = model.SsChargeFor(
       is_equality ? SsPrimitive::kEquality : SsPrimitive::kCompare);
@@ -289,19 +258,21 @@ SharedColumn SecretShareEngine::Div(const SharedColumn& a, const SharedColumn& b
   const int64_t* const den = den_buf.i64();
 
   SharedColumn out(n);
-  const CounterRng rng = NewStream();
+  const AesCounterRng rng = NewStream();
+  auto q_buf = arena_.Acquire(n);
+  int64_t* const q = q_buf.i64();
   Ring* const o0 = out.shares[0].data();
   Ring* const o1 = out.shares[1].data();
   Ring* const o2 = out.shares[2].data();
   ForRows(n, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      const int64_t q = den[i] == 0 ? 0 : (num[i] * scale) / den[i];
-      const Ring r0 = rng.At(2 * static_cast<uint64_t>(i));
-      const Ring r1 = rng.At(2 * static_cast<uint64_t>(i) + 1);
-      o0[i] = r0;
-      o1[i] = r1;
-      o2[i] = ToRing(q) - r0 - r1;
-    }
+    const size_t len = static_cast<size_t>(hi - lo);
+    // The engine's division rule lives in one place (cpu::ArithColumn kDiv) so
+    // the MPC lane and the cleartext Arithmetic kernel can never drift.
+    cpu::ArithColumn(cpu::Arith::kDiv, num + lo, den + lo, 0, scale, len,
+                     q + lo);
+    rng.FillBlocksSplit(static_cast<uint64_t>(lo), len, o0 + lo, o1 + lo);
+    cpu::SubSubU64(reinterpret_cast<const uint64_t*>(q) + lo, o0 + lo, o1 + lo,
+                   len, o2 + lo);
   });
 
   const SsCharge charge = model.SsChargeFor(SsPrimitive::kDivision);

@@ -18,14 +18,17 @@
 // All batched calls cost one (or O(circuit-depth)) communication rounds regardless of
 // batch size, mirroring how Sharemind amortizes round trips over vectorized ops.
 //
-// Data-plane layout (DESIGN.md §5): every primitive is a structure-of-arrays morsel
-// loop over rows (ParallelFor on the pool bound to the MPC lane), randomness is
-// counter-based — each operation claims one CounterRng stream from a sequential
-// counter, and element i derives its words from the (stream, i) pair — and per-call
-// temporaries (masked openings, ideal-functionality reconstructions) live in a
-// recycling scratch arena. Together these make every kernel a pure function of its
-// operands and stream, so shares are bit-identical at every pool size while the
-// steady-state hot path performs no allocation.
+// Data-plane layout (DESIGN.md §5, §13): every primitive is a structure-of-arrays
+// morsel loop over rows (ParallelFor on the pool bound to the MPC lane), randomness
+// is counter-based — each operation claims one AesCounterRng stream (batched
+// fixed-key AES counter blocks, AES-NI dispatched via common/cpu.h) from a
+// sequential counter, and element i derives its words from the (stream, i) pair —
+// and per-call temporaries (masked openings, ideal-functionality reconstructions)
+// live in a recycling scratch arena. The combine loops themselves run through the
+// cpu:: ring kernels (AVX2 with a bit-identical scalar fallback). Together these
+// make every kernel a pure function of its operands and stream, so shares are
+// bit-identical at every pool size while the steady-state hot path performs no
+// allocation.
 #ifndef CONCLAVE_MPC_SECRET_SHARE_ENGINE_H_
 #define CONCLAVE_MPC_SECRET_SHARE_ENGINE_H_
 
@@ -85,7 +88,7 @@ class SecretShareEngine {
   // stream per column up front (in column order, on the lane) and fan the moves out.
   static SharedColumn GatherRerandomizeWith(const SharedColumn& column,
                                             std::span<const int64_t> rows,
-                                            const CounterRng& rng);
+                                            const AesCounterRng& rng);
 
   // --- Ideal-functionality protocols (full cost charged) -----------------------------
   // Element-wise comparison; returns a shared 0/1 column. kEq/kNe use the cheap
@@ -125,7 +128,7 @@ class SecretShareEngine {
   // Claims the next randomness stream. Streams are claimed in a fixed sequence on
   // the serialized MPC lane, so stream assignment — and therefore every sharing —
   // is independent of the pool size.
-  CounterRng NewStream() { return CounterRng(seed_, next_stream_++); }
+  AesCounterRng NewStream() { return AesCounterRng(seed_, next_stream_++); }
 
   // Replay checkpoint for fault-injected frontier rollback (backends/dispatcher,
   // DESIGN.md §11): restoring rewinds the stream counter, the sequential

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "conclave/common/cpu.h"
 #include "conclave/common/thread_pool.h"
 
 namespace conclave {
@@ -18,7 +19,7 @@ SharedColumn ShareValues(std::span<const int64_t> values, Rng& rng) {
   return column;
 }
 
-SharedColumn ShareValues(std::span<const int64_t> values, const CounterRng& rng) {
+SharedColumn ShareValues(std::span<const int64_t> values, const AesCounterRng& rng) {
   SharedColumn column(values.size());
   Ring* const s0 = column.shares[0].data();
   Ring* const s1 = column.shares[1].data();
@@ -27,13 +28,13 @@ SharedColumn ShareValues(std::span<const int64_t> values, const CounterRng& rng)
   ParallelFor(
       0, static_cast<int64_t>(values.size()),
       [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) {
-          const Ring r0 = rng.At(2 * static_cast<uint64_t>(i));
-          const Ring r1 = rng.At(2 * static_cast<uint64_t>(i) + 1);
-          s0[i] = r0;
-          s1[i] = r1;
-          s2[i] = ToRing(v[i]) - r0 - r1;
-        }
+        // Element i's mask words are the two halves of AES counter block i, so
+        // a morsel is one contiguous batched fill straight into s0/s1 followed
+        // by one vector combine — no per-element finalizer calls.
+        const size_t n = static_cast<size_t>(hi - lo);
+        rng.FillBlocksSplit(static_cast<uint64_t>(lo), n, s0 + lo, s1 + lo);
+        cpu::SubSubU64(reinterpret_cast<const uint64_t*>(v) + lo, s0 + lo,
+                       s1 + lo, n, s2 + lo);
       },
       kMpcGrainRows);
   return column;
@@ -46,9 +47,8 @@ void ReconstructInto(const SharedColumn& column, int64_t* out) {
   ParallelFor(
       0, static_cast<int64_t>(column.size()),
       [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) {
-          out[i] = FromRing(s0[i] + s1[i] + s2[i]);
-        }
+        cpu::Add3U64(s0 + lo, s1 + lo, s2 + lo, static_cast<size_t>(hi - lo),
+                     reinterpret_cast<uint64_t*>(out) + lo);
       },
       kMpcGrainRows);
 }
@@ -69,11 +69,8 @@ Ring RingSum(std::span<const Ring> values) {
   ParallelFor(
       0, n,
       [&](int64_t lo, int64_t hi) {
-        Ring sum = 0;
-        for (int64_t i = lo; i < hi; ++i) {
-          sum += values[static_cast<size_t>(i)];
-        }
-        partials[static_cast<size_t>(lo / kMpcGrainRows)] = sum;
+        partials[static_cast<size_t>(lo / kMpcGrainRows)] =
+            cpu::SumU64(values.data() + lo, static_cast<size_t>(hi - lo));
       },
       kMpcGrainRows);
   Ring total = 0;

@@ -12,8 +12,11 @@
 // The bulk helpers here are the data plane's innermost loops: they run structure-of-
 // arrays passes over morsels of rows (common/thread_pool.h ParallelFor), writing
 // disjoint elements, so they produce bit-identical shares at every pool size. Share
-// generation uses counter-based randomness (CounterRng): element i of a sharing draws
-// words 2i and 2i+1 of the operation's stream, independent of evaluation order.
+// generation uses counter-based randomness (AesCounterRng — batched fixed-key AES
+// counter blocks, AES-NI when available): element i of a sharing draws words 2i and
+// 2i+1 of the operation's stream (the two halves of block i), independent of
+// evaluation order. The loops themselves dispatch through common/cpu.h, so they run
+// AVX2 on hardware that has it and a bit-identical scalar path everywhere else.
 #ifndef CONCLAVE_MPC_SHARE_H_
 #define CONCLAVE_MPC_SHARE_H_
 
@@ -71,17 +74,18 @@ struct SharedColumn {
 };
 
 // Splits cleartext values into fresh random additive shares (sequential generator;
-// test/fixture convenience). The engine's data plane uses the CounterRng overload.
+// test/fixture convenience). The engine's data plane uses the AesCounterRng overload.
 SharedColumn ShareValues(std::span<const int64_t> values, Rng& rng);
 
 // Counter-based, morsel-parallel sharing: element i draws stream words 2i and 2i+1,
-// so the result is a pure function of (values, rng) at every pool size.
-SharedColumn ShareValues(std::span<const int64_t> values, const CounterRng& rng);
+// so the result is a pure function of (values, rng) at every pool size. The mask
+// words come out of batched AES counter fills straight into the share vectors.
+SharedColumn ShareValues(std::span<const int64_t> values, const AesCounterRng& rng);
 
 // Shares one relation column zero-copy: the columnar layout makes this exactly
 // ShareValues over the column's contiguous cell span — no strided gather, no copy.
 inline SharedColumn ShareColumn(const Relation& relation, int col,
-                                const CounterRng& rng) {
+                                const AesCounterRng& rng) {
   CONCLAVE_CHECK_GE(col, 0);
   CONCLAVE_CHECK_LT(col, relation.NumColumns());
   return ShareValues(relation.ColumnSpan(col), rng);

@@ -8,7 +8,7 @@ void TripleDealer::Fill(TripleBatch& batch, size_t count) {
   batch.a.Resize(count);
   batch.b.Resize(count);
   batch.c.Resize(count);
-  const CounterRng rng(seed_, next_stream_++);
+  const AesCounterRng rng(seed_, next_stream_++);
   Ring* const a0 = batch.a.shares[0].data();
   Ring* const a1 = batch.a.shares[1].data();
   Ring* const a2 = batch.a.shares[2].data();
@@ -21,26 +21,31 @@ void TripleDealer::Fill(TripleBatch& batch, size_t count) {
   ParallelFor(
       0, static_cast<int64_t>(count),
       [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) {
-          const uint64_t base = 8 * static_cast<uint64_t>(i);
-          const Ring a = rng.At(base);
-          const Ring b = rng.At(base + 1);
-          // Share each of a, b, c = a*b with fresh randomness.
-          const Ring r0 = rng.At(base + 2);
-          const Ring r1 = rng.At(base + 3);
-          const Ring r2 = rng.At(base + 4);
-          const Ring r3 = rng.At(base + 5);
-          const Ring r4 = rng.At(base + 6);
-          const Ring r5 = rng.At(base + 7);
-          a0[i] = r0;
-          a1[i] = r1;
-          a2[i] = a - r0 - r1;
-          b0[i] = r2;
-          b1[i] = r3;
-          b2[i] = b - r2 - r3;
-          c0[i] = r4;
-          c1[i] = r5;
-          c2[i] = a * b - r4 - r5;
+        // Each triple consumes 8 stream words; batched AES fills produce them
+        // in fixed-size sub-chunks on the stack, then a scalar pass unpacks
+        // and combines — the unpack is cheap next to the per-word finalizer
+        // calls it replaces.
+        constexpr int64_t kChunkTriples = 128;
+        uint64_t words[8 * kChunkTriples];
+        for (int64_t chunk = lo; chunk < hi; chunk += kChunkTriples) {
+          const int64_t end = chunk + kChunkTriples < hi ? chunk + kChunkTriples : hi;
+          rng.FillWords(8 * static_cast<uint64_t>(chunk),
+                        static_cast<size_t>(8 * (end - chunk)), words);
+          for (int64_t i = chunk; i < end; ++i) {
+            const uint64_t* const w = words + 8 * (i - chunk);
+            const Ring a = w[0];
+            const Ring b = w[1];
+            // Share each of a, b, c = a*b with fresh randomness.
+            a0[i] = w[2];
+            a1[i] = w[3];
+            a2[i] = a - w[2] - w[3];
+            b0[i] = w[4];
+            b1[i] = w[5];
+            b2[i] = b - w[4] - w[5];
+            c0[i] = w[6];
+            c1[i] = w[7];
+            c2[i] = a * b - w[6] - w[7];
+          }
         }
       },
       kMpcGrainRows);

@@ -5,9 +5,9 @@
 // standard simulation stand-in for Sharemind's correlated-randomness preprocessing; the
 // number of triples dealt is exposed so tests can assert multiplication counts.
 //
-// Randomness is counter-based (CounterRng): triple i of a batch draws words
-// [8i, 8i+8) of the batch's stream, so columns fill in one morsel-parallel pass with
-// a pool-size-independent result. DealBatch writes into a dealer-owned scratch batch
+// Randomness is counter-based (AesCounterRng — batched fixed-key AES counter
+// blocks): triple i of a batch draws words [8i, 8i+8) of the batch's stream, so
+// columns fill in one morsel-parallel pass with a pool-size-independent result. DealBatch writes into a dealer-owned scratch batch
 // (borrowed until the next call), so steady-state multiplication consumes no
 // allocations for triples at all.
 #ifndef CONCLAVE_MPC_TRIPLE_DEALER_H_

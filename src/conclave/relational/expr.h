@@ -1,0 +1,147 @@
+// Fused expression evaluator for pipeline chains (DESIGN.md §13).
+//
+// A maximal run (>= 2 ops) of adjacent filter / project / arithmetic pipeline
+// ops compiles into one FusedExprProgram: a short instruction list evaluated in
+// a single pass per batch. Arithmetic results live in register-resident scratch
+// columns, filters AND into one progressive byte mask (cpu::CompareMask), and
+// the survivors are gathered exactly once at the end of the run — no
+// per-operator batch materialization, no per-operator virtual dispatch.
+// Projects cost nothing at runtime: they are compiled away into column
+// remappings.
+//
+// Semantics contract: a fused run is bit-identical — values AND row order — to
+// executing its ops one at a time, at every batch size. Two properties make
+// this safe to fuse:
+//   * Every kernel is a total function with the engine's wrap semantics
+//     (cpu::ArithColumn: int64 wrap via uint64; kDiv: divisor 0 -> 0,
+//     INT64_MIN / -1 wraps), so arithmetic may be computed on rows a later
+//     gather discards.
+//   * Filters only remove rows and never reorder them, so one deferred gather
+//     of the intersected mask equals the composition of per-filter gathers.
+//
+// Accounting contract: the program reports, per original op, exactly the row
+// count that op would have consumed in the unfused execution (the mask
+// popcount after the preceding filters). BatchPipeline feeds these into
+// PipelineStats::op_input_rows, so the dispatcher's estimate == meter identity
+// holds whether or not fusion is enabled.
+//
+// The CONCLAVE_FUSED_EXPR knob (unset or any value other than "0"/"off"/
+// "false" means enabled) mirrors CONCLAVE_SIMD: it never changes results, only
+// whether chains execute fused or one operator at a time.
+#ifndef CONCLAVE_RELATIONAL_EXPR_H_
+#define CONCLAVE_RELATIONAL_EXPR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "conclave/common/cpu.h"
+#include "conclave/relational/pipeline.h"
+#include "conclave/relational/relation.h"
+
+namespace conclave {
+
+// The CONCLAVE_FUSED_EXPR knob. SetFusedExprEnabled overrides the environment
+// for the process; BatchPipeline reads the knob once at construction.
+bool FusedExprEnabled();
+void SetFusedExprEnabled(bool enabled);
+
+// RAII knob override for tests and A/B benches.
+class ScopedFusedExpr {
+ public:
+  explicit ScopedFusedExpr(bool enabled) : saved_(FusedExprEnabled()) {
+    SetFusedExprEnabled(enabled);
+  }
+  ~ScopedFusedExpr() { SetFusedExprEnabled(saved_); }
+  ScopedFusedExpr(const ScopedFusedExpr&) = delete;
+  ScopedFusedExpr& operator=(const ScopedFusedExpr&) = delete;
+
+ private:
+  bool saved_;
+};
+
+// True for the op kinds the fused evaluator can compile (filter / project /
+// arithmetic). Limit and distinct-on-sorted carry cross-batch state and stay
+// standalone operators.
+bool FusibleExprOp(const PipelineOp& op);
+
+// One executor slot of a pipeline: ops [begin, end) of the spec. end - begin
+// >= 2 means the slot runs as one FusedExprProgram; a singleton slot runs as
+// the op's standalone streaming operator.
+struct ExprSlot {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+  bool fused() const { return size() >= 2; }
+};
+
+// Partitions an op chain into slots. With `fuse` set, every maximal run of
+// >= 2 adjacent fusible ops becomes one fused slot; everything else (and the
+// whole chain when `fuse` is false) becomes singleton slots. Slots cover
+// [0, ops.size()) exactly, in order.
+std::vector<ExprSlot> FuseExprSlots(std::span<const PipelineOp> ops, bool fuse);
+
+// A compiled fused run. Construction resolves every op's column references
+// against the evolving intermediate schema, so evaluation touches only raw
+// column pointers. The program owns reusable per-batch scratch (the arithmetic
+// value columns, the filter mask, the survivor index list); Eval is therefore
+// not const and a program must not be shared across threads — sharded
+// execution builds one BatchPipeline (and thus one program) per shard.
+class FusedExprProgram {
+ public:
+  // Compiles `ops` (all FusibleExprOp, size >= 1) against `input`.
+  FusedExprProgram(const Schema& input, std::span<const PipelineOp> ops);
+
+  // Schema of the run's output — identical to folding
+  // BatchPipeline::DeriveSchema over the ops.
+  const Schema& output_schema() const { return output_schema_; }
+
+  // Number of compiled ops.
+  size_t num_ops() const { return instrs_.size(); }
+
+  // Evaluates rows [lo, hi) of `src` through the whole run and returns the
+  // surviving rows as one owned batch (0 rows -> emit nothing upstream).
+  // Adds to op_rows[j] (size num_ops()) the rows entering relative op j —
+  // op_rows[0] grows by hi - lo, later ops by the survivor count of the
+  // filters before them, matching the unfused execution's per-op input rows.
+  Relation Eval(const Relation& src, int64_t lo, int64_t hi,
+                std::span<int64_t> op_rows);
+
+ private:
+  // A column reference: a source-relation column (slot < 0) or a computed
+  // arithmetic value column in scratch (slot >= 0).
+  struct ColRef {
+    int src = -1;
+    int slot = -1;
+  };
+
+  struct Instr {
+    PipelineOp::Kind kind = PipelineOp::Kind::kProject;
+    cpu::Cmp cmp = cpu::Cmp::kEq;        // kFilter.
+    cpu::Arith arith = cpu::Arith::kAdd;  // kArithmetic.
+    ColRef lhs;                           // kFilter / kArithmetic.
+    ColRef rhs;                           // Valid when rhs_is_column.
+    bool rhs_is_column = false;
+    int64_t literal = 0;
+    int64_t scale = 1;                    // kArithmetic (read for kDiv).
+    int out_slot = -1;                    // kArithmetic.
+  };
+
+  const int64_t* Resolve(const Relation& src, int64_t lo, ColRef ref) const;
+
+  Schema output_schema_;
+  std::vector<Instr> instrs_;
+  std::vector<ColRef> output_cols_;  // The run's output columns, post-compile.
+  int num_slots_ = 0;
+  bool has_filter_ = false;
+
+  // Reused per-batch scratch; O(batch) rows each.
+  std::vector<std::vector<int64_t>> slots_;
+  std::vector<uint8_t> mask_;
+  std::vector<int64_t> indices_;
+};
+
+}  // namespace conclave
+
+#endif  // CONCLAVE_RELATIONAL_EXPR_H_

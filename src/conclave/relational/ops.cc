@@ -5,11 +5,26 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "conclave/common/cpu.h"
 #include "conclave/common/rng.h"
 #include "conclave/common/strings.h"
 #include "conclave/common/thread_pool.h"
 
 namespace conclave {
+
+// The cpu:: kernel enums mirror the relational enums member-for-member so the
+// kernels can be dispatched with a cast (common/ cannot include relational/).
+static_assert(static_cast<int>(cpu::Cmp::kEq) == static_cast<int>(CompareOp::kEq) &&
+              static_cast<int>(cpu::Cmp::kNe) == static_cast<int>(CompareOp::kNe) &&
+              static_cast<int>(cpu::Cmp::kLt) == static_cast<int>(CompareOp::kLt) &&
+              static_cast<int>(cpu::Cmp::kLe) == static_cast<int>(CompareOp::kLe) &&
+              static_cast<int>(cpu::Cmp::kGt) == static_cast<int>(CompareOp::kGt) &&
+              static_cast<int>(cpu::Cmp::kGe) == static_cast<int>(CompareOp::kGe));
+static_assert(
+    static_cast<int>(cpu::Arith::kAdd) == static_cast<int>(ArithKind::kAdd) &&
+    static_cast<int>(cpu::Arith::kSub) == static_cast<int>(ArithKind::kSub) &&
+    static_cast<int>(cpu::Arith::kMul) == static_cast<int>(ArithKind::kMul) &&
+    static_cast<int>(cpu::Arith::kDiv) == static_cast<int>(ArithKind::kDiv));
 
 const char* CompareOpName(CompareOp op) {
   switch (op) {
@@ -165,9 +180,8 @@ void GatherColumnInto(const Relation& src, int src_col,
   // is byte-identical to the serial loop.
   const int64_t* const column = rows.empty() ? nullptr : src.ColumnSpan(src_col).data();
   ParallelFor(0, static_cast<int64_t>(rows.size()), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      dst[i] = column[rows[static_cast<size_t>(i)]];
-    }
+    cpu::GatherI64(column, rows.data() + lo, static_cast<size_t>(hi - lo),
+                   dst + lo);
   });
 }
 
@@ -199,29 +213,21 @@ Relation Project(const Relation& input, std::span<const int> columns) {
 namespace {
 
 // Selection pass shared by Filter: emits the indices of passing rows in scan
-// order. The comparison op is dispatched once, outside the contiguous column
-// loop, so each instantiation is a branch-free two-pointer scan.
-template <typename Cmp>
-std::vector<int64_t> SelectRows(const int64_t* lhs, const int64_t* rhs,
-                                int64_t rhs_literal, int64_t rows, Cmp cmp) {
+// order via the dispatched cpu::SelectCompare kernel — each morsel writes into
+// a full-width local buffer, then shrinks to the match count.
+std::vector<int64_t> SelectRows(CompareOp op, const int64_t* lhs,
+                                const int64_t* rhs, int64_t rhs_literal,
+                                int64_t rows) {
   const int64_t grain = kDefaultGrainRows;
   const int64_t num_chunks = rows == 0 ? 0 : (rows + grain - 1) / grain;
   std::vector<std::vector<int64_t>> partials(static_cast<size_t>(num_chunks));
   ParallelFor(0, rows, [&](int64_t lo, int64_t hi) {
     std::vector<int64_t>& local = partials[static_cast<size_t>(lo / grain)];
-    if (rhs != nullptr) {
-      for (int64_t r = lo; r < hi; ++r) {
-        if (cmp(lhs[r], rhs[r])) {
-          local.push_back(r);
-        }
-      }
-    } else {
-      for (int64_t r = lo; r < hi; ++r) {
-        if (cmp(lhs[r], rhs_literal)) {
-          local.push_back(r);
-        }
-      }
-    }
+    local.resize(static_cast<size_t>(hi - lo));
+    const size_t count = cpu::SelectCompare(
+        static_cast<cpu::Cmp>(op), lhs + lo, rhs != nullptr ? rhs + lo : nullptr,
+        rhs_literal, /*base=*/lo, static_cast<size_t>(hi - lo), local.data());
+    local.resize(count);
   }, grain);
   return ConcatPartials(std::move(partials));
 }
@@ -235,34 +241,8 @@ Relation Filter(const Relation& input, const FilterPredicate& predicate) {
   const int64_t* const rhs = (rows == 0 || !predicate.rhs_is_column)
                                  ? nullptr
                                  : input.ColumnSpan(predicate.rhs_column).data();
-  std::vector<int64_t> selected;
-  switch (predicate.op) {
-    case CompareOp::kEq:
-      selected = SelectRows(lhs, rhs, predicate.rhs_literal, rows,
-                            [](int64_t a, int64_t b) { return a == b; });
-      break;
-    case CompareOp::kNe:
-      selected = SelectRows(lhs, rhs, predicate.rhs_literal, rows,
-                            [](int64_t a, int64_t b) { return a != b; });
-      break;
-    case CompareOp::kLt:
-      selected = SelectRows(lhs, rhs, predicate.rhs_literal, rows,
-                            [](int64_t a, int64_t b) { return a < b; });
-      break;
-    case CompareOp::kLe:
-      selected = SelectRows(lhs, rhs, predicate.rhs_literal, rows,
-                            [](int64_t a, int64_t b) { return a <= b; });
-      break;
-    case CompareOp::kGt:
-      selected = SelectRows(lhs, rhs, predicate.rhs_literal, rows,
-                            [](int64_t a, int64_t b) { return a > b; });
-      break;
-    case CompareOp::kGe:
-      selected = SelectRows(lhs, rhs, predicate.rhs_literal, rows,
-                            [](int64_t a, int64_t b) { return a >= b; });
-      break;
-  }
-  return GatherRows(input, selected);
+  return GatherRows(input,
+                    SelectRows(predicate.op, lhs, rhs, predicate.rhs_literal, rows));
 }
 
 Schema JoinOutputSchema(const Schema& left, const Schema& right,
@@ -451,6 +431,20 @@ Relation AggregateSingleKey(const Relation& input, int group_column, AggKind kin
                                              : input.ColumnSpan(agg_column).data();
   ParallelFor(0, rows, [&](int64_t lo, int64_t hi) {
     GroupMap& local = partials[static_cast<size_t>(lo / grain)];
+    const size_t n = static_cast<size_t>(hi - lo);
+    // Sorted or low-cardinality inputs often present whole morsels of one
+    // group: collapse those to vector reductions (same wrap-sum and min/max
+    // as the per-row updates, so the result bits cannot differ).
+    if (cpu::AllEqual(keys + lo, n)) {
+      auto& acc = local[keys[lo]];
+      acc.count += hi - lo;
+      if (vals != nullptr) {
+        acc.sum += cpu::SumWrap(vals + lo, n);
+        acc.min = std::min(acc.min, cpu::MinOf(vals + lo, n));
+        acc.max = std::max(acc.max, cpu::MaxOf(vals + lo, n));
+      }
+      return;
+    }
     for (int64_t r = lo; r < hi; ++r) {
       auto& acc = local[keys[r]];
       acc.count += 1;
@@ -664,29 +658,9 @@ Relation Arithmetic(const Relation& input, const ArithSpec& spec) {
   const int64_t literal = spec.rhs_literal;
   const int64_t scale = spec.scale;
   ParallelFor(0, rows, [&](int64_t lo, int64_t hi) {
-    switch (spec.kind) {
-      case ArithKind::kAdd:
-        for (int64_t r = lo; r < hi; ++r) {
-          out[r] = lhs[r] + (rhs != nullptr ? rhs[r] : literal);
-        }
-        break;
-      case ArithKind::kSub:
-        for (int64_t r = lo; r < hi; ++r) {
-          out[r] = lhs[r] - (rhs != nullptr ? rhs[r] : literal);
-        }
-        break;
-      case ArithKind::kMul:
-        for (int64_t r = lo; r < hi; ++r) {
-          out[r] = lhs[r] * (rhs != nullptr ? rhs[r] : literal);
-        }
-        break;
-      case ArithKind::kDiv:
-        for (int64_t r = lo; r < hi; ++r) {
-          const int64_t d = rhs != nullptr ? rhs[r] : literal;
-          out[r] = d == 0 ? 0 : (lhs[r] * scale) / d;
-        }
-        break;
-    }
+    cpu::ArithColumn(static_cast<cpu::Arith>(spec.kind), lhs + lo,
+                     rhs != nullptr ? rhs + lo : nullptr, literal, scale,
+                     static_cast<size_t>(hi - lo), out + lo);
   });
   return output;
 }
@@ -793,22 +767,21 @@ Relation StripSentinelRows(const Relation& input) {
   const int64_t rows = input.NumRows();
   // Column-parallel sentinel detection: a row is padded iff any of its cells is in
   // the sentinel range.
-  std::vector<uint8_t> padded(static_cast<size_t>(rows), 0);
+  // With no columns there is nothing to test; every row stays (mask init 1).
+  std::vector<uint8_t> keep(static_cast<size_t>(rows), 1);
   for (int c = 0; c < input.NumColumns(); ++c) {
     const int64_t* const column = rows == 0 ? nullptr : input.ColumnSpan(c).data();
+    // First column sets the mask, later columns intersect: keep = all cells
+    // below the sentinel range.
+    const cpu::MaskMode mode = c == 0 ? cpu::MaskMode::kSet : cpu::MaskMode::kAnd;
     ParallelFor(0, rows, [&](int64_t lo, int64_t hi) {
-      for (int64_t r = lo; r < hi; ++r) {
-        padded[static_cast<size_t>(r)] |= column[r] >= kSentinelBase ? 1 : 0;
-      }
+      cpu::CompareMask(cpu::Cmp::kLt, column + lo, nullptr, kSentinelBase,
+                       static_cast<size_t>(hi - lo), mode, keep.data() + lo);
     });
   }
-  std::vector<int64_t> kept;
-  kept.reserve(static_cast<size_t>(rows));
-  for (int64_t r = 0; r < rows; ++r) {
-    if (padded[static_cast<size_t>(r)] == 0) {
-      kept.push_back(r);
-    }
-  }
+  std::vector<int64_t> kept(static_cast<size_t>(rows));
+  kept.resize(cpu::MaskToIndices(keep.data(), static_cast<size_t>(rows), 0,
+                                 kept.data()));
   return GatherRows(input, kept);
 }
 

@@ -5,7 +5,9 @@
 #include <string>
 #include <utility>
 
+#include "conclave/common/cpu.h"
 #include "conclave/relational/csv.h"
+#include "conclave/relational/expr.h"
 
 namespace conclave {
 
@@ -80,6 +82,8 @@ namespace pipeline_internal {
 // ops.h kernel bit for bit at every batch size.
 class BatchOperator {
  public:
+  // `index` is the operator's executor SLOT (a fused run is one slot), not an
+  // original op position; Push maps slots back to op indices for stats.
   BatchOperator(BatchPipeline* pipeline, size_t index, Schema output_schema)
       : pipeline_(pipeline), index_(index), output_schema_(std::move(output_schema)) {}
   virtual ~BatchOperator() = default;
@@ -105,6 +109,10 @@ class BatchOperator {
   // Routes a head-of-pipeline slice copy through the pipeline's residency
   // accounting and back into this operator's Consume.
   void SelfDeliver(Relation&& batch) { pipeline_->Push(index_, std::move(batch)); }
+  // Fused-slot accounting hook (see BatchPipeline::AddOpInputRows).
+  void AddOpInputRows(size_t op_index, int64_t rows) {
+    pipeline_->AddOpInputRows(op_index, rows);
+  }
 
  private:
   BatchPipeline* pipeline_;
@@ -124,18 +132,19 @@ class FilterOperator : public BatchOperator {
   void Consume(Relation&& batch) override { ConsumeSlice(batch, 0, batch.NumRows()); }
 
   void ConsumeSlice(const Relation& src, int64_t lo, int64_t hi) override {
-    selected_.clear();
-    const int64_t* const lhs =
-        hi == lo ? nullptr : src.ColumnSpan(predicate_.column).data();
-    const int64_t* const rhs = (hi == lo || !predicate_.rhs_is_column)
-                                   ? nullptr
-                                   : src.ColumnSpan(predicate_.rhs_column).data();
-    const int64_t literal = predicate_.rhs_literal;
-    for (int64_t r = lo; r < hi; ++r) {
-      if (EvalCompare(predicate_.op, lhs[r], rhs != nullptr ? rhs[r] : literal)) {
-        selected_.push_back(r);
-      }
+    if (hi == lo) {
+      return;
     }
+    const int64_t* const lhs = src.ColumnSpan(predicate_.column).data();
+    const int64_t* const rhs = predicate_.rhs_is_column
+                                   ? src.ColumnSpan(predicate_.rhs_column).data()
+                                   : nullptr;
+    selected_.resize(static_cast<size_t>(hi - lo));
+    const size_t count = cpu::SelectCompare(
+        static_cast<cpu::Cmp>(predicate_.op), lhs + lo,
+        rhs != nullptr ? rhs + lo : nullptr, predicate_.rhs_literal,
+        /*base=*/lo, static_cast<size_t>(hi - lo), selected_.data());
+    selected_.resize(count);
     if (!selected_.empty()) {
       Emit(ops::GatherRows(src, selected_));
     }
@@ -192,38 +201,15 @@ class ArithmeticOperator : public BatchOperator {
       const auto column = src.ColumnSpan(c);
       std::copy(column.begin() + lo, column.begin() + hi, out.ColumnData(c));
     }
-    // Same per-row formulas as ops::Arithmetic (incl. kDiv's fixed-point scale
-    // and divide-by-zero -> 0), so batch concatenation is bit-identical.
+    // Same kernel as ops::Arithmetic (incl. kDiv's fixed-point scale and
+    // divide-by-zero -> 0), so batch concatenation is bit-identical.
     const int64_t* const lhs = src.ColumnSpan(spec_.lhs_column).data() + lo;
     const int64_t* const rhs = spec_.rhs_is_column
                                    ? src.ColumnSpan(spec_.rhs_column).data() + lo
                                    : nullptr;
-    int64_t* const out_col = out.ColumnData(src.NumColumns());
-    const int64_t literal = spec_.rhs_literal;
-    const int64_t scale = spec_.scale;
-    switch (spec_.kind) {
-      case ArithKind::kAdd:
-        for (int64_t r = 0; r < rows; ++r) {
-          out_col[r] = lhs[r] + (rhs != nullptr ? rhs[r] : literal);
-        }
-        break;
-      case ArithKind::kSub:
-        for (int64_t r = 0; r < rows; ++r) {
-          out_col[r] = lhs[r] - (rhs != nullptr ? rhs[r] : literal);
-        }
-        break;
-      case ArithKind::kMul:
-        for (int64_t r = 0; r < rows; ++r) {
-          out_col[r] = lhs[r] * (rhs != nullptr ? rhs[r] : literal);
-        }
-        break;
-      case ArithKind::kDiv:
-        for (int64_t r = 0; r < rows; ++r) {
-          const int64_t d = rhs != nullptr ? rhs[r] : literal;
-          out_col[r] = d == 0 ? 0 : (lhs[r] * scale) / d;
-        }
-        break;
-    }
+    cpu::ArithColumn(static_cast<cpu::Arith>(spec_.kind), lhs, rhs,
+                     spec_.rhs_literal, spec_.scale, static_cast<size_t>(rows),
+                     out.ColumnData(src.NumColumns()));
     Emit(std::move(out));
   }
 
@@ -329,6 +315,43 @@ class DistinctOnSortedOperator : public BatchOperator {
   std::vector<int64_t> selected_;      // Reused scratch; O(batch) rows.
 };
 
+// One executor slot covering a fused run of >= 2 adjacent filter / project /
+// arithmetic ops (relational/expr.h): the whole run evaluates in one
+// register-resident pass per batch. Push attributes the batch's rows to the
+// run's FIRST original op; the interior ops' per-op input rows come from the
+// program's accounting and flow through AddOpInputRows, so op_input_rows is
+// identical to the unfused execution at every batch size.
+class FusedExprOperator : public BatchOperator {
+ public:
+  FusedExprOperator(BatchPipeline* pipeline, size_t slot, Schema output_schema,
+                    FusedExprProgram program, size_t first_op)
+      : BatchOperator(pipeline, slot, std::move(output_schema)),
+        program_(std::move(program)),
+        first_op_(first_op),
+        op_rows_(program_.num_ops()) {}
+
+  void Consume(Relation&& batch) override { ConsumeSlice(batch, 0, batch.NumRows()); }
+
+  void ConsumeSlice(const Relation& src, int64_t lo, int64_t hi) override {
+    if (hi == lo) {
+      return;
+    }
+    std::fill(op_rows_.begin(), op_rows_.end(), 0);
+    Relation out = program_.Eval(src, lo, hi, op_rows_);
+    for (size_t j = 1; j < op_rows_.size(); ++j) {
+      AddOpInputRows(first_op_ + j, op_rows_[j]);
+    }
+    if (out.NumRows() > 0) {
+      Emit(std::move(out));
+    }
+  }
+
+ private:
+  FusedExprProgram program_;
+  size_t first_op_;
+  std::vector<int64_t> op_rows_;  // Per-batch relative-op row counts; reused.
+};
+
 }  // namespace
 }  // namespace pipeline_internal
 
@@ -357,34 +380,50 @@ Schema BatchPipeline::DeriveSchema(const Schema& input, const PipelineOp& op) {
 
 BatchPipeline::BatchPipeline(const PipelineSpec& spec) {
   using pipeline_internal::BatchOperator;
+  num_ops_ = spec.ops.size();
   Schema schema = spec.input_schema;
-  for (size_t i = 0; i < spec.ops.size(); ++i) {
-    const PipelineOp& op = spec.ops[i];
-    Schema out = DeriveSchema(schema, op);
+  // Knob read once here: a pipeline's slot structure is fixed for its lifetime,
+  // so mid-run knob flips cannot desynchronize slots from operators.
+  const std::vector<ExprSlot> slots = FuseExprSlots(spec.ops, FusedExprEnabled());
+  for (const ExprSlot& slot : slots) {
+    const size_t i = operators_.size();  // This slot's executor index.
     std::unique_ptr<BatchOperator> built;
-    switch (op.kind) {
-      case PipelineOp::Kind::kFilter:
-        built = std::make_unique<pipeline_internal::FilterOperator>(this, i, out,
-                                                                    op.filter);
-        break;
-      case PipelineOp::Kind::kProject:
-        built = std::make_unique<pipeline_internal::ProjectOperator>(this, i, out,
-                                                                     op.columns);
-        break;
-      case PipelineOp::Kind::kArithmetic:
-        built = std::make_unique<pipeline_internal::ArithmeticOperator>(this, i, out,
-                                                                        op.arith);
-        break;
-      case PipelineOp::Kind::kLimit:
-        built = std::make_unique<pipeline_internal::LimitOperator>(this, i, out,
-                                                                   op.limit_count);
-        break;
-      case PipelineOp::Kind::kDistinctOnSorted:
-        built = std::make_unique<pipeline_internal::DistinctOnSortedOperator>(
-            this, i, out, op.columns);
-        break;
+    Schema out;
+    if (slot.fused()) {
+      FusedExprProgram program(
+          schema, std::span<const PipelineOp>(spec.ops).subspan(
+                      slot.begin, slot.size()));
+      out = program.output_schema();
+      built = std::make_unique<pipeline_internal::FusedExprOperator>(
+          this, i, out, std::move(program), slot.begin);
+    } else {
+      const PipelineOp& op = spec.ops[slot.begin];
+      out = DeriveSchema(schema, op);
+      switch (op.kind) {
+        case PipelineOp::Kind::kFilter:
+          built = std::make_unique<pipeline_internal::FilterOperator>(this, i, out,
+                                                                      op.filter);
+          break;
+        case PipelineOp::Kind::kProject:
+          built = std::make_unique<pipeline_internal::ProjectOperator>(this, i, out,
+                                                                       op.columns);
+          break;
+        case PipelineOp::Kind::kArithmetic:
+          built = std::make_unique<pipeline_internal::ArithmeticOperator>(this, i, out,
+                                                                          op.arith);
+          break;
+        case PipelineOp::Kind::kLimit:
+          built = std::make_unique<pipeline_internal::LimitOperator>(this, i, out,
+                                                                     op.limit_count);
+          break;
+        case PipelineOp::Kind::kDistinctOnSorted:
+          built = std::make_unique<pipeline_internal::DistinctOnSortedOperator>(
+              this, i, out, op.columns);
+          break;
+      }
     }
     operators_.push_back(std::move(built));
+    slot_first_op_.push_back(slot.begin);
     schema = std::move(out);
   }
   output_schema_ = std::move(schema);
@@ -392,8 +431,8 @@ BatchPipeline::BatchPipeline(const PipelineSpec& spec) {
 
 BatchPipeline::~BatchPipeline() = default;
 
-void BatchPipeline::Push(size_t op_index, Relation&& batch) {
-  if (op_index == operators_.size()) {
+void BatchPipeline::Push(size_t slot, Relation&& batch) {
+  if (slot == operators_.size()) {
     const int64_t start = output_.NumRows();
     const int64_t rows = batch.NumRows();
     output_.Resize(start + rows);
@@ -404,21 +443,21 @@ void BatchPipeline::Push(size_t op_index, Relation&& batch) {
     return;
   }
   const int64_t rows = batch.NumRows();
-  if (op_index > 0) {
-    stats_.op_input_rows[op_index] += rows;
+  if (slot > 0) {
+    stats_.op_input_rows[slot_first_op_[slot]] += rows;
   }
   ++live_batches_;
   live_rows_ += rows;
   stats_.peak_batches_resident = std::max(stats_.peak_batches_resident, live_batches_);
   stats_.peak_rows_resident = std::max(stats_.peak_rows_resident, live_rows_);
-  operators_[op_index]->Consume(std::move(batch));
+  operators_[slot]->Consume(std::move(batch));
   --live_batches_;
   live_rows_ -= rows;
 }
 
 Relation BatchPipeline::Run(const Relation& input, int64_t batch_rows) {
   stats_ = PipelineStats{};
-  stats_.op_input_rows.assign(operators_.size(), 0);
+  stats_.op_input_rows.assign(num_ops_, 0);
   live_batches_ = 0;
   live_rows_ = 0;
   for (auto& op : operators_) {
@@ -452,7 +491,7 @@ StatusOr<Relation> BatchPipeline::RunFromCsv(const CsvSource& source,
                                              int64_t begin, int64_t end,
                                              int64_t batch_rows) {
   stats_ = PipelineStats{};
-  stats_.op_input_rows.assign(operators_.size(), 0);
+  stats_.op_input_rows.assign(num_ops_, 0);
   live_batches_ = 0;
   live_rows_ = 0;
   for (auto& op : operators_) {

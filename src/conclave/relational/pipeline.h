@@ -22,6 +22,15 @@
 // every batch even after the limit is satisfied, so per-operator row counts — and
 // with them the dispatcher's cost-model charges and counters — are identical to
 // the unfused execution at every batch size.
+//
+// Executor slots: the constructor partitions the op chain into slots (see
+// relational/expr.h). A maximal run of >= 2 adjacent filter / project /
+// arithmetic ops becomes ONE operator — a FusedExprProgram evaluated in a
+// single register-resident pass per batch — when the CONCLAVE_FUSED_EXPR knob
+// is on; every other op is its own slot. PipelineStats::op_input_rows stays
+// indexed by ORIGINAL op position regardless: fused slots report their
+// interior ops' per-op input rows through the program's accounting, so the
+// dispatcher's per-node pricing is identical with fusion on or off.
 #ifndef CONCLAVE_RELATIONAL_PIPELINE_H_
 #define CONCLAVE_RELATIONAL_PIPELINE_H_
 
@@ -129,12 +138,24 @@ class BatchPipeline {
  private:
   friend class pipeline_internal::BatchOperator;
 
-  // Delivers one owned batch to operator `op_index` (== ops_.size() appends to
-  // the output), tracking batch residency around the consume call.
-  void Push(size_t op_index, Relation&& batch);
+  // Delivers one owned batch to the operator at `slot` (== operators_.size()
+  // appends to the output), tracking batch residency around the consume call.
+  // Input rows are attributed to the slot's FIRST original op; a fused slot
+  // reports its interior ops' rows itself via AddOpInputRows.
+  void Push(size_t slot, Relation&& batch);
+
+  // Fused-slot hook: adds to stats_.op_input_rows[op_index] (an ORIGINAL op
+  // index) the rows a fused run's interior op consumed this batch.
+  void AddOpInputRows(size_t op_index, int64_t rows) {
+    stats_.op_input_rows[op_index] += rows;
+  }
 
   Schema output_schema_;
   std::vector<std::unique_ptr<pipeline_internal::BatchOperator>> operators_;
+  // Original op index each executor slot starts at (operators_ may be shorter
+  // than the spec's op list when runs are fused).
+  std::vector<size_t> slot_first_op_;
+  size_t num_ops_ = 0;  // spec.ops.size(); sizes stats_.op_input_rows.
   PipelineStats stats_;
   int64_t live_batches_ = 0;
   int64_t live_rows_ = 0;

@@ -10,11 +10,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
 #include <vector>
 
 #include "conclave/api/conclave.h"
 #include "conclave/data/generators.h"
+#include "conclave/relational/expr.h"
 #include "conclave/relational/ops.h"
 #include "conclave/relational/relation.h"
 #include "test_util.h"
@@ -293,6 +295,143 @@ TEST(DefaultBatchRowsTest, EnvKnobParsing) {
     test::ScopedEnvVar env("CONCLAVE_BATCH_ROWS", "not-a-number");
     EXPECT_EQ(DefaultBatchRows(), kMaterializeBatchRows);
   }
+}
+
+TEST(FusedExprTest, SlotPartitioning) {
+  const FilterPredicate pred = FilterPredicate::ColumnVsLiteral(0, CompareOp::kGt, 0);
+  ArithSpec arith;
+  arith.kind = ArithKind::kAdd;
+  arith.lhs_column = 0;
+  arith.rhs_is_column = false;
+  arith.rhs_literal = 1;
+  arith.result_name = "x";
+  std::vector<PipelineOp> ops;
+  ops.push_back(PipelineOp::Filter(pred));           // 0: fused with 1.
+  ops.push_back(PipelineOp::Arithmetic(arith));      // 1.
+  ops.push_back(PipelineOp::Limit(10));              // 2: standalone.
+  ops.push_back(PipelineOp::Filter(pred));           // 3: fused with 4, 5.
+  ops.push_back(PipelineOp::Project({0}));           // 4.
+  ops.push_back(PipelineOp::Filter(pred));           // 5.
+  ops.push_back(PipelineOp::DistinctOnSorted({0}));  // 6: standalone.
+
+  const std::vector<ExprSlot> fused = FuseExprSlots(ops, /*fuse=*/true);
+  ASSERT_EQ(fused.size(), 4u);
+  EXPECT_EQ(fused[0].begin, 0u);
+  EXPECT_EQ(fused[0].end, 2u);
+  EXPECT_TRUE(fused[0].fused());
+  EXPECT_EQ(fused[1].begin, 2u);
+  EXPECT_FALSE(fused[1].fused());
+  EXPECT_EQ(fused[2].begin, 3u);
+  EXPECT_EQ(fused[2].end, 6u);
+  EXPECT_TRUE(fused[2].fused());
+  EXPECT_EQ(fused[3].begin, 6u);
+  EXPECT_FALSE(fused[3].fused());
+
+  const std::vector<ExprSlot> unfused = FuseExprSlots(ops, /*fuse=*/false);
+  ASSERT_EQ(unfused.size(), ops.size());
+  for (size_t i = 0; i < unfused.size(); ++i) {
+    EXPECT_EQ(unfused[i].begin, i);
+    EXPECT_FALSE(unfused[i].fused());
+  }
+}
+
+TEST(FusedExprTest, KnobDefaultsOnAndScopedRestores) {
+  // Default-on, unless CONCLAVE_FUSED_EXPR in the environment overrides it
+  // (the scalar-fallback CI leg runs the whole suite with it forced off).
+  const bool baseline = FusedExprEnabled();
+  if (std::getenv("CONCLAVE_FUSED_EXPR") == nullptr) EXPECT_TRUE(baseline);
+  {
+    ScopedFusedExpr off(false);
+    EXPECT_FALSE(FusedExprEnabled());
+    {
+      ScopedFusedExpr on(true);
+      EXPECT_TRUE(FusedExprEnabled());
+    }
+    EXPECT_FALSE(FusedExprEnabled());
+  }
+  EXPECT_EQ(FusedExprEnabled(), baseline);
+}
+
+// The fused evaluator's core contract: a gnarly run — computed columns feeding
+// later filters and divisions, projects reordering computed and source columns,
+// division by zero — produces bit-identical outputs AND per-op input rows to
+// one-operator-at-a-time execution, at every batch size.
+TEST(FusedExprTest, FusedMatchesUnfusedOutputsAndAccounting) {
+  const Relation input = data::UniformInts(1500, {"a", "b", "c"}, 40, /*seed=*/77);
+  ArithSpec sub;  // d = a - b (negatives appear).
+  sub.kind = ArithKind::kSub;
+  sub.lhs_column = 0;
+  sub.rhs_is_column = true;
+  sub.rhs_column = 1;
+  sub.result_name = "d";
+  ArithSpec div;  // e = trunc(100 * d / c); c hits 0 regularly.
+  div.kind = ArithKind::kDiv;
+  div.lhs_column = 0;
+  div.rhs_is_column = true;
+  div.rhs_column = 1;
+  div.scale = 100;
+  div.result_name = "e";
+  ArithSpec mul;  // f = 3 * e.
+  mul.kind = ArithKind::kMul;
+  mul.lhs_column = 2;
+  mul.rhs_is_column = false;
+  mul.rhs_literal = 3;
+  mul.result_name = "f";
+  PipelineSpec spec;
+  spec.input_schema = input.schema();
+  spec.ops.push_back(PipelineOp::Arithmetic(sub));  // [a b c d]
+  spec.ops.push_back(PipelineOp::Filter(           // Filter on the computed d.
+      FilterPredicate::ColumnVsLiteral(3, CompareOp::kGt, -20)));
+  spec.ops.push_back(PipelineOp::Project({3, 2, 0}));  // [d c a]
+  spec.ops.push_back(PipelineOp::Arithmetic(div));     // [d c a e]
+  spec.ops.push_back(PipelineOp::Filter(
+      FilterPredicate::ColumnVsLiteral(3, CompareOp::kNe, 0)));
+  spec.ops.push_back(PipelineOp::Arithmetic(mul));     // [d c a e f]
+
+  for (int64_t batch_rows : kBatchGrid) {
+    ScopedFusedExpr on(true);
+    BatchPipeline fused(spec);
+    const Relation got = fused.Run(input, batch_rows);
+    ScopedFusedExpr off(false);
+    BatchPipeline unfused(spec);
+    const Relation want = unfused.Run(input, batch_rows);
+    ASSERT_TRUE(got.RowsEqual(want)) << "batch_rows=" << batch_rows;
+    EXPECT_EQ(got.schema().ToString(), want.schema().ToString());
+    ASSERT_EQ(fused.stats().op_input_rows.size(), spec.ops.size());
+    EXPECT_EQ(fused.stats().op_input_rows, unfused.stats().op_input_rows)
+        << "batch_rows=" << batch_rows;
+    // Fusion only ever lowers residency: the run holds no inter-op batches.
+    EXPECT_LE(fused.stats().peak_rows_resident,
+              unfused.stats().peak_rows_resident)
+        << "batch_rows=" << batch_rows;
+  }
+}
+
+// A fused run downstream of a standalone operator (limit) consumes owned
+// batches rather than borrowed head slices; both routes must agree.
+TEST(FusedExprTest, FusedRunAfterStandaloneOperator) {
+  const Relation input = data::UniformInts(800, {"a", "b"}, 64, /*seed=*/91);
+  ArithSpec add;
+  add.kind = ArithKind::kAdd;
+  add.lhs_column = 0;
+  add.rhs_is_column = true;
+  add.rhs_column = 1;
+  add.result_name = "s";
+  PipelineSpec spec;
+  spec.input_schema = input.schema();
+  spec.ops.push_back(PipelineOp::Limit(555));
+  spec.ops.push_back(PipelineOp::Filter(
+      FilterPredicate::ColumnVsLiteral(1, CompareOp::kLe, 40)));
+  spec.ops.push_back(PipelineOp::Arithmetic(add));
+  spec.ops.push_back(PipelineOp::Project({2, 0}));
+
+  Relation expected = ops::Limit(input, 555);
+  expected = ops::Filter(
+      expected, FilterPredicate::ColumnVsLiteral(1, CompareOp::kLe, 40));
+  expected = ops::Arithmetic(expected, add);
+  expected = ops::Project(expected, std::vector<int>{2, 0});
+  ScopedFusedExpr on(true);
+  ExpectPipelineMatches(spec, input, expected);
 }
 
 // A fused local chain feeding a blocking operator (sort, then an MPC-side

@@ -13,9 +13,11 @@
 
 #include "conclave/api/conclave.h"
 #include "conclave/backends/local_backend.h"
+#include "conclave/common/cpu.h"
 #include "conclave/common/strings.h"
 #include "conclave/data/generators.h"
 #include "conclave/net/fault.h"
+#include "conclave/relational/expr.h"
 #include "conclave/relational/pipeline.h"
 #include "row_major_reference.h"
 
@@ -536,17 +538,40 @@ struct RunOutcome {
   backends::SpillReport spill_report;
 };
 
-RunOutcome RunPlan(const PlanSpec& spec, int pool, int shards,
-                   int64_t batch_rows,
+// One point of the differential grid. Beyond the execution-shape axes ({pool,
+// shard, batch}), the raw-speed axes (DESIGN.md §13) ride along: simd toggles
+// the CONCLAVE_SIMD dispatch knob, fused_expr the fused expression evaluator.
+// Both must be invisible in results, virtual clock, and counters at every
+// point — the harness checks every candidate against a default-knob baseline.
+struct Config {
+  int pool;
+  int shards;
+  int64_t batch_rows;  // kMaterializeBatchRows = fusion off.
+  bool simd = true;
+  bool fused_expr = true;
+
+  std::string ToString() const {
+    return StrFormat("{pool=%d, shards=%d, batch=%lld, simd=%s, fused=%s}",
+                     pool, shards, static_cast<long long>(batch_rows),
+                     simd ? "on" : "off", fused_expr ? "on" : "off");
+  }
+};
+
+constexpr int64_t kMat = kMaterializeBatchRows;
+constexpr int64_t kOneBatch = std::numeric_limits<int>::max();
+
+RunOutcome RunPlan(const PlanSpec& spec, const Config& config,
                    const FaultPlan* fault_plan = nullptr,
                    int64_t mem_budget = 0) {
+  const cpu::ScopedSimd simd(config.simd);
+  const ScopedFusedExpr fused(config.fused_expr);
   BuiltPlan built;
   BuildPlan(spec, &built);
   RunOutcome outcome;
   const auto result =
       built.query.Run(built.inputs, {}, CostModel{}, /*seed=*/42,
-                      /*pool_parallelism=*/pool, /*shard_count=*/shards,
-                      batch_rows,
+                      /*pool_parallelism=*/config.pool,
+                      /*shard_count=*/config.shards, config.batch_rows,
                       fault_plan != nullptr ? std::optional<FaultPlan>(*fault_plan)
                                             : std::nullopt,
                       mem_budget);
@@ -571,22 +596,22 @@ RunOutcome RunPlan(const PlanSpec& spec, int pool, int shards,
 }
 
 RunOutcome RunBaseline(const PlanSpec& spec) {
-  // Serial, unsharded, fusion off: the node-at-a-time materializing executor.
-  return RunPlan(spec, /*pool=*/1, /*shards=*/1, kMaterializeBatchRows);
+  // Serial, unsharded, fusion off, default knobs: the node-at-a-time
+  // materializing executor.
+  return RunPlan(spec, Config{/*pool=*/1, /*shards=*/1, kMat});
 }
 
 // Empty string = the config reproduces the serial materializing baseline
 // exactly. The baseline depends only on the spec, so sweeps compute it once and
 // reuse it.
 std::string CheckConfigAgainst(const RunOutcome& baseline, const PlanSpec& spec,
-                               int pool, int shards, int64_t batch_rows) {
-  const RunOutcome candidate = RunPlan(spec, pool, shards, batch_rows);
+                               const Config& config) {
+  const RunOutcome candidate = RunPlan(spec, config);
+  const std::string where = config.ToString();
   if (baseline.ok != candidate.ok) {
-    return StrFormat(
-        "status diverges: baseline %s vs {pool=%d, shards=%d, batch=%lld} %s",
-        baseline.ok ? "ok" : baseline.error.c_str(), pool, shards,
-        static_cast<long long>(batch_rows),
-        candidate.ok ? "ok" : candidate.error.c_str());
+    return StrFormat("status diverges: baseline %s vs %s %s",
+                     baseline.ok ? "ok" : baseline.error.c_str(), where.c_str(),
+                     candidate.ok ? "ok" : candidate.error.c_str());
   }
   if (!baseline.ok) {
     // Both failed: the failure must be the canonical sequential one.
@@ -596,31 +621,27 @@ std::string CheckConfigAgainst(const RunOutcome& baseline, const PlanSpec& spec,
                            baseline.error.c_str(), candidate.error.c_str());
   }
   if (!candidate.output.RowsEqual(baseline.output)) {
-    return StrFormat(
-        "rows diverge at {pool=%d, shards=%d, batch=%lld}\nbaseline\n%s\ngot\n%s",
-        pool, shards, static_cast<long long>(batch_rows),
-        baseline.output.ToString().c_str(), candidate.output.ToString().c_str());
+    return StrFormat("rows diverge at %s\nbaseline\n%s\ngot\n%s", where.c_str(),
+                     baseline.output.ToString().c_str(),
+                     candidate.output.ToString().c_str());
   }
   if (candidate.virtual_seconds != baseline.virtual_seconds) {
-    return StrFormat(
-        "virtual clock diverges at {pool=%d, shards=%d, batch=%lld}: %.9f vs "
-        "%.9f",
-        pool, shards, static_cast<long long>(batch_rows),
-        baseline.virtual_seconds, candidate.virtual_seconds);
+    return StrFormat("virtual clock diverges at %s: %.9f vs %.9f",
+                     where.c_str(), baseline.virtual_seconds,
+                     candidate.virtual_seconds);
   }
   return "";
 }
 
-std::string CheckConfig(const PlanSpec& spec, int pool, int shards,
-                        int64_t batch_rows) {
-  return CheckConfigAgainst(RunBaseline(spec), spec, pool, shards, batch_rows);
+std::string CheckConfig(const PlanSpec& spec, const Config& config) {
+  return CheckConfigAgainst(RunBaseline(spec), spec, config);
 }
 
 // Greedy shrink: drop ops (end first), then halve tables, while the same
-// {pool, shards, batch_rows} config still fails.
-PlanSpec ShrinkPlan(PlanSpec spec, int pool, int shards, int64_t batch_rows) {
+// config (including its {simd, fused-expr} axis point) still fails.
+PlanSpec ShrinkPlan(PlanSpec spec, const Config& config) {
   const auto fails = [&](const PlanSpec& candidate) {
-    return !CheckConfig(candidate, pool, shards, batch_rows).empty();
+    return !CheckConfig(candidate, config).empty();
   };
   bool progress = true;
   while (progress) {
@@ -660,48 +681,46 @@ PlanSpec ShrinkPlan(PlanSpec spec, int pool, int shards, int64_t batch_rows) {
   return spec;
 }
 
-struct Config {
-  int pool;
-  int shards;
-  int64_t batch_rows;  // kMaterializeBatchRows = fusion off.
-};
-
-constexpr int64_t kMat = kMaterializeBatchRows;
-constexpr int64_t kOneBatch = std::numeric_limits<int>::max();
-
+// The sweep grid. Besides {pool, shards, batch_rows} (DESIGN.md §10), every
+// entry carries a {simd, fused-expr} knob point; the axis combos cycle across
+// the grid so each of the four {on,off}^2 points covers every batch size
+// without a full cross-product blow-up. The baseline always runs with default
+// knobs (both on), so every off-entry is also a cross-knob differential.
 constexpr Config kConfigs[] = {
-    // Materializing {shard, pool} sweep (the historical harness).
-    {1, 2, kMat}, {1, 3, kMat}, {1, 8, kMat}, {4, 1, kMat},
-    {4, 2, kMat}, {4, 3, kMat}, {4, 8, kMat},
-    // Pipelined batch grid (DESIGN.md §10): batch_rows x shards x pool. One
-    // row per batch, a prime that straddles boundaries, the default, and
-    // effectively-one-batch.
-    {1, 1, 1},       {1, 3, 1},       {4, 1, 1},       {4, 3, 1},
-    {1, 1, 7},       {1, 3, 7},       {4, 1, 7},       {4, 3, 7},
-    {1, 1, 4096},    {1, 3, 4096},    {4, 1, 4096},    {4, 3, 4096},
-    {1, 1, kOneBatch}, {1, 3, kOneBatch}, {4, 1, kOneBatch}, {4, 3, kOneBatch},
+    // Materializing {shard, pool} sweep (the historical harness). Fused-expr
+    // is inert here (no pipelines), so only the simd axis alternates.
+    {1, 2, kMat}, {1, 3, kMat, false}, {1, 8, kMat}, {4, 1, kMat, false},
+    {4, 2, kMat}, {4, 3, kMat, false}, {4, 8, kMat},
+    // Pipelined batch grid: batch_rows x shards x pool. One row per batch, a
+    // prime that straddles boundaries, the default, and effectively-one-batch.
+    // The four {simd, fused} combos cycle so each batch size sees each combo.
+    {1, 1, 1},                  {1, 3, 1, false},
+    {4, 1, 1, true, false},     {4, 3, 1, false, false},
+    {1, 1, 7, false, false},    {1, 3, 7},
+    {4, 1, 7, false},           {4, 3, 7, true, false},
+    {1, 1, 4096, true, false},  {1, 3, 4096, false, false},
+    {4, 1, 4096},               {4, 3, 4096, false},
+    {1, 1, kOneBatch, false},   {1, 3, kOneBatch, true, false},
+    {4, 1, kOneBatch, false, false}, {4, 3, kOneBatch},
 };
 
 // Runs one seeded plan through the full config sweep; on failure, shrinks and
-// reports the minimal (plan, seed, batch_rows) reproduction.
+// reports the minimal (plan, seed, config) reproduction with the full axis
+// point so the failing knob combo is copy-pasteable.
 void CheckSeed(uint64_t seed) {
   const PlanSpec spec = GeneratePlan(seed);
   const RunOutcome baseline = RunBaseline(spec);
   for (const Config& config : kConfigs) {
-    const std::string failure = CheckConfigAgainst(
-        baseline, spec, config.pool, config.shards, config.batch_rows);
+    const std::string failure = CheckConfigAgainst(baseline, spec, config);
     if (failure.empty()) {
       continue;
     }
-    const PlanSpec minimal =
-        ShrinkPlan(spec, config.pool, config.shards, config.batch_rows);
-    const std::string minimal_failure =
-        CheckConfig(minimal, config.pool, config.shards, config.batch_rows);
-    ADD_FAILURE() << "differential failure at seed " << seed << " {pool="
-                  << config.pool << ", shards=" << config.shards << ", batch="
-                  << config.batch_rows << "}\n"
+    const PlanSpec minimal = ShrinkPlan(spec, config);
+    const std::string minimal_failure = CheckConfig(minimal, config);
+    ADD_FAILURE() << "differential failure at seed " << seed << " "
+                  << config.ToString() << "\n"
                   << failure << "\n\nminimal failing plan (seed " << seed
-                  << ", batch_rows " << config.batch_rows << "):\n"
+                  << ", config " << config.ToString() << "):\n"
                   << Describe(minimal) << "\n"
                   << minimal_failure;
     return;  // One minimal report per seed is enough.
@@ -773,12 +792,10 @@ std::string CountersDiff(const CostCounters& want, const CostCounters& got) {
 // the accounting is separated by construction, DESIGN.md §11).
 std::string CheckChaosConfigAgainst(const RunOutcome& baseline,
                                     const PlanSpec& spec,
-                                    const FaultPlan& fault_plan, int pool,
-                                    int shards, int64_t batch_rows) {
-  const RunOutcome faulted =
-      RunPlan(spec, pool, shards, batch_rows, &fault_plan);
-  const std::string where = StrFormat("{pool=%d, shards=%d, batch=%lld}", pool,
-                                      shards, static_cast<long long>(batch_rows));
+                                    const FaultPlan& fault_plan,
+                                    const Config& config) {
+  const RunOutcome faulted = RunPlan(spec, config, &fault_plan);
+  const std::string where = config.ToString();
   if (baseline.ok != faulted.ok) {
     return StrFormat(
         "status diverges under faults: fault-free baseline %s vs %s %s%s",
@@ -820,18 +837,16 @@ std::string CheckChaosConfigAgainst(const RunOutcome& baseline,
 }
 
 std::string CheckChaosConfig(const PlanSpec& spec, const FaultPlan& fault_plan,
-                             int pool, int shards, int64_t batch_rows) {
-  return CheckChaosConfigAgainst(RunBaseline(spec), spec, fault_plan, pool,
-                                 shards, batch_rows);
+                             const Config& config) {
+  return CheckChaosConfigAgainst(RunBaseline(spec), spec, fault_plan, config);
 }
 
 // Fault-aware greedy shrink: first try to switch off whole fault axes (the
 // biggest single simplification of a chaos repro), then minimize the query plan
 // exactly like ShrinkPlan, while the same config still fails.
-void ShrinkChaos(PlanSpec& spec, FaultPlan& fault_plan, int pool, int shards,
-                 int64_t batch_rows) {
+void ShrinkChaos(PlanSpec& spec, FaultPlan& fault_plan, const Config& config) {
   const auto fails = [&](const PlanSpec& s, const FaultPlan& f) {
-    return !CheckChaosConfig(s, f, pool, shards, batch_rows).empty();
+    return !CheckChaosConfig(s, f, config).empty();
   };
   bool progress = true;
   while (progress) {
@@ -881,10 +896,12 @@ void ShrinkChaos(PlanSpec& spec, FaultPlan& fault_plan, int pool, int shards,
 }
 
 // The chaos grid: {pool 1,4} x {shard 1,3} materializing, plus two batch-grid
-// points so the fault axis composes with pipeline fusion.
+// points so the fault axis composes with pipeline fusion — and a couple of
+// knob-off points so recovery identities also hold on the scalar / per-node
+// paths.
 constexpr Config kChaosConfigs[] = {
-    {1, 1, kMat}, {1, 3, kMat}, {4, 1, kMat}, {4, 3, kMat},
-    {1, 3, 7},    {4, 1, 4096},
+    {1, 1, kMat}, {1, 3, kMat, false}, {4, 1, kMat}, {4, 3, kMat},
+    {1, 3, 7, false, true}, {4, 1, 4096, true, false},
 };
 
 // Runs one seeded (plan, fault plan) pair through the chaos grid; on failure,
@@ -896,28 +913,23 @@ void CheckChaosSeed(uint64_t seed) {
   const RunOutcome baseline = RunBaseline(spec);
   for (const Config& config : kChaosConfigs) {
     const std::string failure =
-        CheckChaosConfigAgainst(baseline, spec, fault_plan, config.pool,
-                                config.shards, config.batch_rows);
+        CheckChaosConfigAgainst(baseline, spec, fault_plan, config);
     if (failure.empty()) {
       continue;
     }
     PlanSpec minimal_spec = spec;
     FaultPlan minimal_plan = fault_plan;
-    ShrinkChaos(minimal_spec, minimal_plan, config.pool, config.shards,
-                config.batch_rows);
-    const RunOutcome repro = RunPlan(minimal_spec, config.pool, config.shards,
-                                     config.batch_rows, &minimal_plan);
-    ADD_FAILURE() << "chaos differential failure at seed " << seed << " {pool="
-                  << config.pool << ", shards=" << config.shards << ", batch="
-                  << config.batch_rows << "}\n"
+    ShrinkChaos(minimal_spec, minimal_plan, config);
+    const RunOutcome repro = RunPlan(minimal_spec, config, &minimal_plan);
+    ADD_FAILURE() << "chaos differential failure at seed " << seed << " "
+                  << config.ToString() << "\n"
                   << failure << "\n\nminimal failing plan (seed " << seed
-                  << ", batch_rows " << config.batch_rows << "):\n"
+                  << ", config " << config.ToString() << "):\n"
                   << Describe(minimal_spec) << "\nminimal fault plan: "
                   << minimal_plan.ToString() << "\ninjected schedule: "
                   << FormatFaultEvents(repro.fault_report.injected_events)
                   << "\n"
-                  << CheckChaosConfig(minimal_spec, minimal_plan, config.pool,
-                                      config.shards, config.batch_rows);
+                  << CheckChaosConfig(minimal_spec, minimal_plan, config);
     return;  // One minimal report per seed is enough.
   }
 }
@@ -936,7 +948,7 @@ int ChaosSeedCount() {
 // unbounded even when CONCLAVE_MEM_BUDGET is set in the environment, so the
 // identity below stays meaningful under the CI tight-budget re-runs).
 RunOutcome RunUnboundedBaseline(const PlanSpec& spec) {
-  return RunPlan(spec, /*pool=*/1, /*shards=*/1, kMaterializeBatchRows,
+  return RunPlan(spec, Config{/*pool=*/1, /*shards=*/1, kMat},
                  /*fault_plan=*/nullptr, /*mem_budget=*/-1);
 }
 
@@ -947,13 +959,12 @@ RunOutcome RunUnboundedBaseline(const PlanSpec& spec) {
 // so budgeted_clock == unbounded_clock + spill_seconds holds bit for bit at
 // every {pool, shard, batch} point; DESIGN.md §12).
 std::string CheckSpillConfigAgainst(const RunOutcome& baseline,
-                                    const PlanSpec& spec, int pool, int shards,
-                                    int64_t batch_rows, int64_t mem_budget) {
-  const RunOutcome budgeted = RunPlan(spec, pool, shards, batch_rows,
-                                      /*fault_plan=*/nullptr, mem_budget);
+                                    const PlanSpec& spec, const Config& config,
+                                    int64_t mem_budget) {
+  const RunOutcome budgeted =
+      RunPlan(spec, config, /*fault_plan=*/nullptr, mem_budget);
   const std::string where =
-      StrFormat("{pool=%d, shards=%d, batch=%lld, budget=%lld}", pool, shards,
-                static_cast<long long>(batch_rows),
+      StrFormat("%s budget=%lld", config.ToString().c_str(),
                 static_cast<long long>(mem_budget));
   if (baseline.ok != budgeted.ok) {
     return StrFormat("status diverges under budget: unbounded baseline %s vs "
@@ -1003,18 +1014,16 @@ std::string CheckSpillConfigAgainst(const RunOutcome& baseline,
   return "";
 }
 
-std::string CheckSpillConfig(const PlanSpec& spec, int pool, int shards,
-                             int64_t batch_rows, int64_t mem_budget) {
-  return CheckSpillConfigAgainst(RunUnboundedBaseline(spec), spec, pool, shards,
-                                 batch_rows, mem_budget);
+std::string CheckSpillConfig(const PlanSpec& spec, const Config& config,
+                             int64_t mem_budget) {
+  return CheckSpillConfigAgainst(RunUnboundedBaseline(spec), spec, config,
+                                 mem_budget);
 }
 
 // Greedy shrink against the spill identity, mirroring ShrinkPlan.
-PlanSpec ShrinkSpill(PlanSpec spec, int pool, int shards, int64_t batch_rows,
-                     int64_t mem_budget) {
+PlanSpec ShrinkSpill(PlanSpec spec, const Config& config, int64_t mem_budget) {
   const auto fails = [&](const PlanSpec& candidate) {
-    return !CheckSpillConfig(candidate, pool, shards, batch_rows, mem_budget)
-                .empty();
+    return !CheckSpillConfig(candidate, config, mem_budget).empty();
   };
   bool progress = true;
   while (progress) {
@@ -1052,8 +1061,16 @@ struct SpillConfig {
 };
 
 constexpr SpillConfig kSpillConfigs[] = {
-    {{1, 1, kMat}, 3},  {{4, 3, kMat}, 3},  {{1, 3, 7}, 3},  {{4, 1, 4096}, 3},
-    {{1, 1, kMat}, 16}, {{4, 3, kMat}, 16}, {{1, 3, 7}, 16}, {{4, 1, 4096}, 16},
+    // Budget 3 at default knobs, then budget 16 with the {simd, fused} axis
+    // cycled so spilling also composes with the scalar / per-node paths.
+    {{1, 1, kMat}, 3},
+    {{4, 3, kMat}, 3},
+    {{1, 3, 7}, 3},
+    {{4, 1, 4096}, 3},
+    {{1, 1, kMat, false}, 16},
+    {{4, 3, kMat}, 16},
+    {{1, 3, 7, false, false}, 16},
+    {{4, 1, 4096, true, false}, 16},
 };
 
 // Runs one seeded plan through the spill grid; on failure, shrinks and reports
@@ -1063,24 +1080,17 @@ void CheckSpillSeed(uint64_t seed) {
   const RunOutcome baseline = RunUnboundedBaseline(spec);
   for (const SpillConfig& sc : kSpillConfigs) {
     const std::string failure =
-        CheckSpillConfigAgainst(baseline, spec, sc.config.pool,
-                                sc.config.shards, sc.config.batch_rows,
-                                sc.mem_budget);
+        CheckSpillConfigAgainst(baseline, spec, sc.config, sc.mem_budget);
     if (failure.empty()) {
       continue;
     }
-    const PlanSpec minimal =
-        ShrinkSpill(spec, sc.config.pool, sc.config.shards,
-                    sc.config.batch_rows, sc.mem_budget);
-    ADD_FAILURE() << "spill differential failure at seed " << seed << " {pool="
-                  << sc.config.pool << ", shards=" << sc.config.shards
-                  << ", batch=" << sc.config.batch_rows << ", budget="
-                  << sc.mem_budget << "}\n"
+    const PlanSpec minimal = ShrinkSpill(spec, sc.config, sc.mem_budget);
+    ADD_FAILURE() << "spill differential failure at seed " << seed << " "
+                  << sc.config.ToString() << " budget=" << sc.mem_budget << "\n"
                   << failure << "\n\nminimal failing plan (seed " << seed
                   << "):\n"
                   << Describe(minimal) << "\n"
-                  << CheckSpillConfig(minimal, sc.config.pool, sc.config.shards,
-                                      sc.config.batch_rows, sc.mem_budget);
+                  << CheckSpillConfig(minimal, sc.config, sc.mem_budget);
     return;  // One minimal report per seed is enough.
   }
 }
@@ -1157,8 +1167,9 @@ TEST(ChaosDifferentialHarness, SeededFaultPlansRecoverBitIdentically) {
     // never faulting.
     const FaultPlan sample_plan = diff::GenerateFaultPlan(seed);
     const diff::RunOutcome sample =
-        diff::RunPlan(diff::GeneratePlan(seed), /*pool=*/4, /*shards=*/3,
-                      kMaterializeBatchRows, &sample_plan);
+        diff::RunPlan(diff::GeneratePlan(seed),
+                      diff::Config{/*pool=*/4, /*shards=*/3, diff::kMat},
+                      &sample_plan);
     injected += sample.fault_report.injected_drops +
                 sample.fault_report.injected_corruptions +
                 sample.fault_report.injected_crashes +
@@ -1186,8 +1197,9 @@ TEST(SpillDifferentialHarness, SeededPlansMatchUnboundedAtEveryBudget) {
     // Non-vacuity tally: the corpus must actually spill, physically, not pass
     // by always fitting in budget.
     const diff::RunOutcome sample = diff::RunPlan(
-        diff::GeneratePlan(seed), /*pool=*/4, /*shards=*/3,
-        kMaterializeBatchRows, /*fault_plan=*/nullptr, /*mem_budget=*/3);
+        diff::GeneratePlan(seed),
+        diff::Config{/*pool=*/4, /*shards=*/3, diff::kMat},
+        /*fault_plan=*/nullptr, /*mem_budget=*/3);
     spilling_nodes += sample.spill_report.spilling_nodes;
     physical_spilled_rows += sample.spill_report.stats.spilled_rows;
   }
@@ -1209,9 +1221,8 @@ TEST(ChaosDifferentialHarness, UnrecoverablePlansAbortGracefully) {
   plan.seed = 7;
   plan.crash_rate = 1.0;
   plan.crash_times = plan.job_retries + 1;  // One rollback past the budget.
-  const diff::RunOutcome outcome =
-      diff::RunPlan(spec, /*pool=*/1, /*shards=*/1, kMaterializeBatchRows,
-                    &plan);
+  const diff::RunOutcome outcome = diff::RunPlan(
+      spec, diff::Config{/*pool=*/1, /*shards=*/1, diff::kMat}, &plan);
   EXPECT_FALSE(outcome.ok);
   EXPECT_TRUE(outcome.aborted);
   EXPECT_NE(outcome.error.find("fault recovery budget exhausted"),
@@ -1221,9 +1232,8 @@ TEST(ChaosDifferentialHarness, UnrecoverablePlansAbortGracefully) {
   EXPECT_FALSE(outcome.fault_report.first_failure.empty());
   EXPECT_GE(outcome.fault_report.first_failure_node, 0);
   // The abort itself must be deterministic: same provenance at pool 4.
-  const diff::RunOutcome parallel =
-      diff::RunPlan(spec, /*pool=*/4, /*shards=*/1, kMaterializeBatchRows,
-                    &plan);
+  const diff::RunOutcome parallel = diff::RunPlan(
+      spec, diff::Config{/*pool=*/4, /*shards=*/1, diff::kMat}, &plan);
   EXPECT_TRUE(parallel.aborted);
   EXPECT_EQ(parallel.error, outcome.error);
   EXPECT_EQ(parallel.fault_report.first_failure_node,

@@ -9,6 +9,7 @@
 #include "conclave/common/rng.h"
 #include "conclave/compiler/partition.h"
 #include "conclave/relational/csv.h"
+#include "conclave/relational/expr.h"
 #include "conclave/relational/ops.h"
 #include "conclave/relational/shard_ops.h"
 #include "conclave/relational/sharded.h"
@@ -413,6 +414,33 @@ TEST(ChooseShardCountTest, ExplainReportsShardAdvice) {
   EXPECT_GE(report->recommended_shard_count, 1);
   EXPECT_NE(report->ToString().find("shard-advice:"), std::string::npos)
       << report->ToString();
+}
+
+TEST(ChooseShardCountTest, ExplainReportsFusedExprAdvice) {
+  std::map<std::string, Relation> inputs;
+  api::Query query = MakeTwoPartyQuery(&inputs, 100);
+  {
+    ScopedFusedExpr on(true);
+    const auto report = query.ExplainPlan();
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->fused_expr_enabled);
+    EXPECT_NE(report->ToString().find("expr-advice:"), std::string::npos)
+        << report->ToString();
+    // Every expression group lives inside a fused chain, so its node count is
+    // bounded by the chains' and a group needs at least two nodes.
+    EXPECT_LE(report->fused_expr_nodes, report->fused_pipeline_nodes);
+    EXPECT_GE(report->fused_expr_nodes, 2 * report->fused_expr_groups);
+  }
+  {
+    ScopedFusedExpr off(false);
+    const auto report = query.ExplainPlan();
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report->fused_expr_enabled);
+    EXPECT_EQ(report->fused_expr_groups, 0);
+    EXPECT_NE(report->ToString().find("expr-advice: fused evaluator off"),
+              std::string::npos)
+        << report->ToString();
+  }
 }
 
 }  // namespace
