@@ -19,6 +19,7 @@
 #include "conclave/mpc/garbled/circuit.h"
 #include "conclave/mpc/oblivious.h"
 #include "conclave/mpc/protocols.h"
+#include "conclave/mpc/reveal_source.h"
 #include "conclave/relational/expr.h"
 #include "conclave/relational/pipeline.h"
 #include "conclave/relational/spill.h"
@@ -206,7 +207,8 @@ void RunKernelSweep(const bench::BenchFilter& filter,
                       "filter_scalar", "arith_simd", "arith_scalar",
                       "share_ingest", "rng_aesni", "rng_splitmix",
                       "chain_materialized", "chain_pipelined", "chain_fused",
-                      "chain_peak_rows", "sort_in_mem", "sort_external",
+                      "chain_peak_rows", "reveal_materialized", "reveal_streamed",
+                      "reveal_peak_rows", "sort_in_mem", "sort_external",
                       "groupby_in_mem", "groupby_spill", "spill_peak_rows",
                       "spill_bytes"});
   bench::WallTimer timer;
@@ -327,6 +329,37 @@ void RunKernelSweep(const bench::BenchFilter& filter,
     cells.push_back(fused_ran
                         ? bench::Cell::Seconds(static_cast<double>(
                               fused_pipeline.stats().peak_rows_resident))
+                        : bench::Cell::Skip());
+
+    // A/B (DESIGN.md §14): the same chain consuming an MPC reveal two ways —
+    // reveal the whole shared relation in one shot and push the materialized
+    // rows through the pipeline, vs. stream the reconstruction batch-at-a-time
+    // straight into the chain via RunFromReveal. Results are bit-identical
+    // (the grid tests assert it); reveal_peak_rows records the streamed
+    // path's peak reconstructed-row residency — O(batch), not O(n), so a
+    // reveal-heavy chain's cleartext footprint stops growing with the data.
+    // Two sources over the same shares so MaxMaterializedRows witnesses each
+    // path separately (the one-shot open necessarily peaks at n).
+    Rng share_rng(23);
+    const SharedRelation shared_rel = ShareRelation(rel, share_rng);
+    const mpc::RevealSource one_shot_source(shared_rel);
+    const mpc::RevealSource streamed_source(shared_rel);
+    const ScopedFusedExpr reveal_scope(true);
+    BatchPipeline reveal_materialized_pipeline(chain_spec);
+    cells.push_back(timed("reveal_materialized", [&] {
+      const Relation opened = one_shot_source.RevealRows(0, n);
+      benchmark::DoNotOptimize(
+          reveal_materialized_pipeline.Run(opened, kDefaultBatchRows));
+    }));
+    BatchPipeline reveal_streamed_pipeline(chain_spec);
+    const bool reveal_ran = filter.Enabled("reveal_streamed");
+    cells.push_back(timed("reveal_streamed", [&] {
+      benchmark::DoNotOptimize(reveal_streamed_pipeline.RunFromReveal(
+          streamed_source, 0, n, kDefaultBatchRows));
+    }));
+    cells.push_back(reveal_ran
+                        ? bench::Cell::Seconds(static_cast<double>(
+                              streamed_source.MaxMaterializedRows()))
                         : bench::Cell::Skip());
 
     // A/B (DESIGN.md §12): the blocking kernels in-memory vs. through the spill

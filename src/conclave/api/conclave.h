@@ -156,18 +156,22 @@ class Query {
   // caps each blocking cleartext operator instance's resident working set
   // (0 = the CONCLAVE_MEM_BUDGET env override, unbounded when unset; negative
   // forces unbounded): over-budget sorts/joins/group-bys/distincts spill
-  // through the external kernels in relational/spill.h. Results and virtual
-  // time are identical for every {pool, shard, batch, budget} combination —
-  // see DESIGN.md §5, §9, §10, and §12; a recoverable fault plan preserves the
-  // results bit for bit and adds exactly its priced recovery time to the
-  // clock, and a budget adds exactly its priced spill I/O time.
+  // through the external kernels in relational/spill.h. `stream_reveal`
+  // controls streaming across the reveal boundary (DESIGN.md §14; 0 = the
+  // CONCLAVE_STREAM_REVEAL env override, on when unset; > 0 forces streaming,
+  // < 0 forces the materializing reveal). Results and virtual time are
+  // identical for every {pool, shard, batch, budget, stream_reveal}
+  // combination — see DESIGN.md §5, §9, §10, §12, and §14; a recoverable
+  // fault plan preserves the results bit for bit and adds exactly its priced
+  // recovery time to the clock, and a budget adds exactly its priced spill
+  // I/O time.
   StatusOr<backends::ExecutionResult> Run(
       const std::map<std::string, Relation>& inputs,
       const compiler::CompilerOptions& options = {}, CostModel cost_model = {},
       uint64_t seed = 42, int pool_parallelism = 0, int shard_count = 0,
       int64_t batch_rows = 0,
       std::optional<FaultPlan> fault_plan = std::nullopt,
-      int64_t mem_budget_rows = 0);
+      int64_t mem_budget_rows = 0, int stream_reveal = 0);
 
   ir::Dag& dag() { return dag_; }
   int num_parties() const { return static_cast<int>(parties_.size()); }

@@ -22,6 +22,7 @@
 #include "conclave/common/party.h"
 #include "conclave/common/status.h"
 #include "conclave/common/virtual_clock.h"
+#include "conclave/mpc/reveal_source.h"
 #include "conclave/mpc/share.h"
 #include "conclave/net/fault.h"
 #include "conclave/relational/csv.h"
@@ -37,14 +38,39 @@ struct MaterializedValue {
   // Create whose sole consumer is a fused local chain materializes only the
   // indexed raw text; the chain's per-shard pipelines parse row ranges
   // batch-at-a-time and the source relation never exists in memory.
-  enum class Kind { kCleartext, kShardedClear, kShared, kGarbled, kCsvSource };
+  // kRevealSource is its reveal-boundary twin (DESIGN.md §14): a shared value
+  // whose sole consumer is a fused local chain keeps its shares; the chain's
+  // per-shard pipelines reconstruct row ranges batch-at-a-time and the
+  // revealed relation never exists in memory.
+  enum class Kind {
+    kCleartext,
+    kShardedClear,
+    kShared,
+    kGarbled,
+    kCsvSource,
+    kRevealSource
+  };
 
   Kind kind = Kind::kCleartext;
   Relation clear;          // kCleartext / kGarbled payload.
-  PartyId location = kNoParty;  // kCleartext / kShardedClear / kCsvSource: holder.
+  PartyId location = kNoParty;  // kCleartext / kShardedClear / k*Source: holder.
   SharedRelation shared;   // kShared.
   ShardedRelation sharded;  // kShardedClear.
   std::shared_ptr<CsvSource> csv;  // kCsvSource (shared with in-flight tasks).
+  // kRevealSource (shared with in-flight tasks).
+  std::shared_ptr<mpc::RevealSource> reveal;
+
+  // Retired-concat phantom ingest (DESIGN.md §14): the value was "shared" by a
+  // pruned dead MPC node — every ingest/consistency meter was charged, but the
+  // payload stays cleartext (kCleartext / kShardedClear). A later cleartext
+  // consumer charges the reveal boundary exactly as if the shares existed; a
+  // later real MPC consumer shares for real without re-charging.
+  bool phantom_shared = false;
+
+  // One lazily-built split per (value, shard_count): N sharded consumers of a
+  // revealed value reuse this instead of each cutting a task-owned copy
+  // (coordinator-built, then only read by tasks).
+  std::shared_ptr<const ShardedRelation> cached_split;
 
   int64_t NumRows() const {
     switch (kind) {
@@ -54,6 +80,8 @@ struct MaterializedValue {
         return sharded.NumRows();
       case Kind::kCsvSource:
         return csv->NumRows();
+      case Kind::kRevealSource:
+        return reveal->NumRows();
       default:
         return clear.NumRows();
     }
@@ -103,6 +131,11 @@ struct ExecutionResult {
   // pipeline batch — the proof the source relation never materialized; 0 when
   // no Create streamed.
   int64_t csv_peak_parse_rows = 0;
+  // Reveal-boundary residency witness (DESIGN.md §14): the largest row range
+  // any streaming reveal reconstructed at once. At most one pipeline batch —
+  // the proof the revealed relation never materialized; 0 when no reveal
+  // streamed.
+  int64_t reveal_peak_rows = 0;
   // Graceful degradation: when the fault-recovery budget is exhausted, Run returns
   // ok() with aborted = true, abort_status carrying the canonical (earliest node
   // in topological order) failure provenance, and no outputs — a structured abort

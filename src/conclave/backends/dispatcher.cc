@@ -14,6 +14,7 @@
 
 #include "conclave/backends/local_backend.h"
 #include "conclave/backends/spark_backend.h"
+#include "conclave/common/env.h"
 #include "conclave/common/logging.h"
 #include "conclave/common/strings.h"
 #include "conclave/compiler/partition.h"
@@ -52,6 +53,13 @@ struct RunState {
   // (compiler::NodeSpillSeconds over node-total rows), identical at every
   // {pool, shard, batch} point and added once in the final accounting pass.
   int64_t mem_budget_rows = 0;
+  // Streaming across the reveal boundary (DESIGN.md §14): a shared value whose
+  // sole consumer is a fused chain head becomes a RevealSource and the chain's
+  // per-shard pipelines reconstruct row ranges batch-at-a-time. Like sharding
+  // and batching, this changes wall clock and memory only: the reveal is
+  // charged once for the whole relation at conversion, exactly as the
+  // materializing path charges it.
+  bool stream_reveal = true;
 
   std::vector<MaterializedValue> values;  // Indexed by node id; slots never move.
   std::unordered_map<int, int> node_job;  // node id -> job id
@@ -97,6 +105,22 @@ void CoalesceShards(MaterializedValue& value) {
 
 Status EnsureSecure(RunState& state, MaterializedValue& value) {
   CoalesceShards(value);
+  if (value.phantom_shared && !state.use_gc_backend &&
+      value.kind == MaterializedValue::Kind::kCleartext) {
+    // A retired node already charged this value's ingest and consistency phase
+    // (the phantom path below); share the payload for real without re-charging,
+    // exactly as if the shares had existed since then.
+    std::vector<SharedColumn> columns;
+    columns.reserve(static_cast<size_t>(value.clear.NumColumns()));
+    for (int c = 0; c < value.clear.NumColumns(); ++c) {
+      columns.push_back(state.sharemind.engine().ShareColumn(value.clear, c));
+    }
+    value.shared = SharedRelation(value.clear.schema(), std::move(columns));
+    value.clear = Relation{};
+    value.kind = MaterializedValue::Kind::kShared;
+    value.phantom_shared = false;
+    return Status::Ok();
+  }
   if (state.malicious && value.kind == MaterializedValue::Kind::kCleartext) {
     const PartyId owner = value.location == kNoParty ? 0 : value.location;
     CONCLAVE_RETURN_IF_ERROR(malicious::InputConsistencyPhase(
@@ -127,6 +151,21 @@ Status EnsureSecure(RunState& state, MaterializedValue& value) {
 // EnsureLocalInputAt instead, which keeps shards intact.
 void EnsureCleartextAt(RunState& state, MaterializedValue& value, PartyId party) {
   CoalesceShards(value);
+  if (value.phantom_shared &&
+      value.kind == MaterializedValue::Kind::kCleartext) {
+    // Phantom reveal (retired-node compatibility, DESIGN.md §14): the payload
+    // never left the clear, but the retired consumer charged its ingest as if
+    // it had — so this crossing charges the reveal exactly as the shared form
+    // would, keeping the clock identical to the pre-prune execution.
+    mpc::ChargeRevealMeters(state.net, static_cast<uint64_t>(
+        value.clear.NumRows() * value.clear.NumColumns()));
+    if (state.fault != nullptr) {
+      state.fault->DeliverReveal(value.clear);
+    }
+    value.phantom_shared = false;
+    value.location = party;
+    return;
+  }
   switch (value.kind) {
     case MaterializedValue::Kind::kShared:
       value.clear = state.sharemind.Reveal(value.shared);
@@ -156,6 +195,7 @@ void EnsureCleartextAt(RunState& state, MaterializedValue& value, PartyId party)
     case MaterializedValue::Kind::kShardedClear:
       break;  // Unreachable: coalesced above.
     case MaterializedValue::Kind::kCsvSource:
+    case MaterializedValue::Kind::kRevealSource:
       // Unreachable: a streaming source is produced only when its sole consumer
       // is a fused chain head at the owning party, which acquires through
       // AcquireLocalInputs without any frontier transition.
@@ -300,12 +340,15 @@ class JobGraphExecutor {
   void AdvanceAcquisition(NodeExec& exec);
 
   // Cleartext input forms acquired for a local-compute dispatch (unsharded
-  // pointer list, or per-input shard pointer lists plus the owned lazy splits
+  // pointer list, or per-input shard pointer lists plus the cached splits
   // keeping them alive).
   struct AcquiredInputs {
     std::vector<const Relation*> rels;
     std::vector<std::vector<const Relation*>> shard_rels;
-    std::shared_ptr<std::vector<ShardedRelation>> owned_splits;
+    // Keeps the per-value cached splits alive for the task however often the
+    // std::function wrapper is moved or copied (one split per value, built
+    // lazily on the coordinator and shared by every sharded consumer).
+    std::vector<std::shared_ptr<const ShardedRelation>> cached_splits;
     uint64_t records = 0;
     // Total rows per DAG input, in input order (shard- and batch-invariant);
     // the spill pricing's cardinality source.
@@ -313,6 +356,10 @@ class JobGraphExecutor {
     // Non-null when the (sole) input is a streaming CSV source: the chain
     // head pulls parsed row-range batches instead of reading a relation.
     std::shared_ptr<CsvSource> csv;
+    // Non-null when the (sole) input is a streaming reveal (DESIGN.md §14):
+    // the chain head reconstructs revealed row-range batches instead of
+    // reading a materialized relation.
+    std::shared_ptr<mpc::RevealSource> reveal;
   };
 
   void DispatchCreate(NodeExec& exec);
@@ -333,6 +380,10 @@ class JobGraphExecutor {
   // stores the output value — everything RunLaneNode may have to replay after an
   // injected crash. Metering/materialization stay with the caller.
   Status ExecuteLaneOnce(NodeExec& exec);
+  // Lane attempt of a retired node (ir::OpNode::retired): charges everything
+  // the pre-prune execution charged but shares nothing and materializes an
+  // empty value; the inputs stay cleartext, flagged phantom_shared.
+  Status ExecutePhantomRetired(NodeExec& exec);
 
   // Frontier checkpoint for lane-node crash recovery (DESIGN.md §11): enough
   // coordinator state to re-execute the node bit-identically — the network
@@ -656,9 +707,6 @@ JobGraphExecutor::AcquiredInputs JobGraphExecutor::AcquireLocalInputs(
   const ir::OpNode* node = exec.node;
   const bool sharded = state_.shard_count > 1;
   AcquiredInputs acquired;
-  // Keeps lazy splits alive for the task; shared so the pointer lists stay valid
-  // however often the std::function wrapper is moved or copied.
-  acquired.owned_splits = std::make_shared<std::vector<ShardedRelation>>();
   acquired.rels.reserve(node->inputs.size());
   for (const ir::OpNode* in : node->inputs) {
     MaterializedValue& value = state_.values[static_cast<size_t>(in->id)];
@@ -674,30 +722,60 @@ JobGraphExecutor::AcquiredInputs JobGraphExecutor::AcquireLocalInputs(
       ++ExecOf(*in).active_readers;
       continue;
     }
+    if (value.kind == MaterializedValue::Kind::kShared &&
+        state_.stream_reveal && state_.batch_rows > 0 &&
+        exec.chain_members.size() >= 2 && node->inputs.size() == 1 &&
+        ExecOf(*in).consumer_uses.size() == 1) {
+      // Streaming reveal (DESIGN.md §14), decided on the coordinator at the
+      // head's acquisition turn so the choice is pool-size-independent: the
+      // shared value's sole consumer is this fused chain head, so the shares
+      // stay put and the chain's per-shard pipelines reconstruct their own
+      // row ranges. The reveal is charged once for the whole relation, right
+      // here — exactly what the materializing path charges — so clocks and
+      // counters cannot depend on the knob; only the revealed relation's
+      // materialization disappears.
+      const int64_t rows = value.shared.NumRows();
+      const int cols = value.shared.NumColumns();
+      mpc::ChargeRevealMeters(state_.net, value.shared.NumCells());
+      auto source = std::make_shared<mpc::RevealSource>(std::move(value.shared));
+      value.shared = SharedRelation{};
+      if (state_.fault != nullptr) {
+        // The injector makes the same decisions and charges as the inline
+        // DeliverReveal; detection replays inside RevealSource on the batch
+        // covering each corrupted row.
+        uint64_t nonce = 0;
+        std::vector<FaultInjector::RevealCorruption> schedule =
+            state_.fault->DeliverRevealStreamed(rows, cols, &nonce);
+        source->InstallFaultSchedule(nonce, std::move(schedule));
+      }
+      value.kind = MaterializedValue::Kind::kRevealSource;
+      value.reveal = source;
+      value.location = node->exec_party;
+      acquired.reveal = std::move(source);
+      acquired.records += static_cast<uint64_t>(rows);
+      acquired.input_rows.push_back(rows);
+      ++ExecOf(*in).active_readers;
+      continue;
+    }
     if (sharded) {
       // Shards flow straight into the shard-aware kernels. Values that arrive as
       // single relations — MPC reveals and party transfers — are re-split so the
       // local chain downstream of a frontier crossing still runs data-parallel.
-      // With no concurrent readers the stored value converts in place (later
-      // consumers then reuse the split); otherwise the split is a task-owned copy.
+      // The split is built once per value and cached on it (coordinator-built,
+      // read-only afterwards); every sharded consumer shares the one copy.
       EnsureLocalInputAt(state_, value, node->exec_party);
-      NodeExec& producer = ExecOf(*in);
       if (value.kind != MaterializedValue::Kind::kShardedClear &&
           value.clear.NumRows() > 0) {
-        if (producer.active_readers == 0) {
-          value.sharded =
-              ShardedRelation::SplitEven(value.clear, state_.shard_count);
-          value.clear = Relation{};
-          value.kind = MaterializedValue::Kind::kShardedClear;
-        } else {
-          acquired.owned_splits->push_back(
+        if (value.cached_split == nullptr) {
+          value.cached_split = std::make_shared<const ShardedRelation>(
               ShardedRelation::SplitEven(value.clear, state_.shard_count));
         }
+        acquired.cached_splits.push_back(value.cached_split);
       }
       if (value.kind == MaterializedValue::Kind::kShardedClear) {
         acquired.shard_rels.push_back(value.sharded.ShardPtrs());
       } else if (value.clear.NumRows() > 0) {
-        acquired.shard_rels.push_back(acquired.owned_splits->back().ShardPtrs());
+        acquired.shard_rels.push_back(acquired.cached_splits.back()->ShardPtrs());
       } else {
         acquired.shard_rels.push_back({&value.clear});
       }
@@ -758,7 +836,7 @@ void JobGraphExecutor::DispatchLocalCompute(NodeExec& exec) {
   pool_.Submit([this, node, my_topo, shard_count, mem_budget_rows,
                 rels = std::move(acquired.rels),
                 shard_rels = std::move(acquired.shard_rels),
-                owned_splits = std::move(acquired.owned_splits)] {
+                cached_splits = std::move(acquired.cached_splits)] {
     Completion completion;
     completion.topo_index = my_topo;
     try {
@@ -823,9 +901,10 @@ void JobGraphExecutor::DispatchChain(NodeExec& exec) {
   // A resolution failure is attributed to the failing member's topo index —
   // the canonical error a sequential unfused walk would report.
   auto spec = std::make_shared<PipelineSpec>();
-  spec->input_schema = acquired.csv != nullptr ? acquired.csv->schema()
-                       : sharded              ? acquired.shard_rels[0][0]->schema()
-                                              : acquired.rels[0]->schema();
+  spec->input_schema = acquired.csv != nullptr      ? acquired.csv->schema()
+                       : acquired.reveal != nullptr ? acquired.reveal->schema()
+                       : sharded ? acquired.shard_rels[0][0]->schema()
+                                 : acquired.rels[0]->schema();
   Schema schema = spec->input_schema;
   for (int member_topo : exec.chain_members) {
     const ir::OpNode& member = *execs_[static_cast<size_t>(member_topo)].node;
@@ -848,8 +927,8 @@ void JobGraphExecutor::DispatchChain(NodeExec& exec) {
 
   if (!sharded) {
     pool_.Submit([this, my_topo, batch_rows, spec, csv = acquired.csv,
-                  rels = std::move(acquired.rels),
-                  owned_splits = std::move(acquired.owned_splits)] {
+                  reveal = acquired.reveal, rels = std::move(acquired.rels),
+                  cached_splits = std::move(acquired.cached_splits)] {
       Completion completion;
       completion.topo_index = my_topo;
       try {
@@ -865,6 +944,12 @@ void JobGraphExecutor::DispatchChain(NodeExec& exec) {
           } else {
             completion.status = out.status();
           }
+        } else if (reveal != nullptr) {
+          // Streaming reveal (DESIGN.md §14): reconstruct-and-push
+          // batch-at-a-time; the revealed relation never materializes.
+          completion.output =
+              pipeline.RunFromReveal(*reveal, 0, reveal->NumRows(), batch_rows);
+          completion.chain_op_rows = pipeline.stats().op_input_rows;
         } else {
           completion.output = pipeline.Run(*rels[0], batch_rows);
           completion.chain_op_rows = pipeline.stats().op_input_rows;
@@ -893,12 +978,18 @@ void JobGraphExecutor::DispatchChain(NodeExec& exec) {
     std::vector<Status> statuses;
     std::atomic<int> remaining{0};
   };
+  const bool streamed = acquired.csv != nullptr || acquired.reveal != nullptr;
   const std::vector<const Relation*> shards =
-      acquired.csv != nullptr ? std::vector<const Relation*>{}
-                              : std::move(acquired.shard_rels[0]);
-  const int num_shards = acquired.csv != nullptr
-                             ? state_.shard_count
-                             : static_cast<int>(shards.size());
+      streamed ? std::vector<const Relation*>{}
+               : std::move(acquired.shard_rels[0]);
+  // A 0-row streamed reveal mirrors the materializing path's single-shard
+  // layout for empty revealed values ({&value.clear}); CSV sources always cut
+  // shard_count ranges, like the sharded eager parse.
+  const int num_shards =
+      acquired.csv != nullptr ? state_.shard_count
+      : acquired.reveal != nullptr
+          ? (acquired.reveal->NumRows() == 0 ? 1 : state_.shard_count)
+          : static_cast<int>(shards.size());
   // A fused tail limit keeps each shard's local `count`-prefix — a superset of
   // that shard's slice of the global prefix (shards concatenate in canonical
   // order). The last finisher trims the assembled shards to the global prefix,
@@ -918,11 +1009,10 @@ void JobGraphExecutor::DispatchChain(NodeExec& exec) {
   shared->statuses.assign(static_cast<size_t>(num_shards), Status::Ok());
   shared->remaining.store(num_shards, std::memory_order_relaxed);
   for (int s = 0; s < num_shards; ++s) {
-    const Relation* shard =
-        acquired.csv != nullptr ? nullptr : shards[static_cast<size_t>(s)];
+    const Relation* shard = streamed ? nullptr : shards[static_cast<size_t>(s)];
     pool_.Submit([this, my_topo, batch_rows, spec, shared, shard, s, num_shards,
-                  tail_limit, csv = acquired.csv,
-                  owned_splits = acquired.owned_splits] {
+                  tail_limit, csv = acquired.csv, reveal = acquired.reveal,
+                  cached_splits = acquired.cached_splits] {
       try {
         BatchPipeline pipeline(*spec);
         if (csv != nullptr) {
@@ -939,6 +1029,15 @@ void JobGraphExecutor::DispatchChain(NodeExec& exec) {
           } else {
             shared->statuses[static_cast<size_t>(s)] = out.status();
           }
+        } else if (reveal != nullptr) {
+          // Streaming reveal, same contiguous shard boundaries; ranges are
+          // independent share sums, so shard tasks reconstruct concurrently.
+          const int64_t rows = reveal->NumRows();
+          shared->outputs[static_cast<size_t>(s)] = pipeline.RunFromReveal(
+              *reveal, rows * s / num_shards, rows * (s + 1) / num_shards,
+              batch_rows);
+          shared->op_rows[static_cast<size_t>(s)] =
+              pipeline.stats().op_input_rows;
         } else {
           shared->outputs[static_cast<size_t>(s)] =
               pipeline.Run(*shard, batch_rows);
@@ -1088,6 +1187,11 @@ Status JobGraphExecutor::RunLaneNode(NodeExec& exec) {
 
 Status JobGraphExecutor::ExecuteLaneOnce(NodeExec& exec) {
   const ir::OpNode* node = exec.node;
+  if (node->retired && !state_.use_gc_backend &&
+      !(node->kind == ir::OpKind::kConcat &&
+        !node->Params<ir::ConcatParams>().merge_columns.empty())) {
+    return ExecutePhantomRetired(exec);
+  }
   if (state_.use_gc_backend) {
     std::vector<const Relation*> rels;
     rels.reserve(node->inputs.size());
@@ -1118,6 +1222,50 @@ Status JobGraphExecutor::ExecuteLaneOnce(NodeExec& exec) {
     value.shared = std::move(out);
     state_.values[static_cast<size_t>(node->id)] = std::move(value);
   }
+  return Status::Ok();
+}
+
+// A retired node (no remaining consumers after a push-down rewrite) used to run
+// for real: its cleartext inputs were shared into the MPC — consistency phase,
+// ingest meters, AND the Sharemind working-set check, which could OOM a query
+// on a node whose output nobody reads. The phantom keeps every virtual-clock
+// charge and nonce consumption of that execution (the compatibility contract:
+// goldens stay bit-identical) but moves no payload: inputs stay cleartext with
+// phantom_shared set, so a later cleartext consumer charges the reveal boundary
+// as if the shares existed and a later real MPC consumer shares without
+// re-charging — and the working-set check that only guarded dead work is gone.
+Status JobGraphExecutor::ExecutePhantomRetired(NodeExec& exec) {
+  const ir::OpNode* node = exec.node;
+  CONCLAVE_CHECK(node->outputs.empty());
+  for (const ir::OpNode* in : node->inputs) {
+    MaterializedValue& value = state_.values[static_cast<size_t>(in->id)];
+    CoalesceShards(value);
+    if (value.kind != MaterializedValue::Kind::kCleartext ||
+        value.phantom_shared) {
+      continue;  // Already shared (really or phantom): no charges, as before.
+    }
+    if (state_.malicious) {
+      // The real consistency phase: identical charges by construction, and it
+      // consumes the same nonce the pre-prune execution consumed.
+      const PartyId owner = value.location == kNoParty ? 0 : value.location;
+      CONCLAVE_RETURN_IF_ERROR(malicious::InputConsistencyPhase(
+          state_.net, value.clear, owner, state_.num_parties,
+          state_.seed ^ (0x9e3779b97f4a7c15ULL + state_.next_nonce++)));
+    }
+    // Ingest meters exactly as mpc::InputRelation charges them — minus the
+    // sharing itself and the working-set check.
+    const SsCharge charge =
+        state_.net.model().SsChargeFor(SsPrimitive::kRecordIngest);
+    const uint64_t rows = static_cast<uint64_t>(value.clear.NumRows());
+    const uint64_t cells = rows * static_cast<uint64_t>(value.clear.NumColumns());
+    state_.net.CpuSeconds(static_cast<double>(rows) * charge.seconds);
+    state_.net.CountAggregateBytes(cells * charge.bytes);
+    state_.net.Rounds(charge.rounds);
+    value.phantom_shared = true;
+  }
+  AdvanceAcquisition(exec);
+  // An empty value: the node has no consumers, nothing must materialize.
+  state_.values[static_cast<size_t>(node->id)] = MaterializedValue{};
   return Status::Ok();
 }
 
@@ -1480,6 +1628,11 @@ StatusOr<ExecutionResult> JobGraphExecutor::FinalizeAccounting(
       result.csv_peak_parse_rows =
           std::max(result.csv_peak_parse_rows, value.csv->MaxMaterializedRows());
     }
+    if (value.kind == MaterializedValue::Kind::kRevealSource &&
+        value.reveal != nullptr) {
+      result.reveal_peak_rows = std::max(result.reveal_peak_rows,
+                                         value.reveal->MaxMaterializedRows());
+    }
   }
   return result;
 }
@@ -1487,17 +1640,12 @@ StatusOr<ExecutionResult> JobGraphExecutor::FinalizeAccounting(
 }  // namespace
 
 int Dispatcher::DefaultShardCount() {
-  if (const char* env = std::getenv("CONCLAVE_SHARDS")) {
-    const std::string value(env);
-    if (value == "auto") {
-      return kAutoShardCount;
-    }
-    const int parsed = std::atoi(env);
-    if (parsed > 0) {
-      return parsed;
-    }
-  }
-  return 1;
+  return static_cast<int>(env::Int64Knob("CONCLAVE_SHARDS", 1, 1, 1 << 20,
+                                         {{"auto", kAutoShardCount}}));
+}
+
+bool Dispatcher::DefaultStreamReveal() {
+  return env::BoolKnob("CONCLAVE_STREAM_REVEAL", true);
 }
 
 StatusOr<ExecutionResult> Dispatcher::Run(
@@ -1527,6 +1675,11 @@ StatusOr<ExecutionResult> Dispatcher::Run(
   state.mem_budget_rows = mem_budget_rows_ == 0
                               ? DefaultMemBudgetRows()
                               : std::max<int64_t>(0, mem_budget_rows_);
+  // Stream-reveal knob: 0 resolves the CONCLAVE_STREAM_REVEAL env override
+  // (on when unset), > 0 forces streaming, < 0 forces the materializing
+  // reveal (the differential harness's baseline arm).
+  state.stream_reveal =
+      stream_reveal_ == 0 ? DefaultStreamReveal() : stream_reveal_ > 0;
 
   for (const compiler::Job& job : compilation.plan.jobs) {
     for (const ir::OpNode* node : job.nodes) {

@@ -71,24 +71,37 @@ class Dispatcher {
   // budget} combination (DESIGN.md §5, §9, §10, §12), with or without a
   // recoverable fault plan; under injection the virtual clock additionally
   // carries exactly the priced recovery time, and under a budget exactly the
-  // priced spill I/O time (compiler::NodeSpillSeconds).
+  // priced spill I/O time (compiler::NodeSpillSeconds). `stream_reveal`
+  // controls streaming across the reveal boundary (DESIGN.md §14): 0 resolves
+  // the CONCLAVE_STREAM_REVEAL env override (on when unset), > 0 forces it on,
+  // < 0 forces the materializing reveal. With batching enabled, a shared value
+  // whose sole consumer is a fused chain head reveals batch-at-a-time into the
+  // chain instead of materializing; results, clocks, and counters are
+  // bit-identical either way (the reveal is charged once for the whole
+  // relation in both paths).
   Dispatcher(CostModel model, uint64_t seed, int pool_parallelism = 0,
              int shard_count = 0, int64_t batch_rows = 0,
              std::optional<FaultPlan> fault_plan = std::nullopt,
-             int64_t mem_budget_rows = 0)
+             int64_t mem_budget_rows = 0, int stream_reveal = 0)
       : model_(model),
         seed_(seed),
         shard_count_(shard_count),
         batch_rows_(batch_rows),
         fault_plan_(std::move(fault_plan)),
-        mem_budget_rows_(mem_budget_rows) {
+        mem_budget_rows_(mem_budget_rows),
+        stream_reveal_(stream_reveal) {
     if (pool_parallelism > 0) {
       owned_pool_ = std::make_unique<ThreadPool>(pool_parallelism);
     }
   }
 
-  // CONCLAVE_SHARDS env override ("auto" = kAutoShardCount), else 1.
+  // CONCLAVE_SHARDS env override ("auto" = kAutoShardCount), else 1. Fails
+  // loud on a malformed value (common/env.h).
   static int DefaultShardCount();
+
+  // CONCLAVE_STREAM_REVEAL env override, else true. Fails loud on a malformed
+  // value (common/env.h).
+  static bool DefaultStreamReveal();
 
   // Executes the compiled plan. `inputs` maps each Create node's name to the relation
   // its owning party contributes. The DAG must be the one `compilation` was built
@@ -108,6 +121,7 @@ class Dispatcher {
   int64_t batch_rows_ = 0;
   std::optional<FaultPlan> fault_plan_;
   int64_t mem_budget_rows_ = 0;
+  int stream_reveal_ = 0;
   std::unique_ptr<ThreadPool> owned_pool_;
 };
 

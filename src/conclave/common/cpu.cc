@@ -5,6 +5,7 @@
 #include <cstring>
 #include <string>
 
+#include "conclave/common/env.h"
 #include "conclave/common/rng.h"
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -20,14 +21,7 @@ namespace cpu {
 namespace {
 
 int InitSimdKnobFromEnv() {
-  const char* env = std::getenv("CONCLAVE_SIMD");
-  if (env != nullptr) {
-    const std::string value(env);
-    if (value == "0" || value == "off" || value == "OFF" || value == "false") {
-      return 0;
-    }
-  }
-  return 1;
+  return env::BoolKnob("CONCLAVE_SIMD", /*fallback=*/true) ? 1 : 0;
 }
 
 std::atomic<int>& SimdKnob() {

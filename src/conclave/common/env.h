@@ -1,0 +1,54 @@
+// Centralized parsing for the CONCLAVE_* environment knobs.
+//
+// Every runtime knob (CONCLAVE_BATCH_ROWS, CONCLAVE_SHARDS, CONCLAVE_MEM_BUDGET,
+// CONCLAVE_STREAM_REVEAL, CONCLAVE_THREADS, CONCLAVE_SIMD, CONCLAVE_FUSED_EXPR, ...)
+// goes through the two readers below instead of ad-hoc atoi/atoll at each call
+// site. The core parsers are pure functions over the variable's text and return
+// Status on malformed input — the readers crash with a message naming the
+// variable and the offending value rather than silently coercing garbage to 0.
+//
+// Integer knobs accept an optional list of named sentinel tokens (e.g.
+// "materialize" for CONCLAVE_BATCH_ROWS, "auto" for CONCLAVE_SHARDS) so the
+// spellings each knob documented before centralization keep working.
+#ifndef CONCLAVE_COMMON_ENV_H_
+#define CONCLAVE_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "conclave/common/status.h"
+
+namespace conclave {
+namespace env {
+
+// A named sentinel spelling for an integer knob ("auto" -> kAutoShardCount).
+struct KnobToken {
+  const char* spelling;
+  int64_t value;
+};
+
+// Strict integer parse of one knob's text: the whole string must be a base-10
+// integer (leading '-' allowed) in [min_value, max_value], or exactly one of
+// `tokens`. Surrounding whitespace, trailing garbage, empty strings, and
+// out-of-range values are all errors that name the variable.
+StatusOr<int64_t> ParseInt64Knob(const std::string& name, const std::string& text,
+                                 int64_t min_value, int64_t max_value,
+                                 const std::vector<KnobToken>& tokens = {});
+
+// Strict boolean parse: "1"/"on"/"ON"/"true" -> true, "0"/"off"/"OFF"/"false"
+// -> false, anything else is an error that names the variable.
+StatusOr<bool> ParseBoolKnob(const std::string& name, const std::string& text);
+
+// Environment readers over the parsers above. Unset variables return
+// `fallback`; set-but-malformed values crash with the parser's message (a knob
+// typo should never silently select a default).
+int64_t Int64Knob(const char* name, int64_t fallback, int64_t min_value,
+                  int64_t max_value, const std::vector<KnobToken>& tokens = {});
+bool BoolKnob(const char* name, bool fallback);
+
+}  // namespace env
+}  // namespace conclave
+
+#endif  // CONCLAVE_COMMON_ENV_H_

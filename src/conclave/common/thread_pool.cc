@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "conclave/common/check.h"
+#include "conclave/common/env.h"
 
 namespace conclave {
 namespace {
@@ -164,14 +165,11 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
 }
 
 int ThreadPool::DefaultParallelism() {
-  if (const char* env = std::getenv("CONCLAVE_THREADS")) {
-    const int parsed = std::atoi(env);
-    if (parsed >= 1) {
-      return parsed;
-    }
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  const int fallback = hw == 0 ? 1 : static_cast<int>(hw);
+  return static_cast<int>(
+      env::Int64Knob("CONCLAVE_THREADS", fallback, /*min_value=*/1,
+                     /*max_value=*/1 << 20));
 }
 
 ThreadPool& ThreadPool::Shared() {

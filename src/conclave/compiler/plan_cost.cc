@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "conclave/common/env.h"
 #include "conclave/common/strings.h"
 #include "conclave/mpc/garbled/gc_cost.h"
 #include "conclave/mpc/oblivious.h"
@@ -789,6 +790,16 @@ std::string PlanCostReport::ToString() const {
           "expr-advice: fused evaluator off (unset CONCLAVE_FUSED_EXPR=0 to "
           "re-enable)\n";
     }
+    if (stream_reveal_enabled) {
+      out += StrFormat(
+          "reveal-advice: %d chain(s) stream their reveal boundary "
+          "(batch-at-a-time reconstruction; boundary charge unchanged)\n",
+          streamed_reveal_chains);
+    } else {
+      out +=
+          "reveal-advice: streaming reveal off (unset CONCLAVE_STREAM_REVEAL=0 "
+          "to re-enable)\n";
+    }
   } else {
     out += "pipeline-advice: fusion disabled (materializing operators)\n";
   }
@@ -960,6 +971,8 @@ void AnnotatePipelineAdvice(PlanCostReport& report, const ir::Dag& dag,
   report.fused_expr_enabled = FusedExprEnabled();
   report.fused_expr_groups = 0;
   report.fused_expr_nodes = 0;
+  report.stream_reveal_enabled = env::BoolKnob("CONCLAVE_STREAM_REVEAL", true);
+  report.streamed_reveal_chains = 0;
   if (batch_rows <= 0) {
     return;
   }
@@ -973,11 +986,29 @@ void AnnotatePipelineAdvice(PlanCostReport& report, const ir::Dag& dag,
   };
   const std::vector<ir::OpNode*> order = dag.TopoOrder();
   const std::vector<const ir::OpNode*> topo(order.begin(), order.end());
+  // Consuming-edge counts, for the streamed-reveal mirror of the dispatcher's
+  // sole-consumer eligibility.
+  std::unordered_map<int, int> uses;
+  for (const ir::OpNode* node : topo) {
+    for (const ir::OpNode* in : node->inputs) {
+      ++uses[in->id];
+    }
+  }
   for (const auto& chain : PipelineChains(topo, shard_count)) {
     ++report.fused_pipeline_chains;
     report.fused_pipeline_nodes += static_cast<int>(chain.size());
     report.longest_pipeline_chain =
         std::max(report.longest_pipeline_chain, static_cast<int>(chain.size()));
+    if (report.stream_reveal_enabled && chain.front()->inputs.size() == 1) {
+      // Mirrors the executor's eligibility: the head's sole input is an
+      // MPC/hybrid value (a shared relation at run time) with no consumer
+      // besides this chain — the reveal streams instead of materializing.
+      const ir::OpNode* producer = chain.front()->inputs[0];
+      if (producer->exec_mode != ir::ExecMode::kLocal &&
+          producer->kind != ir::OpKind::kCreate && uses[producer->id] == 1) {
+        ++report.streamed_reveal_chains;
+      }
+    }
     if (!report.fused_expr_enabled) {
       continue;
     }

@@ -82,6 +82,16 @@ struct PlanCostReport {
   int longest_pipeline_chain = 0;
   int64_t pipeline_batch_rows = 0;  // 0 = fusion disabled (materializing).
 
+  // Streaming-reveal advice (DESIGN.md §14, filled alongside the chain
+  // counts): whether the CONCLAVE_STREAM_REVEAL knob is on at explain time,
+  // and how many of the fused chains are headed by the sole consumer of an
+  // MPC/hybrid value — those reveals stream batch-at-a-time into the chain
+  // instead of materializing. Advisory only: the reveal's boundary charge is
+  // identical in both paths (one whole-relation reveal, charged at
+  // conversion), so the estimate==meter identities are untouched.
+  bool stream_reveal_enabled = false;
+  int streamed_reveal_chains = 0;
+
   // Fused-expression advice (filled by AnnotatePipelineAdvice alongside the
   // chain counts): within the fused chains, how many maximal runs of >= 2
   // adjacent filter / project / arithmetic nodes the executor compiles into

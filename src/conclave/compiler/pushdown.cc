@@ -55,6 +55,10 @@ bool PushThroughConcat(ir::Dag& dag, ir::OpNode* node, std::vector<std::string>*
     dag.ReplaceInput(consumer, node, *new_concat);
   }
   dag.Detach(node);
+  // The old concat keeps its input edges but has no consumers left; mark it
+  // retired so the executor charges it as a phantom instead of sharing its
+  // (possibly huge) inputs into the MPC for nothing.
+  concat->retired = true;
   log->push_back(StrFormat("push-down: moved %s #%d below concat #%d (%zu branches)",
                            ir::OpKindName(node->kind), node->id, concat->id,
                            per_branch.size()));
@@ -105,6 +109,8 @@ bool SplitAggregate(ir::Dag& dag, ir::OpNode* node, bool allow_cardinality_leak,
     dag.ReplaceInput(consumer, node, *combine);
   }
   dag.Detach(node);
+  // As in PushThroughConcat: the old concat is consumer-less from here on.
+  concat->retired = true;
   log->push_back(StrFormat(
       "push-down: split %s aggregation #%d into %zu local pre-aggregations + MPC "
       "combine%s",

@@ -16,24 +16,37 @@ void UpdateUint64(Sha256& hasher, uint64_t value) {
 
 }  // namespace
 
-Commitment CommitRelation(const Relation& relation, uint64_t nonce) {
-  Sha256 hasher;
+IncrementalCommitter::IncrementalCommitter(const Schema& schema, uint64_t nonce)
+    : num_columns_(schema.NumColumns()) {
   static constexpr char kDomainTag[] = "conclave-commitment-v1";
-  hasher.Update(kDomainTag, sizeof(kDomainTag) - 1);
-  UpdateUint64(hasher, nonce);
-  UpdateUint64(hasher, static_cast<uint64_t>(relation.NumColumns()));
-  for (const auto& column : relation.schema().columns()) {
-    hasher.Update(column.name.data(), column.name.size());
-    hasher.Update("|", 1);
+  hasher_.Update(kDomainTag, sizeof(kDomainTag) - 1);
+  UpdateUint64(hasher_, nonce);
+  UpdateUint64(hasher_, static_cast<uint64_t>(num_columns_));
+  for (const auto& column : schema.columns()) {
+    hasher_.Update(column.name.data(), column.name.size());
+    hasher_.Update("|", 1);
   }
+}
+
+void IncrementalCommitter::AbsorbRows(const Relation& batch) {
+  CONCLAVE_CHECK_EQ(batch.NumColumns(), num_columns_);
   // Cells are absorbed in row-major order — the commitment format predates the
   // columnar layout and must stay byte-stable across it.
-  for (int64_t r = 0; r < relation.NumRows(); ++r) {
-    for (int c = 0; c < relation.NumColumns(); ++c) {
-      UpdateUint64(hasher, static_cast<uint64_t>(relation.At(r, c)));
+  for (int64_t r = 0; r < batch.NumRows(); ++r) {
+    for (int c = 0; c < num_columns_; ++c) {
+      UpdateUint64(hasher_, static_cast<uint64_t>(batch.At(r, c)));
     }
   }
-  return Commitment{hasher.Finalize()};
+}
+
+Commitment IncrementalCommitter::Finalize() { return Commitment{hasher_.Finalize()}; }
+
+Commitment CommitRelation(const Relation& relation, uint64_t nonce) {
+  // One absorb of every row: the streaming committer's batch-partition
+  // invariant makes this definitionally equal to the original one-shot hash.
+  IncrementalCommitter committer(relation.schema(), nonce);
+  committer.AbsorbRows(relation);
+  return committer.Finalize();
 }
 
 bool VerifyOpening(const Relation& relation, uint64_t nonce,

@@ -41,6 +41,27 @@ Commitment CommitRelation(const Relation& relation, uint64_t nonce);
 bool VerifyOpening(const Relation& relation, uint64_t nonce,
                    const Commitment& commitment);
 
+// Streaming form of CommitRelation: absorbs the domain tag, nonce, and schema
+// at construction, then row batches in stream order. For any partition of a
+// relation's rows into consecutive batches,
+//   IncrementalCommitter(schema, nonce) + AbsorbRows(each batch) + Finalize()
+// equals CommitRelation(relation, nonce) byte for byte — the invariant that
+// lets a RevealSource verify commitments over batches it never holds together.
+class IncrementalCommitter {
+ public:
+  IncrementalCommitter(const Schema& schema, uint64_t nonce);
+
+  // Absorbs the batch's cells in row-major order. The batch's schema must match
+  // the constructor's (same column count; the names were already absorbed).
+  void AbsorbRows(const Relation& batch);
+
+  Commitment Finalize();
+
+ private:
+  Sha256 hasher_;
+  int num_columns_ = 0;
+};
+
 // Simulated ZK proof that the prover's MPC input matches `commitment` and lies in the
 // support of its pre-processing function. `tag` binds the proof to the commitment;
 // tampering with either is detected by VerifyRangeProof.

@@ -122,11 +122,14 @@ StatusOr<SharedRelation> InputRelation(SecretShareEngine& engine,
 }
 
 Relation RevealRelation(SecretShareEngine& engine, const SharedRelation& input) {
-  const SsCharge charge =
-      engine.network().model().SsChargeFor(SsPrimitive::kReveal);
-  engine.network().CountAggregateBytes(input.NumCells() * charge.bytes);
-  engine.network().Rounds(charge.rounds);
+  ChargeRevealMeters(engine.network(), input.NumCells());
   return ReconstructRelation(input);
+}
+
+void ChargeRevealMeters(SimNetwork& network, uint64_t cells) {
+  const SsCharge charge = network.model().SsChargeFor(SsPrimitive::kReveal);
+  network.CountAggregateBytes(cells * charge.bytes);
+  network.Rounds(charge.rounds);
 }
 
 SharedRelation Project(const SharedRelation& input, std::span<const int> columns) {

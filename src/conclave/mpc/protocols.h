@@ -40,6 +40,11 @@ StatusOr<SharedRelation> InputRelation(SecretShareEngine& engine,
 // Opens a shared relation to the computing parties (end of an MPC step).
 Relation RevealRelation(SecretShareEngine& engine, const SharedRelation& input);
 
+// The meters one reveal of `cells` shared cells charges, shared by the
+// materializing RevealRelation and the streaming RevealSource boundary so the
+// two paths are bit-identical on the virtual clock and counters.
+void ChargeRevealMeters(SimNetwork& network, uint64_t cells);
+
 // Column selection/reordering: share-local, no protocol cost.
 SharedRelation Project(const SharedRelation& input, std::span<const int> columns);
 

@@ -394,6 +394,68 @@ void FaultInjector::DeliverReveal(const Relation& revealed) {
   }
 }
 
+std::vector<FaultInjector::RevealCorruption> FaultInjector::DeliverRevealStreamed(
+    int64_t rows, int cols, uint64_t* nonce_out) {
+  // Mirrors DeliverReveal decision for decision and charge for charge; the two
+  // paths must stay bit-identical on ordinals, clocks, counters, and failure
+  // provenance or the stream_reveal knob would leak into the fault contract.
+  const int ordinal = reveal_ordinal_++;
+  *nonce_out =
+      plan_.seed ^ (static_cast<uint64_t>(scope_ + 1) * 0x100000001b3ULL +
+                    static_cast<uint64_t>(ordinal));
+  if (rows == 0 || cols == 0) {
+    return {};  // No payload cells to corrupt.
+  }
+  int times = 0;
+  if (const FaultEvent* event =
+          MatchEvent(FaultEvent::Kind::kCorruptReveal, ordinal)) {
+    times = event->times;
+  } else if (plan_.corrupt_rate > 0 &&
+             UnitDouble(DecisionWord(FaultEvent::Kind::kCorruptReveal,
+                                     static_cast<uint64_t>(ordinal))) <
+                 plan_.corrupt_rate) {
+    times = plan_.corrupt_times;
+  }
+  if (times == 0) {
+    return {};
+  }
+  Trace(FaultEvent::Kind::kCorruptReveal, ordinal, times, 0);
+  NodeRecovery& recovery = Recovery();
+  report_.injected_corruptions += static_cast<uint64_t>(times);
+  recovery.counts.injected += static_cast<uint64_t>(times);
+
+  const uint64_t bytes = static_cast<uint64_t>(rows) *
+                         static_cast<uint64_t>(cols) * sizeof(int64_t);
+  const int retried = std::min(times, model_.max_send_retries);
+  std::vector<RevealCorruption> schedule;
+  schedule.reserve(static_cast<size_t>(retried));
+  for (int k = 0; k < retried; ++k) {
+    const uint64_t word =
+        DecisionWord(FaultEvent::Kind::kCorruptReveal,
+                     (static_cast<uint64_t>(ordinal) << 8) ^
+                         (0x40 + static_cast<uint64_t>(k)));
+    RevealCorruption corruption;
+    corruption.row = static_cast<int64_t>(word % static_cast<uint64_t>(rows));
+    corruption.col = static_cast<int>((word >> 32) % static_cast<uint64_t>(cols));
+    corruption.bit = 1LL << (word % 63);
+    schedule.push_back(corruption);
+    recovery.seconds += model_.RetrySeconds(k, bytes);
+    ++report_.retried_sends;
+    ++recovery.counts.retried;
+    report_.recovery_bytes += bytes;
+  }
+  if (times <= model_.max_send_retries) {
+    report_.recovered_faults += static_cast<uint64_t>(times);
+    recovery.counts.recovered += static_cast<uint64_t>(times);
+  } else {
+    RaisePendingFailure(StrFormat(
+        "reveal #%d into node #%d corrupted %d time(s) (commitment mismatch), "
+        "exceeding max_send_retries=%d",
+        ordinal, scope_, times, model_.max_send_retries));
+  }
+  return schedule;
+}
+
 int FaultInjector::JobCrashes(int node_id) {
   CONCLAVE_CHECK_EQ(node_id, scope_);
   int crashes = 0;

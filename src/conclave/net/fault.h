@@ -176,6 +176,28 @@ class FaultInjector {
   // the caller (an aborted run discards outputs anyway).
   void DeliverReveal(const Relation& revealed);
 
+  // One scheduled corruption of a streamed reveal: flip `bit` in cell
+  // (row, col) of the k-th delivery attempt. Produced by DeliverRevealStreamed,
+  // consumed by mpc::RevealSource, which performs the commitment-mismatch
+  // detection per batch as the stream reaches the corrupted row.
+  struct RevealCorruption {
+    int64_t row = 0;
+    int col = 0;
+    int64_t bit = 0;
+  };
+
+  // The streaming twin of DeliverReveal: consumes the same reveal ordinal and
+  // makes identical injection decisions, retry charges, counter updates, and
+  // pending-failure escalations — computed from the reveal's public shape
+  // (rows x cols, ByteSize = rows * cols * 8) without the relation ever
+  // materializing here. Returns the corruption schedule (empty when this reveal
+  // is untouched) and the commitment nonce for the batch-level opening checks;
+  // the detection CHECKs that DeliverReveal runs inline move to the
+  // RevealSource's batch verification. A plan is recoverable through this path
+  // exactly when it is recoverable through DeliverReveal.
+  std::vector<RevealCorruption> DeliverRevealStreamed(int64_t rows, int cols,
+                                                      uint64_t* nonce_out);
+
   // Crash injections scheduled for `node_id`'s job, consulted at dispatch (counts
   // the injections; the caller executes/prices the restarts). Counts beyond
   // plan().job_retries raise a pending failure.

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "conclave/common/check.h"
+#include "conclave/common/env.h"
 
 namespace conclave {
 
@@ -14,14 +15,7 @@ namespace conclave {
 namespace {
 
 int InitFusedExprKnobFromEnv() {
-  const char* env = std::getenv("CONCLAVE_FUSED_EXPR");
-  if (env != nullptr) {
-    const std::string value(env);
-    if (value == "0" || value == "off" || value == "OFF" || value == "false") {
-      return 0;
-    }
-  }
-  return 1;
+  return env::BoolKnob("CONCLAVE_FUSED_EXPR", /*fallback=*/true) ? 1 : 0;
 }
 
 std::atomic<int>& FusedExprKnob() {

@@ -1,26 +1,25 @@
 #include "conclave/relational/pipeline.h"
 
 #include <algorithm>
-#include <cstdlib>
+#include <limits>
 #include <string>
 #include <utility>
 
 #include "conclave/common/cpu.h"
+#include "conclave/common/env.h"
+#include "conclave/mpc/reveal_source.h"
 #include "conclave/relational/csv.h"
 #include "conclave/relational/expr.h"
 
 namespace conclave {
 
 int64_t DefaultBatchRows() {
-  if (const char* env = std::getenv("CONCLAVE_BATCH_ROWS")) {
-    const std::string value(env);
-    if (value == "materialize") {
-      return kMaterializeBatchRows;
-    }
-    const long long parsed = std::atoll(env);
-    return parsed > 0 ? static_cast<int64_t>(parsed) : kMaterializeBatchRows;
-  }
-  return kDefaultBatchRows;
+  // "materialize" (and its numeric spelling "0") turns fusion off; anything
+  // else must be a positive batch size.
+  return env::Int64Knob("CONCLAVE_BATCH_ROWS", kDefaultBatchRows, /*min_value=*/1,
+                        std::numeric_limits<int64_t>::max(),
+                        {{"materialize", kMaterializeBatchRows},
+                         {"0", kMaterializeBatchRows}});
 }
 
 PipelineOp PipelineOp::Filter(const FilterPredicate& predicate) {
@@ -519,6 +518,41 @@ StatusOr<Relation> BatchPipeline::RunFromCsv(const CsvSource& source,
     }
   } else {
     CONCLAVE_ASSIGN_OR_RETURN(output_, source.ParseRows(begin, end));
+  }
+  return std::move(output_);
+}
+
+Relation BatchPipeline::RunFromReveal(const mpc::RevealSource& source,
+                                      int64_t begin, int64_t end,
+                                      int64_t batch_rows) {
+  stats_ = PipelineStats{};
+  stats_.op_input_rows.assign(num_ops_, 0);
+  live_batches_ = 0;
+  live_rows_ = 0;
+  for (auto& op : operators_) {
+    op->Reset();
+  }
+  output_ = Relation{output_schema_};
+  const int64_t rows = end - begin;
+  output_.Reserve(rows);
+
+  const int64_t step = batch_rows <= 0 ? std::max<int64_t>(rows, 1) : batch_rows;
+  if (!operators_.empty()) {
+    for (int64_t lo = begin; lo < end; lo += step) {
+      const int64_t hi = std::min(end, lo + step);
+      Relation batch = source.RevealRows(lo, hi);
+      ++stats_.batches_pushed;
+      stats_.rows_pushed += hi - lo;
+      stats_.op_input_rows[0] += hi - lo;
+      // Like RunFromCsv's parsed batches, the revealed batch is pipeline-owned
+      // memory: route it through Push so the residency high-water counts it.
+      Push(0, std::move(batch));
+    }
+    for (auto& op : operators_) {
+      op->Flush();
+    }
+  } else {
+    output_ = source.RevealRows(begin, end);
   }
   return std::move(output_);
 }

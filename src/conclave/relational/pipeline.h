@@ -45,6 +45,9 @@
 namespace conclave {
 
 class CsvSource;
+namespace mpc {
+class RevealSource;
+}  // namespace mpc
 
 // Default rows per batch of the push-based pipeline executor (~4k rows: large
 // enough to amortize per-batch overhead, small enough that a fused chain's
@@ -127,6 +130,13 @@ class BatchPipeline {
   // Run(*source.ParseRows(begin, end), batch_rows) at every batch size.
   StatusOr<Relation> RunFromCsv(const CsvSource& source, int64_t begin,
                                 int64_t end, int64_t batch_rows);
+
+  // Reveal-boundary variant (DESIGN.md §14): reconstructs rows [begin, end) of
+  // a streaming reveal batch-at-a-time and pushes each revealed batch through
+  // the chain, so the revealed relation never materializes. Bit-identical to
+  // Run(source.RevealRows(begin, end), batch_rows) at every batch size.
+  Relation RunFromReveal(const mpc::RevealSource& source, int64_t begin,
+                         int64_t end, int64_t batch_rows);
 
   // Stats of the most recent Run.
   const PipelineStats& stats() const { return stats_; }

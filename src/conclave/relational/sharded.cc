@@ -1,11 +1,17 @@
 #include "conclave/relational/sharded.h"
 
+#include <atomic>
 #include <utility>
 
 #include "conclave/common/thread_pool.h"
 #include "conclave/relational/ops.h"
 
 namespace conclave {
+namespace {
+
+std::atomic<int64_t> split_even_calls{0};
+
+}  // namespace
 
 ShardedRelation ShardedRelation::Single(Relation relation) {
   ShardedRelation sharded(relation.schema());
@@ -13,9 +19,14 @@ ShardedRelation ShardedRelation::Single(Relation relation) {
   return sharded;
 }
 
+int64_t ShardedRelation::SplitEvenCalls() {
+  return split_even_calls.load(std::memory_order_relaxed);
+}
+
 ShardedRelation ShardedRelation::SplitEven(const Relation& relation,
                                            int shard_count) {
   CONCLAVE_CHECK_GT(shard_count, 0);
+  split_even_calls.fetch_add(1, std::memory_order_relaxed);
   ShardedRelation sharded(relation.schema());
   sharded.shards_.resize(static_cast<size_t>(shard_count),
                          Relation{relation.schema()});

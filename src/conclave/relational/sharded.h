@@ -38,6 +38,11 @@ class ShardedRelation {
   // shard_count > rows). The canonical ingest-side partitioner.
   static ShardedRelation SplitEven(const Relation& relation, int shard_count);
 
+  // Process-wide count of SplitEven calls (test observability: the dispatcher
+  // caches one split per value, so N sharded consumers of one revealed value
+  // must not cost N splits).
+  static int64_t SplitEvenCalls();
+
   // Concatenates the shards in shard order. Under the canonical-order invariant
   // this is exactly the relation the unsharded executor would hold.
   Relation Coalesce() const;

@@ -3,21 +3,21 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <utility>
 
 #include "conclave/common/check.h"
+#include "conclave/common/env.h"
 #include "conclave/common/strings.h"
 #include "conclave/common/tempfile.h"
 
 namespace conclave {
 
 int64_t DefaultMemBudgetRows() {
-  if (const char* env = std::getenv("CONCLAVE_MEM_BUDGET")) {
-    const long long parsed = std::atoll(env);
-    return parsed > 0 ? static_cast<int64_t>(parsed) : 0;
-  }
-  return 0;
+  // 0 means unbounded (spilling off); negative budgets are rejected.
+  return env::Int64Knob("CONCLAVE_MEM_BUDGET", /*fallback=*/0, /*min_value=*/0,
+                        std::numeric_limits<int64_t>::max());
 }
 
 namespace spill {

@@ -1,15 +1,18 @@
 // Unit tests for the common utilities: Status/StatusOr, PartySet, Rng, clock,
-// counters, and string helpers.
+// counters, env knob parsing, and string helpers.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "conclave/common/arena.h"
+#include "conclave/common/env.h"
 #include "conclave/common/party.h"
 #include "conclave/common/rng.h"
 #include "conclave/common/status.h"
 #include "conclave/common/strings.h"
 #include "conclave/common/virtual_clock.h"
+#include "test_util.h"
 
 namespace conclave {
 namespace {
@@ -287,6 +290,91 @@ TEST(StringsTest, HumanCount) {
   EXPECT_EQ(HumanCount(3000), "3k");
   EXPECT_EQ(HumanCount(2000000), "2M");
   EXPECT_EQ(HumanCount(1000000000ULL), "1B");
+}
+
+// --- Centralized env-knob parsing (common/env.h) -----------------------------
+
+constexpr int64_t kI64Max = std::numeric_limits<int64_t>::max();
+
+TEST(EnvKnobTest, ParseInt64Accepts) {
+  EXPECT_EQ(env::ParseInt64Knob("K", "0", 0, kI64Max).value(), 0);
+  EXPECT_EQ(env::ParseInt64Knob("K", "4096", 1, kI64Max).value(), 4096);
+  EXPECT_EQ(env::ParseInt64Knob("K", "-3", -10, 10).value(), -3);
+  EXPECT_EQ(env::ParseInt64Knob("K", "9223372036854775807", 0, kI64Max).value(),
+            kI64Max);
+}
+
+TEST(EnvKnobTest, ParseInt64TokensBeatRange) {
+  // A token spelling is accepted even when its value lies outside the range —
+  // "auto" for CONCLAVE_SHARDS maps to a negative sentinel under min=1.
+  const std::vector<env::KnobToken> tokens = {{"auto", -1}};
+  EXPECT_EQ(env::ParseInt64Knob("K", "auto", 1, kI64Max, tokens).value(), -1);
+  EXPECT_EQ(env::ParseInt64Knob("K", "2", 1, kI64Max, tokens).value(), 2);
+}
+
+TEST(EnvKnobTest, ParseInt64RejectsMalformed) {
+  EXPECT_FALSE(env::ParseInt64Knob("K", "", 0, kI64Max).ok());
+  EXPECT_FALSE(env::ParseInt64Knob("K", "not-a-number", 0, kI64Max).ok());
+  EXPECT_FALSE(env::ParseInt64Knob("K", "12abc", 0, kI64Max).ok());
+  EXPECT_FALSE(env::ParseInt64Knob("K", " 7", 0, kI64Max).ok());
+  EXPECT_FALSE(env::ParseInt64Knob("K", "7 ", 0, kI64Max).ok());
+  EXPECT_FALSE(env::ParseInt64Knob("K", "99999999999999999999", 0, kI64Max).ok());
+  // Out of range, and the message names the variable and the bounds.
+  const auto result = env::ParseInt64Knob("CONCLAVE_MEM_BUDGET", "-5", 0, kI64Max);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("CONCLAVE_MEM_BUDGET"),
+            std::string::npos);
+}
+
+TEST(EnvKnobTest, ParseBoolAccepts) {
+  for (const char* text : {"1", "on", "ON", "true"}) {
+    EXPECT_TRUE(env::ParseBoolKnob("K", text).value()) << text;
+  }
+  for (const char* text : {"0", "off", "OFF", "false"}) {
+    EXPECT_FALSE(env::ParseBoolKnob("K", text).value()) << text;
+  }
+}
+
+TEST(EnvKnobTest, ParseBoolRejectsMalformed) {
+  for (const char* text : {"", "yes", "2", "on ", "tru"}) {
+    EXPECT_FALSE(env::ParseBoolKnob("K", text).ok()) << "'" << text << "'";
+  }
+}
+
+TEST(EnvKnobTest, ReadersResolveEnv) {
+  {
+    test::ScopedEnvVar unset("CONCLAVE_TEST_KNOB", nullptr);
+    EXPECT_EQ(env::Int64Knob("CONCLAVE_TEST_KNOB", 7, 0, kI64Max), 7);
+    EXPECT_TRUE(env::BoolKnob("CONCLAVE_TEST_KNOB", true));
+    EXPECT_FALSE(env::BoolKnob("CONCLAVE_TEST_KNOB", false));
+  }
+  {
+    test::ScopedEnvVar set("CONCLAVE_TEST_KNOB", "12");
+    EXPECT_EQ(env::Int64Knob("CONCLAVE_TEST_KNOB", 7, 0, kI64Max), 12);
+  }
+  {
+    test::ScopedEnvVar set("CONCLAVE_TEST_KNOB", "off");
+    EXPECT_FALSE(env::BoolKnob("CONCLAVE_TEST_KNOB", true));
+  }
+}
+
+// A knob typo must never silently select a default: the readers abort with a
+// message that names the variable and the offending value.
+TEST(EnvKnobDeathTest, MalformedIntCrashesLoudly) {
+  test::ScopedEnvVar bogus("CONCLAVE_TEST_KNOB", "not-a-number");
+  EXPECT_DEATH(env::Int64Knob("CONCLAVE_TEST_KNOB", 7, 0, kI64Max),
+               "CONCLAVE_TEST_KNOB");
+}
+
+TEST(EnvKnobDeathTest, OutOfRangeIntCrashesLoudly) {
+  test::ScopedEnvVar bogus("CONCLAVE_TEST_KNOB", "-8");
+  EXPECT_DEATH(env::Int64Knob("CONCLAVE_TEST_KNOB", 7, 1, kI64Max),
+               "CONCLAVE_TEST_KNOB");
+}
+
+TEST(EnvKnobDeathTest, MalformedBoolCrashesLoudly) {
+  test::ScopedEnvVar bogus("CONCLAVE_TEST_KNOB", "maybe");
+  EXPECT_DEATH(env::BoolKnob("CONCLAVE_TEST_KNOB", true), "CONCLAVE_TEST_KNOB");
 }
 
 }  // namespace

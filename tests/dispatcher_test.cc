@@ -1,12 +1,14 @@
 // Dispatcher-level tests: failure injection (simulated OOM on both MPC backends),
-// cleartext-backend selection, critical-path scheduling of parallel local jobs, and
-// the composition of all extension features in one run.
+// cleartext-backend selection, critical-path scheduling of parallel local jobs,
+// retired-node phantom execution, split caching, and the composition of all
+// extension features in one run.
 #include <gtest/gtest.h>
 
 #include <functional>
 
 #include "conclave/api/conclave.h"
 #include "conclave/data/generators.h"
+#include "conclave/relational/sharded.h"
 
 namespace conclave {
 namespace {
@@ -211,6 +213,72 @@ TEST(DispatcherTest, AllExtensionsComposeInOneRun) {
     EXPECT_EQ(noisy.At(r, 0), reference.At(r, 0));
     EXPECT_LT(std::abs(noisy.At(r, 1) - reference.At(r, 1)), 50);
   }
+}
+
+// Regression for the dead concat that push-down used to leave running: moving a
+// distributive op below a cross-party concat strands the old concat with zero
+// consumers, yet it still executed as an MPC node — sharing its full create
+// inputs into the VM for nothing. It now runs as a phantom (identical meter
+// charges, no sharing, no working-set check), so a VM limit far below the raw
+// create sizes no longer aborts the run. Under the old behavior this query
+// returns kResourceExhausted; the limit is sized so the test fails if the
+// retired node ever shares its inputs again.
+TEST(DispatcherTest, RetiredConcatNoLongerSharesItsInputs) {
+  auto run = [](const CostModel& model) {
+    Query query;
+    Party regulator = query.AddParty("regulator");
+    Party bank1 = query.AddParty("bank1");
+    Party bank2 = query.AddParty("bank2");
+    Table s1 = query.NewTable("s1", {{"k"}, {"v"}}, bank1);
+    Table s2 = query.NewTable("s2", {{"k"}, {"v"}}, bank2);
+    // Selective filter: push-down runs it per branch at each bank, so only a
+    // handful of rows ever cross into the MPC.
+    query.Concat({s1, s2})
+        .Filter("v", CompareOp::kLt, 5)
+        .Aggregate("total", AggKind::kSum, {"k"}, "v")
+        .WriteToCsv("out", {regulator});
+    std::map<std::string, Relation> inputs;
+    inputs["s1"] = data::UniformInts(3000, {"k", "v"}, 1000, /*seed=*/81);
+    inputs["s2"] = data::UniformInts(3000, {"k", "v"}, 1000, /*seed=*/82);
+    return query.Run(inputs, {}, model);
+  };
+
+  const auto generous = run(CostModel{});
+  ASSERT_TRUE(generous.ok()) << generous.status().ToString();
+  ASSERT_GT(generous->outputs.at("out").NumRows(), 0);
+
+  CostModel tight;
+  // Far below the 2 x 6000-cell (~4 MB resident) working set the dead concat
+  // used to share, far above what the few filtered rows need (~80 KB).
+  tight.ss_memory_limit_bytes = 1 << 20;
+  const auto bounded = run(tight);
+  ASSERT_TRUE(bounded.ok()) << bounded.status().ToString();
+  // The phantom's compatibility charges keep the clock identical to a run that
+  // never hits the limit.
+  EXPECT_TRUE(bounded->outputs.at("out").RowsEqual(generous->outputs.at("out")));
+  EXPECT_EQ(bounded->virtual_seconds, generous->virtual_seconds);
+  EXPECT_EQ(bounded->node_seconds, generous->node_seconds);
+}
+
+// N sharded consumers of one cleartext value used to take one task-owned
+// SplitEven copy each; the split is now cached per value, so both consumers
+// reuse a single split.
+TEST(DispatcherTest, ShardedConsumersOfOneValueSplitOnce) {
+  Query query;
+  Party alice = query.AddParty("alice");
+  Table t = query.NewTable("t", {{"a"}, {"b"}}, alice);
+  t.Filter("a", CompareOp::kLt, 500).WriteToCsv("f", {alice});
+  t.AddConst("c", "b", 1).WriteToCsv("g", {alice});
+  std::map<std::string, Relation> inputs;
+  inputs["t"] = data::UniformInts(1200, {"a", "b"}, 1000, /*seed=*/83);
+
+  const int64_t before = ShardedRelation::SplitEvenCalls();
+  const auto result = query.Run(inputs, {}, CostModel{}, /*seed=*/42,
+                                /*pool_parallelism=*/2, /*shard_count=*/4);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->outputs.at("f").NumRows(), 0);
+  EXPECT_GT(result->outputs.at("g").NumRows(), 0);
+  EXPECT_EQ(ShardedRelation::SplitEvenCalls() - before, 1);
 }
 
 TEST(DispatcherTest, MultipleOutputsDeliverIndependently) {

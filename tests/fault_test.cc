@@ -257,6 +257,83 @@ TEST(FaultRecoveryTest, MixedFaultLoadRecoversAtEveryPoolSize) {
             parallel.fault_report.recovery_seconds);
 }
 
+// --- Streaming across the reveal frontier (DESIGN.md §14) ---------------------------
+
+// A query whose MPC aggregate feeds a pushed-up local arithmetic chain: with
+// streaming on, the reveal is consumed batch-at-a-time, and the scheduled
+// corruptions are detected at the batch covering each corrupted row.
+backends::ExecutionResult RunRevealChain(std::optional<FaultPlan> plan,
+                                         int stream_reveal, int64_t batch_rows) {
+  Query query;
+  Party alice = query.AddParty("alice");
+  Party bob = query.AddParty("bob");
+  Table left = query.NewTable("left", {{"k"}, {"v"}}, alice);
+  Table right = query.NewTable("right", {{"k"}, {"w"}}, bob);
+  left.Join(right, {"k"}, {"k"})
+      .Aggregate("total", AggKind::kSum, {"k"}, "v")
+      .MultiplyConst("scaled", "total", 3)
+      .AddConst("biased", "scaled", 7)
+      .WriteToCsv("out", {alice});
+  std::map<std::string, Relation> inputs;
+  inputs["left"] = data::UniformInts(500, {"k", "v"}, 300, /*seed=*/41);
+  inputs["right"] = data::UniformInts(350, {"k", "w"}, 300, /*seed=*/42);
+  auto result = query.Run(inputs, {}, CostModel{}, 42, /*pool_parallelism=*/2,
+                          /*shard_count=*/1, batch_rows, std::move(plan),
+                          /*mem_budget_rows=*/0, stream_reveal);
+  CONCLAVE_CHECK(result.ok());
+  return std::move(*result);
+}
+
+TEST(FaultRecoveryTest, StreamedRevealCorruptionRetriesBitIdentically) {
+  const backends::ExecutionResult base =
+      RunRevealChain(std::nullopt, /*stream_reveal=*/1, /*batch_rows=*/16);
+  ASSERT_GT(base.reveal_peak_rows, 0);
+  ASSERT_LE(base.reveal_peak_rows, 16);
+
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = 37;
+  plan.corrupt_rate = 1.0;
+  plan.corrupt_times = 1;
+  const backends::ExecutionResult streamed =
+      RunRevealChain(plan, /*stream_reveal=*/1, /*batch_rows=*/16);
+  EXPECT_GT(streamed.fault_report.injected_corruptions, 0u);
+  ExpectRecoveredBitIdentical(base, streamed);
+  // Detection moved to the covering batch, but the residency bound held even
+  // while corrupted batches were re-reconstructed.
+  EXPECT_LE(streamed.reveal_peak_rows, 16);
+
+  // The fault path is knob-invariant: the materializing run under the same
+  // plan prices the identical recovery and reconstructs the identical output.
+  const backends::ExecutionResult materializing =
+      RunRevealChain(plan, /*stream_reveal=*/-1, /*batch_rows=*/16);
+  ExpectRecoveredBitIdentical(base, materializing);
+  EXPECT_EQ(streamed.fault_report.recovery_seconds,
+            materializing.fault_report.recovery_seconds);
+  EXPECT_EQ(streamed.fault_report.injected_corruptions,
+            materializing.fault_report.injected_corruptions);
+  EXPECT_EQ(materializing.reveal_peak_rows, 0);
+}
+
+TEST(FaultAbortTest, StreamedRevealCorruptionBeyondRetryCapAborts) {
+  const CostModel model;
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = 43;
+  FaultEvent corrupt;
+  corrupt.kind = FaultEvent::Kind::kCorruptReveal;
+  corrupt.times = model.max_send_retries + 1;  // Unrecoverable by construction.
+  plan.events.push_back(corrupt);
+  const backends::ExecutionResult result =
+      RunRevealChain(plan, /*stream_reveal=*/1, /*batch_rows=*/16);
+  EXPECT_TRUE(result.aborted);
+  EXPECT_EQ(result.abort_status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.abort_status.message().find("commitment mismatch"),
+            std::string::npos);
+  EXPECT_TRUE(result.outputs.empty());
+  EXPECT_GT(result.fault_report.injected_corruptions, 0u);
+}
+
 // --- Graceful degradation -----------------------------------------------------------
 
 TEST(FaultAbortTest, CorruptionBeyondRetryCapAbortsWithFaultReport) {

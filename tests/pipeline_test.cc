@@ -15,7 +15,10 @@
 #include <vector>
 
 #include "conclave/api/conclave.h"
+#include "conclave/common/rng.h"
 #include "conclave/data/generators.h"
+#include "conclave/mpc/reveal_source.h"
+#include "conclave/mpc/share.h"
 #include "conclave/relational/expr.h"
 #include "conclave/relational/ops.h"
 #include "conclave/relational/relation.h"
@@ -284,17 +287,12 @@ TEST(DefaultBatchRowsTest, EnvKnobParsing) {
     EXPECT_EQ(DefaultBatchRows(), kMaterializeBatchRows);
   }
   {
+    // "0" is an accepted token spelling of "materialize", not a range error.
     test::ScopedEnvVar env("CONCLAVE_BATCH_ROWS", "0");
     EXPECT_EQ(DefaultBatchRows(), kMaterializeBatchRows);
   }
-  {
-    test::ScopedEnvVar env("CONCLAVE_BATCH_ROWS", "-8");
-    EXPECT_EQ(DefaultBatchRows(), kMaterializeBatchRows);
-  }
-  {
-    test::ScopedEnvVar env("CONCLAVE_BATCH_ROWS", "not-a-number");
-    EXPECT_EQ(DefaultBatchRows(), kMaterializeBatchRows);
-  }
+  // Malformed values ("-8", "not-a-number") abort loudly via env::Int64Knob;
+  // that contract is covered by the death tests in common_test.cc.
 }
 
 TEST(FusedExprTest, SlotPartitioning) {
@@ -516,6 +514,206 @@ TEST(PipelineQueryTest, ShardedFusedChainsMatchMaterializing) {
       EXPECT_EQ(got.counters.cleartext_records,
                 baseline.counters.cleartext_records)
           << "shards=" << shards << " batch_rows=" << batch_rows;
+    }
+  }
+}
+
+// --- Streaming across the reveal frontier (DESIGN.md §14) --------------------
+
+// RunFromReveal must be bit-identical to revealing everything and running the
+// chain on the materialized relation, at every batch size — including 0-row
+// and 1-row reveals.
+TEST(RevealStreamTest, MatchesMaterializingAcrossBatchGrid) {
+  for (int64_t rows : {int64_t{0}, int64_t{1}, int64_t{533}}) {
+    const Relation input = data::UniformInts(rows, {"a", "b"}, 200, /*seed=*/77);
+    Rng rng(/*seed=*/9);
+    const mpc::RevealSource source(ShareRelation(input, rng));
+    ASSERT_EQ(source.NumRows(), rows);
+
+    ArithSpec add;
+    add.kind = ArithKind::kAdd;
+    add.lhs_column = 0;
+    add.rhs_is_column = true;
+    add.rhs_column = 1;
+    add.result_name = "s";
+    PipelineSpec spec;
+    spec.input_schema = input.schema();
+    spec.ops.push_back(PipelineOp::Filter(
+        FilterPredicate::ColumnVsLiteral(1, CompareOp::kGe, 40)));
+    spec.ops.push_back(PipelineOp::Arithmetic(add));
+    spec.ops.push_back(PipelineOp::Project({2, 0}));
+
+    BatchPipeline materializing(spec);
+    const Relation expected =
+        materializing.Run(source.RevealRows(0, rows), kDefaultBatchRows);
+    for (int64_t batch_rows : kBatchGrid) {
+      BatchPipeline streaming(spec);
+      const Relation got =
+          streaming.RunFromReveal(source, 0, rows, batch_rows);
+      EXPECT_TRUE(got.RowsEqual(expected))
+          << "rows=" << rows << " batch_rows=" << batch_rows;
+      EXPECT_EQ(got.schema().ToString(), expected.schema().ToString());
+    }
+  }
+}
+
+// Reveal as the head of a chain with limit and sorted-distinct tails: the
+// operators that cut a stream short or dedup across batch boundaries must see
+// revealed batches exactly as they would see materialized head slices.
+TEST(RevealStreamTest, LimitAndDistinctTails) {
+  Relation input = data::UniformInts(400, {"k", "v"}, 50, /*seed=*/31);
+  const std::vector<int> sort_columns = {0, 1};
+  input = ops::SortBy(input, sort_columns, /*ascending=*/true);
+  Rng rng(/*seed=*/10);
+  const mpc::RevealSource source(ShareRelation(input, rng));
+
+  {
+    PipelineSpec spec;
+    spec.input_schema = input.schema();
+    spec.ops.push_back(PipelineOp::Filter(
+        FilterPredicate::ColumnVsLiteral(1, CompareOp::kGt, 5)));
+    spec.ops.push_back(PipelineOp::Limit(37));
+    BatchPipeline materializing(spec);
+    const Relation expected =
+        materializing.Run(source.RevealRows(0, input.NumRows()), 0);
+    for (int64_t batch_rows : kBatchGrid) {
+      BatchPipeline streaming(spec);
+      const Relation got =
+          streaming.RunFromReveal(source, 0, input.NumRows(), batch_rows);
+      EXPECT_TRUE(got.RowsEqual(expected)) << "limit batch=" << batch_rows;
+    }
+  }
+  {
+    // Sorted input, so the streaming adjacent-run dedup applies.
+    PipelineSpec spec;
+    spec.input_schema = input.schema();
+    spec.ops.push_back(PipelineOp::Project({0}));
+    spec.ops.push_back(PipelineOp::DistinctOnSorted({0}));
+    BatchPipeline materializing(spec);
+    const Relation expected =
+        materializing.Run(source.RevealRows(0, input.NumRows()), 0);
+    for (int64_t batch_rows : kBatchGrid) {
+      BatchPipeline streaming(spec);
+      const Relation got =
+          streaming.RunFromReveal(source, 0, input.NumRows(), batch_rows);
+      EXPECT_TRUE(got.RowsEqual(expected)) << "distinct batch=" << batch_rows;
+    }
+  }
+}
+
+// Sharded chains reveal disjoint row ranges; the concatenation of the per-shard
+// streams must equal slicing one whole-relation reveal with SplitEven's
+// boundaries.
+TEST(RevealStreamTest, RangedRevealsMatchSplitBoundaries) {
+  const Relation input = data::UniformInts(101, {"a", "b"}, 300, /*seed=*/12);
+  Rng rng(/*seed=*/13);
+  const mpc::RevealSource source(ShareRelation(input, rng));
+  const Relation whole = source.RevealRows(0, input.NumRows());
+  EXPECT_TRUE(whole.RowsEqual(input));
+
+  const int64_t rows = input.NumRows();
+  for (int shards : {1, 3, 8}) {
+    std::vector<Relation> parts;
+    parts.reserve(static_cast<size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      const int64_t begin = rows * s / shards;
+      const int64_t end = rows * (s + 1) / shards;
+      parts.push_back(source.RevealRows(begin, end));
+    }
+    std::vector<const Relation*> part_ptrs;
+    for (const Relation& part : parts) {
+      part_ptrs.push_back(&part);
+    }
+    const Relation assembled = ops::Concat(part_ptrs);
+    EXPECT_TRUE(assembled.RowsEqual(whole)) << "shards=" << shards;
+  }
+}
+
+// The residency witness: streaming a 100k-row reveal in 256-row batches never
+// reconstructs more than one batch at a time.
+TEST(RevealStreamTest, ResidencyStaysAtBatchSize) {
+  const Relation input = data::UniformInts(100'000, {"a", "b"}, 1 << 20,
+                                           /*seed=*/14);
+  Rng rng(/*seed=*/15);
+  const mpc::RevealSource source(ShareRelation(input, rng));
+
+  ArithSpec add;
+  add.kind = ArithKind::kAdd;
+  add.lhs_column = 0;
+  add.rhs_is_column = false;
+  add.rhs_literal = 1;
+  add.result_name = "s";
+  PipelineSpec spec;
+  spec.input_schema = input.schema();
+  spec.ops.push_back(PipelineOp::Filter(
+      FilterPredicate::ColumnVsLiteral(1, CompareOp::kLt, 1 << 10)));
+  spec.ops.push_back(PipelineOp::Arithmetic(add));
+
+  BatchPipeline pipeline(spec);
+  const Relation got = pipeline.RunFromReveal(source, 0, input.NumRows(), 256);
+  EXPECT_GT(got.NumRows(), 0);
+  EXPECT_EQ(source.MaxMaterializedRows(), 256);
+}
+
+// End-to-end through the public API: an MPC aggregate whose arithmetic tail the
+// compiler pushes up into a local fused chain. With streaming on, the reveal
+// feeds the chain batch-at-a-time (reveal_peak_rows stays at the batch size);
+// with it off, the reveal materializes. Outputs, virtual clock, and counters
+// must be bit-identical across the {stream_reveal, shard, batch} grid.
+TEST(RevealStreamTest, QueryGridBitIdentical) {
+  auto run = [](int stream_reveal, int shards, int64_t batch_rows) {
+    api::Query query;
+    api::Party alice = query.AddParty("alice");
+    api::Party bob = query.AddParty("bob");
+    api::Table left = query.NewTable("left", {{"k"}, {"v"}}, alice);
+    api::Table right = query.NewTable("right", {{"k"}, {"w"}}, bob);
+    left.Join(right, {"k"}, {"k"})
+        .Aggregate("total", AggKind::kSum, {"k"}, "v")
+        .MultiplyConst("scaled", "total", 3)
+        .AddConst("biased", "scaled", 7)
+        .WriteToCsv("out", {alice});
+    std::map<std::string, Relation> inputs;
+    inputs["left"] = data::UniformInts(600, {"k", "v"}, 500, /*seed=*/21);
+    inputs["right"] = data::UniformInts(450, {"k", "w"}, 500, /*seed=*/22);
+    auto result = query.Run(inputs, {}, CostModel{}, /*seed=*/42,
+                            /*pool_parallelism=*/2, shards, batch_rows,
+                            std::nullopt, /*mem_budget_rows=*/0, stream_reveal);
+    CONCLAVE_CHECK(result.ok());
+    return std::move(*result);
+  };
+
+  const backends::ExecutionResult baseline =
+      run(/*stream_reveal=*/-1, /*shards=*/1, kMaterializeBatchRows);
+  ASSERT_GT(baseline.outputs.at("out").NumRows(), 0);
+  EXPECT_EQ(baseline.reveal_peak_rows, 0);
+
+  for (int stream_reveal : {-1, 1}) {
+    for (int shards : {1, 3}) {
+      for (int64_t batch_rows : {int64_t{16}, kDefaultBatchRows}) {
+        const backends::ExecutionResult got =
+            run(stream_reveal, shards, batch_rows);
+        EXPECT_TRUE(got.outputs.at("out").RowsEqual(baseline.outputs.at("out")))
+            << "stream=" << stream_reveal << " shards=" << shards
+            << " batch=" << batch_rows;
+        EXPECT_EQ(got.virtual_seconds, baseline.virtual_seconds)
+            << "stream=" << stream_reveal << " shards=" << shards
+            << " batch=" << batch_rows;
+        EXPECT_EQ(got.counters.network_bytes, baseline.counters.network_bytes)
+            << "stream=" << stream_reveal << " shards=" << shards
+            << " batch=" << batch_rows;
+        EXPECT_EQ(got.node_seconds, baseline.node_seconds)
+            << "stream=" << stream_reveal << " shards=" << shards
+            << " batch=" << batch_rows;
+        if (stream_reveal > 0) {
+          EXPECT_GT(got.reveal_peak_rows, 0)
+              << "shards=" << shards << " batch=" << batch_rows;
+          EXPECT_LE(got.reveal_peak_rows, batch_rows)
+              << "shards=" << shards << " batch=" << batch_rows;
+        } else {
+          EXPECT_EQ(got.reveal_peak_rows, 0)
+              << "shards=" << shards << " batch=" << batch_rows;
+        }
+      }
     }
   }
 }

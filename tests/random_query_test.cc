@@ -549,11 +549,16 @@ struct Config {
   int64_t batch_rows;  // kMaterializeBatchRows = fusion off.
   bool simd = true;
   bool fused_expr = true;
+  // Streaming across the reveal frontier (DESIGN.md §14): false forces the
+  // materializing reveal. Like every other axis, must be invisible in results,
+  // clock, and counters.
+  bool stream_reveal = true;
 
   std::string ToString() const {
-    return StrFormat("{pool=%d, shards=%d, batch=%lld, simd=%s, fused=%s}",
-                     pool, shards, static_cast<long long>(batch_rows),
-                     simd ? "on" : "off", fused_expr ? "on" : "off");
+    return StrFormat(
+        "{pool=%d, shards=%d, batch=%lld, simd=%s, fused=%s, stream_reveal=%s}",
+        pool, shards, static_cast<long long>(batch_rows), simd ? "on" : "off",
+        fused_expr ? "on" : "off", stream_reveal ? "on" : "off");
   }
 };
 
@@ -574,7 +579,7 @@ RunOutcome RunPlan(const PlanSpec& spec, const Config& config,
                       /*shard_count=*/config.shards, config.batch_rows,
                       fault_plan != nullptr ? std::optional<FaultPlan>(*fault_plan)
                                             : std::nullopt,
-                      mem_budget);
+                      mem_budget, config.stream_reveal ? 1 : -1);
   if (!result.ok()) {
     outcome.error = result.status().ToString();
     return outcome;
@@ -693,15 +698,17 @@ constexpr Config kConfigs[] = {
     {4, 2, kMat}, {4, 3, kMat, false}, {4, 8, kMat},
     // Pipelined batch grid: batch_rows x shards x pool. One row per batch, a
     // prime that straddles boundaries, the default, and effectively-one-batch.
-    // The four {simd, fused} combos cycle so each batch size sees each combo.
+    // The four {simd, fused} combos cycle so each batch size sees each combo,
+    // and the stream_reveal axis alternates so every batch size exercises both
+    // the streaming and the materializing reveal (the baseline streams).
     {1, 1, 1},                  {1, 3, 1, false},
-    {4, 1, 1, true, false},     {4, 3, 1, false, false},
-    {1, 1, 7, false, false},    {1, 3, 7},
+    {4, 1, 1, true, false, false},   {4, 3, 1, false, false},
+    {1, 1, 7, false, false},    {1, 3, 7, true, true, false},
     {4, 1, 7, false},           {4, 3, 7, true, false},
-    {1, 1, 4096, true, false},  {1, 3, 4096, false, false},
+    {1, 1, 4096, true, false},  {1, 3, 4096, false, false, false},
     {4, 1, 4096},               {4, 3, 4096, false},
-    {1, 1, kOneBatch, false},   {1, 3, kOneBatch, true, false},
-    {4, 1, kOneBatch, false, false}, {4, 3, kOneBatch},
+    {1, 1, kOneBatch, false, true, false}, {1, 3, kOneBatch, true, false},
+    {4, 1, kOneBatch, false, false}, {4, 3, kOneBatch, true, true, false},
 };
 
 // Runs one seeded plan through the full config sweep; on failure, shrinks and
@@ -895,13 +902,15 @@ void ShrinkChaos(PlanSpec& spec, FaultPlan& fault_plan, const Config& config) {
   }
 }
 
-// The chaos grid: {pool 1,4} x {shard 1,3} materializing, plus two batch-grid
-// points so the fault axis composes with pipeline fusion — and a couple of
-// knob-off points so recovery identities also hold on the scalar / per-node
-// paths.
+// The chaos grid: {pool 1,4} x {shard 1,3} materializing, plus batch-grid
+// points so the fault axis composes with pipeline fusion — and knob-off points
+// so recovery identities also hold on the scalar / per-node / materializing-
+// reveal paths. The stream_reveal axis rides on the fused points, where the
+// corrupted-reveal schedule lands mid-stream (DESIGN.md §14).
 constexpr Config kChaosConfigs[] = {
     {1, 1, kMat}, {1, 3, kMat, false}, {4, 1, kMat}, {4, 3, kMat},
     {1, 3, 7, false, true}, {4, 1, 4096, true, false},
+    {4, 3, 7, true, true, false}, {1, 1, 4096, true, true, false},
 };
 
 // Runs one seeded (plan, fault plan) pair through the chaos grid; on failure,
@@ -1062,14 +1071,16 @@ struct SpillConfig {
 
 constexpr SpillConfig kSpillConfigs[] = {
     // Budget 3 at default knobs, then budget 16 with the {simd, fused} axis
-    // cycled so spilling also composes with the scalar / per-node paths.
+    // cycled so spilling also composes with the scalar / per-node paths, and
+    // the stream_reveal axis flipped on two fused points so spilling composes
+    // with both reveal paths.
     {{1, 1, kMat}, 3},
     {{4, 3, kMat}, 3},
     {{1, 3, 7}, 3},
-    {{4, 1, 4096}, 3},
+    {{4, 1, 4096, true, true, false}, 3},
     {{1, 1, kMat, false}, 16},
     {{4, 3, kMat}, 16},
-    {{1, 3, 7, false, false}, 16},
+    {{1, 3, 7, false, false, false}, 16},
     {{4, 1, 4096, true, false}, 16},
 };
 
